@@ -1,0 +1,345 @@
+//! Alignment representation: edit operations, CIGAR strings, scoring
+//! verification, and the three-line pretty rendering of the paper's Fig. 1.
+
+use crate::scoring::Scoring;
+
+/// One alignment column, described relative to the pair `(s, t)`:
+/// `s` is the query and `t` the subject/database sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum AlignOp {
+    /// `s[i]` aligned with `t[j]` and the residues are identical.
+    Match,
+    /// `s[i]` aligned with `t[j]` but the residues differ.
+    Mismatch,
+    /// `s[i]` aligned with a gap in `t` (the "up arrow" of the paper's
+    /// Fig. 2 traceback): consumes one residue of `s`.
+    Delete,
+    /// A gap in `s` aligned with `t[j]` (the "left arrow"): consumes one
+    /// residue of `t`.
+    Insert,
+}
+
+impl AlignOp {
+    /// CIGAR operation letter (extended CIGAR: `=`, `X`, `D`, `I`).
+    pub fn cigar_char(self) -> char {
+        match self {
+            AlignOp::Match => '=',
+            AlignOp::Mismatch => 'X',
+            AlignOp::Delete => 'D',
+            AlignOp::Insert => 'I',
+        }
+    }
+
+    /// Whether the op consumes a residue of `s`.
+    pub fn consumes_s(self) -> bool {
+        matches!(self, AlignOp::Match | AlignOp::Mismatch | AlignOp::Delete)
+    }
+
+    /// Whether the op consumes a residue of `t`.
+    pub fn consumes_t(self) -> bool {
+        matches!(self, AlignOp::Match | AlignOp::Mismatch | AlignOp::Insert)
+    }
+}
+
+/// A (local or global) pairwise alignment between `s` and `t`.
+///
+/// `s_range`/`t_range` give the half-open residue ranges the alignment
+/// covers; for a global alignment they span the full sequences.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Alignment {
+    /// Alignment score under the scheme it was computed with.
+    pub score: i32,
+    /// Half-open range of `s` covered by the alignment.
+    pub s_range: (usize, usize),
+    /// Half-open range of `t` covered by the alignment.
+    pub t_range: (usize, usize),
+    /// Column operations, from the start of the ranges.
+    pub ops: Vec<AlignOp>,
+}
+
+impl Alignment {
+    /// Number of alignment columns.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the alignment has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Fraction of columns that are exact matches (0.0 for empty).
+    pub fn identity(&self) -> f64 {
+        if self.ops.is_empty() {
+            return 0.0;
+        }
+        let matches = self.ops.iter().filter(|&&o| o == AlignOp::Match).count();
+        matches as f64 / self.ops.len() as f64
+    }
+
+    /// Run-length-encoded extended CIGAR string (e.g. `"5=1X2D3="`).
+    pub fn cigar(&self) -> String {
+        let mut out = String::new();
+        let mut iter = self.ops.iter().peekable();
+        while let Some(&op) = iter.next() {
+            let mut run = 1usize;
+            while iter.peek() == Some(&&op) {
+                iter.next();
+                run += 1;
+            }
+            out.push_str(&run.to_string());
+            out.push(op.cigar_char());
+        }
+        out
+    }
+
+    /// Verify internal consistency and recompute the score against the raw
+    /// (ASCII or encoded) sequences. Returns the recomputed score.
+    ///
+    /// This is the test oracle: every kernel's traceback must satisfy
+    /// `alignment.rescore(s, t, scoring) == alignment.score`.
+    pub fn rescore(&self, s: &[u8], t: &[u8], scoring: &Scoring) -> i32 {
+        let mut i = self.s_range.0;
+        let mut j = self.t_range.0;
+        let mut score: i64 = 0;
+        let mut gap_in_t = 0usize; // current run of Delete
+        let mut gap_in_s = 0usize; // current run of Insert
+        for &op in &self.ops {
+            match op {
+                AlignOp::Match | AlignOp::Mismatch => {
+                    score -= scoring.gap.cost(gap_in_t) + scoring.gap.cost(gap_in_s);
+                    gap_in_t = 0;
+                    gap_in_s = 0;
+                    score += scoring.sub(s[i], t[j]) as i64;
+                    i += 1;
+                    j += 1;
+                }
+                AlignOp::Delete => {
+                    // A Delete ends any Insert run and vice versa.
+                    score -= scoring.gap.cost(gap_in_s);
+                    gap_in_s = 0;
+                    gap_in_t += 1;
+                    i += 1;
+                }
+                AlignOp::Insert => {
+                    score -= scoring.gap.cost(gap_in_t);
+                    gap_in_t = 0;
+                    gap_in_s += 1;
+                    j += 1;
+                }
+            }
+        }
+        score -= scoring.gap.cost(gap_in_t) + scoring.gap.cost(gap_in_s);
+        assert_eq!(i, self.s_range.1, "ops do not span s_range");
+        assert_eq!(j, self.t_range.1, "ops do not span t_range");
+        i32::try_from(score).expect("alignment score overflows i32")
+    }
+
+    /// Three-line rendering in the style of the paper's Fig. 1:
+    ///
+    /// ```text
+    /// A C T T G T C C G
+    /// | |   | | | |
+    /// A T - T G T C A G
+    /// ```
+    ///
+    /// `s`/`t` are the *ASCII* residues of the full sequences.
+    pub fn pretty(&self, s: &[u8], t: &[u8]) -> String {
+        let mut top = String::new();
+        let mut mid = String::new();
+        let mut bot = String::new();
+        let mut i = self.s_range.0;
+        let mut j = self.t_range.0;
+        for &op in &self.ops {
+            match op {
+                AlignOp::Match | AlignOp::Mismatch => {
+                    top.push(s[i] as char);
+                    mid.push(if op == AlignOp::Match { '|' } else { ' ' });
+                    bot.push(t[j] as char);
+                    i += 1;
+                    j += 1;
+                }
+                AlignOp::Delete => {
+                    top.push(s[i] as char);
+                    mid.push(' ');
+                    bot.push('-');
+                    i += 1;
+                }
+                AlignOp::Insert => {
+                    top.push('-');
+                    mid.push(' ');
+                    bot.push(t[j] as char);
+                    j += 1;
+                }
+            }
+        }
+        format!("{top}\n{mid}\n{bot}")
+    }
+
+    /// Number of `s` residues consumed.
+    pub fn s_consumed(&self) -> usize {
+        self.ops.iter().filter(|o| o.consumes_s()).count()
+    }
+
+    /// Number of `t` residues consumed.
+    pub fn t_consumed(&self) -> usize {
+        self.ops.iter().filter(|o| o.consumes_t()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scoring::{GapModel, Scoring, SubstMatrix};
+    use swhybrid_seq::Alphabet;
+
+    fn dna(s: &str) -> Vec<u8> {
+        Alphabet::Dna.encode(s.as_bytes()).unwrap()
+    }
+
+    fn toy() -> Alignment {
+        Alignment {
+            score: 0,
+            s_range: (0, 5),
+            t_range: (0, 5),
+            ops: vec![
+                AlignOp::Match,
+                AlignOp::Mismatch,
+                AlignOp::Delete,
+                AlignOp::Insert,
+                AlignOp::Match,
+                AlignOp::Match,
+            ],
+        }
+    }
+
+    #[test]
+    fn cigar_run_length_encoding() {
+        assert_eq!(toy().cigar(), "1=1X1D1I2=");
+        let a = Alignment {
+            score: 0,
+            s_range: (0, 3),
+            t_range: (0, 3),
+            ops: vec![AlignOp::Match; 3],
+        };
+        assert_eq!(a.cigar(), "3=");
+    }
+
+    #[test]
+    fn identity_fraction() {
+        assert!((toy().identity() - 0.5).abs() < 1e-12);
+        let empty = Alignment {
+            score: 0,
+            s_range: (0, 0),
+            t_range: (0, 0),
+            ops: vec![],
+        };
+        assert_eq!(empty.identity(), 0.0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn consumed_counts() {
+        let a = toy();
+        assert_eq!(a.s_consumed(), 5);
+        assert_eq!(a.t_consumed(), 5);
+        assert_eq!(a.len(), 6);
+    }
+
+    #[test]
+    fn rescore_linear_gap_matches_hand_computation() {
+        // s = ACTG, t = AATG, with one column of each kind.
+        let s = dna("ACTG");
+        let t = dna("ATG");
+        let a = Alignment {
+            score: 1,
+            s_range: (0, 4),
+            t_range: (0, 3),
+            ops: vec![
+                AlignOp::Match,  // A-A  +1
+                AlignOp::Delete, // C-(-) -2
+                AlignOp::Match,  // T-T  +1
+                AlignOp::Match,  // G-G  +1
+            ],
+        };
+        let scoring = Scoring::paper_dna();
+        assert_eq!(a.rescore(&s, &t, &scoring), 1);
+    }
+
+    #[test]
+    fn rescore_affine_charges_open_once_per_run() {
+        let s = dna("AAAA");
+        let t = dna("A");
+        // A aligned, then 3 deletes: affine cost = open + 3*extend.
+        let a = Alignment {
+            score: 0,
+            s_range: (0, 4),
+            t_range: (0, 1),
+            ops: vec![
+                AlignOp::Match,
+                AlignOp::Delete,
+                AlignOp::Delete,
+                AlignOp::Delete,
+            ],
+        };
+        let scoring = Scoring {
+            matrix: SubstMatrix::match_mismatch(Alphabet::Dna, 2, -1),
+            gap: GapModel::Affine { open: 5, extend: 1 },
+        };
+        assert_eq!(a.rescore(&s, &t, &scoring), 2 - (5 + 3));
+    }
+
+    #[test]
+    fn rescore_separates_adjacent_opposite_gap_runs() {
+        // Delete then Insert are *two* gap openings under the affine model.
+        let s = dna("AC");
+        let t = dna("AG");
+        let a = Alignment {
+            score: 0,
+            s_range: (0, 2),
+            t_range: (0, 2),
+            ops: vec![
+                AlignOp::Match,
+                AlignOp::Delete,
+                AlignOp::Insert,
+            ],
+        };
+        let scoring = Scoring {
+            matrix: SubstMatrix::match_mismatch(Alphabet::Dna, 2, -1),
+            gap: GapModel::Affine { open: 4, extend: 1 },
+        };
+        assert_eq!(a.rescore(&s, &t, &scoring), 2 - 5 - 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "ops do not span")]
+    fn rescore_detects_inconsistent_ranges() {
+        let s = dna("ACT");
+        let t = dna("ACT");
+        let a = Alignment {
+            score: 0,
+            s_range: (0, 3),
+            t_range: (0, 3),
+            ops: vec![AlignOp::Match], // consumes only one residue
+        };
+        a.rescore(&s, &t, &Scoring::paper_dna());
+    }
+
+    #[test]
+    fn pretty_renders_three_lines() {
+        let a = Alignment {
+            score: 4,
+            s_range: (0, 4),
+            t_range: (0, 3),
+            ops: vec![
+                AlignOp::Match,
+                AlignOp::Delete,
+                AlignOp::Match,
+                AlignOp::Mismatch,
+            ],
+        };
+        let text = a.pretty(b"ACTG", b"ATA");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines, vec!["ACTG", "| | ", "A-TA"]);
+    }
+}

@@ -1,0 +1,165 @@
+//! Banded Smith-Waterman.
+//!
+//! When two sequences are known to be similar, the optimal local alignment
+//! stays close to the main diagonal and the DP can be restricted to a band
+//! `|i - j - offset| ≤ k`, reducing work from `O(mn)` to `O((m+n)k)`.
+//! Used as a fast re-alignment step after a score-only pass has located the
+//! best cell, and as an ablation in the benchmarks.
+
+use crate::scoring::{GapModel, Scoring};
+
+/// Banded, score-only, linear-gap Smith-Waterman.
+///
+/// `band` is the half-width `k`: cell `(i, j)` (1-based) participates iff
+/// `|j - i - offset| ≤ k`. With `band ≥ max(m, n)` the result equals the
+/// unbanded kernel.
+pub fn sw_score_banded(
+    s: &[u8],
+    t: &[u8],
+    scoring: &Scoring,
+    band: usize,
+    offset: isize,
+) -> i32 {
+    let g = match scoring.gap {
+        GapModel::Linear { penalty } => penalty,
+        GapModel::Affine { .. } => panic!("banded kernel implements linear gaps"),
+    };
+    let n = t.len();
+    if s.is_empty() || t.is_empty() {
+        return 0;
+    }
+    const NEG_INF: i32 = i32::MIN / 4;
+    // prev[j] holds H[i-1][j]; cells outside the band read as NEG_INF so a
+    // path can never leave and re-enter the band.
+    let mut prev = vec![NEG_INF; n + 1];
+    let mut cur = vec![NEG_INF; n + 1];
+    // Row 0 border: zero inside the band's column range for i = 0.
+    for (j, p) in prev.iter_mut().enumerate() {
+        let diag_dist = j as isize - offset;
+        if diag_dist.unsigned_abs() <= band {
+            *p = 0;
+        }
+    }
+    let mut best = 0i32;
+    for (i, &si) in s.iter().enumerate() {
+        let i1 = (i + 1) as isize;
+        let row = scoring.matrix.row(si);
+        let lo = (i1 + offset - band as isize).max(1) as usize;
+        let hi = (i1 + offset + band as isize).min(n as isize);
+        if hi < lo as isize {
+            // Band has left the matrix: nothing more can improve the score.
+            break;
+        }
+        let hi = hi as usize;
+        for c in cur.iter_mut() {
+            *c = NEG_INF;
+        }
+        // Column 0 border is 0 when it is inside the band.
+        if (0 - i1 - offset).unsigned_abs() <= band {
+            cur[0] = 0;
+        }
+        for j in lo..=hi {
+            let diag = if prev[j - 1] == NEG_INF { 0 } else { prev[j - 1] };
+            let d = diag + row[t[j - 1] as usize] as i32;
+            let up = if prev[j] == NEG_INF { NEG_INF } else { prev[j] - g };
+            let left = if cur[j - 1] == NEG_INF {
+                NEG_INF
+            } else {
+                cur[j - 1] - g
+            };
+            let v = d.max(up).max(left).max(0);
+            cur[j] = v;
+            if v > best {
+                best = v;
+            }
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scoring::{GapModel, SubstMatrix};
+    use crate::sw;
+    use rand::{RngExt, SeedableRng};
+    use swhybrid_seq::Alphabet;
+
+    fn blosum_linear(g: i32) -> Scoring {
+        Scoring {
+            matrix: SubstMatrix::blosum62(),
+            gap: GapModel::Linear { penalty: g },
+        }
+    }
+
+    #[test]
+    fn full_band_equals_unbanded() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(51);
+        let scoring = blosum_linear(3);
+        for _ in 0..30 {
+            let sl = rng.random_range(1..50);
+            let tl = rng.random_range(1..50);
+            let s: Vec<u8> = (0..sl).map(|_| rng.random_range(0..20u8)).collect();
+            let t: Vec<u8> = (0..tl).map(|_| rng.random_range(0..20u8)).collect();
+            let banded = sw_score_banded(&s, &t, &scoring, sl.max(tl) + 1, 0);
+            assert_eq!(banded, sw::sw_score(&s, &t, &scoring));
+        }
+    }
+
+    #[test]
+    fn banded_score_never_exceeds_unbanded() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(53);
+        let scoring = blosum_linear(2);
+        for _ in 0..30 {
+            let s: Vec<u8> = (0..40).map(|_| rng.random_range(0..20u8)).collect();
+            let t: Vec<u8> = (0..40).map(|_| rng.random_range(0..20u8)).collect();
+            for band in [0usize, 1, 3, 8] {
+                assert!(
+                    sw_score_banded(&s, &t, &scoring, band, 0)
+                        <= sw::sw_score(&s, &t, &scoring)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wide_enough_band_recovers_similar_pair_score() {
+        // Two near-identical sequences differ by one insertion: a band of 2
+        // suffices to capture the optimal alignment.
+        let s = Alphabet::Protein.encode(b"MKVLAWCDEFGHIKLMNPQRST").unwrap();
+        let t = Alphabet::Protein.encode(b"MKVLAWCDEFGGHIKLMNPQRST").unwrap();
+        let scoring = blosum_linear(4);
+        let full = sw::sw_score(&s, &t, &scoring);
+        assert_eq!(sw_score_banded(&s, &t, &scoring, 2, 0), full);
+    }
+
+    #[test]
+    fn offset_shifts_the_band() {
+        // The similar region sits at a diagonal offset of +5 in t.
+        let s = Alphabet::Protein.encode(b"MKVLAWCDEF").unwrap();
+        let t = Alphabet::Protein.encode(b"GGGGGMKVLAWCDEF").unwrap();
+        let scoring = blosum_linear(4);
+        let full = sw::sw_score(&s, &t, &scoring);
+        // A tight band at offset 0 misses the alignment...
+        assert!(sw_score_banded(&s, &t, &scoring, 1, 0) < full);
+        // ...but the same width at offset +5 finds it.
+        assert_eq!(sw_score_banded(&s, &t, &scoring, 1, 5), full);
+    }
+
+    #[test]
+    fn zero_band_is_diagonal_only() {
+        let s = Alphabet::Dna.encode(b"ACGT").unwrap();
+        let scoring = Scoring::paper_dna();
+        // Diagonal-only on identical sequences = full match run.
+        assert_eq!(sw_score_banded(&s, &s, &scoring, 0, 0), 4);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let s = Alphabet::Dna.encode(b"ACGT").unwrap();
+        let e: Vec<u8> = vec![];
+        assert_eq!(sw_score_banded(&s, &e, &Scoring::paper_dna(), 3, 0), 0);
+        assert_eq!(sw_score_banded(&e, &s, &Scoring::paper_dna(), 3, 0), 0);
+    }
+}

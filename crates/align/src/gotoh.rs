@@ -1,0 +1,338 @@
+//! Gotoh's affine-gap Smith-Waterman (paper §II-A-3).
+//!
+//! In nature gaps tend to cluster, so a higher penalty is associated with
+//! the first gap column and a lower one with the following columns. Gotoh's
+//! algorithm implements this with three DP matrices:
+//!
+//! * `H[i][j]` — best local alignment score ending at `(i, j)`,
+//! * `E[i][j]` — best score ending at `(i, j)` with a gap in `s`
+//!   (an [`AlignOp::Insert`] run),
+//! * `F[i][j]` — best score ending at `(i, j)` with a gap in `t`
+//!   (an [`AlignOp::Delete`] run).
+//!
+//! A linear gap model is accepted too (it is the `open = 0` special case),
+//! so this module is the general-purpose exact aligner of the crate.
+
+use crate::alignment::{AlignOp, Alignment};
+use crate::scoring::{GapModel, Scoring};
+
+/// Traceback provenance of an `H` cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HFrom {
+    Stop,
+    Diag,
+    FromE,
+    FromF,
+}
+
+/// Whether a gap-matrix cell opened a new gap or extended an existing one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GapFrom {
+    Open,
+    Extend,
+}
+
+/// Result matrices of a Gotoh run, retaining traceback information.
+pub struct GotohMatrix {
+    m: usize,
+    n: usize,
+    h: Vec<i32>,
+    hdir: Vec<HFrom>,
+    edir: Vec<GapFrom>,
+    fdir: Vec<GapFrom>,
+    best: (usize, usize),
+}
+
+const NEG_INF: i32 = i32::MIN / 4;
+
+impl GotohMatrix {
+    /// Build the three matrices for encoded sequences `s`, `t`.
+    pub fn build(s: &[u8], t: &[u8], scoring: &Scoring) -> GotohMatrix {
+        let (open, extend) = gap_params(scoring.gap);
+        let (m, n) = (s.len(), t.len());
+        let cols = n + 1;
+        let mut h = vec![0i32; (m + 1) * cols];
+        let mut e = vec![NEG_INF; (m + 1) * cols];
+        let mut f = vec![NEG_INF; (m + 1) * cols];
+        let mut hdir = vec![HFrom::Stop; (m + 1) * cols];
+        let mut edir = vec![GapFrom::Open; (m + 1) * cols];
+        let mut fdir = vec![GapFrom::Open; (m + 1) * cols];
+        let mut best = (0usize, 0usize);
+        let mut best_score = 0i32;
+
+        for i in 1..=m {
+            let row = scoring.matrix.row(s[i - 1]);
+            for j in 1..=n {
+                let idx = i * cols + j;
+                // E: gap in s, coming from the left.
+                let e_open = h[idx - 1] - (open + extend);
+                let e_ext = e[idx - 1] - extend;
+                if e_ext > e_open {
+                    e[idx] = e_ext;
+                    edir[idx] = GapFrom::Extend;
+                } else {
+                    e[idx] = e_open;
+                    edir[idx] = GapFrom::Open;
+                }
+                // F: gap in t, coming from above.
+                let f_open = h[idx - cols] - (open + extend);
+                let f_ext = f[idx - cols] - extend;
+                if f_ext > f_open {
+                    f[idx] = f_ext;
+                    fdir[idx] = GapFrom::Extend;
+                } else {
+                    f[idx] = f_open;
+                    fdir[idx] = GapFrom::Open;
+                }
+                // H: max of diagonal, E, F, 0.
+                let diag = h[idx - cols - 1] + row[t[j - 1] as usize] as i32;
+                let (mut val, mut d) = (diag, HFrom::Diag);
+                if f[idx] > val {
+                    val = f[idx];
+                    d = HFrom::FromF;
+                }
+                if e[idx] > val {
+                    val = e[idx];
+                    d = HFrom::FromE;
+                }
+                if val <= 0 {
+                    val = 0;
+                    d = HFrom::Stop;
+                }
+                h[idx] = val;
+                hdir[idx] = d;
+                if val > best_score {
+                    best_score = val;
+                    best = (i, j);
+                }
+            }
+        }
+        GotohMatrix {
+            m,
+            n,
+            h,
+            hdir,
+            edir,
+            fdir,
+            best,
+        }
+    }
+
+    /// Value of `H[i][j]`.
+    #[inline]
+    pub fn h(&self, i: usize, j: usize) -> i32 {
+        self.h[i * (self.n + 1) + j]
+    }
+
+    /// The optimal local score.
+    pub fn best_score(&self) -> i32 {
+        self.h(self.best.0, self.best.1)
+    }
+
+    /// Coordinates of the best cell.
+    pub fn best_cell(&self) -> (usize, usize) {
+        self.best
+    }
+
+    /// Dimensions `(m, n)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.m, self.n)
+    }
+
+    /// Trace back the optimal local alignment (the paper's phase 2 adapted
+    /// to three matrices: the current matrix is part of the state).
+    pub fn traceback(&self, s: &[u8], t: &[u8]) -> Alignment {
+        let cols = self.n + 1;
+        let (mut i, mut j) = self.best;
+        let score = self.best_score();
+        let mut ops = Vec::new();
+
+        #[derive(PartialEq)]
+        enum State {
+            InH,
+            InE,
+            InF,
+        }
+        let mut state = State::InH;
+        loop {
+            let idx = i * cols + j;
+            match state {
+                State::InH => match self.hdir[idx] {
+                    HFrom::Stop => break,
+                    HFrom::Diag => {
+                        ops.push(if s[i - 1] == t[j - 1] {
+                            AlignOp::Match
+                        } else {
+                            AlignOp::Mismatch
+                        });
+                        i -= 1;
+                        j -= 1;
+                    }
+                    HFrom::FromE => state = State::InE,
+                    HFrom::FromF => state = State::InF,
+                },
+                State::InE => {
+                    ops.push(AlignOp::Insert);
+                    let from = self.edir[idx];
+                    j -= 1;
+                    if from == GapFrom::Open {
+                        state = State::InH;
+                    }
+                }
+                State::InF => {
+                    ops.push(AlignOp::Delete);
+                    let from = self.fdir[idx];
+                    i -= 1;
+                    if from == GapFrom::Open {
+                        state = State::InH;
+                    }
+                }
+            }
+        }
+        ops.reverse();
+        Alignment {
+            score,
+            s_range: (i, self.best.0),
+            t_range: (j, self.best.1),
+            ops,
+        }
+    }
+}
+
+/// Map a [`GapModel`] onto Gotoh's `(open, extend)` pair.
+pub fn gap_params(gap: GapModel) -> (i32, i32) {
+    match gap {
+        GapModel::Linear { penalty } => (0, penalty),
+        GapModel::Affine { open, extend } => (open, extend),
+    }
+}
+
+/// One-shot: optimal local alignment under any gap model.
+///
+/// ```
+/// use swhybrid_align::scoring::{GapModel, Scoring, SubstMatrix};
+/// use swhybrid_seq::Alphabet;
+///
+/// let scoring = Scoring {
+///     matrix: SubstMatrix::blosum62(),
+///     gap: GapModel::Affine { open: 10, extend: 2 },
+/// };
+/// let q = Alphabet::Protein.encode(b"MKVLAW").unwrap();
+/// let alignment = swhybrid_align::gotoh::gotoh_align(&q, &q, &scoring);
+/// assert_eq!(alignment.score, 33); // self-alignment: sum of BLOSUM62 diagonal
+/// assert_eq!(alignment.identity(), 1.0);
+/// ```
+pub fn gotoh_align(s: &[u8], t: &[u8], scoring: &Scoring) -> Alignment {
+    GotohMatrix::build(s, t, scoring).traceback(s, t)
+}
+
+/// One-shot: optimal local score under any gap model (quadratic space;
+/// see [`crate::score_only::sw_score_affine`] for the linear-space kernel).
+pub fn gotoh_score(s: &[u8], t: &[u8], scoring: &Scoring) -> i32 {
+    GotohMatrix::build(s, t, scoring).best_score()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scoring::{GapModel, SubstMatrix};
+    use crate::sw;
+    use swhybrid_seq::Alphabet;
+
+    fn prot(s: &str) -> Vec<u8> {
+        Alphabet::Protein.encode(s.as_bytes()).unwrap()
+    }
+
+    fn blosum(gap: GapModel) -> Scoring {
+        Scoring {
+            matrix: SubstMatrix::blosum62(),
+            gap,
+        }
+    }
+
+    #[test]
+    fn matches_linear_sw_when_open_is_zero() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let linear = blosum(GapModel::Linear { penalty: 3 });
+        for _ in 0..30 {
+            let sl = rng.random_range(1..50);
+            let tl = rng.random_range(1..50);
+            let s: Vec<u8> = (0..sl).map(|_| rng.random_range(0..20u8)).collect();
+            let t: Vec<u8> = (0..tl).map(|_| rng.random_range(0..20u8)).collect();
+            assert_eq!(
+                gotoh_score(&s, &t, &linear),
+                sw::sw_score(&s, &t, &linear),
+                "gotoh(open=0) must equal linear SW"
+            );
+        }
+    }
+
+    #[test]
+    fn affine_prefers_one_long_gap_over_two_short() {
+        // s has two residues missing relative to t in one block.
+        let s = prot("MKVLAWCDEF");
+        let t = prot("MKVLCDEF"); // "AW" deleted as a single block
+        let a = gotoh_align(&s, &t, &blosum(GapModel::Affine { open: 10, extend: 1 }));
+        assert_eq!(a.rescore(&s, &t, &blosum(GapModel::Affine { open: 10, extend: 1 })), a.score);
+        // The deletion must be one contiguous 2-column run.
+        assert!(a.cigar().contains("2D"), "cigar {}", a.cigar());
+    }
+
+    #[test]
+    fn traceback_rescore_agrees_on_random_pairs() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(17);
+        let scoring = blosum(GapModel::Affine { open: 10, extend: 2 });
+        for _ in 0..40 {
+            let sl = rng.random_range(1..60);
+            let tl = rng.random_range(1..60);
+            let s: Vec<u8> = (0..sl).map(|_| rng.random_range(0..20u8)).collect();
+            let t: Vec<u8> = (0..tl).map(|_| rng.random_range(0..20u8)).collect();
+            let a = gotoh_align(&s, &t, &scoring);
+            assert_eq!(a.rescore(&s, &t, &scoring), a.score, "s={s:?} t={t:?}");
+            assert!(a.score >= 0);
+        }
+    }
+
+    #[test]
+    fn affine_score_at_most_linear_score_with_same_extend() {
+        // Affine with open > 0 can never beat the pure-extend model.
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(23);
+        let linear = blosum(GapModel::Linear { penalty: 2 });
+        let affine = blosum(GapModel::Affine { open: 8, extend: 2 });
+        for _ in 0..20 {
+            let s: Vec<u8> = (0..40).map(|_| rng.random_range(0..20u8)).collect();
+            let t: Vec<u8> = (0..40).map(|_| rng.random_range(0..20u8)).collect();
+            assert!(gotoh_score(&s, &t, &affine) <= sw::sw_score(&s, &t, &linear));
+        }
+    }
+
+    #[test]
+    fn identical_sequences() {
+        let s = prot("MKVLAW");
+        let scoring = blosum(GapModel::Affine { open: 10, extend: 2 });
+        let a = gotoh_align(&s, &s, &scoring);
+        // Self score: M5 K5 V4 L4 A4 W11 = 33.
+        assert_eq!(a.score, 33);
+        assert_eq!(a.cigar(), "6=");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let s = prot("MKV");
+        let e: Vec<u8> = vec![];
+        let scoring = blosum(GapModel::Affine { open: 10, extend: 2 });
+        assert_eq!(gotoh_score(&s, &e, &scoring), 0);
+        assert_eq!(gotoh_score(&e, &e, &scoring), 0);
+    }
+
+    #[test]
+    fn score_symmetric_under_swap() {
+        let s = prot("MKVLAWCDEFGH");
+        let t = prot("MKVAWCEFGH");
+        let scoring = blosum(GapModel::Affine { open: 6, extend: 1 });
+        assert_eq!(gotoh_score(&s, &t, &scoring), gotoh_score(&t, &s, &scoring));
+    }
+}

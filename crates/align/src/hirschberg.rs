@@ -1,0 +1,227 @@
+//! Linear-space alignment recovery (Hirschberg's divide and conquer).
+//!
+//! The related work the paper builds on ([4], Sandes & de Melo, "SW
+//! alignment of huge sequences with GPU in linear space") recovers
+//! alignments without a quadratic traceback matrix. This module implements
+//! the classic CPU analogue:
+//!
+//! * [`hirschberg_global`] — global alignment in `O(m + n)` space by
+//!   recursively splitting the query at its midpoint,
+//! * [`hirschberg_local`] — optimal *local* alignment in linear space by
+//!   locating the end cell with a forward score-only pass, the start cell
+//!   with a reverse pass, and aligning the delimited substrings globally.
+//!
+//! Only the linear gap model is supported (the affine extension — Myers &
+//! Miller — is noted as future work in `DESIGN.md`).
+
+use crate::alignment::{AlignOp, Alignment};
+use crate::nw::{nw_align, nw_last_row};
+use crate::score_only::sw_score_linear;
+use crate::scoring::{GapModel, Scoring};
+
+/// Global alignment in linear space. Equivalent to [`nw_align`] (same score,
+/// possibly a different co-optimal alignment).
+pub fn hirschberg_global(s: &[u8], t: &[u8], scoring: &Scoring) -> Alignment {
+    assert!(
+        matches!(scoring.gap, GapModel::Linear { .. }),
+        "hirschberg implements linear gaps"
+    );
+    let mut ops = Vec::with_capacity(s.len() + t.len());
+    hirsch_rec(s, t, scoring, &mut ops);
+    let score = {
+        // Recompute the score from the ops (linear space, single pass).
+        let a = Alignment {
+            score: 0,
+            s_range: (0, s.len()),
+            t_range: (0, t.len()),
+            ops: ops.clone(),
+        };
+        a.rescore(s, t, scoring)
+    };
+    Alignment {
+        score,
+        s_range: (0, s.len()),
+        t_range: (0, t.len()),
+        ops,
+    }
+}
+
+fn hirsch_rec(s: &[u8], t: &[u8], scoring: &Scoring, ops: &mut Vec<AlignOp>) {
+    if s.is_empty() {
+        ops.extend(std::iter::repeat_n(AlignOp::Insert, t.len()));
+        return;
+    }
+    if s.len() == 1 || t.is_empty() {
+        // Small base case: quadratic DP on a 1-row problem is linear anyway.
+        ops.extend(nw_align(s, t, scoring).ops);
+        return;
+    }
+    let mid = s.len() / 2;
+    let fwd = nw_last_row(&s[..mid], t, scoring);
+    let rev = {
+        let s_rev: Vec<u8> = s[mid..].iter().rev().copied().collect();
+        let t_rev: Vec<u8> = t.iter().rev().copied().collect();
+        nw_last_row(&s_rev, &t_rev, scoring)
+    };
+    let n = t.len();
+    let split = (0..=n)
+        .max_by_key(|&j| fwd[j] as i64 + rev[n - j] as i64)
+        .expect("non-empty range");
+    hirsch_rec(&s[..mid], &t[..split], scoring, ops);
+    hirsch_rec(&s[mid..], &t[split..], scoring, ops);
+}
+
+/// Optimal local alignment in linear space (linear gaps).
+pub fn hirschberg_local(s: &[u8], t: &[u8], scoring: &Scoring) -> Alignment {
+    assert!(
+        matches!(scoring.gap, GapModel::Linear { .. }),
+        "hirschberg implements linear gaps"
+    );
+    // 1. Forward pass: where does the optimal local alignment end?
+    let end = sw_score_linear(s, t, scoring);
+    if end.score == 0 {
+        return Alignment {
+            score: 0,
+            s_range: (0, 0),
+            t_range: (0, 0),
+            ops: vec![],
+        };
+    }
+    // 2. Reverse pass over the prefixes, *anchored* at the end cell: the
+    //    alignment must consume the entire reversed prefixes up to its start
+    //    (an unanchored SW scan could lock onto a different co-optimal
+    //    region and break step 3). This is an NW-style DP whose maximum
+    //    cell marks the start of the optimal local alignment.
+    let s_pre: Vec<u8> = s[..end.s_end].iter().rev().copied().collect();
+    let t_pre: Vec<u8> = t[..end.t_end].iter().rev().copied().collect();
+    let (rev_score, rev_s, rev_t) = nw_best_cell(&s_pre, &t_pre, scoring);
+    debug_assert_eq!(rev_score, end.score, "forward/reverse score mismatch");
+    let s_start = end.s_end - rev_s;
+    let t_start = end.t_end - rev_t;
+    // 3. Global alignment of the delimited substrings, linear space.
+    let sub = hirschberg_global(
+        &s[s_start..end.s_end],
+        &t[t_start..end.t_end],
+        scoring,
+    );
+    debug_assert_eq!(sub.score, end.score, "substring global != local score");
+    Alignment {
+        score: sub.score,
+        s_range: (s_start, end.s_end),
+        t_range: (t_start, end.t_end),
+        ops: sub.ops,
+    }
+}
+
+/// Maximum cell of the global (NW) DP matrix of `s` × `t`, in linear space.
+///
+/// Returns `(value, i, j)` with 1-based DP coordinates; the borders
+/// (`-g·i`, `-g·j`) participate, so the result is well-defined even for
+/// empty inputs (`(0, 0, 0)`).
+fn nw_best_cell(s: &[u8], t: &[u8], scoring: &Scoring) -> (i32, usize, usize) {
+    let g = match scoring.gap {
+        GapModel::Linear { penalty } => penalty,
+        GapModel::Affine { .. } => unreachable!("checked by callers"),
+    };
+    let n = t.len();
+    let mut row: Vec<i32> = (0..=n as i32).map(|j| -(g * j)).collect();
+    let mut best = (0i32, 0usize, 0usize);
+    for (i, &si) in s.iter().enumerate() {
+        let matrix_row = scoring.matrix.row(si);
+        let mut diag = row[0];
+        row[0] = -(g * (i as i32 + 1));
+        for j in 1..=n {
+            let d = diag + matrix_row[t[j - 1] as usize] as i32;
+            let up = row[j] - g;
+            let left = row[j - 1] - g;
+            diag = row[j];
+            row[j] = d.max(up).max(left);
+            if row[j] > best.0 {
+                best = (row[j], i + 1, j);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scoring::SubstMatrix;
+    use crate::sw;
+    use rand::{RngExt, SeedableRng};
+    use swhybrid_seq::Alphabet;
+
+    fn blosum_linear(g: i32) -> Scoring {
+        Scoring {
+            matrix: SubstMatrix::blosum62(),
+            gap: GapModel::Linear { penalty: g },
+        }
+    }
+
+    #[test]
+    fn global_matches_nw_score_on_random_pairs() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(61);
+        let scoring = blosum_linear(3);
+        for _ in 0..30 {
+            let sl = rng.random_range(0..50);
+            let tl = rng.random_range(0..50);
+            let s: Vec<u8> = (0..sl).map(|_| rng.random_range(0..20u8)).collect();
+            let t: Vec<u8> = (0..tl).map(|_| rng.random_range(0..20u8)).collect();
+            let h = hirschberg_global(&s, &t, &scoring);
+            let reference = nw_align(&s, &t, &scoring);
+            assert_eq!(h.score, reference.score, "sl={sl} tl={tl}");
+            assert_eq!(h.rescore(&s, &t, &scoring), h.score);
+        }
+    }
+
+    #[test]
+    fn local_matches_full_sw_on_random_pairs() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(67);
+        let scoring = blosum_linear(3);
+        for _ in 0..30 {
+            let sl = rng.random_range(1..60);
+            let tl = rng.random_range(1..60);
+            let s: Vec<u8> = (0..sl).map(|_| rng.random_range(0..20u8)).collect();
+            let t: Vec<u8> = (0..tl).map(|_| rng.random_range(0..20u8)).collect();
+            let h = hirschberg_local(&s, &t, &scoring);
+            assert_eq!(h.score, sw::sw_score(&s, &t, &scoring));
+            if h.score > 0 {
+                assert_eq!(h.rescore(&s, &t, &scoring), h.score);
+            }
+        }
+    }
+
+    #[test]
+    fn local_finds_embedded_motif() {
+        let scoring = blosum_linear(8);
+        let s = Alphabet::Protein.encode(b"GGGGGMKVLAWGGGGG").unwrap();
+        let t = Alphabet::Protein.encode(b"PPPMKVLAWPPP").unwrap();
+        let a = hirschberg_local(&s, &t, &scoring);
+        // MKVLAW self-score: 5+5+4+4+4+11 = 33.
+        assert_eq!(a.score, 33);
+        assert_eq!(a.s_range, (5, 11));
+        assert_eq!(a.t_range, (3, 9));
+        assert_eq!(a.cigar(), "6=");
+    }
+
+    #[test]
+    fn local_zero_score_for_disjoint_content() {
+        let scoring = Scoring::paper_dna();
+        let s = Alphabet::Dna.encode(b"AAAA").unwrap();
+        let t = Alphabet::Dna.encode(b"GGGG").unwrap();
+        let a = hirschberg_local(&s, &t, &scoring);
+        assert_eq!(a.score, 0);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn global_empty_cases() {
+        let scoring = Scoring::paper_dna();
+        let s = Alphabet::Dna.encode(b"ACG").unwrap();
+        let e: Vec<u8> = vec![];
+        assert_eq!(hirschberg_global(&s, &e, &scoring).cigar(), "3D");
+        assert_eq!(hirschberg_global(&e, &s, &scoring).cigar(), "3I");
+        assert!(hirschberg_global(&e, &e, &scoring).is_empty());
+    }
+}

@@ -1,0 +1,284 @@
+//! Myers–Miller: global alignment with **affine** gaps in linear space.
+//!
+//! Hirschberg's divide-and-conquer ([`crate::hirschberg`]) assumes linear
+//! gap costs; with affine costs a gap can straddle the split row, so the
+//! join step must consider two midpoint types (Myers & Miller, 1988):
+//!
+//! * **type 1** — the optimal path crosses the split between two aligned
+//!   columns: join on `CC[j] + RR[j]`,
+//! * **type 2** — the optimal path crosses the split *inside a deletion
+//!   run*: join on `DD[j] + SS[j] − open` (the gap-open penalty was charged
+//!   by both halves; one is refunded) and recurse with the boundary
+//!   gap-open waived.
+//!
+//! Internally this follows the classical cost-minimising formulation (the
+//! substitution cost is the negated score), emitting edit operations; the
+//! final score is recomputed from the operations, so the result is
+//! *self-certifying* against [`crate::alignment::Alignment::rescore`].
+
+use crate::alignment::{AlignOp, Alignment};
+use crate::gotoh::gap_params;
+use crate::scoring::Scoring;
+
+const INF: i32 = i32::MAX / 4;
+
+struct Ctx<'a> {
+    scoring: &'a Scoring,
+    /// Gap-open cost `g` (charged once per gap run).
+    g: i32,
+    /// Gap-extension cost `h` (charged per gap column).
+    h: i32,
+}
+
+impl Ctx<'_> {
+    /// Substitution *cost* (negated score).
+    #[inline]
+    fn w(&self, a: u8, b: u8) -> i32 {
+        -self.scoring.sub(a, b)
+    }
+
+    /// Cost of an insert run of `k` columns.
+    #[inline]
+    fn ins(&self, k: usize) -> i32 {
+        if k == 0 {
+            0
+        } else {
+            self.g + self.h * k as i32
+        }
+    }
+}
+
+/// Global affine-gap alignment of `s` × `t` in `O(min)` space.
+///
+/// Produces the same score as [`crate::nw::nw_affine_align`] (possibly a
+/// different co-optimal alignment).
+pub fn myers_miller_global(s: &[u8], t: &[u8], scoring: &Scoring) -> Alignment {
+    let (open, extend) = gap_params(scoring.gap);
+    let ctx = Ctx {
+        scoring,
+        g: open,
+        h: extend,
+    };
+    let mut ops = Vec::with_capacity(s.len() + t.len());
+    diff(&ctx, s, t, ctx.g, ctx.g, &mut ops);
+    let score = Alignment {
+        score: 0,
+        s_range: (0, s.len()),
+        t_range: (0, t.len()),
+        ops: ops.clone(),
+    }
+    .rescore(s, t, scoring);
+    Alignment {
+        score,
+        s_range: (0, s.len()),
+        t_range: (0, t.len()),
+        ops,
+    }
+}
+
+/// Forward pass: `CC[j]` = min cost of converting `a` into `b[..j]`,
+/// `DD[j]` = same but constrained to end with a delete; the first delete
+/// run touching the top border opens at cost `tb` instead of `g`.
+fn forward_pass(ctx: &Ctx, a: &[u8], b: &[u8], tb: i32) -> (Vec<i32>, Vec<i32>) {
+    let n = b.len();
+    let mut cc = vec![0i32; n + 1];
+    let mut dd = vec![0i32; n + 1];
+    // Row 0: no delete can end here.
+    dd[0] = INF;
+    let mut t = ctx.g;
+    for j in 1..=n {
+        t += ctx.h;
+        cc[j] = t;
+        dd[j] = t + ctx.g;
+    }
+    // Rows 1..=M.
+    let mut t = tb;
+    for &ai in a {
+        let mut s = cc[0];
+        t += ctx.h;
+        let mut c = t;
+        cc[0] = c;
+        // The all-deletes border path ends with a delete.
+        dd[0] = c;
+        let mut e = t + ctx.g;
+        for j in 1..=n {
+            e = (e.min(c + ctx.g)) + ctx.h; // best ending in insert
+            dd[j] = (dd[j].min(cc[j] + ctx.g)) + ctx.h; // best ending in delete
+            c = dd[j].min(e).min(s + ctx.w(ai, b[j - 1]));
+            s = cc[j];
+            cc[j] = c;
+        }
+    }
+    (cc, dd)
+}
+
+/// Backward pass: `RR[j]` = min cost of converting `a` into `b[j..]`,
+/// `SS[j]` constrained to *begin* with a delete; the last delete run
+/// touching the bottom border opens at `te`.
+fn backward_pass(ctx: &Ctx, a: &[u8], b: &[u8], te: i32) -> (Vec<i32>, Vec<i32>) {
+    let ra: Vec<u8> = a.iter().rev().copied().collect();
+    let rb: Vec<u8> = b.iter().rev().copied().collect();
+    let (cc_r, dd_r) = forward_pass(ctx, &ra, &rb, te);
+    let n = b.len();
+    let rr = (0..=n).map(|j| cc_r[n - j]).collect();
+    let ss = (0..=n).map(|j| dd_r[n - j]).collect();
+    (rr, ss)
+}
+
+#[allow(clippy::needless_range_loop)] // index math mirrors the published pseudocode
+fn diff(ctx: &Ctx, a: &[u8], b: &[u8], tb: i32, te: i32, ops: &mut Vec<AlignOp>) {
+    let (m, n) = (a.len(), b.len());
+    if n == 0 {
+        ops.extend(std::iter::repeat_n(AlignOp::Delete, m));
+        return;
+    }
+    if m == 0 {
+        ops.extend(std::iter::repeat_n(AlignOp::Insert, n));
+        return;
+    }
+    if m == 1 {
+        // Option 1: delete a[0] and insert all of b; the delete merges with
+        // whichever boundary is cheaper and must sit adjacent to it.
+        let delete_cost = tb.min(te) + ctx.h + ctx.ins(n);
+        // Option 2: align a[0] with b[j], inserts around it.
+        let mut best_j = 0usize;
+        let mut best_cost = INF;
+        for j in 0..n {
+            let cost = ctx.ins(j) + ctx.w(a[0], b[j]) + ctx.ins(n - 1 - j);
+            if cost < best_cost {
+                best_cost = cost;
+                best_j = j;
+            }
+        }
+        if delete_cost < best_cost {
+            if tb <= te {
+                ops.push(AlignOp::Delete);
+                ops.extend(std::iter::repeat_n(AlignOp::Insert, n));
+            } else {
+                ops.extend(std::iter::repeat_n(AlignOp::Insert, n));
+                ops.push(AlignOp::Delete);
+            }
+        } else {
+            ops.extend(std::iter::repeat_n(AlignOp::Insert, best_j));
+            ops.push(if a[0] == b[best_j] {
+                AlignOp::Match
+            } else {
+                AlignOp::Mismatch
+            });
+            ops.extend(std::iter::repeat_n(AlignOp::Insert, n - 1 - best_j));
+        }
+        return;
+    }
+
+    let imid = m / 2;
+    let (cc, dd) = forward_pass(ctx, &a[..imid], b, tb);
+    let (rr, ss) = backward_pass(ctx, &a[imid..], b, te);
+
+    let mut best = (INF, 0usize, false); // (cost, j, is_type2)
+    for j in 0..=n {
+        let type1 = cc[j].saturating_add(rr[j]);
+        let type2 = dd[j].saturating_add(ss[j]) - ctx.g;
+        if type1 < best.0 {
+            best = (type1, j, false);
+        }
+        if type2 < best.0 {
+            best = (type2, j, true);
+        }
+    }
+    let (_, jmid, type2) = best;
+
+    if type2 {
+        // The split row is inside a delete run covering a[imid-1], a[imid]:
+        // both halves see a zero open cost at the shared boundary.
+        diff(ctx, &a[..imid - 1], &b[..jmid], tb, 0, ops);
+        ops.push(AlignOp::Delete);
+        ops.push(AlignOp::Delete);
+        diff(ctx, &a[imid + 1..], &b[jmid..], 0, te, ops);
+    } else {
+        diff(ctx, &a[..imid], &b[..jmid], tb, ctx.g, ops);
+        diff(ctx, &a[imid..], &b[jmid..], ctx.g, te, ops);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nw::nw_affine_align;
+    use crate::scoring::{GapModel, SubstMatrix};
+    use rand::{RngExt, SeedableRng};
+    use swhybrid_seq::Alphabet;
+
+    fn blosum(open: i32, extend: i32) -> Scoring {
+        Scoring {
+            matrix: SubstMatrix::blosum62(),
+            gap: GapModel::Affine { open, extend },
+        }
+    }
+
+    #[test]
+    fn matches_quadratic_nw_affine_on_random_pairs() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(401);
+        for round in 0..120 {
+            let open = rng.random_range(0..14);
+            let extend = rng.random_range(1..5);
+            let scoring = blosum(open, extend);
+            let sl = rng.random_range(0..45);
+            let tl = rng.random_range(0..45);
+            let s: Vec<u8> = (0..sl).map(|_| rng.random_range(0..20u8)).collect();
+            let t: Vec<u8> = (0..tl).map(|_| rng.random_range(0..20u8)).collect();
+            let mm = myers_miller_global(&s, &t, &scoring);
+            let reference = nw_affine_align(&s, &t, &scoring);
+            assert_eq!(
+                mm.score, reference.score,
+                "round {round}: open {open} ext {extend} sl={sl} tl={tl}"
+            );
+            assert_eq!(mm.rescore(&s, &t, &scoring), mm.score);
+            assert_eq!(mm.s_consumed(), s.len());
+            assert_eq!(mm.t_consumed(), t.len());
+        }
+    }
+
+    #[test]
+    fn long_gap_straddles_the_split() {
+        // A 30-residue deletion spans many recursion boundaries: the type-2
+        // handling must charge the open exactly once.
+        let scoring = blosum(12, 1);
+        let core = Alphabet::Protein.encode(b"MKVLAWCDEFGHIKLMNPQRST").unwrap();
+        let mut s = core.clone();
+        s.extend(std::iter::repeat_n(7u8, 30)); // 30 glycines inserted
+        s.extend(core.iter().copied());
+        let mut t = core.clone();
+        t.extend(core.iter().copied());
+        let mm = myers_miller_global(&s, &t, &scoring);
+        assert_eq!(mm.score, nw_affine_align(&s, &t, &scoring).score);
+        assert!(mm.cigar().contains("30D"), "cigar {}", mm.cigar());
+    }
+
+    #[test]
+    fn identical_sequences_align_diagonally() {
+        let s = Alphabet::Protein.encode(b"MKVLAWCDEFGHIKLMNPQR").unwrap();
+        let mm = myers_miller_global(&s, &s, &blosum(10, 2));
+        assert_eq!(mm.cigar(), format!("{}=", s.len()));
+    }
+
+    #[test]
+    fn empty_cases() {
+        let scoring = blosum(6, 2);
+        let s = Alphabet::Protein.encode(b"MKV").unwrap();
+        let e: Vec<u8> = vec![];
+        assert_eq!(myers_miller_global(&s, &e, &scoring).cigar(), "3D");
+        assert_eq!(myers_miller_global(&e, &s, &scoring).cigar(), "3I");
+        assert!(myers_miller_global(&e, &e, &scoring).is_empty());
+    }
+
+    #[test]
+    fn single_residue_each_side() {
+        let scoring = blosum(10, 2);
+        for (a, b) in [(b"W", b"W"), (b"W", b"A")] {
+            let s = Alphabet::Protein.encode(a).unwrap();
+            let t = Alphabet::Protein.encode(b).unwrap();
+            let mm = myers_miller_global(&s, &t, &scoring);
+            assert_eq!(mm.score, nw_affine_align(&s, &t, &scoring).score);
+        }
+    }
+}

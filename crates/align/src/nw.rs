@@ -1,0 +1,377 @@
+//! Needleman-Wunsch global alignment.
+//!
+//! The paper's Fig. 1 shows a *global* alignment and its score; this module
+//! provides the algorithm behind that figure (linear gaps, full matrix with
+//! traceback) plus a linear-space score-only variant used by
+//! [`crate::hirschberg`].
+
+use crate::alignment::{AlignOp, Alignment};
+use crate::scoring::{GapModel, Scoring};
+
+fn linear_penalty(scoring: &Scoring) -> i32 {
+    match scoring.gap {
+        GapModel::Linear { penalty } => penalty,
+        GapModel::Affine { .. } => {
+            panic!("nw implements linear gaps; affine global alignment is out of scope")
+        }
+    }
+}
+
+/// Global alignment with linear gaps: full matrix + traceback.
+pub fn nw_align(s: &[u8], t: &[u8], scoring: &Scoring) -> Alignment {
+    let g = linear_penalty(scoring);
+    let (m, n) = (s.len(), t.len());
+    let cols = n + 1;
+    let mut h = vec![0i32; (m + 1) * cols];
+    for (j, cell) in h.iter_mut().enumerate().take(n + 1) {
+        *cell = -(g * j as i32);
+    }
+    for i in 1..=m {
+        h[i * cols] = -(g * i as i32);
+        let row = scoring.matrix.row(s[i - 1]);
+        for j in 1..=n {
+            let diag = h[(i - 1) * cols + j - 1] + row[t[j - 1] as usize] as i32;
+            let up = h[(i - 1) * cols + j] - g;
+            let left = h[i * cols + j - 1] - g;
+            h[i * cols + j] = diag.max(up).max(left);
+        }
+    }
+
+    // Traceback from (m, n) to (0, 0), re-deriving the argmax.
+    let mut ops = Vec::with_capacity(m + n);
+    let (mut i, mut j) = (m, n);
+    while i > 0 || j > 0 {
+        let cur = h[i * cols + j];
+        if i > 0
+            && j > 0
+            && cur == h[(i - 1) * cols + j - 1] + scoring.sub(s[i - 1], t[j - 1])
+        {
+            ops.push(if s[i - 1] == t[j - 1] {
+                AlignOp::Match
+            } else {
+                AlignOp::Mismatch
+            });
+            i -= 1;
+            j -= 1;
+        } else if i > 0 && cur == h[(i - 1) * cols + j] - g {
+            ops.push(AlignOp::Delete);
+            i -= 1;
+        } else {
+            debug_assert!(j > 0 && cur == h[i * cols + j - 1] - g);
+            ops.push(AlignOp::Insert);
+            j -= 1;
+        }
+    }
+    ops.reverse();
+    Alignment {
+        score: h[m * cols + n],
+        s_range: (0, m),
+        t_range: (0, n),
+        ops,
+    }
+}
+
+/// Global alignment with **affine** gaps (Gotoh's recurrence applied
+/// globally): full H/E/F matrices + traceback.
+pub fn nw_affine_align(s: &[u8], t: &[u8], scoring: &Scoring) -> Alignment {
+    let (open, extend) = crate::gotoh::gap_params(scoring.gap);
+    let goe = open + extend;
+    let (m, n) = (s.len(), t.len());
+    let cols = n + 1;
+    const NEG_INF: i32 = i32::MIN / 4;
+    let mut h = vec![NEG_INF; (m + 1) * cols];
+    let mut e = vec![NEG_INF; (m + 1) * cols];
+    let mut f = vec![NEG_INF; (m + 1) * cols];
+    h[0] = 0;
+    for j in 1..=n {
+        e[j] = -(open + extend * j as i32);
+        h[j] = e[j];
+    }
+    for i in 1..=m {
+        f[i * cols] = -(open + extend * i as i32);
+        h[i * cols] = f[i * cols];
+        let row = scoring.matrix.row(s[i - 1]);
+        for j in 1..=n {
+            let idx = i * cols + j;
+            e[idx] = (h[idx - 1] - goe).max(e[idx - 1] - extend);
+            f[idx] = (h[idx - cols] - goe).max(f[idx - cols] - extend);
+            let diag = h[idx - cols - 1] + row[t[j - 1] as usize] as i32;
+            h[idx] = diag.max(e[idx]).max(f[idx]);
+        }
+    }
+
+    // Traceback with the current matrix as part of the state.
+    #[derive(PartialEq)]
+    enum State {
+        InH,
+        InE,
+        InF,
+    }
+    let mut ops = Vec::with_capacity(m + n);
+    let (mut i, mut j) = (m, n);
+    let mut state = State::InH;
+    while i > 0 || j > 0 {
+        let idx = i * cols + j;
+        match state {
+            State::InH => {
+                if i > 0
+                    && j > 0
+                    && h[idx] == h[idx - cols - 1] + scoring.sub(s[i - 1], t[j - 1])
+                {
+                    ops.push(if s[i - 1] == t[j - 1] {
+                        AlignOp::Match
+                    } else {
+                        AlignOp::Mismatch
+                    });
+                    i -= 1;
+                    j -= 1;
+                } else if i > 0 && h[idx] == f[idx] {
+                    state = State::InF;
+                } else {
+                    debug_assert!(j > 0 && h[idx] == e[idx]);
+                    state = State::InE;
+                }
+            }
+            State::InE => {
+                ops.push(AlignOp::Insert);
+                let opened = e[idx] == h[idx - 1] - goe;
+                j -= 1;
+                if opened {
+                    state = State::InH;
+                }
+            }
+            State::InF => {
+                ops.push(AlignOp::Delete);
+                let opened = f[idx] == h[idx - cols] - goe;
+                i -= 1;
+                if opened {
+                    state = State::InH;
+                }
+            }
+        }
+    }
+    ops.reverse();
+    Alignment {
+        score: h[m * cols + n],
+        s_range: (0, m),
+        t_range: (0, n),
+        ops,
+    }
+}
+
+/// Global affine score only.
+pub fn nw_affine_score(s: &[u8], t: &[u8], scoring: &Scoring) -> i32 {
+    nw_affine_align(s, t, scoring).score
+}
+
+/// Global alignment score only.
+pub fn nw_score(s: &[u8], t: &[u8], scoring: &Scoring) -> i32 {
+    *nw_last_row(s, t, scoring).last().expect("row is non-empty")
+}
+
+/// The last DP row of a global alignment of `s` against every prefix of
+/// `t` — the Hirschberg building block. `O(|t|)` space.
+pub fn nw_last_row(s: &[u8], t: &[u8], scoring: &Scoring) -> Vec<i32> {
+    let g = linear_penalty(scoring);
+    let n = t.len();
+    let mut row: Vec<i32> = (0..=n as i32).map(|j| -(g * j)).collect();
+    for &si in s {
+        let matrix_row = scoring.matrix.row(si);
+        let mut diag = row[0];
+        row[0] -= g;
+        for j in 1..=n {
+            let d = diag + matrix_row[t[j - 1] as usize] as i32;
+            let up = row[j] - g;
+            let left = row[j - 1] - g;
+            diag = row[j];
+            row[j] = d.max(up).max(left);
+        }
+    }
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scoring::SubstMatrix;
+    use rand::{RngExt, SeedableRng};
+    use swhybrid_seq::Alphabet;
+
+    fn dna(s: &str) -> Vec<u8> {
+        Alphabet::Dna.encode(s.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn paper_fig1_example() {
+        // Fig. 1: global alignment of two DNA sequences with ma=+1, mi=-1,
+        // g=-2 scoring 4:
+        //   A C T T G T C C G
+        //   A T - T G T C A G
+        // 7 matches (A,T,T,G,T,C,G), 1 mismatch (C/A), 1 gap:
+        // 7 - 1 - 2 = 4.
+        let s = dna("ACTTGTCCG");
+        let t = dna("ATTGTCAG");
+        let a = nw_align(&s, &t, &Scoring::paper_dna());
+        assert_eq!(a.score, 4);
+        assert_eq!(a.rescore(&s, &t, &Scoring::paper_dna()), 4);
+        assert_eq!(a.s_consumed(), 9);
+        assert_eq!(a.t_consumed(), 8);
+    }
+
+    #[test]
+    fn identical_sequences() {
+        let s = dna("ACGTACGT");
+        let a = nw_align(&s, &s, &Scoring::paper_dna());
+        assert_eq!(a.score, 8);
+        assert_eq!(a.cigar(), "8=");
+    }
+
+    #[test]
+    fn empty_vs_nonempty_is_all_gaps() {
+        let s = dna("ACGT");
+        let e: Vec<u8> = vec![];
+        let a = nw_align(&s, &e, &Scoring::paper_dna());
+        assert_eq!(a.score, -8);
+        assert_eq!(a.cigar(), "4D");
+        let b = nw_align(&e, &s, &Scoring::paper_dna());
+        assert_eq!(b.score, -8);
+        assert_eq!(b.cigar(), "4I");
+        let c = nw_align(&e, &e, &Scoring::paper_dna());
+        assert_eq!(c.score, 0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn global_score_at_most_local_score() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let scoring = Scoring {
+            matrix: SubstMatrix::blosum62(),
+            gap: GapModel::Linear { penalty: 3 },
+        };
+        for _ in 0..20 {
+            let s: Vec<u8> = (0..30).map(|_| rng.random_range(0..20u8)).collect();
+            let t: Vec<u8> = (0..30).map(|_| rng.random_range(0..20u8)).collect();
+            assert!(nw_score(&s, &t, &scoring) <= crate::sw::sw_score(&s, &t, &scoring));
+        }
+    }
+
+    #[test]
+    fn last_row_matches_full_alignment_score() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let scoring = Scoring::paper_dna();
+        for _ in 0..20 {
+            let sl = rng.random_range(0..25);
+            let tl = rng.random_range(0..25);
+            let s: Vec<u8> = (0..sl).map(|_| rng.random_range(0..4u8)).collect();
+            let t: Vec<u8> = (0..tl).map(|_| rng.random_range(0..4u8)).collect();
+            let row = nw_last_row(&s, &t, &scoring);
+            assert_eq!(row[t.len()], nw_align(&s, &t, &scoring).score);
+        }
+    }
+
+    #[test]
+    fn traceback_rescore_agrees() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(13);
+        let scoring = Scoring {
+            matrix: SubstMatrix::blosum62(),
+            gap: GapModel::Linear { penalty: 4 },
+        };
+        for _ in 0..30 {
+            let sl = rng.random_range(1..40);
+            let tl = rng.random_range(1..40);
+            let s: Vec<u8> = (0..sl).map(|_| rng.random_range(0..20u8)).collect();
+            let t: Vec<u8> = (0..tl).map(|_| rng.random_range(0..20u8)).collect();
+            let a = nw_align(&s, &t, &scoring);
+            assert_eq!(a.rescore(&s, &t, &scoring), a.score);
+        }
+    }
+
+    use crate::scoring::GapModel;
+
+    fn blosum_affine(open: i32, extend: i32) -> Scoring {
+        Scoring {
+            matrix: SubstMatrix::blosum62(),
+            gap: GapModel::Affine { open, extend },
+        }
+    }
+
+    #[test]
+    fn nw_affine_matches_linear_when_open_is_zero() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(19);
+        for _ in 0..25 {
+            let sl = rng.random_range(0..35);
+            let tl = rng.random_range(0..35);
+            let s: Vec<u8> = (0..sl).map(|_| rng.random_range(0..20u8)).collect();
+            let t: Vec<u8> = (0..tl).map(|_| rng.random_range(0..20u8)).collect();
+            let affine = blosum_affine(0, 3);
+            let linear = Scoring {
+                matrix: SubstMatrix::blosum62(),
+                gap: GapModel::Linear { penalty: 3 },
+            };
+            assert_eq!(nw_affine_score(&s, &t, &affine), nw_score(&s, &t, &linear));
+        }
+    }
+
+    #[test]
+    fn nw_affine_traceback_rescores() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(29);
+        let scoring = blosum_affine(10, 2);
+        for _ in 0..30 {
+            let sl = rng.random_range(0..40);
+            let tl = rng.random_range(0..40);
+            let s: Vec<u8> = (0..sl).map(|_| rng.random_range(0..20u8)).collect();
+            let t: Vec<u8> = (0..tl).map(|_| rng.random_range(0..20u8)).collect();
+            let a = nw_affine_align(&s, &t, &scoring);
+            assert_eq!(a.rescore(&s, &t, &scoring), a.score);
+            assert_eq!(a.s_consumed(), s.len());
+            assert_eq!(a.t_consumed(), t.len());
+        }
+    }
+
+    #[test]
+    fn nw_affine_prefers_one_block_gap() {
+        let s = Alphabet::Protein.encode(b"MKVLAWCDEF").unwrap();
+        let t = Alphabet::Protein.encode(b"MKVLCDEF").unwrap();
+        let a = nw_affine_align(&s, &t, &blosum_affine(10, 1));
+        assert!(a.cigar().contains("2D"), "cigar {}", a.cigar());
+    }
+
+    #[test]
+    fn nw_affine_global_at_most_local() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(31);
+        let scoring = blosum_affine(8, 2);
+        for _ in 0..20 {
+            let s: Vec<u8> = (0..30).map(|_| rng.random_range(0..20u8)).collect();
+            let t: Vec<u8> = (0..30).map(|_| rng.random_range(0..20u8)).collect();
+            assert!(
+                nw_affine_score(&s, &t, &scoring)
+                    <= crate::gotoh::gotoh_score(&s, &t, &scoring)
+            );
+        }
+    }
+
+    #[test]
+    fn nw_affine_empty_cases() {
+        let scoring = blosum_affine(5, 1);
+        let s = Alphabet::Protein.encode(b"MKV").unwrap();
+        let e: Vec<u8> = vec![];
+        let a = nw_affine_align(&s, &e, &scoring);
+        assert_eq!(a.score, -(5 + 3));
+        assert_eq!(a.cigar(), "3D");
+        let b = nw_affine_align(&e, &s, &scoring);
+        assert_eq!(b.score, -(5 + 3));
+        assert_eq!(b.cigar(), "3I");
+        assert_eq!(nw_affine_align(&e, &e, &scoring).score, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "linear gaps")]
+    fn affine_rejected() {
+        let s = dna("AC");
+        let scoring = Scoring {
+            matrix: SubstMatrix::match_mismatch(Alphabet::Dna, 1, -1),
+            gap: GapModel::Affine { open: 2, extend: 1 },
+        };
+        nw_align(&s, &s, &scoring);
+    }
+}

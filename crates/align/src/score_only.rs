@@ -1,0 +1,203 @@
+//! Linear-space, score-only Smith-Waterman kernels.
+//!
+//! A database search does not need alignments for every subject — only the
+//! best score (and, for later alignment recovery, where it ends). These
+//! kernels keep a single DP row, so memory is `O(n)` regardless of query
+//! length. They are also the scalar reference implementations the striped
+//! SIMD kernels in `swhybrid-simd` are validated against.
+
+use crate::scoring::{GapModel, Scoring};
+
+/// Result of a score-only scan: the optimal local score and the cell where
+/// it is achieved (1-based DP coordinates; `(0, 0)` when the score is 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScoreHit {
+    /// Optimal local alignment score.
+    pub score: i32,
+    /// Row (s index + 1) of the best cell.
+    pub s_end: usize,
+    /// Column (t index + 1) of the best cell.
+    pub t_end: usize,
+}
+
+/// Linear-gap score-only kernel (Eq. 1 with one DP row).
+pub fn sw_score_linear(s: &[u8], t: &[u8], scoring: &Scoring) -> ScoreHit {
+    let g = match scoring.gap {
+        GapModel::Linear { penalty } => penalty,
+        GapModel::Affine { .. } => panic!("use sw_score_affine for affine gaps"),
+    };
+    let n = t.len();
+    let mut row = vec![0i32; n + 1];
+    let mut best = ScoreHit {
+        score: 0,
+        s_end: 0,
+        t_end: 0,
+    };
+    for (i, &si) in s.iter().enumerate() {
+        let matrix_row = scoring.matrix.row(si);
+        let mut diag = 0i32; // H[i-1][j-1]
+        for j in 1..=n {
+            let up = row[j] - g;
+            let left = row[j - 1] - g;
+            let d = diag + matrix_row[t[j - 1] as usize] as i32;
+            diag = row[j];
+            let mut v = d.max(up).max(left);
+            if v < 0 {
+                v = 0;
+            }
+            row[j] = v;
+            if v > best.score {
+                best = ScoreHit {
+                    score: v,
+                    s_end: i + 1,
+                    t_end: j,
+                };
+            }
+        }
+    }
+    best
+}
+
+/// Affine-gap (Gotoh) score-only kernel with two DP rows (`H` and `E`) and a
+/// running `F` scalar.
+pub fn sw_score_affine(s: &[u8], t: &[u8], scoring: &Scoring) -> ScoreHit {
+    let (open, extend) = crate::gotoh::gap_params(scoring.gap);
+    let goe = open + extend;
+    let n = t.len();
+    const NEG_INF: i32 = i32::MIN / 4;
+    let mut h = vec![0i32; n + 1];
+    let mut e = vec![NEG_INF; n + 1];
+    let mut best = ScoreHit {
+        score: 0,
+        s_end: 0,
+        t_end: 0,
+    };
+    for (i, &si) in s.iter().enumerate() {
+        let matrix_row = scoring.matrix.row(si);
+        let mut diag = 0i32;
+        let mut f = NEG_INF;
+        for j in 1..=n {
+            e[j] = (h[j] - goe).max(e[j] - extend);
+            f = (h[j - 1] - goe).max(f - extend);
+            let d = diag + matrix_row[t[j - 1] as usize] as i32;
+            diag = h[j];
+            let mut v = d.max(e[j]).max(f).max(0);
+            if v < 0 {
+                v = 0;
+            }
+            h[j] = v;
+            if v > best.score {
+                best = ScoreHit {
+                    score: v,
+                    s_end: i + 1,
+                    t_end: j,
+                };
+            }
+        }
+    }
+    best
+}
+
+/// Dispatch on the gap model.
+pub fn sw_score(s: &[u8], t: &[u8], scoring: &Scoring) -> ScoreHit {
+    match scoring.gap {
+        GapModel::Linear { .. } => sw_score_linear(s, t, scoring),
+        GapModel::Affine { .. } => sw_score_affine(s, t, scoring),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gotoh;
+    use crate::scoring::{GapModel, SubstMatrix};
+    use crate::sw;
+    use rand::SeedableRng;
+    use swhybrid_seq::Alphabet;
+
+    fn blosum(gap: GapModel) -> Scoring {
+        Scoring {
+            matrix: SubstMatrix::blosum62(),
+            gap,
+        }
+    }
+
+    fn random_pair(rng: &mut impl rand::Rng, max: usize) -> (Vec<u8>, Vec<u8>) {
+        use rand::RngExt as _;
+        let sl = rng.random_range(1..max);
+        let tl = rng.random_range(1..max);
+        (
+            (0..sl).map(|_| rng.random_range(0..20u8)).collect(),
+            (0..tl).map(|_| rng.random_range(0..20u8)).collect(),
+        )
+    }
+
+    #[test]
+    fn linear_matches_full_matrix_on_random_pairs() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(31);
+        let scoring = blosum(GapModel::Linear { penalty: 3 });
+        for _ in 0..50 {
+            let (s, t) = random_pair(&mut rng, 70);
+            let full = sw::SwMatrix::build(&s, &t, &scoring);
+            let hit = sw_score_linear(&s, &t, &scoring);
+            assert_eq!(hit.score, full.best_score());
+        }
+    }
+
+    #[test]
+    fn affine_matches_gotoh_on_random_pairs() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(37);
+        let scoring = blosum(GapModel::Affine { open: 10, extend: 2 });
+        for _ in 0..50 {
+            let (s, t) = random_pair(&mut rng, 70);
+            let hit = sw_score_affine(&s, &t, &scoring);
+            assert_eq!(hit.score, gotoh::gotoh_score(&s, &t, &scoring));
+        }
+    }
+
+    #[test]
+    fn best_cell_matches_full_matrix() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(41);
+        let scoring = blosum(GapModel::Linear { penalty: 3 });
+        for _ in 0..20 {
+            let (s, t) = random_pair(&mut rng, 40);
+            let full = sw::SwMatrix::build(&s, &t, &scoring);
+            let hit = sw_score_linear(&s, &t, &scoring);
+            // The full matrix records the first-encountered maximum in
+            // row-major order; so does the row kernel.
+            assert_eq!((hit.s_end, hit.t_end), full.best_cell());
+        }
+    }
+
+    #[test]
+    fn dispatch_selects_kernel() {
+        let s = Alphabet::Protein.encode(b"MKVLAW").unwrap();
+        let t = Alphabet::Protein.encode(b"MKVAW").unwrap();
+        let lin = blosum(GapModel::Linear { penalty: 3 });
+        let aff = blosum(GapModel::Affine { open: 10, extend: 2 });
+        assert_eq!(sw_score(&s, &t, &lin).score, sw_score_linear(&s, &t, &lin).score);
+        assert_eq!(sw_score(&s, &t, &aff).score, sw_score_affine(&s, &t, &aff).score);
+    }
+
+    #[test]
+    fn empty_inputs_score_zero() {
+        let s = Alphabet::Protein.encode(b"MKV").unwrap();
+        let e: Vec<u8> = vec![];
+        for scoring in [
+            blosum(GapModel::Linear { penalty: 2 }),
+            blosum(GapModel::Affine { open: 5, extend: 1 }),
+        ] {
+            let hit = sw_score(&s, &e, &scoring);
+            assert_eq!(hit.score, 0);
+            assert_eq!((hit.s_end, hit.t_end), (0, 0));
+            assert_eq!(sw_score(&e, &e, &scoring).score, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "affine")]
+    fn linear_kernel_rejects_affine_model() {
+        let s = Alphabet::Protein.encode(b"MK").unwrap();
+        sw_score_linear(&s, &s, &blosum(GapModel::Affine { open: 5, extend: 1 }));
+    }
+}

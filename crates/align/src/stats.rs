@@ -1,0 +1,78 @@
+//! Cell-count and GCUPS helpers.
+//!
+//! The paper's performance metric is **GCUPS** — Billions (Giga) of DP Cell
+//! Updates Per Second. Comparing a query of `m` residues against a subject
+//! of `n` residues updates `m × n` cells; a query against a whole database
+//! updates `m × total_residues` cells.
+
+/// Cells updated aligning a query of `query_len` residues against a subject
+/// of `subject_len` residues.
+#[inline]
+pub fn cells(query_len: usize, subject_len: usize) -> u64 {
+    query_len as u64 * subject_len as u64
+}
+
+/// Cells updated comparing a query against a whole database.
+#[inline]
+pub fn cells_vs_db(query_len: usize, db_residues: u64) -> u64 {
+    query_len as u64 * db_residues
+}
+
+/// GCUPS for `cells` updated in `seconds` (0.0 when `seconds == 0`).
+#[inline]
+pub fn gcups(cells: u64, seconds: f64) -> f64 {
+    if seconds <= 0.0 {
+        0.0
+    } else {
+        cells as f64 / seconds / 1e9
+    }
+}
+
+/// Seconds needed to update `cells` at a sustained `gcups` rate.
+#[inline]
+pub fn seconds_for(cells: u64, gcups: f64) -> f64 {
+    assert!(gcups > 0.0, "rate must be positive");
+    cells as f64 / (gcups * 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_products() {
+        assert_eq!(cells(100, 200), 20_000);
+        assert_eq!(cells(0, 200), 0);
+        assert_eq!(cells_vs_db(5000, 190_814_275), 5000 * 190_814_275);
+    }
+
+    #[test]
+    fn gcups_round_trip() {
+        let c = 2_700_000_000u64; // 2.7 Gcells
+        let secs = 1.0;
+        assert!((gcups(c, secs) - 2.7).abs() < 1e-12);
+        assert!((seconds_for(c, 2.7) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gcups_zero_time_is_zero() {
+        assert_eq!(gcups(100, 0.0), 0.0);
+        assert_eq!(gcups(100, -1.0), 0.0);
+    }
+
+    #[test]
+    fn paper_headline_magnitudes() {
+        // 40 queries (~102k residues) × SwissProt (~190.8M residues)
+        // ≈ 1.95e13 cells; at 2.7 GCUPS that is ~7,200 s (the paper's
+        // "7,190 seconds on one SSE core" headline).
+        let c = cells_vs_db(102_000, 190_814_275);
+        let secs = seconds_for(c, 2.7);
+        assert!((7000.0..7500.0).contains(&secs), "secs = {secs}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn seconds_for_rejects_zero_rate() {
+        seconds_for(100, 0.0);
+    }
+}

@@ -1,0 +1,353 @@
+//! Classic quadratic-space Smith-Waterman with linear gaps (paper §II-A).
+//!
+//! Phase 1 builds the similarity matrix `H` of Eq. 1:
+//!
+//! ```text
+//! H[i][j] = max( H[i-1][j-1] + sub(s[i], t[j]),
+//!                H[i][j-1]   - g,
+//!                H[i-1][j]   - g,
+//!                0 )
+//! ```
+//!
+//! Each cell also records which predecessor produced its value; phase 2
+//! starts from the highest cell and follows those arrows until a zero is
+//! reached (Fig. 2), yielding the optimal local alignment.
+//!
+//! This implementation is intentionally simple and allocation-honest: it is
+//! the *oracle* the linear-space, banded, and SIMD kernels are validated
+//! against, and the engine behind the didactic examples.
+
+use crate::alignment::{AlignOp, Alignment};
+use crate::scoring::{GapModel, Scoring};
+
+/// Traceback direction flags stored per cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// Score was clamped to zero: local alignment starts here.
+    Stop,
+    /// Came from `H[i-1][j-1]` (diagonal arrow: `s[i]` aligned to `t[j]`).
+    Diag,
+    /// Came from `H[i-1][j]` (up arrow: `s[i]` aligned to a gap).
+    Up,
+    /// Came from `H[i][j-1]` (left arrow: gap aligned to `t[j]`).
+    Left,
+}
+
+/// The full similarity matrix, with per-cell traceback directions.
+///
+/// Rows correspond to `s` (0..=m), columns to `t` (0..=n); row 0 and
+/// column 0 are the zero border of Eq. 1.
+pub struct SwMatrix {
+    m: usize,
+    n: usize,
+    h: Vec<i32>,
+    dir: Vec<Dir>,
+    best: (usize, usize),
+}
+
+impl SwMatrix {
+    /// Phase 1: compute the similarity matrix for encoded sequences
+    /// `s` (length m) and `t` (length n).
+    ///
+    /// # Panics
+    /// Panics if the scoring scheme uses affine gaps — use
+    /// [`crate::gotoh`] for those.
+    pub fn build(s: &[u8], t: &[u8], scoring: &Scoring) -> SwMatrix {
+        let g = match scoring.gap {
+            GapModel::Linear { penalty } => penalty,
+            GapModel::Affine { .. } => {
+                panic!("SwMatrix implements Eq. 1 (linear gaps); use gotoh for affine")
+            }
+        };
+        let (m, n) = (s.len(), t.len());
+        let cols = n + 1;
+        let mut h = vec![0i32; (m + 1) * cols];
+        let mut dir = vec![Dir::Stop; (m + 1) * cols];
+        let mut best = (0usize, 0usize);
+        let mut best_score = 0i32;
+
+        for i in 1..=m {
+            let si = s[i - 1];
+            let row = scoring.matrix.row(si);
+            for j in 1..=n {
+                let diag = h[(i - 1) * cols + (j - 1)] + row[t[j - 1] as usize] as i32;
+                let up = h[(i - 1) * cols + j] - g;
+                let left = h[i * cols + (j - 1)] - g;
+                // Tie-break preference diag > up > left matches the common
+                // textbook convention and keeps tracebacks deterministic.
+                let (mut val, mut d) = (diag, Dir::Diag);
+                if up > val {
+                    val = up;
+                    d = Dir::Up;
+                }
+                if left > val {
+                    val = left;
+                    d = Dir::Left;
+                }
+                if val <= 0 {
+                    val = 0;
+                    d = Dir::Stop;
+                }
+                h[i * cols + j] = val;
+                dir[i * cols + j] = d;
+                if h[i * cols + j] > best_score {
+                    best_score = h[i * cols + j];
+                    best = (i, j);
+                }
+            }
+        }
+        SwMatrix { m, n, h, dir, best }
+    }
+
+    /// Dimensions `(m, n)` of the aligned sequences.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.m, self.n)
+    }
+
+    /// Value of `H[i][j]`.
+    #[inline]
+    pub fn h(&self, i: usize, j: usize) -> i32 {
+        self.h[i * (self.n + 1) + j]
+    }
+
+    /// Traceback direction of cell `(i, j)`.
+    #[inline]
+    pub fn dir(&self, i: usize, j: usize) -> Dir {
+        self.dir[i * (self.n + 1) + j]
+    }
+
+    /// Coordinates of the highest-scoring cell.
+    pub fn best_cell(&self) -> (usize, usize) {
+        self.best
+    }
+
+    /// The optimal local alignment score (the "similarity" of §II).
+    pub fn best_score(&self) -> i32 {
+        self.h(self.best.0, self.best.1)
+    }
+
+    /// Phase 2: follow the arrows from the best cell down to a zero cell,
+    /// producing the optimal local alignment.
+    pub fn traceback(&self, s: &[u8], t: &[u8]) -> Alignment {
+        self.traceback_from(self.best, s, t)
+    }
+
+    /// Phase 2 starting from an arbitrary cell (used by tests and by
+    /// suboptimal-alignment exploration).
+    pub fn traceback_from(&self, cell: (usize, usize), s: &[u8], t: &[u8]) -> Alignment {
+        let (mut i, mut j) = cell;
+        let score = self.h(i, j);
+        let mut ops = Vec::new();
+        while self.dir(i, j) != Dir::Stop {
+            match self.dir(i, j) {
+                Dir::Diag => {
+                    ops.push(if s[i - 1] == t[j - 1] {
+                        AlignOp::Match
+                    } else {
+                        AlignOp::Mismatch
+                    });
+                    i -= 1;
+                    j -= 1;
+                }
+                Dir::Up => {
+                    ops.push(AlignOp::Delete);
+                    i -= 1;
+                }
+                Dir::Left => {
+                    ops.push(AlignOp::Insert);
+                    j -= 1;
+                }
+                Dir::Stop => unreachable!(),
+            }
+        }
+        ops.reverse();
+        Alignment {
+            score,
+            s_range: (i, cell.0),
+            t_range: (j, cell.1),
+            ops,
+        }
+    }
+
+    /// Render the matrix with row/column residue headers, in the style of
+    /// the paper's Fig. 2.
+    pub fn render(&self, s_ascii: &[u8], t_ascii: &[u8]) -> String {
+        let mut out = String::new();
+        out.push_str("    *  ");
+        for &c in t_ascii {
+            out.push_str(&format!("{:>3} ", c as char));
+        }
+        out.push('\n');
+        for i in 0..=self.m {
+            let label = if i == 0 { b'*' } else { s_ascii[i - 1] };
+            out.push_str(&format!("{} ", label as char));
+            for j in 0..=self.n {
+                out.push_str(&format!("{:>3} ", self.h(i, j)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// One-shot convenience: score and optimal local alignment (linear gaps).
+///
+/// ```
+/// use swhybrid_align::scoring::Scoring;
+/// use swhybrid_seq::Alphabet;
+///
+/// let s = Alphabet::Dna.encode(b"GCTGAC").unwrap();
+/// let t = Alphabet::Dna.encode(b"GAAGCTA").unwrap();
+/// let alignment = swhybrid_align::sw::sw_align(&s, &t, &Scoring::paper_dna());
+/// assert_eq!(alignment.score, 3); // "GCT" aligns with "GCT"
+/// assert_eq!(alignment.cigar(), "3=");
+/// ```
+pub fn sw_align(s: &[u8], t: &[u8], scoring: &Scoring) -> Alignment {
+    SwMatrix::build(s, t, scoring).traceback(s, t)
+}
+
+/// One-shot convenience: optimal local score only (still quadratic space —
+/// see [`crate::score_only`] for the linear-space version).
+pub fn sw_score(s: &[u8], t: &[u8], scoring: &Scoring) -> i32 {
+    SwMatrix::build(s, t, scoring).best_score()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scoring::SubstMatrix;
+    use swhybrid_seq::Alphabet;
+
+    fn dna(s: &str) -> Vec<u8> {
+        Alphabet::Dna.encode(s.as_bytes()).unwrap()
+    }
+
+    fn prot(s: &str) -> Vec<u8> {
+        Alphabet::Protein.encode(s.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn identical_sequences_score_full_diagonal() {
+        let s = dna("ACGTACGT");
+        let a = sw_align(&s, &s, &Scoring::paper_dna());
+        assert_eq!(a.score, 8);
+        assert_eq!(a.cigar(), "8=");
+        assert_eq!(a.s_range, (0, 8));
+        assert_eq!(a.identity(), 1.0);
+    }
+
+    #[test]
+    fn disjoint_alphabets_score_zero() {
+        let s = dna("AAAA");
+        let t = dna("GGGG");
+        let a = sw_align(&s, &t, &Scoring::paper_dna());
+        assert_eq!(a.score, 0);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn paper_fig2_style_example() {
+        // Same shape as the paper's Fig. 2: short DNA pair, ma=+1 mi=-1 g=-2.
+        // s = GCTGAC (down), t = GAAGCTA (across). Best local alignment is
+        // G C T (s[3..6] would be GAC...) — verified by hand: "GCT" vs "GCT"
+        // appears in t as G C T at positions 4..6, score 3.
+        let s = dna("GCTGAC");
+        let t = dna("GAAGCTA");
+        let m = SwMatrix::build(&s, &t, &Scoring::paper_dna());
+        assert_eq!(m.best_score(), 3);
+        let a = m.traceback(&s, &t);
+        assert_eq!(a.score, 3);
+        assert_eq!(a.cigar(), "3=");
+        assert_eq!(a.s_range, (0, 3)); // "GCT" prefix of s
+        assert_eq!(a.t_range, (3, 6)); // "GCT" inside t
+    }
+
+    #[test]
+    fn local_alignment_ignores_noise_prefix_suffix() {
+        let s = prot("WWWWMKVLAWWWWW");
+        let t = prot("HHMKVLAHH");
+        let scoring = Scoring {
+            matrix: SubstMatrix::blosum62(),
+            gap: crate::scoring::GapModel::Linear { penalty: 10 },
+        };
+        let a = sw_align(&s, &t, &scoring);
+        // MKVLA self-score under BLOSUM62 = 5+5+4+4+4 = 22.
+        assert_eq!(a.score, 22);
+        assert_eq!(a.cigar(), "5=");
+        assert_eq!(&s[a.s_range.0..a.s_range.1], &prot("MKVLA")[..]);
+    }
+
+    #[test]
+    fn gap_is_taken_when_cheaper_than_mismatches() {
+        // s = ACGTTT, t = ACG_TT: deleting one residue beats mismatching.
+        let s = dna("ACGGTT");
+        let t = dna("ACGTT");
+        let a = sw_align(&s, &t, &Scoring::paper_dna());
+        // ACG + G deleted + TT: 5 matches - 2 = 3... vs alignment without
+        // gap: ACG match + GT mismatch etc. DP decides; verify via rescore.
+        assert_eq!(a.rescore(&s, &t, &Scoring::paper_dna()), a.score);
+        assert!(a.score >= 3);
+    }
+
+    #[test]
+    fn traceback_rescore_agrees_on_random_pairs() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+        let scoring = Scoring {
+            matrix: SubstMatrix::blosum62(),
+            gap: crate::scoring::GapModel::Linear { penalty: 3 },
+        };
+        for _ in 0..40 {
+            let sl = rng.random_range(1..60);
+            let tl = rng.random_range(1..60);
+            let s: Vec<u8> = (0..sl).map(|_| rng.random_range(0..20u8)).collect();
+            let t: Vec<u8> = (0..tl).map(|_| rng.random_range(0..20u8)).collect();
+            let a = sw_align(&s, &t, &scoring);
+            assert_eq!(a.rescore(&s, &t, &scoring), a.score);
+            assert!(a.score >= 0);
+        }
+    }
+
+    #[test]
+    fn score_symmetric_under_swap() {
+        let s = prot("MKVLAWCD");
+        let t = prot("MKVAWCD");
+        let scoring = Scoring {
+            matrix: SubstMatrix::blosum62(),
+            gap: crate::scoring::GapModel::Linear { penalty: 4 },
+        };
+        assert_eq!(sw_score(&s, &t, &scoring), sw_score(&t, &s, &scoring));
+    }
+
+    #[test]
+    fn empty_inputs_give_zero() {
+        let s = dna("ACGT");
+        let e: Vec<u8> = vec![];
+        assert_eq!(sw_score(&s, &e, &Scoring::paper_dna()), 0);
+        assert_eq!(sw_score(&e, &e, &Scoring::paper_dna()), 0);
+        let a = sw_align(&e, &s, &Scoring::paper_dna());
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn matrix_borders_are_zero() {
+        let s = dna("ACGT");
+        let t = dna("TGCA");
+        let m = SwMatrix::build(&s, &t, &Scoring::paper_dna());
+        for i in 0..=4 {
+            assert_eq!(m.h(i, 0), 0);
+            assert_eq!(m.h(0, i), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "linear gaps")]
+    fn affine_scoring_rejected() {
+        let s = dna("ACGT");
+        let scoring = Scoring {
+            matrix: SubstMatrix::match_mismatch(Alphabet::Dna, 1, -1),
+            gap: crate::scoring::GapModel::Affine { open: 2, extend: 1 },
+        };
+        SwMatrix::build(&s, &s, &scoring);
+    }
+}

@@ -1,0 +1,155 @@
+//! Microbenchmarks of the SW kernels (real compute, not simulation).
+//!
+//! These validate the substrate the platform model is calibrated on: the
+//! adapted-Farrar striped kernels must beat the scalar DP by a wide margin,
+//! and the SSE intrinsics path must beat the portable path. Throughput is
+//! reported in DP cells (multiply by elements/second to read GCUPS).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::{RngExt, SeedableRng};
+use swhybrid_align::gotoh::{gap_params, gotoh_score};
+use swhybrid_align::score_only::{sw_score_affine, sw_score_linear};
+use swhybrid_align::scoring::{GapModel, Scoring, SubstMatrix};
+use swhybrid_align::sw::sw_score;
+use swhybrid_simd::engine::{EnginePreference, StripedEngine};
+use swhybrid_simd::portable::{sw_striped_portable, Workspace};
+use swhybrid_simd::profile::StripedProfile;
+use swhybrid_simd::sse;
+
+fn random_seq(seed: u64, len: usize) -> Vec<u8> {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    (0..len).map(|_| rng.random_range(0..20u8)).collect()
+}
+
+fn affine() -> Scoring {
+    Scoring {
+        matrix: SubstMatrix::blosum62(),
+        gap: GapModel::Affine { open: 10, extend: 2 },
+    }
+}
+
+fn linear() -> Scoring {
+    Scoring {
+        matrix: SubstMatrix::blosum62(),
+        gap: GapModel::Linear { penalty: 3 },
+    }
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let subject = random_seq(1, 400);
+    let aff = affine();
+    let lin = linear();
+    let (open, ext) = gap_params(aff.gap);
+    let goe = open + ext;
+
+    let mut group = c.benchmark_group("sw_kernels");
+    for qlen in [128usize, 512, 2048] {
+        let query = random_seq(qlen as u64, qlen);
+        let cells = (qlen * subject.len()) as u64;
+        group.throughput(Throughput::Elements(cells));
+
+        group.bench_with_input(BenchmarkId::new("scalar_linear_full", qlen), &qlen, |b, _| {
+            b.iter(|| sw_score(&query, &subject, &lin))
+        });
+        group.bench_with_input(BenchmarkId::new("scalar_linear_row", qlen), &qlen, |b, _| {
+            b.iter(|| sw_score_linear(&query, &subject, &lin))
+        });
+        group.bench_with_input(BenchmarkId::new("scalar_gotoh_full", qlen), &qlen, |b, _| {
+            b.iter(|| gotoh_score(&query, &subject, &aff))
+        });
+        group.bench_with_input(BenchmarkId::new("scalar_affine_row", qlen), &qlen, |b, _| {
+            b.iter(|| sw_score_affine(&query, &subject, &aff))
+        });
+
+        let p8 = StripedProfile::<i8>::build(&query, &aff.matrix);
+        let p16 = StripedProfile::<i16>::build(&query, &aff.matrix);
+        group.bench_with_input(BenchmarkId::new("striped_portable_i8", qlen), &qlen, |b, _| {
+            let mut ws = Workspace::<i8>::new();
+            b.iter(|| sw_striped_portable(&p8, &subject, goe, ext, &mut ws))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("striped_portable_i16", qlen),
+            &qlen,
+            |b, _| {
+                let mut ws = Workspace::<i16>::new();
+                b.iter(|| sw_striped_portable(&p16, &subject, goe, ext, &mut ws))
+            },
+        );
+        if sse::sse41_available() {
+            group.bench_with_input(BenchmarkId::new("striped_sse_i8", qlen), &qlen, |b, _| {
+                b.iter(|| sse::sw_striped_i8(&p8, &subject, goe, ext).unwrap())
+            });
+        }
+        if sse::sse2_available() {
+            group.bench_with_input(BenchmarkId::new("striped_sse_i16", qlen), &qlen, |b, _| {
+                b.iter(|| sse::sw_striped_i16(&p16, &subject, goe, ext).unwrap())
+            });
+        }
+        group.bench_with_input(
+            BenchmarkId::new("engine_fallback_chain", qlen),
+            &qlen,
+            |b, _| {
+                let mut engine = StripedEngine::new(&query, &aff, EnginePreference::Auto);
+                b.iter(|| engine.score(&subject))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_interseq(c: &mut Criterion) {
+    use swhybrid_seq::sequence::EncodedSequence;
+    use swhybrid_simd::interseq::scores_inter_sequence;
+    use swhybrid_simd::search::{DatabaseSearch, SearchConfig};
+
+    let aff = affine();
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+    let subjects: Vec<EncodedSequence> = (0..64)
+        .map(|i| EncodedSequence {
+            id: format!("s{i}"),
+            codes: random_seq(100 + i as u64, 100 + (i * 13) % 500),
+            alphabet: swhybrid_seq::Alphabet::Protein,
+        })
+        .collect();
+    let total: u64 = subjects.iter().map(|s| s.len() as u64).sum();
+    let _ = &mut rng;
+
+    let mut group = c.benchmark_group("interseq_vs_striped");
+    group.sample_size(20);
+    for qlen in [200usize, 1000] {
+        let query = random_seq(qlen as u64 + 1, qlen);
+        group.throughput(Throughput::Elements(qlen as u64 * total));
+        group.bench_with_input(
+            BenchmarkId::new("inter_sequence", qlen),
+            &qlen,
+            |b, _| b.iter(|| scores_inter_sequence(&query, &subjects, &aff)),
+        );
+        group.bench_with_input(BenchmarkId::new("striped_scan", qlen), &qlen, |b, _| {
+            let search = DatabaseSearch::new(
+                &query,
+                &aff,
+                SearchConfig {
+                    top_n: subjects.len(),
+                    ..Default::default()
+                },
+            );
+            b.iter(|| search.run(&subjects))
+        });
+    }
+    group.finish();
+}
+
+fn fast_config() -> Criterion {
+    // One-core CI-friendly sampling; raise for precision work.
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs_f64(1.5))
+        .warm_up_time(std::time::Duration::from_secs_f64(0.5))
+}
+
+criterion_group!{
+    name = benches;
+    config = fast_config();
+    targets = bench_kernels, bench_interseq
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! One Criterion bench per paper table/figure: each runs the deterministic
+//! platform simulation that regenerates that artefact (the printable rows
+//! come from the same functions via `cargo run --bin run_all`). Bench time
+//! here measures the discrete-event engine, and regressions in it flag
+//! scheduling-logic changes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use swhybrid_bench::experiments;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_artifacts");
+    group.sample_size(10);
+    group.bench_function("table2_databases", |b| b.iter(experiments::table2));
+    group.bench_function("table3_sse", |b| b.iter(experiments::table3));
+    group.bench_function("table4_gpu", |b| b.iter(experiments::table4));
+    group.bench_function("table5_hybrid", |b| b.iter(experiments::table5));
+    group.bench_function("fig5_worked_example", |b| b.iter(experiments::fig5));
+    group.bench_function("fig6_adjustment", |b| b.iter(experiments::fig6));
+    group.bench_function("fig7_fig8_nondedicated", |b| b.iter(experiments::fig7_fig8));
+    group.finish();
+
+    let mut ext = c.benchmark_group("ablations_extensions");
+    ext.sample_size(10);
+    ext.bench_function("ablation_order", |b| b.iter(experiments::ablation_order));
+    ext.bench_function("ablation_policies", |b| b.iter(experiments::ablation_policies));
+    ext.bench_function("ablation_omega", |b| b.iter(experiments::ablation_omega));
+    ext.bench_function("ablation_gpu_startup", |b| {
+        b.iter(experiments::ablation_gpu_startup)
+    });
+    ext.bench_function("ext_fpga", |b| b.iter(experiments::ext_fpga));
+    ext.bench_function("ext_membership", |b| b.iter(experiments::ext_membership));
+    ext.finish();
+}
+
+fn fast_config() -> Criterion {
+    // One-core CI-friendly sampling; raise for precision work.
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs_f64(1.5))
+        .warm_up_time(std::time::Duration::from_secs_f64(0.5))
+}
+
+criterion_group!{
+    name = benches;
+    config = fast_config();
+    targets = bench_tables
+}
+criterion_main!(benches);

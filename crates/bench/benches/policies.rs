@@ -1,0 +1,57 @@
+//! Discrete-event-engine throughput under each allocation policy, and the
+//! scheduling cost of the adjustment mechanism itself (events processed per
+//! simulated run as platform size grows).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use swhybrid_bench::{databases, workload};
+use swhybrid_core::platform::PlatformBuilder;
+use swhybrid_core::policy::Policy;
+use swhybrid_seq::synth::QueryOrder;
+
+fn bench_policies(c: &mut Criterion) {
+    let sw = databases().into_iter().last().expect("five databases");
+    let mut group = c.benchmark_group("sim_engine");
+    group.sample_size(20);
+    for (label, policy) in [
+        ("ss", Policy::SelfScheduling),
+        ("pss", Policy::pss_default()),
+        ("fixed", Policy::Fixed),
+        ("wfixed", Policy::WFixed),
+    ] {
+        group.bench_with_input(BenchmarkId::new("policy", label), &policy, |b, &p| {
+            b.iter(|| {
+                PlatformBuilder::new()
+                    .gpus(4)
+                    .sse_cores(4)
+                    .policy(p)
+                    .run(workload(&sw, QueryOrder::Ascending))
+            })
+        });
+    }
+    for pes in [2usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::new("platform_size", pes), &pes, |b, &n| {
+            b.iter(|| {
+                PlatformBuilder::new()
+                    .gpus(n / 2)
+                    .sse_cores(n / 2)
+                    .run(workload(&sw, QueryOrder::Ascending))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fast_config() -> Criterion {
+    // One-core CI-friendly sampling; raise for precision work.
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs_f64(1.5))
+        .warm_up_time(std::time::Duration::from_secs_f64(0.5))
+}
+
+criterion_group!{
+    name = benches;
+    config = fast_config();
+    targets = bench_policies
+}
+criterion_main!(benches);

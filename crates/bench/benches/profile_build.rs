@@ -1,0 +1,39 @@
+//! Striped-profile construction cost (per query, amortised over a whole
+//! database scan — this is the SSE device model's short-query ramp).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::{RngExt, SeedableRng};
+use swhybrid_align::scoring::SubstMatrix;
+use swhybrid_simd::profile::StripedProfile;
+
+fn bench_profile(c: &mut Criterion) {
+    let matrix = SubstMatrix::blosum62();
+    let mut group = c.benchmark_group("profile_build");
+    for qlen in [100usize, 500, 2500, 5000] {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(qlen as u64);
+        let query: Vec<u8> = (0..qlen).map(|_| rng.random_range(0..20u8)).collect();
+        group.throughput(Throughput::Elements(qlen as u64));
+        group.bench_with_input(BenchmarkId::new("i8", qlen), &qlen, |b, _| {
+            b.iter(|| StripedProfile::<i8>::build(&query, &matrix))
+        });
+        group.bench_with_input(BenchmarkId::new("i16", qlen), &qlen, |b, _| {
+            b.iter(|| StripedProfile::<i16>::build(&query, &matrix))
+        });
+    }
+    group.finish();
+}
+
+fn fast_config() -> Criterion {
+    // One-core CI-friendly sampling; raise for precision work.
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs_f64(1.5))
+        .warm_up_time(std::time::Duration::from_secs_f64(0.5))
+}
+
+criterion_group!{
+    name = benches;
+    config = fast_config();
+    targets = bench_profile
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Whole-database scan throughput (real kernels, scaled-down Ensembl Dog).
+//!
+//! Measures what one "SSE core" PE actually sustains on this machine —
+//! i.e. the real-world counterpart of the calibrated 2.7 GCUPS model.
+//! Throughput is in DP cells: elements/second / 1e9 = GCUPS.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use swhybrid_align::scoring::{GapModel, Scoring, SubstMatrix};
+use swhybrid_seq::synth::paper_database;
+use swhybrid_simd::engine::EnginePreference;
+use swhybrid_simd::search::{DatabaseSearch, SearchConfig};
+
+fn bench_scan(c: &mut Criterion) {
+    let scoring = Scoring {
+        matrix: SubstMatrix::blosum62(),
+        gap: GapModel::Affine { open: 10, extend: 2 },
+    };
+    let dog = paper_database("dog").expect("preset exists");
+    let db = dog.generate_scaled(7, 0.01); // ~250 sequences
+    let subjects = db.encode_all().expect("synthetic residues are valid");
+    let total: u64 = subjects.iter().map(|s| s.len() as u64).sum();
+
+    let mut group = c.benchmark_group("db_scan");
+    group.sample_size(10);
+    for qlen in [250usize, 1000] {
+        let mut rng = swhybrid_seq::synth::rng(qlen as u64);
+        let query_ascii = swhybrid_seq::synth::random_protein(&mut rng, qlen);
+        let query = swhybrid_seq::Alphabet::Protein
+            .encode(&query_ascii)
+            .expect("valid synthetic residues");
+        group.throughput(Throughput::Elements(qlen as u64 * total));
+        for (label, pref) in [
+            ("simd", EnginePreference::Simd),
+            ("portable", EnginePreference::Portable),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, qlen),
+                &qlen,
+                |b, _| {
+                    let search = DatabaseSearch::new(
+                        &query,
+                        &scoring,
+                        SearchConfig {
+                            threads: 1,
+                            top_n: 10,
+                            chunk_size: 64,
+                            preference: pref,
+                        },
+                    );
+                    b.iter(|| search.run(&subjects))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn fast_config() -> Criterion {
+    // One-core CI-friendly sampling; raise for precision work.
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs_f64(1.5))
+        .warm_up_time(std::time::Duration::from_secs_f64(0.5))
+}
+
+criterion_group!{
+    name = benches;
+    config = fast_config();
+    targets = bench_scan
+}
+criterion_main!(benches);

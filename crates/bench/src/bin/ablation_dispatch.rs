@@ -1,0 +1,4 @@
+//! Regenerates the ablation_dispatch experiment. See swhybrid_bench::experiments.
+fn main() {
+    swhybrid_bench::experiments::ablation_dispatch().emit();
+}

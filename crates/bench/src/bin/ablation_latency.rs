@@ -1,0 +1,4 @@
+//! Regenerates the ablation_latency experiment. See swhybrid_bench::experiments.
+fn main() {
+    swhybrid_bench::experiments::ablation_latency().emit();
+}

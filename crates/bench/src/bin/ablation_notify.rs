@@ -1,0 +1,4 @@
+//! Regenerates the ablation_notify experiment. See swhybrid_bench::experiments.
+fn main() {
+    swhybrid_bench::experiments::ablation_notify().emit();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's ablation_omega experiment. See swhybrid_bench::experiments.
+fn main() {
+    swhybrid_bench::experiments::ablation_omega().emit();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's ablation_order experiment. See swhybrid_bench::experiments.
+fn main() {
+    swhybrid_bench::experiments::ablation_order().emit();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the ablation_policy_under_load experiment. See swhybrid_bench::experiments.
+fn main() {
+    swhybrid_bench::experiments::ablation_policy_under_load().emit();
+}

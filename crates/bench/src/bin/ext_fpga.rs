@@ -1,0 +1,4 @@
+//! Regenerates the paper's ext_fpga experiment. See swhybrid_bench::experiments.
+fn main() {
+    swhybrid_bench::experiments::ext_fpga().emit();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's ext_membership experiment. See swhybrid_bench::experiments.
+fn main() {
+    swhybrid_bench::experiments::ext_membership().emit();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Fig. 5 worked example (14 s vs 18 s) with Gantt charts.
+fn main() {
+    let (table, gantts) = swhybrid_bench::experiments::fig5();
+    table.emit();
+    println!("{gantts}");
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig6 experiment. See swhybrid_bench::experiments.
+fn main() {
+    swhybrid_bench::experiments::fig6().emit();
+}

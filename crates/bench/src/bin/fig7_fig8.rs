@@ -1,0 +1,6 @@
+//! Regenerates Figs. 7/8: dedicated vs non-dedicated 4-core execution.
+fn main() {
+    let (series, summary) = swhybrid_bench::experiments::fig7_fig8();
+    series.emit();
+    summary.emit();
+}

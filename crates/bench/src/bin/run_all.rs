@@ -1,0 +1,28 @@
+//! Runs every paper experiment in order, printing all tables and saving
+//! their JSON dumps under target/experiments/.
+use swhybrid_bench::experiments as e;
+
+fn main() {
+    e::table2().emit();
+    e::table3().emit();
+    e::table4().emit();
+    e::table5().emit();
+    let (fig5, gantts) = e::fig5();
+    fig5.emit();
+    println!("{gantts}");
+    e::fig6().emit();
+    let (series, summary) = e::fig7_fig8();
+    series.emit();
+    summary.emit();
+    e::ablation_order().emit();
+    e::ablation_policies().emit();
+    e::ablation_omega().emit();
+    e::ablation_gpu_startup().emit();
+    e::ablation_notify().emit();
+    e::ablation_latency().emit();
+    e::ablation_policy_under_load().emit();
+    e::ablation_cudasw().emit();
+    e::ablation_dispatch().emit();
+    e::ext_fpga().emit();
+    e::ext_membership().emit();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table2 experiment. See swhybrid_bench::experiments.
+fn main() {
+    swhybrid_bench::experiments::table2().emit();
+}

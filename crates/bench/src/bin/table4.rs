@@ -1,0 +1,4 @@
+//! Regenerates the paper's table4 experiment. See swhybrid_bench::experiments.
+fn main() {
+    swhybrid_bench::experiments::table4().emit();
+}

@@ -1,0 +1,45 @@
+//! The SW task execution environment for hybrid platforms — the paper's
+//! primary contribution (§IV).
+//!
+//! A master process acquires the query and database files, converts them to
+//! the indexed format, and distributes *very coarse-grained* tasks (one
+//! query × the whole database) to registered slave PEs under a
+//! user-selectable allocation policy. Idle PEs re-execute tasks still in
+//! the `executing` state once the ready queue drains — the **dynamic
+//! workload adjustment mechanism** that prevents a slow node holding one of
+//! the last tasks from stalling the whole application (§IV-A-3, Fig. 5).
+//!
+//! Modules:
+//!
+//! * [`task`] — task states (*ready → executing → finished*) and the pool,
+//! * [`stats`] — per-PE observed-speed statistics (the Ω-window weighted
+//!   mean behind PSS),
+//! * [`policy`] — allocation policies: SS, PSS(Ω), and the related-work
+//!   baselines Fixed (even split) and WFixed (static proportional split),
+//! * [`master`] — the master's state machine (registration, allocation,
+//!   replication, completion, cancellation),
+//! * [`sim`] — a deterministic discrete-event simulator driving the master
+//!   with modelled PEs under virtual time (how the paper-scale platform of
+//!   4 GPUs + 8 SSE cores is reproduced on this machine),
+//! * [`runtime`] — a real threaded master/slave runtime computing genuine
+//!   scores on materialised databases,
+//! * [`trace`] — execution traces: per-PE Gantt segments (Fig. 5) and
+//!   notification series (Figs. 7/8),
+//! * [`membership`] — future-work extension: PEs joining/leaving mid-run,
+//! * [`platform`] — the public facade: build a platform, run a workload.
+
+pub mod master;
+pub mod membership;
+pub mod net;
+pub mod platform;
+pub mod policy;
+pub mod runtime;
+pub mod sim;
+pub mod stats;
+pub mod task;
+pub mod trace;
+
+pub use master::{Assignment, Master, MasterConfig};
+pub use platform::{PlatformBuilder, SimOutcome};
+pub use policy::Policy;
+pub use task::{PeId, TaskId, TaskState};

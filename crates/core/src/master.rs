@@ -1,0 +1,631 @@
+//! The master's state machine (Fig. 4).
+//!
+//! The master waits for slaves to register, converts the input files, and
+//! then serves task requests: under a dynamic policy it pops ready tasks in
+//! file order (batch size from the policy); once the ready queue is empty
+//! the **workload adjustment mechanism** (if enabled) hands an idle PE a
+//! replica of the executing task with the largest estimated remaining work.
+//! The first PE to complete a task wins; the master cancels the other
+//! replicas. Slaves give the master implicit speed information when they
+//! ask for more work and explicit information through periodic progress
+//! notifications.
+//!
+//! This state machine is deliberately free of any notion of *how* time
+//! passes or *how* tasks execute: both the discrete-event simulator
+//! ([`crate::sim`]) and the real threaded runtime ([`crate::runtime`])
+//! drive the same code, which is what makes the simulation a faithful
+//! reproduction of the scheduling behaviour.
+
+use crate::policy::Policy;
+use crate::stats::PeSpeedStats;
+use crate::task::{PeId, TaskId, TaskPool, TaskState};
+use std::collections::HashMap;
+use swhybrid_device::task::TaskSpec;
+
+/// How ready tasks are picked for a requesting PE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Dispatch {
+    /// Query-file order (the paper's behaviour): first ready task first,
+    /// regardless of who asks.
+    #[default]
+    FileOrder,
+    /// Extension: PEs at or above the mean estimated speed take the largest
+    /// ready tasks, slower PEs the smallest — a slow PE can then never
+    /// become the lone straggler on a huge task (see the
+    /// `ablation_dispatch` experiment).
+    SizeAware,
+}
+
+/// Master configuration: the user-selected policy and whether the workload
+/// adjustment mechanism is active.
+#[derive(Debug, Clone, Copy)]
+pub struct MasterConfig {
+    /// Task allocation policy.
+    pub policy: Policy,
+    /// Whether idle PEs replicate executing tasks once the ready queue is
+    /// empty (§IV-A-3).
+    pub adjustment: bool,
+    /// Ready-queue dispatch order.
+    pub dispatch: Dispatch,
+}
+
+impl Default for MasterConfig {
+    fn default() -> Self {
+        MasterConfig {
+            policy: Policy::pss_default(),
+            adjustment: true,
+            dispatch: Dispatch::FileOrder,
+        }
+    }
+}
+
+/// What the master answers to a work request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Assignment {
+    /// Fresh ready tasks, in allocation order.
+    Tasks(Vec<TaskId>),
+    /// Take over a task that was assigned to another PE's batch but has not
+    /// started there yet: the task moves wholesale (no work is lost). The
+    /// `from` PE must drop it from its local queue.
+    Steal {
+        /// The reassigned task.
+        task: TaskId,
+        /// The PE it is taken from.
+        from: PeId,
+    },
+    /// A replica of a task another PE is already *running*; whichever copy
+    /// finishes first wins and the others are cancelled.
+    Replicate(TaskId),
+    /// Nothing for this PE right now (it may be re-polled if tasks are
+    /// released back to ready, e.g. when a PE leaves).
+    Wait,
+    /// Every task is finished.
+    Done,
+}
+
+#[derive(Debug)]
+struct PeInfo {
+    name: String,
+    stats: PeSpeedStats,
+    alive: bool,
+    /// Start times of tasks currently running on this PE (tasks assigned
+    /// but not yet started are not in this map).
+    running: HashMap<TaskId, f64>,
+}
+
+/// The master process.
+#[derive(Debug)]
+pub struct Master {
+    pool: TaskPool,
+    config: MasterConfig,
+    pes: Vec<PeInfo>,
+    /// Remaining up-front quotas for static policies, computed on the
+    /// first request (all PEs must register before that point).
+    quotas: Option<Vec<usize>>,
+}
+
+impl Master {
+    /// Create a master for a workload.
+    pub fn new(specs: Vec<TaskSpec>, config: MasterConfig) -> Master {
+        Master {
+            pool: TaskPool::new(specs),
+            config,
+            pes: Vec::new(),
+            quotas: None,
+        }
+    }
+
+    /// Register a slave PE; `static_gcups` is its theoretical speed (used
+    /// by WFixed and as the PSS prior until observations arrive).
+    pub fn register(&mut self, name: impl Into<String>, static_gcups: f64) -> PeId {
+        assert!(
+            self.quotas.is_none(),
+            "all PEs must register before the first request under a static policy"
+        );
+        let id = self.pes.len();
+        self.pes.push(PeInfo {
+            name: name.into(),
+            stats: PeSpeedStats::new(static_gcups, self.config.policy.omega()),
+            alive: true,
+            running: HashMap::new(),
+        });
+        id
+    }
+
+    /// Name of a PE.
+    pub fn pe_name(&self, pe: PeId) -> &str {
+        &self.pes[pe].name
+    }
+
+    /// Number of registered PEs.
+    pub fn pe_count(&self) -> usize {
+        self.pes.len()
+    }
+
+    /// The task pool (read-only).
+    pub fn pool(&self) -> &TaskPool {
+        &self.pool
+    }
+
+    /// Whether every task has finished.
+    pub fn all_finished(&self) -> bool {
+        self.pool.all_finished()
+    }
+
+    /// Current speed estimates (GCUPS) for every PE.
+    pub fn speed_estimates(&self) -> Vec<f64> {
+        self.pes
+            .iter()
+            .map(|p| p.stats.weighted_mean_gcups())
+            .collect()
+    }
+
+    /// A PE asks for work at time `now`.
+    pub fn request(&mut self, pe: PeId, now: f64) -> Assignment {
+        assert!(self.pes[pe].alive, "dead PE {pe} cannot request work");
+        if self.pool.all_finished() {
+            return Assignment::Done;
+        }
+        let batch = self.batch_for(pe);
+        if batch > 0 && self.pool.ready_count() > 0 {
+            let tasks = match self.config.dispatch {
+                Dispatch::FileOrder => self.pool.take_ready(batch, pe),
+                Dispatch::SizeAware => {
+                    let speeds = self.speed_estimates();
+                    let alive: Vec<f64> = speeds
+                        .iter()
+                        .zip(self.pes.iter())
+                        .filter(|(_, p)| p.alive)
+                        .map(|(&s, _)| s)
+                        .collect();
+                    let mean = alive.iter().sum::<f64>() / alive.len().max(1) as f64;
+                    self.pool.take_ready_by_size(batch, pe, speeds[pe] >= mean)
+                }
+            };
+            if let Some(quotas) = &mut self.quotas {
+                quotas[pe] -= tasks.len().min(quotas[pe]);
+            }
+            return Assignment::Tasks(tasks);
+        }
+        if self.config.adjustment {
+            // Prefer taking over a task that has not started anywhere —
+            // no work is lost — but ONLY when this PE would finish it
+            // before its current holder is even expected to get to it:
+            // moving a big task onto a slow idle PE would *create* the very
+            // straggler the mechanism exists to prevent. When no beneficial
+            // takeover exists, fall back to replication (§IV-A-3), which by
+            // construction can never delay the original execution.
+            if let Some((task, from)) = self.steal_candidate(pe, now) {
+                self.pool.reassign(task, from, pe);
+                return Assignment::Steal { task, from };
+            }
+            if let Some(task) = self.replication_candidate(pe, now) {
+                self.pool.replicate(task, pe);
+                return Assignment::Replicate(task);
+            }
+        }
+        Assignment::Wait
+    }
+
+    /// Estimated cells a PE still has to compute across everything it
+    /// currently holds (running task remainder + unstarted batch entries).
+    fn backlog_cells(&self, pe: PeId, now: f64) -> f64 {
+        self.pool
+            .executing_ids()
+            .filter(|&t| self.pool.get(t).executors.contains(&pe))
+            .map(|t| match self.pes[pe].running.get(&t) {
+                Some(&start) => {
+                    let speed = self.pes[pe].stats.weighted_mean_gcups() * 1e9;
+                    (self.pool.get(t).spec.cells() as f64 - speed * (now - start)).max(0.0)
+                }
+                None => self.pool.get(t).spec.cells() as f64,
+            })
+            .sum()
+    }
+
+    /// The most beneficial takeover: an executing task no holder has begun
+    /// that `pe` would finish well before its holder's ETA.
+    fn steal_candidate(&self, pe: PeId, now: f64) -> Option<(TaskId, PeId)> {
+        let speeds = self.speed_estimates();
+        let req_speed = (speeds[pe] * 1e9).max(1.0);
+        self.pool
+            .executing_ids()
+            .filter_map(|t| {
+                let task = self.pool.get(t);
+                if task.executors.contains(&pe) {
+                    return None;
+                }
+                // Only unstarted tasks move; started ones are replicated.
+                let unstarted = task
+                    .executors
+                    .iter()
+                    .all(|&holder| !self.pes[holder].running.contains_key(&t));
+                if !unstarted {
+                    return None;
+                }
+                let holder = *task.executors.first()?;
+                let holder_speed = (speeds[holder] * 1e9).max(1.0);
+                // The holder must finish its whole backlog (which includes
+                // this task) before this task completes there.
+                let holder_eta = self.backlog_cells(holder, now) / holder_speed;
+                let req_eta = task.spec.cells() as f64 / req_speed;
+                let benefit = holder_eta - req_eta;
+                (benefit > 0.0).then_some((t, holder, benefit))
+            })
+            .max_by(|a, b| a.2.partial_cmp(&b.2).expect("benefit is finite"))
+            .map(|(t, holder, _)| (t, holder))
+    }
+
+    fn batch_for(&mut self, pe: PeId) -> usize {
+        if self.config.policy.is_static() {
+            if self.quotas.is_none() {
+                let static_speeds: Vec<f64> =
+                    self.pes.iter().map(|p| p.stats.static_gcups).collect();
+                self.quotas = Some(
+                    self.config
+                        .policy
+                        .static_quotas(self.pool.len(), &static_speeds),
+                );
+            }
+            return self.quotas.as_ref().expect("just computed")[pe];
+        }
+        // "In the first allocation, the master assigns one work unit for
+        // each slave" (§I): until a PE has reported real progress, PSS
+        // behaves like SS for it. The static prior only seeds the speed
+        // estimate other PEs' Φ is computed against.
+        if !self.pes[pe].stats.has_observations() {
+            return 1;
+        }
+        let speeds = self.speed_estimates();
+        let alive: Vec<bool> = self.pes.iter().map(|p| p.alive).collect();
+        self.config.policy.batch_size(pe, &speeds, &alive)
+    }
+
+    /// The executing task with the largest estimated remaining work that
+    /// `pe` is not already involved in.
+    fn replication_candidate(&self, pe: PeId, now: f64) -> Option<TaskId> {
+        self.pool
+            .executing_ids()
+            .filter(|&t| !self.pool.get(t).executors.contains(&pe))
+            .map(|t| (t, self.estimated_remaining_cells(t, now)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("remaining is finite"))
+            .filter(|&(_, remaining)| remaining > 0.0)
+            .map(|(t, _)| t)
+    }
+
+    /// Estimated cells still to compute for an executing task: the minimum
+    /// over its executors of `cells − speed × elapsed` (a task assigned but
+    /// not started counts as entirely remaining).
+    pub fn estimated_remaining_cells(&self, task: TaskId, now: f64) -> f64 {
+        let t = self.pool.get(task);
+        if t.state != TaskState::Executing {
+            return 0.0;
+        }
+        let cells = t.spec.cells() as f64;
+        t.executors
+            .iter()
+            .map(|&pe| match self.pes[pe].running.get(&task) {
+                Some(&start) => {
+                    let speed = self.pes[pe].stats.weighted_mean_gcups() * 1e9;
+                    (cells - speed * (now - start)).max(0.0)
+                }
+                None => cells, // assigned, not yet started
+            })
+            .fold(cells, f64::min)
+    }
+
+    /// A PE reports that it has *started* executing a task.
+    pub fn task_started(&mut self, pe: PeId, task: TaskId, now: f64) {
+        self.pes[pe].running.insert(task, now);
+    }
+
+    /// A PE reports a periodic progress notification (observed GCUPS since
+    /// the previous notification).
+    pub fn notify_progress(&mut self, pe: PeId, now: f64, gcups: f64) {
+        self.pes[pe].stats.observe(now, gcups);
+    }
+
+    /// A PE reports task completion. `measured_gcups` is the implicit speed
+    /// information of the request/response cycle. Returns the PEs whose
+    /// replicas of this task must be cancelled (empty if the task was
+    /// already finished by someone else — the caller should then discard
+    /// this PE's result).
+    pub fn task_finished(
+        &mut self,
+        pe: PeId,
+        task: TaskId,
+        now: f64,
+        measured_gcups: Option<f64>,
+    ) -> Vec<PeId> {
+        self.pes[pe].running.remove(&task);
+        if let Some(g) = measured_gcups {
+            self.pes[pe].stats.observe(now, g);
+        }
+        let cancels = self.pool.finish(task, pe);
+        for &other in &cancels {
+            self.pes[other].running.remove(&task);
+        }
+        cancels
+    }
+
+    /// A PE leaves the platform (membership extension): its held tasks —
+    /// running or queued — are handed back so they return to ready unless a
+    /// replica survives elsewhere.
+    pub fn pe_leaves(&mut self, pe: PeId, held: &[TaskId]) {
+        self.pes[pe].alive = false;
+        self.pes[pe].running.clear();
+        for &t in held {
+            self.pool.release(t, pe);
+        }
+    }
+
+    /// A late PE joins (membership extension).
+    pub fn pe_joins(&mut self, name: impl Into<String>, static_gcups: f64) -> PeId {
+        let id = self.pes.len();
+        self.pes.push(PeInfo {
+            name: name.into(),
+            stats: PeSpeedStats::new(static_gcups, self.config.policy.omega()),
+            alive: true,
+            running: HashMap::new(),
+        });
+        if let Some(quotas) = &mut self.quotas {
+            quotas.push(0); // static policies give latecomers nothing
+        }
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn specs(n: usize) -> Vec<TaskSpec> {
+        (0..n)
+            .map(|id| TaskSpec {
+                id,
+                query_len: 1000,
+                db_residues: 1_000_000_000,
+                db_sequences: 10_000,
+            })
+            .collect()
+    }
+
+    fn master(n_tasks: usize, policy: Policy, adjustment: bool) -> Master {
+        Master::new(specs(n_tasks), MasterConfig { policy, adjustment, dispatch: Default::default() })
+    }
+
+    #[test]
+    fn ss_hands_one_task_per_request() {
+        let mut m = master(3, Policy::SelfScheduling, true);
+        let a = m.register("pe0", 1.0);
+        assert_eq!(m.request(a, 0.0), Assignment::Tasks(vec![0]));
+        assert_eq!(m.request(a, 0.0), Assignment::Tasks(vec![1]));
+    }
+
+    #[test]
+    fn pss_first_allocation_is_one_then_adapts() {
+        let mut m = master(20, Policy::pss_default(), true);
+        let gpu = m.register("gpu0", 30.0);
+        let sse = m.register("sse0", 3.0);
+        // "In the first allocation, the master assigns one work unit for
+        // each slave" — regardless of priors.
+        assert_eq!(m.request(gpu, 0.0), Assignment::Tasks(vec![0]));
+        assert_eq!(m.request(sse, 0.0), Assignment::Tasks(vec![1]));
+        // The GPU reports completion: observed 30 GCUPS vs the SSE's 3.0
+        // prior → Φ = 10.
+        m.task_finished(gpu, 0, 1.0, Some(30.0));
+        match m.request(gpu, 1.0) {
+            Assignment::Tasks(t) => assert_eq!(t.len(), 10),
+            other => panic!("{other:?}"),
+        }
+        // Observations can also overturn the prior downwards.
+        m.notify_progress(sse, 2.0, 40.0); // the "SSE" is actually fast
+        match m.request(sse, 2.0) {
+            Assignment::Tasks(t) => assert_eq!(t.len(), 1), // 40/30 rounds to 1
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn adjustment_replicates_when_ready_drains() {
+        let mut m = master(2, Policy::SelfScheduling, true);
+        let a = m.register("a", 1.0);
+        let b = m.register("b", 1.0);
+        assert_eq!(m.request(a, 0.0), Assignment::Tasks(vec![0]));
+        assert_eq!(m.request(b, 0.0), Assignment::Tasks(vec![1]));
+        m.task_started(a, 0, 0.0);
+        m.task_started(b, 1, 0.0);
+        // a finishes its task and asks again: only b's task is executing.
+        assert!(m.task_finished(a, 0, 5.0, Some(1.0)).is_empty());
+        assert_eq!(m.request(a, 5.0), Assignment::Replicate(1));
+        // b's task now has two executors; when b finishes first, a must be
+        // cancelled.
+        m.task_started(a, 1, 5.0);
+        let cancels = m.task_finished(b, 1, 6.0, Some(1.0));
+        assert_eq!(cancels, vec![a]);
+        assert!(m.all_finished());
+        assert_eq!(m.request(a, 6.0), Assignment::Done);
+    }
+
+    #[test]
+    fn no_adjustment_means_wait() {
+        let mut m = master(2, Policy::SelfScheduling, false);
+        let a = m.register("a", 1.0);
+        let b = m.register("b", 1.0);
+        m.request(a, 0.0);
+        m.request(b, 0.0);
+        m.task_finished(a, 0, 5.0, None);
+        assert_eq!(m.request(a, 5.0), Assignment::Wait);
+    }
+
+    #[test]
+    fn replication_never_duplicates_onto_same_pe() {
+        let mut m = master(1, Policy::SelfScheduling, true);
+        let a = m.register("a", 1.0);
+        assert_eq!(m.request(a, 0.0), Assignment::Tasks(vec![0]));
+        m.task_started(a, 0, 0.0);
+        // a itself asks again — it cannot replicate its own task.
+        assert_eq!(m.request(a, 1.0), Assignment::Wait);
+    }
+
+    #[test]
+    fn replication_prefers_larger_remaining_work() {
+        let mut m = master(2, Policy::SelfScheduling, true);
+        let a = m.register("a", 1.0);
+        let b = m.register("b", 1.0);
+        let c = m.register("c", 1.0);
+        m.request(a, 0.0);
+        m.request(b, 0.0);
+        m.task_started(a, 0, 0.0);
+        // b starts later, so more of task 1 remains at t=400.
+        m.task_started(b, 1, 300.0);
+        match m.request(c, 400.0) {
+            Assignment::Replicate(t) => assert_eq!(t, 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unstarted_batch_entries_are_stolen_when_beneficial() {
+        let mut m = master(3, Policy::Pss { omega: 3 }, true);
+        let a = m.register("a", 3.0);
+        let b = m.register("b", 2.0);
+        // First allocation: one task. a completes it, reporting 3 GCUPS.
+        assert_eq!(m.request(a, 0.0), Assignment::Tasks(vec![0]));
+        m.task_started(a, 0, 0.0);
+        m.task_finished(a, 0, 333.0, Some(3.0));
+        // Φ = round(3/2) = 2: a takes the remaining two tasks as a batch
+        // and starts the first.
+        match m.request(a, 333.0) {
+            Assignment::Tasks(t) => assert_eq!(t, vec![1, 2]),
+            other => panic!("{other:?}"),
+        }
+        m.task_started(a, 1, 333.0);
+        // a's backlog ≈ 2 tasks at 3 GCUPS (ETA ≈ 667 s); b at 2 GCUPS
+        // would finish task 2 in 500 s → the takeover is beneficial and no
+        // work is lost.
+        match m.request(b, 333.0) {
+            Assignment::Steal { task, from } => {
+                assert_eq!(task, 2);
+                assert_eq!(from, a);
+                // The stolen task now belongs to b alone.
+                assert_eq!(m.pool().get(task).executors, vec![b]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn harmful_takeover_degrades_to_replication() {
+        // A very slow idle PE must NOT move a big task off a fast PE's
+        // queue — it replicates instead, so the fast PE still gets to run
+        // the original.
+        let mut m = master(3, Policy::Pss { omega: 3 }, true);
+        let fast = m.register("fast", 30.0);
+        let slow = m.register("slow", 1.0);
+        m.notify_progress(fast, 0.0, 30.0);
+        match m.request(fast, 0.0) {
+            Assignment::Tasks(t) => assert_eq!(t, vec![0, 1, 2]),
+            other => panic!("{other:?}"),
+        }
+        m.task_started(fast, 0, 0.0);
+        match m.request(slow, 0.0) {
+            Assignment::Replicate(t) => {
+                assert!(t == 1 || t == 2);
+                // The fast PE still holds the task.
+                assert!(m.pool().get(t).executors.contains(&fast));
+            }
+            other => panic!("expected replication, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fixed_policy_splits_upfront_and_stops() {
+        let mut m = master(4, Policy::Fixed, false);
+        let a = m.register("a", 30.0);
+        let b = m.register("b", 1.0);
+        match m.request(a, 0.0) {
+            Assignment::Tasks(t) => assert_eq!(t.len(), 2),
+            other => panic!("{other:?}"),
+        }
+        match m.request(b, 0.0) {
+            Assignment::Tasks(t) => assert_eq!(t.len(), 2),
+            other => panic!("{other:?}"),
+        }
+        // Quotas exhausted.
+        assert_eq!(m.request(a, 1.0), Assignment::Wait);
+    }
+
+    #[test]
+    fn wfixed_policy_splits_by_static_speed() {
+        let mut m = master(11, Policy::WFixed, false);
+        let a = m.register("gpu", 30.0);
+        let b = m.register("sse", 3.0);
+        let got_a = match m.request(a, 0.0) {
+            Assignment::Tasks(t) => t.len(),
+            other => panic!("{other:?}"),
+        };
+        let got_b = match m.request(b, 0.0) {
+            Assignment::Tasks(t) => t.len(),
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(got_a + got_b, 11);
+        assert_eq!(got_a, 10);
+        assert_eq!(got_b, 1);
+    }
+
+    #[test]
+    fn late_finisher_result_is_discarded() {
+        let mut m = master(1, Policy::SelfScheduling, true);
+        let a = m.register("a", 1.0);
+        let b = m.register("b", 1.0);
+        m.request(a, 0.0);
+        m.task_started(a, 0, 0.0);
+        assert_eq!(m.request(b, 0.1), Assignment::Replicate(0));
+        m.task_started(b, 0, 0.1);
+        let cancels = m.task_finished(b, 0, 1.0, None);
+        assert_eq!(cancels, vec![a]);
+        // a crosses the line later: empty cancel list signals "discard".
+        assert!(m.task_finished(a, 0, 1.1, None).is_empty());
+    }
+
+    #[test]
+    fn leave_returns_tasks_to_ready() {
+        let mut m = master(2, Policy::Pss { omega: 3 }, true);
+        let a = m.register("a", 2.0);
+        let b = m.register("b", 1.0);
+        m.notify_progress(a, 0.0, 2.0);
+        match m.request(a, 0.0) {
+            Assignment::Tasks(t) => assert_eq!(t, vec![0, 1]),
+            other => panic!("{other:?}"),
+        }
+        m.task_started(a, 0, 0.0);
+        m.pe_leaves(a, &[0, 1]);
+        // Both tasks are ready again; b picks them up.
+        match m.request(b, 1.0) {
+            Assignment::Tasks(t) => assert!(!t.is_empty()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn join_mid_run_participates() {
+        let mut m = master(3, Policy::SelfScheduling, true);
+        let a = m.register("a", 1.0);
+        m.request(a, 0.0);
+        let late = m.pe_joins("late", 5.0);
+        match m.request(late, 1.0) {
+            Assignment::Tasks(t) => assert_eq!(t, vec![1]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "register before the first request")]
+    fn static_policy_registration_after_request_rejected() {
+        let mut m = master(4, Policy::Fixed, false);
+        let a = m.register("a", 1.0);
+        m.request(a, 0.0);
+        m.register("b", 1.0);
+    }
+}

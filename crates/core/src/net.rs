@@ -1,0 +1,711 @@
+//! Distributed master/slave runtime over TCP.
+//!
+//! The paper's platform is two hosts on Gigabit Ethernet: the master and
+//! the slaves are separate processes and "the slaves can register
+//! themselves in the master" (Fig. 4). This module is that deployment
+//! shape: a [`MasterServer`] listens on a socket, slaves connect with
+//! [`run_slave`], register, request work, and stream results back. The
+//! same [`Master`] state machine as the simulator and the in-process
+//! runtime makes the decisions.
+//!
+//! ## Wire protocol
+//!
+//! Newline-delimited JSON, one message per line (chosen over a binary
+//! format so a session is inspectable with `nc`; at one message per
+//! multi-second task, encoding cost is irrelevant — the paper itself notes
+//! communication is negligible at this granularity).
+//!
+//! Both sides are expected to already have the sequence files (exactly as
+//! in the paper, where the flat database files live on each host); only
+//! task ids, speeds, and hit lists travel over the wire.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::master::{Assignment, Master, MasterConfig};
+use crate::task::{PeId, TaskId, TaskState};
+use swhybrid_align::scoring::Scoring;
+use swhybrid_device::exec::{merge_hits, ComputeBackend, QueryHit};
+use swhybrid_device::task::TaskSpec;
+use swhybrid_seq::sequence::EncodedSequence;
+
+/// A hit as it travels over the wire.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct WireHit {
+    /// Index of the subject in the database.
+    pub db_index: usize,
+    /// Subject identifier.
+    pub id: String,
+    /// Local alignment score.
+    pub score: i32,
+    /// Subject length.
+    pub subject_len: usize,
+}
+
+/// Messages from slave to master.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum SlaveMsg {
+    /// First message on a connection.
+    Register {
+        /// Slave name.
+        name: String,
+        /// Theoretical GCUPS prior.
+        gcups: f64,
+    },
+    /// Ask for work.
+    Request,
+    /// Report that a task began executing.
+    Started {
+        /// The task.
+        task: TaskId,
+    },
+    /// Report a completed task with its hits and observed speed.
+    Finished {
+        /// The task.
+        task: TaskId,
+        /// Observed GCUPS while executing it.
+        gcups: f64,
+        /// Top hits of the comparison.
+        hits: Vec<WireHit>,
+    },
+}
+
+/// Messages from master to slave.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum MasterMsg {
+    /// Registration accepted.
+    Registered {
+        /// The PE id assigned to this slave.
+        pe_id: PeId,
+    },
+    /// A batch of fresh tasks.
+    Tasks {
+        /// Task ids, in execution order.
+        tasks: Vec<TaskId>,
+    },
+    /// Execute this task even though another PE also holds it.
+    Execute {
+        /// The task (a steal or a replica — the slave does not care).
+        task: TaskId,
+    },
+    /// Nothing right now; ask again shortly.
+    Wait,
+    /// Everything is finished; disconnect.
+    Done,
+    /// The peer spoke out of turn.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+fn send<W: Write, M: serde::Serialize>(writer: &mut W, msg: &M) -> std::io::Result<()> {
+    let mut line = serde_json::to_string(msg).expect("message serialises");
+    line.push('\n');
+    writer.write_all(line.as_bytes())?;
+    writer.flush()
+}
+
+fn recv<R: BufRead, M: serde::de::DeserializeOwned>(reader: &mut R) -> std::io::Result<Option<M>> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    serde_json::from_str(&line)
+        .map(Some)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+/// Outcome of a distributed run (master side).
+pub struct DistributedOutcome {
+    /// Wall-clock seconds from first registration to last completion.
+    pub elapsed_seconds: f64,
+    /// Useful DP cells.
+    pub total_cells: u64,
+    /// Useful GCUPS.
+    pub gcups: f64,
+    /// Globally merged hits.
+    pub hits: Vec<QueryHit>,
+    /// For each task, the name of the slave whose result was used.
+    pub completed_by: Vec<String>,
+}
+
+/// The master process: owns the task pool, serves slave connections.
+pub struct MasterServer {
+    listener: TcpListener,
+    config: MasterConfig,
+    expected_slaves: usize,
+}
+
+impl MasterServer {
+    /// Bind to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        config: MasterConfig,
+        expected_slaves: usize,
+    ) -> std::io::Result<MasterServer> {
+        assert!(expected_slaves >= 1, "need at least one slave");
+        Ok(MasterServer {
+            listener: TcpListener::bind(addr)?,
+            config,
+            expected_slaves,
+        })
+    }
+
+    /// The bound address (give this to the slaves).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serve until every task is finished and every slave has disconnected.
+    ///
+    /// Registration is a barrier: work is only handed out once
+    /// `expected_slaves` have registered (required for static policies and
+    /// matching the paper's "waits for the slaves to register").
+    pub fn serve(self, specs: Vec<TaskSpec>) -> std::io::Result<DistributedOutcome> {
+        let n_tasks = specs.len();
+        let total_cells: u64 = specs.iter().map(|s| s.cells()).sum();
+        let master = Mutex::new(Master::new(specs, self.config));
+        let results: Mutex<Vec<Option<Vec<WireHit>>>> = Mutex::new(vec![None; n_tasks]);
+        let completed_by: Mutex<Vec<String>> = Mutex::new(vec![String::new(); n_tasks]);
+        let registered = std::sync::atomic::AtomicUsize::new(0);
+        let start = Instant::now();
+
+        crossbeam::thread::scope(|scope| -> std::io::Result<()> {
+            let mut handles = Vec::new();
+            for _ in 0..self.expected_slaves {
+                let (stream, _peer) = self.listener.accept()?;
+                let master = &master;
+                let results = &results;
+                let completed_by = &completed_by;
+                let registered = &registered;
+                let expected = self.expected_slaves;
+                handles.push(scope.spawn(move |_| {
+                    serve_slave(
+                        stream, master, results, completed_by, registered, expected, start,
+                    )
+                }));
+            }
+            for h in handles {
+                h.join().expect("slave handler panicked")?;
+            }
+            Ok(())
+        })
+        .expect("server scope failed")?;
+
+        let elapsed_seconds = start.elapsed().as_secs_f64();
+        let per_task = results.into_inner().expect("results poisoned");
+        let hits = merge_hits(per_task.into_iter().enumerate().filter_map(|(task, hits)| {
+            hits.map(|hits| {
+                (
+                    task,
+                    hits.into_iter()
+                        .map(|h| swhybrid_simd::search::Hit {
+                            db_index: h.db_index,
+                            id: h.id,
+                            score: h.score,
+                            subject_len: h.subject_len,
+                        })
+                        .collect(),
+                )
+            })
+        }));
+        Ok(DistributedOutcome {
+            elapsed_seconds,
+            total_cells,
+            gcups: if elapsed_seconds > 0.0 {
+                total_cells as f64 / elapsed_seconds / 1e9
+            } else {
+                0.0
+            },
+            hits,
+            completed_by: completed_by.into_inner().expect("names poisoned"),
+        })
+    }
+}
+
+fn serve_slave(
+    stream: TcpStream,
+    master: &Mutex<Master>,
+    results: &Mutex<Vec<Option<Vec<WireHit>>>>,
+    completed_by: &Mutex<Vec<String>>,
+    registered: &std::sync::atomic::AtomicUsize,
+    expected: usize,
+    start: Instant,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+
+    // Registration handshake.
+    let (pe_id, name) = match recv::<_, SlaveMsg>(&mut reader)? {
+        Some(SlaveMsg::Register { name, gcups }) => {
+            let id = master
+                .lock()
+                .expect("master poisoned")
+                .register(name.clone(), gcups.max(f64::MIN_POSITIVE));
+            registered.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            send(&mut writer, &MasterMsg::Registered { pe_id: id })?;
+            (id, name)
+        }
+        other => {
+            send(
+                &mut writer,
+                &MasterMsg::Error {
+                    message: format!("expected register, got {other:?}"),
+                },
+            )?;
+            return Ok(());
+        }
+    };
+
+    loop {
+        let Some(msg) = recv::<_, SlaveMsg>(&mut reader)? else {
+            // Slave hung up; return anything it still held to the pool.
+            let mut m = master.lock().expect("master poisoned");
+            let held: Vec<TaskId> = m
+                .pool()
+                .executing_ids()
+                .filter(|&t| m.pool().get(t).executors.contains(&pe_id))
+                .collect();
+            m.pe_leaves(pe_id, &held);
+            return Ok(());
+        };
+        match msg {
+            SlaveMsg::Request => {
+                // Hold work until the registration barrier is met.
+                if registered.load(std::sync::atomic::Ordering::SeqCst) < expected {
+                    send(&mut writer, &MasterMsg::Wait)?;
+                    continue;
+                }
+                let now = start.elapsed().as_secs_f64();
+                let reply = match master.lock().expect("master poisoned").request(pe_id, now) {
+                    Assignment::Tasks(tasks) => MasterMsg::Tasks { tasks },
+                    Assignment::Steal { task, .. } => MasterMsg::Execute { task },
+                    Assignment::Replicate(task) => MasterMsg::Execute { task },
+                    Assignment::Wait => MasterMsg::Wait,
+                    Assignment::Done => MasterMsg::Done,
+                };
+                let done = matches!(reply, MasterMsg::Done);
+                send(&mut writer, &reply)?;
+                if done {
+                    return Ok(());
+                }
+            }
+            SlaveMsg::Started { task } => {
+                let now = start.elapsed().as_secs_f64();
+                master
+                    .lock()
+                    .expect("master poisoned")
+                    .task_started(pe_id, task, now);
+            }
+            SlaveMsg::Finished { task, gcups, hits } => {
+                let now = start.elapsed().as_secs_f64();
+                let mut m = master.lock().expect("master poisoned");
+                let was_first = m.pool().get(task).state != TaskState::Finished;
+                m.task_finished(pe_id, task, now, Some(gcups));
+                drop(m);
+                if was_first {
+                    results.lock().expect("results poisoned")[task] = Some(hits);
+                    completed_by.lock().expect("names poisoned")[task] = name.clone();
+                }
+            }
+            SlaveMsg::Register { .. } => {
+                send(
+                    &mut writer,
+                    &MasterMsg::Error {
+                        message: "already registered".into(),
+                    },
+                )?;
+            }
+        }
+    }
+}
+
+/// Run a slave: connect, register, execute tasks until the master says done.
+///
+/// `queries` and `subjects` are the locally available sequence data (the
+/// paper's model: files are on every host).
+#[allow(clippy::too_many_arguments)] // a slave's full execution context, deliberately flat
+pub fn run_slave(
+    addr: impl ToSocketAddrs,
+    name: &str,
+    static_gcups: f64,
+    backend: &dyn ComputeBackend,
+    queries: &[EncodedSequence],
+    subjects: &[EncodedSequence],
+    scoring: &Scoring,
+    top_n: usize,
+) -> std::io::Result<usize> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+
+    send(
+        &mut writer,
+        &SlaveMsg::Register {
+            name: name.to_string(),
+            gcups: static_gcups,
+        },
+    )?;
+    match recv::<_, MasterMsg>(&mut reader)? {
+        Some(MasterMsg::Registered { .. }) => {}
+        other => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("registration failed: {other:?}"),
+            ))
+        }
+    }
+
+    let mut executed = 0usize;
+    loop {
+        send(&mut writer, &SlaveMsg::Request)?;
+        let tasks: Vec<TaskId> = match recv::<_, MasterMsg>(&mut reader)? {
+            Some(MasterMsg::Tasks { tasks }) => tasks,
+            Some(MasterMsg::Execute { task }) => vec![task],
+            Some(MasterMsg::Wait) => {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                continue;
+            }
+            Some(MasterMsg::Done) | None => return Ok(executed),
+            Some(MasterMsg::Error { message }) => {
+                return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, message))
+            }
+            Some(MasterMsg::Registered { .. }) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "unexpected Registered",
+                ))
+            }
+        };
+        for task in tasks {
+            let query = queries.get(task).ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("master referenced unknown task {task}"),
+                )
+            })?;
+            send(&mut writer, &SlaveMsg::Started { task })?;
+            let t0 = Instant::now();
+            let result = backend.compare(query, subjects, scoring, top_n);
+            let secs = t0.elapsed().as_secs_f64();
+            let gcups = if secs > 0.0 {
+                result.cells as f64 / secs / 1e9
+            } else {
+                0.0
+            };
+            executed += 1;
+            send(
+                &mut writer,
+                &SlaveMsg::Finished {
+                    task,
+                    gcups,
+                    hits: result
+                        .hits
+                        .into_iter()
+                        .map(|h| WireHit {
+                            db_index: h.db_index,
+                            id: h.id,
+                            score: h.score,
+                            subject_len: h.subject_len,
+                        })
+                        .collect(),
+                },
+            )?;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Policy;
+    use swhybrid_device::exec::StripedBackend;
+    use swhybrid_seq::synth::{paper_database, QueryOrder, QuerySetSpec};
+    use swhybrid_seq::Alphabet;
+
+    fn scoring() -> Scoring {
+        Scoring {
+            matrix: swhybrid_align::scoring::SubstMatrix::blosum62(),
+            gap: swhybrid_align::scoring::GapModel::Affine { open: 10, extend: 2 },
+        }
+    }
+
+    fn tiny_workload() -> (Vec<EncodedSequence>, Vec<EncodedSequence>, Vec<TaskSpec>) {
+        let db = paper_database("dog").unwrap().generate_scaled(77, 0.001);
+        let subjects: Vec<EncodedSequence> = db.encode_all().unwrap();
+        let queries: Vec<EncodedSequence> = QuerySetSpec {
+            count: 6,
+            min_len: 40,
+            max_len: 120,
+            order: QueryOrder::Ascending,
+        }
+        .generate(78)
+        .iter()
+        .map(|q| EncodedSequence::from_sequence(q, Alphabet::Protein).unwrap())
+        .collect();
+        let db_residues: u64 = subjects.iter().map(|s| s.len() as u64).sum();
+        let specs = queries
+            .iter()
+            .enumerate()
+            .map(|(id, q)| TaskSpec {
+                id,
+                query_len: q.len(),
+                db_residues,
+                db_sequences: subjects.len(),
+            })
+            .collect();
+        (queries, subjects, specs)
+    }
+
+    #[test]
+    fn wire_messages_round_trip() {
+        let msgs = vec![
+            SlaveMsg::Register {
+                name: "host-a/core0".into(),
+                gcups: 2.7,
+            },
+            SlaveMsg::Request,
+            SlaveMsg::Started { task: 3 },
+            SlaveMsg::Finished {
+                task: 3,
+                gcups: 2.5,
+                hits: vec![WireHit {
+                    db_index: 1,
+                    id: "s1".into(),
+                    score: 42,
+                    subject_len: 99,
+                }],
+            },
+        ];
+        let mut buf = Vec::new();
+        for m in &msgs {
+            send(&mut buf, m).unwrap();
+        }
+        let mut reader = std::io::BufReader::new(buf.as_slice());
+        for _ in 0..msgs.len() {
+            assert!(recv::<_, SlaveMsg>(&mut reader).unwrap().is_some());
+        }
+        assert!(recv::<_, SlaveMsg>(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn distributed_run_two_slaves_over_tcp() {
+        let (queries, subjects, specs) = tiny_workload();
+        let server = MasterServer::bind(
+            "127.0.0.1:0",
+            MasterConfig {
+                policy: Policy::pss_default(),
+                adjustment: true,
+                dispatch: Default::default(),
+            },
+            2,
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+
+        let outcome = crossbeam::thread::scope(|scope| {
+            let q = &queries;
+            let s = &subjects;
+            for name in ["host-a", "host-b"] {
+                scope.spawn(move |_| {
+                    run_slave(
+                        addr,
+                        name,
+                        1.0,
+                        &StripedBackend::default(),
+                        q,
+                        s,
+                        &scoring(),
+                        3,
+                    )
+                    .expect("slave runs clean")
+                });
+            }
+            server.serve(specs).expect("server completes")
+        })
+        .expect("scope");
+
+        assert_eq!(outcome.completed_by.len(), 6);
+        assert!(outcome
+            .completed_by
+            .iter()
+            .all(|n| n == "host-a" || n == "host-b"));
+        assert!(outcome.gcups > 0.0);
+        // Hits match a direct local computation.
+        for qh in &outcome.hits {
+            let expect = swhybrid_align::score_only::sw_score_affine(
+                &queries[qh.query_index].codes,
+                &subjects[qh.hit.db_index].codes,
+                &scoring(),
+            )
+            .score;
+            assert_eq!(qh.hit.score, expect);
+        }
+    }
+
+    /// A slave that executes exactly one task and then drops the
+    /// connection mid-protocol (simulating a host crash).
+    fn run_flaky_slave(
+        addr: std::net::SocketAddr,
+        queries: &[EncodedSequence],
+        subjects: &[EncodedSequence],
+    ) {
+        use std::io::{BufRead as _, BufReader, BufWriter};
+        let stream = std::net::TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        send(
+            &mut writer,
+            &SlaveMsg::Register {
+                name: "flaky".into(),
+                gcups: 100.0, // lies about being fast, grabs a big batch
+            },
+        )
+        .unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap(); // Registered
+        send(&mut writer, &SlaveMsg::Request).unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        let msg: MasterMsg = serde_json::from_str(&line).unwrap();
+        let tasks = match msg {
+            MasterMsg::Tasks { tasks } => tasks,
+            other => panic!("expected tasks, got {other:?}"),
+        };
+        // Complete only the first assigned task, then vanish with the rest.
+        if let Some(&task) = tasks.first() {
+            let backend = StripedBackend::default();
+            let result = backend.compare(&queries[task], subjects, &scoring(), 3);
+            send(&mut writer, &SlaveMsg::Started { task }).unwrap();
+            send(
+                &mut writer,
+                &SlaveMsg::Finished {
+                    task,
+                    gcups: 1.0,
+                    hits: result
+                        .hits
+                        .into_iter()
+                        .map(|h| WireHit {
+                            db_index: h.db_index,
+                            id: h.id,
+                            score: h.score,
+                            subject_len: h.subject_len,
+                        })
+                        .collect(),
+                },
+            )
+            .unwrap();
+        }
+        // Connection drops here (stream goes out of scope): the master
+        // must return the undone batch entries to the ready queue.
+    }
+
+    #[test]
+    fn slave_crash_mid_run_is_recovered() {
+        let (queries, subjects, specs) = tiny_workload();
+        let n_tasks = specs.len();
+        let server = MasterServer::bind(
+            "127.0.0.1:0",
+            MasterConfig {
+                policy: Policy::pss_default(),
+                adjustment: true,
+                dispatch: Default::default(),
+            },
+            2,
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+
+        let outcome = crossbeam::thread::scope(|scope| {
+            let q = &queries;
+            let s = &subjects;
+            scope.spawn(move |_| run_flaky_slave(addr, q, s));
+            scope.spawn(move |_| {
+                run_slave(
+                    addr,
+                    "steady",
+                    1.0,
+                    &StripedBackend::default(),
+                    q,
+                    s,
+                    &scoring(),
+                    3,
+                )
+                .expect("steady slave survives")
+            });
+            server.serve(specs).expect("server completes despite crash")
+        })
+        .expect("scope");
+
+        // Every task completed, by someone.
+        assert_eq!(outcome.completed_by.len(), n_tasks);
+        assert!(outcome.completed_by.iter().all(|n| !n.is_empty()));
+        // The steady slave picked up the crashed slave's abandoned work.
+        assert!(
+            outcome.completed_by.iter().filter(|n| *n == "steady").count() >= n_tasks - 1,
+            "completed_by: {:?}",
+            outcome.completed_by
+        );
+    }
+
+    #[test]
+    fn distributed_equals_local_runtime_results() {
+        let (queries, subjects, specs) = tiny_workload();
+        let server = MasterServer::bind(
+            "127.0.0.1:0",
+            MasterConfig {
+                policy: Policy::SelfScheduling,
+                adjustment: false,
+                dispatch: Default::default(),
+            },
+            1,
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let outcome = crossbeam::thread::scope(|scope| {
+            let q = &queries;
+            let s = &subjects;
+            scope.spawn(move |_| {
+                run_slave(addr, "solo", 1.0, &StripedBackend::default(), q, s, &scoring(), 3)
+                    .expect("slave ok")
+            });
+            server.serve(specs).expect("server ok")
+        })
+        .expect("scope");
+
+        let local = crate::runtime::run_real(
+            vec![crate::runtime::RealPe {
+                name: "solo".into(),
+                static_gcups: 1.0,
+                backend: Box::new(StripedBackend::default()),
+            }],
+            &queries,
+            &subjects,
+            &scoring(),
+            crate::runtime::RuntimeConfig {
+                master: MasterConfig {
+                    policy: Policy::SelfScheduling,
+                    adjustment: false,
+                    dispatch: Default::default(),
+                },
+                top_n: 3,
+            },
+        );
+        let key = |hits: &[QueryHit]| {
+            let mut v: Vec<(usize, usize, i32)> = hits
+                .iter()
+                .map(|h| (h.query_index, h.hit.db_index, h.hit.score))
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(key(&outcome.hits), key(&local.hits));
+    }
+}

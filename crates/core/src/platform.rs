@@ -1,0 +1,331 @@
+//! The public facade: describe a hybrid platform, run a workload.
+//!
+//! ```
+//! use swhybrid_core::platform::PlatformBuilder;
+//! use swhybrid_core::policy::Policy;
+//! use swhybrid_seq::synth::{paper_database, QuerySetSpec};
+//!
+//! let sw = paper_database("swissprot").unwrap().full_scale_stats();
+//! let workload = PlatformBuilder::workload(&sw, &QuerySetSpec::paper(), 0);
+//! let outcome = PlatformBuilder::new()
+//!     .gpus(4)
+//!     .sse_cores(4)
+//!     .policy(Policy::pss_default())
+//!     .adjustment(true)
+//!     .run(workload);
+//! assert!(outcome.report.makespan > 0.0);
+//! ```
+
+use std::sync::Arc;
+
+use crate::membership::Membership;
+use crate::policy::Policy;
+use crate::sim::{SimConfig, SimPe, SimReport, Simulator};
+use swhybrid_device::cpu::CpuSseDevice;
+use swhybrid_device::fpga::FpgaDevice;
+use swhybrid_device::gpu::GpuDevice;
+use swhybrid_device::load::LoadSchedule;
+use swhybrid_device::task::TaskSpec;
+use swhybrid_seq::db::DbStats;
+use swhybrid_seq::synth::QuerySetSpec;
+
+/// Outcome of a platform run: the report plus a configuration echo.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// A short human-readable description, e.g. `"4 GPUs + 4 SSEs"`.
+    pub platform: String,
+    /// PE names, in id order.
+    pub pe_names: Vec<String>,
+    /// The simulation report.
+    pub report: SimReport,
+}
+
+impl SimOutcome {
+    /// Wall-clock (virtual) seconds.
+    pub fn seconds(&self) -> f64 {
+        self.report.makespan
+    }
+
+    /// Useful GCUPS.
+    pub fn gcups(&self) -> f64 {
+        self.report.gcups
+    }
+}
+
+/// Builder for simulated hybrid platforms.
+#[derive(Clone)]
+pub struct PlatformBuilder {
+    pes: Vec<SimPe>,
+    n_gpus: usize,
+    n_sse: usize,
+    n_fpga: usize,
+    config: SimConfig,
+}
+
+impl Default for PlatformBuilder {
+    fn default() -> Self {
+        PlatformBuilder::new()
+    }
+}
+
+impl PlatformBuilder {
+    /// Empty platform, PSS + adjustment defaults.
+    pub fn new() -> PlatformBuilder {
+        PlatformBuilder {
+            pes: Vec::new(),
+            n_gpus: 0,
+            n_sse: 0,
+            n_fpga: 0,
+            config: SimConfig::default(),
+        }
+    }
+
+    /// Add `n` GTX 580 GPUs.
+    pub fn gpus(mut self, n: usize) -> Self {
+        for _ in 0..n {
+            let name = format!("gpu{}", self.n_gpus);
+            self.n_gpus += 1;
+            self.pes.push(SimPe::new(name.clone(), Arc::new(GpuDevice::gtx580(name))));
+        }
+        self
+    }
+
+    /// Add `n` SSE cores.
+    pub fn sse_cores(mut self, n: usize) -> Self {
+        for _ in 0..n {
+            let name = format!("sse{}", self.n_sse);
+            self.n_sse += 1;
+            self.pes
+                .push(SimPe::new(name.clone(), Arc::new(CpuSseDevice::i7_core(name))));
+        }
+        self
+    }
+
+    /// Add `n` FPGA accelerators (future-work extension).
+    pub fn fpgas(mut self, n: usize) -> Self {
+        for _ in 0..n {
+            let name = format!("fpga{}", self.n_fpga);
+            self.n_fpga += 1;
+            self.pes
+                .push(SimPe::new(name.clone(), Arc::new(FpgaDevice::systolic(name))));
+        }
+        self
+    }
+
+    /// Add an arbitrary PE.
+    pub fn pe(mut self, pe: SimPe) -> Self {
+        self.pes.push(pe);
+        self
+    }
+
+    /// Select the allocation policy.
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.config.master.policy = policy;
+        self
+    }
+
+    /// Enable/disable the workload adjustment mechanism.
+    pub fn adjustment(mut self, on: bool) -> Self {
+        self.config.master.adjustment = on;
+        self
+    }
+
+    /// Select the ready-queue dispatch order (extension; the paper's
+    /// behaviour is [`crate::master::Dispatch::FileOrder`]).
+    pub fn dispatch(mut self, dispatch: crate::master::Dispatch) -> Self {
+        self.config.master.dispatch = dispatch;
+        self
+    }
+
+    /// Progress-notification period (seconds).
+    pub fn notify_interval(mut self, seconds: f64) -> Self {
+        self.config.notify_interval = seconds;
+        self
+    }
+
+    /// Master↔slave one-way latency (seconds).
+    pub fn comm_latency(mut self, seconds: f64) -> Self {
+        self.config.comm_latency = seconds;
+        self
+    }
+
+    /// Attach a load schedule to the most recently added PE.
+    pub fn load_on_last(mut self, load: LoadSchedule) -> Self {
+        self.pes
+            .last_mut()
+            .expect("add a PE before attaching load")
+            .load = load;
+        self
+    }
+
+    /// Attach a load schedule to PE `index`.
+    pub fn load_on(mut self, index: usize, load: LoadSchedule) -> Self {
+        self.pes[index].load = load;
+        self
+    }
+
+    /// Attach a membership plan to PE `index`.
+    pub fn membership(mut self, index: usize, plan: Membership) -> Self {
+        self.pes[index].join_at = plan.join_at;
+        self.pes[index].leave_at = plan.leave_at;
+        self
+    }
+
+    /// Build the workload for a database and query set: one task per query,
+    /// in file order.
+    pub fn workload(db: &DbStats, queries: &QuerySetSpec, seed: u64) -> Vec<TaskSpec> {
+        queries
+            .lengths(seed)
+            .into_iter()
+            .enumerate()
+            .map(|(id, query_len)| TaskSpec {
+                id,
+                query_len,
+                db_residues: db.total_residues,
+                db_sequences: db.num_sequences,
+            })
+            .collect()
+    }
+
+    /// A short description like `"2 GPUs + 4 SSEs"`.
+    pub fn describe(&self) -> String {
+        let mut parts = Vec::new();
+        if self.n_gpus > 0 {
+            parts.push(format!("{} GPU{}", self.n_gpus, plural(self.n_gpus)));
+        }
+        if self.n_sse > 0 {
+            parts.push(format!("{} SSE{}", self.n_sse, plural(self.n_sse)));
+        }
+        if self.n_fpga > 0 {
+            parts.push(format!("{} FPGA{}", self.n_fpga, plural(self.n_fpga)));
+        }
+        if parts.is_empty() {
+            parts.push(format!("{} custom PE(s)", self.pes.len()));
+        }
+        parts.join(" + ")
+    }
+
+    /// Run the workload to completion under virtual time.
+    pub fn run(self, workload: Vec<TaskSpec>) -> SimOutcome {
+        let platform = self.describe();
+        let pe_names: Vec<String> = self.pes.iter().map(|p| p.name.clone()).collect();
+        // Late joiners must be listed last for the simulator; preserve the
+        // user's order otherwise.
+        let mut pes = self.pes;
+        pes.sort_by(|a, b| {
+            let ka = a.join_at > 0.0;
+            let kb = b.join_at > 0.0;
+            ka.cmp(&kb)
+        });
+        let report = Simulator::new(pes, workload, self.config).run();
+        SimOutcome {
+            platform,
+            pe_names,
+            report,
+        }
+    }
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swhybrid_seq::synth::paper_database;
+
+    fn swissprot() -> DbStats {
+        paper_database("swissprot").unwrap().full_scale_stats()
+    }
+
+    #[test]
+    fn workload_matches_query_spec() {
+        let w = PlatformBuilder::workload(&swissprot(), &QuerySetSpec::paper(), 0);
+        assert_eq!(w.len(), 40);
+        assert_eq!(w[0].query_len, 100);
+        assert_eq!(w[39].query_len, 5000);
+        assert!(w.iter().all(|t| t.db_residues == swissprot().total_residues));
+    }
+
+    #[test]
+    fn describe_platforms() {
+        assert_eq!(PlatformBuilder::new().gpus(4).sse_cores(4).describe(), "4 GPUs + 4 SSEs");
+        assert_eq!(PlatformBuilder::new().gpus(1).describe(), "1 GPU");
+        assert_eq!(
+            PlatformBuilder::new().gpus(1).sse_cores(2).fpgas(1).describe(),
+            "1 GPU + 2 SSEs + 1 FPGA"
+        );
+    }
+
+    #[test]
+    fn gpu_only_platform_runs_swissprot_workload() {
+        let w = PlatformBuilder::workload(&swissprot(), &QuerySetSpec::paper(), 0);
+        let out = PlatformBuilder::new().gpus(1).run(w);
+        // One GTX 580 over the full SwissProt workload: hundreds of seconds.
+        assert!(out.seconds() > 300.0, "{}", out.seconds());
+        assert!(out.gcups() > 10.0, "{}", out.gcups());
+        assert_eq!(out.pe_names, vec!["gpu0"]);
+    }
+
+    #[test]
+    fn hybrid_beats_gpu_only_on_swissprot() {
+        // The paper's headline for big databases (§V-A-3): GPUs + SSEs beat
+        // the GPU-only configuration when the adjustment mechanism is on.
+        // (Asserted at 2 GPUs, where the SSE share is decisive; the 4-GPU
+        // wash is covered by the workspace-level shape tests.)
+        let w = || PlatformBuilder::workload(&swissprot(), &QuerySetSpec::paper(), 0);
+        let gpu_only = PlatformBuilder::new().gpus(2).run(w());
+        let hybrid = PlatformBuilder::new().gpus(2).sse_cores(4).run(w());
+        assert!(
+            hybrid.seconds() < gpu_only.seconds(),
+            "hybrid {} vs gpu-only {}",
+            hybrid.seconds(),
+            gpu_only.seconds()
+        );
+    }
+
+    #[test]
+    fn without_adjustment_hybrid_loses_to_gpu_only() {
+        // Fig. 6's striking result (strongest at 4 GPUs + 4 SSEs): without
+        // the adjustment mechanism the hybrid platform is *slower* than the
+        // GPU-only one — the SSE cores grab huge tasks near the end of the
+        // queue and everyone waits for them.
+        let w = || PlatformBuilder::workload(&swissprot(), &QuerySetSpec::paper(), 0);
+        let gpu_only = PlatformBuilder::new().gpus(4).run(w());
+        let hybrid_no_adj = PlatformBuilder::new()
+            .gpus(4)
+            .sse_cores(4)
+            .adjustment(false)
+            .run(w());
+        assert!(
+            hybrid_no_adj.seconds() > 1.5 * gpu_only.seconds(),
+            "no-adjustment hybrid {} should lose badly to gpu-only {}",
+            hybrid_no_adj.seconds(),
+            gpu_only.seconds()
+        );
+    }
+
+    #[test]
+    fn adjustment_gain_matches_headline_magnitude() {
+        // §I: "our workload adjustment mechanism is able to reduce the
+        // total execution time in 57.2%". Our calibration lands at ~49% for
+        // the same 4 GPUs + 4 SSEs SwissProt configuration.
+        let w = || PlatformBuilder::workload(&swissprot(), &QuerySetSpec::paper(), 0);
+        let with = PlatformBuilder::new().gpus(4).sse_cores(4).run(w());
+        let without = PlatformBuilder::new()
+            .gpus(4)
+            .sse_cores(4)
+            .adjustment(false)
+            .run(w());
+        let reduction = 1.0 - with.seconds() / without.seconds();
+        assert!(
+            (0.30..0.75).contains(&reduction),
+            "time reduction {reduction:.2} out of the paper's magnitude band"
+        );
+    }
+}

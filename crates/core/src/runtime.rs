@@ -1,0 +1,310 @@
+//! Real threaded master/slave runtime.
+//!
+//! The same [`Master`] state machine that drives the simulator here serves
+//! OS threads that really compute: each slave owns a
+//! [`ComputeBackend`](swhybrid_device::exec::ComputeBackend) and executes
+//! genuine striped-kernel searches against a materialised database. This is
+//! the path the examples and integration tests use to demonstrate the whole
+//! environment end-to-end (on reduced-scale databases — the full platform
+//! experiments run under virtual time in [`crate::sim`]).
+//!
+//! One deliberate difference from the simulator: real replicas are not
+//! preempted — a replica that loses the race simply runs to completion and
+//! its result is discarded (cooperative cancellation would complicate the
+//! kernels for no behavioural gain at this scale).
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::master::{Assignment, Master, MasterConfig};
+use crate::task::TaskId;
+use swhybrid_align::scoring::Scoring;
+use swhybrid_device::exec::{merge_hits, ComputeBackend, QueryHit};
+use swhybrid_device::task::TaskSpec;
+use swhybrid_seq::sequence::EncodedSequence;
+use swhybrid_simd::search::Hit;
+
+/// A real processing element: a name, a speed prior, and a backend.
+pub struct RealPe {
+    /// PE name (registered with the master).
+    pub name: String,
+    /// Theoretical GCUPS prior (used by WFixed and as the PSS prior).
+    pub static_gcups: f64,
+    /// The compute backend.
+    pub backend: Box<dyn ComputeBackend>,
+}
+
+/// Runtime configuration.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Master configuration (policy + adjustment).
+    pub master: MasterConfig,
+    /// Hits retained per task.
+    pub top_n: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            master: MasterConfig::default(),
+            top_n: 10,
+        }
+    }
+}
+
+/// Outcome of a real run.
+pub struct RuntimeOutcome {
+    /// Wall-clock seconds.
+    pub elapsed_seconds: f64,
+    /// Useful DP cells across all tasks.
+    pub total_cells: u64,
+    /// Achieved GCUPS (useful cells / wall time).
+    pub gcups: f64,
+    /// Globally merged hits (best first).
+    pub hits: Vec<QueryHit>,
+    /// For each task, the name of the PE whose result was used.
+    pub completed_by: Vec<String>,
+}
+
+/// Run `queries` × `subjects` on real threads.
+///
+/// Each query index becomes one task (the paper's very coarse grain); the
+/// returned hit list is the master's merged result (Fig. 4 "merge results").
+pub fn run_real(
+    pes: Vec<RealPe>,
+    queries: &[EncodedSequence],
+    subjects: &[EncodedSequence],
+    scoring: &Scoring,
+    config: RuntimeConfig,
+) -> RuntimeOutcome {
+    assert!(!pes.is_empty(), "at least one PE required");
+    let db_residues: u64 = subjects.iter().map(|s| s.len() as u64).sum();
+    let specs: Vec<TaskSpec> = queries
+        .iter()
+        .enumerate()
+        .map(|(id, q)| TaskSpec {
+            id,
+            query_len: q.len(),
+            db_residues,
+            db_sequences: subjects.len(),
+        })
+        .collect();
+    let total_cells: u64 = specs.iter().map(|s| s.cells()).sum();
+    let n_tasks = specs.len();
+
+    let mut master = Master::new(specs, config.master);
+    for pe in &pes {
+        master.register(pe.name.clone(), pe.static_gcups);
+    }
+    let master = Mutex::new(master);
+    type TaskHits = Option<(usize, Vec<Hit>)>;
+    let results: Mutex<Vec<TaskHits>> = Mutex::new(vec![None; n_tasks]);
+    let completed_by: Mutex<Vec<String>> = Mutex::new(vec![String::new(); n_tasks]);
+    let start = Instant::now();
+
+    crossbeam::thread::scope(|scope| {
+        for (pe_id, pe) in pes.iter().enumerate() {
+            let master = &master;
+            let results = &results;
+            let completed_by = &completed_by;
+            scope.spawn(move |_| loop {
+                let now = start.elapsed().as_secs_f64();
+                let assignment = master.lock().expect("master poisoned").request(pe_id, now);
+                let tasks: Vec<TaskId> = match assignment {
+                    Assignment::Tasks(t) => t,
+                    Assignment::Steal { task, .. } => vec![task],
+                    Assignment::Replicate(t) => vec![t],
+                    Assignment::Wait => {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                        continue;
+                    }
+                    Assignment::Done => break,
+                };
+                for task in tasks {
+                    // Skip batch entries that were stolen from this PE or
+                    // already finished by a replica elsewhere.
+                    {
+                        let m = master.lock().expect("master poisoned");
+                        let t = m.pool().get(task);
+                        let still_mine = t.executors.contains(&pe_id);
+                        if t.state == crate::task::TaskState::Finished || !still_mine {
+                            continue;
+                        }
+                    }
+                    let t_start = Instant::now();
+                    {
+                        let mut m = master.lock().expect("master poisoned");
+                        m.task_started(pe_id, task, start.elapsed().as_secs_f64());
+                    }
+                    let query = &queries[task];
+                    let search =
+                        pe.backend
+                            .compare(query, subjects, scoring, config.top_n);
+                    let dur = t_start.elapsed().as_secs_f64();
+                    let gcups = if dur > 0.0 {
+                        search.cells as f64 / dur / 1e9
+                    } else {
+                        0.0
+                    };
+                    let mut m = master.lock().expect("master poisoned");
+                    let was_first = {
+                        let pool_state = m.pool().get(task).state;
+                        pool_state != crate::task::TaskState::Finished
+                    };
+                    m.task_finished(pe_id, task, start.elapsed().as_secs_f64(), Some(gcups));
+                    drop(m);
+                    if was_first {
+                        results.lock().expect("results poisoned")[task] =
+                            Some((task, search.hits));
+                        completed_by.lock().expect("names poisoned")[task] =
+                            pe.name.clone();
+                    }
+                }
+            });
+        }
+    })
+    .expect("runtime scope failed");
+
+    let elapsed_seconds = start.elapsed().as_secs_f64();
+    let per_task = results.into_inner().expect("results poisoned");
+    let hits = merge_hits(
+        per_task
+            .into_iter()
+            .flatten(),
+    );
+    RuntimeOutcome {
+        elapsed_seconds,
+        total_cells,
+        gcups: if elapsed_seconds > 0.0 {
+            total_cells as f64 / elapsed_seconds / 1e9
+        } else {
+            0.0
+        },
+        hits,
+        completed_by: completed_by.into_inner().expect("names poisoned"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Policy;
+    use swhybrid_align::scoring::{GapModel, SubstMatrix};
+    use swhybrid_device::exec::StripedBackend;
+    use swhybrid_seq::synth::{paper_database, QueryOrder, QuerySetSpec};
+    use swhybrid_seq::Alphabet;
+
+    fn scoring() -> Scoring {
+        Scoring {
+            matrix: SubstMatrix::blosum62(),
+            gap: GapModel::Affine { open: 10, extend: 2 },
+        }
+    }
+
+    fn pe(name: &str, gcups: f64) -> RealPe {
+        RealPe {
+            name: name.into(),
+            static_gcups: gcups,
+            backend: Box::new(StripedBackend::default()),
+        }
+    }
+
+    fn tiny_workload() -> (Vec<EncodedSequence>, Vec<EncodedSequence>) {
+        let dog = paper_database("dog").unwrap();
+        let db = dog.generate_scaled(42, 0.002); // ~50 sequences
+        let subjects: Vec<EncodedSequence> = db.encode_all().unwrap();
+        let spec = QuerySetSpec {
+            count: 6,
+            min_len: 40,
+            max_len: 200,
+            order: QueryOrder::Ascending,
+        };
+        let queries: Vec<EncodedSequence> = spec
+            .generate(43)
+            .iter()
+            .map(|q| EncodedSequence::from_sequence(q, Alphabet::Protein).unwrap())
+            .collect();
+        (queries, subjects)
+    }
+
+    #[test]
+    fn real_run_completes_all_tasks_single_pe() {
+        let (queries, subjects) = tiny_workload();
+        let out = run_real(
+            vec![pe("solo", 1.0)],
+            &queries,
+            &subjects,
+            &scoring(),
+            RuntimeConfig::default(),
+        );
+        assert_eq!(out.completed_by.len(), 6);
+        assert!(out.completed_by.iter().all(|n| n == "solo"));
+        assert!(!out.hits.is_empty());
+        assert!(out.total_cells > 0);
+        assert!(out.gcups > 0.0);
+    }
+
+    #[test]
+    fn real_run_multi_pe_covers_all_tasks() {
+        let (queries, subjects) = tiny_workload();
+        let out = run_real(
+            vec![pe("a", 1.0), pe("b", 1.0), pe("c", 1.0)],
+            &queries,
+            &subjects,
+            &scoring(),
+            RuntimeConfig {
+                master: MasterConfig {
+                    policy: Policy::SelfScheduling,
+                    adjustment: true,
+                    dispatch: Default::default(),
+                },
+                top_n: 5,
+            },
+        );
+        assert!(out.completed_by.iter().all(|n| !n.is_empty()));
+        // Results identical to a single-PE run (scores are deterministic).
+        let solo = run_real(
+            vec![pe("solo", 1.0)],
+            &queries,
+            &subjects,
+            &scoring(),
+            RuntimeConfig {
+                master: MasterConfig {
+                    policy: Policy::SelfScheduling,
+                    adjustment: true,
+                    dispatch: Default::default(),
+                },
+                top_n: 5,
+            },
+        );
+        let key = |hits: &[QueryHit]| {
+            let mut v: Vec<(usize, usize, i32)> = hits
+                .iter()
+                .map(|h| (h.query_index, h.hit.db_index, h.hit.score))
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(key(&out.hits), key(&solo.hits));
+    }
+
+    #[test]
+    fn static_wfixed_policy_also_completes() {
+        let (queries, subjects) = tiny_workload();
+        let out = run_real(
+            vec![pe("fast", 4.0), pe("slow", 1.0)],
+            &queries,
+            &subjects,
+            &scoring(),
+            RuntimeConfig {
+                master: MasterConfig {
+                    policy: Policy::WFixed,
+                    adjustment: false,
+                    dispatch: Default::default(),
+                },
+                top_n: 5,
+            },
+        );
+        assert!(out.completed_by.iter().all(|n| !n.is_empty()));
+    }
+}

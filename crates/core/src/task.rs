@@ -1,0 +1,311 @@
+//! Tasks, task states, and the task pool.
+//!
+//! "Each task can be in one of three states: *ready*, *executing* or
+//! *finished*. … When a slave PE requests tasks and there are no more ready
+//! tasks, the workload adjustment mechanism assigns tasks in the executing
+//! state to the idle PE. Note that, in this case, there can be more than
+//! one node executing the same task." (§IV-A-3)
+
+use swhybrid_device::task::TaskSpec;
+
+/// Identifier of a task (index into the pool).
+pub type TaskId = usize;
+
+/// Identifier of a processing element (index into the platform).
+pub type PeId = usize;
+
+/// The three task states of §IV-A-3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum TaskState {
+    /// Not yet assigned to any PE.
+    Ready,
+    /// Assigned to (and possibly replicated on) one or more PEs.
+    Executing,
+    /// Completed; results can be collected.
+    Finished,
+}
+
+/// A task plus its scheduling state.
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// The immutable work description.
+    pub spec: TaskSpec,
+    /// Current state.
+    pub state: TaskState,
+    /// PEs currently holding the task (assigned or running).
+    pub executors: Vec<PeId>,
+    /// The PE that completed the task first, once finished.
+    pub finished_by: Option<PeId>,
+}
+
+/// The master's pool of tasks.
+#[derive(Debug, Clone, Default)]
+pub struct TaskPool {
+    tasks: Vec<Task>,
+    /// FIFO of ready task ids (allocation order = query file order).
+    ready: std::collections::VecDeque<TaskId>,
+    finished_count: usize,
+}
+
+impl TaskPool {
+    /// Build a pool from the workload, all tasks ready, in file order.
+    pub fn new(specs: Vec<TaskSpec>) -> TaskPool {
+        let ready = (0..specs.len()).collect();
+        let tasks = specs
+            .into_iter()
+            .map(|spec| Task {
+                spec,
+                state: TaskState::Ready,
+                executors: Vec::new(),
+                finished_by: None,
+            })
+            .collect();
+        TaskPool {
+            tasks,
+            ready,
+            finished_count: 0,
+        }
+    }
+
+    /// Total number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the pool has no tasks at all.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Access a task.
+    pub fn get(&self, id: TaskId) -> &Task {
+        &self.tasks[id]
+    }
+
+    /// Number of tasks still in the ready state.
+    pub fn ready_count(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Number of finished tasks.
+    pub fn finished_count(&self) -> usize {
+        self.finished_count
+    }
+
+    /// Whether every task has finished.
+    pub fn all_finished(&self) -> bool {
+        self.finished_count == self.tasks.len()
+    }
+
+    /// Tasks currently in the executing state.
+    pub fn executing_ids(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.state == TaskState::Executing)
+            .map(|(id, _)| id)
+    }
+
+    /// Pop up to `n` ready tasks (file order) and assign them to `pe`.
+    pub fn take_ready(&mut self, n: usize, pe: PeId) -> Vec<TaskId> {
+        let mut out = Vec::with_capacity(n.min(self.ready.len()));
+        for _ in 0..n {
+            let Some(id) = self.ready.pop_front() else {
+                break;
+            };
+            let task = &mut self.tasks[id];
+            debug_assert_eq!(task.state, TaskState::Ready);
+            task.state = TaskState::Executing;
+            task.executors.push(pe);
+            out.push(id);
+        }
+        out
+    }
+
+    /// Pop up to `n` ready tasks for `pe`, choosing by size instead of file
+    /// order: largest-first when `prefer_large`, smallest-first otherwise
+    /// (the size-aware dispatch extension — fast PEs take the big tasks so
+    /// slow PEs can never become the straggler on one).
+    pub fn take_ready_by_size(&mut self, n: usize, pe: PeId, prefer_large: bool) -> Vec<TaskId> {
+        let mut out = Vec::with_capacity(n.min(self.ready.len()));
+        for _ in 0..n {
+            let Some(pos) = (0..self.ready.len()).max_by_key(|&i| {
+                let cells = self.tasks[self.ready[i]].spec.cells() as i128;
+                if prefer_large {
+                    cells
+                } else {
+                    -cells
+                }
+            }) else {
+                break;
+            };
+            let id = self.ready.remove(pos).expect("position is in range");
+            let task = &mut self.tasks[id];
+            debug_assert_eq!(task.state, TaskState::Ready);
+            task.state = TaskState::Executing;
+            task.executors.push(pe);
+            out.push(id);
+        }
+        out
+    }
+
+    /// Add `pe` as an additional executor of an already-executing task
+    /// (the workload adjustment replication).
+    pub fn replicate(&mut self, id: TaskId, pe: PeId) {
+        let task = &mut self.tasks[id];
+        assert_eq!(
+            task.state,
+            TaskState::Executing,
+            "only executing tasks can be replicated"
+        );
+        assert!(
+            !task.executors.contains(&pe),
+            "PE {pe} already executes task {id}"
+        );
+        task.executors.push(pe);
+    }
+
+    /// Move an executing task from one holder to another (work stealing of
+    /// a not-yet-started batch entry).
+    pub fn reassign(&mut self, id: TaskId, from: PeId, to: PeId) {
+        let task = &mut self.tasks[id];
+        assert_eq!(task.state, TaskState::Executing, "can only reassign executing tasks");
+        assert!(task.executors.contains(&from), "PE {from} does not hold task {id}");
+        assert!(!task.executors.contains(&to), "PE {to} already holds task {id}");
+        task.executors.retain(|&p| p != from);
+        task.executors.push(to);
+    }
+
+    /// Mark a task finished by `pe`. Returns the *other* executors whose
+    /// replicas must be cancelled; idempotent calls after the first return
+    /// an empty list.
+    pub fn finish(&mut self, id: TaskId, pe: PeId) -> Vec<PeId> {
+        let task = &mut self.tasks[id];
+        if task.state == TaskState::Finished {
+            return Vec::new();
+        }
+        task.state = TaskState::Finished;
+        task.finished_by = Some(pe);
+        self.finished_count += 1;
+        let others: Vec<PeId> = task.executors.iter().copied().filter(|&p| p != pe).collect();
+        task.executors.clear();
+        others
+    }
+
+    /// Return a task held by a departing PE to the ready state
+    /// (membership extension). No-op if other PEs still hold it.
+    pub fn release(&mut self, id: TaskId, pe: PeId) {
+        let task = &mut self.tasks[id];
+        if task.state != TaskState::Executing {
+            return;
+        }
+        task.executors.retain(|&p| p != pe);
+        if task.executors.is_empty() {
+            task.state = TaskState::Ready;
+            // Front of the queue: departed work is the most urgent.
+            self.ready.push_front(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn specs(n: usize) -> Vec<TaskSpec> {
+        (0..n)
+            .map(|id| TaskSpec {
+                id,
+                query_len: 100 * (id + 1),
+                db_residues: 1_000_000,
+                db_sequences: 1000,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pool_starts_all_ready_in_order() {
+        let pool = TaskPool::new(specs(5));
+        assert_eq!(pool.len(), 5);
+        assert_eq!(pool.ready_count(), 5);
+        assert_eq!(pool.finished_count(), 0);
+        assert!(!pool.all_finished());
+        assert!(pool.tasks.iter().all(|t| t.state == TaskState::Ready));
+    }
+
+    #[test]
+    fn take_ready_respects_order_and_count() {
+        let mut pool = TaskPool::new(specs(5));
+        let got = pool.take_ready(2, 7);
+        assert_eq!(got, vec![0, 1]);
+        assert_eq!(pool.get(0).state, TaskState::Executing);
+        assert_eq!(pool.get(0).executors, vec![7]);
+        assert_eq!(pool.ready_count(), 3);
+        // Asking for more than available returns what is left.
+        let rest = pool.take_ready(10, 8);
+        assert_eq!(rest, vec![2, 3, 4]);
+        assert_eq!(pool.ready_count(), 0);
+    }
+
+    #[test]
+    fn finish_cancels_replicas_once() {
+        let mut pool = TaskPool::new(specs(1));
+        pool.take_ready(1, 0);
+        pool.replicate(0, 1);
+        pool.replicate(0, 2);
+        let cancels = pool.finish(0, 1);
+        assert_eq!(cancels, vec![0, 2]);
+        assert_eq!(pool.get(0).state, TaskState::Finished);
+        assert_eq!(pool.get(0).finished_by, Some(1));
+        assert!(pool.all_finished());
+        // Second finish (the replica crossing the line later) is a no-op.
+        assert!(pool.finish(0, 2).is_empty());
+        assert_eq!(pool.get(0).finished_by, Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "already executes")]
+    fn double_replication_on_same_pe_rejected() {
+        let mut pool = TaskPool::new(specs(1));
+        pool.take_ready(1, 0);
+        pool.replicate(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "only executing tasks")]
+    fn replicating_ready_task_rejected() {
+        let mut pool = TaskPool::new(specs(1));
+        pool.replicate(0, 0);
+    }
+
+    #[test]
+    fn release_requeues_at_front() {
+        let mut pool = TaskPool::new(specs(3));
+        let got = pool.take_ready(2, 0);
+        assert_eq!(got, vec![0, 1]);
+        pool.release(1, 0);
+        assert_eq!(pool.get(1).state, TaskState::Ready);
+        // Task 1 now precedes task 2 in the ready queue.
+        let next = pool.take_ready(2, 1);
+        assert_eq!(next, vec![1, 2]);
+    }
+
+    #[test]
+    fn release_with_replica_keeps_executing() {
+        let mut pool = TaskPool::new(specs(1));
+        pool.take_ready(1, 0);
+        pool.replicate(0, 1);
+        pool.release(0, 0);
+        assert_eq!(pool.get(0).state, TaskState::Executing);
+        assert_eq!(pool.get(0).executors, vec![1]);
+    }
+
+    #[test]
+    fn executing_ids_enumerates() {
+        let mut pool = TaskPool::new(specs(3));
+        pool.take_ready(2, 0);
+        pool.finish(0, 0);
+        let execs: Vec<TaskId> = pool.executing_ids().collect();
+        assert_eq!(execs, vec![1]);
+    }
+}

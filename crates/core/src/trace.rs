@@ -1,0 +1,223 @@
+//! Execution traces: per-PE Gantt segments and notification series.
+//!
+//! These back the paper's figures: Fig. 5 (the task allocation timelines
+//! with and without the adjustment mechanism) and Figs. 7/8 (per-core GCUPS
+//! over time in dedicated and non-dedicated runs).
+
+use crate::task::{PeId, TaskId};
+
+/// Why a trace segment ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum SegmentEnd {
+    /// The PE completed the task (and was the winner if replicated).
+    Completed,
+    /// The task was finished first by another PE; this replica was
+    /// cancelled mid-flight.
+    Cancelled,
+    /// The PE left the platform while executing (membership extension).
+    Abandoned,
+}
+
+/// One contiguous span of a PE executing one task.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TraceSegment {
+    /// The executing PE.
+    pub pe: PeId,
+    /// The task being executed.
+    pub task: TaskId,
+    /// Start time (seconds of virtual time).
+    pub start: f64,
+    /// End time.
+    pub end: f64,
+    /// How the segment ended.
+    pub end_kind: SegmentEnd,
+}
+
+/// One periodic progress notification.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct NotifySample {
+    /// The reporting PE.
+    pub pe: PeId,
+    /// Notification time.
+    pub time: f64,
+    /// Observed GCUPS over the preceding interval.
+    pub gcups: f64,
+}
+
+/// Full execution trace of a run.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct Trace {
+    /// Gantt segments in completion order.
+    pub segments: Vec<TraceSegment>,
+    /// Notification series in time order.
+    pub notifications: Vec<NotifySample>,
+}
+
+impl Trace {
+    /// Segments of one PE, in time order.
+    pub fn pe_segments(&self, pe: PeId) -> Vec<&TraceSegment> {
+        let mut segs: Vec<&TraceSegment> = self.segments.iter().filter(|s| s.pe == pe).collect();
+        segs.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite times"));
+        segs
+    }
+
+    /// Busy seconds of one PE (sum of its segment durations).
+    pub fn busy_seconds(&self, pe: PeId) -> f64 {
+        self.segments
+            .iter()
+            .filter(|s| s.pe == pe)
+            .map(|s| s.end - s.start)
+            .sum()
+    }
+
+    /// Seconds spent on replicas that were eventually cancelled — the cost
+    /// side of the workload adjustment mechanism.
+    pub fn cancelled_seconds(&self) -> f64 {
+        self.segments
+            .iter()
+            .filter(|s| s.end_kind == SegmentEnd::Cancelled)
+            .map(|s| s.end - s.start)
+            .sum()
+    }
+
+    /// Notification series of one PE as `(time, gcups)` pairs (Figs. 7/8).
+    pub fn pe_notifications(&self, pe: PeId) -> Vec<(f64, f64)> {
+        self.notifications
+            .iter()
+            .filter(|n| n.pe == pe)
+            .map(|n| (n.time, n.gcups))
+            .collect()
+    }
+
+    /// ASCII Gantt chart in the style of the paper's Fig. 5: one row per
+    /// PE, labelled spans `[tNN ]`; `x` marks a cancelled replica.
+    pub fn render_gantt(&self, pe_names: &[String], width: usize) -> String {
+        let makespan = self
+            .segments
+            .iter()
+            .map(|s| s.end)
+            .fold(0.0f64, f64::max)
+            .max(1e-9);
+        let scale = width as f64 / makespan;
+        let mut out = String::new();
+        for (pe, name) in pe_names.iter().enumerate() {
+            let mut row = vec![b' '; width + 1];
+            for seg in self.segments.iter().filter(|s| s.pe == pe) {
+                let a = (seg.start * scale).floor() as usize;
+                let b = ((seg.end * scale).ceil() as usize).min(width);
+                let label = match seg.end_kind {
+                    SegmentEnd::Cancelled => format!("x{}", seg.task),
+                    _ => format!("t{}", seg.task),
+                };
+                let bytes = label.as_bytes();
+                for (i, slot) in row[a..b.max(a + 1)].iter_mut().enumerate() {
+                    *slot = if i < bytes.len() { bytes[i] } else { b'-' };
+                }
+            }
+            out.push_str(&format!("{name:>8} |"));
+            out.push_str(std::str::from_utf8(&row).expect("ascii"));
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{:>8} +{}>\n{:>8}  0{:>width$.1}s\n",
+            "",
+            "-".repeat(width),
+            "",
+            makespan,
+            width = width
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> Trace {
+        Trace {
+            segments: vec![
+                TraceSegment {
+                    pe: 0,
+                    task: 0,
+                    start: 0.0,
+                    end: 1.0,
+                    end_kind: SegmentEnd::Completed,
+                },
+                TraceSegment {
+                    pe: 1,
+                    task: 1,
+                    start: 0.0,
+                    end: 6.0,
+                    end_kind: SegmentEnd::Completed,
+                },
+                TraceSegment {
+                    pe: 0,
+                    task: 2,
+                    start: 1.0,
+                    end: 2.5,
+                    end_kind: SegmentEnd::Cancelled,
+                },
+            ],
+            notifications: vec![
+                NotifySample {
+                    pe: 0,
+                    time: 5.0,
+                    gcups: 2.5,
+                },
+                NotifySample {
+                    pe: 1,
+                    time: 5.0,
+                    gcups: 1.0,
+                },
+                NotifySample {
+                    pe: 0,
+                    time: 10.0,
+                    gcups: 2.4,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn busy_and_cancelled_seconds() {
+        let t = trace();
+        assert!((t.busy_seconds(0) - 2.5).abs() < 1e-12);
+        assert!((t.busy_seconds(1) - 6.0).abs() < 1e-12);
+        assert!((t.cancelled_seconds() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pe_segments_sorted_by_start() {
+        let t = trace();
+        let segs = t.pe_segments(0);
+        assert_eq!(segs.len(), 2);
+        assert!(segs[0].start <= segs[1].start);
+    }
+
+    #[test]
+    fn notification_series_filtered() {
+        let t = trace();
+        let series = t.pe_notifications(0);
+        assert_eq!(series, vec![(5.0, 2.5), (10.0, 2.4)]);
+        assert_eq!(t.pe_notifications(2), vec![]);
+    }
+
+    #[test]
+    fn gantt_renders_all_pes() {
+        let t = trace();
+        let names = vec!["GPU1".to_string(), "SSE1".to_string()];
+        let g = t.render_gantt(&names, 40);
+        assert!(g.contains("GPU1"));
+        assert!(g.contains("SSE1"));
+        assert!(g.contains("t0"));
+        assert!(g.contains("x2"), "cancelled replica must be marked:\n{g}");
+    }
+
+    #[test]
+    fn empty_trace_renders() {
+        let t = Trace::default();
+        let g = t.render_gantt(&["a".to_string()], 10);
+        assert!(g.contains('a'));
+    }
+}

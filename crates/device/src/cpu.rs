@@ -1,0 +1,92 @@
+//! The SSE-core device.
+//!
+//! The paper treats *each SSE core* as an individual slave PE ("4 GPUs + 4
+//! Intel SSE cores"; Figs. 7/8 plot per-core GCUPS), so this device models a
+//! single core running the adapted Farrar kernel of `swhybrid-simd`.
+
+use crate::perfmodel::PerfModel;
+use crate::task::{DeviceKind, DeviceModel, TaskSpec};
+
+/// One SSE core running the adapted Farrar striped kernel.
+#[derive(Debug, Clone)]
+pub struct CpuSseDevice {
+    name: String,
+    model: PerfModel,
+}
+
+impl CpuSseDevice {
+    /// A Core i7-class SSE core with the default calibration.
+    pub fn i7_core(name: impl Into<String>) -> CpuSseDevice {
+        CpuSseDevice {
+            name: name.into(),
+            model: PerfModel::sse_core(),
+        }
+    }
+
+    /// A core with a custom model (for ablations and the Fig. 5 worked
+    /// example, where the GPU is exactly 6× the SSE core).
+    pub fn with_model(name: impl Into<String>, model: PerfModel) -> CpuSseDevice {
+        CpuSseDevice {
+            name: name.into(),
+            model,
+        }
+    }
+
+    /// The underlying performance model.
+    pub fn model(&self) -> &PerfModel {
+        &self.model
+    }
+}
+
+impl DeviceModel for CpuSseDevice {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> DeviceKind {
+        DeviceKind::SseCore
+    }
+
+    fn startup_seconds(&self, task: &TaskSpec) -> f64 {
+        self.model.startup(task.db_residues)
+    }
+
+    fn rate(&self, task: &TaskSpec) -> f64 {
+        self.model.effective_rate(task.query_len, task.db_sequences)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_rate_close_to_calibrated_peak_for_long_queries() {
+        let core = CpuSseDevice::i7_core("sse0");
+        let t = TaskSpec {
+            id: 0,
+            query_len: 5000,
+            db_residues: 190_814_275,
+            db_sequences: 537_505,
+        };
+        let gcups = core.task_gcups(&t);
+        assert!((2.4..2.8).contains(&gcups), "gcups = {gcups}");
+        // A 5,000-aa query against SwissProt on one core takes ~6 minutes —
+        // this is the "slow node got a big last task" hazard of §IV-A-3.
+        let secs = core.task_seconds(&t);
+        assert!((300.0..420.0).contains(&secs), "secs = {secs}");
+    }
+
+    #[test]
+    fn startup_is_negligible() {
+        let core = CpuSseDevice::i7_core("sse0");
+        let t = TaskSpec {
+            id: 0,
+            query_len: 100,
+            db_residues: 12_400_000,
+            db_sequences: 25_160,
+        };
+        assert!(core.startup_seconds(&t) < 0.1);
+        assert_eq!(core.kind(), DeviceKind::SseCore);
+    }
+}

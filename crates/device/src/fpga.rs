@@ -1,0 +1,123 @@
+//! FPGA processing element (future-work extension).
+//!
+//! The paper's §VI names FPGA integration as future work; the natural
+//! template is Meng & Chaudhary's heterogeneous platform [13], whose FPGA
+//! imposes a maximum sequence length: long *query* sequences must be
+//! segmented with overlap (at a sensitivity cost the paper notes), and the
+//! overlapped residues are recomputed — which this model charges as a cell
+//! inflation factor.
+
+use crate::perfmodel::PerfModel;
+use crate::task::{DeviceKind, DeviceModel, TaskSpec};
+
+/// A systolic-array FPGA accelerator with a query-length restriction.
+#[derive(Debug, Clone)]
+pub struct FpgaDevice {
+    name: String,
+    model: PerfModel,
+    /// Longest query the array holds without segmentation.
+    pub max_query_len: usize,
+    /// Residues of overlap between adjacent segments.
+    pub overlap: usize,
+}
+
+impl FpgaDevice {
+    /// Default systolic-array FPGA: 1,024-PE array, 64-residue overlap.
+    pub fn systolic(name: impl Into<String>) -> FpgaDevice {
+        FpgaDevice {
+            name: name.into(),
+            model: PerfModel::fpga_systolic(),
+            max_query_len: 1024,
+            overlap: 64,
+        }
+    }
+
+    /// Number of segments a query of `query_len` splits into.
+    pub fn segments(&self, query_len: usize) -> usize {
+        if query_len <= self.max_query_len {
+            return 1;
+        }
+        let step = self.max_query_len - self.overlap;
+        1 + (query_len - self.max_query_len).div_ceil(step)
+    }
+
+    /// Cell inflation factor from overlapped recomputation (≥ 1.0).
+    pub fn inflation(&self, query_len: usize) -> f64 {
+        let segs = self.segments(query_len);
+        if segs == 1 {
+            return 1.0;
+        }
+        // Total residues actually processed across the segments.
+        let step = self.max_query_len - self.overlap;
+        let processed = self.max_query_len + (segs - 1) * step.min(query_len) + (segs - 1) * self.overlap;
+        processed as f64 / query_len as f64
+    }
+}
+
+impl DeviceModel for FpgaDevice {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> DeviceKind {
+        DeviceKind::Fpga
+    }
+
+    fn startup_seconds(&self, task: &TaskSpec) -> f64 {
+        // One reconfiguration + transfer per segment batch.
+        self.model.startup(task.db_residues)
+    }
+
+    fn rate(&self, task: &TaskSpec) -> f64 {
+        // Overlap recomputation shows up as a lower effective rate.
+        self.model
+            .effective_rate(task.query_len, task.db_sequences)
+            / self.inflation(task.query_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_queries_are_unsegmented() {
+        let f = FpgaDevice::systolic("fpga0");
+        assert_eq!(f.segments(100), 1);
+        assert_eq!(f.segments(1024), 1);
+        assert_eq!(f.inflation(1024), 1.0);
+    }
+
+    #[test]
+    fn long_queries_segment_with_overlap() {
+        let f = FpgaDevice::systolic("fpga0");
+        assert_eq!(f.segments(1025), 2);
+        // 5,000-aa query: step = 960; segments = 1 + ceil(3976/960) = 6.
+        assert_eq!(f.segments(5000), 6);
+        let infl = f.inflation(5000);
+        assert!(infl > 1.0 && infl < 1.5, "inflation = {infl}");
+    }
+
+    #[test]
+    fn inflation_reduces_effective_rate() {
+        let f = FpgaDevice::systolic("fpga0");
+        let short = TaskSpec {
+            id: 0,
+            query_len: 1000,
+            db_residues: 10_000_000,
+            db_sequences: 10_000,
+        };
+        let long = TaskSpec {
+            id: 1,
+            query_len: 5000,
+            ..short.clone()
+        };
+        assert!(f.rate(&long) < f.rate(&short) * 1.01);
+        assert!(f.rate(&long) >= f.rate(&short) / f.inflation(5000) * 0.99);
+    }
+
+    #[test]
+    fn kind_is_fpga() {
+        assert_eq!(FpgaDevice::systolic("x").kind(), DeviceKind::Fpga);
+    }
+}

@@ -1,0 +1,159 @@
+//! The simulated CUDASW++ 2.0 GPU device.
+//!
+//! The paper encapsulates the *unmodified* CUDASW++ 2.0 binary: each task is
+//! one program invocation comparing one query against the whole database
+//! (§IV-C). This device reproduces that behaviour: a per-invocation startup
+//! (process launch + CUDA context + database transfer) followed by a scan at
+//! the model's effective rate. CUDASW++ 2.0 internally partitions the
+//! database by length — short subjects go to the *inter-task* kernel
+//! (virtualised SIMD across subjects), long ones to the *intra-task* kernel
+//! — which is the physical reason for the query-length and occupancy ramps
+//! in the model; [`GpuDevice::kernel_split`] exposes that partition for the
+//! ablation benches.
+
+use crate::perfmodel::PerfModel;
+use crate::task::{DeviceKind, DeviceModel, TaskSpec};
+
+/// Subject-length threshold between CUDASW++ 2.0's inter-task and
+/// intra-task kernels (Liu et al. 2010 use 3,072).
+pub const INTER_INTRA_THRESHOLD: usize = 3072;
+
+/// A simulated GPU running CUDASW++ 2.0.
+///
+/// ```
+/// use swhybrid_device::gpu::GpuDevice;
+/// use swhybrid_device::task::{DeviceModel, TaskSpec};
+///
+/// let gpu = GpuDevice::gtx580("gpu0");
+/// let task = TaskSpec {
+///     id: 0,
+///     query_len: 5000,
+///     db_residues: 190_814_275, // SwissProt
+///     db_sequences: 537_505,
+/// };
+/// // A 5,000-aa query against SwissProt takes ~30 s on one GTX 580.
+/// assert!((25.0..40.0).contains(&gpu.task_seconds(&task)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct GpuDevice {
+    name: String,
+    model: PerfModel,
+}
+
+impl GpuDevice {
+    /// A GTX 580 with the default calibration.
+    pub fn gtx580(name: impl Into<String>) -> GpuDevice {
+        GpuDevice {
+            name: name.into(),
+            model: PerfModel::gtx580_cudasw(),
+        }
+    }
+
+    /// A GPU with a custom model (for ablations).
+    pub fn with_model(name: impl Into<String>, model: PerfModel) -> GpuDevice {
+        GpuDevice {
+            name: name.into(),
+            model,
+        }
+    }
+
+    /// The underlying performance model.
+    pub fn model(&self) -> &PerfModel {
+        &self.model
+    }
+
+    /// How CUDASW++ 2.0 would split a database with the given sequence
+    /// lengths: `(inter_task_count, intra_task_count)`.
+    pub fn kernel_split(subject_lengths: impl IntoIterator<Item = usize>) -> (usize, usize) {
+        let mut inter = 0;
+        let mut intra = 0;
+        for len in subject_lengths {
+            if len <= INTER_INTRA_THRESHOLD {
+                inter += 1;
+            } else {
+                intra += 1;
+            }
+        }
+        (inter, intra)
+    }
+}
+
+impl DeviceModel for GpuDevice {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> DeviceKind {
+        DeviceKind::Gpu
+    }
+
+    fn startup_seconds(&self, task: &TaskSpec) -> f64 {
+        self.model.startup(task.db_residues)
+    }
+
+    fn rate(&self, task: &TaskSpec) -> f64 {
+        self.model.effective_rate(task.query_len, task.db_sequences)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn swissprot_task(query_len: usize) -> TaskSpec {
+        TaskSpec {
+            id: 0,
+            query_len,
+            db_residues: 190_814_275,
+            db_sequences: 537_505,
+        }
+    }
+
+    #[test]
+    fn long_query_swissprot_task_time_plausible() {
+        // 5,000-aa query × SwissProt ≈ 9.5e11 cells; at ≈ 30 effective
+        // GCUPS that is ~31 s + startup.
+        let gpu = GpuDevice::gtx580("gpu0");
+        let t = swissprot_task(5000);
+        let secs = gpu.task_seconds(&t);
+        assert!((25.0..40.0).contains(&secs), "secs = {secs}");
+        assert!(gpu.task_gcups(&t) > 25.0);
+    }
+
+    #[test]
+    fn short_queries_get_lower_gcups() {
+        let gpu = GpuDevice::gtx580("gpu0");
+        let short = gpu.task_gcups(&swissprot_task(100));
+        let long = gpu.task_gcups(&swissprot_task(5000));
+        assert!(short < long / 2.0, "short {short}, long {long}");
+    }
+
+    #[test]
+    fn startup_dominates_tiny_tasks() {
+        let gpu = GpuDevice::gtx580("gpu0");
+        let tiny = TaskSpec {
+            id: 0,
+            query_len: 100,
+            db_residues: 1_000_000,
+            db_sequences: 2_000,
+        };
+        // 1e8 cells is far less than a second of GPU work; startup rules.
+        let secs = gpu.task_seconds(&tiny);
+        assert!(secs > 0.8, "secs = {secs}");
+        assert!(gpu.task_gcups(&tiny) < 1.0);
+    }
+
+    #[test]
+    fn kernel_split_threshold() {
+        let (inter, intra) = GpuDevice::kernel_split([100, 3072, 3073, 9000]);
+        assert_eq!(inter, 2);
+        assert_eq!(intra, 2);
+    }
+
+    #[test]
+    fn kind_and_name() {
+        let gpu = GpuDevice::gtx580("gpuX");
+        assert_eq!(gpu.kind(), DeviceKind::Gpu);
+        assert_eq!(gpu.name(), "gpuX");
+    }
+}

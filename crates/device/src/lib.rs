@@ -1,0 +1,45 @@
+//! Processing-element (PE) models for the hybrid platform.
+//!
+//! The paper's platform is 4 × NVIDIA GTX 580 (running CUDASW++ 2.0) plus
+//! 2 × Intel Core i7 (4 SSE cores each, running the adapted Farrar kernel).
+//! No GPU hardware is available to this reproduction, so the accelerator is
+//! **simulated**: a device executes real SW scoring through the workspace's
+//! own kernels (scores are bit-identical), while its *elapsed time* comes
+//! from a calibrated performance model (see `DESIGN.md` §2 for the
+//! calibration constants and their provenance). The scheduler — the paper's
+//! actual contribution — only ever observes completion times and progress
+//! notifications, so a throughput-accurate model exercises exactly the same
+//! code paths as the real machine.
+//!
+//! Modules:
+//!
+//! * [`task`] — the work unit: one query × one whole database (§IV, "very
+//!   coarse-grained"),
+//! * [`perfmodel`] — throughput curves and the calibration presets,
+//! * [`gpu`] — the CUDASW++-2.0-style accelerator model,
+//! * [`cudasw`] — a structural simulation of one CUDASW++ invocation
+//!   (length sort, inter/intra-task kernel split, warp divergence,
+//!   occupancy) that grounds the aggregate model,
+//! * [`cpu`] — the SSE-core model (one PE per core, as in the paper),
+//! * [`fpga`] — future-work extension: an FPGA PE with a maximum query
+//!   length and Meng/Chaudhary-style query segmentation,
+//! * [`load`] — step-function load schedules for non-dedicated experiments
+//!   (the paper's §V-C `superpi` interference test),
+//! * [`exec`] — real execution backends (actually compute scores with the
+//!   `swhybrid-simd` kernels).
+
+pub mod cpu;
+pub mod cudasw;
+pub mod exec;
+pub mod fpga;
+pub mod gpu;
+pub mod load;
+pub mod perfmodel;
+pub mod task;
+
+pub use cpu::CpuSseDevice;
+pub use fpga::FpgaDevice;
+pub use gpu::GpuDevice;
+pub use load::LoadSchedule;
+pub use perfmodel::PerfModel;
+pub use task::{DeviceKind, DeviceModel, TaskSpec};

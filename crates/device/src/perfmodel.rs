@@ -1,0 +1,184 @@
+//! Calibrated throughput models.
+//!
+//! Exact per-cell timings of the paper's testbed are unrecoverable (the
+//! table bodies did not survive digitisation), so the models are calibrated
+//! to the numbers that did survive and to the cited literature; see
+//! `DESIGN.md` §2. The single source of truth for every constant is this
+//! module — experiments must never embed their own magic numbers.
+
+/// A throughput curve: effective rate = `peak × query_eff × db_fill_eff`,
+/// with a fixed startup plus an optional transfer term per task.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PerfModel {
+    /// Peak sustained GCUPS under ideal conditions.
+    pub peak_gcups: f64,
+    /// Fixed per-task startup seconds (process launch, CUDA context,
+    /// reconfiguration, …).
+    pub startup_seconds: f64,
+    /// Transfer throughput for shipping the database to the device, in
+    /// bytes/second (one residue = one byte); `None` disables the term.
+    pub transfer_bytes_per_sec: Option<f64>,
+    /// Query-length efficiency ramp: `eff = len / (len + ramp)`;
+    /// 0 disables the ramp.
+    pub query_ramp: f64,
+    /// Device-occupancy ramp on the number of database sequences:
+    /// `eff = n / (n + fill)`; 0 disables. Models accelerators that need
+    /// many concurrent subject comparisons to fill their lanes.
+    pub db_fill: f64,
+}
+
+impl PerfModel {
+    /// Query-length efficiency factor in (0, 1].
+    pub fn query_efficiency(&self, query_len: usize) -> f64 {
+        if self.query_ramp <= 0.0 {
+            1.0
+        } else {
+            query_len as f64 / (query_len as f64 + self.query_ramp)
+        }
+    }
+
+    /// Occupancy efficiency factor in (0, 1].
+    pub fn fill_efficiency(&self, db_sequences: usize) -> f64 {
+        if self.db_fill <= 0.0 {
+            1.0
+        } else {
+            db_sequences as f64 / (db_sequences as f64 + self.db_fill)
+        }
+    }
+
+    /// Effective sustained rate in cells/second.
+    pub fn effective_rate(&self, query_len: usize, db_sequences: usize) -> f64 {
+        self.peak_gcups * 1e9 * self.query_efficiency(query_len) * self.fill_efficiency(db_sequences)
+    }
+
+    /// Per-task startup seconds including the database transfer.
+    pub fn startup(&self, db_residues: u64) -> f64 {
+        let transfer = match self.transfer_bytes_per_sec {
+            Some(bw) if bw > 0.0 => db_residues as f64 / bw,
+            _ => 0.0,
+        };
+        self.startup_seconds + transfer
+    }
+
+    /// The GTX 580 running CUDASW++ 2.0, one task per program invocation
+    /// (the paper encapsulates the unmodified CUDASW++ binary, §IV-C):
+    /// peak ≈ 32 GCUPS (Liu et al. 2010 scaled to GF110), ≈ 0.85 s of
+    /// process/CUDA-context startup per invocation, PCIe-2.0-ish transfer,
+    /// and a pronounced short-query ramp (virtualised-SIMD kernels need
+    /// long queries to amortise). The combination reproduces the paper's
+    /// observation that 4-GPU GCUPS on SwissProt is ≈ 2× the GCUPS on the
+    /// four small databases.
+    pub fn gtx580_cudasw() -> PerfModel {
+        PerfModel {
+            peak_gcups: 32.0,
+            startup_seconds: 0.85,
+            transfer_bytes_per_sec: Some(2.5e9),
+            query_ramp: 220.0,
+            db_fill: 1500.0,
+        }
+    }
+
+    /// One SSE core of the Core i7-2600 running the adapted Farrar kernel:
+    /// ≈ 2.7 GCUPS sustained (calibrated to the paper's "7,190 s on one SSE
+    /// core" for the SwissProt workload), negligible startup, and a mild
+    /// short-query ramp (profile construction).
+    pub fn sse_core() -> PerfModel {
+        PerfModel {
+            peak_gcups: 2.75,
+            startup_seconds: 0.02,
+            transfer_bytes_per_sec: None,
+            query_ramp: 25.0,
+            db_fill: 0.0,
+        }
+    }
+
+    /// An FPGA systolic-array accelerator (Meng & Chaudhary-class), for the
+    /// future-work extension: high peak, long reconfiguration startup.
+    pub fn fpga_systolic() -> PerfModel {
+        PerfModel {
+            peak_gcups: 25.0,
+            startup_seconds: 1.5,
+            transfer_bytes_per_sec: Some(1.0e9),
+            query_ramp: 0.0,
+            db_fill: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramps_disabled_by_zero() {
+        let m = PerfModel {
+            peak_gcups: 10.0,
+            startup_seconds: 0.0,
+            transfer_bytes_per_sec: None,
+            query_ramp: 0.0,
+            db_fill: 0.0,
+        };
+        assert_eq!(m.query_efficiency(1), 1.0);
+        assert_eq!(m.fill_efficiency(1), 1.0);
+        assert_eq!(m.effective_rate(100, 1), 10e9);
+    }
+
+    #[test]
+    fn query_ramp_monotone_to_one() {
+        let m = PerfModel::gtx580_cudasw();
+        let mut prev = 0.0;
+        for len in [50, 100, 500, 1000, 5000, 50_000] {
+            let e = m.query_efficiency(len);
+            assert!(e > prev);
+            assert!(e < 1.0);
+            prev = e;
+        }
+        assert!(m.query_efficiency(50_000) > 0.99);
+    }
+
+    #[test]
+    fn startup_includes_transfer() {
+        let m = PerfModel::gtx580_cudasw();
+        let small = m.startup(12_400_000);
+        let big = m.startup(190_800_000);
+        assert!(big > small);
+        // SwissProt transfer at 2.5 GB/s ≈ 0.076 s on top of 0.85 s.
+        assert!((big - 0.85 - 190_800_000.0 / 2.5e9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sse_core_calibration_reproduces_headline() {
+        // 40 queries (~102k residues) × SwissProt ≈ 1.95e13 cells.
+        // One SSE core must land in the paper's ballpark of 7,190 s.
+        let m = PerfModel::sse_core();
+        let cells = 102_000f64 * 190.8e6;
+        // Mid-size query (2,550 aa) efficiency is representative.
+        let secs = cells / (m.effective_rate(2550, 537_505));
+        assert!((6500.0..8000.0).contains(&secs), "secs = {secs}");
+    }
+
+    #[test]
+    fn gpu_small_vs_large_db_gcups_gap() {
+        // The effective GCUPS a GTX 580 achieves per task: the SwissProt
+        // task must be ≈ 2× the Ensembl-Dog task for a mid-size query
+        // (paper §V-A-2: "approximately the double").
+        let m = PerfModel::gtx580_cudasw();
+        let q = 2550usize;
+        let small_cells = q as f64 * 12.4e6;
+        let big_cells = q as f64 * 190.8e6;
+        let small_secs = m.startup(12_400_000) + small_cells / m.effective_rate(q, 25_160);
+        let big_secs = m.startup(190_800_000) + big_cells / m.effective_rate(q, 537_505);
+        let small_gcups = small_cells / small_secs / 1e9;
+        let big_gcups = big_cells / big_secs / 1e9;
+        let ratio = big_gcups / small_gcups;
+        assert!((1.5..2.6).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn gpu_is_roughly_order_of_magnitude_faster_than_sse_core() {
+        let gpu = PerfModel::gtx580_cudasw();
+        let sse = PerfModel::sse_core();
+        let ratio = gpu.effective_rate(2550, 537_505) / sse.effective_rate(2550, 537_505);
+        assert!((8.0..14.0).contains(&ratio), "ratio = {ratio}");
+    }
+}

@@ -1,0 +1,137 @@
+//! The work unit and the device-model abstraction.
+//!
+//! In the paper's system "a task is defined to be the comparison of one
+//! query sequence to one genomic database" (§IV) — the very coarse-grained
+//! decomposition of Fig. 3c. A [`TaskSpec`] carries exactly the metadata a
+//! performance model needs: query length and database size.
+
+/// Immutable description of one task (query × whole database).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TaskSpec {
+    /// Stable task identifier (index into the query file).
+    pub id: usize,
+    /// Query length in residues.
+    pub query_len: usize,
+    /// Total residues of the database the query is compared against.
+    pub db_residues: u64,
+    /// Number of sequences in the database (drives accelerator occupancy).
+    pub db_sequences: usize,
+}
+
+impl TaskSpec {
+    /// DP cells this task updates.
+    #[inline]
+    pub fn cells(&self) -> u64 {
+        self.query_len as u64 * self.db_residues
+    }
+}
+
+/// The kind of processing element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum DeviceKind {
+    /// A GPU running (simulated) CUDASW++ 2.0.
+    Gpu,
+    /// One SSE core running the adapted Farrar kernel.
+    SseCore,
+    /// An FPGA accelerator (future-work extension).
+    Fpga,
+}
+
+impl std::fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceKind::Gpu => write!(f, "GPU"),
+            DeviceKind::SseCore => write!(f, "SSE"),
+            DeviceKind::Fpga => write!(f, "FPGA"),
+        }
+    }
+}
+
+/// A processing element's performance model.
+///
+/// The model answers one question: *how long does this task take on a
+/// dedicated machine?* — decomposed into a fixed startup part (process
+/// launch, database transfer, reconfiguration, …) and a sustained
+/// cell-update rate. Non-dedicated interference is layered on top by the
+/// simulator via [`crate::load::LoadSchedule`].
+pub trait DeviceModel: Send + Sync {
+    /// Human-readable PE name, e.g. `"gpu0"`.
+    fn name(&self) -> &str;
+
+    /// What kind of PE this is.
+    fn kind(&self) -> DeviceKind;
+
+    /// Fixed per-task setup seconds.
+    fn startup_seconds(&self, task: &TaskSpec) -> f64;
+
+    /// Sustained cell-update rate (cells/second) for this task on a
+    /// dedicated machine.
+    fn rate(&self, task: &TaskSpec) -> f64;
+
+    /// Total dedicated-machine seconds for the task.
+    fn task_seconds(&self, task: &TaskSpec) -> f64 {
+        self.startup_seconds(task) + task.cells() as f64 / self.rate(task)
+    }
+
+    /// Effective GCUPS achieved on this task (including startup overhead).
+    fn task_gcups(&self, task: &TaskSpec) -> f64 {
+        let secs = self.task_seconds(task);
+        if secs <= 0.0 {
+            0.0
+        } else {
+            task.cells() as f64 / secs / 1e9
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed;
+    impl DeviceModel for Fixed {
+        fn name(&self) -> &str {
+            "fixed"
+        }
+        fn kind(&self) -> DeviceKind {
+            DeviceKind::SseCore
+        }
+        fn startup_seconds(&self, _t: &TaskSpec) -> f64 {
+            1.0
+        }
+        fn rate(&self, _t: &TaskSpec) -> f64 {
+            1e9
+        }
+    }
+
+    fn task() -> TaskSpec {
+        TaskSpec {
+            id: 0,
+            query_len: 1000,
+            db_residues: 2_000_000,
+            db_sequences: 100,
+        }
+    }
+
+    #[test]
+    fn cells_is_product() {
+        assert_eq!(task().cells(), 2_000_000_000);
+    }
+
+    #[test]
+    fn default_task_seconds_composition() {
+        let d = Fixed;
+        let t = task();
+        // 1 s startup + 2e9 cells / 1e9 cells/s = 3 s.
+        assert!((d.task_seconds(&t) - 3.0).abs() < 1e-12);
+        // Effective rate: 2e9 cells in 3 s = 0.667 GCUPS.
+        assert!((d.task_gcups(&t) - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(DeviceKind::Gpu.to_string(), "GPU");
+        assert_eq!(DeviceKind::SseCore.to_string(), "SSE");
+        assert_eq!(DeviceKind::Fpga.to_string(), "FPGA");
+    }
+}

@@ -1,0 +1,328 @@
+//! The paper's indexed sequence-file format (§IV-B).
+//!
+//! Query files are flat FASTA; to "quickly retrieve a subset of query
+//! sequences" the paper proposes an index that records
+//!
+//! 1. the total number of sequences,
+//! 2. the size of the biggest sequence, and
+//! 3. the byte offset that marks the beginning of each sequence in the file.
+//!
+//! [`SeqIndex`] is that structure; [`IndexedFasta`] pairs it with the flat
+//! file and serves random access (`fetch`, `fetch_range`) by seeking to the
+//! recorded offset and parsing a single record.
+//!
+//! ## On-disk layout (little-endian)
+//!
+//! ```text
+//! magic   8 bytes  b"SWHIDX1\0"
+//! count   u64      number of sequences
+//! max_len u64      residue count of the longest sequence
+//! offsets count × u64   byte offset of each record's '>' byte
+//! ```
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::error::SeqError;
+use crate::fasta::FastaReader;
+use crate::sequence::Sequence;
+
+/// Magic bytes identifying an index file (version 1).
+pub const MAGIC: &[u8; 8] = b"SWHIDX1\0";
+
+/// Index over a flat FASTA file: count, longest-sequence size, offsets.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SeqIndex {
+    /// Residue count of the longest sequence in the file.
+    pub max_len: u64,
+    /// Byte offset of each record's `>` within the flat file.
+    pub offsets: Vec<u64>,
+}
+
+impl SeqIndex {
+    /// Number of sequences in the indexed file.
+    pub fn count(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Build an index by scanning a flat FASTA byte stream once.
+    pub fn build<R: BufRead>(mut reader: R) -> Result<SeqIndex, SeqError> {
+        let mut offsets = Vec::new();
+        let mut max_len: u64 = 0;
+        let mut current_len: u64 = 0;
+        let mut in_record = false;
+        let mut pos: u64 = 0;
+        let mut line = Vec::new();
+
+        loop {
+            line.clear();
+            let n = reader.read_until(b'\n', &mut line)?;
+            if n == 0 {
+                break;
+            }
+            if line.first() == Some(&b'>') {
+                if in_record {
+                    max_len = max_len.max(current_len);
+                }
+                offsets.push(pos);
+                current_len = 0;
+                in_record = true;
+            } else if in_record {
+                current_len += line
+                    .iter()
+                    .filter(|b| !b.is_ascii_whitespace())
+                    .count() as u64;
+            } else if line.iter().any(|b| !b.is_ascii_whitespace()) {
+                return Err(SeqError::MalformedFasta(
+                    "residues before first header while indexing".into(),
+                ));
+            }
+            pos += n as u64;
+        }
+        if in_record {
+            max_len = max_len.max(current_len);
+        }
+        Ok(SeqIndex { max_len, offsets })
+    }
+
+    /// Build an index for a FASTA file on disk.
+    pub fn build_for_file(path: impl AsRef<Path>) -> Result<SeqIndex, SeqError> {
+        SeqIndex::build(BufReader::new(File::open(path)?))
+    }
+
+    /// Serialise to the binary on-disk layout.
+    pub fn write_to<W: Write>(&self, writer: &mut W) -> Result<(), SeqError> {
+        writer.write_all(MAGIC)?;
+        writer.write_all(&(self.offsets.len() as u64).to_le_bytes())?;
+        writer.write_all(&self.max_len.to_le_bytes())?;
+        for off in &self.offsets {
+            writer.write_all(&off.to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Deserialise from the binary on-disk layout.
+    pub fn read_from<R: Read>(reader: &mut R) -> Result<SeqIndex, SeqError> {
+        let mut magic = [0u8; 8];
+        reader.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(SeqError::BadIndex(format!(
+                "bad magic {magic:?}, expected {MAGIC:?}"
+            )));
+        }
+        let mut buf = [0u8; 8];
+        reader.read_exact(&mut buf)?;
+        let count = u64::from_le_bytes(buf) as usize;
+        reader.read_exact(&mut buf)?;
+        let max_len = u64::from_le_bytes(buf);
+        let mut offsets = Vec::with_capacity(count);
+        let mut prev: Option<u64> = None;
+        for i in 0..count {
+            reader.read_exact(&mut buf)?;
+            let off = u64::from_le_bytes(buf);
+            if let Some(p) = prev {
+                if off <= p {
+                    return Err(SeqError::BadIndex(format!(
+                        "offsets not strictly increasing at entry {i}"
+                    )));
+                }
+            }
+            prev = Some(off);
+            offsets.push(off);
+        }
+        Ok(SeqIndex { max_len, offsets })
+    }
+
+    /// Write the index next to the FASTA file (`<path>.swhidx`).
+    pub fn save_alongside(&self, fasta_path: impl AsRef<Path>) -> Result<PathBuf, SeqError> {
+        let idx_path = index_path_for(fasta_path.as_ref());
+        let mut f = std::io::BufWriter::new(File::create(&idx_path)?);
+        self.write_to(&mut f)?;
+        f.flush()?;
+        Ok(idx_path)
+    }
+}
+
+/// Conventional index path for a FASTA file: `<path>.swhidx`.
+pub fn index_path_for(fasta_path: &Path) -> PathBuf {
+    let mut os = fasta_path.as_os_str().to_owned();
+    os.push(".swhidx");
+    PathBuf::from(os)
+}
+
+/// A flat FASTA file plus its index: random access to individual records.
+pub struct IndexedFasta {
+    file: BufReader<File>,
+    index: SeqIndex,
+    path: PathBuf,
+}
+
+impl IndexedFasta {
+    /// Open `fasta_path`, loading `<fasta_path>.swhidx` if present or building
+    /// (and saving) the index otherwise.
+    pub fn open(fasta_path: impl AsRef<Path>) -> Result<IndexedFasta, SeqError> {
+        let fasta_path = fasta_path.as_ref();
+        let idx_path = index_path_for(fasta_path);
+        let index = if idx_path.exists() {
+            SeqIndex::read_from(&mut BufReader::new(File::open(&idx_path)?))?
+        } else {
+            let idx = SeqIndex::build_for_file(fasta_path)?;
+            idx.save_alongside(fasta_path)?;
+            idx
+        };
+        Ok(IndexedFasta {
+            file: BufReader::new(File::open(fasta_path)?),
+            index,
+            path: fasta_path.to_path_buf(),
+        })
+    }
+
+    /// Open with an explicit, already-loaded index.
+    pub fn with_index(fasta_path: impl AsRef<Path>, index: SeqIndex) -> Result<Self, SeqError> {
+        Ok(IndexedFasta {
+            file: BufReader::new(File::open(fasta_path.as_ref())?),
+            index,
+            path: fasta_path.as_ref().to_path_buf(),
+        })
+    }
+
+    /// The index metadata.
+    pub fn index(&self) -> &SeqIndex {
+        &self.index
+    }
+
+    /// Number of sequences.
+    pub fn count(&self) -> usize {
+        self.index.count()
+    }
+
+    /// Path of the underlying flat file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Fetch the `i`-th sequence (zero-based) by seeking to its offset.
+    pub fn fetch(&mut self, i: usize) -> Result<Sequence, SeqError> {
+        let off = *self
+            .index
+            .offsets
+            .get(i)
+            .ok_or(SeqError::IndexOutOfRange {
+                requested: i,
+                available: self.index.count(),
+            })?;
+        self.file.seek(SeekFrom::Start(off))?;
+        let mut reader = FastaReader::new(&mut self.file);
+        reader
+            .next_record()?
+            .ok_or_else(|| SeqError::BadIndex(format!("offset {off} points past end of file")))
+    }
+
+    /// Fetch a contiguous range of sequences.
+    pub fn fetch_range(&mut self, range: std::ops::Range<usize>) -> Result<Vec<Sequence>, SeqError> {
+        range.map(|i| self.fetch(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fasta;
+
+    fn sample_fasta() -> String {
+        let recs = vec![
+            Sequence::of("q1", b"MKVLAW"),
+            Sequence::of("q2", &[b'A'; 150]),
+            Sequence::of("q3", b"W"),
+        ];
+        fasta::to_string(&recs)
+    }
+
+    #[test]
+    fn build_records_count_maxlen_offsets() {
+        let text = sample_fasta();
+        let idx = SeqIndex::build(text.as_bytes()).unwrap();
+        assert_eq!(idx.count(), 3);
+        assert_eq!(idx.max_len, 150);
+        assert_eq!(idx.offsets[0], 0);
+        // Every offset must point at a '>' byte.
+        for &off in &idx.offsets {
+            assert_eq!(text.as_bytes()[off as usize], b'>');
+        }
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let idx = SeqIndex::build(sample_fasta().as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        idx.write_to(&mut buf).unwrap();
+        let back = SeqIndex::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(idx, back);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = Vec::new();
+        SeqIndex::build(sample_fasta().as_bytes())
+            .unwrap()
+            .write_to(&mut buf)
+            .unwrap();
+        buf[0] = b'X';
+        assert!(SeqIndex::read_from(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn non_monotonic_offsets_rejected() {
+        let idx = SeqIndex {
+            max_len: 5,
+            offsets: vec![10, 10],
+        };
+        let mut buf = Vec::new();
+        idx.write_to(&mut buf).unwrap();
+        assert!(SeqIndex::read_from(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn empty_fasta_indexes_to_zero() {
+        let idx = SeqIndex::build(&b""[..]).unwrap();
+        assert_eq!(idx.count(), 0);
+        assert_eq!(idx.max_len, 0);
+    }
+
+    #[test]
+    fn residues_before_header_rejected() {
+        assert!(SeqIndex::build(&b"MKVL\n>a\nMK\n"[..]).is_err());
+    }
+
+    #[test]
+    fn indexed_fasta_random_access() {
+        let dir = std::env::temp_dir().join(format!("swhidx_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("queries.fasta");
+        std::fs::write(&path, sample_fasta()).unwrap();
+
+        let mut ixf = IndexedFasta::open(&path).unwrap();
+        assert_eq!(ixf.count(), 3);
+        // Out-of-order access must work (that is the point of the index).
+        let q3 = ixf.fetch(2).unwrap();
+        assert_eq!(q3.id, "q3");
+        assert_eq!(q3.residues, b"W");
+        let q1 = ixf.fetch(0).unwrap();
+        assert_eq!(q1.id, "q1");
+        let range = ixf.fetch_range(1..3).unwrap();
+        assert_eq!(range.len(), 2);
+        assert_eq!(range[0].id, "q2");
+
+        // Second open must load the saved index file instead of rebuilding.
+        assert!(index_path_for(&path).exists());
+        let mut again = IndexedFasta::open(&path).unwrap();
+        assert_eq!(again.fetch(1).unwrap().residues.len(), 150);
+
+        assert!(matches!(
+            ixf.fetch(3),
+            Err(SeqError::IndexOutOfRange { requested: 3, available: 3 })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,32 @@
+//! Sequence substrate for `swhybrid`.
+//!
+//! This crate provides everything the task execution environment needs to
+//! represent biological data:
+//!
+//! * [`alphabet`] — DNA / RNA / protein alphabets and residue encoding,
+//! * [`sequence`] — sequence records (identifier, description, residues),
+//! * [`fasta`] — a streaming FASTA reader/writer,
+//! * [`index`] — the paper's indexed sequence-file format (§IV-B): sequence
+//!   count, longest-sequence size, and per-sequence byte offsets for fast
+//!   random access into a flat file,
+//! * [`db`] — an in-memory database with summary statistics,
+//! * [`synth`] — deterministic synthetic generators standing in for the five
+//!   public protein databases used in the paper's evaluation (Table II).
+//!
+//! The paper compares 40 query sequences (lengths equally distributed between
+//! 100 and 5,000 amino acids) against five genomic databases; [`synth`]
+//! reproduces those workloads at full scale (metadata only) or at a reduced
+//! scale (materialised residues) suitable for real kernel execution.
+
+pub mod alphabet;
+pub mod db;
+pub mod error;
+pub mod fasta;
+pub mod index;
+pub mod sequence;
+pub mod synth;
+
+pub use alphabet::Alphabet;
+pub use db::{Database, DbStats};
+pub use error::SeqError;
+pub use sequence::Sequence;

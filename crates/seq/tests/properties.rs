@@ -1,0 +1,102 @@
+//! Property-based tests of the sequence substrate: FASTA round-trips,
+//! index correctness on arbitrary inputs, encoding laws.
+
+use proptest::prelude::*;
+use swhybrid_seq::alphabet::Alphabet;
+use swhybrid_seq::fasta;
+use swhybrid_seq::index::SeqIndex;
+use swhybrid_seq::sequence::Sequence;
+
+/// Identifier strings that survive a FASTA header round-trip (no spaces —
+/// FASTA splits at the first whitespace).
+fn fasta_id() -> impl Strategy<Value = String> {
+    "[A-Za-z0-9_.|-]{1,24}"
+}
+
+/// Description text (may be empty; internal runs of whitespace collapse is
+/// avoided by the generator to keep equality exact).
+fn fasta_desc() -> impl Strategy<Value = String> {
+    "([A-Za-z0-9_,.-]{1,12}( [A-Za-z0-9_,.-]{1,12}){0,3})?"
+}
+
+/// Residue strings over the protein alphabet's canonical letters.
+fn residues() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(
+        prop::sample::select(b"ARNDCQEGHILKMFPSTWYV".to_vec()),
+        0..200,
+    )
+}
+
+fn records() -> impl Strategy<Value = Vec<Sequence>> {
+    prop::collection::vec(
+        (fasta_id(), fasta_desc(), residues())
+            .prop_map(|(id, desc, res)| Sequence::new(id, desc, res)),
+        0..12,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fasta_write_parse_round_trips(recs in records()) {
+        let text = fasta::to_string(&recs);
+        let parsed = fasta::parse_str(&text).unwrap();
+        prop_assert_eq!(parsed, recs);
+    }
+
+    #[test]
+    fn index_counts_and_offsets_are_exact(recs in records()) {
+        let text = fasta::to_string(&recs);
+        let idx = SeqIndex::build(text.as_bytes()).unwrap();
+        prop_assert_eq!(idx.count(), recs.len());
+        let max_len = recs.iter().map(|r| r.len()).max().unwrap_or(0);
+        prop_assert_eq!(idx.max_len, max_len as u64);
+        // Every offset points at the '>' of the right record.
+        for (i, &off) in idx.offsets.iter().enumerate() {
+            prop_assert_eq!(text.as_bytes()[off as usize], b'>');
+            let rest = &text[off as usize..];
+            let mut reader = swhybrid_seq::fasta::FastaReader::new(rest.as_bytes());
+            let rec = reader.next_record().unwrap().unwrap();
+            prop_assert_eq!(&rec, &recs[i]);
+        }
+    }
+
+    #[test]
+    fn index_binary_serialisation_round_trips(recs in records()) {
+        let text = fasta::to_string(&recs);
+        let idx = SeqIndex::build(text.as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        idx.write_to(&mut buf).unwrap();
+        let back = SeqIndex::read_from(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(idx, back);
+    }
+
+    #[test]
+    fn protein_encode_decode_is_identity(res in residues()) {
+        let codes = Alphabet::Protein.encode(&res).unwrap();
+        prop_assert_eq!(Alphabet::Protein.decode_all(&codes), res);
+    }
+
+    #[test]
+    fn encoding_is_case_insensitive(res in residues()) {
+        let lower: Vec<u8> = res.iter().map(|b| b.to_ascii_lowercase()).collect();
+        prop_assert_eq!(
+            Alphabet::Protein.encode(&res).unwrap(),
+            Alphabet::Protein.encode(&lower).unwrap()
+        );
+    }
+
+    #[test]
+    fn chunking_partitions_any_database(recs in records(), n in 1usize..6) {
+        let db = swhybrid_seq::Database::new("p", Alphabet::Protein, recs.clone());
+        let chunks = db.chunks_by_residues(n);
+        prop_assert_eq!(chunks.len(), n);
+        let total: usize = chunks.iter().map(|c| c.len()).sum();
+        prop_assert_eq!(total, recs.len());
+        let flattened: Vec<&Sequence> = chunks.iter().flat_map(|c| c.iter()).collect();
+        for (orig, got) in recs.iter().zip(flattened) {
+            prop_assert_eq!(orig, got);
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! AVX2 striped kernels: 32 × i8 and 16 × i16 lanes.
+//!
+//! The paper's 2013 testbed predates AVX2, but any modern deployment of the
+//! system would use it, so the engine picks these kernels up automatically
+//! when the CPU advertises the feature (extension; documented in
+//! `DESIGN.md` §6). The algorithm is identical to [`crate::sse`]; only the
+//! register width and the cross-lane shift change — `_mm256_slli_si256`
+//! shifts within each 128-bit half, so the lane shift is composed from
+//! `permute2x128` + `alignr`.
+
+#![allow(unsafe_code)]
+
+use crate::portable::StripedOutcome;
+use crate::profile::StripedProfile;
+
+/// Lane count of the 8-bit AVX2 kernel.
+pub const LANES_I8: usize = 32;
+
+/// Lane count of the 16-bit AVX2 kernel.
+pub const LANES_I16: usize = 16;
+
+/// Whether the AVX2 kernels can run on this machine.
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Safe wrapper: 8-bit AVX2 kernel if supported. The profile must have been
+/// built with [`LANES_I8`] lanes.
+pub fn sw_striped_i8_avx2(
+    profile: &StripedProfile<i8>,
+    subject: &[u8],
+    goe: i32,
+    ext: i32,
+) -> Option<StripedOutcome> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if avx2_available() {
+            assert_eq!(profile.lanes, LANES_I8, "profile must be 32-lane");
+            // SAFETY: feature presence checked above.
+            return Some(unsafe { imp::sw_i8(profile, subject, goe, ext) });
+        }
+    }
+    let _ = (profile, subject, goe, ext);
+    None
+}
+
+/// Safe wrapper: 16-bit AVX2 kernel if supported. The profile must have
+/// been built with [`LANES_I16`] lanes.
+pub fn sw_striped_i16_avx2(
+    profile: &StripedProfile<i16>,
+    subject: &[u8],
+    goe: i32,
+    ext: i32,
+) -> Option<StripedOutcome> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if avx2_available() {
+            assert_eq!(profile.lanes, LANES_I16, "profile must be 16-lane");
+            // SAFETY: feature presence checked above.
+            return Some(unsafe { imp::sw_i16(profile, subject, goe, ext) });
+        }
+    }
+    let _ = (profile, subject, goe, ext);
+    None
+}
+
+#[cfg(target_arch = "x86_64")]
+mod imp {
+    use super::*;
+    use std::arch::x86_64::*;
+
+    // The 256-bit cross-half byte shift (`lshift` inside the macro below)
+    // composes `permute2x128` (move the low half into the high half, zero
+    // the low half) with `alignr` (stitch the two so every byte moves up by
+    // `shift_bytes`). The alignr immediate must be a literal, hence the
+    // macro-per-width construction.
+    macro_rules! striped_avx2 {
+        (
+            $fname:ident, $lane_ty:ty, $lanes:expr, $shift_bytes:expr,
+            $set1:ident, $adds:ident, $subs:ident, $max:ident, $cmpgt:ident
+        ) => {
+            /// # Safety
+            /// Caller must ensure AVX2 is available.
+            #[target_feature(enable = "avx2")]
+            pub unsafe fn $fname(
+                profile: &StripedProfile<$lane_ty>,
+                subject: &[u8],
+                goe: i32,
+                ext: i32,
+            ) -> StripedOutcome {
+                const LANES: usize = $lanes;
+                debug_assert_eq!(profile.lanes, LANES);
+                let seg_len = profile.seg_len;
+                let slots = seg_len * LANES;
+                let mut h_load = vec![0 as $lane_ty; slots];
+                let mut h_store = vec![0 as $lane_ty; slots];
+                let mut e_arr = vec![<$lane_ty>::MIN; slots];
+
+                let clamp =
+                    |x: i32| x.clamp(<$lane_ty>::MIN as i32, <$lane_ty>::MAX as i32) as $lane_ty;
+                let v_goe = $set1(clamp(goe) as _);
+                let v_ext = $set1(clamp(ext) as _);
+                let v_zero = _mm256_setzero_si256();
+                let v_min = $set1(<$lane_ty>::MIN as _);
+                // MIN in lane 0, zero elsewhere: realised by shifting MIN
+                // right so only the lowest lane survives.
+                let min_lane0 = {
+                    let mut buf = [0 as $lane_ty; LANES];
+                    buf[0] = <$lane_ty>::MIN;
+                    _mm256_loadu_si256(buf.as_ptr() as *const __m256i)
+                };
+                let mut v_best = v_min;
+
+                #[inline(always)]
+                unsafe fn lshift(v: __m256i) -> __m256i {
+                    let t = _mm256_permute2x128_si256::<0x08>(v, v);
+                    _mm256_alignr_epi8::<{ 16 - $shift_bytes }>(v, t)
+                }
+
+                for &r in subject {
+                    let mut v_f = v_min;
+                    let mut v_h = lshift(_mm256_loadu_si256(
+                        h_load.as_ptr().add((seg_len - 1) * LANES) as *const __m256i,
+                    ));
+
+                    for k in 0..seg_len {
+                        let prof =
+                            _mm256_loadu_si256(profile.vector_ptr(r, k) as *const __m256i);
+                        v_h = $adds(v_h, prof);
+                        let v_e = _mm256_loadu_si256(
+                            e_arr.as_ptr().add(k * LANES) as *const __m256i
+                        );
+                        v_h = $max(v_h, v_e);
+                        v_h = $max(v_h, v_f);
+                        v_h = $max(v_h, v_zero);
+                        v_best = $max(v_best, v_h);
+                        _mm256_storeu_si256(
+                            h_store.as_mut_ptr().add(k * LANES) as *mut __m256i,
+                            v_h,
+                        );
+                        let h_open = $subs(v_h, v_goe);
+                        let v_e2 = $max(h_open, $subs(v_e, v_ext));
+                        _mm256_storeu_si256(
+                            e_arr.as_mut_ptr().add(k * LANES) as *mut __m256i,
+                            v_e2,
+                        );
+                        v_f = $max(h_open, $subs(v_f, v_ext));
+                        v_h = _mm256_loadu_si256(
+                            h_load.as_ptr().add(k * LANES) as *const __m256i
+                        );
+                    }
+
+                    // Break condition argued in crate::portable: the carry
+                    // must be dominated everywhere, not merely changeless.
+                    'lazy: for _ in 0..LANES {
+                        v_f = _mm256_or_si256(lshift(v_f), min_lane0);
+                        let mut alive = false;
+                        for k in 0..seg_len {
+                            let mut vh = _mm256_loadu_si256(
+                                h_store.as_ptr().add(k * LANES) as *const __m256i,
+                            );
+                            let gt = _mm256_movemask_epi8($cmpgt(v_f, vh));
+                            if gt != 0 {
+                                vh = $max(vh, v_f);
+                                _mm256_storeu_si256(
+                                    h_store.as_mut_ptr().add(k * LANES) as *mut __m256i,
+                                    vh,
+                                );
+                                let h_open = $subs(vh, v_goe);
+                                let e_old = _mm256_loadu_si256(
+                                    e_arr.as_ptr().add(k * LANES) as *const __m256i,
+                                );
+                                _mm256_storeu_si256(
+                                    e_arr.as_mut_ptr().add(k * LANES) as *mut __m256i,
+                                    $max(e_old, h_open),
+                                );
+                                v_best = $max(v_best, vh);
+                            }
+                            let h_open = $subs(vh, v_goe);
+                            if _mm256_movemask_epi8($cmpgt(v_f, h_open)) != 0 {
+                                alive = true;
+                            }
+                            v_f = $max($subs(v_f, v_ext), h_open);
+                        }
+                        if !alive {
+                            break 'lazy;
+                        }
+                    }
+
+                    std::mem::swap(&mut h_load, &mut h_store);
+                }
+
+                let mut lanes_out = [0 as $lane_ty; LANES];
+                _mm256_storeu_si256(lanes_out.as_mut_ptr() as *mut __m256i, v_best);
+                let best = lanes_out.iter().copied().max().unwrap().max(0);
+                StripedOutcome {
+                    score: best as i32,
+                    saturated: best == <$lane_ty>::MAX,
+                }
+            }
+        };
+    }
+
+    striped_avx2!(
+        sw_i8, i8, 32, 1,
+        _mm256_set1_epi8, _mm256_adds_epi8, _mm256_subs_epi8, _mm256_max_epi8, _mm256_cmpgt_epi8
+    );
+    striped_avx2!(
+        sw_i16, i16, 16, 2,
+        _mm256_set1_epi16, _mm256_adds_epi16, _mm256_subs_epi16, _mm256_max_epi16,
+        _mm256_cmpgt_epi16
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::portable::{sw_striped_portable, Workspace};
+    use rand::{RngExt, SeedableRng};
+    use swhybrid_align::scoring::SubstMatrix;
+
+    #[test]
+    fn avx2_i16_matches_portable_16_lane() {
+        if !avx2_available() {
+            return;
+        }
+        let matrix = SubstMatrix::blosum62();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(301);
+        let mut ws = Workspace::<i16>::new();
+        for round in 0..40 {
+            let ql = rng.random_range(1..200);
+            let tl = rng.random_range(1..200);
+            let q: Vec<u8> = (0..ql).map(|_| rng.random_range(0..20u8)).collect();
+            let t: Vec<u8> = (0..tl).map(|_| rng.random_range(0..20u8)).collect();
+            let profile = StripedProfile::<i16>::build_with_lanes(&q, &matrix, LANES_I16);
+            let avx = sw_striped_i16_avx2(&profile, &t, 12, 2).unwrap();
+            let portable = sw_striped_portable(&profile, &t, 12, 2, &mut ws);
+            assert_eq!(avx, portable, "round {round} ql={ql} tl={tl}");
+        }
+    }
+
+    #[test]
+    fn avx2_i8_matches_portable_32_lane() {
+        if !avx2_available() {
+            return;
+        }
+        let matrix = SubstMatrix::blosum62();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(303);
+        let mut ws = Workspace::<i8>::new();
+        for round in 0..40 {
+            let ql = rng.random_range(1..200);
+            let tl = rng.random_range(1..200);
+            let q: Vec<u8> = (0..ql).map(|_| rng.random_range(0..20u8)).collect();
+            let t: Vec<u8> = (0..tl).map(|_| rng.random_range(0..20u8)).collect();
+            let profile = StripedProfile::<i8>::build_with_lanes(&q, &matrix, LANES_I8);
+            let avx = sw_striped_i8_avx2(&profile, &t, 12, 2).unwrap();
+            let portable = sw_striped_portable(&profile, &t, 12, 2, &mut ws);
+            assert_eq!(avx, portable, "round {round} ql={ql} tl={tl}");
+        }
+    }
+
+    #[test]
+    fn lane_count_does_not_change_scores() {
+        // The striped score is lane-layout invariant: 8- and 16-lane
+        // portable runs agree (this also validates build_with_lanes).
+        let matrix = SubstMatrix::blosum62();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(305);
+        let mut ws = Workspace::<i16>::new();
+        for _ in 0..20 {
+            let q: Vec<u8> = (0..60).map(|_| rng.random_range(0..20u8)).collect();
+            let t: Vec<u8> = (0..80).map(|_| rng.random_range(0..20u8)).collect();
+            let p8 = StripedProfile::<i16>::build_with_lanes(&q, &matrix, 8);
+            let p16 = StripedProfile::<i16>::build_with_lanes(&q, &matrix, 16);
+            let s8 = sw_striped_portable(&p8, &t, 12, 2, &mut ws);
+            let s16 = sw_striped_portable(&p16, &t, 12, 2, &mut ws);
+            assert_eq!(s8.score, s16.score);
+        }
+    }
+}

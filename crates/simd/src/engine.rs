@@ -1,0 +1,277 @@
+//! Kernel dispatch with the adapted-Farrar saturation-fallback chain.
+//!
+//! A database scan runs the cheapest kernel first (16 lanes of i8); when a
+//! subject's score saturates the 8-bit range the engine recomputes it with
+//! 8 lanes of i16, and — should even that saturate — falls back to the exact
+//! scalar Gotoh kernel (i32). This mirrors the paper's §IV-C: "our version
+//! uses signed integers … augmenting the maximum score to 2⁸−1 (8 bits) and
+//! 2¹⁶−1 (16 bits)"; with two's-complement signed lanes the practical
+//! ceilings are 127 and 32,767, after which the scalar kernel is exact.
+
+use crate::portable::{sw_striped_portable, StripedOutcome, Workspace};
+use crate::profile::StripedProfile;
+use crate::sse;
+use swhybrid_align::gotoh::gap_params;
+use swhybrid_align::score_only::sw_score_affine;
+use swhybrid_align::scoring::Scoring;
+
+/// Which implementation family to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EnginePreference {
+    /// Intrinsics when the CPU supports them, portable otherwise.
+    #[default]
+    Auto,
+    /// Force the portable (array) kernels.
+    Portable,
+    /// Force the x86-64 intrinsics kernels; falls back to portable per-call
+    /// when the CPU lacks the feature.
+    Simd,
+}
+
+/// Counters describing which kernels actually ran.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Subjects resolved by the 8-bit kernel.
+    pub resolved_i8: u64,
+    /// Subjects that saturated 8 bits and were resolved by the 16-bit kernel.
+    pub resolved_i16: u64,
+    /// Subjects that saturated 16 bits and needed the scalar i32 kernel.
+    pub resolved_scalar: u64,
+}
+
+impl KernelStats {
+    /// Total subjects scored.
+    pub fn total(&self) -> u64 {
+        self.resolved_i8 + self.resolved_i16 + self.resolved_scalar
+    }
+
+    /// Merge counters from another worker.
+    pub fn merge(&mut self, other: &KernelStats) {
+        self.resolved_i8 += other.resolved_i8;
+        self.resolved_i16 += other.resolved_i16;
+        self.resolved_scalar += other.resolved_scalar;
+    }
+}
+
+/// A query bound to its striped profiles and scoring scheme: scores one
+/// subject at a time with the fallback chain. One engine per worker thread
+/// (it owns mutable workspaces); the profiles are built once per query.
+///
+/// ```
+/// use swhybrid_align::scoring::{GapModel, Scoring, SubstMatrix};
+/// use swhybrid_simd::engine::{EnginePreference, StripedEngine};
+/// use swhybrid_seq::Alphabet;
+///
+/// let scoring = Scoring {
+///     matrix: SubstMatrix::blosum62(),
+///     gap: GapModel::Affine { open: 10, extend: 2 },
+/// };
+/// let query = Alphabet::Protein.encode(b"MKVLAWCDEF").unwrap();
+/// let subject = Alphabet::Protein.encode(b"MKVLWCDEF").unwrap();
+/// let mut engine = StripedEngine::new(&query, &scoring, EnginePreference::Auto);
+/// assert!(engine.score(&subject) > 0);
+/// assert_eq!(engine.stats().total(), 1);
+/// ```
+pub struct StripedEngine {
+    query: Vec<u8>,
+    scoring: Scoring,
+    goe: i32,
+    ext: i32,
+    profile8: StripedProfile<i8>,
+    profile16: StripedProfile<i16>,
+    /// 32-lane profile, built only when the AVX2 kernels will run.
+    profile8_avx: Option<StripedProfile<i8>>,
+    /// 16-lane profile, built only when the AVX2 kernels will run.
+    profile16_avx: Option<StripedProfile<i16>>,
+    preference: EnginePreference,
+    ws8: Workspace<i8>,
+    ws16: Workspace<i16>,
+    stats: KernelStats,
+}
+
+impl StripedEngine {
+    /// Build the engine for an encoded `query` under `scoring`.
+    pub fn new(query: &[u8], scoring: &Scoring, preference: EnginePreference) -> StripedEngine {
+        let (open, ext) = gap_params(scoring.gap);
+        let use_avx2 = preference != EnginePreference::Portable && crate::avx2::avx2_available();
+        StripedEngine {
+            query: query.to_vec(),
+            scoring: scoring.clone(),
+            goe: open + ext,
+            ext,
+            profile8: StripedProfile::<i8>::build(query, &scoring.matrix),
+            profile16: StripedProfile::<i16>::build(query, &scoring.matrix),
+            profile8_avx: use_avx2.then(|| {
+                StripedProfile::<i8>::build_with_lanes(
+                    query,
+                    &scoring.matrix,
+                    crate::avx2::LANES_I8,
+                )
+            }),
+            profile16_avx: use_avx2.then(|| {
+                StripedProfile::<i16>::build_with_lanes(
+                    query,
+                    &scoring.matrix,
+                    crate::avx2::LANES_I16,
+                )
+            }),
+            preference,
+            ws8: Workspace::new(),
+            ws16: Workspace::new(),
+            stats: KernelStats::default(),
+        }
+    }
+
+    /// Query length in residues.
+    pub fn query_len(&self) -> usize {
+        self.query.len()
+    }
+
+    /// Kernel-usage counters accumulated so far.
+    pub fn stats(&self) -> KernelStats {
+        self.stats
+    }
+
+    /// Reset the kernel-usage counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = KernelStats::default();
+    }
+
+    fn run_i8(&mut self, subject: &[u8]) -> StripedOutcome {
+        if let Some(profile) = &self.profile8_avx {
+            if let Some(out) = crate::avx2::sw_striped_i8_avx2(profile, subject, self.goe, self.ext)
+            {
+                return out;
+            }
+        }
+        if self.preference != EnginePreference::Portable {
+            if let Some(out) = sse::sw_striped_i8(&self.profile8, subject, self.goe, self.ext) {
+                return out;
+            }
+        }
+        sw_striped_portable(&self.profile8, subject, self.goe, self.ext, &mut self.ws8)
+    }
+
+    fn run_i16(&mut self, subject: &[u8]) -> StripedOutcome {
+        if let Some(profile) = &self.profile16_avx {
+            if let Some(out) =
+                crate::avx2::sw_striped_i16_avx2(profile, subject, self.goe, self.ext)
+            {
+                return out;
+            }
+        }
+        if self.preference != EnginePreference::Portable {
+            if let Some(out) = sse::sw_striped_i16(&self.profile16, subject, self.goe, self.ext) {
+                return out;
+            }
+        }
+        sw_striped_portable(&self.profile16, subject, self.goe, self.ext, &mut self.ws16)
+    }
+
+    /// Score one encoded subject, with the 8→16→scalar fallback chain.
+    pub fn score(&mut self, subject: &[u8]) -> i32 {
+        if subject.is_empty() {
+            self.stats.resolved_i8 += 1;
+            return 0;
+        }
+        let out8 = self.run_i8(subject);
+        if !out8.saturated {
+            self.stats.resolved_i8 += 1;
+            return out8.score;
+        }
+        let out16 = self.run_i16(subject);
+        if !out16.saturated {
+            self.stats.resolved_i16 += 1;
+            return out16.score;
+        }
+        self.stats.resolved_scalar += 1;
+        sw_score_affine(&self.query, subject, &self.scoring).score
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{RngExt, SeedableRng};
+    use swhybrid_align::scoring::{GapModel, SubstMatrix};
+
+    fn scoring() -> Scoring {
+        Scoring {
+            matrix: SubstMatrix::blosum62(),
+            gap: GapModel::Affine { open: 10, extend: 2 },
+        }
+    }
+
+    fn random_seq(rng: &mut impl rand::RngExt, len: usize) -> Vec<u8> {
+        (0..len).map(|_| rng.random_range(0..20u8)).collect()
+    }
+
+    #[test]
+    fn engine_matches_scalar_on_random_db() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(113);
+        let s = scoring();
+        let query = random_seq(&mut rng, 90);
+        for pref in [
+            EnginePreference::Auto,
+            EnginePreference::Portable,
+            EnginePreference::Simd,
+        ] {
+            let mut engine = StripedEngine::new(&query, &s, pref);
+            for _ in 0..30 {
+                let len = rng.random_range(1..200);
+                let subject = random_seq(&mut rng, len);
+                let got = engine.score(&subject);
+                let expect = sw_score_affine(&query, &subject, &s).score;
+                assert_eq!(got, expect, "pref {pref:?}");
+            }
+            assert_eq!(engine.stats().total(), 30);
+        }
+    }
+
+    #[test]
+    fn fallback_chain_engages_on_high_scores() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(127);
+        // Self-comparison of a long query forces >127 score (i16 path).
+        let query = random_seq(&mut rng, 400);
+        let s = scoring();
+        let mut engine = StripedEngine::new(&query, &s, EnginePreference::Auto);
+        let got = engine.score(&query);
+        let expect = sw_score_affine(&query, &query, &s).score;
+        assert_eq!(got, expect);
+        assert!(expect > 127, "test premise: score must exceed i8 range");
+        assert_eq!(engine.stats().resolved_i16 + engine.stats().resolved_scalar, 1);
+    }
+
+    #[test]
+    fn scalar_fallback_for_extreme_scores() {
+        // A score beyond 32,767: 3,100 tryptophans self-align to
+        // 3,100 × 11 = 34,100 under BLOSUM62 (W-W = 11).
+        let query: Vec<u8> = vec![17u8; 3100];
+        let s = scoring();
+        let mut engine = StripedEngine::new(&query, &s, EnginePreference::Auto);
+        let got = engine.score(&query);
+        let expect = sw_score_affine(&query, &query, &s).score;
+        assert_eq!(got, expect);
+        assert!(expect > i16::MAX as i32, "test premise: must exceed i16");
+        assert_eq!(engine.stats().resolved_scalar, 1);
+    }
+
+    #[test]
+    fn empty_subject() {
+        let s = scoring();
+        let query = vec![0u8, 1, 2];
+        let mut engine = StripedEngine::new(&query, &s, EnginePreference::Auto);
+        assert_eq!(engine.score(&[]), 0);
+    }
+
+    #[test]
+    fn stats_reset() {
+        let s = scoring();
+        let query = vec![0u8, 1, 2];
+        let mut engine = StripedEngine::new(&query, &s, EnginePreference::Auto);
+        engine.score(&[0, 1, 2]);
+        assert_eq!(engine.stats().total(), 1);
+        engine.reset_stats();
+        assert_eq!(engine.stats().total(), 0);
+    }
+}

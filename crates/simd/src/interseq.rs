@@ -1,0 +1,304 @@
+//! Inter-sequence (SWIPE-style) Smith-Waterman — the Rognes [17] baseline.
+//!
+//! The paper's related-work table credits Rognes' inter-sequence SIMD
+//! parallelisation with the best multicore GCUPS. Where Farrar's *striped*
+//! kernel vectorises **within** one query × subject comparison, the
+//! inter-sequence kernel scores `LANES` *different database sequences*
+//! simultaneously, one per lane, against the same query. Lanes refill from
+//! the database queue as their sequences finish, so utilisation stays high
+//! regardless of length skew.
+//!
+//! This implementation is the portable reference (contiguous lane-major
+//! arrays, auto-vectorisable inner loops); a hand-scheduled intrinsics
+//! version is future work — the scheduling experiments only need the
+//! baseline's behaviour, which is identical.
+//!
+//! Saturation: lanes run in `i16`; a lane whose score reaches `i16::MAX`
+//! is rescored with the exact scalar kernel, mirroring the striped engine's
+//! fallback chain.
+
+use swhybrid_align::gotoh::gap_params;
+use swhybrid_align::score_only::sw_score_affine;
+use swhybrid_align::scoring::Scoring;
+use swhybrid_seq::sequence::EncodedSequence;
+
+/// Number of simultaneous subject lanes (8 × i16 in a 128-bit register).
+pub const LANES: usize = 8;
+
+const NEG_INF: i16 = i16::MIN;
+
+/// Per-lane execution state.
+#[derive(Debug, Clone, Copy)]
+struct LaneState {
+    /// Index into `subjects` of the sequence this lane is scoring, or
+    /// `usize::MAX` when idle.
+    subject: usize,
+    /// Next residue position within that subject.
+    pos: usize,
+}
+
+/// Scores every subject against `query`, `LANES` subjects at a time.
+///
+/// Returns one score per subject, in input order.
+#[allow(clippy::needless_range_loop)] // lanes[] and best[] are co-indexed state arrays
+pub fn scores_inter_sequence(
+    query: &[u8],
+    subjects: &[EncodedSequence],
+    scoring: &Scoring,
+) -> Vec<i32> {
+    assert!(!query.is_empty(), "query must not be empty");
+    let m = query.len();
+    let (open, extend) = gap_params(scoring.gap);
+    let goe = (open + extend).min(i16::MAX as i32) as i16;
+    let ext = extend.min(i16::MAX as i32) as i16;
+
+    let mut results = vec![0i32; subjects.len()];
+    let mut saturated: Vec<usize> = Vec::new();
+    let mut next_subject = 0usize;
+
+    // Lane-major DP state: index `j * LANES + lane` holds the value for
+    // query prefix j in that lane's comparison.
+    let mut h = vec![0i16; (m + 1) * LANES];
+    let mut e = vec![NEG_INF; (m + 1) * LANES];
+    let mut best = [0i16; LANES];
+    let mut lanes = [LaneState {
+        subject: usize::MAX,
+        pos: 0,
+    }; LANES];
+    // Per-step score column: sub(query[j-1], current residue of lane).
+    let mut score_col = vec![0i16; (m + 1) * LANES];
+    let mut active = 0usize;
+
+    // Seed the lanes.
+    for lane in 0..LANES {
+        if next_subject < subjects.len() {
+            lanes[lane] = LaneState {
+                subject: next_subject,
+                pos: 0,
+            };
+            next_subject += 1;
+            active += 1;
+        }
+    }
+
+    while active > 0 {
+        // Retire lanes whose subject is exhausted (or empty) and refill.
+        for lane in 0..LANES {
+            let st = lanes[lane];
+            if st.subject == usize::MAX {
+                continue;
+            }
+            if st.pos >= subjects[st.subject].len() {
+                let score = best[lane];
+                if score == i16::MAX {
+                    saturated.push(st.subject);
+                } else {
+                    results[st.subject] = score as i32;
+                }
+                // Reset the lane's DP column for the next subject.
+                for j in 0..=m {
+                    h[j * LANES + lane] = 0;
+                    e[j * LANES + lane] = NEG_INF;
+                }
+                best[lane] = 0;
+                if next_subject < subjects.len() {
+                    lanes[lane] = LaneState {
+                        subject: next_subject,
+                        pos: 0,
+                    };
+                    next_subject += 1;
+                } else {
+                    lanes[lane].subject = usize::MAX;
+                    active -= 1;
+                }
+            }
+        }
+        if active == 0 {
+            break;
+        }
+
+        // Gather this step's substitution scores: one residue per lane.
+        // (The intrinsics version would build SWIPE's dprofile here.)
+        let mut lane_live = [false; LANES];
+        for lane in 0..LANES {
+            let st = lanes[lane];
+            if st.subject == usize::MAX || st.pos >= subjects[st.subject].len() {
+                continue;
+            }
+            lane_live[lane] = true;
+            let c = subjects[st.subject].codes[st.pos];
+            let row = scoring.matrix.row(c);
+            for (j, &q) in query.iter().enumerate() {
+                score_col[(j + 1) * LANES + lane] = row[q as usize] as i16;
+            }
+        }
+
+        // One DP column per live lane, all lanes advanced in lock-step.
+        // diag[lane] carries H[j-1] of the *previous* column.
+        let mut diag = [0i16; LANES];
+        let mut f = [NEG_INF; LANES];
+        for j in 1..=m {
+            let base = j * LANES;
+            for lane in 0..LANES {
+                if !lane_live[lane] {
+                    continue;
+                }
+                let old_h = h[base + lane];
+                let mut v = diag[lane].saturating_add(score_col[base + lane]);
+                let ej = (h[base + lane].saturating_sub(goe))
+                    .max(e[base + lane].saturating_sub(ext));
+                // E for this column j uses H[j][previous column] — which is
+                // still in h[] since we overwrite below.
+                if ej > v {
+                    v = ej;
+                }
+                if f[lane] > v {
+                    v = f[lane];
+                }
+                if v < 0 {
+                    v = 0;
+                }
+                e[base + lane] = ej;
+                f[lane] = (v.saturating_sub(goe)).max(f[lane].saturating_sub(ext));
+                diag[lane] = old_h;
+                h[base + lane] = v;
+                if v > best[lane] {
+                    best[lane] = v;
+                }
+            }
+        }
+
+        // Advance lane positions.
+        for (lane, live) in lane_live.iter().enumerate() {
+            if *live {
+                lanes[lane].pos += 1;
+            }
+        }
+    }
+
+    // Exact rescore for saturated lanes.
+    for idx in saturated {
+        results[idx] = sw_score_affine(query, &subjects[idx].codes, scoring).score;
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{RngExt, SeedableRng};
+    use swhybrid_align::scoring::{GapModel, SubstMatrix};
+    use swhybrid_seq::Alphabet;
+
+    fn scoring() -> Scoring {
+        Scoring {
+            matrix: SubstMatrix::blosum62(),
+            gap: GapModel::Affine { open: 10, extend: 2 },
+        }
+    }
+
+    fn random_subjects(seed: u64, n: usize, max_len: usize) -> Vec<EncodedSequence> {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| EncodedSequence {
+                id: format!("s{i}"),
+                codes: (0..rng.random_range(1..max_len))
+                    .map(|_| rng.random_range(0..20u8))
+                    .collect(),
+                alphabet: Alphabet::Protein,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_scalar_on_random_database() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(211);
+        let query: Vec<u8> = (0..70).map(|_| rng.random_range(0..20u8)).collect();
+        let subjects = random_subjects(212, 50, 140);
+        let s = scoring();
+        let got = scores_inter_sequence(&query, &subjects, &s);
+        for (i, subject) in subjects.iter().enumerate() {
+            let expect = sw_score_affine(&query, &subject.codes, &s).score;
+            assert_eq!(got[i], expect, "subject {i}");
+        }
+    }
+
+    #[test]
+    fn length_skew_is_handled_by_lane_refill() {
+        // One very long subject among many short ones: lanes refill while
+        // the long lane keeps going.
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(213);
+        let query: Vec<u8> = (0..40).map(|_| rng.random_range(0..20u8)).collect();
+        let mut subjects = random_subjects(214, 30, 25);
+        subjects.insert(
+            7,
+            EncodedSequence {
+                id: "long".into(),
+                codes: (0..900).map(|_| rng.random_range(0..20u8)).collect(),
+                alphabet: Alphabet::Protein,
+            },
+        );
+        let s = scoring();
+        let got = scores_inter_sequence(&query, &subjects, &s);
+        for (i, subject) in subjects.iter().enumerate() {
+            assert_eq!(
+                got[i],
+                sw_score_affine(&query, &subject.codes, &s).score,
+                "subject {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn fewer_subjects_than_lanes() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(215);
+        let query: Vec<u8> = (0..30).map(|_| rng.random_range(0..20u8)).collect();
+        let subjects = random_subjects(216, 3, 50);
+        let s = scoring();
+        let got = scores_inter_sequence(&query, &subjects, &s);
+        assert_eq!(got.len(), 3);
+        for (i, subject) in subjects.iter().enumerate() {
+            assert_eq!(got[i], sw_score_affine(&query, &subject.codes, &s).score);
+        }
+    }
+
+    #[test]
+    fn empty_database() {
+        let query = vec![0u8, 1, 2];
+        assert!(scores_inter_sequence(&query, &[], &scoring()).is_empty());
+    }
+
+    #[test]
+    fn empty_subject_scores_zero() {
+        let query = vec![0u8, 1, 2];
+        let subjects = vec![EncodedSequence {
+            id: "empty".into(),
+            codes: vec![],
+            alphabet: Alphabet::Protein,
+        }];
+        assert_eq!(scores_inter_sequence(&query, &subjects, &scoring()), vec![0]);
+    }
+
+    #[test]
+    fn saturating_subject_falls_back_to_scalar() {
+        // Self-comparison of 3,100 tryptophans exceeds i16 range
+        // (3,100 × 11 = 34,100 under BLOSUM62).
+        let long: Vec<u8> = vec![17u8; 3100];
+        let subjects = vec![EncodedSequence {
+            id: "self".into(),
+            codes: long.clone(),
+            alphabet: Alphabet::Protein,
+        }];
+        let s = scoring();
+        let got = scores_inter_sequence(&long, &subjects, &s);
+        let expect = sw_score_affine(&long, &long, &s).score;
+        assert!(expect > i16::MAX as i32, "premise: must exceed i16");
+        assert_eq!(got[0], expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "query must not be empty")]
+    fn empty_query_rejected() {
+        scores_inter_sequence(&[], &[], &scoring());
+    }
+}

@@ -1,0 +1,106 @@
+//! Signed saturating lane arithmetic for the striped kernels.
+//!
+//! The paper's adaptation of Farrar replaces unsigned-with-bias arithmetic
+//! by signed saturating arithmetic. This trait expresses exactly the lane
+//! operations the striped recurrence needs, implemented for `i8`, `i16` and
+//! `i32`, so that the portable kernel is written once and instantiated per
+//! width.
+
+/// A signed saturating DP lane element.
+pub trait Lane: Copy + Ord + std::fmt::Debug + Send + Sync + 'static {
+    /// Most negative representable value (acts as −∞).
+    const MIN: Self;
+    /// Most positive representable value (saturation ceiling).
+    const MAX: Self;
+    /// Zero.
+    const ZERO: Self;
+    /// Lane count of the 128-bit SIMD register this width maps to
+    /// (16 for i8, 8 for i16, 4 for i32); the portable kernel uses the same
+    /// count so both paths produce bit-identical intermediate layouts.
+    const SIMD_LANES: usize;
+
+    /// Saturating addition.
+    fn sat_add(self, other: Self) -> Self;
+    /// Saturating subtraction.
+    fn sat_sub(self, other: Self) -> Self;
+    /// Narrow an `i32` with saturation.
+    fn from_i32_sat(x: i32) -> Self;
+    /// Widen to `i32` (always exact).
+    fn to_i32(self) -> i32;
+}
+
+macro_rules! impl_lane {
+    ($t:ty, $lanes:expr) => {
+        impl Lane for $t {
+            const MIN: Self = <$t>::MIN;
+            const MAX: Self = <$t>::MAX;
+            const ZERO: Self = 0;
+            const SIMD_LANES: usize = $lanes;
+
+            #[inline(always)]
+            fn sat_add(self, other: Self) -> Self {
+                self.saturating_add(other)
+            }
+
+            #[inline(always)]
+            fn sat_sub(self, other: Self) -> Self {
+                self.saturating_sub(other)
+            }
+
+            #[inline(always)]
+            fn from_i32_sat(x: i32) -> Self {
+                if x > <$t>::MAX as i32 {
+                    <$t>::MAX
+                } else if x < <$t>::MIN as i32 {
+                    <$t>::MIN
+                } else {
+                    x as $t
+                }
+            }
+
+            #[inline(always)]
+            fn to_i32(self) -> i32 {
+                self as i32
+            }
+        }
+    };
+}
+
+impl_lane!(i8, 16);
+impl_lane!(i16, 8);
+impl_lane!(i32, 4);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturating_add_clamps() {
+        assert_eq!(<i8 as Lane>::sat_add(120, 100), i8::MAX);
+        assert_eq!(<i8 as Lane>::sat_add(-120, -100), i8::MIN);
+        assert_eq!(<i16 as Lane>::sat_add(1, 2), 3);
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        assert_eq!(<i8 as Lane>::sat_sub(-120, 100), i8::MIN);
+        assert_eq!(<i16 as Lane>::sat_sub(-32000, 1000), i16::MIN);
+        assert_eq!(<i32 as Lane>::sat_sub(5, 3), 2);
+    }
+
+    #[test]
+    fn from_i32_saturates_both_ways() {
+        assert_eq!(<i8 as Lane>::from_i32_sat(300), i8::MAX);
+        assert_eq!(<i8 as Lane>::from_i32_sat(-300), i8::MIN);
+        assert_eq!(<i8 as Lane>::from_i32_sat(-5), -5);
+        assert_eq!(<i16 as Lane>::from_i32_sat(70_000), i16::MAX);
+        assert_eq!(<i32 as Lane>::from_i32_sat(70_000), 70_000);
+    }
+
+    #[test]
+    fn simd_lane_counts_fill_128_bits() {
+        assert_eq!(<i8 as Lane>::SIMD_LANES * 8, 128);
+        assert_eq!(<i16 as Lane>::SIMD_LANES * 16, 128);
+        assert_eq!(<i32 as Lane>::SIMD_LANES * 32, 128);
+    }
+}

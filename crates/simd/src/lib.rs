@@ -1,0 +1,40 @@
+//! Adapted-Farrar striped SIMD Smith-Waterman (paper §IV-C).
+//!
+//! The paper executes SW on the multicore hosts with "a modified version of
+//! the Farrar algorithm … using **signed** integers instead of unsigned ones
+//! to store the values of the SW DP matrices" (Farrar's original biases
+//! unsigned 8-bit lanes because SSE2 lacks signed byte `max`). This crate
+//! implements that adaptation:
+//!
+//! * [`profile`] — the striped query profile (Farrar's layout: query
+//!   position `j` lives in vector `j % seg_len`, lane `j / seg_len`),
+//! * [`lanes`] — the signed saturating lane arithmetic (`i8`/`i16`/`i32`),
+//! * [`portable`] — the striped kernel over plain arrays (works on every
+//!   architecture; the reference for the intrinsics path),
+//! * [`sse`] — x86-64 intrinsics kernels (16 × i8 via SSE4.1, 8 × i16 via
+//!   SSE2), selected at runtime,
+//! * [`engine`] — the dispatch + saturation-fallback chain: 8-bit kernel
+//!   first, recompute with 16 bits on saturation, fall back to the exact
+//!   scalar kernel as a last resort,
+//! * [`interseq`] — the Rognes/SWIPE-style *inter-sequence* kernel (the
+//!   related-work baseline [17]): `LANES` database sequences scored
+//!   simultaneously, lanes refilling from the queue,
+//! * [`search`] — a multi-threaded query × database scan with
+//!   self-scheduled chunks (the intra-node parallelisation of Rognes'
+//!   SWIPE-style tools), producing a ranked hit list.
+//!
+//! Every kernel computes the **Gotoh affine-gap local alignment score** and
+//! is validated against `swhybrid_align::score_only::sw_score_affine`.
+
+pub mod avx2;
+pub mod engine;
+pub mod interseq;
+pub mod lanes;
+pub mod portable;
+pub mod profile;
+pub mod search;
+pub mod sse;
+
+pub use engine::{EnginePreference, KernelStats, StripedEngine};
+pub use profile::StripedProfile;
+pub use search::{DatabaseSearch, Hit, SearchConfig};

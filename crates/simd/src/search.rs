@@ -1,0 +1,357 @@
+//! Multi-threaded query × database search.
+//!
+//! This is the intra-node parallelisation the paper runs on each multicore
+//! host (coarse-grained, Fig. 3b): the database is scanned in chunks that
+//! worker threads claim in a self-scheduling fashion (an atomic cursor —
+//! the same SS idea as Rognes' multi-threaded SSE search [17]), each worker
+//! owning its own [`StripedEngine`] so profiles are shared-nothing and the
+//! scan is embarrassingly parallel.
+//!
+//! The output is a ranked [`Hit`] list (top-N by score, ties broken by
+//! database order), plus the kernel-usage counters.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::engine::{EnginePreference, KernelStats, StripedEngine};
+use swhybrid_align::alignment::Alignment;
+use swhybrid_align::gotoh::gotoh_align;
+use swhybrid_align::scoring::Scoring;
+use swhybrid_align::stats::cells;
+use swhybrid_seq::sequence::EncodedSequence;
+
+/// One database hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hit {
+    /// Index of the subject within the database.
+    pub db_index: usize,
+    /// Identifier of the subject sequence.
+    pub id: String,
+    /// Optimal local alignment score.
+    pub score: i32,
+    /// Subject length in residues.
+    pub subject_len: usize,
+}
+
+/// Search configuration.
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    /// Worker threads (≥ 1). The default is 1: thread count is a *platform*
+    /// decision made by the execution environment, not the kernel layer.
+    pub threads: usize,
+    /// How many top hits to keep.
+    pub top_n: usize,
+    /// Subjects per self-scheduled chunk.
+    pub chunk_size: usize,
+    /// Kernel family preference.
+    pub preference: EnginePreference,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            threads: 1,
+            top_n: 20,
+            chunk_size: 64,
+            preference: EnginePreference::Auto,
+        }
+    }
+}
+
+/// Result of a database search.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// Ranked hits (best first), at most `top_n`.
+    pub hits: Vec<Hit>,
+    /// DP cells updated (query length × total subject residues).
+    pub cells: u64,
+    /// Kernel usage across all workers.
+    pub stats: KernelStats,
+}
+
+impl SearchResult {
+    /// Recover the optimal local alignments for the ranked hits (the scan
+    /// itself is score-only; only the reported top-N pay the quadratic
+    /// traceback — the standard database-search trade-off).
+    ///
+    /// Each returned alignment's score equals the hit's score by
+    /// construction (asserted in debug builds).
+    pub fn align_hits(
+        &self,
+        query: &[u8],
+        subjects: &[EncodedSequence],
+        scoring: &Scoring,
+    ) -> Vec<(Hit, Alignment)> {
+        self.hits
+            .iter()
+            .map(|hit| {
+                let alignment = gotoh_align(query, &subjects[hit.db_index].codes, scoring);
+                debug_assert_eq!(alignment.score, hit.score, "hit {}", hit.id);
+                (hit.clone(), alignment)
+            })
+            .collect()
+    }
+}
+
+/// A prepared database search: one query against many subjects.
+pub struct DatabaseSearch<'a> {
+    query: &'a [u8],
+    scoring: &'a Scoring,
+    config: SearchConfig,
+}
+
+impl<'a> DatabaseSearch<'a> {
+    /// Prepare a search for an encoded query.
+    pub fn new(query: &'a [u8], scoring: &'a Scoring, config: SearchConfig) -> Self {
+        assert!(config.threads >= 1, "at least one worker required");
+        assert!(config.chunk_size >= 1, "chunk size must be positive");
+        DatabaseSearch {
+            query,
+            scoring,
+            config,
+        }
+    }
+
+    /// Scan `subjects` and return the ranked hits.
+    pub fn run(&self, subjects: &[EncodedSequence]) -> SearchResult {
+        let n_workers = self.config.threads.min(subjects.len().max(1));
+        let cursor = AtomicUsize::new(0);
+        let chunk = self.config.chunk_size;
+
+        let mut worker_outputs: Vec<(Vec<Hit>, KernelStats)> = if n_workers == 1 {
+            vec![self.scan_worker(subjects, &cursor, chunk)]
+        } else {
+            let mut outs = Vec::with_capacity(n_workers);
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = (0..n_workers)
+                    .map(|_| scope.spawn(|_| self.scan_worker(subjects, &cursor, chunk)))
+                    .collect();
+                for h in handles {
+                    outs.push(h.join().expect("search worker panicked"));
+                }
+            })
+            .expect("crossbeam scope failed");
+            outs
+        };
+
+        let mut stats = KernelStats::default();
+        let mut hits: Vec<Hit> = Vec::new();
+        for (mut worker_hits, worker_stats) in worker_outputs.drain(..) {
+            hits.append(&mut worker_hits);
+            stats.merge(&worker_stats);
+        }
+        hits.sort_by(|a, b| b.score.cmp(&a.score).then(a.db_index.cmp(&b.db_index)));
+        hits.truncate(self.config.top_n);
+
+        let total_residues: u64 = subjects.iter().map(|s| s.len() as u64).sum();
+        SearchResult {
+            hits,
+            cells: cells(self.query.len(), 1) * total_residues,
+            stats,
+        }
+    }
+
+    fn scan_worker(
+        &self,
+        subjects: &[EncodedSequence],
+        cursor: &AtomicUsize,
+        chunk: usize,
+    ) -> (Vec<Hit>, KernelStats) {
+        let mut engine = StripedEngine::new(self.query, self.scoring, self.config.preference);
+        let mut local: Vec<Hit> = Vec::new();
+        loop {
+            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+            if start >= subjects.len() {
+                break;
+            }
+            let end = (start + chunk).min(subjects.len());
+            for (offset, subject) in subjects[start..end].iter().enumerate() {
+                let score = engine.score(&subject.codes);
+                local.push(Hit {
+                    db_index: start + offset,
+                    id: subject.id.clone(),
+                    score,
+                    subject_len: subject.len(),
+                });
+            }
+            // Keep the per-worker list bounded: only the global top-N can
+            // survive the merge anyway.
+            if local.len() > 4 * self.config.top_n.max(16) {
+                local.sort_by(|a, b| b.score.cmp(&a.score).then(a.db_index.cmp(&b.db_index)));
+                local.truncate(2 * self.config.top_n.max(8));
+            }
+        }
+        (local, engine.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{RngExt, SeedableRng};
+    use swhybrid_align::score_only::sw_score_affine;
+    use swhybrid_align::scoring::{GapModel, SubstMatrix};
+    use swhybrid_seq::Alphabet;
+
+    fn scoring() -> Scoring {
+        Scoring {
+            matrix: SubstMatrix::blosum62(),
+            gap: GapModel::Affine { open: 10, extend: 2 },
+        }
+    }
+
+    fn random_db(seed: u64, n: usize, max_len: usize) -> Vec<EncodedSequence> {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let len = rng.random_range(1..max_len);
+                EncodedSequence {
+                    id: format!("s{i}"),
+                    codes: (0..len).map(|_| rng.random_range(0..20u8)).collect(),
+                    alphabet: Alphabet::Protein,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hits_match_scalar_scores_and_are_sorted() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(131);
+        let query: Vec<u8> = (0..60).map(|_| rng.random_range(0..20u8)).collect();
+        let db = random_db(133, 50, 120);
+        let s = scoring();
+        let result = DatabaseSearch::new(
+            &query,
+            &s,
+            SearchConfig {
+                top_n: 50,
+                ..Default::default()
+            },
+        )
+        .run(&db);
+        assert_eq!(result.hits.len(), 50);
+        for pair in result.hits.windows(2) {
+            assert!(pair[0].score >= pair[1].score);
+        }
+        for hit in &result.hits {
+            let expect = sw_score_affine(&query, &db[hit.db_index].codes, &s).score;
+            assert_eq!(hit.score, expect, "hit {}", hit.id);
+        }
+        assert_eq!(result.stats.total(), 50);
+    }
+
+    #[test]
+    fn multithreaded_equals_single_threaded() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(137);
+        let query: Vec<u8> = (0..80).map(|_| rng.random_range(0..20u8)).collect();
+        let db = random_db(139, 200, 150);
+        let s = scoring();
+        let single = DatabaseSearch::new(
+            &query,
+            &s,
+            SearchConfig {
+                threads: 1,
+                top_n: 10,
+                ..Default::default()
+            },
+        )
+        .run(&db);
+        let multi = DatabaseSearch::new(
+            &query,
+            &s,
+            SearchConfig {
+                threads: 4,
+                top_n: 10,
+                chunk_size: 7,
+                ..Default::default()
+            },
+        )
+        .run(&db);
+        assert_eq!(single.hits, multi.hits);
+        assert_eq!(single.stats.total(), multi.stats.total());
+    }
+
+    #[test]
+    fn top_n_truncates() {
+        let db = random_db(141, 30, 60);
+        let query: Vec<u8> = (0..40).map(|i| (i % 20) as u8).collect();
+        let s = scoring();
+        let result = DatabaseSearch::new(
+            &query,
+            &s,
+            SearchConfig {
+                top_n: 5,
+                ..Default::default()
+            },
+        )
+        .run(&db);
+        assert_eq!(result.hits.len(), 5);
+    }
+
+    #[test]
+    fn planted_homolog_ranks_first() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(149);
+        let query: Vec<u8> = (0..100).map(|_| rng.random_range(0..20u8)).collect();
+        let mut db = random_db(151, 40, 120);
+        // Plant a copy of the query in the middle of the database.
+        db[17] = EncodedSequence {
+            id: "planted".into(),
+            codes: query.clone(),
+            alphabet: Alphabet::Protein,
+        };
+        let s = scoring();
+        let result =
+            DatabaseSearch::new(&query, &s, SearchConfig::default()).run(&db);
+        assert_eq!(result.hits[0].id, "planted");
+        assert_eq!(
+            result.hits[0].score,
+            sw_score_affine(&query, &query, &s).score
+        );
+    }
+
+    #[test]
+    fn cells_accounting() {
+        let db = random_db(157, 10, 50);
+        let total: u64 = db.iter().map(|d| d.len() as u64).sum();
+        let query: Vec<u8> = (0..25).map(|i| (i % 20) as u8).collect();
+        let s = scoring();
+        let result = DatabaseSearch::new(&query, &s, SearchConfig::default()).run(&db);
+        assert_eq!(result.cells, 25 * total);
+    }
+
+    #[test]
+    fn align_hits_recovers_consistent_alignments() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(163);
+        let query: Vec<u8> = (0..50).map(|_| rng.random_range(0..20u8)).collect();
+        let db = random_db(165, 25, 80);
+        let s = scoring();
+        let result = DatabaseSearch::new(
+            &query,
+            &s,
+            SearchConfig {
+                top_n: 5,
+                ..Default::default()
+            },
+        )
+        .run(&db);
+        let aligned = result.align_hits(&query, &db, &s);
+        assert_eq!(aligned.len(), 5);
+        for (hit, alignment) in &aligned {
+            assert_eq!(alignment.score, hit.score);
+            if !alignment.is_empty() {
+                assert_eq!(
+                    alignment.rescore(&query, &db[hit.db_index].codes, &s),
+                    hit.score
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_database_yields_no_hits() {
+        let query: Vec<u8> = vec![0, 1, 2];
+        let s = scoring();
+        let result = DatabaseSearch::new(&query, &s, SearchConfig::default()).run(&[]);
+        assert!(result.hits.is_empty());
+        assert_eq!(result.cells, 0);
+    }
+}

@@ -1,0 +1,344 @@
+//! x86-64 intrinsics kernels for the striped recurrence.
+//!
+//! Two widths are provided, mirroring the paper's adapted Farrar kernel:
+//!
+//! * [`sw_striped_i16_sse2`] — 8 × i16 lanes, plain SSE2 (signed 16-bit
+//!   `max`/saturating ops have existed since SSE2),
+//! * [`sw_striped_i8_sse41`] — 16 × i8 lanes; signed byte `max`
+//!   (`_mm_max_epi8`) arrived with SSE4.1, which is exactly why Farrar's
+//!   original used unsigned bytes with a bias — the paper's "signed
+//!   integers instead of unsigned" adaptation presumes a ≥ SSE4.1 machine
+//!   (their Core i7 has SSE4.2).
+//!
+//! Both compute identical results to [`crate::portable`]; the test suite
+//! compares them score-for-score on random inputs.
+
+#![allow(unsafe_code)]
+
+use crate::portable::StripedOutcome;
+use crate::profile::StripedProfile;
+
+/// Whether the 16-bit SSE2 kernel can run on this machine.
+pub fn sse2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        is_x86_feature_detected!("sse2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Whether the 8-bit SSE4.1 kernel can run on this machine.
+pub fn sse41_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        is_x86_feature_detected!("sse4.1")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Safe wrapper: run the 16-bit kernel if the CPU supports it.
+pub fn sw_striped_i16(
+    profile: &StripedProfile<i16>,
+    subject: &[u8],
+    goe: i32,
+    ext: i32,
+) -> Option<StripedOutcome> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if sse2_available() {
+            // SAFETY: feature presence checked above.
+            return Some(unsafe { x86::sw_striped_i16_sse2(profile, subject, goe, ext) });
+        }
+    }
+    let _ = (profile, subject, goe, ext);
+    None
+}
+
+/// Safe wrapper: run the 8-bit kernel if the CPU supports it.
+pub fn sw_striped_i8(
+    profile: &StripedProfile<i8>,
+    subject: &[u8],
+    goe: i32,
+    ext: i32,
+) -> Option<StripedOutcome> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if sse41_available() {
+            // SAFETY: feature presence checked above.
+            return Some(unsafe { x86::sw_striped_i8_sse41(profile, subject, goe, ext) });
+        }
+    }
+    let _ = (profile, subject, goe, ext);
+    None
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::*;
+    use std::arch::x86_64::*;
+
+    /// 8 × i16 striped kernel (SSE2).
+    ///
+    /// # Safety
+    /// The caller must ensure the CPU supports SSE2 (always true on
+    /// x86-64, but we keep the contract explicit).
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn sw_striped_i16_sse2(
+        profile: &StripedProfile<i16>,
+        subject: &[u8],
+        goe: i32,
+        ext: i32,
+    ) -> StripedOutcome {
+        const LANES: usize = 8;
+        debug_assert_eq!(profile.lanes, LANES);
+        let seg_len = profile.seg_len;
+        let slots = seg_len * LANES;
+        let mut h_load = vec![0i16; slots];
+        let mut h_store = vec![0i16; slots];
+        let mut e_arr = vec![i16::MIN; slots];
+
+        let v_goe = _mm_set1_epi16(goe as i16);
+        let v_ext = _mm_set1_epi16(ext as i16);
+        let v_zero = _mm_setzero_si128();
+        let v_min_lane0 = _mm_insert_epi16(v_zero, i16::MIN as i32, 0);
+        let mut v_best = _mm_set1_epi16(i16::MIN);
+
+        for &r in subject {
+            let mut v_f = _mm_set1_epi16(i16::MIN);
+            // vH = previous column's last vector shifted one lane up
+            // (lane 0 ← zero boundary; slli fills with zeros).
+            let mut v_h = _mm_slli_si128::<2>(_mm_loadu_si128(
+                h_load.as_ptr().add((seg_len - 1) * LANES) as *const __m128i,
+            ));
+
+            for k in 0..seg_len {
+                let prof = _mm_loadu_si128(profile.vector_ptr(r, k) as *const __m128i);
+                v_h = _mm_adds_epi16(v_h, prof);
+                let v_e = _mm_loadu_si128(e_arr.as_ptr().add(k * LANES) as *const __m128i);
+                v_h = _mm_max_epi16(v_h, v_e);
+                v_h = _mm_max_epi16(v_h, v_f);
+                v_h = _mm_max_epi16(v_h, v_zero);
+                v_best = _mm_max_epi16(v_best, v_h);
+                _mm_storeu_si128(h_store.as_mut_ptr().add(k * LANES) as *mut __m128i, v_h);
+                let h_open = _mm_subs_epi16(v_h, v_goe);
+                let v_e2 = _mm_max_epi16(h_open, _mm_subs_epi16(v_e, v_ext));
+                _mm_storeu_si128(e_arr.as_mut_ptr().add(k * LANES) as *mut __m128i, v_e2);
+                v_f = _mm_max_epi16(h_open, _mm_subs_epi16(v_f, v_ext));
+                v_h = _mm_loadu_si128(h_load.as_ptr().add(k * LANES) as *const __m128i);
+            }
+
+            // Lazy-F fixpoint (break condition argued in crate::portable:
+            // the carry must be *dominated* everywhere, not merely have
+            // produced no H change this pass).
+            'lazy: for _ in 0..LANES {
+                v_f = _mm_or_si128(_mm_slli_si128::<2>(v_f), v_min_lane0);
+                let mut alive = false;
+                for k in 0..seg_len {
+                    let mut vh =
+                        _mm_loadu_si128(h_store.as_ptr().add(k * LANES) as *const __m128i);
+                    let gt = _mm_movemask_epi8(_mm_cmpgt_epi16(v_f, vh));
+                    if gt != 0 {
+                        vh = _mm_max_epi16(vh, v_f);
+                        _mm_storeu_si128(
+                            h_store.as_mut_ptr().add(k * LANES) as *mut __m128i,
+                            vh,
+                        );
+                        let h_open = _mm_subs_epi16(vh, v_goe);
+                        let e_old =
+                            _mm_loadu_si128(e_arr.as_ptr().add(k * LANES) as *const __m128i);
+                        _mm_storeu_si128(
+                            e_arr.as_mut_ptr().add(k * LANES) as *mut __m128i,
+                            _mm_max_epi16(e_old, h_open),
+                        );
+                        v_best = _mm_max_epi16(v_best, vh);
+                    }
+                    let h_open = _mm_subs_epi16(vh, v_goe);
+                    if _mm_movemask_epi8(_mm_cmpgt_epi16(v_f, h_open)) != 0 {
+                        alive = true;
+                    }
+                    v_f = _mm_max_epi16(_mm_subs_epi16(v_f, v_ext), h_open);
+                }
+                if !alive {
+                    break 'lazy;
+                }
+            }
+
+            std::mem::swap(&mut h_load, &mut h_store);
+        }
+
+        let mut lanes_out = [0i16; LANES];
+        _mm_storeu_si128(lanes_out.as_mut_ptr() as *mut __m128i, v_best);
+        let best = lanes_out.iter().copied().max().unwrap().max(0);
+        StripedOutcome {
+            score: best as i32,
+            saturated: best == i16::MAX,
+        }
+    }
+
+    /// 16 × i8 striped kernel (SSE4.1, for `_mm_max_epi8`).
+    ///
+    /// # Safety
+    /// The caller must ensure the CPU supports SSE4.1.
+    #[target_feature(enable = "sse4.1")]
+    pub unsafe fn sw_striped_i8_sse41(
+        profile: &StripedProfile<i8>,
+        subject: &[u8],
+        goe: i32,
+        ext: i32,
+    ) -> StripedOutcome {
+        const LANES: usize = 16;
+        debug_assert_eq!(profile.lanes, LANES);
+        let seg_len = profile.seg_len;
+        let slots = seg_len * LANES;
+        let mut h_load = vec![0i8; slots];
+        let mut h_store = vec![0i8; slots];
+        let mut e_arr = vec![i8::MIN; slots];
+
+        let v_goe = _mm_set1_epi8(goe.clamp(i8::MIN as i32, i8::MAX as i32) as i8);
+        let v_ext = _mm_set1_epi8(ext.clamp(i8::MIN as i32, i8::MAX as i32) as i8);
+        let v_zero = _mm_setzero_si128();
+        let v_min_lane0 = _mm_insert_epi8(v_zero, i8::MIN as i32, 0);
+        let mut v_best = _mm_set1_epi8(i8::MIN);
+
+        for &r in subject {
+            let mut v_f = _mm_set1_epi8(i8::MIN);
+            let mut v_h = _mm_slli_si128::<1>(_mm_loadu_si128(
+                h_load.as_ptr().add((seg_len - 1) * LANES) as *const __m128i,
+            ));
+
+            for k in 0..seg_len {
+                let prof = _mm_loadu_si128(profile.vector_ptr(r, k) as *const __m128i);
+                v_h = _mm_adds_epi8(v_h, prof);
+                let v_e = _mm_loadu_si128(e_arr.as_ptr().add(k * LANES) as *const __m128i);
+                v_h = _mm_max_epi8(v_h, v_e);
+                v_h = _mm_max_epi8(v_h, v_f);
+                v_h = _mm_max_epi8(v_h, v_zero);
+                v_best = _mm_max_epi8(v_best, v_h);
+                _mm_storeu_si128(h_store.as_mut_ptr().add(k * LANES) as *mut __m128i, v_h);
+                let h_open = _mm_subs_epi8(v_h, v_goe);
+                let v_e2 = _mm_max_epi8(h_open, _mm_subs_epi8(v_e, v_ext));
+                _mm_storeu_si128(e_arr.as_mut_ptr().add(k * LANES) as *mut __m128i, v_e2);
+                v_f = _mm_max_epi8(h_open, _mm_subs_epi8(v_f, v_ext));
+                v_h = _mm_loadu_si128(h_load.as_ptr().add(k * LANES) as *const __m128i);
+            }
+
+            'lazy: for _ in 0..LANES {
+                v_f = _mm_or_si128(_mm_slli_si128::<1>(v_f), v_min_lane0);
+                let mut alive = false;
+                for k in 0..seg_len {
+                    let mut vh =
+                        _mm_loadu_si128(h_store.as_ptr().add(k * LANES) as *const __m128i);
+                    let gt = _mm_movemask_epi8(_mm_cmpgt_epi8(v_f, vh));
+                    if gt != 0 {
+                        vh = _mm_max_epi8(vh, v_f);
+                        _mm_storeu_si128(
+                            h_store.as_mut_ptr().add(k * LANES) as *mut __m128i,
+                            vh,
+                        );
+                        let h_open = _mm_subs_epi8(vh, v_goe);
+                        let e_old =
+                            _mm_loadu_si128(e_arr.as_ptr().add(k * LANES) as *const __m128i);
+                        _mm_storeu_si128(
+                            e_arr.as_mut_ptr().add(k * LANES) as *mut __m128i,
+                            _mm_max_epi8(e_old, h_open),
+                        );
+                        v_best = _mm_max_epi8(v_best, vh);
+                    }
+                    let h_open = _mm_subs_epi8(vh, v_goe);
+                    if _mm_movemask_epi8(_mm_cmpgt_epi8(v_f, h_open)) != 0 {
+                        alive = true;
+                    }
+                    v_f = _mm_max_epi8(_mm_subs_epi8(v_f, v_ext), h_open);
+                }
+                if !alive {
+                    break 'lazy;
+                }
+            }
+
+            std::mem::swap(&mut h_load, &mut h_store);
+        }
+
+        let mut lanes_out = [0i8; LANES];
+        _mm_storeu_si128(lanes_out.as_mut_ptr() as *mut __m128i, v_best);
+        let best = lanes_out.iter().copied().max().unwrap().max(0);
+        StripedOutcome {
+            score: best as i32,
+            saturated: best == i8::MAX,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lanes::Lane;
+    use crate::portable::{sw_striped_portable, Workspace};
+    use rand::{RngExt, SeedableRng};
+    use swhybrid_align::scoring::SubstMatrix;
+
+    fn check_against_portable<T: Lane>(
+        run_sse: impl Fn(&StripedProfile<T>, &[u8], i32, i32) -> Option<StripedOutcome>,
+        seed: u64,
+        max_len: usize,
+    ) {
+        let matrix = SubstMatrix::blosum62();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut ws = Workspace::<T>::new();
+        let mut ran = false;
+        for round in 0..50 {
+            let ql = rng.random_range(1..max_len);
+            let tl = rng.random_range(1..max_len);
+            let q: Vec<u8> = (0..ql).map(|_| rng.random_range(0..20u8)).collect();
+            let t: Vec<u8> = (0..tl).map(|_| rng.random_range(0..20u8)).collect();
+            let profile = StripedProfile::<T>::build(&q, &matrix);
+            let Some(sse) = run_sse(&profile, &t, 12, 2) else {
+                return; // CPU lacks the feature; nothing to compare.
+            };
+            ran = true;
+            let portable = sw_striped_portable(&profile, &t, 12, 2, &mut ws);
+            assert_eq!(sse, portable, "round {round}: ql={ql} tl={tl}");
+        }
+        assert!(ran);
+    }
+
+    #[test]
+    fn i16_sse2_matches_portable() {
+        check_against_portable::<i16>(sw_striped_i16, 101, 150);
+    }
+
+    #[test]
+    fn i8_sse41_matches_portable() {
+        check_against_portable::<i8>(sw_striped_i8, 103, 150);
+    }
+
+    #[test]
+    fn i8_sse41_saturation_agrees_with_portable() {
+        let matrix = SubstMatrix::blosum62();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(107);
+        let q: Vec<u8> = (0..300).map(|_| rng.random_range(0..20u8)).collect();
+        let profile = StripedProfile::<i8>::build(&q, &matrix);
+        let Some(sse) = sw_striped_i8(&profile, &q, 12, 2) else {
+            return;
+        };
+        assert!(sse.saturated);
+        let mut ws = Workspace::<i8>::new();
+        let portable = sw_striped_portable(&profile, &q, 12, 2, &mut ws);
+        assert_eq!(sse, portable);
+    }
+
+    #[test]
+    fn empty_subject_scores_zero() {
+        let matrix = SubstMatrix::blosum62();
+        let q = swhybrid_seq::Alphabet::Protein.encode(b"MKVLAW").unwrap();
+        let p16 = StripedProfile::<i16>::build(&q, &matrix);
+        if let Some(out) = sw_striped_i16(&p16, &[], 12, 2) {
+            assert_eq!(out.score, 0);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Protein database search with the adapted-Farrar engine — real compute.
+//!
+//! Generates a reduced-scale synthetic SwissProt (same length distribution
+//! and residue composition as the paper's biggest database), plants one
+//! distant homolog of the query, and scans the database with the
+//! multithreaded striped search, reporting the ranked hits and the measured
+//! GCUPS (compare with Table III's per-core rate).
+//!
+//! Run with: `cargo run --release --example protein_search`
+
+use std::time::Instant;
+
+use swhybrid::align::scoring::{GapModel, Scoring, SubstMatrix};
+use swhybrid::seq::sequence::EncodedSequence;
+use swhybrid::seq::synth::{paper_database, random_protein, rng};
+use swhybrid::seq::{Alphabet, Sequence};
+use swhybrid::simd::search::{DatabaseSearch, SearchConfig};
+
+fn main() {
+    let scoring = Scoring {
+        matrix: SubstMatrix::blosum62(),
+        gap: GapModel::Affine { open: 10, extend: 2 },
+    };
+
+    // ~1,000 synthetic SwissProt-like sequences (scale 0.2% of 537,505).
+    let profile = paper_database("swissprot").expect("preset exists");
+    let mut db = profile.generate_scaled(11, 0.002);
+    println!("database: {} ({} sequences, {} residues)",
+        db.name, db.stats().num_sequences, db.stats().total_residues);
+
+    // A 400-residue query, plus a mutated copy planted into the database.
+    let mut r = rng(99);
+    let query_res = random_protein(&mut r, 400);
+    let mut homolog = query_res.clone();
+    for i in (0..homolog.len()).step_by(7) {
+        homolog[i] = random_protein(&mut r, 1)[0]; // ~14% point mutations
+    }
+    db.sequences.push(Sequence::new(
+        "planted|homolog",
+        "mutated copy of the query",
+        homolog,
+    ));
+
+    let query = EncodedSequence::from_residues("query", &query_res, Alphabet::Protein)
+        .expect("synthetic residues are valid");
+    let subjects = db.encode_all().expect("synthetic residues are valid");
+
+    let start = Instant::now();
+    let result = DatabaseSearch::new(
+        &query.codes,
+        &scoring,
+        SearchConfig {
+            threads: 2,
+            top_n: 10,
+            ..Default::default()
+        },
+    )
+    .run(&subjects);
+    let secs = start.elapsed().as_secs_f64();
+
+    println!(
+        "\nscanned {} cells in {:.3} s  →  {:.2} GCUPS (paper's SSE core: ~2.7)",
+        result.cells,
+        secs,
+        result.cells as f64 / secs / 1e9
+    );
+    println!(
+        "kernel usage: {} × 8-bit, {} × 16-bit, {} × scalar",
+        result.stats.resolved_i8, result.stats.resolved_i16, result.stats.resolved_scalar
+    );
+    println!("\ntop hits:");
+    println!("{:>4}  {:>6}  {:>6}  id", "rank", "score", "len");
+    for (rank, hit) in result.hits.iter().enumerate() {
+        println!(
+            "{:>4}  {:>6}  {:>6}  {}",
+            rank + 1,
+            hit.score,
+            hit.subject_len,
+            hit.id
+        );
+    }
+    assert_eq!(
+        result.hits[0].id, "planted|homolog",
+        "the planted homolog must rank first"
+    );
+    println!("\nthe planted homolog ranks first, as it should.");
+}

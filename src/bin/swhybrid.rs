@@ -1,0 +1,654 @@
+//! `swhybrid` — command-line front end to the hybrid SW task environment.
+//!
+//! ```text
+//! swhybrid index    <file.fasta>                      build the §IV-B index
+//! swhybrid generate <db-name> <scale> <out.fasta>     synthetic database
+//! swhybrid search   <query.fasta> <db.fasta> [opts]   real striped search
+//! swhybrid simulate [opts]                            platform simulation
+//! ```
+//!
+//! Run `swhybrid help` for the full option list.
+
+use std::process::ExitCode;
+
+use swhybrid::align::scoring::{GapModel, Scoring, SubstMatrix};
+use swhybrid::exec::platform::PlatformBuilder;
+use swhybrid::exec::policy::Policy;
+use swhybrid::seq::fasta::FastaReader;
+use swhybrid::seq::index::SeqIndex;
+use swhybrid::seq::sequence::EncodedSequence;
+use swhybrid::seq::synth::{paper_database, QueryOrder, QuerySetSpec};
+use swhybrid::seq::Alphabet;
+use swhybrid::simd::search::{DatabaseSearch, SearchConfig};
+
+const USAGE: &str = "\
+swhybrid — biological sequence comparison on hybrid platforms
+
+USAGE:
+  swhybrid index <file.fasta>
+      Build the indexed-format sidecar (<file>.swhidx): sequence count,
+      longest-sequence size, per-sequence byte offsets.
+
+  swhybrid generate <db-name> <scale> <out.fasta>
+      Write a synthetic stand-in for one of the paper's databases.
+      <db-name>: dog | rat | human | mouse | swissprot
+      <scale>:   fraction of the full sequence count, e.g. 0.01
+
+  swhybrid search <query.fasta> <db.fasta> [--top N] [--threads N]
+                  [--matrix blosum62|blosum50|pam250]
+                  [--gap-open N] [--gap-extend N] [--align]
+      Compare every query against the database with the adapted-Farrar
+      striped engine; print ranked hits (and alignments with --align).
+
+  swhybrid simulate [--gpus N] [--sse N] [--fpgas N] [--db NAME]
+                    [--policy ss|pss|fixed|wfixed] [--no-adjustment]
+                    [--order asc|desc|shuffle] [--queries N]
+      Run the paper's 40-query workload (or --queries N) on a simulated
+      hybrid platform under virtual time and report time/GCUPS.
+
+  swhybrid master <query.fasta> <db.fasta> --listen HOST:PORT --slaves N
+                  [--policy ...] [--no-adjustment] [--top N]
+      Start the distributed master: waits for N slaves to register, then
+      distributes one task per query and prints the merged hits.
+
+  swhybrid slave <query.fasta> <db.fasta> --connect HOST:PORT
+                 [--name NAME] [--gcups X] [--threads N]
+      Join a running master as a slave PE. Both sides must have the same
+      sequence files (the paper's shared-files model).
+
+  swhybrid help
+      Show this message.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("run `swhybrid help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some("index") => cmd_index(&args[1..]),
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("search") => cmd_search(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("master") => cmd_master(&args[1..]),
+        Some("slave") => cmd_slave(&args[1..]),
+        Some(other) => Err(format!("unknown command {other:?}")),
+    }
+}
+
+// ---------------------------------------------------------------- options
+
+/// Minimal flag parser: `--key value` pairs plus positional arguments.
+struct Opts {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Opts {
+    fn parse(args: &[String], value_flags: &[&str], bool_flags: &[&str]) -> Result<Opts, String> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = args.iter().peekable();
+        while let Some(arg) = it.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                if bool_flags.contains(&name) {
+                    flags.push((name.to_string(), None));
+                } else if value_flags.contains(&name) {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| format!("--{name} requires a value"))?;
+                    flags.push((name.to_string(), Some(value.clone())));
+                } else {
+                    return Err(format!("unknown flag --{name}"));
+                }
+            } else {
+                positional.push(arg.clone());
+            }
+        }
+        Ok(Opts { positional, flags })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse {v:?}")),
+        }
+    }
+}
+
+fn scoring_from_opts(opts: &Opts) -> Result<Scoring, String> {
+    let matrix = match opts.get("matrix").unwrap_or("blosum62") {
+        "blosum62" => SubstMatrix::blosum62(),
+        "blosum50" => SubstMatrix::blosum50(),
+        "pam250" => SubstMatrix::pam250(),
+        other => return Err(format!("unknown matrix {other:?}")),
+    };
+    let open = opts.get_parsed("gap-open", 10i32)?;
+    let extend = opts.get_parsed("gap-extend", 2i32)?;
+    if open < 0 || extend <= 0 {
+        return Err("gap penalties must be positive".into());
+    }
+    Ok(Scoring {
+        matrix,
+        gap: GapModel::Affine { open, extend },
+    })
+}
+
+// ---------------------------------------------------------------- commands
+
+fn cmd_index(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &[], &[])?;
+    let [path] = opts.positional.as_slice() else {
+        return Err("index takes exactly one FASTA path".into());
+    };
+    let index = SeqIndex::build_for_file(path).map_err(|e| e.to_string())?;
+    let out = index.save_alongside(path).map_err(|e| e.to_string())?;
+    println!(
+        "indexed {}: {} sequences, longest {} residues → {}",
+        path,
+        index.count(),
+        index.max_len,
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &["seed"], &[])?;
+    let [name, scale, out] = opts.positional.as_slice() else {
+        return Err("generate takes <db-name> <scale> <out.fasta>".into());
+    };
+    let profile =
+        paper_database(name).ok_or_else(|| format!("unknown database {name:?}"))?;
+    let scale: f64 = scale
+        .parse()
+        .map_err(|_| format!("bad scale {scale:?}"))?;
+    if !(0.0..=1.0).contains(&scale) || scale == 0.0 {
+        return Err("scale must be in (0, 1]".into());
+    }
+    let seed = opts.get_parsed("seed", 2013u64)?;
+    let db = profile.generate_scaled(seed, scale);
+    let stats = db.stats();
+    let text = swhybrid::seq::fasta::to_string(&db.sequences);
+    std::fs::write(out, text).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {}: {} sequences, {} residues (stand-in for {})",
+        out, stats.num_sequences, stats.total_residues, profile.name
+    );
+    Ok(())
+}
+
+fn cmd_search(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(
+        args,
+        &["top", "threads", "matrix", "gap-open", "gap-extend"],
+        &["align"],
+    )?;
+    let [qpath, dbpath] = opts.positional.as_slice() else {
+        return Err("search takes <query.fasta> <db.fasta>".into());
+    };
+    let scoring = scoring_from_opts(&opts)?;
+    let top_n: usize = opts.get_parsed("top", 10)?;
+    let threads: usize = opts.get_parsed("threads", 1)?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+
+    let encode_all = |path: &str| -> Result<Vec<EncodedSequence>, String> {
+        FastaReader::open(path)
+            .map_err(|e| format!("{path}: {e}"))?
+            .read_all()
+            .map_err(|e| format!("{path}: {e}"))?
+            .iter()
+            .map(|r| {
+                EncodedSequence::from_sequence(r, Alphabet::Protein)
+                    .map_err(|e| format!("{path} ({}): {e}", r.id))
+            })
+            .collect()
+    };
+    let queries = encode_all(qpath)?;
+    let subjects = encode_all(dbpath)?;
+    if queries.is_empty() {
+        return Err(format!("{qpath}: no query sequences"));
+    }
+    println!(
+        "{} quer{} × {} subjects",
+        queries.len(),
+        if queries.len() == 1 { "y" } else { "ies" },
+        subjects.len()
+    );
+
+    let start = std::time::Instant::now();
+    let mut total_cells = 0u64;
+    for query in &queries {
+        let result = DatabaseSearch::new(
+            &query.codes,
+            &scoring,
+            SearchConfig {
+                threads,
+                top_n,
+                ..Default::default()
+            },
+        )
+        .run(&subjects);
+        total_cells += result.cells;
+        let stats_params = swhybrid::align::evalue::KarlinAltschul::for_scoring(&scoring);
+        let db_residues: u64 = subjects.iter().map(|s| s.len() as u64).sum();
+        println!("\n# query {} ({} aa)", query.id, query.len());
+        println!(
+            "{:>4}  {:>6}  {:>8}  {:>9}  {:>6}  subject",
+            "rank", "score", "bits", "E-value", "len"
+        );
+        for (rank, hit) in result.hits.iter().enumerate() {
+            let (bits, evalue) = match &stats_params {
+                Some(p) => (
+                    format!("{:.1}", p.bit_score(hit.score)),
+                    format!(
+                        "{:.1e}",
+                        p.evalue(hit.score, query.len(), db_residues, subjects.len())
+                    ),
+                ),
+                None => ("-".into(), "-".into()),
+            };
+            println!(
+                "{:>4}  {:>6}  {:>8}  {:>9}  {:>6}  {}",
+                rank + 1,
+                hit.score,
+                bits,
+                evalue,
+                hit.subject_len,
+                hit.id
+            );
+        }
+        if opts.has("align") {
+            for (hit, alignment) in result.align_hits(&query.codes, &subjects, &scoring) {
+                println!(
+                    "\n>{} score {} cigar {} identity {:.0}%",
+                    hit.id,
+                    hit.score,
+                    alignment.cigar(),
+                    alignment.identity() * 100.0
+                );
+                let q_ascii = query.decode();
+                let s_ascii = subjects[hit.db_index].decode();
+                println!("{}", alignment.pretty(&q_ascii, &s_ascii));
+            }
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    println!(
+        "\n{total_cells} cells in {secs:.3} s = {:.2} GCUPS",
+        total_cells as f64 / secs / 1e9
+    );
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(
+        args,
+        &["gpus", "sse", "fpgas", "db", "policy", "order", "queries", "omega"],
+        &["no-adjustment"],
+    )?;
+    if !opts.positional.is_empty() {
+        return Err(format!(
+            "simulate takes flags only (got {:?})",
+            opts.positional[0]
+        ));
+    }
+    let gpus: usize = opts.get_parsed("gpus", 4)?;
+    let sse: usize = opts.get_parsed("sse", 4)?;
+    let fpgas: usize = opts.get_parsed("fpgas", 0)?;
+    if gpus + sse + fpgas == 0 {
+        return Err("platform needs at least one PE".into());
+    }
+    let db = paper_database(opts.get("db").unwrap_or("swissprot"))
+        .ok_or_else(|| format!("unknown database {:?}", opts.get("db").unwrap_or("")))?
+        .full_scale_stats();
+    let omega: usize = opts.get_parsed("omega", 5)?;
+    let policy = match opts.get("policy").unwrap_or("pss") {
+        "ss" => Policy::SelfScheduling,
+        "pss" => Policy::Pss { omega: omega.max(1) },
+        "fixed" => Policy::Fixed,
+        "wfixed" => Policy::WFixed,
+        other => return Err(format!("unknown policy {other:?}")),
+    };
+    let order = match opts.get("order").unwrap_or("asc") {
+        "asc" => QueryOrder::Ascending,
+        "desc" => QueryOrder::Descending,
+        "shuffle" => QueryOrder::Shuffled,
+        other => return Err(format!("unknown order {other:?}")),
+    };
+    let mut spec = QuerySetSpec::paper();
+    spec.count = opts.get_parsed("queries", 40usize)?;
+    if spec.count == 0 {
+        return Err("--queries must be at least 1".into());
+    }
+    spec.order = order;
+
+    let workload = PlatformBuilder::workload(&db, &spec, 2013);
+    let builder = PlatformBuilder::new()
+        .gpus(gpus)
+        .sse_cores(sse)
+        .fpgas(fpgas)
+        .policy(policy)
+        .adjustment(!opts.has("no-adjustment"));
+    let label = builder.describe();
+    let out = builder.run(workload);
+
+    println!("platform:  {label}");
+    println!("database:  {} ({} residues)", db.name, db.total_residues);
+    println!(
+        "workload:  {} queries, {:?} order, policy {:?}, adjustment {}",
+        spec.count,
+        order,
+        policy,
+        !opts.has("no-adjustment")
+    );
+    println!(
+        "result:    {:.1} s  |  {:.2} GCUPS  |  duplicated work {:.1}%",
+        out.seconds(),
+        out.gcups(),
+        100.0 * out.report.duplicated_cells / out.report.total_cells.max(1) as f64
+    );
+    println!("\nper-PE:");
+    for pe in &out.report.per_pe {
+        println!(
+            "  {:<6} {:>9.1} s busy  {:>3} completed  {:>3} cancelled",
+            pe.name, pe.busy_seconds, pe.tasks_completed, pe.tasks_cancelled
+        );
+    }
+    Ok(())
+}
+
+fn load_encoded(path: &str) -> Result<Vec<EncodedSequence>, String> {
+    FastaReader::open(path)
+        .map_err(|e| format!("{path}: {e}"))?
+        .read_all()
+        .map_err(|e| format!("{path}: {e}"))?
+        .iter()
+        .map(|r| {
+            EncodedSequence::from_sequence(r, Alphabet::Protein)
+                .map_err(|e| format!("{path} ({}): {e}", r.id))
+        })
+        .collect()
+}
+
+fn policy_from_opts(opts: &Opts) -> Result<Policy, String> {
+    Ok(match opts.get("policy").unwrap_or("pss") {
+        "ss" => Policy::SelfScheduling,
+        "pss" => Policy::pss_default(),
+        "fixed" => Policy::Fixed,
+        "wfixed" => Policy::WFixed,
+        other => return Err(format!("unknown policy {other:?}")),
+    })
+}
+
+fn cmd_master(args: &[String]) -> Result<(), String> {
+    use swhybrid::exec::master::MasterConfig;
+    use swhybrid::exec::net::MasterServer;
+
+    let opts = Opts::parse(args, &["listen", "slaves", "policy", "top"], &["no-adjustment"])?;
+    let [qpath, dbpath] = opts.positional.as_slice() else {
+        return Err("master takes <query.fasta> <db.fasta>".into());
+    };
+    let listen = opts.get("listen").unwrap_or("0.0.0.0:7878");
+    let slaves: usize = opts.get_parsed("slaves", 1)?;
+    if slaves == 0 {
+        return Err("--slaves must be at least 1".into());
+    }
+    let queries = load_encoded(qpath)?;
+    let subjects = load_encoded(dbpath)?;
+    if queries.is_empty() {
+        return Err(format!("{qpath}: no query sequences"));
+    }
+    let db_residues: u64 = subjects.iter().map(|s| s.len() as u64).sum();
+    let specs = queries
+        .iter()
+        .enumerate()
+        .map(|(id, q)| swhybrid::device::task::TaskSpec {
+            id,
+            query_len: q.len(),
+            db_residues,
+            db_sequences: subjects.len(),
+        })
+        .collect();
+
+    let server = MasterServer::bind(
+        listen,
+        MasterConfig {
+            policy: policy_from_opts(&opts)?,
+            adjustment: !opts.has("no-adjustment"),
+            dispatch: Default::default(),
+        },
+        slaves,
+    )
+    .map_err(|e| format!("bind {listen}: {e}"))?;
+    println!(
+        "master listening on {} for {} slave(s), {} tasks",
+        server.local_addr().map_err(|e| e.to_string())?,
+        slaves,
+        queries.len()
+    );
+    let outcome = server.serve(specs).map_err(|e| e.to_string())?;
+    println!(
+        "\ncompleted {} tasks in {:.2} s  →  {:.2} GCUPS",
+        outcome.completed_by.len(),
+        outcome.elapsed_seconds,
+        outcome.gcups
+    );
+    println!("\nmerged hits (top {}):", opts.get_parsed("top", 10usize)?);
+    for (rank, qh) in outcome
+        .hits
+        .iter()
+        .take(opts.get_parsed("top", 10usize)?)
+        .enumerate()
+    {
+        println!(
+            "{:>4}  score {:>5}  q{}  {}",
+            rank + 1,
+            qh.hit.score,
+            qh.query_index,
+            qh.hit.id
+        );
+    }
+    Ok(())
+}
+
+fn cmd_slave(args: &[String]) -> Result<(), String> {
+    use swhybrid::device::exec::StripedBackend;
+    use swhybrid::exec::net::run_slave;
+
+    let opts = Opts::parse(args, &["connect", "name", "gcups", "top"], &[])?;
+    let [qpath, dbpath] = opts.positional.as_slice() else {
+        return Err("slave takes <query.fasta> <db.fasta>".into());
+    };
+    let connect = opts
+        .get("connect")
+        .ok_or_else(|| "--connect HOST:PORT is required".to_string())?;
+    let name = opts.get("name").unwrap_or("slave").to_string();
+    let gcups: f64 = opts.get_parsed("gcups", 1.0)?;
+    let queries = load_encoded(qpath)?;
+    let subjects = load_encoded(dbpath)?;
+    let scoring = Scoring {
+        matrix: SubstMatrix::blosum62(),
+        gap: GapModel::Affine { open: 10, extend: 2 },
+    };
+    println!("{name}: connecting to {connect}");
+    let executed = run_slave(
+        connect,
+        &name,
+        gcups,
+        &StripedBackend::default(),
+        &queries,
+        &subjects,
+        &scoring,
+        opts.get_parsed("top", 10usize)?,
+    )
+    .map_err(|e| e.to_string())?;
+    println!("{name}: done, executed {executed} task(s)");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn opts_parser_positional_and_flags() {
+        let o = Opts::parse(
+            &s(&["a.fasta", "--top", "5", "--align", "b.fasta"]),
+            &["top"],
+            &["align"],
+        )
+        .unwrap();
+        assert_eq!(o.positional, s(&["a.fasta", "b.fasta"]));
+        assert_eq!(o.get("top"), Some("5"));
+        assert!(o.has("align"));
+        assert_eq!(o.get_parsed("top", 1usize).unwrap(), 5);
+        assert_eq!(o.get_parsed("missing", 7usize).unwrap(), 7);
+    }
+
+    #[test]
+    fn opts_parser_rejects_unknown_and_missing_value() {
+        assert!(Opts::parse(&s(&["--bogus"]), &["top"], &[]).is_err());
+        assert!(Opts::parse(&s(&["--top"]), &["top"], &[]).is_err());
+    }
+
+    #[test]
+    fn scoring_from_opts_defaults_and_overrides() {
+        let o = Opts::parse(&s(&[]), &["matrix", "gap-open", "gap-extend"], &[]).unwrap();
+        let sc = scoring_from_opts(&o).unwrap();
+        assert_eq!(sc.matrix.name, "BLOSUM62");
+        let o = Opts::parse(
+            &s(&["--matrix", "pam250", "--gap-open", "12"]),
+            &["matrix", "gap-open", "gap-extend"],
+            &[],
+        )
+        .unwrap();
+        let sc = scoring_from_opts(&o).unwrap();
+        assert_eq!(sc.matrix.name, "PAM250");
+        assert_eq!(sc.gap, GapModel::Affine { open: 12, extend: 2 });
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&s(&["frobnicate"])).is_err());
+        assert!(run(&s(&["help"])).is_ok());
+    }
+
+    #[test]
+    fn simulate_smoke_small() {
+        // A tiny simulated run exercises the whole path.
+        run(&s(&[
+            "simulate", "--gpus", "1", "--sse", "1", "--db", "dog", "--queries", "4",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn distributed_master_slave_via_cli_paths() {
+        // Exercise cmd_master + cmd_slave end-to-end on localhost with an
+        // ephemeral port.
+        let dir = std::env::temp_dir().join(format!("swhybrid_cli_net_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let db = dir.join("db.fasta");
+        run(&s(&["generate", "rat", "0.0003", db.to_str().unwrap()])).unwrap();
+        let q = dir.join("q.fasta");
+        let first = FastaReader::open(&db).unwrap().next_record().unwrap().unwrap();
+        std::fs::write(&q, swhybrid::seq::fasta::to_string(std::iter::once(&first))).unwrap();
+
+        // Pick a free port by binding briefly.
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap().to_string();
+        drop(probe);
+
+        let q2 = q.clone();
+        let db2 = db.clone();
+        let addr2 = addr.clone();
+        let slave = std::thread::spawn(move || {
+            // Retry until the master is listening.
+            for _ in 0..200 {
+                let result = run(&s(&[
+                    "slave",
+                    q2.to_str().unwrap(),
+                    db2.to_str().unwrap(),
+                    "--connect",
+                    &addr2,
+                    "--name",
+                    "cli-slave",
+                ]));
+                if result.is_ok() {
+                    return;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            panic!("slave never connected");
+        });
+        run(&s(&[
+            "master",
+            q.to_str().unwrap(),
+            db.to_str().unwrap(),
+            "--listen",
+            &addr,
+            "--slaves",
+            "1",
+        ]))
+        .unwrap();
+        slave.join().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn generate_index_search_round_trip() {
+        let dir = std::env::temp_dir().join(format!("swhybrid_cli_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let db = dir.join("db.fasta");
+        let db_s = db.to_str().unwrap().to_string();
+        run(&s(&["generate", "dog", "0.0005", &db_s])).unwrap();
+        run(&s(&["index", &db_s])).unwrap();
+        // Use the database's own first record as the query: it must be hit.
+        let first = FastaReader::open(&db).unwrap().next_record().unwrap().unwrap();
+        let q = dir.join("q.fasta");
+        std::fs::write(&q, swhybrid::seq::fasta::to_string(std::iter::once(&first))).unwrap();
+        run(&s(&[
+            "search",
+            q.to_str().unwrap(),
+            &db_s,
+            "--top",
+            "3",
+            "--align",
+        ]))
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,25 @@
+//! # swhybrid — biological sequence comparison on hybrid platforms
+//!
+//! Reproduction of *Mendonça & de Melo, "Biological Sequence Comparison on
+//! Hybrid Platforms with Dynamic Workload Adjustment", IPDPS Workshops 2013*.
+//!
+//! This facade crate re-exports the workspace layers:
+//!
+//! * [`seq`] — sequences, alphabets, FASTA, the indexed file format, and the
+//!   synthetic stand-ins for the paper's five databases,
+//! * [`align`] — Smith-Waterman / Gotoh / Needleman-Wunsch kernels,
+//! * [`simd`] — the adapted-Farrar striped SIMD kernel and the multithreaded
+//!   database search built on it,
+//! * [`device`] — processing-element models (simulated CUDASW++ GPU, SSE
+//!   core, FPGA) with calibrated performance models,
+//! * [`exec`] — the paper's contribution: the master/slave task execution
+//!   environment with SS/PSS allocation policies and the dynamic workload
+//!   adjustment mechanism.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use swhybrid_align as align;
+pub use swhybrid_core as exec;
+pub use swhybrid_device as device;
+pub use swhybrid_seq as seq;
+pub use swhybrid_simd as simd;

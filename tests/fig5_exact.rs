@@ -1,0 +1,105 @@
+//! Integration test: the paper's Fig. 5 worked example, end to end.
+//!
+//! 4 PEs (one GPU exactly 6× faster than three SSE cores), 20 tasks that
+//! take 1 s each on the GPU, PSS policy, negligible communication time:
+//! the application finishes at **14 s with** the workload adjustment
+//! mechanism and **18 s without** it.
+
+use std::sync::Arc;
+
+use swhybrid::device::cpu::CpuSseDevice;
+use swhybrid::device::gpu::GpuDevice;
+use swhybrid::device::perfmodel::PerfModel;
+use swhybrid::device::task::{DeviceModel, TaskSpec};
+use swhybrid::exec::platform::PlatformBuilder;
+use swhybrid::exec::policy::Policy;
+use swhybrid::exec::sim::SimPe;
+use swhybrid::exec::trace::SegmentEnd;
+
+fn flat_model(gcups: f64) -> PerfModel {
+    PerfModel {
+        peak_gcups: gcups,
+        startup_seconds: 0.0,
+        transfer_bytes_per_sec: None,
+        query_ramp: 0.0,
+        db_fill: 0.0,
+    }
+}
+
+fn platform(adjustment: bool) -> PlatformBuilder {
+    let gpu: Arc<dyn DeviceModel> = Arc::new(GpuDevice::with_model("GPU1", flat_model(6.0)));
+    let mut b = PlatformBuilder::new()
+        .pe(SimPe::new("GPU1", gpu))
+        .policy(Policy::pss_default())
+        .adjustment(adjustment)
+        .comm_latency(0.0);
+    for i in 1..=3 {
+        let sse: Arc<dyn DeviceModel> =
+            Arc::new(CpuSseDevice::with_model(format!("SSE{i}"), flat_model(1.0)));
+        b = b.pe(SimPe::new(format!("SSE{i}"), sse));
+    }
+    b
+}
+
+fn tasks() -> Vec<TaskSpec> {
+    (0..20)
+        .map(|id| TaskSpec {
+            id,
+            query_len: 1000,
+            db_residues: 6_000_000, // 6 Gcells: 1 s at 6 GCUPS
+            db_sequences: 1_000,
+        })
+        .collect()
+}
+
+#[test]
+fn with_adjustment_total_time_is_14s() {
+    let out = platform(true).run(tasks());
+    assert!(
+        (out.seconds() - 14.0).abs() < 0.01,
+        "expected 14 s, got {}",
+        out.seconds()
+    );
+    // Every one of the 20 tasks completed exactly once.
+    let completed: usize = out.report.per_pe.iter().map(|p| p.tasks_completed).sum();
+    assert_eq!(completed, 20);
+    // The mechanism produced at least one cancelled replica (t20's losers).
+    let cancelled = out
+        .report
+        .trace
+        .segments
+        .iter()
+        .filter(|s| s.end_kind == SegmentEnd::Cancelled)
+        .count();
+    assert!(cancelled >= 1, "trace: {:?}", out.report.trace.segments);
+}
+
+#[test]
+fn without_adjustment_total_time_is_18s() {
+    let out = platform(false).run(tasks());
+    assert!(
+        (out.seconds() - 18.0).abs() < 0.01,
+        "expected 18 s, got {}",
+        out.seconds()
+    );
+    // No replication ever happens without the mechanism.
+    assert_eq!(out.report.duplicated_cells, 0.0);
+    assert!(out
+        .report
+        .trace
+        .segments
+        .iter()
+        .all(|s| s.end_kind == SegmentEnd::Completed));
+}
+
+#[test]
+fn gpu_executes_the_lions_share() {
+    let out = platform(true).run(tasks());
+    let gpu = &out.report.per_pe[0];
+    assert_eq!(gpu.name, "GPU1");
+    // Fig. 5a: GPU1 completes t1, t5–t10, t14–t19 and the t20 replica = 14.
+    assert_eq!(gpu.tasks_completed, 14, "report: {:?}", out.report.per_pe);
+    for sse in &out.report.per_pe[1..] {
+        assert_eq!(sse.tasks_completed, 2);
+    }
+}
