@@ -5,7 +5,7 @@ use crate::scoring::Scoring;
 
 /// One alignment column, described relative to the pair `(s, t)`:
 /// `s` is the query and `t` the subject/database sequence.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AlignOp {
     /// `s[i]` aligned with `t[j]` and the residues are identical.
     Match,
@@ -45,7 +45,7 @@ impl AlignOp {
 ///
 /// `s_range`/`t_range` give the half-open residue ranges the alignment
 /// covers; for a global alignment they span the full sequences.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Alignment {
     /// Alignment score under the scheme it was computed with.
     pub score: i32,
@@ -298,11 +298,7 @@ mod tests {
             score: 0,
             s_range: (0, 2),
             t_range: (0, 2),
-            ops: vec![
-                AlignOp::Match,
-                AlignOp::Delete,
-                AlignOp::Insert,
-            ],
+            ops: vec![AlignOp::Match, AlignOp::Delete, AlignOp::Insert],
         };
         let scoring = Scoring {
             matrix: SubstMatrix::match_mismatch(Alphabet::Dna, 2, -1),

@@ -13,13 +13,7 @@ use crate::scoring::{GapModel, Scoring};
 /// `band` is the half-width `k`: cell `(i, j)` (1-based) participates iff
 /// `|j - i - offset| ≤ k`. With `band ≥ max(m, n)` the result equals the
 /// unbanded kernel.
-pub fn sw_score_banded(
-    s: &[u8],
-    t: &[u8],
-    scoring: &Scoring,
-    band: usize,
-    offset: isize,
-) -> i32 {
+pub fn sw_score_banded(s: &[u8], t: &[u8], scoring: &Scoring, band: usize, offset: isize) -> i32 {
     let g = match scoring.gap {
         GapModel::Linear { penalty } => penalty,
         GapModel::Affine { .. } => panic!("banded kernel implements linear gaps"),
@@ -59,9 +53,17 @@ pub fn sw_score_banded(
             cur[0] = 0;
         }
         for j in lo..=hi {
-            let diag = if prev[j - 1] == NEG_INF { 0 } else { prev[j - 1] };
+            let diag = if prev[j - 1] == NEG_INF {
+                0
+            } else {
+                prev[j - 1]
+            };
             let d = diag + row[t[j - 1] as usize] as i32;
-            let up = if prev[j] == NEG_INF { NEG_INF } else { prev[j] - g };
+            let up = if prev[j] == NEG_INF {
+                NEG_INF
+            } else {
+                prev[j] - g
+            };
             let left = if cur[j - 1] == NEG_INF {
                 NEG_INF
             } else {
@@ -116,8 +118,7 @@ mod tests {
             let t: Vec<u8> = (0..40).map(|_| rng.random_range(0..20u8)).collect();
             for band in [0usize, 1, 3, 8] {
                 assert!(
-                    sw_score_banded(&s, &t, &scoring, band, 0)
-                        <= sw::sw_score(&s, &t, &scoring)
+                    sw_score_banded(&s, &t, &scoring, band, 0) <= sw::sw_score(&s, &t, &scoring)
                 );
             }
         }
@@ -128,7 +129,9 @@ mod tests {
         // Two near-identical sequences differ by one insertion: a band of 2
         // suffices to capture the optimal alignment.
         let s = Alphabet::Protein.encode(b"MKVLAWCDEFGHIKLMNPQRST").unwrap();
-        let t = Alphabet::Protein.encode(b"MKVLAWCDEFGGHIKLMNPQRST").unwrap();
+        let t = Alphabet::Protein
+            .encode(b"MKVLAWCDEFGGHIKLMNPQRST")
+            .unwrap();
         let scoring = blosum_linear(4);
         let full = sw::sw_score(&s, &t, &scoring);
         assert_eq!(sw_score_banded(&s, &t, &scoring, 2, 0), full);

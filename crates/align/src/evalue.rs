@@ -21,7 +21,7 @@
 use crate::scoring::{GapModel, Scoring};
 
 /// Karlin–Altschul parameters for one scoring scheme.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KarlinAltschul {
     /// The scale parameter λ (per score unit).
     pub lambda: f64,
@@ -46,22 +46,46 @@ impl KarlinAltschul {
                 k: 0.134,
                 h: 0.40,
             }),
-            ("BLOSUM62", GapModel::Affine { open: 11, extend: 1 }) => Some(KarlinAltschul {
+            (
+                "BLOSUM62",
+                GapModel::Affine {
+                    open: 11,
+                    extend: 1,
+                },
+            ) => Some(KarlinAltschul {
                 lambda: 0.267,
                 k: 0.041,
                 h: 0.14,
             }),
-            ("BLOSUM62", GapModel::Affine { open: 10, extend: 1 }) => Some(KarlinAltschul {
+            (
+                "BLOSUM62",
+                GapModel::Affine {
+                    open: 10,
+                    extend: 1,
+                },
+            ) => Some(KarlinAltschul {
                 lambda: 0.243,
                 k: 0.035,
                 h: 0.12,
             }),
-            ("BLOSUM62", GapModel::Affine { open: 10, extend: 2 }) => Some(KarlinAltschul {
+            (
+                "BLOSUM62",
+                GapModel::Affine {
+                    open: 10,
+                    extend: 2,
+                },
+            ) => Some(KarlinAltschul {
                 lambda: 0.293,
                 k: 0.075,
                 h: 0.27,
             }),
-            ("BLOSUM50", GapModel::Affine { open: 10, extend: 2 }) => Some(KarlinAltschul {
+            (
+                "BLOSUM50",
+                GapModel::Affine {
+                    open: 10,
+                    extend: 2,
+                },
+            ) => Some(KarlinAltschul {
                 lambda: 0.166,
                 k: 0.036,
                 h: 0.12,
@@ -72,7 +96,10 @@ impl KarlinAltschul {
 
     /// Build from explicit parameters.
     pub fn custom(lambda: f64, k: f64, h: f64) -> KarlinAltschul {
-        assert!(lambda > 0.0 && k > 0.0 && h > 0.0, "parameters must be positive");
+        assert!(
+            lambda > 0.0 && k > 0.0 && h > 0.0,
+            "parameters must be positive"
+        );
         KarlinAltschul { lambda, k, h }
     }
 
@@ -94,13 +121,7 @@ impl KarlinAltschul {
 
     /// E-value of raw score `s` for a query of `query_len` residues against
     /// a database of `db_residues` residues in `db_sequences` sequences.
-    pub fn evalue(
-        &self,
-        s: i32,
-        query_len: usize,
-        db_residues: u64,
-        db_sequences: usize,
-    ) -> f64 {
+    pub fn evalue(&self, s: i32, query_len: usize, db_residues: u64, db_sequences: usize) -> f64 {
         let l = self.expected_length(s);
         let m_eff = (query_len as f64 - l).max(1.0);
         let n_eff = (db_residues as f64 - db_sequences as f64 * l).max(db_sequences.max(1) as f64);
@@ -136,7 +157,10 @@ mod tests {
     fn default_params() -> KarlinAltschul {
         KarlinAltschul::for_scoring(&Scoring {
             matrix: SubstMatrix::blosum62(),
-            gap: GapModel::Affine { open: 10, extend: 2 },
+            gap: GapModel::Affine {
+                open: 10,
+                extend: 2,
+            },
         })
         .expect("published parameters exist")
     }
@@ -145,7 +169,10 @@ mod tests {
     fn known_schemes_have_parameters() {
         assert!(KarlinAltschul::for_scoring(&Scoring {
             matrix: SubstMatrix::blosum62(),
-            gap: GapModel::Affine { open: 11, extend: 1 },
+            gap: GapModel::Affine {
+                open: 11,
+                extend: 1
+            },
         })
         .is_some());
         assert!(KarlinAltschul::for_scoring(&Scoring {
@@ -189,7 +216,10 @@ mod tests {
         assert!(e(60) > e(100));
         // One more unit of score divides E by roughly e^λ.
         let ratio = e(100) / e(101);
-        assert!((ratio - p.lambda.exp()).abs() / p.lambda.exp() < 0.05, "ratio {ratio}");
+        assert!(
+            (ratio - p.lambda.exp()).abs() / p.lambda.exp() < 0.05,
+            "ratio {ratio}"
+        );
     }
 
     #[test]

@@ -273,8 +273,25 @@ mod tests {
         // s has two residues missing relative to t in one block.
         let s = prot("MKVLAWCDEF");
         let t = prot("MKVLCDEF"); // "AW" deleted as a single block
-        let a = gotoh_align(&s, &t, &blosum(GapModel::Affine { open: 10, extend: 1 }));
-        assert_eq!(a.rescore(&s, &t, &blosum(GapModel::Affine { open: 10, extend: 1 })), a.score);
+        let a = gotoh_align(
+            &s,
+            &t,
+            &blosum(GapModel::Affine {
+                open: 10,
+                extend: 1,
+            }),
+        );
+        assert_eq!(
+            a.rescore(
+                &s,
+                &t,
+                &blosum(GapModel::Affine {
+                    open: 10,
+                    extend: 1
+                })
+            ),
+            a.score
+        );
         // The deletion must be one contiguous 2-column run.
         assert!(a.cigar().contains("2D"), "cigar {}", a.cigar());
     }
@@ -283,7 +300,10 @@ mod tests {
     fn traceback_rescore_agrees_on_random_pairs() {
         use rand::{RngExt, SeedableRng};
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(17);
-        let scoring = blosum(GapModel::Affine { open: 10, extend: 2 });
+        let scoring = blosum(GapModel::Affine {
+            open: 10,
+            extend: 2,
+        });
         for _ in 0..40 {
             let sl = rng.random_range(1..60);
             let tl = rng.random_range(1..60);
@@ -312,7 +332,10 @@ mod tests {
     #[test]
     fn identical_sequences() {
         let s = prot("MKVLAW");
-        let scoring = blosum(GapModel::Affine { open: 10, extend: 2 });
+        let scoring = blosum(GapModel::Affine {
+            open: 10,
+            extend: 2,
+        });
         let a = gotoh_align(&s, &s, &scoring);
         // Self score: M5 K5 V4 L4 A4 W11 = 33.
         assert_eq!(a.score, 33);
@@ -323,7 +346,10 @@ mod tests {
     fn empty_inputs() {
         let s = prot("MKV");
         let e: Vec<u8> = vec![];
-        let scoring = blosum(GapModel::Affine { open: 10, extend: 2 });
+        let scoring = blosum(GapModel::Affine {
+            open: 10,
+            extend: 2,
+        });
         assert_eq!(gotoh_score(&s, &e, &scoring), 0);
         assert_eq!(gotoh_score(&e, &e, &scoring), 0);
     }

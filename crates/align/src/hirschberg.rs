@@ -99,11 +99,7 @@ pub fn hirschberg_local(s: &[u8], t: &[u8], scoring: &Scoring) -> Alignment {
     let s_start = end.s_end - rev_s;
     let t_start = end.t_end - rev_t;
     // 3. Global alignment of the delimited substrings, linear space.
-    let sub = hirschberg_global(
-        &s[s_start..end.s_end],
-        &t[t_start..end.t_end],
-        scoring,
-    );
+    let sub = hirschberg_global(&s[s_start..end.s_end], &t[t_start..end.t_end], scoring);
     debug_assert_eq!(sub.score, end.score, "substring global != local score");
     Alignment {
         score: sub.score,

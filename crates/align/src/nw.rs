@@ -42,10 +42,7 @@ pub fn nw_align(s: &[u8], t: &[u8], scoring: &Scoring) -> Alignment {
     let (mut i, mut j) = (m, n);
     while i > 0 || j > 0 {
         let cur = h[i * cols + j];
-        if i > 0
-            && j > 0
-            && cur == h[(i - 1) * cols + j - 1] + scoring.sub(s[i - 1], t[j - 1])
-        {
+        if i > 0 && j > 0 && cur == h[(i - 1) * cols + j - 1] + scoring.sub(s[i - 1], t[j - 1]) {
             ops.push(if s[i - 1] == t[j - 1] {
                 AlignOp::Match
             } else {
@@ -114,10 +111,7 @@ pub fn nw_affine_align(s: &[u8], t: &[u8], scoring: &Scoring) -> Alignment {
         let idx = i * cols + j;
         match state {
             State::InH => {
-                if i > 0
-                    && j > 0
-                    && h[idx] == h[idx - cols - 1] + scoring.sub(s[i - 1], t[j - 1])
-                {
+                if i > 0 && j > 0 && h[idx] == h[idx - cols - 1] + scoring.sub(s[i - 1], t[j - 1]) {
                     ops.push(if s[i - 1] == t[j - 1] {
                         AlignOp::Match
                     } else {
@@ -344,8 +338,7 @@ mod tests {
             let s: Vec<u8> = (0..30).map(|_| rng.random_range(0..20u8)).collect();
             let t: Vec<u8> = (0..30).map(|_| rng.random_range(0..20u8)).collect();
             assert!(
-                nw_affine_score(&s, &t, &scoring)
-                    <= crate::gotoh::gotoh_score(&s, &t, &scoring)
+                nw_affine_score(&s, &t, &scoring) <= crate::gotoh::gotoh_score(&s, &t, &scoring)
             );
         }
     }

@@ -147,7 +147,10 @@ mod tests {
     #[test]
     fn affine_matches_gotoh_on_random_pairs() {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(37);
-        let scoring = blosum(GapModel::Affine { open: 10, extend: 2 });
+        let scoring = blosum(GapModel::Affine {
+            open: 10,
+            extend: 2,
+        });
         for _ in 0..50 {
             let (s, t) = random_pair(&mut rng, 70);
             let hit = sw_score_affine(&s, &t, &scoring);
@@ -174,9 +177,18 @@ mod tests {
         let s = Alphabet::Protein.encode(b"MKVLAW").unwrap();
         let t = Alphabet::Protein.encode(b"MKVAW").unwrap();
         let lin = blosum(GapModel::Linear { penalty: 3 });
-        let aff = blosum(GapModel::Affine { open: 10, extend: 2 });
-        assert_eq!(sw_score(&s, &t, &lin).score, sw_score_linear(&s, &t, &lin).score);
-        assert_eq!(sw_score(&s, &t, &aff).score, sw_score_affine(&s, &t, &aff).score);
+        let aff = blosum(GapModel::Affine {
+            open: 10,
+            extend: 2,
+        });
+        assert_eq!(
+            sw_score(&s, &t, &lin).score,
+            sw_score_linear(&s, &t, &lin).score
+        );
+        assert_eq!(
+            sw_score(&s, &t, &aff).score,
+            sw_score_affine(&s, &t, &aff).score
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@ pub use matrices::{BLOSUM50, BLOSUM62, PAM250};
 
 /// Gap penalty model. Penalties are stored as **positive magnitudes** and
 /// subtracted by the kernels.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GapModel {
     /// Every gap column costs `penalty` (the model of the paper's Eq. 1).
     Linear {
@@ -78,11 +78,7 @@ pub struct SubstMatrix {
 
 impl SubstMatrix {
     /// Build from a flat row-major table of `dim × dim` scores.
-    pub fn from_flat(
-        name: impl Into<String>,
-        alphabet: Alphabet,
-        scores: Vec<i8>,
-    ) -> SubstMatrix {
+    pub fn from_flat(name: impl Into<String>, alphabet: Alphabet, scores: Vec<i8>) -> SubstMatrix {
         let dim = alphabet.size();
         assert_eq!(
             scores.len(),
@@ -305,7 +301,10 @@ mod tests {
 
     #[test]
     fn gap_costs_affine() {
-        let g = GapModel::Affine { open: 10, extend: 2 };
+        let g = GapModel::Affine {
+            open: 10,
+            extend: 2,
+        };
         assert_eq!(g.cost(0), 0);
         assert_eq!(g.cost(1), 12);
         assert_eq!(g.cost(5), 20);

@@ -24,7 +24,10 @@ fn random_seq(seed: u64, len: usize) -> Vec<u8> {
 fn affine() -> Scoring {
     Scoring {
         matrix: SubstMatrix::blosum62(),
-        gap: GapModel::Affine { open: 10, extend: 2 },
+        gap: GapModel::Affine {
+            open: 10,
+            extend: 2,
+        },
     }
 }
 
@@ -48,25 +51,37 @@ fn bench_kernels(c: &mut Criterion) {
         let cells = (qlen * subject.len()) as u64;
         group.throughput(Throughput::Elements(cells));
 
-        group.bench_with_input(BenchmarkId::new("scalar_linear_full", qlen), &qlen, |b, _| {
-            b.iter(|| sw_score(&query, &subject, &lin))
-        });
-        group.bench_with_input(BenchmarkId::new("scalar_linear_row", qlen), &qlen, |b, _| {
-            b.iter(|| sw_score_linear(&query, &subject, &lin))
-        });
-        group.bench_with_input(BenchmarkId::new("scalar_gotoh_full", qlen), &qlen, |b, _| {
-            b.iter(|| gotoh_score(&query, &subject, &aff))
-        });
-        group.bench_with_input(BenchmarkId::new("scalar_affine_row", qlen), &qlen, |b, _| {
-            b.iter(|| sw_score_affine(&query, &subject, &aff))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("scalar_linear_full", qlen),
+            &qlen,
+            |b, _| b.iter(|| sw_score(&query, &subject, &lin)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("scalar_linear_row", qlen),
+            &qlen,
+            |b, _| b.iter(|| sw_score_linear(&query, &subject, &lin)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("scalar_gotoh_full", qlen),
+            &qlen,
+            |b, _| b.iter(|| gotoh_score(&query, &subject, &aff)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("scalar_affine_row", qlen),
+            &qlen,
+            |b, _| b.iter(|| sw_score_affine(&query, &subject, &aff)),
+        );
 
         let p8 = StripedProfile::<i8>::build(&query, &aff.matrix);
         let p16 = StripedProfile::<i16>::build(&query, &aff.matrix);
-        group.bench_with_input(BenchmarkId::new("striped_portable_i8", qlen), &qlen, |b, _| {
-            let mut ws = Workspace::<i8>::new();
-            b.iter(|| sw_striped_portable(&p8, &subject, goe, ext, &mut ws))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("striped_portable_i8", qlen),
+            &qlen,
+            |b, _| {
+                let mut ws = Workspace::<i8>::new();
+                b.iter(|| sw_striped_portable(&p8, &subject, goe, ext, &mut ws))
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("striped_portable_i16", qlen),
             &qlen,
@@ -119,11 +134,9 @@ fn bench_interseq(c: &mut Criterion) {
     for qlen in [200usize, 1000] {
         let query = random_seq(qlen as u64 + 1, qlen);
         group.throughput(Throughput::Elements(qlen as u64 * total));
-        group.bench_with_input(
-            BenchmarkId::new("inter_sequence", qlen),
-            &qlen,
-            |b, _| b.iter(|| scores_inter_sequence(&query, &subjects, &aff)),
-        );
+        group.bench_with_input(BenchmarkId::new("inter_sequence", qlen), &qlen, |b, _| {
+            b.iter(|| scores_inter_sequence(&query, &subjects, &aff))
+        });
         group.bench_with_input(BenchmarkId::new("striped_scan", qlen), &qlen, |b, _| {
             let search = DatabaseSearch::new(
                 &query,
@@ -147,7 +160,7 @@ fn fast_config() -> Criterion {
         .warm_up_time(std::time::Duration::from_secs_f64(0.5))
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = fast_config();
     targets = bench_kernels, bench_interseq

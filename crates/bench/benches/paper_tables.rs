@@ -22,7 +22,9 @@ fn bench_tables(c: &mut Criterion) {
     let mut ext = c.benchmark_group("ablations_extensions");
     ext.sample_size(10);
     ext.bench_function("ablation_order", |b| b.iter(experiments::ablation_order));
-    ext.bench_function("ablation_policies", |b| b.iter(experiments::ablation_policies));
+    ext.bench_function("ablation_policies", |b| {
+        b.iter(experiments::ablation_policies)
+    });
     ext.bench_function("ablation_omega", |b| b.iter(experiments::ablation_omega));
     ext.bench_function("ablation_gpu_startup", |b| {
         b.iter(experiments::ablation_gpu_startup)
@@ -40,7 +42,7 @@ fn fast_config() -> Criterion {
         .warm_up_time(std::time::Duration::from_secs_f64(0.5))
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = fast_config();
     targets = bench_tables

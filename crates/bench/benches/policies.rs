@@ -49,7 +49,7 @@ fn fast_config() -> Criterion {
         .warm_up_time(std::time::Duration::from_secs_f64(0.5))
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = fast_config();
     targets = bench_policies

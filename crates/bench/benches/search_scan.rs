@@ -13,7 +13,10 @@ use swhybrid_simd::search::{DatabaseSearch, SearchConfig};
 fn bench_scan(c: &mut Criterion) {
     let scoring = Scoring {
         matrix: SubstMatrix::blosum62(),
-        gap: GapModel::Affine { open: 10, extend: 2 },
+        gap: GapModel::Affine {
+            open: 10,
+            extend: 2,
+        },
     };
     let dog = paper_database("dog").expect("preset exists");
     let db = dog.generate_scaled(7, 0.01); // ~250 sequences
@@ -33,23 +36,19 @@ fn bench_scan(c: &mut Criterion) {
             ("simd", EnginePreference::Simd),
             ("portable", EnginePreference::Portable),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(label, qlen),
-                &qlen,
-                |b, _| {
-                    let search = DatabaseSearch::new(
-                        &query,
-                        &scoring,
-                        SearchConfig {
-                            threads: 1,
-                            top_n: 10,
-                            chunk_size: 64,
-                            preference: pref,
-                        },
-                    );
-                    b.iter(|| search.run(&subjects))
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, qlen), &qlen, |b, _| {
+                let search = DatabaseSearch::new(
+                    &query,
+                    &scoring,
+                    SearchConfig {
+                        threads: 1,
+                        top_n: 10,
+                        chunk_size: 64,
+                        preference: pref,
+                    },
+                );
+                b.iter(|| search.run(&subjects))
+            });
         }
     }
     group.finish();
@@ -63,7 +62,7 @@ fn fast_config() -> Criterion {
         .warm_up_time(std::time::Duration::from_secs_f64(0.5))
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = fast_config();
     targets = bench_scan

@@ -65,7 +65,10 @@ pub fn table3() -> Table {
             .iter()
             .map(|&c| {
                 let out = run_config(
-                    Config { gpus: 0, sse_cores: c },
+                    Config {
+                        gpus: 0,
+                        sse_cores: c,
+                    },
                     &db,
                     Policy::pss_default(),
                     true,
@@ -94,7 +97,10 @@ pub fn table4() -> Table {
             .iter()
             .map(|&g| {
                 let out = run_config(
-                    Config { gpus: g, sse_cores: 0 },
+                    Config {
+                        gpus: g,
+                        sse_cores: 0,
+                    },
                     &db,
                     Policy::pss_default(),
                     true,
@@ -111,11 +117,26 @@ pub fn table4() -> Table {
 /// Table V — hybrid configurations across the five databases.
 pub fn table5() -> Table {
     let configs = [
-        Config { gpus: 1, sse_cores: 1 },
-        Config { gpus: 1, sse_cores: 2 },
-        Config { gpus: 1, sse_cores: 4 },
-        Config { gpus: 2, sse_cores: 4 },
-        Config { gpus: 4, sse_cores: 4 },
+        Config {
+            gpus: 1,
+            sse_cores: 1,
+        },
+        Config {
+            gpus: 1,
+            sse_cores: 2,
+        },
+        Config {
+            gpus: 1,
+            sse_cores: 4,
+        },
+        Config {
+            gpus: 2,
+            sse_cores: 4,
+        },
+        Config {
+            gpus: 4,
+            sse_cores: 4,
+        },
     ];
     let mut t = Table::new(
         "table5",
@@ -186,8 +207,10 @@ pub fn fig5() -> (Table, String) {
         ],
     );
     let mut gantts = String::new();
-    for (label, adj, paper) in [("with adjustment", true, 14.0), ("without adjustment", false, 18.0)]
-    {
+    for (label, adj, paper) in [
+        ("with adjustment", true, 14.0),
+        ("without adjustment", false, 18.0),
+    ] {
         let out = fig5_platform(adj).run(fig5_workload());
         t.row(label, vec![fmt_secs(out.seconds()), fmt_secs(paper)]);
         gantts.push_str(&format!("--- {label} ---\n"));
@@ -200,12 +223,30 @@ pub fn fig5() -> (Table, String) {
 /// Fig. 6 — GCUPS with/without the adjustment mechanism, SwissProt.
 pub fn fig6() -> Table {
     let configs = [
-        Config { gpus: 1, sse_cores: 0 },
-        Config { gpus: 1, sse_cores: 4 },
-        Config { gpus: 2, sse_cores: 0 },
-        Config { gpus: 2, sse_cores: 4 },
-        Config { gpus: 4, sse_cores: 0 },
-        Config { gpus: 4, sse_cores: 4 },
+        Config {
+            gpus: 1,
+            sse_cores: 0,
+        },
+        Config {
+            gpus: 1,
+            sse_cores: 4,
+        },
+        Config {
+            gpus: 2,
+            sse_cores: 0,
+        },
+        Config {
+            gpus: 2,
+            sse_cores: 4,
+        },
+        Config {
+            gpus: 4,
+            sse_cores: 0,
+        },
+        Config {
+            gpus: 4,
+            sse_cores: 4,
+        },
     ];
     let sw = databases().into_iter().last().expect("five databases");
     let mut t = Table::new(
@@ -269,9 +310,7 @@ pub fn fig7_fig8() -> (Table, Table) {
             "load c3".into(),
         ],
     );
-    let horizon = dedicated
-        .seconds()
-        .max(loaded.seconds());
+    let horizon = dedicated.seconds().max(loaded.seconds());
     let mut t = 5.0;
     while t <= horizon {
         let mut row = Vec::with_capacity(8);
@@ -329,7 +368,10 @@ pub fn ablation_order() -> Table {
             "Gain %".into(),
         ],
     );
-    let c = Config { gpus: 4, sse_cores: 4 };
+    let c = Config {
+        gpus: 4,
+        sse_cores: 4,
+    };
     for (label, order) in [
         ("ascending", QueryOrder::Ascending),
         ("shuffled", QueryOrder::Shuffled),
@@ -358,7 +400,10 @@ pub fn ablation_policies() -> Table {
         "Ablation: allocation policies (4 GPUs + 4 SSEs, SwissProt, adjustment on)",
         vec!["Policy".into(), "Time (s)".into(), "GCUPS".into()],
     );
-    let c = Config { gpus: 4, sse_cores: 4 };
+    let c = Config {
+        gpus: 4,
+        sse_cores: 4,
+    };
     for (label, policy) in [
         ("SS", Policy::SelfScheduling),
         ("PSS(5)", Policy::pss_default()),
@@ -704,15 +749,37 @@ mod tests {
         let with = fig5_platform(true).run(fig5_workload());
         let without = fig5_platform(false).run(fig5_workload());
         assert!((with.seconds() - 14.0).abs() < 0.01, "{}", with.seconds());
-        assert!((without.seconds() - 18.0).abs() < 0.01, "{}", without.seconds());
+        assert!(
+            (without.seconds() - 18.0).abs() < 0.01,
+            "{}",
+            without.seconds()
+        );
     }
 
     #[test]
     fn table3_sse_scaling_is_near_linear() {
         // §V-A-1: "speedups close to linear are obtained for all databases".
         let sw = databases().into_iter().last().unwrap();
-        let t1 = run_config(Config { gpus: 0, sse_cores: 1 }, &sw, Policy::pss_default(), true, ORDER);
-        let t8 = run_config(Config { gpus: 0, sse_cores: 8 }, &sw, Policy::pss_default(), true, ORDER);
+        let t1 = run_config(
+            Config {
+                gpus: 0,
+                sse_cores: 1,
+            },
+            &sw,
+            Policy::pss_default(),
+            true,
+            ORDER,
+        );
+        let t8 = run_config(
+            Config {
+                gpus: 0,
+                sse_cores: 8,
+            },
+            &sw,
+            Policy::pss_default(),
+            true,
+            ORDER,
+        );
         let speedup = t1.seconds() / t8.seconds();
         assert!((6.0..8.5).contains(&speedup), "speedup {speedup}");
         // Headline: ~7,190 s on one SSE core for SwissProt.
@@ -726,8 +793,26 @@ mod tests {
     #[test]
     fn table4_swissprot_gpu_gcups_is_about_double_small_dbs() {
         let dbs = databases();
-        let dog = run_config(Config { gpus: 4, sse_cores: 0 }, &dbs[0], Policy::pss_default(), true, ORDER);
-        let sw = run_config(Config { gpus: 4, sse_cores: 0 }, &dbs[4], Policy::pss_default(), true, ORDER);
+        let dog = run_config(
+            Config {
+                gpus: 4,
+                sse_cores: 0,
+            },
+            &dbs[0],
+            Policy::pss_default(),
+            true,
+            ORDER,
+        );
+        let sw = run_config(
+            Config {
+                gpus: 4,
+                sse_cores: 0,
+            },
+            &dbs[4],
+            Policy::pss_default(),
+            true,
+            ORDER,
+        );
         let ratio = sw.gcups() / dog.gcups();
         assert!((1.4..2.8).contains(&ratio), "ratio {ratio}");
     }

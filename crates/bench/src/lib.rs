@@ -9,6 +9,8 @@
 use std::io::Write as _;
 use std::path::PathBuf;
 
+use swhybrid_json::Json;
+
 use swhybrid_core::platform::{PlatformBuilder, SimOutcome};
 use swhybrid_core::policy::Policy;
 use swhybrid_device::task::TaskSpec;
@@ -76,7 +78,7 @@ pub fn run_config(
 }
 
 /// A printable/serialisable experiment result table.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Experiment id, e.g. `"table3"`.
     pub id: String,
@@ -90,11 +92,7 @@ pub struct Table {
 
 impl Table {
     /// Start a table.
-    pub fn new(
-        id: impl Into<String>,
-        title: impl Into<String>,
-        headers: Vec<String>,
-    ) -> Table {
+    pub fn new(id: impl Into<String>, title: impl Into<String>, headers: Vec<String>) -> Table {
         Table {
             id: id.into(),
             title: title.into(),
@@ -160,9 +158,35 @@ impl Table {
         std::fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{}.json", self.id));
         let mut f = std::fs::File::create(&path)?;
-        let json = serde_json::to_string_pretty(self).expect("table serialises");
-        f.write_all(json.as_bytes())?;
+        f.write_all(self.to_json().to_string_pretty().as_bytes())?;
         Ok(path)
+    }
+
+    /// The table as a JSON value (same shape serde produced: struct
+    /// fields as keys, rows as `[label, [values...]]` pairs).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", Json::str(&self.id)),
+            ("title", Json::str(&self.title)),
+            (
+                "headers",
+                Json::Arr(self.headers.iter().map(Json::str).collect()),
+            ),
+            (
+                "rows",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|(label, values)| {
+                            Json::Arr(vec![
+                                Json::str(label),
+                                Json::Arr(values.iter().map(Json::str).collect()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
     }
 }
 
@@ -203,9 +227,30 @@ mod tests {
 
     #[test]
     fn config_labels() {
-        assert_eq!(Config { gpus: 1, sse_cores: 0 }.label(), "1 GPU");
-        assert_eq!(Config { gpus: 4, sse_cores: 4 }.label(), "4G+4S");
-        assert_eq!(Config { gpus: 0, sse_cores: 8 }.label(), "8 SSEs");
+        assert_eq!(
+            Config {
+                gpus: 1,
+                sse_cores: 0
+            }
+            .label(),
+            "1 GPU"
+        );
+        assert_eq!(
+            Config {
+                gpus: 4,
+                sse_cores: 4
+            }
+            .label(),
+            "4G+4S"
+        );
+        assert_eq!(
+            Config {
+                gpus: 0,
+                sse_cores: 8
+            }
+            .label(),
+            "8 SSEs"
+        );
     }
 
     #[test]

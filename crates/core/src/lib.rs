@@ -23,6 +23,10 @@
 //!   4 GPUs + 8 SSE cores is reproduced on this machine),
 //! * [`runtime`] — a real threaded master/slave runtime computing genuine
 //!   scores on materialised databases,
+//! * [`net`] — the same runtime across processes: a TCP master/slave
+//!   protocol with long-polled requests, heartbeats, and reconnection,
+//! * [`shared`] — the condvar-backed wakeup hub both real runtimes park
+//!   idle PEs on (no busy-wait polling),
 //! * [`trace`] — execution traces: per-PE Gantt segments (Fig. 5) and
 //!   notification series (Figs. 7/8),
 //! * [`membership`] — future-work extension: PEs joining/leaving mid-run,
@@ -34,6 +38,7 @@ pub mod net;
 pub mod platform;
 pub mod policy;
 pub mod runtime;
+pub mod shared;
 pub mod sim;
 pub mod stats;
 pub mod task;

@@ -19,6 +19,7 @@
 use crate::policy::Policy;
 use crate::stats::PeSpeedStats;
 use crate::task::{PeId, TaskId, TaskPool, TaskState};
+use crate::trace::{EventKind, RuntimeEvent};
 use std::collections::HashMap;
 use swhybrid_device::task::TaskSpec;
 
@@ -102,6 +103,13 @@ pub struct Master {
     /// Remaining up-front quotas for static policies, computed on the
     /// first request (all PEs must register before that point).
     quotas: Option<Vec<usize>>,
+    /// Structured event stream (every scheduling decision and membership
+    /// change, in emission order).
+    events: Vec<RuntimeEvent>,
+    /// Latest time any driver call reported; events from calls without a
+    /// `now` parameter are stamped with this.
+    clock: f64,
+    run_completed_emitted: bool,
 }
 
 impl Master {
@@ -112,7 +120,35 @@ impl Master {
             config,
             pes: Vec::new(),
             quotas: None,
+            events: Vec::new(),
+            clock: 0.0,
+            run_completed_emitted: false,
         }
+    }
+
+    /// Record an event at time `time`. Drivers use this for conditions only
+    /// they can see (e.g. the TCP master's liveness verdicts); the state
+    /// machine emits its own scheduling events internally.
+    pub fn record_event(&mut self, time: f64, kind: EventKind) {
+        self.clock = self.clock.max(time);
+        self.events.push(RuntimeEvent { time, kind });
+    }
+
+    fn emit(&mut self, kind: EventKind) {
+        self.events.push(RuntimeEvent {
+            time: self.clock,
+            kind,
+        });
+    }
+
+    /// The event stream so far.
+    pub fn events(&self) -> &[RuntimeEvent] {
+        &self.events
+    }
+
+    /// Take ownership of the event stream (leaves it empty).
+    pub fn take_events(&mut self) -> Vec<RuntimeEvent> {
+        std::mem::take(&mut self.events)
     }
 
     /// Register a slave PE; `static_gcups` is its theoretical speed (used
@@ -123,8 +159,13 @@ impl Master {
             "all PEs must register before the first request under a static policy"
         );
         let id = self.pes.len();
+        let name = name.into();
+        self.emit(EventKind::PeRegistered {
+            pe: id,
+            name: name.clone(),
+        });
         self.pes.push(PeInfo {
-            name: name.into(),
+            name,
             stats: PeSpeedStats::new(static_gcups, self.config.policy.omega()),
             alive: true,
             running: HashMap::new(),
@@ -163,6 +204,7 @@ impl Master {
     /// A PE asks for work at time `now`.
     pub fn request(&mut self, pe: PeId, now: f64) -> Assignment {
         assert!(self.pes[pe].alive, "dead PE {pe} cannot request work");
+        self.clock = self.clock.max(now);
         if self.pool.all_finished() {
             return Assignment::Done;
         }
@@ -185,6 +227,10 @@ impl Master {
             if let Some(quotas) = &mut self.quotas {
                 quotas[pe] -= tasks.len().min(quotas[pe]);
             }
+            self.emit(EventKind::TasksAssigned {
+                pe,
+                tasks: tasks.clone(),
+            });
             return Assignment::Tasks(tasks);
         }
         if self.config.adjustment {
@@ -197,10 +243,12 @@ impl Master {
             // construction can never delay the original execution.
             if let Some((task, from)) = self.steal_candidate(pe, now) {
                 self.pool.reassign(task, from, pe);
+                self.emit(EventKind::TaskStolen { pe, task, from });
                 return Assignment::Steal { task, from };
             }
             if let Some(task) = self.replication_candidate(pe, now) {
                 self.pool.replicate(task, pe);
+                self.emit(EventKind::TaskReplicated { pe, task });
                 return Assignment::Replicate(task);
             }
         }
@@ -316,12 +364,15 @@ impl Master {
 
     /// A PE reports that it has *started* executing a task.
     pub fn task_started(&mut self, pe: PeId, task: TaskId, now: f64) {
+        self.clock = self.clock.max(now);
         self.pes[pe].running.insert(task, now);
+        self.emit(EventKind::TaskStarted { pe, task });
     }
 
     /// A PE reports a periodic progress notification (observed GCUPS since
     /// the previous notification).
     pub fn notify_progress(&mut self, pe: PeId, now: f64, gcups: f64) {
+        self.clock = self.clock.max(now);
         self.pes[pe].stats.observe(now, gcups);
     }
 
@@ -337,13 +388,41 @@ impl Master {
         now: f64,
         measured_gcups: Option<f64>,
     ) -> Vec<PeId> {
+        self.clock = self.clock.max(now);
         self.pes[pe].running.remove(&task);
         if let Some(g) = measured_gcups {
             self.pes[pe].stats.observe(now, g);
         }
+        let winner = self.pool.get(task).state != TaskState::Finished;
         let cancels = self.pool.finish(task, pe);
+        self.emit(EventKind::TaskFinished {
+            pe,
+            task,
+            winner,
+            measured_gcups: measured_gcups.unwrap_or(f64::NAN),
+        });
+        let task_cells = self.pool.get(task).spec.cells();
         for &other in &cancels {
+            // Estimate the duplicated work the cancelled replica had done:
+            // its speed estimate × its time on the task, capped at the task
+            // size. Computed before the running entry is dropped.
+            let wasted_cells = match self.pes[other].running.get(&task) {
+                Some(&start) => {
+                    let speed = self.pes[other].stats.weighted_mean_gcups() * 1e9;
+                    (speed * (now - start)).max(0.0).min(task_cells as f64) as u64
+                }
+                None => 0, // assigned but never started: nothing computed
+            };
             self.pes[other].running.remove(&task);
+            self.emit(EventKind::ReplicaCancelled {
+                pe: other,
+                task,
+                wasted_cells,
+            });
+        }
+        if self.pool.all_finished() && !self.run_completed_emitted {
+            self.run_completed_emitted = true;
+            self.emit(EventKind::RunCompleted);
         }
         cancels
     }
@@ -354,16 +433,31 @@ impl Master {
     pub fn pe_leaves(&mut self, pe: PeId, held: &[TaskId]) {
         self.pes[pe].alive = false;
         self.pes[pe].running.clear();
+        self.emit(EventKind::PeLeft { pe });
         for &t in held {
+            let was_executing = self.pool.get(t).state == TaskState::Executing
+                && self.pool.get(t).executors.contains(&pe);
             self.pool.release(t, pe);
+            // Requeued only when no surviving replica kept it executing.
+            if was_executing && self.pool.get(t).state == TaskState::Ready {
+                self.emit(EventKind::TaskRequeued { task: t, from: pe });
+            }
         }
     }
 
-    /// A late PE joins (membership extension).
-    pub fn pe_joins(&mut self, name: impl Into<String>, static_gcups: f64) -> PeId {
+    /// A late PE joins (membership extension). `now` stamps the
+    /// [`EventKind::PeJoined`] event (joins can happen while the master is
+    /// otherwise idle, so the clock may not have advanced on its own).
+    pub fn pe_joins(&mut self, name: impl Into<String>, static_gcups: f64, now: f64) -> PeId {
+        self.clock = self.clock.max(now);
         let id = self.pes.len();
+        let name = name.into();
+        self.emit(EventKind::PeJoined {
+            pe: id,
+            name: name.clone(),
+        });
         self.pes.push(PeInfo {
-            name: name.into(),
+            name,
             stats: PeSpeedStats::new(static_gcups, self.config.policy.omega()),
             alive: true,
             running: HashMap::new(),
@@ -391,7 +485,14 @@ mod tests {
     }
 
     fn master(n_tasks: usize, policy: Policy, adjustment: bool) -> Master {
-        Master::new(specs(n_tasks), MasterConfig { policy, adjustment, dispatch: Default::default() })
+        Master::new(
+            specs(n_tasks),
+            MasterConfig {
+                policy,
+                adjustment,
+                dispatch: Default::default(),
+            },
+        )
     }
 
     #[test]
@@ -613,7 +714,7 @@ mod tests {
         let mut m = master(3, Policy::SelfScheduling, true);
         let a = m.register("a", 1.0);
         m.request(a, 0.0);
-        let late = m.pe_joins("late", 5.0);
+        let late = m.pe_joins("late", 5.0, 1.0);
         match m.request(late, 1.0) {
             Assignment::Tasks(t) => assert_eq!(t, vec![1]),
             other => panic!("{other:?}"),
@@ -627,5 +728,75 @@ mod tests {
         let a = m.register("a", 1.0);
         m.request(a, 0.0);
         m.register("b", 1.0);
+    }
+
+    #[test]
+    fn event_stream_records_the_full_run() {
+        use crate::trace::EventKind as E;
+        let mut m = master(2, Policy::SelfScheduling, true);
+        let a = m.register("a", 1.0);
+        let b = m.register("b", 1.0);
+        m.request(a, 0.0);
+        m.request(b, 0.0);
+        m.task_started(a, 0, 0.0);
+        m.task_started(b, 1, 0.0);
+        m.task_finished(a, 0, 5.0, Some(1.0));
+        assert_eq!(m.request(a, 5.0), Assignment::Replicate(1));
+        m.task_started(a, 1, 5.0);
+        m.task_finished(b, 1, 6.0, Some(1.0));
+        let names: Vec<&str> = m.events().iter().map(|e| e.kind.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "pe_registered",
+                "pe_registered",
+                "tasks_assigned",
+                "tasks_assigned",
+                "task_started",
+                "task_started",
+                "task_finished",
+                "task_replicated",
+                "task_started",
+                "task_finished",
+                "replica_cancelled",
+                "run_completed",
+            ]
+        );
+        // The replica a ran for 1 s at ~1 GCUPS: its wasted work is counted.
+        let wasted = m.events().iter().find_map(|e| match e.kind {
+            E::ReplicaCancelled { wasted_cells, .. } => Some(wasted_cells),
+            _ => None,
+        });
+        assert!(wasted.unwrap() > 0);
+        // take_events drains.
+        assert_eq!(m.take_events().len(), 12);
+        assert!(m.events().is_empty());
+    }
+
+    #[test]
+    fn leave_emits_requeue_only_for_returned_tasks() {
+        use crate::trace::EventKind as E;
+        let mut m = master(2, Policy::Pss { omega: 3 }, true);
+        // Φ(a) = round(1.8/1.0) = 2, so a takes both tasks — yet b would
+        // still finish the unstarted one before a's two-task backlog drains,
+        // so the takeover is beneficial.
+        let a = m.register("a", 1.8);
+        let b = m.register("b", 1.0);
+        m.notify_progress(a, 0.0, 1.8);
+        m.request(a, 0.0); // a takes both tasks
+        m.task_started(a, 0, 0.0);
+        assert_eq!(m.request(b, 0.1), Assignment::Steal { task: 1, from: a });
+        m.task_started(b, 1, 0.1);
+        // a dies holding task 0 (task 1 was stolen away already).
+        m.pe_leaves(a, &[0]);
+        let requeued: Vec<_> = m
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                E::TaskRequeued { task, from } => Some((task, from)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(requeued, vec![(0, a)]);
     }
 }

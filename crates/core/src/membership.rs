@@ -10,7 +10,7 @@
 use crate::sim::SimPe;
 
 /// A membership plan for one PE.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Membership {
     /// When the PE joins (0.0 = present from the start).
     pub join_at: f64,

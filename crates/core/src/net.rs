@@ -13,26 +13,132 @@
 //! Newline-delimited JSON, one message per line (chosen over a binary
 //! format so a session is inspectable with `nc`; at one message per
 //! multi-second task, encoding cost is irrelevant — the paper itself notes
-//! communication is negligible at this granularity).
+//! communication is negligible at this granularity). Both sides are
+//! expected to already have the sequence files (exactly as in the paper,
+//! where the flat database files live on each host); only task ids,
+//! speeds, and hit lists travel over the wire.
 //!
-//! Both sides are expected to already have the sequence files (exactly as
-//! in the paper, where the flat database files live on each host); only
-//! task ids, speeds, and hit lists travel over the wire.
+//! Slave → master:
+//!
+//! | message | shape |
+//! |---|---|
+//! | register | `{"type":"register","name":"host-a","gcups":2.5}` |
+//! | request | `{"type":"request"}` |
+//! | started | `{"type":"started","task":3}` |
+//! | finished | `{"type":"finished","task":3,"gcups":2.4,"hits":[…]}` |
+//! | heartbeat | `{"type":"heartbeat"}` |
+//!
+//! Master → slave:
+//!
+//! | message | shape |
+//! |---|---|
+//! | registered | `{"type":"registered","pe_id":1}` |
+//! | tasks | `{"type":"tasks","tasks":[4,5]}` |
+//! | execute | `{"type":"execute","task":2}` (a steal or a replica) |
+//! | done | `{"type":"done"}` |
+//! | error | `{"type":"error","message":"…"}` |
+//!
+//! A hit is `{"db_index":0,"id":"seq1","score":42,"subject_len":99}`.
+//!
+//! ## Long-polled requests (no busy-waiting)
+//!
+//! A `request` the master cannot serve yet is *held open*: the master
+//! answers nothing until an assignment exists (a task finished elsewhere,
+//! a PE died and its work was requeued, the registration barrier opened,
+//! or the run completed). There is no "wait, ask again" message and no
+//! polling loop on either side — the slave blocks on its socket and the
+//! master's per-connection dispatcher parks on a condvar
+//! ([`crate::shared::WaitHub`]), waking the moment the schedule can have
+//! changed.
+//!
+//! ## Liveness
+//!
+//! TCP detects a closed peer, not a hung one. Slaves therefore send
+//! `heartbeat` lines every [`NetConfig::heartbeat_interval`] (a dedicated
+//! thread, so heartbeats flow even mid-kernel), and the master declares a
+//! slave dead when *nothing* arrives for [`NetConfig::slave_deadline`]:
+//! the connection is dropped and every task the slave held returns to the
+//! ready queue (`pe_leaves`), waking the other PEs immediately. The same
+//! deadline bounds the registration handshake, so a connection that never
+//! says anything cannot pin server state. [`MasterServer::serve`] itself
+//! is bounded by [`NetConfig::register_timeout`] (never blocks forever on
+//! accept) and [`NetConfig::all_lost_grace`] (gives up when every slave is
+//! gone mid-run). Slaves that lose the connection reconnect with
+//! exponential backoff ([`NetConfig::reconnect_backoff_initial`] …
+//! [`NetConfig::reconnect_backoff_max`], at most
+//! [`NetConfig::reconnect_max_retries`] consecutive failures), re-register
+//! and resume — the master admits them as late joiners.
 
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use crate::master::{Assignment, Master, MasterConfig};
+use crate::shared::WaitHub;
+use crate::stats::observed_gcups;
 use crate::task::{PeId, TaskId, TaskState};
+use crate::trace::{EventKind, RuntimeEvent};
 use swhybrid_align::scoring::Scoring;
 use swhybrid_device::exec::{merge_hits, ComputeBackend, QueryHit};
 use swhybrid_device::task::TaskSpec;
+use swhybrid_json::Json;
 use swhybrid_seq::sequence::EncodedSequence;
 
+/// Timing and fault-tolerance knobs of the TCP runtime. The defaults are
+/// conservative LAN values; every test that injects faults tightens them.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// How often a slave sends a heartbeat line while connected.
+    pub heartbeat_interval: Duration,
+    /// Master-side silence budget: a slave from which *nothing* (heartbeat
+    /// or protocol message) arrives for this long is declared dead and its
+    /// tasks are requeued. Also bounds the registration handshake.
+    pub slave_deadline: Duration,
+    /// How long [`MasterServer::serve`] waits for the expected number of
+    /// slaves. On expiry with at least one registration the barrier opens
+    /// and the run proceeds degraded; with none, `serve` fails with
+    /// [`io::ErrorKind::TimedOut`]. `None` waits forever (pre-hardening
+    /// behaviour).
+    pub register_timeout: Option<Duration>,
+    /// How long the master tolerates having zero live connections mid-run
+    /// before giving up with [`io::ErrorKind::ConnectionAborted`].
+    pub all_lost_grace: Duration,
+    /// First reconnect delay after a slave loses its connection.
+    pub reconnect_backoff_initial: Duration,
+    /// Upper bound for the (doubling) reconnect delay.
+    pub reconnect_backoff_max: Duration,
+    /// Consecutive failed reconnect attempts a slave makes before giving
+    /// up. The budget refills whenever a session makes progress.
+    pub reconnect_max_retries: u32,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            heartbeat_interval: Duration::from_millis(250),
+            slave_deadline: Duration::from_secs(2),
+            register_timeout: Some(Duration::from_secs(30)),
+            all_lost_grace: Duration::from_secs(10),
+            reconnect_backoff_initial: Duration::from_millis(50),
+            reconnect_backoff_max: Duration::from_secs(2),
+            reconnect_max_retries: 5,
+        }
+    }
+}
+
+/// Socket read quantum: deadlines are checked at this granularity.
+fn liveness_quantum(deadline: Duration) -> Duration {
+    (deadline / 4).clamp(Duration::from_millis(10), Duration::from_millis(100))
+}
+
+/// Accept-loop re-check interval (a *connection* poll while idle, not a
+/// work-request poll — work requests are long-polled on the hub condvar).
+const ACCEPT_QUANTUM: Duration = Duration::from_millis(10);
+
 /// A hit as it travels over the wire.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WireHit {
     /// Index of the subject in the database.
     pub db_index: usize,
@@ -44,9 +150,48 @@ pub struct WireHit {
     pub subject_len: usize,
 }
 
+impl WireHit {
+    fn from_hit(h: swhybrid_simd::search::Hit) -> WireHit {
+        WireHit {
+            db_index: h.db_index,
+            id: h.id,
+            score: h.score,
+            subject_len: h.subject_len,
+        }
+    }
+
+    fn into_hit(self) -> swhybrid_simd::search::Hit {
+        swhybrid_simd::search::Hit {
+            db_index: self.db_index,
+            id: self.id,
+            score: self.score,
+            subject_len: self.subject_len,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("db_index", Json::Num(self.db_index as f64)),
+            ("id", Json::str(self.id.clone())),
+            ("score", Json::Num(self.score as f64)),
+            ("subject_len", Json::Num(self.subject_len as f64)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<WireHit, String> {
+        Ok(WireHit {
+            db_index: field_usize(v, "db_index")?,
+            id: field_str(v, "id")?,
+            score: field(v, "score")?
+                .as_i64()
+                .ok_or("field 'score' is not an integer")? as i32,
+            subject_len: field_usize(v, "subject_len")?,
+        })
+    }
+}
+
 /// Messages from slave to master.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
-#[serde(tag = "type", rename_all = "snake_case")]
+#[derive(Debug, Clone)]
 pub enum SlaveMsg {
     /// First message on a connection.
     Register {
@@ -55,7 +200,8 @@ pub enum SlaveMsg {
         /// Theoretical GCUPS prior.
         gcups: f64,
     },
-    /// Ask for work.
+    /// Ask for work. The master holds the request open until it has an
+    /// assignment (or the run is done) — there is no "ask again" reply.
     Request,
     /// Report that a task began executing.
     Started {
@@ -71,11 +217,12 @@ pub enum SlaveMsg {
         /// Top hits of the comparison.
         hits: Vec<WireHit>,
     },
+    /// Periodic liveness signal; carries no state.
+    Heartbeat,
 }
 
 /// Messages from master to slave.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
-#[serde(tag = "type", rename_all = "snake_case")]
+#[derive(Debug, Clone)]
 pub enum MasterMsg {
     /// Registration accepted.
     Registered {
@@ -92,8 +239,6 @@ pub enum MasterMsg {
         /// The task (a steal or a replica — the slave does not care).
         task: TaskId,
     },
-    /// Nothing right now; ask again shortly.
-    Wait,
     /// Everything is finished; disconnect.
     Done,
     /// The peer spoke out of turn.
@@ -103,24 +248,233 @@ pub enum MasterMsg {
     },
 }
 
-fn send<W: Write, M: serde::Serialize>(writer: &mut W, msg: &M) -> std::io::Result<()> {
-    let mut line = serde_json::to_string(msg).expect("message serialises");
+fn field<'a>(v: &'a Json, key: &str) -> Result<&'a Json, String> {
+    v.get(key).ok_or_else(|| format!("missing field '{key}'"))
+}
+
+fn field_str(v: &Json, key: &str) -> Result<String, String> {
+    field(v, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("field '{key}' is not a string"))
+}
+
+fn field_f64(v: &Json, key: &str) -> Result<f64, String> {
+    field(v, key)?
+        .as_f64()
+        .ok_or_else(|| format!("field '{key}' is not a number"))
+}
+
+fn field_usize(v: &Json, key: &str) -> Result<usize, String> {
+    field(v, key)?
+        .as_u64()
+        .map(|n| n as usize)
+        .ok_or_else(|| format!("field '{key}' is not a non-negative integer"))
+}
+
+/// One wire message: a single JSON line in each direction.
+trait Wire: Sized {
+    fn to_json(&self) -> Json;
+    fn from_json(v: &Json) -> Result<Self, String>;
+}
+
+impl Wire for SlaveMsg {
+    fn to_json(&self) -> Json {
+        match self {
+            SlaveMsg::Register { name, gcups } => Json::obj([
+                ("type", Json::str("register")),
+                ("name", Json::str(name.clone())),
+                ("gcups", Json::Num(*gcups)),
+            ]),
+            SlaveMsg::Request => Json::obj([("type", Json::str("request"))]),
+            SlaveMsg::Started { task } => Json::obj([
+                ("type", Json::str("started")),
+                ("task", Json::Num(*task as f64)),
+            ]),
+            SlaveMsg::Finished { task, gcups, hits } => Json::obj([
+                ("type", Json::str("finished")),
+                ("task", Json::Num(*task as f64)),
+                ("gcups", Json::Num(*gcups)),
+                (
+                    "hits",
+                    Json::Arr(hits.iter().map(WireHit::to_json).collect()),
+                ),
+            ]),
+            SlaveMsg::Heartbeat => Json::obj([("type", Json::str("heartbeat"))]),
+        }
+    }
+
+    fn from_json(v: &Json) -> Result<SlaveMsg, String> {
+        match field_str(v, "type")?.as_str() {
+            "register" => Ok(SlaveMsg::Register {
+                name: field_str(v, "name")?,
+                gcups: field_f64(v, "gcups")?,
+            }),
+            "request" => Ok(SlaveMsg::Request),
+            "started" => Ok(SlaveMsg::Started {
+                task: field_usize(v, "task")?,
+            }),
+            "finished" => Ok(SlaveMsg::Finished {
+                task: field_usize(v, "task")?,
+                gcups: field_f64(v, "gcups")?,
+                hits: field(v, "hits")?
+                    .as_array()
+                    .ok_or("field 'hits' is not an array")?
+                    .iter()
+                    .map(WireHit::from_json)
+                    .collect::<Result<_, _>>()?,
+            }),
+            "heartbeat" => Ok(SlaveMsg::Heartbeat),
+            other => Err(format!("unknown slave message type '{other}'")),
+        }
+    }
+}
+
+impl Wire for MasterMsg {
+    fn to_json(&self) -> Json {
+        match self {
+            MasterMsg::Registered { pe_id } => Json::obj([
+                ("type", Json::str("registered")),
+                ("pe_id", Json::Num(*pe_id as f64)),
+            ]),
+            MasterMsg::Tasks { tasks } => Json::obj([
+                ("type", Json::str("tasks")),
+                (
+                    "tasks",
+                    Json::Arr(tasks.iter().map(|&t| Json::Num(t as f64)).collect()),
+                ),
+            ]),
+            MasterMsg::Execute { task } => Json::obj([
+                ("type", Json::str("execute")),
+                ("task", Json::Num(*task as f64)),
+            ]),
+            MasterMsg::Done => Json::obj([("type", Json::str("done"))]),
+            MasterMsg::Error { message } => Json::obj([
+                ("type", Json::str("error")),
+                ("message", Json::str(message.clone())),
+            ]),
+        }
+    }
+
+    fn from_json(v: &Json) -> Result<MasterMsg, String> {
+        match field_str(v, "type")?.as_str() {
+            "registered" => Ok(MasterMsg::Registered {
+                pe_id: field_usize(v, "pe_id")?,
+            }),
+            "tasks" => Ok(MasterMsg::Tasks {
+                tasks: field(v, "tasks")?
+                    .as_array()
+                    .ok_or("field 'tasks' is not an array")?
+                    .iter()
+                    .map(|t| {
+                        t.as_u64()
+                            .map(|n| n as usize)
+                            .ok_or_else(|| "task id is not a non-negative integer".to_string())
+                    })
+                    .collect::<Result<_, _>>()?,
+            }),
+            "execute" => Ok(MasterMsg::Execute {
+                task: field_usize(v, "task")?,
+            }),
+            "done" => Ok(MasterMsg::Done),
+            "error" => Ok(MasterMsg::Error {
+                message: field_str(v, "message")?,
+            }),
+            other => Err(format!("unknown master message type '{other}'")),
+        }
+    }
+}
+
+fn invalid(message: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.into())
+}
+
+fn send<W: Write, M: Wire>(writer: &mut W, msg: &M) -> io::Result<()> {
+    let mut line = msg.to_json().to_string();
     line.push('\n');
     writer.write_all(line.as_bytes())?;
     writer.flush()
 }
 
-fn recv<R: BufRead, M: serde::de::DeserializeOwned>(reader: &mut R) -> std::io::Result<Option<M>> {
+fn decode<M: Wire>(line: &str) -> io::Result<M> {
+    let v = Json::parse(line.trim()).map_err(|e| invalid(e.to_string()))?;
+    M::from_json(&v).map_err(invalid)
+}
+
+/// Blocking receive of one message (slave side and tests; the master reads
+/// through [`LineReader`] so it can watch deadlines).
+fn recv<R: BufRead, M: Wire>(reader: &mut R) -> io::Result<Option<M>> {
     let mut line = String::new();
     if reader.read_line(&mut line)? == 0 {
         return Ok(None);
     }
-    serde_json::from_str(&line)
-        .map(Some)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    decode(&line).map(Some)
+}
+
+/// What one attempt to read a line produced.
+enum ReadOutcome {
+    /// A complete line (newline stripped).
+    Line(String),
+    /// Clean end of stream.
+    Eof,
+    /// Nothing new within the read quantum; check deadlines and try again.
+    Timeout,
+}
+
+/// Line reader over a raw [`TcpStream`] with a read timeout.
+///
+/// `BufReader::read_line` cannot be used with socket timeouts: a timeout
+/// mid-line loses the bytes read so far. This reader keeps partial input
+/// in a persistent buffer across timeouts.
+struct LineReader {
+    stream: TcpStream,
+    pending: Vec<u8>,
+}
+
+impl LineReader {
+    fn new(stream: TcpStream, quantum: Duration) -> io::Result<LineReader> {
+        stream.set_read_timeout(Some(quantum))?;
+        Ok(LineReader {
+            stream,
+            pending: Vec::new(),
+        })
+    }
+
+    fn read_line(&mut self) -> io::Result<ReadOutcome> {
+        loop {
+            if let Some(pos) = self.pending.iter().position(|&b| b == b'\n') {
+                let rest = self.pending.split_off(pos + 1);
+                let mut line = std::mem::replace(&mut self.pending, rest);
+                line.pop(); // the newline
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return match String::from_utf8(line) {
+                    Ok(s) => Ok(ReadOutcome::Line(s)),
+                    Err(_) => Err(invalid("non-UTF-8 line on the wire")),
+                };
+            }
+            let mut buf = [0u8; 4096];
+            match self.stream.read(&mut buf) {
+                Ok(0) => return Ok(ReadOutcome::Eof),
+                Ok(n) => self.pending.extend_from_slice(&buf[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(ReadOutcome::Timeout)
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
 }
 
 /// Outcome of a distributed run (master side).
+#[derive(Debug)]
 pub struct DistributedOutcome {
     /// Wall-clock seconds from first registration to last completion.
     pub elapsed_seconds: f64,
@@ -132,6 +486,105 @@ pub struct DistributedOutcome {
     pub hits: Vec<QueryHit>,
     /// For each task, the name of the slave whose result was used.
     pub completed_by: Vec<String>,
+    /// Structured event stream of the run (see [`crate::trace`]).
+    pub events: Vec<RuntimeEvent>,
+}
+
+/// Per-connection shared state, guarded by the hub lock.
+struct ConnState {
+    /// An unanswered `request` is outstanding (long-poll).
+    wants_work: bool,
+    /// The connection is shutting down; the dispatcher must exit.
+    closed: bool,
+    /// `pe_leaves` has run for this connection (idempotence guard).
+    left: bool,
+}
+
+/// Everything the master's connection threads share, inside one
+/// [`WaitHub`] so any state change can wake any long-poller.
+struct Hub {
+    master: Master,
+    /// Connections that completed registration before the barrier opened.
+    registered: usize,
+    /// Whether work may be handed out (the paper's registration barrier).
+    barrier_open: bool,
+    /// Connections currently admitted and not yet disconnected.
+    alive_conns: usize,
+    /// Fatal server-side condition; aborts the run.
+    abort: Option<(io::ErrorKind, String)>,
+    results: Vec<Option<Vec<WireHit>>>,
+    completed_by: Vec<String>,
+    conns: HashMap<PeId, ConnState>,
+    expected: usize,
+}
+
+impl Hub {
+    /// Admit a registered connection: before the barrier as a founding
+    /// member, after it as a late joiner.
+    fn admit(&mut self, name: &str, gcups: f64, now: f64) -> PeId {
+        let gcups = if gcups.is_finite() && gcups > 0.0 {
+            gcups
+        } else {
+            f64::MIN_POSITIVE
+        };
+        let id = if self.barrier_open {
+            self.master.pe_joins(name.to_string(), gcups, now)
+        } else {
+            let id = self.master.register(name.to_string(), gcups);
+            self.registered += 1;
+            if self.registered >= self.expected {
+                self.barrier_open = true;
+            }
+            id
+        };
+        self.alive_conns += 1;
+        self.conns.insert(
+            id,
+            ConnState {
+                wants_work: false,
+                closed: false,
+                left: false,
+            },
+        );
+        id
+    }
+
+    /// Tear down a connection: exactly once per PE, its held tasks return
+    /// to the pool. `suspected_dead` marks a liveness verdict (silence past
+    /// the deadline) rather than an observed hang-up.
+    fn disconnect(&mut self, pe: PeId, now: f64, suspected_dead: bool) {
+        let Some(conn) = self.conns.get_mut(&pe) else {
+            return;
+        };
+        if conn.left {
+            return;
+        }
+        conn.left = true;
+        conn.closed = true;
+        self.alive_conns -= 1;
+        if suspected_dead {
+            self.master
+                .record_event(now, EventKind::PeSuspectedDead { pe });
+        }
+        let held: Vec<TaskId> = self
+            .master
+            .pool()
+            .executing_ids()
+            .filter(|&t| self.master.pool().get(t).executors.contains(&pe))
+            .collect();
+        self.master.pe_leaves(pe, &held);
+    }
+
+    /// Record a completed task; the first finisher's hits win.
+    fn finish(&mut self, pe: PeId, task: TaskId, gcups: f64, hits: Vec<WireHit>, now: f64) {
+        let was_first = self.master.pool().get(task).state != TaskState::Finished;
+        let name = self.master.pe_name(pe).to_string();
+        self.master.task_finished(pe, task, now, Some(gcups));
+        if was_first {
+            self.results[task] = Some(hits);
+            self.completed_by[task] = name;
+        }
+    }
 }
 
 /// The master process: owns the task pool, serves slave connections.
@@ -139,194 +592,397 @@ pub struct MasterServer {
     listener: TcpListener,
     config: MasterConfig,
     expected_slaves: usize,
+    net: NetConfig,
 }
 
 impl MasterServer {
-    /// Bind to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    /// Bind to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) with
+    /// default [`NetConfig`] timings.
     pub fn bind(
         addr: impl ToSocketAddrs,
         config: MasterConfig,
         expected_slaves: usize,
-    ) -> std::io::Result<MasterServer> {
+    ) -> io::Result<MasterServer> {
+        Self::bind_with(addr, config, expected_slaves, NetConfig::default())
+    }
+
+    /// Bind with explicit [`NetConfig`] timings.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        config: MasterConfig,
+        expected_slaves: usize,
+        net: NetConfig,
+    ) -> io::Result<MasterServer> {
         assert!(expected_slaves >= 1, "need at least one slave");
         Ok(MasterServer {
             listener: TcpListener::bind(addr)?,
             config,
             expected_slaves,
+            net,
         })
     }
 
     /// The bound address (give this to the slaves).
-    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
         self.listener.local_addr()
     }
 
     /// Serve until every task is finished and every slave has disconnected.
     ///
     /// Registration is a barrier: work is only handed out once
-    /// `expected_slaves` have registered (required for static policies and
-    /// matching the paper's "waits for the slaves to register").
-    pub fn serve(self, specs: Vec<TaskSpec>) -> std::io::Result<DistributedOutcome> {
+    /// `expected_slaves` have *registered* (required for static policies
+    /// and matching the paper's "waits for the slaves to register") — or
+    /// [`NetConfig::register_timeout`] expires, whichever is first. The
+    /// listener keeps accepting throughout the run, so a connection that
+    /// fails its handshake never consumes a slave's place and late or
+    /// reconnecting slaves can always get in.
+    pub fn serve(self, specs: Vec<TaskSpec>) -> io::Result<DistributedOutcome> {
+        let MasterServer {
+            listener,
+            config,
+            expected_slaves,
+            net,
+        } = self;
         let n_tasks = specs.len();
         let total_cells: u64 = specs.iter().map(|s| s.cells()).sum();
-        let master = Mutex::new(Master::new(specs, self.config));
-        let results: Mutex<Vec<Option<Vec<WireHit>>>> = Mutex::new(vec![None; n_tasks]);
-        let completed_by: Mutex<Vec<String>> = Mutex::new(vec![String::new(); n_tasks]);
-        let registered = std::sync::atomic::AtomicUsize::new(0);
+        let hub = WaitHub::new(Hub {
+            master: Master::new(specs, config),
+            registered: 0,
+            barrier_open: false,
+            alive_conns: 0,
+            abort: None,
+            results: vec![None; n_tasks],
+            completed_by: vec![String::new(); n_tasks],
+            conns: HashMap::new(),
+            expected: expected_slaves,
+        });
+        listener.set_nonblocking(true)?;
         let start = Instant::now();
+        let mut lost_since: Option<Instant> = None;
 
-        crossbeam::thread::scope(|scope| -> std::io::Result<()> {
-            let mut handles = Vec::new();
-            for _ in 0..self.expected_slaves {
-                let (stream, _peer) = self.listener.accept()?;
-                let master = &master;
-                let results = &results;
-                let completed_by = &completed_by;
-                let registered = &registered;
-                let expected = self.expected_slaves;
-                handles.push(scope.spawn(move |_| {
-                    serve_slave(
-                        stream, master, results, completed_by, registered, expected, start,
-                    )
-                }));
+        std::thread::scope(|scope| {
+            loop {
+                {
+                    let mut g = hub.lock();
+                    if g.abort.is_some() {
+                        break;
+                    }
+                    if g.barrier_open && g.master.all_finished() && g.alive_conns == 0 {
+                        break;
+                    }
+                    if !g.barrier_open {
+                        if let Some(t) = net.register_timeout {
+                            if start.elapsed() > t {
+                                if g.registered == 0 {
+                                    g.abort = Some((
+                                        io::ErrorKind::TimedOut,
+                                        format!("no slave registered within {t:?}"),
+                                    ));
+                                } else {
+                                    // Proceed degraded with the slaves we
+                                    // have rather than hang on a no-show.
+                                    g.barrier_open = true;
+                                }
+                                drop(g);
+                                hub.notify_all();
+                                continue;
+                            }
+                        }
+                    } else if g.alive_conns == 0 && !g.master.all_finished() {
+                        let since = *lost_since.get_or_insert_with(Instant::now);
+                        if since.elapsed() > net.all_lost_grace {
+                            g.abort = Some((
+                                io::ErrorKind::ConnectionAborted,
+                                "every slave disconnected mid-run".to_string(),
+                            ));
+                            drop(g);
+                            hub.notify_all();
+                            continue;
+                        }
+                    } else {
+                        lost_since = None;
+                    }
+                }
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let hub = &hub;
+                        let net = &net;
+                        scope.spawn(move || connection_reader(scope, stream, hub, net, start));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        // Wakes early on any hub change (e.g. run completed)
+                        // and at the latest after one accept quantum.
+                        let g = hub.lock();
+                        let _g = hub.wait_timeout(g, ACCEPT_QUANTUM);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        let mut g = hub.lock();
+                        g.abort = Some((e.kind(), e.to_string()));
+                        drop(g);
+                        hub.notify_all();
+                        break;
+                    }
+                }
             }
-            for h in handles {
-                h.join().expect("slave handler panicked")?;
-            }
-            Ok(())
-        })
-        .expect("server scope failed")?;
+            // Wake every parked dispatcher so the scope can join them.
+            hub.notify_all();
+        });
 
         let elapsed_seconds = start.elapsed().as_secs_f64();
-        let per_task = results.into_inner().expect("results poisoned");
-        let hits = merge_hits(per_task.into_iter().enumerate().filter_map(|(task, hits)| {
-            hits.map(|hits| {
-                (
-                    task,
-                    hits.into_iter()
-                        .map(|h| swhybrid_simd::search::Hit {
-                            db_index: h.db_index,
-                            id: h.id,
-                            score: h.score,
-                            subject_len: h.subject_len,
-                        })
-                        .collect(),
-                )
-            })
-        }));
+        let mut hub = hub.into_inner();
+        if let Some((kind, message)) = hub.abort.take() {
+            return Err(io::Error::new(kind, message));
+        }
+        let events = hub.master.take_events();
+        let hits = merge_hits(
+            hub.results
+                .into_iter()
+                .enumerate()
+                .filter_map(|(task, hits)| {
+                    hits.map(|hits| {
+                        (
+                            task,
+                            hits.into_iter().map(WireHit::into_hit).collect::<Vec<_>>(),
+                        )
+                    })
+                }),
+        );
         Ok(DistributedOutcome {
             elapsed_seconds,
             total_cells,
-            gcups: if elapsed_seconds > 0.0 {
-                total_cells as f64 / elapsed_seconds / 1e9
-            } else {
-                0.0
-            },
+            gcups: observed_gcups(total_cells, elapsed_seconds),
             hits,
-            completed_by: completed_by.into_inner().expect("names poisoned"),
+            completed_by: hub.completed_by,
+            events,
         })
     }
 }
 
-fn serve_slave(
+/// Reader half of one slave connection: handshake, liveness watchdog, and
+/// message handling. Spawns the dispatcher (writer half) once registered.
+fn connection_reader<'scope>(
+    scope: &'scope std::thread::Scope<'scope, '_>,
     stream: TcpStream,
-    master: &Mutex<Master>,
-    results: &Mutex<Vec<Option<Vec<WireHit>>>>,
-    completed_by: &Mutex<Vec<String>>,
-    registered: &std::sync::atomic::AtomicUsize,
-    expected: usize,
+    hub: &'scope WaitHub<Hub>,
+    net: &'scope NetConfig,
     start: Instant,
-) -> std::io::Result<()> {
+) {
     stream.set_nodelay(true).ok();
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
+    let quantum = liveness_quantum(net.slave_deadline);
+    let Ok(writer_stream) = stream.try_clone() else {
+        return;
+    };
+    let Ok(mut reader) = LineReader::new(stream, quantum) else {
+        return;
+    };
+    let mut writer = BufWriter::new(writer_stream);
 
-    // Registration handshake.
-    let (pe_id, name) = match recv::<_, SlaveMsg>(&mut reader)? {
-        Some(SlaveMsg::Register { name, gcups }) => {
-            let id = master
-                .lock()
-                .expect("master poisoned")
-                .register(name.clone(), gcups.max(f64::MIN_POSITIVE));
-            registered.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-            send(&mut writer, &MasterMsg::Registered { pe_id: id })?;
-            (id, name)
-        }
-        other => {
-            send(
-                &mut writer,
-                &MasterMsg::Error {
-                    message: format!("expected register, got {other:?}"),
-                },
-            )?;
-            return Ok(());
+    // Handshake: the first line must arrive within the deadline and must be
+    // a registration. Anything else frees the socket WITHOUT consuming any
+    // server state — the old server counted such connections against
+    // `expected_slaves` and deadlocked waiting for a slave that could then
+    // never be accepted.
+    let opened = Instant::now();
+    let first = loop {
+        match reader.read_line() {
+            Ok(ReadOutcome::Line(l)) => break l,
+            Ok(ReadOutcome::Eof) | Err(_) => return,
+            Ok(ReadOutcome::Timeout) => {
+                if hub.lock().abort.is_some() || opened.elapsed() > net.slave_deadline {
+                    return;
+                }
+            }
         }
     };
+    let pe_id = match decode::<SlaveMsg>(&first) {
+        Ok(SlaveMsg::Register { name, gcups }) => {
+            let id = hub
+                .lock()
+                .admit(&name, gcups, start.elapsed().as_secs_f64());
+            hub.notify_all();
+            id
+        }
+        _ => {
+            let _ = send(
+                &mut writer,
+                &MasterMsg::Error {
+                    message: "expected a register message first".to_string(),
+                },
+            );
+            return;
+        }
+    };
+    let fatal = |reason_now: f64, suspected: bool| {
+        let mut g = hub.lock();
+        g.disconnect(pe_id, reason_now, suspected);
+        drop(g);
+        hub.notify_all();
+    };
+    if send(&mut writer, &MasterMsg::Registered { pe_id }).is_err() {
+        fatal(start.elapsed().as_secs_f64(), false);
+        return;
+    }
 
+    // The writer belongs to the dispatcher from here on.
+    scope.spawn(move || dispatch_loop(hub, pe_id, writer, start));
+
+    let mut last_seen = Instant::now();
     loop {
-        let Some(msg) = recv::<_, SlaveMsg>(&mut reader)? else {
-            // Slave hung up; return anything it still held to the pool.
-            let mut m = master.lock().expect("master poisoned");
-            let held: Vec<TaskId> = m
-                .pool()
-                .executing_ids()
-                .filter(|&t| m.pool().get(t).executors.contains(&pe_id))
-                .collect();
-            m.pe_leaves(pe_id, &held);
-            return Ok(());
-        };
-        match msg {
-            SlaveMsg::Request => {
-                // Hold work until the registration barrier is met.
-                if registered.load(std::sync::atomic::Ordering::SeqCst) < expected {
-                    send(&mut writer, &MasterMsg::Wait)?;
-                    continue;
-                }
+        match reader.read_line() {
+            Ok(ReadOutcome::Line(line)) => {
+                last_seen = Instant::now();
                 let now = start.elapsed().as_secs_f64();
-                let reply = match master.lock().expect("master poisoned").request(pe_id, now) {
-                    Assignment::Tasks(tasks) => MasterMsg::Tasks { tasks },
-                    Assignment::Steal { task, .. } => MasterMsg::Execute { task },
-                    Assignment::Replicate(task) => MasterMsg::Execute { task },
-                    Assignment::Wait => MasterMsg::Wait,
-                    Assignment::Done => MasterMsg::Done,
+                let Ok(msg) = decode::<SlaveMsg>(&line) else {
+                    fatal(now, false);
+                    return;
                 };
-                let done = matches!(reply, MasterMsg::Done);
-                send(&mut writer, &reply)?;
-                if done {
-                    return Ok(());
+                let mut g = hub.lock();
+                match msg {
+                    SlaveMsg::Heartbeat => {}
+                    SlaveMsg::Request => {
+                        if let Some(c) = g.conns.get_mut(&pe_id) {
+                            c.wants_work = true;
+                        }
+                    }
+                    SlaveMsg::Started { task } => {
+                        if task >= g.results.len() {
+                            g.disconnect(pe_id, now, false);
+                            drop(g);
+                            hub.notify_all();
+                            return;
+                        }
+                        g.master.task_started(pe_id, task, now);
+                    }
+                    SlaveMsg::Finished { task, gcups, hits } => {
+                        if task >= g.results.len() {
+                            g.disconnect(pe_id, now, false);
+                            drop(g);
+                            hub.notify_all();
+                            return;
+                        }
+                        g.finish(pe_id, task, gcups, hits, now);
+                    }
+                    SlaveMsg::Register { .. } => {
+                        g.disconnect(pe_id, now, false);
+                        drop(g);
+                        hub.notify_all();
+                        return;
+                    }
                 }
+                drop(g);
+                hub.notify_all();
             }
-            SlaveMsg::Started { task } => {
-                let now = start.elapsed().as_secs_f64();
-                master
-                    .lock()
-                    .expect("master poisoned")
-                    .task_started(pe_id, task, now);
+            Ok(ReadOutcome::Eof) | Err(_) => {
+                fatal(start.elapsed().as_secs_f64(), false);
+                return;
             }
-            SlaveMsg::Finished { task, gcups, hits } => {
+            Ok(ReadOutcome::Timeout) => {
                 let now = start.elapsed().as_secs_f64();
-                let mut m = master.lock().expect("master poisoned");
-                let was_first = m.pool().get(task).state != TaskState::Finished;
-                m.task_finished(pe_id, task, now, Some(gcups));
-                drop(m);
-                if was_first {
-                    results.lock().expect("results poisoned")[task] = Some(hits);
-                    completed_by.lock().expect("names poisoned")[task] = name.clone();
+                {
+                    let g = hub.lock();
+                    let gone = g.abort.is_some() || g.conns.get(&pe_id).is_none_or(|c| c.closed);
+                    drop(g);
+                    if gone {
+                        fatal(now, false);
+                        return;
+                    }
                 }
-            }
-            SlaveMsg::Register { .. } => {
-                send(
-                    &mut writer,
-                    &MasterMsg::Error {
-                        message: "already registered".into(),
-                    },
-                )?;
+                if last_seen.elapsed() > net.slave_deadline {
+                    // Nothing — not even a heartbeat — within the deadline:
+                    // declare the slave dead and requeue its tasks.
+                    fatal(now, true);
+                    return;
+                }
             }
         }
     }
 }
 
-/// Run a slave: connect, register, execute tasks until the master says done.
+/// Writer half of one slave connection: long-polls the master on behalf of
+/// the slave's outstanding `request`, parked on the hub condvar between
+/// schedule changes (never a sleep/poll loop).
+fn dispatch_loop(
+    hub: &WaitHub<Hub>,
+    pe_id: PeId,
+    mut writer: BufWriter<TcpStream>,
+    start: Instant,
+) {
+    let mut g = hub.lock();
+    loop {
+        if g.abort.is_some() {
+            return;
+        }
+        let Some(conn) = g.conns.get(&pe_id) else {
+            return;
+        };
+        if conn.closed {
+            return;
+        }
+        let mut reply = None;
+        if conn.wants_work && g.barrier_open {
+            let now = start.elapsed().as_secs_f64();
+            reply = match g.master.request(pe_id, now) {
+                Assignment::Tasks(tasks) => Some(MasterMsg::Tasks { tasks }),
+                Assignment::Steal { task, .. } | Assignment::Replicate(task) => {
+                    Some(MasterMsg::Execute { task })
+                }
+                // Long-poll: hold the request open, park until the
+                // schedule changes.
+                Assignment::Wait => None,
+                Assignment::Done => Some(MasterMsg::Done),
+            };
+        }
+        match reply {
+            Some(msg) => {
+                if let Some(c) = g.conns.get_mut(&pe_id) {
+                    c.wants_work = false;
+                }
+                let done = matches!(msg, MasterMsg::Done);
+                drop(g);
+                // `request` may have moved tasks (a steal): let every other
+                // long-poller re-evaluate before we block on the socket.
+                hub.notify_all();
+                if send(&mut writer, &msg).is_err() {
+                    let mut g = hub.lock();
+                    g.disconnect(pe_id, start.elapsed().as_secs_f64(), false);
+                    drop(g);
+                    hub.notify_all();
+                    return;
+                }
+                if done {
+                    return;
+                }
+                g = hub.lock();
+            }
+            None => g = hub.wait(g),
+        }
+    }
+}
+
+/// How a slave session over one connection ended.
+enum SessionEnd {
+    /// The master said done; `usize` tasks were executed this session.
+    Done(usize),
+    /// The connection was lost after `usize` executed tasks; reconnect.
+    Lost(usize),
+}
+
+fn is_retryable(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::NotConnected
+    )
+}
+
+/// Run a slave: connect, register, execute tasks until the master says
+/// done, with default [`NetConfig`] timings.
 ///
 /// `queries` and `subjects` are the locally available sequence data (the
 /// paper's model: files are on every host).
@@ -340,14 +996,130 @@ pub fn run_slave(
     subjects: &[EncodedSequence],
     scoring: &Scoring,
     top_n: usize,
-) -> std::io::Result<usize> {
+) -> io::Result<usize> {
+    run_slave_with(
+        addr,
+        name,
+        static_gcups,
+        backend,
+        queries,
+        subjects,
+        scoring,
+        top_n,
+        &NetConfig::default(),
+    )
+}
+
+/// [`run_slave`] with explicit [`NetConfig`] timings. Reconnects with
+/// exponential backoff when the connection to the master is lost; returns
+/// the total number of tasks executed across all sessions.
+#[allow(clippy::too_many_arguments)]
+pub fn run_slave_with(
+    addr: impl ToSocketAddrs,
+    name: &str,
+    static_gcups: f64,
+    backend: &dyn ComputeBackend,
+    queries: &[EncodedSequence],
+    subjects: &[EncodedSequence],
+    scoring: &Scoring,
+    top_n: usize,
+    net: &NetConfig,
+) -> io::Result<usize> {
+    let mut total = 0usize;
+    let mut retries_left = net.reconnect_max_retries;
+    let mut backoff = net.reconnect_backoff_initial;
+    loop {
+        match slave_session(
+            &addr,
+            name,
+            static_gcups,
+            backend,
+            queries,
+            subjects,
+            scoring,
+            top_n,
+            net,
+        ) {
+            Ok(SessionEnd::Done(n)) => return Ok(total + n),
+            Ok(SessionEnd::Lost(n)) => {
+                total += n;
+                if n > 0 {
+                    // The session made progress: fresh failure budget.
+                    retries_left = net.reconnect_max_retries;
+                    backoff = net.reconnect_backoff_initial;
+                }
+                if retries_left == 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::ConnectionAborted,
+                        "connection to master lost and reconnect budget exhausted",
+                    ));
+                }
+                retries_left -= 1;
+            }
+            Err(e) if is_retryable(e.kind()) => {
+                if retries_left == 0 {
+                    return Err(e);
+                }
+                retries_left -= 1;
+            }
+            Err(e) => return Err(e),
+        }
+        // Reconnect backoff — not a work-request poll (work waiting is
+        // long-polled by the master while connected).
+        std::thread::sleep(backoff);
+        backoff = (backoff * 2).min(net.reconnect_backoff_max);
+    }
+}
+
+/// Send a heartbeat line every `interval` until told to stop. Runs in its
+/// own thread so heartbeats flow even while the work loop is deep inside a
+/// kernel; parks on a [`WaitHub`] so stopping is immediate.
+fn spawn_heartbeat(
+    writer: Arc<Mutex<BufWriter<TcpStream>>>,
+    stop: Arc<WaitHub<bool>>,
+    interval: Duration,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut stopped = stop.lock();
+        loop {
+            stopped = stop.wait_timeout(stopped, interval);
+            if *stopped {
+                return;
+            }
+            drop(stopped);
+            let failed = send(
+                &mut *writer.lock().expect("slave writer poisoned"),
+                &SlaveMsg::Heartbeat,
+            )
+            .is_err();
+            if failed {
+                // The socket is gone; the work loop will notice on its own.
+                return;
+            }
+            stopped = stop.lock();
+        }
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn slave_session(
+    addr: &impl ToSocketAddrs,
+    name: &str,
+    static_gcups: f64,
+    backend: &dyn ComputeBackend,
+    queries: &[EncodedSequence],
+    subjects: &[EncodedSequence],
+    scoring: &Scoring,
+    top_n: usize,
+    net: &NetConfig,
+) -> io::Result<SessionEnd> {
     let stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true).ok();
     let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
+    let writer = Arc::new(Mutex::new(BufWriter::new(stream)));
 
     send(
-        &mut writer,
+        &mut *writer.lock().expect("slave writer poisoned"),
         &SlaveMsg::Register {
             name: name.to_string(),
             gcups: static_gcups,
@@ -355,69 +1127,80 @@ pub fn run_slave(
     )?;
     match recv::<_, MasterMsg>(&mut reader)? {
         Some(MasterMsg::Registered { .. }) => {}
-        other => {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("registration failed: {other:?}"),
-            ))
-        }
+        Some(MasterMsg::Error { message }) => return Err(invalid(message)),
+        Some(other) => return Err(invalid(format!("registration failed: {other:?}"))),
+        None => return Ok(SessionEnd::Lost(0)),
     }
 
+    let stop = Arc::new(WaitHub::new(false));
+    let heartbeat = spawn_heartbeat(
+        Arc::clone(&writer),
+        Arc::clone(&stop),
+        net.heartbeat_interval,
+    );
+    let outcome = slave_work_loop(
+        &mut reader,
+        &writer,
+        backend,
+        queries,
+        subjects,
+        scoring,
+        top_n,
+    );
+    *stop.lock() = true;
+    stop.notify_all();
+    heartbeat.join().expect("heartbeat thread panicked");
+    outcome
+}
+
+fn slave_work_loop(
+    reader: &mut BufReader<TcpStream>,
+    writer: &Mutex<BufWriter<TcpStream>>,
+    backend: &dyn ComputeBackend,
+    queries: &[EncodedSequence],
+    subjects: &[EncodedSequence],
+    scoring: &Scoring,
+    top_n: usize,
+) -> io::Result<SessionEnd> {
+    let send_msg = |msg: &SlaveMsg| send(&mut *writer.lock().expect("slave writer poisoned"), msg);
     let mut executed = 0usize;
     loop {
-        send(&mut writer, &SlaveMsg::Request)?;
-        let tasks: Vec<TaskId> = match recv::<_, MasterMsg>(&mut reader)? {
-            Some(MasterMsg::Tasks { tasks }) => tasks,
-            Some(MasterMsg::Execute { task }) => vec![task],
-            Some(MasterMsg::Wait) => {
-                std::thread::sleep(std::time::Duration::from_millis(5));
-                continue;
+        if send_msg(&SlaveMsg::Request).is_err() {
+            return Ok(SessionEnd::Lost(executed));
+        }
+        // The master long-polls: this blocks (heartbeats still flowing)
+        // until an assignment or completion arrives.
+        let tasks: Vec<TaskId> = match recv::<_, MasterMsg>(reader) {
+            Ok(Some(MasterMsg::Tasks { tasks })) => tasks,
+            Ok(Some(MasterMsg::Execute { task })) => vec![task],
+            Ok(Some(MasterMsg::Done)) => return Ok(SessionEnd::Done(executed)),
+            Ok(Some(MasterMsg::Error { message })) => return Err(invalid(message)),
+            Ok(Some(MasterMsg::Registered { .. })) => {
+                return Err(invalid("unexpected registered message mid-session"))
             }
-            Some(MasterMsg::Done) | None => return Ok(executed),
-            Some(MasterMsg::Error { message }) => {
-                return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, message))
-            }
-            Some(MasterMsg::Registered { .. }) => {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    "unexpected Registered",
-                ))
-            }
+            Ok(None) => return Ok(SessionEnd::Lost(executed)),
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => return Err(e),
+            Err(_) => return Ok(SessionEnd::Lost(executed)),
         };
         for task in tasks {
-            let query = queries.get(task).ok_or_else(|| {
-                std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    format!("master referenced unknown task {task}"),
-                )
-            })?;
-            send(&mut writer, &SlaveMsg::Started { task })?;
+            let query = queries
+                .get(task)
+                .ok_or_else(|| invalid(format!("master referenced unknown task {task}")))?;
+            if send_msg(&SlaveMsg::Started { task }).is_err() {
+                return Ok(SessionEnd::Lost(executed));
+            }
             let t0 = Instant::now();
             let result = backend.compare(query, subjects, scoring, top_n);
-            let secs = t0.elapsed().as_secs_f64();
-            let gcups = if secs > 0.0 {
-                result.cells as f64 / secs / 1e9
-            } else {
-                0.0
+            let gcups = observed_gcups(result.cells, t0.elapsed().as_secs_f64());
+            let finished = SlaveMsg::Finished {
+                task,
+                gcups,
+                hits: result.hits.into_iter().map(WireHit::from_hit).collect(),
             };
+            if send_msg(&finished).is_err() {
+                return Ok(SessionEnd::Lost(executed));
+            }
             executed += 1;
-            send(
-                &mut writer,
-                &SlaveMsg::Finished {
-                    task,
-                    gcups,
-                    hits: result
-                        .hits
-                        .into_iter()
-                        .map(|h| WireHit {
-                            db_index: h.db_index,
-                            id: h.id,
-                            score: h.score,
-                            subject_len: h.subject_len,
-                        })
-                        .collect(),
-                },
-            )?;
         }
     }
 }
@@ -433,7 +1216,10 @@ mod tests {
     fn scoring() -> Scoring {
         Scoring {
             matrix: swhybrid_align::scoring::SubstMatrix::blosum62(),
-            gap: swhybrid_align::scoring::GapModel::Affine { open: 10, extend: 2 },
+            gap: swhybrid_align::scoring::GapModel::Affine {
+                open: 10,
+                extend: 2,
+            },
         }
     }
 
@@ -466,7 +1252,7 @@ mod tests {
 
     #[test]
     fn wire_messages_round_trip() {
-        let msgs = vec![
+        let slave_msgs = vec![
             SlaveMsg::Register {
                 name: "host-a/core0".into(),
                 gcups: 2.7,
@@ -479,20 +1265,70 @@ mod tests {
                 hits: vec![WireHit {
                     db_index: 1,
                     id: "s1".into(),
-                    score: 42,
+                    score: -7, // scores can be negative; as_i64, not as_u64
                     subject_len: 99,
                 }],
             },
+            SlaveMsg::Heartbeat,
         ];
         let mut buf = Vec::new();
-        for m in &msgs {
+        for m in &slave_msgs {
             send(&mut buf, m).unwrap();
         }
-        let mut reader = std::io::BufReader::new(buf.as_slice());
-        for _ in 0..msgs.len() {
+        let mut reader = BufReader::new(buf.as_slice());
+        for _ in 0..slave_msgs.len() {
             assert!(recv::<_, SlaveMsg>(&mut reader).unwrap().is_some());
         }
         assert!(recv::<_, SlaveMsg>(&mut reader).unwrap().is_none());
+
+        let master_msgs = vec![
+            MasterMsg::Registered { pe_id: 1 },
+            MasterMsg::Tasks { tasks: vec![4, 5] },
+            MasterMsg::Execute { task: 2 },
+            MasterMsg::Done,
+            MasterMsg::Error {
+                message: "nope".into(),
+            },
+        ];
+        let mut buf = Vec::new();
+        for m in &master_msgs {
+            send(&mut buf, m).unwrap();
+        }
+        let mut reader = BufReader::new(buf.as_slice());
+        for _ in 0..master_msgs.len() {
+            assert!(recv::<_, MasterMsg>(&mut reader).unwrap().is_some());
+        }
+        // The finished round-trip preserves the hit verbatim.
+        let msg = decode::<SlaveMsg>(&slave_msgs[3].to_json().to_string()).unwrap();
+        match msg {
+            SlaveMsg::Finished { task, gcups, hits } => {
+                assert_eq!(task, 3);
+                assert!((gcups - 2.5).abs() < 1e-12);
+                assert_eq!(
+                    hits,
+                    vec![WireHit {
+                        db_index: 1,
+                        id: "s1".into(),
+                        score: -7,
+                        subject_len: 99,
+                    }]
+                );
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_lines_decode_to_invalid_data() {
+        for bad in [
+            "",
+            "not json",
+            "{\"type\":\"warp\"}",
+            "{\"type\":\"started\"}",
+        ] {
+            let err = decode::<SlaveMsg>(bad).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "input: {bad:?}");
+        }
     }
 
     #[test]
@@ -510,11 +1346,11 @@ mod tests {
         .unwrap();
         let addr = server.local_addr().unwrap();
 
-        let outcome = crossbeam::thread::scope(|scope| {
+        let outcome = std::thread::scope(|scope| {
             let q = &queries;
             let s = &subjects;
             for name in ["host-a", "host-b"] {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     run_slave(
                         addr,
                         name,
@@ -529,8 +1365,7 @@ mod tests {
                 });
             }
             server.serve(specs).expect("server completes")
-        })
-        .expect("scope");
+        });
 
         assert_eq!(outcome.completed_by.len(), 6);
         assert!(outcome
@@ -538,6 +1373,11 @@ mod tests {
             .iter()
             .all(|n| n == "host-a" || n == "host-b"));
         assert!(outcome.gcups > 0.0);
+        // The run produced an event stream ending in completion.
+        assert!(outcome
+            .events
+            .iter()
+            .any(|e| e.kind == EventKind::RunCompleted));
         // Hits match a direct local computation.
         for qh in &outcome.hits {
             let expect = swhybrid_align::score_only::sw_score_affine(
@@ -550,61 +1390,119 @@ mod tests {
         }
     }
 
-    /// A slave that executes exactly one task and then drops the
-    /// connection mid-protocol (simulating a host crash).
+    /// Regression: a connection whose first message is not `register` used
+    /// to consume one of the `expected_slaves` accept slots, deadlocking
+    /// the server. It must instead get an error and cost nothing.
+    #[test]
+    fn garbage_first_message_does_not_consume_a_registration_slot() {
+        let (queries, subjects, specs) = tiny_workload();
+        let server = MasterServer::bind(
+            "127.0.0.1:0",
+            MasterConfig {
+                policy: Policy::pss_default(),
+                adjustment: true,
+                dispatch: Default::default(),
+            },
+            2,
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+
+        let outcome = std::thread::scope(|scope| {
+            let q = &queries;
+            let s = &subjects;
+            scope.spawn(move || {
+                // Not a slave at all: say something wrong, expect an error.
+                let stream = TcpStream::connect(addr).unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut writer = BufWriter::new(stream);
+                writer.write_all(b"i am not a slave\n").unwrap();
+                writer.flush().unwrap();
+                match recv::<_, MasterMsg>(&mut reader).unwrap() {
+                    Some(MasterMsg::Error { .. }) => {}
+                    other => panic!("expected an error reply, got {other:?}"),
+                }
+            });
+            for name in ["real-a", "real-b"] {
+                scope.spawn(move || {
+                    // Give the garbage client a head start so it provably
+                    // connects before both real slaves.
+                    std::thread::sleep(Duration::from_millis(100));
+                    run_slave(
+                        addr,
+                        name,
+                        1.0,
+                        &StripedBackend::default(),
+                        q,
+                        s,
+                        &scoring(),
+                        3,
+                    )
+                    .expect("real slave ok")
+                });
+            }
+            server
+                .serve(specs)
+                .expect("server completes despite garbage")
+        });
+        assert!(outcome.completed_by.iter().all(|n| !n.is_empty()));
+    }
+
+    /// A slave that earns a big batch, then drops the connection (FIN)
+    /// mid-batch — simulating a process crash.
     fn run_flaky_slave(
         addr: std::net::SocketAddr,
         queries: &[EncodedSequence],
         subjects: &[EncodedSequence],
     ) {
-        use std::io::{BufRead as _, BufReader, BufWriter};
-        let stream = std::net::TcpStream::connect(addr).unwrap();
+        let stream = TcpStream::connect(addr).unwrap();
         let mut reader = BufReader::new(stream.try_clone().unwrap());
         let mut writer = BufWriter::new(stream);
         send(
             &mut writer,
             &SlaveMsg::Register {
                 name: "flaky".into(),
-                gcups: 100.0, // lies about being fast, grabs a big batch
+                gcups: 100.0,
             },
         )
         .unwrap();
-        let mut line = String::new();
-        reader.read_line(&mut line).unwrap(); // Registered
+        assert!(matches!(
+            recv::<_, MasterMsg>(&mut reader).unwrap(),
+            Some(MasterMsg::Registered { .. })
+        ));
+        // First allocation is one task; complete it honestly but report an
+        // absurd speed so Φ hands us a huge batch next time.
         send(&mut writer, &SlaveMsg::Request).unwrap();
-        line.clear();
-        reader.read_line(&mut line).unwrap();
-        let msg: MasterMsg = serde_json::from_str(&line).unwrap();
-        let tasks = match msg {
-            MasterMsg::Tasks { tasks } => tasks,
-            other => panic!("expected tasks, got {other:?}"),
+        let first = match recv::<_, MasterMsg>(&mut reader).unwrap() {
+            Some(MasterMsg::Tasks { tasks }) => tasks[0],
+            other => panic!("expected first allocation, got {other:?}"),
         };
-        // Complete only the first assigned task, then vanish with the rest.
-        if let Some(&task) = tasks.first() {
-            let backend = StripedBackend::default();
-            let result = backend.compare(&queries[task], subjects, &scoring(), 3);
-            send(&mut writer, &SlaveMsg::Started { task }).unwrap();
-            send(
-                &mut writer,
-                &SlaveMsg::Finished {
-                    task,
-                    gcups: 1.0,
-                    hits: result
-                        .hits
-                        .into_iter()
-                        .map(|h| WireHit {
-                            db_index: h.db_index,
-                            id: h.id,
-                            score: h.score,
-                            subject_len: h.subject_len,
-                        })
-                        .collect(),
-                },
-            )
-            .unwrap();
+        let backend = StripedBackend::default();
+        send(&mut writer, &SlaveMsg::Started { task: first }).unwrap();
+        let result = backend.compare(&queries[first], subjects, &scoring(), 3);
+        send(
+            &mut writer,
+            &SlaveMsg::Finished {
+                task: first,
+                gcups: 1000.0,
+                hits: result.hits.into_iter().map(WireHit::from_hit).collect(),
+            },
+        )
+        .unwrap();
+        send(&mut writer, &SlaveMsg::Request).unwrap();
+        match recv::<_, MasterMsg>(&mut reader).unwrap() {
+            Some(MasterMsg::Tasks { tasks }) => {
+                // Start the first batch entry, then vanish holding them all.
+                send(&mut writer, &SlaveMsg::Started { task: tasks[0] }).unwrap();
+            }
+            Some(MasterMsg::Execute { .. }) | Some(MasterMsg::Done) => {
+                // The steady slave was too fast this run; dropping here
+                // still exercises the disconnect path.
+            }
+            other => panic!("unexpected reply: {other:?}"),
         }
-        // Connection drops here (stream goes out of scope): the master
-        // must return the undone batch entries to the ready queue.
+        // Connection drops here (stream goes out of scope): the master must
+        // return the undone batch entries to the ready queue.
     }
 
     #[test]
@@ -623,11 +1521,11 @@ mod tests {
         .unwrap();
         let addr = server.local_addr().unwrap();
 
-        let outcome = crossbeam::thread::scope(|scope| {
+        let outcome = std::thread::scope(|scope| {
             let q = &queries;
             let s = &subjects;
-            scope.spawn(move |_| run_flaky_slave(addr, q, s));
-            scope.spawn(move |_| {
+            scope.spawn(move || run_flaky_slave(addr, q, s));
+            scope.spawn(move || {
                 run_slave(
                     addr,
                     "steady",
@@ -641,18 +1539,343 @@ mod tests {
                 .expect("steady slave survives")
             });
             server.serve(specs).expect("server completes despite crash")
-        })
-        .expect("scope");
+        });
 
         // Every task completed, by someone.
         assert_eq!(outcome.completed_by.len(), n_tasks);
         assert!(outcome.completed_by.iter().all(|n| !n.is_empty()));
-        // The steady slave picked up the crashed slave's abandoned work.
+        // The flaky slave finished at most its first allocation; the steady
+        // slave picked up the crashed slave's abandoned batch.
         assert!(
-            outcome.completed_by.iter().filter(|n| *n == "steady").count() >= n_tasks - 1,
+            outcome
+                .completed_by
+                .iter()
+                .filter(|n| *n == "flaky")
+                .count()
+                <= 1,
             "completed_by: {:?}",
             outcome.completed_by
         );
+    }
+
+    /// The worst failure TCP cannot see: a slave that stops computing but
+    /// keeps its socket open (no FIN). The master must notice via the
+    /// heartbeat deadline, requeue the held task, and let the surviving
+    /// slave pick it up without any poll-interval delay.
+    #[test]
+    fn silently_dead_slave_is_detected_and_its_task_requeued() {
+        let (queries, subjects, specs) = tiny_workload();
+        let net = NetConfig {
+            heartbeat_interval: Duration::from_millis(100),
+            slave_deadline: Duration::from_secs(1),
+            ..NetConfig::default()
+        };
+        let server = MasterServer::bind_with(
+            "127.0.0.1:0",
+            MasterConfig {
+                policy: Policy::SelfScheduling,
+                adjustment: false, // no replication: only the deadline can save task 0
+                dispatch: Default::default(),
+            },
+            1,
+            net.clone(),
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+
+        let outcome = std::thread::scope(|scope| {
+            let q = &queries;
+            let s = &subjects;
+            let net = &net;
+            scope.spawn(move || {
+                // Mute slave: alone it satisfies the barrier, takes a task,
+                // reports it started, then goes silent with the socket open.
+                let stream = TcpStream::connect(addr).unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut writer = BufWriter::new(stream.try_clone().unwrap());
+                send(
+                    &mut writer,
+                    &SlaveMsg::Register {
+                        name: "mute".into(),
+                        gcups: 1.0,
+                    },
+                )
+                .unwrap();
+                assert!(matches!(
+                    recv::<_, MasterMsg>(&mut reader).unwrap(),
+                    Some(MasterMsg::Registered { .. })
+                ));
+                send(&mut writer, &SlaveMsg::Request).unwrap();
+                let assigned = match recv::<_, MasterMsg>(&mut reader).unwrap() {
+                    Some(MasterMsg::Tasks { tasks }) => tasks,
+                    other => panic!("expected tasks, got {other:?}"),
+                };
+                send(&mut writer, &SlaveMsg::Started { task: assigned[0] }).unwrap();
+                // Silence. No heartbeat, no FIN — block until the master,
+                // having declared this PE dead, closes the connection.
+                let mut sink = String::new();
+                while reader.read_line(&mut sink).map(|n| n > 0).unwrap_or(false) {
+                    sink.clear();
+                }
+            });
+            scope.spawn(move || {
+                // The real slave joins late (pe_joins path) so the mute one
+                // is guaranteed to have been assigned its task first.
+                std::thread::sleep(Duration::from_millis(200));
+                run_slave_with(
+                    addr,
+                    "steady",
+                    1.0,
+                    &StripedBackend::default(),
+                    q,
+                    s,
+                    &scoring(),
+                    3,
+                    net,
+                )
+                .expect("steady slave completes the run")
+            });
+            server
+                .serve(specs)
+                .expect("server completes despite silent death")
+        });
+
+        // All tasks completed, all by the surviving slave.
+        assert!(outcome.completed_by.iter().all(|n| n == "steady"));
+        // The liveness verdict and the requeue are in the event stream.
+        let ev = &outcome.events;
+        assert!(
+            ev.iter()
+                .any(|e| matches!(e.kind, EventKind::PeSuspectedDead { .. })),
+            "no suspected-dead event"
+        );
+        let (rq_time, rq_task) = ev
+            .iter()
+            .find_map(|e| match e.kind {
+                EventKind::TaskRequeued { task, .. } => Some((e.time, task)),
+                _ => None,
+            })
+            .expect("no requeue event");
+        // The requeued task is picked up without any poll-interval delay:
+        // the surviving slave's long-poll wakes on the requeue itself.
+        let pickup = ev
+            .iter()
+            .find_map(|e| match &e.kind {
+                EventKind::TasksAssigned { tasks, .. }
+                    if e.time >= rq_time && tasks.contains(&rq_task) =>
+                {
+                    Some(e.time)
+                }
+                _ => None,
+            })
+            .expect("requeued task never reassigned");
+        assert!(
+            pickup - rq_time < 0.5,
+            "requeue→pickup latency {}s looks like polling",
+            pickup - rq_time
+        );
+        // Hits still match a direct local computation.
+        for qh in &outcome.hits {
+            let expect = swhybrid_align::score_only::sw_score_affine(
+                &queries[qh.query_index].codes,
+                &subjects[qh.hit.db_index].codes,
+                &scoring(),
+            )
+            .score;
+            assert_eq!(qh.hit.score, expect);
+        }
+    }
+
+    /// A connection that never says anything must not pin server state:
+    /// the handshake deadline frees it without consuming a slot.
+    #[test]
+    fn silent_probe_connection_is_dropped_at_handshake_deadline() {
+        let (queries, subjects, specs) = tiny_workload();
+        let net = NetConfig {
+            heartbeat_interval: Duration::from_millis(100),
+            slave_deadline: Duration::from_secs(1),
+            ..NetConfig::default()
+        };
+        let server = MasterServer::bind_with(
+            "127.0.0.1:0",
+            MasterConfig {
+                policy: Policy::pss_default(),
+                adjustment: true,
+                dispatch: Default::default(),
+            },
+            1,
+            net.clone(),
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+
+        let outcome = std::thread::scope(|scope| {
+            let q = &queries;
+            let s = &subjects;
+            let net = &net;
+            scope.spawn(move || {
+                // Connect, say nothing, wait for the master to hang up.
+                let stream = TcpStream::connect(addr).unwrap();
+                let mut reader = BufReader::new(stream);
+                let mut sink = String::new();
+                while reader.read_line(&mut sink).map(|n| n > 0).unwrap_or(false) {
+                    sink.clear();
+                }
+            });
+            scope.spawn(move || {
+                std::thread::sleep(Duration::from_millis(100));
+                run_slave_with(
+                    addr,
+                    "real",
+                    1.0,
+                    &StripedBackend::default(),
+                    q,
+                    s,
+                    &scoring(),
+                    3,
+                    net,
+                )
+                .expect("real slave ok")
+            });
+            server
+                .serve(specs)
+                .expect("server unaffected by silent probe")
+        });
+        assert!(outcome.completed_by.iter().all(|n| n == "real"));
+    }
+
+    /// With a registration timeout, a no-show slave no longer hangs the
+    /// server: the barrier opens with whoever did register.
+    #[test]
+    fn register_timeout_proceeds_with_fewer_slaves() {
+        let (queries, subjects, specs) = tiny_workload();
+        let net = NetConfig {
+            register_timeout: Some(Duration::from_millis(300)),
+            ..NetConfig::default()
+        };
+        let server = MasterServer::bind_with(
+            "127.0.0.1:0",
+            MasterConfig {
+                policy: Policy::pss_default(),
+                adjustment: true,
+                dispatch: Default::default(),
+            },
+            2, // the second slave never shows up
+            net,
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+
+        let outcome = std::thread::scope(|scope| {
+            let q = &queries;
+            let s = &subjects;
+            scope.spawn(move || {
+                run_slave(
+                    addr,
+                    "only",
+                    1.0,
+                    &StripedBackend::default(),
+                    q,
+                    s,
+                    &scoring(),
+                    3,
+                )
+                .expect("lone slave completes everything")
+            });
+            server.serve(specs).expect("server proceeds degraded")
+        });
+        assert!(outcome.completed_by.iter().all(|n| n == "only"));
+    }
+
+    /// With no slave at all, `serve` returns instead of blocking forever
+    /// in accept.
+    #[test]
+    fn register_timeout_with_no_slaves_errors_out() {
+        let (_queries, _subjects, specs) = tiny_workload();
+        let net = NetConfig {
+            register_timeout: Some(Duration::from_millis(200)),
+            ..NetConfig::default()
+        };
+        let server =
+            MasterServer::bind_with("127.0.0.1:0", MasterConfig::default(), 1, net).unwrap();
+        let err = server.serve(specs).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+    }
+
+    /// The slave side of fault tolerance: a dropped connection is retried
+    /// with backoff, and the second session completes the work.
+    #[test]
+    fn slave_reconnects_after_connection_drop() {
+        let (queries, subjects, _specs) = tiny_workload();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let net = NetConfig {
+            heartbeat_interval: Duration::from_secs(10), // keep the transcript clean
+            reconnect_backoff_initial: Duration::from_millis(10),
+            ..NetConfig::default()
+        };
+
+        let executed = std::thread::scope(|scope| {
+            let q = &queries;
+            let s = &subjects;
+            let net = &net;
+            let slave = scope.spawn(move || {
+                run_slave_with(
+                    addr,
+                    "phoenix",
+                    1.0,
+                    &StripedBackend::default(),
+                    q,
+                    s,
+                    &scoring(),
+                    3,
+                    net,
+                )
+            });
+            // Session 1: take the registration, then drop the connection.
+            {
+                let (stream, _) = listener.accept().unwrap();
+                let mut reader = BufReader::new(stream);
+                assert!(matches!(
+                    recv::<_, SlaveMsg>(&mut reader).unwrap(),
+                    Some(SlaveMsg::Register { .. })
+                ));
+            }
+            // Session 2: full handshake, one task, done.
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = BufWriter::new(stream);
+            assert!(matches!(
+                recv::<_, SlaveMsg>(&mut reader).unwrap(),
+                Some(SlaveMsg::Register { .. })
+            ));
+            send(&mut writer, &MasterMsg::Registered { pe_id: 0 }).unwrap();
+            loop {
+                match recv::<_, SlaveMsg>(&mut reader).unwrap() {
+                    Some(SlaveMsg::Request) => break,
+                    Some(SlaveMsg::Heartbeat) => {}
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            send(&mut writer, &MasterMsg::Execute { task: 0 }).unwrap();
+            let mut finished = false;
+            loop {
+                match recv::<_, SlaveMsg>(&mut reader).unwrap() {
+                    Some(SlaveMsg::Heartbeat) | Some(SlaveMsg::Started { .. }) => {}
+                    Some(SlaveMsg::Finished { task, gcups, .. }) => {
+                        assert_eq!(task, 0);
+                        assert!(gcups > 0.0, "finished with degenerate speed {gcups}");
+                        finished = true;
+                    }
+                    Some(SlaveMsg::Request) if finished => break,
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            send(&mut writer, &MasterMsg::Done).unwrap();
+            slave.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(executed, 1);
     }
 
     #[test]
@@ -669,16 +1892,24 @@ mod tests {
         )
         .unwrap();
         let addr = server.local_addr().unwrap();
-        let outcome = crossbeam::thread::scope(|scope| {
+        let outcome = std::thread::scope(|scope| {
             let q = &queries;
             let s = &subjects;
-            scope.spawn(move |_| {
-                run_slave(addr, "solo", 1.0, &StripedBackend::default(), q, s, &scoring(), 3)
-                    .expect("slave ok")
+            scope.spawn(move || {
+                run_slave(
+                    addr,
+                    "solo",
+                    1.0,
+                    &StripedBackend::default(),
+                    q,
+                    s,
+                    &scoring(),
+                    3,
+                )
+                .expect("slave ok")
             });
             server.serve(specs).expect("server ok")
-        })
-        .expect("scope");
+        });
 
         let local = crate::runtime::run_real(
             vec![crate::runtime::RealPe {

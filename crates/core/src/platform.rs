@@ -85,7 +85,8 @@ impl PlatformBuilder {
         for _ in 0..n {
             let name = format!("gpu{}", self.n_gpus);
             self.n_gpus += 1;
-            self.pes.push(SimPe::new(name.clone(), Arc::new(GpuDevice::gtx580(name))));
+            self.pes
+                .push(SimPe::new(name.clone(), Arc::new(GpuDevice::gtx580(name))));
         }
         self
     }
@@ -95,8 +96,10 @@ impl PlatformBuilder {
         for _ in 0..n {
             let name = format!("sse{}", self.n_sse);
             self.n_sse += 1;
-            self.pes
-                .push(SimPe::new(name.clone(), Arc::new(CpuSseDevice::i7_core(name))));
+            self.pes.push(SimPe::new(
+                name.clone(),
+                Arc::new(CpuSseDevice::i7_core(name)),
+            ));
         }
         self
     }
@@ -106,8 +109,10 @@ impl PlatformBuilder {
         for _ in 0..n {
             let name = format!("fpga{}", self.n_fpga);
             self.n_fpga += 1;
-            self.pes
-                .push(SimPe::new(name.clone(), Arc::new(FpgaDevice::systolic(name))));
+            self.pes.push(SimPe::new(
+                name.clone(),
+                Arc::new(FpgaDevice::systolic(name)),
+            ));
         }
         self
     }
@@ -249,15 +254,24 @@ mod tests {
         assert_eq!(w.len(), 40);
         assert_eq!(w[0].query_len, 100);
         assert_eq!(w[39].query_len, 5000);
-        assert!(w.iter().all(|t| t.db_residues == swissprot().total_residues));
+        assert!(w
+            .iter()
+            .all(|t| t.db_residues == swissprot().total_residues));
     }
 
     #[test]
     fn describe_platforms() {
-        assert_eq!(PlatformBuilder::new().gpus(4).sse_cores(4).describe(), "4 GPUs + 4 SSEs");
+        assert_eq!(
+            PlatformBuilder::new().gpus(4).sse_cores(4).describe(),
+            "4 GPUs + 4 SSEs"
+        );
         assert_eq!(PlatformBuilder::new().gpus(1).describe(), "1 GPU");
         assert_eq!(
-            PlatformBuilder::new().gpus(1).sse_cores(2).fpgas(1).describe(),
+            PlatformBuilder::new()
+                .gpus(1)
+                .sse_cores(2)
+                .fpgas(1)
+                .describe(),
             "1 GPU + 2 SSEs + 1 FPGA"
         );
     }

@@ -31,7 +31,7 @@ use crate::task::PeId;
 /// assert_eq!(pss.batch_size(0, &speeds, &alive), 6);
 /// assert_eq!(pss.batch_size(1, &speeds, &alive), 1);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Policy {
     /// One task per request.
     SelfScheduling,

@@ -8,6 +8,13 @@
 //! environment end-to-end (on reduced-scale databases — the full platform
 //! experiments run under virtual time in [`crate::sim`]).
 //!
+//! The request loop is event-driven: the master lives in a
+//! [`WaitHub`], and a PE that receives [`Assignment::Wait`] parks on the
+//! hub's condvar instead of polling. Every master mutation (a task starting
+//! or finishing) notifies the hub, so an idle PE re-evaluates its request
+//! the moment the schedule can have changed — the idle→busy latency is a
+//! wakeup, not a poll interval.
+//!
 //! One deliberate difference from the simulator: real replicas are not
 //! preempted — a replica that loses the race simply runs to completion and
 //! its result is discarded (cooperative cancellation would complicate the
@@ -17,7 +24,10 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use crate::master::{Assignment, Master, MasterConfig};
+use crate::shared::WaitHub;
+use crate::stats::observed_gcups;
 use crate::task::TaskId;
+use crate::trace::RuntimeEvent;
 use swhybrid_align::scoring::Scoring;
 use swhybrid_device::exec::{merge_hits, ComputeBackend, QueryHit};
 use swhybrid_device::task::TaskSpec;
@@ -64,6 +74,8 @@ pub struct RuntimeOutcome {
     pub hits: Vec<QueryHit>,
     /// For each task, the name of the PE whose result was used.
     pub completed_by: Vec<String>,
+    /// Structured event stream of the run (see [`crate::trace`]).
+    pub events: Vec<RuntimeEvent>,
 }
 
 /// Run `queries` × `subjects` on real threads.
@@ -96,35 +108,38 @@ pub fn run_real(
     for pe in &pes {
         master.register(pe.name.clone(), pe.static_gcups);
     }
-    let master = Mutex::new(master);
+    let hub = WaitHub::new(master);
     type TaskHits = Option<(usize, Vec<Hit>)>;
     let results: Mutex<Vec<TaskHits>> = Mutex::new(vec![None; n_tasks]);
     let completed_by: Mutex<Vec<String>> = Mutex::new(vec![String::new(); n_tasks]);
     let start = Instant::now();
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (pe_id, pe) in pes.iter().enumerate() {
-            let master = &master;
+            let hub = &hub;
             let results = &results;
             let completed_by = &completed_by;
-            scope.spawn(move |_| loop {
-                let now = start.elapsed().as_secs_f64();
-                let assignment = master.lock().expect("master poisoned").request(pe_id, now);
-                let tasks: Vec<TaskId> = match assignment {
-                    Assignment::Tasks(t) => t,
-                    Assignment::Steal { task, .. } => vec![task],
-                    Assignment::Replicate(t) => vec![t],
-                    Assignment::Wait => {
-                        std::thread::sleep(std::time::Duration::from_millis(1));
-                        continue;
+            scope.spawn(move || 'serve: loop {
+                // Hold the lock across request+wait so no wakeup can be
+                // missed between receiving Wait and parking.
+                let tasks: Vec<TaskId> = {
+                    let mut m = hub.lock();
+                    loop {
+                        let now = start.elapsed().as_secs_f64();
+                        match m.request(pe_id, now) {
+                            Assignment::Tasks(t) => break t,
+                            Assignment::Steal { task, .. } => break vec![task],
+                            Assignment::Replicate(t) => break vec![t],
+                            Assignment::Wait => m = hub.wait(m),
+                            Assignment::Done => break 'serve,
+                        }
                     }
-                    Assignment::Done => break,
                 };
                 for task in tasks {
                     // Skip batch entries that were stolen from this PE or
                     // already finished by a replica elsewhere.
                     {
-                        let m = master.lock().expect("master poisoned");
+                        let m = hub.lock();
                         let t = m.pool().get(task);
                         let still_mine = t.executors.contains(&pe_id);
                         if t.state == crate::task::TaskState::Finished || !still_mine {
@@ -133,55 +148,42 @@ pub fn run_real(
                     }
                     let t_start = Instant::now();
                     {
-                        let mut m = master.lock().expect("master poisoned");
+                        let mut m = hub.lock();
                         m.task_started(pe_id, task, start.elapsed().as_secs_f64());
                     }
+                    hub.notify_all();
                     let query = &queries[task];
-                    let search =
-                        pe.backend
-                            .compare(query, subjects, scoring, config.top_n);
-                    let dur = t_start.elapsed().as_secs_f64();
-                    let gcups = if dur > 0.0 {
-                        search.cells as f64 / dur / 1e9
-                    } else {
-                        0.0
-                    };
-                    let mut m = master.lock().expect("master poisoned");
+                    let search = pe.backend.compare(query, subjects, scoring, config.top_n);
+                    let gcups = observed_gcups(search.cells, t_start.elapsed().as_secs_f64());
                     let was_first = {
-                        let pool_state = m.pool().get(task).state;
-                        pool_state != crate::task::TaskState::Finished
+                        let mut m = hub.lock();
+                        let was_first =
+                            m.pool().get(task).state != crate::task::TaskState::Finished;
+                        m.task_finished(pe_id, task, start.elapsed().as_secs_f64(), Some(gcups));
+                        was_first
                     };
-                    m.task_finished(pe_id, task, start.elapsed().as_secs_f64(), Some(gcups));
-                    drop(m);
+                    // A finish can complete the run or free a replication
+                    // candidate: wake every parked PE to re-request.
+                    hub.notify_all();
                     if was_first {
-                        results.lock().expect("results poisoned")[task] =
-                            Some((task, search.hits));
-                        completed_by.lock().expect("names poisoned")[task] =
-                            pe.name.clone();
+                        results.lock().expect("results poisoned")[task] = Some((task, search.hits));
+                        completed_by.lock().expect("names poisoned")[task] = pe.name.clone();
                     }
                 }
             });
         }
-    })
-    .expect("runtime scope failed");
+    });
 
     let elapsed_seconds = start.elapsed().as_secs_f64();
     let per_task = results.into_inner().expect("results poisoned");
-    let hits = merge_hits(
-        per_task
-            .into_iter()
-            .flatten(),
-    );
+    let hits = merge_hits(per_task.into_iter().flatten());
     RuntimeOutcome {
         elapsed_seconds,
         total_cells,
-        gcups: if elapsed_seconds > 0.0 {
-            total_cells as f64 / elapsed_seconds / 1e9
-        } else {
-            0.0
-        },
+        gcups: observed_gcups(total_cells, elapsed_seconds),
         hits,
         completed_by: completed_by.into_inner().expect("names poisoned"),
+        events: hub.into_inner().take_events(),
     }
 }
 
@@ -189,6 +191,7 @@ pub fn run_real(
 mod tests {
     use super::*;
     use crate::policy::Policy;
+    use crate::trace::EventKind;
     use swhybrid_align::scoring::{GapModel, SubstMatrix};
     use swhybrid_device::exec::StripedBackend;
     use swhybrid_seq::synth::{paper_database, QueryOrder, QuerySetSpec};
@@ -197,7 +200,10 @@ mod tests {
     fn scoring() -> Scoring {
         Scoring {
             matrix: SubstMatrix::blosum62(),
-            gap: GapModel::Affine { open: 10, extend: 2 },
+            gap: GapModel::Affine {
+                open: 10,
+                extend: 2,
+            },
         }
     }
 
@@ -306,5 +312,39 @@ mod tests {
             },
         );
         assert!(out.completed_by.iter().all(|n| !n.is_empty()));
+    }
+
+    #[test]
+    fn event_stream_covers_the_run_and_never_reports_zero_speed() {
+        let (queries, subjects) = tiny_workload();
+        let out = run_real(
+            vec![pe("a", 1.0), pe("b", 1.0)],
+            &queries,
+            &subjects,
+            &scoring(),
+            RuntimeConfig::default(),
+        );
+        let finishes = out
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::TaskFinished { .. }))
+            .count();
+        assert!(finishes >= 6, "at least one finish per task: {finishes}");
+        assert!(out.events.iter().any(|e| e.kind == EventKind::RunCompleted));
+        // The PSS-poisoning regression: real completions must never report
+        // a zero speed, however fast the timer said the task was.
+        for e in &out.events {
+            if let EventKind::TaskFinished { measured_gcups, .. } = e.kind {
+                assert!(
+                    measured_gcups > 0.0 && measured_gcups.is_finite(),
+                    "degenerate speed report {measured_gcups}"
+                );
+            }
+        }
+        // Times are monotonically plausible and start at registration.
+        assert!(matches!(
+            out.events[0].kind,
+            EventKind::PeRegistered { pe: 0, .. }
+        ));
     }
 }

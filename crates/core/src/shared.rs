@@ -1,0 +1,117 @@
+//! Shared-state wakeups for the real runtimes.
+//!
+//! Both real drivers of the [`crate::master::Master`] state machine — the
+//! threaded runtime and the TCP master — previously polled: an idle PE that
+//! received [`crate::master::Assignment::Wait`] slept a fixed interval and
+//! asked again. [`WaitHub`] replaces that with a mutex + condvar pair so a
+//! waiter is woken the moment another PE finishes a task (or dies and has
+//! its work requeued), turning the idle→busy latency from the poll interval
+//! into microseconds.
+//!
+//! The protocol is deliberately minimal: every mutation of the protected
+//! state that could unblock a waiter must be followed by
+//! [`WaitHub::notify_all`]. Waiters always re-check their predicate in a
+//! loop (both `wait` variants can wake spuriously, as condvars do).
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// A mutex-protected value plus a condition variable announcing changes.
+#[derive(Debug, Default)]
+pub struct WaitHub<T> {
+    inner: Mutex<T>,
+    cv: Condvar,
+}
+
+impl<T> WaitHub<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> WaitHub<T> {
+        WaitHub {
+            inner: Mutex::new(value),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Lock the protected value.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().expect("WaitHub lock poisoned")
+    }
+
+    /// Wake every thread blocked in [`WaitHub::wait`] /
+    /// [`WaitHub::wait_timeout`]. Call after any mutation that could
+    /// unblock a waiter.
+    pub fn notify_all(&self) {
+        self.cv.notify_all();
+    }
+
+    /// Atomically release `guard` and sleep until notified. May wake
+    /// spuriously; callers re-check their predicate.
+    pub fn wait<'a>(&'a self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.cv.wait(guard).expect("WaitHub lock poisoned")
+    }
+
+    /// Like [`WaitHub::wait`] but with an upper bound on the sleep, for
+    /// waiters that also watch a deadline.
+    pub fn wait_timeout<'a>(
+        &'a self,
+        guard: MutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> MutexGuard<'a, T> {
+        self.cv
+            .wait_timeout(guard, timeout)
+            .expect("WaitHub lock poisoned")
+            .0
+    }
+
+    /// Consume the hub and return the protected value (once all sharers
+    /// are gone, e.g. after a thread scope ends).
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().expect("WaitHub lock poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    #[test]
+    fn waiter_wakes_on_notify_without_polling() {
+        let hub = Arc::new(WaitHub::new(0u32));
+        let hub2 = Arc::clone(&hub);
+        let waiter = std::thread::spawn(move || {
+            let mut guard = hub2.lock();
+            while *guard == 0 {
+                guard = hub2.wait(guard);
+            }
+            Instant::now()
+        });
+        // Let the waiter park, then flip the value and notify.
+        std::thread::sleep(Duration::from_millis(50));
+        let notified_at;
+        {
+            let mut guard = hub.lock();
+            *guard = 1;
+            notified_at = Instant::now();
+        }
+        hub.notify_all();
+        let woke_at = waiter.join().unwrap();
+        // Wake-up is event-driven: far below any former poll interval even
+        // on a loaded single-core CI box.
+        let latency = woke_at.saturating_duration_since(notified_at);
+        assert!(
+            latency < Duration::from_millis(500),
+            "wake latency {latency:?}"
+        );
+    }
+
+    #[test]
+    fn wait_timeout_returns_after_deadline() {
+        let hub = WaitHub::new(());
+        let start = Instant::now();
+        let guard = hub.lock();
+        let _guard = hub.wait_timeout(guard, Duration::from_millis(20));
+        assert!(start.elapsed() >= Duration::from_millis(15));
+    }
+}

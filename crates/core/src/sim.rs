@@ -80,7 +80,7 @@ impl Default for SimConfig {
 }
 
 /// Per-PE summary of a run.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PeReport {
     /// PE name.
     pub name: String,
@@ -97,7 +97,7 @@ pub struct PeReport {
 }
 
 /// Result of a simulated run.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SimReport {
     /// Wall-clock (virtual) makespan in seconds.
     pub makespan: f64,
@@ -268,7 +268,10 @@ impl Engine {
         // Bootstrap: present PEs request work; absent ones get Join events.
         for pe in 0..self.pes.len() {
             if self.state[pe].alive {
-                self.push(self.pes[pe].join_at + self.notify_interval, EventKind::Notify { pe });
+                self.push(
+                    self.pes[pe].join_at + self.notify_interval,
+                    EventKind::Notify { pe },
+                );
                 self.request_work(pe, 0.0);
             } else {
                 self.push(self.pes[pe].join_at, EventKind::Join { pe });
@@ -404,8 +407,7 @@ impl Engine {
     /// Re-poll PEs that previously got `Wait` (state may have changed).
     fn poll_waiting(&mut self, now: f64) {
         for pe in 0..self.state.len() {
-            if self.state[pe].waiting && self.state[pe].alive && self.state[pe].current.is_none()
-            {
+            if self.state[pe].waiting && self.state[pe].alive && self.state[pe].current.is_none() {
                 self.request_work(pe, now);
             }
         }
@@ -494,7 +496,11 @@ impl Engine {
         };
         st.cells_since_notify = 0.0;
         st.last_notify = now;
-        self.trace.notifications.push(NotifySample { pe, time: now, gcups });
+        self.trace.notifications.push(NotifySample {
+            pe,
+            time: now,
+            gcups,
+        });
         self.master.notify_progress(pe, now, gcups);
         self.push(now + self.notify_interval, EventKind::Notify { pe });
     }
@@ -579,7 +585,11 @@ mod tests {
 
     fn config(policy: Policy, adjustment: bool) -> SimConfig {
         SimConfig {
-            master: MasterConfig { policy, adjustment, dispatch: Default::default() },
+            master: MasterConfig {
+                policy,
+                adjustment,
+                dispatch: Default::default(),
+            },
             notify_interval: 5.0,
             comm_latency: 0.0,
         }
@@ -726,8 +736,8 @@ mod tests {
     fn load_schedule_slows_pe_down() {
         // One PE at 1 GCUPS, 10 Gcells of work, halved after t=5:
         // 5 Gcells by t=5, remaining 5 at 0.5 GCUPS → 10 more s → 15 s.
-        let pes = vec![SimPe::new("a", flat_device("a", 1.0))
-            .with_load(LoadSchedule::step_at(5.0, 0.5))];
+        let pes =
+            vec![SimPe::new("a", flat_device("a", 1.0)).with_load(LoadSchedule::step_at(5.0, 0.5))];
         let report = Simulator::new(
             pes,
             uniform_tasks(10, 1_000_000_000),
@@ -739,8 +749,9 @@ mod tests {
 
     #[test]
     fn notifications_track_load_change() {
-        let pes = vec![SimPe::new("a", flat_device("a", 2.0))
-            .with_load(LoadSchedule::step_at(10.0, 0.5))];
+        let pes = vec![
+            SimPe::new("a", flat_device("a", 2.0)).with_load(LoadSchedule::step_at(10.0, 0.5))
+        ];
         let report = Simulator::new(
             pes,
             uniform_tasks(60, 1_000_000_000),

@@ -12,6 +12,27 @@
 
 use std::collections::VecDeque;
 
+/// Smallest duration (seconds) a real runtime will divide by when turning a
+/// completed task into a speed observation.
+///
+/// Wall-clock timers can report a zero (or denormal) elapsed time for a tiny
+/// task. Reporting `0.0` GCUPS for such a completion used to *poison* the
+/// Ω-window mean: an instantaneously-finished task — the strongest possible
+/// evidence of a *fast* PE — dragged its speed estimate towards zero.
+/// Clamping the denominator turns the same measurement into a very large
+/// (but finite, so not discarded by [`PeSpeedStats::observe`]) speed.
+pub const MIN_MEASURED_SECONDS: f64 = 1e-6;
+
+/// Convert a completed task's `cells` / `seconds` measurement into a GCUPS
+/// observation, clamping the duration to [`MIN_MEASURED_SECONDS`].
+///
+/// Both real drivers (the threaded runtime and the TCP slave) report task
+/// speeds through this helper; the virtual-time simulator keeps its own
+/// exact arithmetic.
+pub fn observed_gcups(cells: u64, seconds: f64) -> f64 {
+    cells as f64 / seconds.max(MIN_MEASURED_SECONDS) / 1e9
+}
+
 /// Observed-speed history of one PE.
 #[derive(Debug, Clone)]
 pub struct PeSpeedStats {
@@ -103,8 +124,8 @@ mod tests {
         s.observe(1.0, 10.0);
         s.observe(2.0, 10.0);
         s.observe(3.0, 1.0); // speed collapsed
-        // Weighted mean (1*10 + 2*10 + 3*1) / 6 = 33/6 = 5.5 — well below
-        // the plain mean 7.0: the collapse is noticed quickly.
+                             // Weighted mean (1*10 + 2*10 + 3*1) / 6 = 33/6 = 5.5 — well below
+                             // the plain mean 7.0: the collapse is noticed quickly.
         assert!((s.weighted_mean_gcups() - 5.5).abs() < 1e-12);
     }
 
@@ -146,5 +167,30 @@ mod tests {
     #[should_panic(expected = "Ω must be at least 1")]
     fn zero_omega_rejected() {
         PeSpeedStats::new(1.0, 0);
+    }
+
+    #[test]
+    fn zero_duration_completion_never_lowers_the_estimate() {
+        // Regression for the PSS-poisoning bug: a task that completes in
+        // less than the timer resolution must raise (or leave) the speed
+        // estimate, never drag it towards zero.
+        let mut s = PeSpeedStats::new(30.0, 4);
+        s.observe(1.0, 25.0);
+        let before = s.weighted_mean_gcups();
+        let g = observed_gcups(1_000_000, 0.0);
+        assert!(g.is_finite() && g > 0.0);
+        s.observe(2.0, g);
+        assert!(
+            s.weighted_mean_gcups() >= before,
+            "zero-duration completion lowered the estimate: {} -> {}",
+            before,
+            s.weighted_mean_gcups()
+        );
+    }
+
+    #[test]
+    fn observed_gcups_matches_plain_division_for_normal_durations() {
+        let g = observed_gcups(2_000_000_000, 2.0);
+        assert!((g - 1.0).abs() < 1e-12);
     }
 }

@@ -15,7 +15,7 @@ pub type TaskId = usize;
 pub type PeId = usize;
 
 /// The three task states of §IV-A-3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TaskState {
     /// Not yet assigned to any PE.
     Ready,
@@ -169,9 +169,19 @@ impl TaskPool {
     /// a not-yet-started batch entry).
     pub fn reassign(&mut self, id: TaskId, from: PeId, to: PeId) {
         let task = &mut self.tasks[id];
-        assert_eq!(task.state, TaskState::Executing, "can only reassign executing tasks");
-        assert!(task.executors.contains(&from), "PE {from} does not hold task {id}");
-        assert!(!task.executors.contains(&to), "PE {to} already holds task {id}");
+        assert_eq!(
+            task.state,
+            TaskState::Executing,
+            "can only reassign executing tasks"
+        );
+        assert!(
+            task.executors.contains(&from),
+            "PE {from} does not hold task {id}"
+        );
+        assert!(
+            !task.executors.contains(&to),
+            "PE {to} already holds task {id}"
+        );
         task.executors.retain(|&p| p != from);
         task.executors.push(to);
     }
@@ -187,7 +197,12 @@ impl TaskPool {
         task.state = TaskState::Finished;
         task.finished_by = Some(pe);
         self.finished_count += 1;
-        let others: Vec<PeId> = task.executors.iter().copied().filter(|&p| p != pe).collect();
+        let others: Vec<PeId> = task
+            .executors
+            .iter()
+            .copied()
+            .filter(|&p| p != pe)
+            .collect();
         task.executors.clear();
         others
     }

@@ -3,11 +3,17 @@
 //! These back the paper's figures: Fig. 5 (the task allocation timelines
 //! with and without the adjustment mechanism) and Figs. 7/8 (per-core GCUPS
 //! over time in dedicated and non-dedicated runs).
+//!
+//! The real runtimes additionally emit a structured [`RuntimeEvent`] stream
+//! — every scheduling decision (assignment, steal, replication, requeue) and
+//! every membership change (join, leave, suspected death) as a timestamped
+//! record, exportable as JSON via [`events_to_json`].
 
 use crate::task::{PeId, TaskId};
+use swhybrid_json::Json;
 
 /// Why a trace segment ended.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SegmentEnd {
     /// The PE completed the task (and was the winner if replicated).
     Completed,
@@ -19,7 +25,7 @@ pub enum SegmentEnd {
 }
 
 /// One contiguous span of a PE executing one task.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceSegment {
     /// The executing PE.
     pub pe: PeId,
@@ -34,7 +40,7 @@ pub struct TraceSegment {
 }
 
 /// One periodic progress notification.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NotifySample {
     /// The reporting PE.
     pub pe: PeId,
@@ -45,7 +51,7 @@ pub struct NotifySample {
 }
 
 /// Full execution trace of a run.
-#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Trace {
     /// Gantt segments in completion order.
     pub segments: Vec<TraceSegment>,
@@ -128,6 +134,191 @@ impl Trace {
         ));
         out
     }
+}
+
+/// One timestamped scheduling/membership event from a real runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeEvent {
+    /// Seconds since the run started.
+    pub time: f64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The event vocabulary of the real runtimes (threaded and TCP).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A PE registered before the run started.
+    PeRegistered {
+        /// The PE.
+        pe: PeId,
+        /// Its human name.
+        name: String,
+    },
+    /// A PE joined mid-run (reconnect or late arrival).
+    PeJoined {
+        /// The PE.
+        pe: PeId,
+        /// Its human name.
+        name: String,
+    },
+    /// A PE left cleanly (hang-up / shutdown observed).
+    PeLeft {
+        /// The PE.
+        pe: PeId,
+    },
+    /// A PE missed its liveness deadline and was declared dead.
+    PeSuspectedDead {
+        /// The PE.
+        pe: PeId,
+    },
+    /// A batch of ready tasks was assigned to a PE.
+    TasksAssigned {
+        /// The receiving PE.
+        pe: PeId,
+        /// The assigned tasks, in dispatch order.
+        tasks: Vec<TaskId>,
+    },
+    /// A PE began executing a task.
+    TaskStarted {
+        /// The executing PE.
+        pe: PeId,
+        /// The task.
+        task: TaskId,
+    },
+    /// An unstarted batch entry was stolen from another PE.
+    TaskStolen {
+        /// The thief (requesting idle PE).
+        pe: PeId,
+        /// The task.
+        task: TaskId,
+        /// The previous holder.
+        from: PeId,
+    },
+    /// An executing task was replicated onto an idle PE (§IV-A-3).
+    TaskReplicated {
+        /// The additional executor.
+        pe: PeId,
+        /// The task.
+        task: TaskId,
+    },
+    /// A task finished.
+    TaskFinished {
+        /// The completing PE.
+        pe: PeId,
+        /// The task.
+        task: TaskId,
+        /// Whether this PE crossed the line first (its results count).
+        winner: bool,
+        /// The measured speed of the completion, GCUPS.
+        measured_gcups: f64,
+    },
+    /// A replica was cancelled because another PE finished first; its work
+    /// so far is the mechanism's duplicated-cells cost.
+    ReplicaCancelled {
+        /// The cancelled executor.
+        pe: PeId,
+        /// The task.
+        task: TaskId,
+        /// Estimated cells this replica had computed when cancelled.
+        wasted_cells: u64,
+    },
+    /// A task held by a departed PE was returned to the ready queue.
+    TaskRequeued {
+        /// The task.
+        task: TaskId,
+        /// The PE that held it.
+        from: PeId,
+    },
+    /// Every task finished.
+    RunCompleted,
+}
+
+impl EventKind {
+    /// The event's snake_case name as used in the JSON export.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::PeRegistered { .. } => "pe_registered",
+            EventKind::PeJoined { .. } => "pe_joined",
+            EventKind::PeLeft { .. } => "pe_left",
+            EventKind::PeSuspectedDead { .. } => "pe_suspected_dead",
+            EventKind::TasksAssigned { .. } => "tasks_assigned",
+            EventKind::TaskStarted { .. } => "task_started",
+            EventKind::TaskStolen { .. } => "task_stolen",
+            EventKind::TaskReplicated { .. } => "task_replicated",
+            EventKind::TaskFinished { .. } => "task_finished",
+            EventKind::ReplicaCancelled { .. } => "replica_cancelled",
+            EventKind::TaskRequeued { .. } => "task_requeued",
+            EventKind::RunCompleted => "run_completed",
+        }
+    }
+}
+
+impl RuntimeEvent {
+    /// The event as a JSON object: `{"time": …, "event": …, …fields}`.
+    pub fn to_json(&self) -> Json {
+        let mut fields: Vec<(String, Json)> = vec![
+            ("time".into(), Json::Num(self.time)),
+            ("event".into(), Json::str(self.kind.name())),
+        ];
+        let mut push = |k: &str, v: Json| fields.push((k.into(), v));
+        match &self.kind {
+            EventKind::PeRegistered { pe, name } | EventKind::PeJoined { pe, name } => {
+                push("pe", Json::Num(*pe as f64));
+                push("name", Json::str(name));
+            }
+            EventKind::PeLeft { pe } | EventKind::PeSuspectedDead { pe } => {
+                push("pe", Json::Num(*pe as f64));
+            }
+            EventKind::TasksAssigned { pe, tasks } => {
+                push("pe", Json::Num(*pe as f64));
+                push(
+                    "tasks",
+                    Json::Arr(tasks.iter().map(|&t| Json::Num(t as f64)).collect()),
+                );
+            }
+            EventKind::TaskStarted { pe, task } | EventKind::TaskReplicated { pe, task } => {
+                push("pe", Json::Num(*pe as f64));
+                push("task", Json::Num(*task as f64));
+            }
+            EventKind::TaskStolen { pe, task, from } => {
+                push("pe", Json::Num(*pe as f64));
+                push("task", Json::Num(*task as f64));
+                push("from", Json::Num(*from as f64));
+            }
+            EventKind::TaskFinished {
+                pe,
+                task,
+                winner,
+                measured_gcups,
+            } => {
+                push("pe", Json::Num(*pe as f64));
+                push("task", Json::Num(*task as f64));
+                push("winner", Json::Bool(*winner));
+                push("measured_gcups", Json::Num(*measured_gcups));
+            }
+            EventKind::ReplicaCancelled {
+                pe,
+                task,
+                wasted_cells,
+            } => {
+                push("pe", Json::Num(*pe as f64));
+                push("task", Json::Num(*task as f64));
+                push("wasted_cells", Json::Num(*wasted_cells as f64));
+            }
+            EventKind::TaskRequeued { task, from } => {
+                push("task", Json::Num(*task as f64));
+                push("from", Json::Num(*from as f64));
+            }
+            EventKind::RunCompleted => {}
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// An event stream as a JSON array, in emission order.
+pub fn events_to_json(events: &[RuntimeEvent]) -> Json {
+    Json::Arr(events.iter().map(RuntimeEvent::to_json).collect())
 }
 
 #[cfg(test)]
@@ -219,5 +410,93 @@ mod tests {
         let t = Trace::default();
         let g = t.render_gantt(&["a".to_string()], 10);
         assert!(g.contains('a'));
+    }
+
+    #[test]
+    fn events_export_as_json_array() {
+        let events = vec![
+            RuntimeEvent {
+                time: 0.0,
+                kind: EventKind::PeRegistered {
+                    pe: 0,
+                    name: "gpu0".into(),
+                },
+            },
+            RuntimeEvent {
+                time: 0.5,
+                kind: EventKind::TasksAssigned {
+                    pe: 0,
+                    tasks: vec![0, 1],
+                },
+            },
+            RuntimeEvent {
+                time: 1.25,
+                kind: EventKind::TaskFinished {
+                    pe: 0,
+                    task: 0,
+                    winner: true,
+                    measured_gcups: 12.5,
+                },
+            },
+            RuntimeEvent {
+                time: 2.0,
+                kind: EventKind::RunCompleted,
+            },
+        ];
+        let json = events_to_json(&events);
+        let arr = json.as_array().unwrap();
+        assert_eq!(arr.len(), 4);
+        assert_eq!(
+            arr[0].get("event").unwrap().as_str().unwrap(),
+            "pe_registered"
+        );
+        assert_eq!(arr[0].get("name").unwrap().as_str().unwrap(), "gpu0");
+        assert_eq!(arr[1].get("tasks").unwrap().as_array().unwrap().len(), 2);
+        assert!(arr[2].get("winner").unwrap().as_bool().unwrap());
+        // Round-trips through the textual form.
+        let back = Json::parse(&json.to_string()).unwrap();
+        assert_eq!(back.as_array().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn every_event_kind_has_a_distinct_name() {
+        let kinds = [
+            EventKind::PeRegistered {
+                pe: 0,
+                name: String::new(),
+            },
+            EventKind::PeJoined {
+                pe: 0,
+                name: String::new(),
+            },
+            EventKind::PeLeft { pe: 0 },
+            EventKind::PeSuspectedDead { pe: 0 },
+            EventKind::TasksAssigned {
+                pe: 0,
+                tasks: vec![],
+            },
+            EventKind::TaskStarted { pe: 0, task: 0 },
+            EventKind::TaskStolen {
+                pe: 0,
+                task: 0,
+                from: 1,
+            },
+            EventKind::TaskReplicated { pe: 0, task: 0 },
+            EventKind::TaskFinished {
+                pe: 0,
+                task: 0,
+                winner: true,
+                measured_gcups: 0.0,
+            },
+            EventKind::ReplicaCancelled {
+                pe: 0,
+                task: 0,
+                wasted_cells: 0,
+            },
+            EventKind::TaskRequeued { task: 0, from: 0 },
+            EventKind::RunCompleted,
+        ];
+        let names: std::collections::HashSet<&str> = kinds.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), kinds.len());
     }
 }

@@ -21,7 +21,7 @@
 use crate::gpu::INTER_INTRA_THRESHOLD;
 
 /// Configuration of the simulated device/kernels.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CudaswSim {
     /// Subject-length threshold between the two kernels.
     pub threshold: usize,
@@ -106,7 +106,7 @@ impl CudaswSim {
 }
 
 /// The outcome of planning one invocation.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CudaswPlan {
     /// Subjects handled by the inter-task (SIMT) kernel.
     pub inter_subjects: usize,
@@ -234,7 +234,11 @@ mod tests {
         let agg_secs = aggregate.startup(plan.actual_cells / 2550)
             + plan.actual_cells as f64 / aggregate.effective_rate(2550, lengths.len());
         let ratio = plan.seconds / agg_secs;
-        assert!((0.4..2.5).contains(&ratio), "structural {} vs aggregate {agg_secs}", plan.seconds);
+        assert!(
+            (0.4..2.5).contains(&ratio),
+            "structural {} vs aggregate {agg_secs}",
+            plan.seconds
+        );
     }
 
     #[test]

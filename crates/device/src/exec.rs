@@ -9,9 +9,9 @@
 //! threads in the examples and integration tests.
 
 use swhybrid_align::scoring::Scoring;
+use swhybrid_seq::sequence::EncodedSequence;
 use swhybrid_simd::engine::EnginePreference;
 use swhybrid_simd::search::{DatabaseSearch, Hit, SearchConfig, SearchResult};
-use swhybrid_seq::sequence::EncodedSequence;
 
 /// A backend that can actually compute a query × database comparison.
 pub trait ComputeBackend: Send + Sync {
@@ -70,7 +70,8 @@ pub fn merge_hits(per_task: impl IntoIterator<Item = (usize, Vec<Hit>)>) -> Vec<
     let mut all: Vec<QueryHit> = per_task
         .into_iter()
         .flat_map(|(query_index, hits)| {
-            hits.into_iter().map(move |hit| QueryHit { query_index, hit })
+            hits.into_iter()
+                .map(move |hit| QueryHit { query_index, hit })
         })
         .collect();
     all.sort_by(|a, b| {
@@ -92,7 +93,10 @@ mod tests {
     fn scoring() -> Scoring {
         Scoring {
             matrix: SubstMatrix::blosum62(),
-            gap: GapModel::Affine { open: 10, extend: 2 },
+            gap: GapModel::Affine {
+                open: 10,
+                extend: 2,
+            },
         }
     }
 

@@ -49,7 +49,8 @@ impl FpgaDevice {
         }
         // Total residues actually processed across the segments.
         let step = self.max_query_len - self.overlap;
-        let processed = self.max_query_len + (segs - 1) * step.min(query_len) + (segs - 1) * self.overlap;
+        let processed =
+            self.max_query_len + (segs - 1) * step.min(query_len) + (segs - 1) * self.overlap;
         processed as f64 / query_len as f64
     }
 }
@@ -70,8 +71,7 @@ impl DeviceModel for FpgaDevice {
 
     fn rate(&self, task: &TaskSpec) -> f64 {
         // Overlap recomputation shows up as a lower effective rate.
-        self.model
-            .effective_rate(task.query_len, task.db_sequences)
+        self.model.effective_rate(task.query_len, task.db_sequences)
             / self.inflation(task.query_len)
     }
 }

@@ -13,7 +13,7 @@
 /// Each entry `(t, m)` means "from time `t` onwards the PE runs at `m` × its
 /// dedicated rate". Times are strictly increasing; the multiplier before the
 /// first entry is 1.0.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LoadSchedule {
     steps: Vec<(f64, f64)>,
 }
@@ -83,10 +83,7 @@ impl LoadSchedule {
         let mut done = 0.0;
         let mut t = from;
         while t < to {
-            let seg_end = self
-                .next_change_after(t)
-                .filter(|&c| c < to)
-                .unwrap_or(to);
+            let seg_end = self.next_change_after(t).filter(|&c| c < to).unwrap_or(to);
             done += (seg_end - t) * rate * self.multiplier_at(t);
             t = seg_end;
         }

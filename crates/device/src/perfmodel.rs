@@ -8,7 +8,7 @@
 
 /// A throughput curve: effective rate = `peak × query_eff × db_fill_eff`,
 /// with a fixed startup plus an optional transfer term per task.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PerfModel {
     /// Peak sustained GCUPS under ideal conditions.
     pub peak_gcups: f64,
@@ -48,7 +48,10 @@ impl PerfModel {
 
     /// Effective sustained rate in cells/second.
     pub fn effective_rate(&self, query_len: usize, db_sequences: usize) -> f64 {
-        self.peak_gcups * 1e9 * self.query_efficiency(query_len) * self.fill_efficiency(db_sequences)
+        self.peak_gcups
+            * 1e9
+            * self.query_efficiency(query_len)
+            * self.fill_efficiency(db_sequences)
     }
 
     /// Per-task startup seconds including the database transfer.

@@ -6,7 +6,7 @@
 //! performance model needs: query length and database size.
 
 /// Immutable description of one task (query × whole database).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TaskSpec {
     /// Stable task identifier (index into the query file).
     pub id: usize,
@@ -27,7 +27,7 @@ impl TaskSpec {
 }
 
 /// The kind of processing element.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DeviceKind {
     /// A GPU running (simulated) CUDASW++ 2.0.
     Gpu,

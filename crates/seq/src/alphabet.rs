@@ -32,7 +32,7 @@ pub const NUCLEOTIDE_UNKNOWN: u8 = 4;
 
 /// A biological alphabet: which ASCII residues are legal and how they map to
 /// dense integer codes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Alphabet {
     /// Deoxyribonucleic acid: A, C, G, T (+ N for ambiguity).
     Dna,

@@ -16,7 +16,7 @@ use crate::sequence::{EncodedSequence, Sequence};
 /// `total_residues` is the quantity that matters for scheduling: comparing a
 /// query of length `m` against the database updates
 /// `m × total_residues` DP cells.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DbStats {
     /// Human-readable database name.
     pub name: String,

@@ -32,7 +32,7 @@ use crate::sequence::Sequence;
 pub const MAGIC: &[u8; 8] = b"SWHIDX1\0";
 
 /// Index over a flat FASTA file: count, longest-sequence size, offsets.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SeqIndex {
     /// Residue count of the longest sequence in the file.
     pub max_len: u64,
@@ -69,10 +69,7 @@ impl SeqIndex {
                 current_len = 0;
                 in_record = true;
             } else if in_record {
-                current_len += line
-                    .iter()
-                    .filter(|b| !b.is_ascii_whitespace())
-                    .count() as u64;
+                current_len += line.iter().filter(|b| !b.is_ascii_whitespace()).count() as u64;
             } else if line.iter().any(|b| !b.is_ascii_whitespace()) {
                 return Err(SeqError::MalformedFasta(
                     "residues before first header while indexing".into(),
@@ -204,14 +201,10 @@ impl IndexedFasta {
 
     /// Fetch the `i`-th sequence (zero-based) by seeking to its offset.
     pub fn fetch(&mut self, i: usize) -> Result<Sequence, SeqError> {
-        let off = *self
-            .index
-            .offsets
-            .get(i)
-            .ok_or(SeqError::IndexOutOfRange {
-                requested: i,
-                available: self.index.count(),
-            })?;
+        let off = *self.index.offsets.get(i).ok_or(SeqError::IndexOutOfRange {
+            requested: i,
+            available: self.index.count(),
+        })?;
         self.file.seek(SeekFrom::Start(off))?;
         let mut reader = FastaReader::new(&mut self.file);
         reader
@@ -220,7 +213,10 @@ impl IndexedFasta {
     }
 
     /// Fetch a contiguous range of sequences.
-    pub fn fetch_range(&mut self, range: std::ops::Range<usize>) -> Result<Vec<Sequence>, SeqError> {
+    pub fn fetch_range(
+        &mut self,
+        range: std::ops::Range<usize>,
+    ) -> Result<Vec<Sequence>, SeqError> {
         range.map(|i| self.fetch(i)).collect()
     }
 }
@@ -321,7 +317,10 @@ mod tests {
 
         assert!(matches!(
             ixf.fetch(3),
-            Err(SeqError::IndexOutOfRange { requested: 3, available: 3 })
+            Err(SeqError::IndexOutOfRange {
+                requested: 3,
+                available: 3
+            })
         ));
         std::fs::remove_dir_all(&dir).ok();
     }

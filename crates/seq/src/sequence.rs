@@ -9,7 +9,7 @@ use crate::error::SeqError;
 /// Residues are stored as ASCII (the on-disk representation) and encoded to
 /// dense codes on demand with [`Sequence::encode`]; alignment kernels cache
 /// the encoded form themselves.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Sequence {
     /// Identifier (the first word of the FASTA header).
     pub id: String,

@@ -88,7 +88,7 @@ fn sample_lognormal(rng: &mut impl Rng, mu: f64, sigma: f64) -> f64 {
 }
 
 /// Profile of one of the paper's five genomic databases (Table II).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DbProfile {
     /// Database name as printed in the paper.
     pub name: String,
@@ -208,7 +208,7 @@ pub fn paper_database(name: &str) -> Option<DbProfile> {
 }
 
 /// How the paper's 40 query lengths are ordered in the query file.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QueryOrder {
     /// Shortest first — the adversarial order under which "slow node receives
     /// one of the last (largest) tasks" is most visible; the default for the
@@ -222,7 +222,7 @@ pub enum QueryOrder {
 
 /// Specification of a query set: `count` lengths equally distributed over
 /// `[min_len, max_len]` (paper §V: 40 queries, 100 – 5,000 amino acids).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QuerySetSpec {
     /// Number of query sequences.
     pub count: usize,
@@ -265,7 +265,7 @@ impl QuerySetSpec {
             QueryOrder::Descending => lens.reverse(),
             QueryOrder::Shuffled => {
                 let mut r = rng(seed ^ 0x5157_5345_5446_4c45); // "QWSE TFLE" salt
-                // Fisher–Yates shuffle.
+                                                               // Fisher–Yates shuffle.
                 for i in (1..lens.len()).rev() {
                     let j = r.random_range(0..=i);
                     lens.swap(i, j);
@@ -423,7 +423,9 @@ mod tests {
         let queries = spec.generate(11);
         let lens: Vec<usize> = queries.iter().map(|q| q.len()).collect();
         assert_eq!(lens, spec.lengths(11));
-        assert!(queries.iter().all(|q| Alphabet::Protein.validates(&q.residues)));
+        assert!(queries
+            .iter()
+            .all(|q| Alphabet::Protein.validates(&q.residues)));
         // Total residues ≈ 40 × 2550 = 102,000 (the DESIGN.md §2 workload size).
         let total = spec.total_query_residues(11);
         assert!((101_000..=103_000).contains(&total), "total {total}");

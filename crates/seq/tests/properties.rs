@@ -7,16 +7,24 @@ use swhybrid_seq::fasta;
 use swhybrid_seq::index::SeqIndex;
 use swhybrid_seq::sequence::Sequence;
 
+/// Characters legal in generated identifiers and description words.
+const ID_CHARS: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789_.|-";
+
+fn word(min: usize, max: usize) -> impl Strategy<Value = String> {
+    prop::collection::vec(prop::sample::select(ID_CHARS.to_vec()), min..max + 1)
+        .prop_map(|chars| String::from_utf8(chars).unwrap())
+}
+
 /// Identifier strings that survive a FASTA header round-trip (no spaces —
 /// FASTA splits at the first whitespace).
 fn fasta_id() -> impl Strategy<Value = String> {
-    "[A-Za-z0-9_.|-]{1,24}"
+    word(1, 24)
 }
 
-/// Description text (may be empty; internal runs of whitespace collapse is
-/// avoided by the generator to keep equality exact).
+/// Description text (may be empty; single spaces between words, so equality
+/// is exact — FASTA collapses neither but we avoid leading/trailing runs).
 fn fasta_desc() -> impl Strategy<Value = String> {
-    "([A-Za-z0-9_,.-]{1,12}( [A-Za-z0-9_,.-]{1,12}){0,3})?"
+    prop::collection::vec(word(1, 12), 0..5).prop_map(|words| words.join(" "))
 }
 
 /// Residue strings over the protein alphabet's canonical letters.

@@ -131,12 +131,10 @@ mod imp {
                     ));
 
                     for k in 0..seg_len {
-                        let prof =
-                            _mm256_loadu_si256(profile.vector_ptr(r, k) as *const __m256i);
+                        let prof = _mm256_loadu_si256(profile.vector_ptr(r, k) as *const __m256i);
                         v_h = $adds(v_h, prof);
-                        let v_e = _mm256_loadu_si256(
-                            e_arr.as_ptr().add(k * LANES) as *const __m256i
-                        );
+                        let v_e =
+                            _mm256_loadu_si256(e_arr.as_ptr().add(k * LANES) as *const __m256i);
                         v_h = $max(v_h, v_e);
                         v_h = $max(v_h, v_f);
                         v_h = $max(v_h, v_zero);
@@ -152,9 +150,7 @@ mod imp {
                             v_e2,
                         );
                         v_f = $max(h_open, $subs(v_f, v_ext));
-                        v_h = _mm256_loadu_si256(
-                            h_load.as_ptr().add(k * LANES) as *const __m256i
-                        );
+                        v_h = _mm256_loadu_si256(h_load.as_ptr().add(k * LANES) as *const __m256i);
                     }
 
                     // Break condition argued in crate::portable: the carry
@@ -164,7 +160,7 @@ mod imp {
                         let mut alive = false;
                         for k in 0..seg_len {
                             let mut vh = _mm256_loadu_si256(
-                                h_store.as_ptr().add(k * LANES) as *const __m256i,
+                                h_store.as_ptr().add(k * LANES) as *const __m256i
                             );
                             let gt = _mm256_movemask_epi8($cmpgt(v_f, vh));
                             if gt != 0 {
@@ -175,7 +171,7 @@ mod imp {
                                 );
                                 let h_open = $subs(vh, v_goe);
                                 let e_old = _mm256_loadu_si256(
-                                    e_arr.as_ptr().add(k * LANES) as *const __m256i,
+                                    e_arr.as_ptr().add(k * LANES) as *const __m256i
                                 );
                                 _mm256_storeu_si256(
                                     e_arr.as_mut_ptr().add(k * LANES) as *mut __m256i,
@@ -209,12 +205,25 @@ mod imp {
     }
 
     striped_avx2!(
-        sw_i8, i8, 32, 1,
-        _mm256_set1_epi8, _mm256_adds_epi8, _mm256_subs_epi8, _mm256_max_epi8, _mm256_cmpgt_epi8
+        sw_i8,
+        i8,
+        32,
+        1,
+        _mm256_set1_epi8,
+        _mm256_adds_epi8,
+        _mm256_subs_epi8,
+        _mm256_max_epi8,
+        _mm256_cmpgt_epi8
     );
     striped_avx2!(
-        sw_i16, i16, 16, 2,
-        _mm256_set1_epi16, _mm256_adds_epi16, _mm256_subs_epi16, _mm256_max_epi16,
+        sw_i16,
+        i16,
+        16,
+        2,
+        _mm256_set1_epi16,
+        _mm256_adds_epi16,
+        _mm256_subs_epi16,
+        _mm256_max_epi16,
         _mm256_cmpgt_epi16
     );
 }

@@ -198,7 +198,10 @@ mod tests {
     fn scoring() -> Scoring {
         Scoring {
             matrix: SubstMatrix::blosum62(),
-            gap: GapModel::Affine { open: 10, extend: 2 },
+            gap: GapModel::Affine {
+                open: 10,
+                extend: 2,
+            },
         }
     }
 
@@ -239,7 +242,10 @@ mod tests {
         let expect = sw_score_affine(&query, &query, &s).score;
         assert_eq!(got, expect);
         assert!(expect > 127, "test premise: score must exceed i8 range");
-        assert_eq!(engine.stats().resolved_i16 + engine.stats().resolved_scalar, 1);
+        assert_eq!(
+            engine.stats().resolved_i16 + engine.stats().resolved_scalar,
+            1
+        );
     }
 
     #[test]

@@ -145,8 +145,8 @@ pub fn scores_inter_sequence(
                 }
                 let old_h = h[base + lane];
                 let mut v = diag[lane].saturating_add(score_col[base + lane]);
-                let ej = (h[base + lane].saturating_sub(goe))
-                    .max(e[base + lane].saturating_sub(ext));
+                let ej =
+                    (h[base + lane].saturating_sub(goe)).max(e[base + lane].saturating_sub(ext));
                 // E for this column j uses H[j][previous column] — which is
                 // still in h[] since we overwrite below.
                 if ej > v {
@@ -193,7 +193,10 @@ mod tests {
     fn scoring() -> Scoring {
         Scoring {
             matrix: SubstMatrix::blosum62(),
-            gap: GapModel::Affine { open: 10, extend: 2 },
+            gap: GapModel::Affine {
+                open: 10,
+                extend: 2,
+            },
         }
     }
 
@@ -276,7 +279,10 @@ mod tests {
             codes: vec![],
             alphabet: Alphabet::Protein,
         }];
-        assert_eq!(scores_inter_sequence(&query, &subjects, &scoring()), vec![0]);
+        assert_eq!(
+            scores_inter_sequence(&query, &subjects, &scoring()),
+            vec![0]
+        );
     }
 
     #[test]

@@ -45,11 +45,7 @@ impl<T: Lane> StripedProfile<T> {
     /// AVX2 kernels). The striped score is lane-count invariant; only the
     /// memory layout changes.
     #[allow(clippy::needless_range_loop)] // (k, lane) index math is the layout definition
-    pub fn build_with_lanes(
-        query: &[u8],
-        matrix: &SubstMatrix,
-        lanes: usize,
-    ) -> StripedProfile<T> {
+    pub fn build_with_lanes(query: &[u8], matrix: &SubstMatrix, lanes: usize) -> StripedProfile<T> {
         assert!(!query.is_empty(), "query must not be empty");
         assert!(lanes >= 1, "need at least one lane");
         let m = query.len();
@@ -68,8 +64,7 @@ impl<T: Lane> StripedProfile<T> {
                             "query code {code} out of range for {}",
                             matrix.name
                         );
-                        data[(r * seg_len + k) * lanes + lane] =
-                            T::from_i32_sat(row[code] as i32);
+                        data[(r * seg_len + k) * lanes + lane] = T::from_i32_sat(row[code] as i32);
                     }
                 }
             }
@@ -172,7 +167,7 @@ mod tests {
         let p = StripedProfile::<i16>::build(&q, &matrix);
         assert_eq!(p.lanes, 8);
         assert_eq!(p.seg_len, 2); // ceil(9/8)
-        // Padding is i16::MIN.
+                                  // Padding is i16::MIN.
         assert_eq!(p.vector(0, 1)[7], i16::MIN);
     }
 

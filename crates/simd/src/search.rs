@@ -121,15 +121,14 @@ impl<'a> DatabaseSearch<'a> {
             vec![self.scan_worker(subjects, &cursor, chunk)]
         } else {
             let mut outs = Vec::with_capacity(n_workers);
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..n_workers)
-                    .map(|_| scope.spawn(|_| self.scan_worker(subjects, &cursor, chunk)))
+                    .map(|_| scope.spawn(|| self.scan_worker(subjects, &cursor, chunk)))
                     .collect();
                 for h in handles {
                     outs.push(h.join().expect("search worker panicked"));
                 }
-            })
-            .expect("crossbeam scope failed");
+            });
             outs
         };
 
@@ -195,7 +194,10 @@ mod tests {
     fn scoring() -> Scoring {
         Scoring {
             matrix: SubstMatrix::blosum62(),
-            gap: GapModel::Affine { open: 10, extend: 2 },
+            gap: GapModel::Affine {
+                open: 10,
+                extend: 2,
+            },
         }
     }
 
@@ -299,8 +301,7 @@ mod tests {
             alphabet: Alphabet::Protein,
         };
         let s = scoring();
-        let result =
-            DatabaseSearch::new(&query, &s, SearchConfig::default()).run(&db);
+        let result = DatabaseSearch::new(&query, &s, SearchConfig::default()).run(&db);
         assert_eq!(result.hits[0].id, "planted");
         assert_eq!(
             result.hits[0].score,

@@ -140,15 +140,11 @@ mod x86 {
                 v_f = _mm_or_si128(_mm_slli_si128::<2>(v_f), v_min_lane0);
                 let mut alive = false;
                 for k in 0..seg_len {
-                    let mut vh =
-                        _mm_loadu_si128(h_store.as_ptr().add(k * LANES) as *const __m128i);
+                    let mut vh = _mm_loadu_si128(h_store.as_ptr().add(k * LANES) as *const __m128i);
                     let gt = _mm_movemask_epi8(_mm_cmpgt_epi16(v_f, vh));
                     if gt != 0 {
                         vh = _mm_max_epi16(vh, v_f);
-                        _mm_storeu_si128(
-                            h_store.as_mut_ptr().add(k * LANES) as *mut __m128i,
-                            vh,
-                        );
+                        _mm_storeu_si128(h_store.as_mut_ptr().add(k * LANES) as *mut __m128i, vh);
                         let h_open = _mm_subs_epi16(vh, v_goe);
                         let e_old =
                             _mm_loadu_si128(e_arr.as_ptr().add(k * LANES) as *const __m128i);
@@ -232,15 +228,11 @@ mod x86 {
                 v_f = _mm_or_si128(_mm_slli_si128::<1>(v_f), v_min_lane0);
                 let mut alive = false;
                 for k in 0..seg_len {
-                    let mut vh =
-                        _mm_loadu_si128(h_store.as_ptr().add(k * LANES) as *const __m128i);
+                    let mut vh = _mm_loadu_si128(h_store.as_ptr().add(k * LANES) as *const __m128i);
                     let gt = _mm_movemask_epi8(_mm_cmpgt_epi8(v_f, vh));
                     if gt != 0 {
                         vh = _mm_max_epi8(vh, v_f);
-                        _mm_storeu_si128(
-                            h_store.as_mut_ptr().add(k * LANES) as *mut __m128i,
-                            vh,
-                        );
+                        _mm_storeu_si128(h_store.as_mut_ptr().add(k * LANES) as *mut __m128i, vh);
                         let h_open = _mm_subs_epi8(vh, v_goe);
                         let e_old =
                             _mm_loadu_si128(e_arr.as_ptr().add(k * LANES) as *const __m128i);

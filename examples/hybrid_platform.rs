@@ -20,7 +20,10 @@ fn main() {
 
     let workload = || PlatformBuilder::workload(&swissprot, &queries, 2013);
 
-    println!("{:<12} {:>12} {:>10}   notes", "platform", "time (s)", "GCUPS");
+    println!(
+        "{:<12} {:>12} {:>10}   notes",
+        "platform", "time (s)", "GCUPS"
+    );
     let mut rows: Vec<(String, f64, f64, &str)> = Vec::new();
     for (gpus, sse, adj, note) in [
         (0, 1, true, "the paper's 7,190 s baseline"),
@@ -29,7 +32,9 @@ fn main() {
         (4, 4, true, "the paper's biggest platform"),
         (4, 4, false, "same, adjustment disabled"),
     ] {
-        let mut b = PlatformBuilder::new().policy(Policy::pss_default()).adjustment(adj);
+        let mut b = PlatformBuilder::new()
+            .policy(Policy::pss_default())
+            .adjustment(adj);
         if gpus > 0 {
             b = b.gpus(gpus);
         }
@@ -67,10 +72,7 @@ fn main() {
     );
 
     // Per-PE breakdown of the best run, showing who did what.
-    let out = PlatformBuilder::new()
-        .gpus(4)
-        .sse_cores(4)
-        .run(workload());
+    let out = PlatformBuilder::new().gpus(4).sse_cores(4).run(workload());
     println!("\nper-PE breakdown (4 GPUs + 4 SSEs, with adjustment):");
     println!(
         "{:<6} {:>10} {:>10} {:>10} {:>14}",

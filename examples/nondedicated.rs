@@ -9,7 +9,9 @@ use swhybrid::exec::policy::Policy;
 use swhybrid::seq::synth::{paper_database, QuerySetSpec};
 
 fn main() {
-    let dog = paper_database("dog").expect("preset exists").full_scale_stats();
+    let dog = paper_database("dog")
+        .expect("preset exists")
+        .full_scale_stats();
     let queries = QuerySetSpec::paper();
     let workload = || PlatformBuilder::workload(&dog, &queries, 2013);
 
@@ -40,7 +42,10 @@ fn main() {
     );
 
     println!("per-core GCUPS notifications around the load step:");
-    println!("{:>6}  {:>8} {:>8} {:>8} {:>8}", "t (s)", "core0", "core1", "core2", "core3");
+    println!(
+        "{:>6}  {:>8} {:>8} {:>8} {:>8}",
+        "t (s)", "core0", "core1", "core2", "core3"
+    );
     for &(t, g0) in loaded
         .report
         .trace
@@ -58,7 +63,13 @@ fn main() {
                 .map(|&(_, g)| format!("{g:.2}"))
                 .unwrap_or_else(|| "-".into())
         };
-        println!("{t:>6.0}  {:>8.2} {:>8} {:>8} {:>8}", g0, at(1), at(2), at(3));
+        println!(
+            "{t:>6.0}  {:>8.2} {:>8} {:>8} {:>8}",
+            g0,
+            at(1),
+            at(2),
+            at(3)
+        );
     }
     println!("\ncore 0's rate halves after t=60 s; the other cores keep full speed");
     println!("and the master's weighted means shift new tasks away from core 0.");

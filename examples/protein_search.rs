@@ -19,14 +19,21 @@ use swhybrid::simd::search::{DatabaseSearch, SearchConfig};
 fn main() {
     let scoring = Scoring {
         matrix: SubstMatrix::blosum62(),
-        gap: GapModel::Affine { open: 10, extend: 2 },
+        gap: GapModel::Affine {
+            open: 10,
+            extend: 2,
+        },
     };
 
     // ~1,000 synthetic SwissProt-like sequences (scale 0.2% of 537,505).
     let profile = paper_database("swissprot").expect("preset exists");
     let mut db = profile.generate_scaled(11, 0.002);
-    println!("database: {} ({} sequences, {} residues)",
-        db.name, db.stats().num_sequences, db.stats().total_residues);
+    println!(
+        "database: {} ({} sequences, {} residues)",
+        db.name,
+        db.stats().num_sequences,
+        db.stats().total_residues
+    );
 
     // A 400-residue query, plus a mutated copy planted into the database.
     let mut r = rng(99);

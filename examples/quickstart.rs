@@ -46,13 +46,15 @@ fn main() {
     );
 
     // --- Proteins: BLOSUM62 + affine gaps (Gotoh) ------------------------
-    let records = fasta::parse_str(
-        ">q1 kinase fragment\nMKVLAWCDEFGHIK\n>q2 homolog\nMKVLWCDEFGIK\n",
-    )
-    .expect("valid FASTA");
+    let records =
+        fasta::parse_str(">q1 kinase fragment\nMKVLAWCDEFGHIK\n>q2 homolog\nMKVLWCDEFGIK\n")
+            .expect("valid FASTA");
     let blosum = Scoring {
         matrix: SubstMatrix::blosum62(),
-        gap: GapModel::Affine { open: 10, extend: 2 },
+        gap: GapModel::Affine {
+            open: 10,
+            extend: 2,
+        },
     };
     let q1 = records[0].encode(Alphabet::Protein).expect("valid protein");
     let q2 = records[1].encode(Alphabet::Protein).expect("valid protein");
@@ -62,12 +64,18 @@ fn main() {
         aligned.score,
         (aligned.identity() * 100.0).round(),
     );
-    println!("{}\n", aligned.pretty(&records[0].residues, &records[1].residues));
+    println!(
+        "{}\n",
+        aligned.pretty(&records[0].residues, &records[1].residues)
+    );
 
     // --- The adapted-Farrar striped engine agrees with the oracle --------
     let mut engine = StripedEngine::new(&q1, &blosum, EnginePreference::Auto);
     let striped = engine.score(&q2);
-    println!("striped SIMD score: {striped} (scalar oracle: {})", aligned.score);
+    println!(
+        "striped SIMD score: {striped} (scalar oracle: {})",
+        aligned.score
+    );
     assert_eq!(striped, aligned.score);
     println!("kernels used: {:?}", engine.stats());
 }

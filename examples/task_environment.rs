@@ -50,7 +50,9 @@ fn main() {
         .collect();
 
     // --- The database: scaled-down Ensembl Dog ---------------------------
-    let db = paper_database("dog").expect("preset exists").generate_scaled(6, 0.004);
+    let db = paper_database("dog")
+        .expect("preset exists")
+        .generate_scaled(6, 0.004);
     let subjects = db.encode_all().expect("synthetic residues are valid");
     println!(
         "database: {} sequences, {} residues\n",
@@ -61,7 +63,10 @@ fn main() {
     // --- Run the environment: one master, three slaves -------------------
     let scoring = Scoring {
         matrix: SubstMatrix::blosum62(),
-        gap: GapModel::Affine { open: 10, extend: 2 },
+        gap: GapModel::Affine {
+            open: 10,
+            extend: 2,
+        },
     };
     let pes = vec![
         RealPe {
@@ -103,7 +108,12 @@ fn main() {
     );
     println!("\ntask → completing slave:");
     for (task, pe) in outcome.completed_by.iter().enumerate() {
-        println!("  query {:>2} ({:>4} aa)  →  {}", task, encoded_queries[task].len(), pe);
+        println!(
+            "  query {:>2} ({:>4} aa)  →  {}",
+            task,
+            encoded_queries[task].len(),
+            pe
+        );
     }
     println!("\nmerged hit list (top 10 overall):");
     println!("{:>5} {:>6}  query  subject", "rank", "score");

@@ -1,0 +1,257 @@
+//! Minimal in-repo stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the API subset the swhybrid benches use — `Criterion`
+//! builder, `benchmark_group`, `bench_with_input`/`bench_function`,
+//! `BenchmarkId`, `Throughput`, and the `criterion_group!`/
+//! `criterion_main!` macros — with a simple fixed-iteration timer
+//! instead of criterion's statistical analysis. Each benchmark prints
+//! its mean wall-clock time per iteration (and throughput when set).
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported for bench code.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level harness handle; a by-value builder like real criterion.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = name.to_string();
+        let mut group = self.benchmark_group(label.clone());
+        group.bench_function(label, f);
+        group.finish();
+    }
+}
+
+/// Per-element or per-byte throughput annotation.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A `label/parameter` benchmark identifier.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(label: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", label.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.label, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+
+    fn run(&self, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size.max(1),
+            mean: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let per_iter = bencher.mean;
+        let mut line = format!("{}/{}: {:>12.3?}/iter", self.name, label, per_iter);
+        if let Some(throughput) = self.throughput {
+            let seconds = per_iter.as_secs_f64().max(1e-12);
+            match throughput {
+                Throughput::Elements(n) => {
+                    line.push_str(&format!("  ({:.3} Melem/s)", n as f64 / seconds / 1e6));
+                }
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!(
+                        "  ({:.3} MiB/s)",
+                        n as f64 / seconds / (1 << 20) as f64
+                    ));
+                }
+            }
+        }
+        println!("{line}");
+    }
+}
+
+/// Timing context passed to each benchmark closure.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, storing the mean duration per call.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up (at least one call) doubles as a rough cost estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        loop {
+            std_black_box(f());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up_time || warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_call = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Size the measured run to roughly fit measurement_time.
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size.max(1) as f64;
+        let iters = ((budget / per_call.max(1e-9)) as u64).clamp(1, 1_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            std_black_box(f());
+        }
+        self.mean = start.elapsed() / iters as u32;
+    }
+}
+
+/// Declares a benchmark group function. Both real-criterion forms are
+/// accepted: `criterion_group!(benches, target_a, target_b)` and
+/// `criterion_group! { name = benches; config = expr; targets = a, b }`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,455 @@
+//! Minimal in-repo stand-in for the `proptest` crate.
+//!
+//! Supports the subset the swhybrid property tests use: the [`proptest!`]
+//! macro (with `#![proptest_config(...)]`), range/tuple/`Just`/`prop_map`/
+//! `prop_oneof!` strategies, `prop::collection::vec`, `prop::sample::select`,
+//! `prop::bool::ANY`, and the `prop_assert!`/`prop_assert_eq!` macros.
+//!
+//! Differences from real proptest, deliberate for an offline shim:
+//! random inputs are drawn from a ChaCha8 stream seeded deterministically
+//! from the test's module path and name (stable across runs and machines),
+//! there is **no shrinking** (the failing inputs are printed verbatim), and
+//! `.proptest-regressions` files are ignored.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+    use std::fmt::Debug;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating random values of `Value`.
+    pub trait Strategy {
+        type Value: Debug;
+
+        /// Draw one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            T: Debug,
+            F: Fn(Self::Value) -> T,
+        {
+            Map {
+                source: self,
+                map: f,
+            }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// A type-erased strategy, as produced by [`Strategy::boxed`].
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T: Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            self.0.new_value(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S, T, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        T: Debug,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            (self.map)(self.source.new_value(rng))
+        }
+    }
+
+    /// Uniform choice between boxed arms, as built by `prop_oneof!`.
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T: Debug> Union<T> {
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T: Debug> Strategy for Union<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let arm = rng.inner.random_range(0..self.arms.len());
+            self.arms[arm].new_value(rng)
+        }
+    }
+
+    impl<T> Strategy for Range<T>
+    where
+        T: rand::SampleUniform + Debug,
+    {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            rng.inner.random_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for RangeInclusive<T>
+    where
+        T: rand::SampleUniform + Debug,
+    {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            rng.inner.random_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($S:ident $idx:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A 0);
+    impl_tuple_strategy!(A 0, B 1);
+    impl_tuple_strategy!(A 0, B 1, C 2);
+    impl_tuple_strategy!(A 0, B 1, C 2, D 3);
+    impl_tuple_strategy!(A 0, B 1, C 2, D 3, E 4);
+    impl_tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5);
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+    use std::ops::Range;
+
+    /// `Vec`s of `element` values with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(!size.is_empty(), "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.inner.random_range(self.size.clone());
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+    use std::fmt::Debug;
+
+    /// Uniform choice from a fixed list of options.
+    pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select() needs at least one option");
+        Select(options)
+    }
+
+    pub struct Select<T>(Vec<T>);
+
+    impl<T: Clone + Debug> Strategy for Select<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let idx = rng.inner.random_range(0..self.0.len());
+            self.0[idx].clone()
+        }
+    }
+}
+
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::RngExt;
+
+    /// The `prop::bool::ANY` strategy: a fair coin.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn new_value(&self, rng: &mut TestRng) -> bool {
+            rng.inner.random()
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::collections::hash_map::DefaultHasher;
+    use std::fmt;
+    use std::hash::{Hash, Hasher};
+
+    /// Source of randomness handed to strategies.
+    pub struct TestRng {
+        pub inner: ChaCha8Rng,
+    }
+
+    impl TestRng {
+        /// Seeded from the test's full name so every run (and machine)
+        /// explores the same deterministic input sequence.
+        pub fn deterministic(test_name: &str) -> Self {
+            let mut hasher = DefaultHasher::new();
+            test_name.hash(&mut hasher);
+            TestRng {
+                inner: ChaCha8Rng::seed_from_u64(hasher.finish()),
+            }
+        }
+    }
+
+    /// Runner configuration; only the case count is tunable.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// A failed property case (no reject/filter support in this shim).
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError(message.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    pub mod prop {
+        pub use crate::{bool, collection, sample};
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `config.cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    // Note: `#[test]` is written by the caller (the documented proptest
+    // style), so attributes are passed through rather than synthesized.
+    (@run ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                // A tuple of strategies is itself a strategy (see
+                // `impl_tuple_strategy!`), which lets the per-test bindings
+                // be arbitrary irrefutable patterns, not just idents.
+                let strategies = ($($strat,)+);
+                let mut rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for case in 0..config.cases {
+                    let values =
+                        $crate::strategy::Strategy::new_value(&strategies, &mut rng);
+                    let described =
+                        format!("({}) = {:?}", stringify!($($arg),+), values);
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            let ($($arg,)+) = values;
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(err) = outcome {
+                        panic!(
+                            "proptest case {}/{} failed: {}\n    inputs: {}",
+                            case + 1,
+                            config.cases,
+                            err,
+                            described,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Fails the current case (with an optional formatted message) if `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case if the two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left_val, right_val) => {
+                if !(*left_val == *right_val) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: `{} == {}`\n      left: {:?}\n     right: {:?}",
+                            stringify!($left),
+                            stringify!($right),
+                            left_val,
+                            right_val,
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (left_val, right_val) => {
+                if !(*left_val == *right_val) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "{}\n      left: {:?}\n     right: {:?}",
+                            format!($($fmt)+),
+                            left_val,
+                            right_val,
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Uniform choice between strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples(x in 1u64..400, (a, b) in (0i32..=12, 1i32..=4)) {
+            prop_assert!((1..400).contains(&x));
+            prop_assert!((0..=12).contains(&a));
+            prop_assert!((1..=4).contains(&b));
+        }
+
+        #[test]
+        fn vec_and_select(v in prop::collection::vec(0u8..20, 0..12),
+                          r in prop::sample::select(b"ARN".to_vec()),
+                          flag in prop::bool::ANY) {
+            prop_assert!(v.len() < 12);
+            prop_assert!(v.iter().all(|&x| x < 20));
+            prop_assert!(b"ARN".contains(&r));
+            prop_assert!(u8::from(flag) <= 1);
+        }
+
+        #[test]
+        fn oneof_and_map(choice in prop_oneof![
+            Just(0usize),
+            (1usize..10).prop_map(|n| n * 100),
+        ]) {
+            prop_assert!(choice == 0 || (100..1000).contains(&choice));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(0u8..20, 1..8);
+        let mut a = crate::test_runner::TestRng::deterministic("x");
+        let mut b = crate::test_runner::TestRng::deterministic("x");
+        for _ in 0..20 {
+            assert_eq!(strat.new_value(&mut a), strat.new_value(&mut b));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        // Deliberately false property to exercise the failure path.
+        #[test]
+        #[should_panic(expected = "always fails")]
+        fn failing_property_panics_with_inputs(_x in 0u8..4) {
+            prop_assert!(false, "always fails");
+        }
+    }
+}

@@ -48,13 +48,21 @@ USAGE:
 
   swhybrid master <query.fasta> <db.fasta> --listen HOST:PORT --slaves N
                   [--policy ...] [--no-adjustment] [--top N]
-      Start the distributed master: waits for N slaves to register, then
-      distributes one task per query and prints the merged hits.
+                  [--register-timeout SECS] [--slave-deadline SECS]
+                  [--events FILE.json]
+      Start the distributed master: waits for N slaves to register (at most
+      --register-timeout seconds; 0 waits forever), then distributes one
+      task per query and prints the merged hits. A slave silent for
+      --slave-deadline seconds is declared dead and its tasks requeued.
+      --events writes the structured run-event stream as JSON.
 
   swhybrid slave <query.fasta> <db.fasta> --connect HOST:PORT
                  [--name NAME] [--gcups X] [--threads N]
+                 [--heartbeat SECS] [--reconnect-retries N]
       Join a running master as a slave PE. Both sides must have the same
-      sequence files (the paper's shared-files model).
+      sequence files (the paper's shared-files model). The slave heartbeats
+      every --heartbeat seconds and reconnects with exponential backoff up
+      to --reconnect-retries times if the connection drops.
 
   swhybrid help
       Show this message.
@@ -184,11 +192,8 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     let [name, scale, out] = opts.positional.as_slice() else {
         return Err("generate takes <db-name> <scale> <out.fasta>".into());
     };
-    let profile =
-        paper_database(name).ok_or_else(|| format!("unknown database {name:?}"))?;
-    let scale: f64 = scale
-        .parse()
-        .map_err(|_| format!("bad scale {scale:?}"))?;
+    let profile = paper_database(name).ok_or_else(|| format!("unknown database {name:?}"))?;
+    let scale: f64 = scale.parse().map_err(|_| format!("bad scale {scale:?}"))?;
     if !(0.0..=1.0).contains(&scale) || scale == 0.0 {
         return Err("scale must be in (0, 1]".into());
     }
@@ -312,7 +317,9 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
 fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(
         args,
-        &["gpus", "sse", "fpgas", "db", "policy", "order", "queries", "omega"],
+        &[
+            "gpus", "sse", "fpgas", "db", "policy", "order", "queries", "omega",
+        ],
         &["no-adjustment"],
     )?;
     if !opts.positional.is_empty() {
@@ -333,7 +340,9 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let omega: usize = opts.get_parsed("omega", 5)?;
     let policy = match opts.get("policy").unwrap_or("pss") {
         "ss" => Policy::SelfScheduling,
-        "pss" => Policy::Pss { omega: omega.max(1) },
+        "pss" => Policy::Pss {
+            omega: omega.max(1),
+        },
         "fixed" => Policy::Fixed,
         "wfixed" => Policy::WFixed,
         other => return Err(format!("unknown policy {other:?}")),
@@ -411,9 +420,21 @@ fn policy_from_opts(opts: &Opts) -> Result<Policy, String> {
 
 fn cmd_master(args: &[String]) -> Result<(), String> {
     use swhybrid::exec::master::MasterConfig;
-    use swhybrid::exec::net::MasterServer;
+    use swhybrid::exec::net::{MasterServer, NetConfig};
 
-    let opts = Opts::parse(args, &["listen", "slaves", "policy", "top"], &["no-adjustment"])?;
+    let opts = Opts::parse(
+        args,
+        &[
+            "listen",
+            "slaves",
+            "policy",
+            "top",
+            "register-timeout",
+            "slave-deadline",
+            "events",
+        ],
+        &["no-adjustment"],
+    )?;
     let [qpath, dbpath] = opts.positional.as_slice() else {
         return Err("master takes <query.fasta> <db.fasta>".into());
     };
@@ -439,7 +460,27 @@ fn cmd_master(args: &[String]) -> Result<(), String> {
         })
         .collect();
 
-    let server = MasterServer::bind(
+    let mut net = NetConfig::default();
+    if let Some(secs) = opts.get("register-timeout") {
+        let secs: f64 = secs
+            .parse()
+            .map_err(|_| format!("--register-timeout: cannot parse {secs:?}"))?;
+        net.register_timeout = if secs > 0.0 {
+            Some(std::time::Duration::from_secs_f64(secs))
+        } else {
+            None
+        };
+    }
+    if let Some(secs) = opts.get("slave-deadline") {
+        let secs: f64 = secs
+            .parse()
+            .map_err(|_| format!("--slave-deadline: cannot parse {secs:?}"))?;
+        if secs <= 0.0 {
+            return Err("--slave-deadline must be positive".into());
+        }
+        net.slave_deadline = std::time::Duration::from_secs_f64(secs);
+    }
+    let server = MasterServer::bind_with(
         listen,
         MasterConfig {
             policy: policy_from_opts(&opts)?,
@@ -447,6 +488,7 @@ fn cmd_master(args: &[String]) -> Result<(), String> {
             dispatch: Default::default(),
         },
         slaves,
+        net,
     )
     .map_err(|e| format!("bind {listen}: {e}"))?;
     println!(
@@ -456,6 +498,11 @@ fn cmd_master(args: &[String]) -> Result<(), String> {
         queries.len()
     );
     let outcome = server.serve(specs).map_err(|e| e.to_string())?;
+    if let Some(path) = opts.get("events") {
+        let json = swhybrid::exec::trace::events_to_json(&outcome.events);
+        std::fs::write(path, json.to_string_pretty()).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {} events to {path}", outcome.events.len());
+    }
     println!(
         "\ncompleted {} tasks in {:.2} s  →  {:.2} GCUPS",
         outcome.completed_by.len(),
@@ -482,9 +529,20 @@ fn cmd_master(args: &[String]) -> Result<(), String> {
 
 fn cmd_slave(args: &[String]) -> Result<(), String> {
     use swhybrid::device::exec::StripedBackend;
-    use swhybrid::exec::net::run_slave;
+    use swhybrid::exec::net::{run_slave_with, NetConfig};
 
-    let opts = Opts::parse(args, &["connect", "name", "gcups", "top"], &[])?;
+    let opts = Opts::parse(
+        args,
+        &[
+            "connect",
+            "name",
+            "gcups",
+            "top",
+            "heartbeat",
+            "reconnect-retries",
+        ],
+        &[],
+    )?;
     let [qpath, dbpath] = opts.positional.as_slice() else {
         return Err("slave takes <query.fasta> <db.fasta>".into());
     };
@@ -497,10 +555,24 @@ fn cmd_slave(args: &[String]) -> Result<(), String> {
     let subjects = load_encoded(dbpath)?;
     let scoring = Scoring {
         matrix: SubstMatrix::blosum62(),
-        gap: GapModel::Affine { open: 10, extend: 2 },
+        gap: GapModel::Affine {
+            open: 10,
+            extend: 2,
+        },
     };
+    let mut net = NetConfig::default();
+    if let Some(secs) = opts.get("heartbeat") {
+        let secs: f64 = secs
+            .parse()
+            .map_err(|_| format!("--heartbeat: cannot parse {secs:?}"))?;
+        if secs <= 0.0 {
+            return Err("--heartbeat must be positive".into());
+        }
+        net.heartbeat_interval = std::time::Duration::from_secs_f64(secs);
+    }
+    net.reconnect_max_retries = opts.get_parsed("reconnect-retries", net.reconnect_max_retries)?;
     println!("{name}: connecting to {connect}");
-    let executed = run_slave(
+    let executed = run_slave_with(
         connect,
         &name,
         gcups,
@@ -509,6 +581,7 @@ fn cmd_slave(args: &[String]) -> Result<(), String> {
         &subjects,
         &scoring,
         opts.get_parsed("top", 10usize)?,
+        &net,
     )
     .map_err(|e| e.to_string())?;
     println!("{name}: done, executed {executed} task(s)");
@@ -557,7 +630,13 @@ mod tests {
         .unwrap();
         let sc = scoring_from_opts(&o).unwrap();
         assert_eq!(sc.matrix.name, "PAM250");
-        assert_eq!(sc.gap, GapModel::Affine { open: 12, extend: 2 });
+        assert_eq!(
+            sc.gap,
+            GapModel::Affine {
+                open: 12,
+                extend: 2
+            }
+        );
     }
 
     #[test]
@@ -570,7 +649,15 @@ mod tests {
     fn simulate_smoke_small() {
         // A tiny simulated run exercises the whole path.
         run(&s(&[
-            "simulate", "--gpus", "1", "--sse", "1", "--db", "dog", "--queries", "4",
+            "simulate",
+            "--gpus",
+            "1",
+            "--sse",
+            "1",
+            "--db",
+            "dog",
+            "--queries",
+            "4",
         ]))
         .unwrap();
     }
@@ -584,7 +671,11 @@ mod tests {
         let db = dir.join("db.fasta");
         run(&s(&["generate", "rat", "0.0003", db.to_str().unwrap()])).unwrap();
         let q = dir.join("q.fasta");
-        let first = FastaReader::open(&db).unwrap().next_record().unwrap().unwrap();
+        let first = FastaReader::open(&db)
+            .unwrap()
+            .next_record()
+            .unwrap()
+            .unwrap();
         std::fs::write(&q, swhybrid::seq::fasta::to_string(std::iter::once(&first))).unwrap();
 
         // Pick a free port by binding briefly.
@@ -614,6 +705,7 @@ mod tests {
             }
             panic!("slave never connected");
         });
+        let events = dir.join("events.json");
         run(&s(&[
             "master",
             q.to_str().unwrap(),
@@ -622,9 +714,19 @@ mod tests {
             &addr,
             "--slaves",
             "1",
+            "--register-timeout",
+            "30",
+            "--events",
+            events.to_str().unwrap(),
         ]))
         .unwrap();
         slave.join().unwrap();
+        let text = std::fs::read_to_string(&events).unwrap();
+        let json = swhybrid::json::Json::parse(&text).unwrap();
+        let swhybrid::json::Json::Arr(entries) = json else {
+            panic!("event export is not a JSON array");
+        };
+        assert!(!entries.is_empty(), "event export is empty");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -637,7 +739,11 @@ mod tests {
         run(&s(&["generate", "dog", "0.0005", &db_s])).unwrap();
         run(&s(&["index", &db_s])).unwrap();
         // Use the database's own first record as the query: it must be hit.
-        let first = FastaReader::open(&db).unwrap().next_record().unwrap().unwrap();
+        let first = FastaReader::open(&db)
+            .unwrap()
+            .next_record()
+            .unwrap()
+            .unwrap();
         let q = dir.join("q.fasta");
         std::fs::write(&q, swhybrid::seq::fasta::to_string(std::iter::once(&first))).unwrap();
         run(&s(&[

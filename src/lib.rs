@@ -14,12 +14,15 @@
 //!   core, FPGA) with calibrated performance models,
 //! * [`exec`] — the paper's contribution: the master/slave task execution
 //!   environment with SS/PSS allocation policies and the dynamic workload
-//!   adjustment mechanism.
+//!   adjustment mechanism,
+//! * [`json`] — the dependency-free JSON reader/writer used for event and
+//!   trace export.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
 pub use swhybrid_align as align;
 pub use swhybrid_core as exec;
 pub use swhybrid_device as device;
+pub use swhybrid_json as json;
 pub use swhybrid_seq as seq;
 pub use swhybrid_simd as simd;

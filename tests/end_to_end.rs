@@ -15,7 +15,10 @@ use swhybrid::seq::Alphabet;
 fn scoring() -> Scoring {
     Scoring {
         matrix: SubstMatrix::blosum62(),
-        gap: GapModel::Affine { open: 10, extend: 2 },
+        gap: GapModel::Affine {
+            open: 10,
+            extend: 2,
+        },
     }
 }
 
@@ -55,9 +58,10 @@ fn indexed_fasta_random_access_equals_sequential_parse() {
     // The saved index file round-trips.
     let idx_path = index_path_for(&path);
     assert!(idx_path.exists());
-    let loaded =
-        SeqIndex::read_from(&mut std::io::BufReader::new(std::fs::File::open(idx_path).unwrap()))
-            .unwrap();
+    let loaded = SeqIndex::read_from(&mut std::io::BufReader::new(
+        std::fs::File::open(idx_path).unwrap(),
+    ))
+    .unwrap();
     assert_eq!(&loaded, indexed.index());
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -132,7 +136,11 @@ fn runtime_results_are_identical_across_policies_and_pe_counts() {
             &subjects,
             &scoring(),
             RuntimeConfig {
-                master: MasterConfig { policy, adjustment, dispatch: Default::default() },
+                master: MasterConfig {
+                    policy,
+                    adjustment,
+                    dispatch: Default::default(),
+                },
                 top_n: 4,
             },
         );
@@ -151,8 +159,5 @@ fn runtime_results_are_identical_across_policies_and_pe_counts() {
         reference
     );
     assert_eq!(key(vec![pe("a"), pe("b")], Policy::Fixed, false), reference);
-    assert_eq!(
-        key(vec![pe("a"), pe("b")], Policy::WFixed, true),
-        reference
-    );
+    assert_eq!(key(vec![pe("a"), pe("b")], Policy::WFixed, true), reference);
 }

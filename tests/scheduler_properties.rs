@@ -68,7 +68,11 @@ fn run(speeds: &[f64], sizes: &[u64], policy: Policy, adjustment: bool) -> SimRe
         pes,
         specs,
         SimConfig {
-            master: MasterConfig { policy, adjustment, dispatch: Default::default() },
+            master: MasterConfig {
+                policy,
+                adjustment,
+                dispatch: Default::default(),
+            },
             notify_interval: 5.0,
             comm_latency: 0.0,
         },
