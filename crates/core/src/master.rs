@@ -84,6 +84,18 @@ pub enum Assignment {
     Done,
 }
 
+/// A live tap on the master's event stream: called once per event, in
+/// emission order, while the master's lock is held — keep callbacks short
+/// (push to a channel, write a line). Events are still appended to the
+/// in-memory stream; the sink is a copy, not a diversion.
+pub struct EventSink(Box<dyn FnMut(&RuntimeEvent) + Send>);
+
+impl std::fmt::Debug for EventSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("EventSink(..)")
+    }
+}
+
 #[derive(Debug)]
 struct PeInfo {
     name: String,
@@ -110,6 +122,12 @@ pub struct Master {
     /// `now` parameter are stamped with this.
     clock: f64,
     run_completed_emitted: bool,
+    /// When set, a drained pool answers [`Assignment::Wait`] instead of
+    /// [`Assignment::Done`]: the master outlives its current workload and
+    /// expects more batches via [`Master::submit_tasks`].
+    keep_alive: bool,
+    /// Optional live event tap (see [`EventSink`]).
+    sink: Option<EventSink>,
 }
 
 impl Master {
@@ -123,7 +141,47 @@ impl Master {
             events: Vec::new(),
             clock: 0.0,
             run_completed_emitted: false,
+            keep_alive: false,
+            sink: None,
         }
+    }
+
+    /// Install a live event tap: `sink` is called for every event from now
+    /// on, in emission order (events already in the stream are not
+    /// replayed). Used by the CLI to stream JSONL incrementally and by the
+    /// query service to derive per-PE metrics without polling.
+    pub fn set_event_sink(&mut self, sink: impl FnMut(&RuntimeEvent) + Send + 'static) {
+        self.sink = Some(EventSink(Box::new(sink)));
+    }
+
+    /// Keep the master alive across workloads: with `keep_alive` set, a
+    /// drained pool yields [`Assignment::Wait`] (PEs idle at the barrier)
+    /// instead of [`Assignment::Done`], until more tasks arrive through
+    /// [`Master::submit_tasks`] or keep-alive is cleared for shutdown.
+    pub fn set_keep_alive(&mut self, keep_alive: bool) {
+        self.keep_alive = keep_alive;
+    }
+
+    /// Whether the master outlives a drained pool (see
+    /// [`Master::set_keep_alive`]).
+    pub fn keep_alive(&self) -> bool {
+        self.keep_alive
+    }
+
+    /// Append a new batch of tasks to the pool mid-run (multi-batch
+    /// lifecycle). Returns the assigned task ids, in submission order.
+    /// Only dynamic policies can absorb new work — static quotas are
+    /// computed once against the initial workload.
+    pub fn submit_tasks(&mut self, specs: Vec<TaskSpec>) -> Vec<TaskId> {
+        assert!(
+            !self.config.policy.is_static(),
+            "multi-batch submission requires a dynamic policy"
+        );
+        // The next drain is a fresh completion.
+        self.run_completed_emitted = false;
+        let ids: Vec<TaskId> = specs.into_iter().map(|spec| self.pool.push(spec)).collect();
+        self.emit(EventKind::BatchSubmitted { tasks: ids.clone() });
+        ids
     }
 
     /// Record an event at time `time`. Drivers use this for conditions only
@@ -131,14 +189,21 @@ impl Master {
     /// machine emits its own scheduling events internally.
     pub fn record_event(&mut self, time: f64, kind: EventKind) {
         self.clock = self.clock.max(time);
-        self.events.push(RuntimeEvent { time, kind });
+        self.push_event(RuntimeEvent { time, kind });
     }
 
     fn emit(&mut self, kind: EventKind) {
-        self.events.push(RuntimeEvent {
+        self.push_event(RuntimeEvent {
             time: self.clock,
             kind,
         });
+    }
+
+    fn push_event(&mut self, event: RuntimeEvent) {
+        if let Some(EventSink(sink)) = &mut self.sink {
+            sink(&event);
+        }
+        self.events.push(event);
     }
 
     /// The event stream so far.
@@ -206,7 +271,11 @@ impl Master {
         assert!(self.pes[pe].alive, "dead PE {pe} cannot request work");
         self.clock = self.clock.max(now);
         if self.pool.all_finished() {
-            return Assignment::Done;
+            return if self.keep_alive {
+                Assignment::Wait
+            } else {
+                Assignment::Done
+            };
         }
         let batch = self.batch_for(pe);
         if batch > 0 && self.pool.ready_count() > 0 {
@@ -771,6 +840,64 @@ mod tests {
         // take_events drains.
         assert_eq!(m.take_events().len(), 12);
         assert!(m.events().is_empty());
+    }
+
+    #[test]
+    fn keep_alive_waits_across_batches_and_replays_completion() {
+        use crate::trace::EventKind as E;
+        let mut m = master(1, Policy::SelfScheduling, true);
+        m.set_keep_alive(true);
+        let a = m.register("a", 1.0);
+        assert_eq!(m.request(a, 0.0), Assignment::Tasks(vec![0]));
+        m.task_started(a, 0, 0.0);
+        m.task_finished(a, 0, 1.0, Some(1.0));
+        assert!(m.all_finished());
+        // Drained but kept alive: the PE idles instead of exiting.
+        assert_eq!(m.request(a, 1.0), Assignment::Wait);
+        // A second batch arrives and is scheduled like any other work.
+        let ids = m.submit_tasks(specs(2));
+        assert_eq!(ids, vec![1, 2]);
+        assert_eq!(m.request(a, 2.0), Assignment::Tasks(vec![1]));
+        m.task_started(a, 1, 2.0);
+        m.task_finished(a, 1, 3.0, Some(1.0));
+        assert_eq!(m.request(a, 3.0), Assignment::Tasks(vec![2]));
+        m.task_started(a, 2, 3.0);
+        m.task_finished(a, 2, 4.0, Some(1.0));
+        // Each drain emits its own run_completed.
+        let completions = m
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, E::RunCompleted))
+            .count();
+        assert_eq!(completions, 2);
+        // Shutdown: clearing keep-alive lets the PE exit.
+        m.set_keep_alive(false);
+        assert_eq!(m.request(a, 5.0), Assignment::Done);
+    }
+
+    #[test]
+    fn event_sink_sees_every_event_in_order() {
+        use std::sync::{Arc, Mutex};
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let mut m = master(1, Policy::SelfScheduling, true);
+        let tap = Arc::clone(&seen);
+        m.set_event_sink(move |e| tap.lock().unwrap().push(e.kind.name()));
+        let a = m.register("a", 1.0);
+        m.request(a, 0.0);
+        m.task_started(a, 0, 0.0);
+        m.task_finished(a, 0, 1.0, Some(1.0));
+        let streamed = seen.lock().unwrap().clone();
+        let stored: Vec<&str> = m.events().iter().map(|e| e.kind.name()).collect();
+        assert_eq!(streamed, stored);
+        assert!(streamed.contains(&"run_completed"));
+    }
+
+    #[test]
+    #[should_panic(expected = "dynamic policy")]
+    fn static_policy_rejects_multi_batch() {
+        let mut m = master(2, Policy::Fixed, false);
+        m.register("a", 1.0);
+        m.submit_tasks(specs(1));
     }
 
     #[test]

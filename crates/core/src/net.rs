@@ -587,12 +587,16 @@ impl Hub {
     }
 }
 
+/// A live event tap, as accepted by [`MasterServer::with_event_sink`].
+type EventCallback = Box<dyn FnMut(&RuntimeEvent) + Send>;
+
 /// The master process: owns the task pool, serves slave connections.
 pub struct MasterServer {
     listener: TcpListener,
     config: MasterConfig,
     expected_slaves: usize,
     net: NetConfig,
+    sink: Option<EventCallback>,
 }
 
 impl MasterServer {
@@ -619,7 +623,19 @@ impl MasterServer {
             config,
             expected_slaves,
             net,
+            sink: None,
         })
+    }
+
+    /// Stream every [`RuntimeEvent`] to `sink` as it is emitted (e.g. a
+    /// JSONL file flushed per line, so a crashed run still leaves a usable
+    /// trace). Called with the master's lock held — keep it short.
+    pub fn with_event_sink(
+        mut self,
+        sink: impl FnMut(&RuntimeEvent) + Send + 'static,
+    ) -> MasterServer {
+        self.sink = Some(Box::new(sink));
+        self
     }
 
     /// The bound address (give this to the slaves).
@@ -642,11 +658,16 @@ impl MasterServer {
             config,
             expected_slaves,
             net,
+            sink,
         } = self;
         let n_tasks = specs.len();
         let total_cells: u64 = specs.iter().map(|s| s.cells()).sum();
+        let mut master = Master::new(specs, config);
+        if let Some(sink) = sink {
+            master.set_event_sink(sink);
+        }
         let hub = WaitHub::new(Hub {
-            master: Master::new(specs, config),
+            master,
             registered: 0,
             barrier_open: false,
             alive_conns: 0,

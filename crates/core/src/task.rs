@@ -67,6 +67,23 @@ impl TaskPool {
         }
     }
 
+    /// Append one new task to the pool in the ready state (multi-batch
+    /// lifecycle: a long-running master keeps accepting work after the
+    /// initial workload drains). The spec's `id` is rewritten to the pool
+    /// slot so ids stay dense and stable.
+    pub fn push(&mut self, mut spec: TaskSpec) -> TaskId {
+        let id = self.tasks.len();
+        spec.id = id;
+        self.tasks.push(Task {
+            spec,
+            state: TaskState::Ready,
+            executors: Vec::new(),
+            finished_by: None,
+        });
+        self.ready.push_back(id);
+        id
+    }
+
     /// Total number of tasks.
     pub fn len(&self) -> usize {
         self.tasks.len()

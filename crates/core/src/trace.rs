@@ -172,6 +172,12 @@ pub enum EventKind {
         /// The PE.
         pe: PeId,
     },
+    /// New tasks were appended to the pool mid-run (multi-batch lifecycle:
+    /// a persistent master accepting queries after the initial workload).
+    BatchSubmitted {
+        /// The newly created tasks, in submission order.
+        tasks: Vec<TaskId>,
+    },
     /// A batch of ready tasks was assigned to a PE.
     TasksAssigned {
         /// The receiving PE.
@@ -242,6 +248,7 @@ impl EventKind {
             EventKind::PeJoined { .. } => "pe_joined",
             EventKind::PeLeft { .. } => "pe_left",
             EventKind::PeSuspectedDead { .. } => "pe_suspected_dead",
+            EventKind::BatchSubmitted { .. } => "batch_submitted",
             EventKind::TasksAssigned { .. } => "tasks_assigned",
             EventKind::TaskStarted { .. } => "task_started",
             EventKind::TaskStolen { .. } => "task_stolen",
@@ -269,6 +276,12 @@ impl RuntimeEvent {
             }
             EventKind::PeLeft { pe } | EventKind::PeSuspectedDead { pe } => {
                 push("pe", Json::Num(*pe as f64));
+            }
+            EventKind::BatchSubmitted { tasks } => {
+                push(
+                    "tasks",
+                    Json::Arr(tasks.iter().map(|&t| Json::Num(t as f64)).collect()),
+                );
             }
             EventKind::TasksAssigned { pe, tasks } => {
                 push("pe", Json::Num(*pe as f64));
@@ -471,6 +484,7 @@ mod tests {
             },
             EventKind::PeLeft { pe: 0 },
             EventKind::PeSuspectedDead { pe: 0 },
+            EventKind::BatchSubmitted { tasks: vec![] },
             EventKind::TasksAssigned {
                 pe: 0,
                 tasks: vec![],

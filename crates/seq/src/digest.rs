@@ -1,0 +1,129 @@
+//! Content digests for queries and databases.
+//!
+//! A long-running search service must know when two queries are *the same
+//! work* (so a cached result can be reused) and when the database a result
+//! was computed against has changed (so the cached result is stale). Both
+//! questions are answered with a stable 64-bit FNV-1a digest over the
+//! encoded content: alphabet codes are canonical (case and formatting
+//! differences in the FASTA source disappear at encoding time), so two
+//! textually different files describing the same sequences digest equally.
+//!
+//! FNV-1a is not cryptographic; it is used here as a cache key, where an
+//! adversarially constructed collision is not part of the threat model and
+//! a stray collision costs a wrong cache hit in ~2⁻⁶⁴ of lookups.
+
+use crate::sequence::EncodedSequence;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Streaming FNV-1a 64-bit hasher.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+}
+
+impl Fnv1a {
+    /// Start a fresh digest.
+    pub fn new() -> Fnv1a {
+        Fnv1a::default()
+    }
+
+    /// Absorb bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorb a length-prefixed byte run (makes the digest unambiguous
+    /// under concatenation: `["ab","c"]` ≠ `["a","bc"]`).
+    pub fn update_framed(&mut self, bytes: &[u8]) {
+        self.update(&(bytes.len() as u64).to_le_bytes());
+        self.update(bytes);
+    }
+
+    /// The digest of everything absorbed so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Digest of one encoded query: its alphabet codes only. Two queries with
+/// the same residues digest equally regardless of their FASTA ids — the
+/// id does not change the scores, so it must not split the cache.
+pub fn query_digest(codes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update_framed(codes);
+    h.finish()
+}
+
+/// Digest of a database: ids *and* codes of every sequence, in order.
+/// Ids participate because hit lists report them — renaming a subject
+/// changes the observable result even though scores are unchanged. Order
+/// participates because `db_index` (the tie-break of every ranking) does.
+pub fn db_digest(subjects: &[EncodedSequence]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update(&(subjects.len() as u64).to_le_bytes());
+    for s in subjects {
+        h.update_framed(s.id.as_bytes());
+        h.update_framed(&s.codes);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+
+    fn enc(id: &str, residues: &[u8]) -> EncodedSequence {
+        EncodedSequence {
+            id: id.into(),
+            codes: Alphabet::Protein.encode(residues).unwrap(),
+            alphabet: Alphabet::Protein,
+        }
+    }
+
+    #[test]
+    fn query_digest_depends_only_on_codes() {
+        let a = enc("a", b"MKVLAW");
+        let b = enc("completely-different-id", b"MKVLAW");
+        let c = enc("a", b"MKVLAC");
+        assert_eq!(query_digest(&a.codes), query_digest(&b.codes));
+        assert_ne!(query_digest(&a.codes), query_digest(&c.codes));
+    }
+
+    #[test]
+    fn db_digest_sees_ids_order_and_content() {
+        let base = vec![enc("a", b"MKVL"), enc("b", b"AWCD")];
+        let renamed = vec![enc("a", b"MKVL"), enc("z", b"AWCD")];
+        let reordered = vec![enc("b", b"AWCD"), enc("a", b"MKVL")];
+        let edited = vec![enc("a", b"MKVL"), enc("b", b"AWCE")];
+        let d = db_digest(&base);
+        assert_ne!(d, db_digest(&renamed));
+        assert_ne!(d, db_digest(&reordered));
+        assert_ne!(d, db_digest(&edited));
+        assert_eq!(d, db_digest(&base.clone()));
+    }
+
+    #[test]
+    fn framing_disambiguates_splits() {
+        // ["ab", "c"] vs ["a", "bc"]: same concatenation, different dbs.
+        let one = vec![enc("x", b"AC"), enc("y", b"D")];
+        let two = vec![enc("x", b"A"), enc("y", b"CD")];
+        assert_ne!(db_digest(&one), db_digest(&two));
+    }
+
+    #[test]
+    fn empty_inputs_digest_stably() {
+        assert_eq!(query_digest(&[]), query_digest(&[]));
+        assert_ne!(query_digest(&[]), query_digest(&[0]));
+        assert_eq!(db_digest(&[]), db_digest(&[]));
+    }
+}

@@ -10,6 +10,8 @@
 //!   count, longest-sequence size, and per-sequence byte offsets for fast
 //!   random access into a flat file,
 //! * [`db`] — an in-memory database with summary statistics,
+//! * [`digest`] — stable content digests for queries and databases (the
+//!   cache keys of the persistent query service),
 //! * [`synth`] — deterministic synthetic generators standing in for the five
 //!   public protein databases used in the paper's evaluation (Table II).
 //!
@@ -20,6 +22,7 @@
 
 pub mod alphabet;
 pub mod db;
+pub mod digest;
 pub mod error;
 pub mod fasta;
 pub mod index;

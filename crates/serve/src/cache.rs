@@ -1,0 +1,216 @@
+//! The LRU result cache.
+//!
+//! A repeated query against an unchanged database is the cheapest request a
+//! search server ever sees — *if* it can prove "unchanged" and "repeated"
+//! cheaply. Both are digests ([`swhybrid_seq::digest`]): the key is the
+//! full identity of a search's output, so a hit can be returned verbatim
+//! with zero kernel cells. Anything that could change the ranking — the
+//! query residues, the database (via its generation *and* content digest),
+//! the scoring scheme, the requested depth — is part of the key; anything
+//! that cannot (query id, client, deadline) is deliberately not.
+
+use std::collections::HashMap;
+use swhybrid_simd::search::Hit;
+
+/// The full identity of a search result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Digest of the query's alphabet codes.
+    pub query_digest: u64,
+    /// Database generation: bumped on every reload/swap, so stale entries
+    /// die instantly even if the content digest were to collide.
+    pub db_generation: u64,
+    /// Digest of the database content (ids + codes, in order).
+    pub db_digest: u64,
+    /// Digest of the scoring scheme (matrix + gap model).
+    pub scoring_digest: u64,
+    /// Requested ranking depth.
+    pub top_n: usize,
+}
+
+/// Cache occupancy and effectiveness counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries stored.
+    pub insertions: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hits over lookups, 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    hits: Vec<Hit>,
+    last_used: u64,
+}
+
+/// A bounded least-recently-used map from [`CacheKey`] to ranked hits.
+///
+/// Recency is a logical stamp bumped on every touch; eviction removes the
+/// minimum-stamp entry. Capacity 0 disables the cache entirely (every
+/// lookup misses, nothing is stored).
+#[derive(Debug)]
+pub struct ResultCache {
+    capacity: usize,
+    stamp: u64,
+    map: HashMap<CacheKey, Entry>,
+    stats: CacheStats,
+}
+
+impl ResultCache {
+    /// Create a cache holding at most `capacity` results.
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            capacity,
+            stamp: 0,
+            map: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Look up a result, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &CacheKey) -> Option<Vec<Hit>> {
+        self.stamp += 1;
+        match self.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = self.stamp;
+                self.stats.hits += 1;
+                Some(entry.hits.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Store a result, evicting the least recently used entry when full.
+    pub fn insert(&mut self, key: CacheKey, hits: Vec<Hit>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.stamp += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(&victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+            {
+                self.map.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+        self.stats.insertions += 1;
+        self.map.insert(
+            key,
+            Entry {
+                hits,
+                last_used: self.stamp,
+            },
+        );
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Effectiveness counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(q: u64) -> CacheKey {
+        CacheKey {
+            query_digest: q,
+            db_generation: 0,
+            db_digest: 7,
+            scoring_digest: 9,
+            top_n: 10,
+        }
+    }
+
+    fn hits(score: i32) -> Vec<Hit> {
+        vec![Hit {
+            db_index: 0,
+            id: "s".into(),
+            score,
+            subject_len: 5,
+        }]
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut c = ResultCache::new(4);
+        assert!(c.get(&key(1)).is_none());
+        c.insert(key(1), hits(42));
+        assert_eq!(c.get(&key(1)).unwrap()[0].score, 42);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generation_bump_is_a_different_key() {
+        let mut c = ResultCache::new(4);
+        c.insert(key(1), hits(1));
+        let stale = CacheKey {
+            db_generation: 1,
+            ..key(1)
+        };
+        assert!(c.get(&stale).is_none());
+    }
+
+    #[test]
+    fn lru_evicts_coldest() {
+        let mut c = ResultCache::new(2);
+        c.insert(key(1), hits(1));
+        c.insert(key(2), hits(2));
+        c.get(&key(1)); // key 2 is now coldest
+        c.insert(key(3), hits(3));
+        assert!(c.get(&key(1)).is_some());
+        assert!(c.get(&key(2)).is_none());
+        assert!(c.get(&key(3)).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = ResultCache::new(0);
+        c.insert(key(1), hits(1));
+        assert!(c.get(&key(1)).is_none());
+        assert!(c.is_empty());
+    }
+}

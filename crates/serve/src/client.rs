@@ -1,0 +1,110 @@
+//! A small blocking client for the daemon's wire protocol — what the
+//! `swhybrid query` CLI and the integration tests speak through.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use swhybrid_json::Json;
+use swhybrid_simd::search::Hit;
+
+use crate::protocol::{hits_from_json, request_to_json, Request, SearchRequest};
+
+/// One connection to a running [`crate::ServeDaemon`].
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ServeClient {
+    /// Connect to a daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<ServeClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(ServeClient {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    fn send(&mut self, json: &Json) -> io::Result<()> {
+        writeln!(self.writer, "{json}")
+    }
+
+    /// Read the next reply line (blocking).
+    pub fn recv(&mut self) -> io::Result<Json> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "daemon closed the connection",
+                ));
+            }
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            return Json::parse(trimmed).map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("bad reply: {e}"))
+            });
+        }
+    }
+
+    /// Send a request and return the next reply line.
+    pub fn request(&mut self, req: &Request) -> io::Result<Json> {
+        self.send(&request_to_json(req))?;
+        self.recv()
+    }
+
+    /// Fire-and-wait search: submit without ack, block for the result
+    /// (or the rejection).
+    pub fn search(&mut self, query: &str, top_n: usize) -> io::Result<Json> {
+        self.search_request(SearchRequest {
+            query: query.to_string(),
+            top_n,
+            deadline_ms: None,
+            tag: None,
+            ack: false,
+        })
+    }
+
+    /// Submit a full search request and block until its result or error
+    /// line arrives, skipping any interleaved ack.
+    pub fn search_request(&mut self, req: SearchRequest) -> io::Result<Json> {
+        self.send(&request_to_json(&Request::Search(req)))?;
+        loop {
+            let reply = self.recv()?;
+            if reply.get("type").and_then(Json::as_str) == Some("ack") {
+                continue;
+            }
+            return Ok(reply);
+        }
+    }
+
+    /// Fetch the daemon's metrics snapshot.
+    pub fn stats(&mut self) -> io::Result<Json> {
+        self.request(&Request::Stats)
+    }
+
+    /// Ask where a job is.
+    pub fn status(&mut self, job: u64) -> io::Result<Json> {
+        self.request(&Request::Status { job })
+    }
+
+    /// Cancel a job.
+    pub fn cancel(&mut self, job: u64) -> io::Result<Json> {
+        self.request(&Request::Cancel { job })
+    }
+
+    /// Ask the daemon to drain and exit.
+    pub fn shutdown(&mut self) -> io::Result<Json> {
+        self.request(&Request::Shutdown)
+    }
+
+    /// Extract the hits array from a result reply.
+    pub fn hits(reply: &Json) -> Result<Vec<Hit>, String> {
+        hits_from_json(reply.get("hits").ok_or("reply has no hits")?)
+    }
+}

@@ -1,0 +1,319 @@
+//! The TCP front end: a newline-delimited JSON daemon over one
+//! [`QueryService`].
+//!
+//! One thread accepts connections; each connection gets a reader thread.
+//! Replies go through a shared, mutex-guarded write half so completion
+//! callbacks (which fire on PE worker threads) and inline replies
+//! (status/stats/cancel) never interleave bytes. A `search` result is
+//! therefore asynchronous with respect to other verbs on the same
+//! connection; `tag`/`job` correlate. Note that a cache-served search
+//! completes synchronously inside submission, so with `"ack":true` its
+//! result line can precede the ack — clients must dispatch on `type`,
+//! not on line order.
+//!
+//! `shutdown` flips the daemon into drain mode: new admissions are
+//! rejected, queued and running queries still deliver their results
+//! (sockets stay writable until every completion has fired), then
+//! [`ServeDaemon::run`] returns.
+
+use std::io::{self, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use swhybrid_align::scoring::Scoring;
+use swhybrid_json::Json;
+use swhybrid_seq::sequence::EncodedSequence;
+
+use crate::protocol::{error_reply, hits_to_json, parse_request, Request};
+use crate::service::{
+    CancelOutcome, Completion, JobStatus, QueryService, SearchReply, ServiceConfig,
+};
+
+/// Shared write half of one connection.
+type ConnWriter = Arc<Mutex<BufWriter<TcpStream>>>;
+
+/// A bound-but-not-yet-running daemon.
+pub struct ServeDaemon {
+    listener: TcpListener,
+    service: QueryService,
+}
+
+impl ServeDaemon {
+    /// Bind the listener and start the query service (PE workers spawn
+    /// now; the socket accepts after [`ServeDaemon::run`]).
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        db: Vec<EncodedSequence>,
+        scoring: Scoring,
+        config: ServiceConfig,
+    ) -> io::Result<ServeDaemon> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(ServeDaemon {
+            listener,
+            service: QueryService::new(db, scoring, config),
+        })
+    }
+
+    /// The bound address (use with port 0 to discover the chosen port).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serve until a client sends `shutdown`, then drain every in-flight
+    /// query and return.
+    pub fn run(self) -> io::Result<()> {
+        let ServeDaemon { listener, service } = self;
+        listener.set_nonblocking(true)?;
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let mut next_client: u64 = 0;
+            while !stop.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let client = next_client;
+                        next_client += 1;
+                        let service = &service;
+                        let stop = &stop;
+                        scope.spawn(move || handle_conn(service, stream, client, stop));
+                    }
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted
+                        ) =>
+                    {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    // Transient accept failures (e.g. a connection reset
+                    // before we picked it up) must not kill the daemon.
+                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                }
+            }
+        });
+        service.shutdown();
+        Ok(())
+    }
+}
+
+/// One connection: read lines, dispatch verbs, until EOF or shutdown.
+fn handle_conn(service: &QueryService, stream: TcpStream, client: u64, stop: &AtomicBool) {
+    // Accepted sockets must block with a timeout so the reader notices a
+    // shutdown initiated on another connection.
+    if stream.set_nonblocking(false).is_err()
+        || stream
+            .set_read_timeout(Some(Duration::from_millis(200)))
+            .is_err()
+    {
+        return;
+    }
+    stream.set_nodelay(true).ok();
+    let writer: ConnWriter = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(BufWriter::new(w))),
+        Err(_) => return,
+    };
+    let mut stream = stream;
+    let mut pending: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    'conn: loop {
+        // Drain complete lines before reading more.
+        while let Some(pos) = pending.iter().position(|&b| b == b'\n') {
+            let rest = pending.split_off(pos + 1);
+            let mut line = std::mem::replace(&mut pending, rest);
+            line.pop();
+            let line = String::from_utf8_lossy(&line);
+            let line = line.trim();
+            if !line.is_empty() && handle_request(service, line, client, &writer, stop) {
+                break 'conn;
+            }
+        }
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break, // EOF
+            Ok(n) => pending.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) => {}
+            Err(_) => break,
+        }
+    }
+}
+
+/// Dispatch one request line. Returns whether to close the connection.
+fn handle_request(
+    service: &QueryService,
+    line: &str,
+    client: u64,
+    writer: &ConnWriter,
+    stop: &AtomicBool,
+) -> bool {
+    let req = match parse_request(line) {
+        Ok(req) => req,
+        Err(reason) => {
+            write_json(
+                writer,
+                &error_reply("request", "bad_request", &reason, None),
+            );
+            return false;
+        }
+    };
+    match req {
+        Request::Search(s) => {
+            let codes = match service.encode_query(s.query.as_bytes()) {
+                Ok(codes) => codes,
+                Err(e) => {
+                    write_json(
+                        writer,
+                        &error_reply("search", "bad_query", &e, s.tag.as_deref()),
+                    );
+                    return false;
+                }
+            };
+            let w = Arc::clone(writer);
+            let completion: Completion = Box::new(move |reply| {
+                write_json(&w, &result_to_json(&reply));
+            });
+            match service.submit(
+                codes,
+                s.top_n,
+                s.deadline_ms,
+                s.tag.clone(),
+                client,
+                completion,
+            ) {
+                Ok(job) => {
+                    if s.ack {
+                        write_json(
+                            writer,
+                            &Json::obj(vec![
+                                ("ok", Json::Bool(true)),
+                                ("type", Json::str("ack")),
+                                ("job", Json::Num(job as f64)),
+                            ]),
+                        );
+                    }
+                }
+                Err(e) => write_json(
+                    writer,
+                    &error_reply("search", e.code(), &e.reason(), s.tag.as_deref()),
+                ),
+            }
+            false
+        }
+        Request::Status { job } => {
+            let reply = match service.status(job) {
+                JobStatus::Unknown => {
+                    error_reply("status", "unknown_job", &format!("no job {job}"), None)
+                }
+                JobStatus::Queued { position } => status_reply(
+                    job,
+                    "queued",
+                    vec![("position", Json::Num(position as f64))],
+                ),
+                JobStatus::Running {
+                    shards_done,
+                    shards_total,
+                } => status_reply(
+                    job,
+                    "running",
+                    vec![
+                        ("shards_done", Json::Num(shards_done as f64)),
+                        ("shards_total", Json::Num(shards_total as f64)),
+                    ],
+                ),
+                JobStatus::Done { cancelled, cached } => status_reply(
+                    job,
+                    "done",
+                    vec![
+                        ("cancelled", Json::Bool(cancelled)),
+                        ("cached", Json::Bool(cached)),
+                    ],
+                ),
+            };
+            write_json(writer, &reply);
+            false
+        }
+        Request::Cancel { job } => {
+            let reply = match service.cancel(job) {
+                CancelOutcome::Unknown => {
+                    error_reply("cancel", "unknown_job", &format!("no job {job}"), None)
+                }
+                outcome => Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("type", Json::str("cancel")),
+                    ("job", Json::Num(job as f64)),
+                    (
+                        "outcome",
+                        Json::str(match outcome {
+                            CancelOutcome::Cancelled => "cancelled",
+                            _ => "already_done",
+                        }),
+                    ),
+                ]),
+            };
+            write_json(writer, &reply);
+            false
+        }
+        Request::Stats => {
+            write_json(writer, &service.stats());
+            false
+        }
+        Request::Shutdown => {
+            service.begin_drain();
+            write_json(
+                writer,
+                &Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("type", Json::str("shutdown")),
+                    ("draining", Json::Bool(true)),
+                ]),
+            );
+            stop.store(true, Ordering::SeqCst);
+            true
+        }
+    }
+}
+
+fn status_reply(job: u64, state: &str, extra: Vec<(&str, Json)>) -> Json {
+    let mut fields = vec![
+        ("ok", Json::Bool(true)),
+        ("type", Json::str("status")),
+        ("job", Json::Num(job as f64)),
+        ("state", Json::str(state)),
+    ];
+    fields.extend(extra);
+    Json::obj(fields)
+}
+
+/// A [`SearchReply`] as its wire result line.
+pub fn result_to_json(reply: &SearchReply) -> Json {
+    let mut fields = vec![
+        ("ok".to_string(), Json::Bool(true)),
+        ("type".to_string(), Json::str("result")),
+        ("job".to_string(), Json::Num(reply.job as f64)),
+        ("cached".to_string(), Json::Bool(reply.cached)),
+        ("cancelled".to_string(), Json::Bool(reply.cancelled)),
+        ("cells".to_string(), Json::Num(reply.cells as f64)),
+        ("elapsed_ms".to_string(), Json::Num(reply.elapsed_ms)),
+        ("hits".to_string(), hits_to_json(&reply.hits)),
+    ];
+    if let Some(tag) = &reply.tag {
+        fields.push(("tag".to_string(), Json::str(tag)));
+    }
+    Json::Obj(fields)
+}
+
+/// Write one reply line; IO errors are swallowed (a vanished client must
+/// not take the daemon down).
+fn write_json(writer: &ConnWriter, json: &Json) {
+    let mut w = writer.lock().expect("connection writer poisoned");
+    let _ = writeln!(w, "{json}");
+    let _ = w.flush();
+}

@@ -1,0 +1,1149 @@
+//! The query engine behind the daemon: a persistent master/slave runtime
+//! fed multi-batch workloads.
+//!
+//! One [`QueryService`] owns:
+//!
+//! * a [`Master`] in keep-alive mode — the same SS/PSS scheduler and
+//!   workload-adjustment state machine the batch runtimes use, never
+//!   restarted between queries,
+//! * long-lived PE worker threads parked on a [`WaitHub`] (the event-driven
+//!   request loop of `swhybrid_core::runtime`, minus the thread scope),
+//! * the admission queue, result cache, and metrics.
+//!
+//! Every admitted query is split into contiguous, residue-balanced
+//! **database shards**, one task per shard, so a single query exercises
+//! the whole platform (and the adjustment mechanism can replicate a
+//! straggling shard near the tail). Per-shard top-N lists are rebased to
+//! global database indices and merged with [`merge_top_n`], which makes the
+//! served ranking bit-identical to a cold single-process scan.
+//!
+//! Replies are delivered through per-job completion callbacks, so the
+//! executor never blocks on a slow client: the TCP layer hands in a
+//! closure that writes to the connection, in-process callers a channel
+//! sender.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, MutexGuard};
+use std::time::{Duration, Instant};
+
+use swhybrid_align::scoring::{GapModel, Scoring};
+use swhybrid_core::master::{Assignment, Master, MasterConfig};
+use swhybrid_core::policy::Policy;
+use swhybrid_core::shared::WaitHub;
+use swhybrid_core::stats::observed_gcups;
+use swhybrid_core::task::{PeId, TaskId, TaskState};
+use swhybrid_core::trace::RuntimeEvent;
+use swhybrid_device::task::TaskSpec;
+use swhybrid_json::Json;
+use swhybrid_seq::digest::{db_digest, query_digest, Fnv1a};
+use swhybrid_seq::sequence::EncodedSequence;
+use swhybrid_simd::engine::{EnginePreference, PreparedQuery};
+use swhybrid_simd::search::{merge_top_n, search_prepared, Hit, SearchConfig};
+
+use crate::admission::{AdmissionQueue, AdmitError};
+use crate::cache::{CacheKey, ResultCache};
+use crate::metrics::Metrics;
+
+/// How a reply leaves the service: invoked exactly once per submitted
+/// query, off the executor's lock.
+pub type Completion = Box<dyn FnOnce(SearchReply) + Send + 'static>;
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// PE worker threads (each is one scheduler PE).
+    pub workers: usize,
+    /// Database shards per query (tasks per query); 0 means one per worker.
+    pub shards: usize,
+    /// Queries scheduled into the pool at once; further admissions queue.
+    pub max_active: usize,
+    /// Admission queue depth bound (excess is rejected with backpressure).
+    pub queue_depth: usize,
+    /// Per-client in-flight ceiling (queued + running).
+    pub per_client_inflight: usize,
+    /// Result cache capacity (entries); 0 disables caching.
+    pub cache_capacity: usize,
+    /// Subjects claimed per cursor step inside a shard scan.
+    pub chunk_size: usize,
+    /// Kernel preference for the striped engines.
+    pub preference: EnginePreference,
+    /// Task allocation policy (must be dynamic: SS or PSS).
+    pub policy: Policy,
+    /// Whether the workload adjustment mechanism is active.
+    pub adjustment: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 2,
+            shards: 0,
+            max_active: 2,
+            queue_depth: 64,
+            per_client_inflight: 4,
+            cache_capacity: 128,
+            chunk_size: 16,
+            preference: EnginePreference::Auto,
+            policy: Policy::pss_default(),
+            adjustment: true,
+        }
+    }
+}
+
+/// The terminal answer to one submitted query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchReply {
+    /// The job id the service assigned.
+    pub job: u64,
+    /// The client's correlation tag, echoed back.
+    pub tag: Option<String>,
+    /// Whether the result came from the cache (then `cells` is 0).
+    pub cached: bool,
+    /// Whether the job was cancelled (then `hits` is empty).
+    pub cancelled: bool,
+    /// Kernel cells actually computed for this reply.
+    pub cells: u64,
+    /// Admission-to-reply latency.
+    pub elapsed_ms: f64,
+    /// The ranked hits (global database indices).
+    pub hits: Vec<Hit>,
+}
+
+/// Why a submission was not accepted (re-exported admission error).
+pub use crate::admission::AdmitError as SubmitError;
+
+/// Where a job currently is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Waiting in the admission queue at dispatch rank `position`.
+    Queued {
+        /// 0 = next to dispatch.
+        position: usize,
+    },
+    /// Scanning: `shards_done` of `shards_total` shard tasks finished.
+    Running {
+        /// Completed shards.
+        shards_done: usize,
+        /// Total shards.
+        shards_total: usize,
+    },
+    /// Finished (reply delivered).
+    Done {
+        /// Whether it ended by cancellation.
+        cancelled: bool,
+        /// Whether it was served from the cache.
+        cached: bool,
+    },
+    /// No such job.
+    Unknown,
+}
+
+/// What a cancellation achieved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// The job will not produce a result (its submitter gets a cancelled
+    /// reply; a running scan's hits are discarded on completion).
+    Cancelled,
+    /// Too late — the job already completed (or was already cancelled).
+    AlreadyDone,
+    /// No such job.
+    Unknown,
+}
+
+enum Phase {
+    Queued,
+    Running {
+        pending: usize,
+        shard_hits: Vec<Option<Vec<Hit>>>,
+        cells: u64,
+    },
+    Done,
+}
+
+struct Job {
+    client: u64,
+    tag: Option<String>,
+    /// Shared query profiles; `None` only for cache-served jobs.
+    prepared: Option<Arc<PreparedQuery>>,
+    /// The database snapshot this job scans (survives a concurrent
+    /// [`QueryService::swap_db`]).
+    db: Arc<Vec<EncodedSequence>>,
+    top_n: usize,
+    key: CacheKey,
+    submitted_at: f64,
+    shards: Vec<(usize, usize)>,
+    phase: Phase,
+    cancelled: bool,
+    cached: bool,
+    completion: Option<Completion>,
+}
+
+/// Everything behind the service's single lock. Kernels never run under
+/// it — workers snapshot `Arc`s and release before scanning.
+struct Exec {
+    master: Master,
+    jobs: Vec<Job>,
+    task_map: HashMap<TaskId, (usize, usize)>,
+    queue: AdmissionQueue,
+    cache: ResultCache,
+    metrics: Metrics,
+    events_rx: Receiver<RuntimeEvent>,
+    db: Arc<Vec<EncodedSequence>>,
+    db_generation: u64,
+    db_digest: u64,
+    active_jobs: usize,
+    draining: bool,
+}
+
+struct Inner {
+    hub: WaitHub<Exec>,
+    cfg: ServiceConfig,
+    scoring: Scoring,
+    scoring_digest: u64,
+    epoch: Instant,
+}
+
+impl Inner {
+    fn now(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+}
+
+/// Stable digest of a scoring scheme (matrix identity + gap model), the
+/// scoring component of [`CacheKey`].
+pub fn scoring_digest(scoring: &Scoring) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update_framed(scoring.matrix.name.as_bytes());
+    h.update_framed(format!("{:?}", scoring.matrix.alphabet).as_bytes());
+    match scoring.gap {
+        GapModel::Linear { penalty } => {
+            h.update(&[0]);
+            h.update(&penalty.to_le_bytes());
+        }
+        GapModel::Affine { open, extend } => {
+            h.update(&[1]);
+            h.update(&open.to_le_bytes());
+            h.update(&extend.to_le_bytes());
+        }
+    }
+    h.finish()
+}
+
+/// Contiguous, residue-balanced shard boundaries over `db`.
+fn shard_ranges(db: &[EncodedSequence], shards: usize) -> Vec<(usize, usize)> {
+    if db.is_empty() {
+        return vec![(0, 0)];
+    }
+    let n = shards.clamp(1, db.len());
+    // Weight each sequence by residues + 1 so runs of empty sequences
+    // still advance the split.
+    let total: u64 = db.iter().map(|s| s.len() as u64 + 1).sum();
+    let mut out = Vec::with_capacity(n);
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    for (i, s) in db.iter().enumerate() {
+        acc += s.len() as u64 + 1;
+        let k = out.len() as u64 + 1;
+        if out.len() < n - 1 && i + 1 < db.len() && acc * n as u64 >= k * total {
+            out.push((start, i + 1));
+            start = i + 1;
+        }
+    }
+    out.push((start, db.len()));
+    out
+}
+
+/// The persistent query service. Dropping it shuts the workers down
+/// without draining; call [`QueryService::shutdown`] for the graceful
+/// drain-then-exit path.
+pub struct QueryService {
+    inner: Arc<Inner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl QueryService {
+    /// Start the service over a database snapshot. Spawns
+    /// `config.workers` PE threads; they idle on the hub until queries
+    /// arrive.
+    pub fn new(db: Vec<EncodedSequence>, scoring: Scoring, config: ServiceConfig) -> QueryService {
+        let mut cfg = config;
+        cfg.workers = cfg.workers.max(1);
+        if cfg.shards == 0 {
+            cfg.shards = cfg.workers;
+        }
+        cfg.max_active = cfg.max_active.max(1);
+        cfg.chunk_size = cfg.chunk_size.max(1);
+        assert!(
+            !cfg.policy.is_static(),
+            "the query service needs a dynamic policy (ss or pss): \
+             static quotas cannot absorb multi-batch workloads"
+        );
+
+        let (events_tx, events_rx): (Sender<RuntimeEvent>, Receiver<RuntimeEvent>) =
+            std::sync::mpsc::channel();
+        let mut master = Master::new(
+            Vec::new(),
+            MasterConfig {
+                policy: cfg.policy,
+                adjustment: cfg.adjustment,
+                ..MasterConfig::default()
+            },
+        );
+        master.set_keep_alive(true);
+        master.set_event_sink(move |e| {
+            let _ = events_tx.send(e.clone());
+        });
+        for w in 0..cfg.workers {
+            master.register(format!("serve{w}"), 1.0);
+        }
+
+        let db = Arc::new(db);
+        let digest = db_digest(&db);
+        let inner = Arc::new(Inner {
+            hub: WaitHub::new(Exec {
+                master,
+                jobs: Vec::new(),
+                task_map: HashMap::new(),
+                queue: AdmissionQueue::new(cfg.queue_depth, cfg.per_client_inflight),
+                cache: ResultCache::new(cfg.cache_capacity),
+                metrics: Metrics::default(),
+                events_rx,
+                db,
+                db_generation: 0,
+                db_digest: digest,
+                active_jobs: 0,
+                draining: false,
+            }),
+            scoring_digest: scoring_digest(&scoring),
+            scoring,
+            cfg,
+            epoch: Instant::now(),
+        });
+
+        let workers = (0..inner.cfg.workers)
+            .map(|pe| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("swhybrid-serve-pe{pe}"))
+                    .spawn(move || worker_loop(&inner, pe))
+                    .expect("spawn PE worker")
+            })
+            .collect();
+        QueryService { inner, workers }
+    }
+
+    /// The scoring scheme queries are evaluated under.
+    pub fn scoring(&self) -> &Scoring {
+        &self.inner.scoring
+    }
+
+    /// Encode an ASCII query under the service's alphabet.
+    pub fn encode_query(&self, residues: &[u8]) -> Result<Vec<u8>, String> {
+        self.inner
+            .scoring
+            .matrix
+            .alphabet
+            .encode(residues)
+            .map_err(|e| e.to_string())
+    }
+
+    /// Submit a query. On a cache hit the completion fires before this
+    /// returns (with `cached: true` and zero cells); otherwise the query
+    /// is admitted (or rejected with backpressure) and the completion
+    /// fires when the scan finishes. Returns the job id.
+    pub fn submit(
+        &self,
+        codes: Vec<u8>,
+        top_n: usize,
+        deadline_ms: Option<u64>,
+        tag: Option<String>,
+        client: u64,
+        completion: Completion,
+    ) -> Result<u64, SubmitError> {
+        let inner = &self.inner;
+        let top_n = top_n.max(1);
+        let qdigest = query_digest(&codes);
+
+        // Fast path: serve from cache without building profiles.
+        {
+            let mut g = inner.hub.lock();
+            if g.draining {
+                g.metrics.rejected_draining += 1;
+                return Err(SubmitError::Draining);
+            }
+            let key = CacheKey {
+                query_digest: qdigest,
+                db_generation: g.db_generation,
+                db_digest: g.db_digest,
+                scoring_digest: inner.scoring_digest,
+                top_n,
+            };
+            if let Some(hits) = g.cache.get(&key) {
+                let now = inner.now();
+                let job_id = g.jobs.len() as u64;
+                let db = Arc::clone(&g.db);
+                g.jobs.push(Job {
+                    client,
+                    tag: tag.clone(),
+                    prepared: None,
+                    db,
+                    top_n,
+                    key,
+                    submitted_at: now,
+                    shards: Vec::new(),
+                    phase: Phase::Done,
+                    cancelled: false,
+                    cached: true,
+                    completion: None,
+                });
+                g.metrics.completed += 1;
+                g.metrics.served_from_cache += 1;
+                let elapsed_ms = (inner.now() - now) * 1000.0;
+                g.metrics.latency.observe(elapsed_ms);
+                drop(g);
+                completion(SearchReply {
+                    job: job_id,
+                    tag,
+                    cached: true,
+                    cancelled: false,
+                    cells: 0,
+                    elapsed_ms,
+                    hits,
+                });
+                return Ok(job_id);
+            }
+        }
+
+        // Cold path: build the shared profiles off the lock, then admit.
+        let prepared = Arc::new(PreparedQuery::new(
+            &codes,
+            &inner.scoring,
+            inner.cfg.preference,
+        ));
+        let mut g = inner.hub.lock();
+        if g.draining {
+            g.metrics.rejected_draining += 1;
+            return Err(SubmitError::Draining);
+        }
+        let now = inner.now();
+        let job_id = g.jobs.len() as u64;
+        let deadline = deadline_ms
+            .map(|ms| now + ms as f64 / 1000.0)
+            .unwrap_or(f64::INFINITY);
+        if let Err(e) = g.queue.admit(job_id, client, deadline) {
+            match &e {
+                AdmitError::QueueFull { .. } => g.metrics.rejected_queue_full += 1,
+                AdmitError::ClientLimit { .. } => g.metrics.rejected_client_limit += 1,
+                AdmitError::Draining => g.metrics.rejected_draining += 1,
+            }
+            return Err(e);
+        }
+        let key = CacheKey {
+            query_digest: qdigest,
+            db_generation: g.db_generation,
+            db_digest: g.db_digest,
+            scoring_digest: inner.scoring_digest,
+            top_n,
+        };
+        let db = Arc::clone(&g.db);
+        g.jobs.push(Job {
+            client,
+            tag,
+            prepared: Some(prepared),
+            db,
+            top_n,
+            key,
+            submitted_at: now,
+            shards: Vec::new(),
+            phase: Phase::Queued,
+            cancelled: false,
+            cached: false,
+            completion: Some(completion),
+        });
+        g.metrics.admitted += 1;
+        pump(&mut g, inner);
+        drop(g);
+        inner.hub.notify_all();
+        Ok(job_id)
+    }
+
+    /// Submit and block until the reply arrives (in-process convenience).
+    pub fn search_blocking(
+        &self,
+        codes: Vec<u8>,
+        top_n: usize,
+        client: u64,
+    ) -> Result<SearchReply, SubmitError> {
+        let (tx, rx) = std::sync::mpsc::channel();
+        self.submit(
+            codes,
+            top_n,
+            None,
+            None,
+            client,
+            Box::new(move |reply| {
+                let _ = tx.send(reply);
+            }),
+        )?;
+        Ok(rx.recv().expect("service dropped before replying"))
+    }
+
+    /// Where a job currently is.
+    pub fn status(&self, job: u64) -> JobStatus {
+        let g = self.inner.hub.lock();
+        let Some(j) = g.jobs.get(job as usize) else {
+            return JobStatus::Unknown;
+        };
+        match &j.phase {
+            Phase::Queued => JobStatus::Queued {
+                position: g.queue.position(job).unwrap_or(0),
+            },
+            Phase::Running {
+                pending,
+                shard_hits,
+                ..
+            } => JobStatus::Running {
+                shards_done: shard_hits.len() - pending,
+                shards_total: shard_hits.len(),
+            },
+            Phase::Done => JobStatus::Done {
+                cancelled: j.cancelled,
+                cached: j.cached,
+            },
+        }
+    }
+
+    /// Cancel a job. Queued jobs are withdrawn before any kernel runs;
+    /// running jobs finish their in-flight shards but their hits are
+    /// discarded and never cached. Either way the submitter's completion
+    /// fires promptly with `cancelled: true`.
+    pub fn cancel(&self, job: u64) -> CancelOutcome {
+        let inner = &self.inner;
+        let mut g = inner.hub.lock();
+        let now = inner.now();
+        let Some(j) = g.jobs.get_mut(job as usize) else {
+            return CancelOutcome::Unknown;
+        };
+        if j.cancelled || matches!(j.phase, Phase::Done) {
+            return CancelOutcome::AlreadyDone;
+        }
+        j.cancelled = true;
+        let was_queued = matches!(j.phase, Phase::Queued);
+        if was_queued {
+            j.phase = Phase::Done;
+        }
+        let client = j.client;
+        let tag = j.tag.clone();
+        let elapsed_ms = (now - j.submitted_at) * 1000.0;
+        let completion = j.completion.take();
+        if was_queued {
+            g.queue.remove(job);
+            g.queue.release(client);
+        }
+        g.metrics.cancelled += 1;
+        drop(g);
+        if let Some(cb) = completion {
+            cb(SearchReply {
+                job,
+                tag,
+                cached: false,
+                cancelled: true,
+                cells: 0,
+                elapsed_ms,
+                hits: Vec::new(),
+            });
+        }
+        CancelOutcome::Cancelled
+    }
+
+    /// Snapshot the daemon's metrics as the `stats` reply body. Folds any
+    /// pending runtime events into the per-PE series first.
+    pub fn stats(&self) -> Json {
+        let inner = &self.inner;
+        let mut g = inner.hub.lock();
+        let Exec {
+            events_rx, metrics, ..
+        } = &mut *g;
+        while let Ok(e) = events_rx.try_recv() {
+            metrics.apply_event(&e);
+        }
+        let m = &g.metrics;
+        let cs = g.cache.stats();
+        let db_residues: u64 = g.db.iter().map(|s| s.len() as u64).sum();
+        Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("type", Json::str("stats")),
+            ("uptime_s", Json::Num(inner.now())),
+            ("draining", Json::Bool(g.draining)),
+            (
+                "queue",
+                Json::obj(vec![
+                    ("depth", Json::Num(g.queue.depth() as f64)),
+                    ("limit", Json::Num(g.queue.depth_limit() as f64)),
+                    ("max_depth", Json::Num(g.queue.max_depth as f64)),
+                    (
+                        "per_client_limit",
+                        Json::Num(g.queue.per_client_limit() as f64),
+                    ),
+                ]),
+            ),
+            (
+                "jobs",
+                Json::obj(vec![
+                    ("active", Json::Num(g.active_jobs as f64)),
+                    ("admitted", Json::Num(m.admitted as f64)),
+                    ("completed", Json::Num(m.completed as f64)),
+                    ("cancelled", Json::Num(m.cancelled as f64)),
+                    (
+                        "rejected_queue_full",
+                        Json::Num(m.rejected_queue_full as f64),
+                    ),
+                    (
+                        "rejected_client_limit",
+                        Json::Num(m.rejected_client_limit as f64),
+                    ),
+                    ("rejected_draining", Json::Num(m.rejected_draining as f64)),
+                ]),
+            ),
+            (
+                "cache",
+                Json::obj(vec![
+                    ("hits", Json::Num(cs.hits as f64)),
+                    ("misses", Json::Num(cs.misses as f64)),
+                    ("hit_rate", Json::Num(cs.hit_rate())),
+                    ("insertions", Json::Num(cs.insertions as f64)),
+                    ("evictions", Json::Num(cs.evictions as f64)),
+                    ("size", Json::Num(g.cache.len() as f64)),
+                    ("capacity", Json::Num(g.cache.capacity() as f64)),
+                    ("served_from_cache", Json::Num(m.served_from_cache as f64)),
+                ]),
+            ),
+            ("latency_ms", m.latency.to_json()),
+            (
+                "pes",
+                Json::Arr(
+                    m.pes
+                        .iter()
+                        .enumerate()
+                        .map(|(pe, p)| {
+                            Json::obj(vec![
+                                ("pe", Json::Num(pe as f64)),
+                                ("name", Json::str(&p.name)),
+                                ("tasks_finished", Json::Num(p.tasks_finished as f64)),
+                                ("mean_gcups", Json::Num(p.mean_gcups())),
+                                ("last_gcups", Json::Num(p.last_gcups)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "db",
+                Json::obj(vec![
+                    ("sequences", Json::Num(g.db.len() as f64)),
+                    ("residues", Json::Num(db_residues as f64)),
+                    ("generation", Json::Num(g.db_generation as f64)),
+                    ("digest", Json::str(format!("{:016x}", g.db_digest))),
+                ]),
+            ),
+        ])
+    }
+
+    /// Replace the database (a reload). Running jobs keep scanning their
+    /// snapshot (`Arc`-shared); new submissions see the new content and a
+    /// bumped generation, so every cached result of the old database is
+    /// unreachable.
+    pub fn swap_db(&self, subjects: Vec<EncodedSequence>) {
+        let mut g = self.inner.hub.lock();
+        g.db = Arc::new(subjects);
+        g.db_digest = db_digest(&g.db);
+        g.db_generation += 1;
+    }
+
+    /// Stop admitting new queries; queued and running ones still complete.
+    pub fn begin_drain(&self) {
+        self.inner.hub.lock().draining = true;
+        self.inner.hub.notify_all();
+    }
+
+    /// Graceful shutdown: reject new admissions, wait for every queued and
+    /// running job to deliver its reply, then stop the workers and join
+    /// them.
+    pub fn shutdown(mut self) {
+        self.begin_drain();
+        loop {
+            let mut g = self.inner.hub.lock();
+            if g.active_jobs == 0 && g.queue.depth() == 0 {
+                g.master.set_keep_alive(false);
+                break;
+            }
+            let _g = self.inner.hub.wait_timeout(g, Duration::from_millis(50));
+        }
+        self.inner.hub.notify_all();
+        for h in self.workers.drain(..) {
+            h.join().expect("PE worker panicked");
+        }
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        if self.workers.is_empty() {
+            return; // shutdown() already joined
+        }
+        {
+            let mut g = self.inner.hub.lock();
+            g.draining = true;
+            g.master.set_keep_alive(false);
+        }
+        self.inner.hub.notify_all();
+        for h in self.workers.drain(..) {
+            h.join().expect("PE worker panicked");
+        }
+    }
+}
+
+/// Admit queued jobs into the task pool up to the active-job bound.
+fn pump(g: &mut Exec, inner: &Inner) {
+    while g.active_jobs < inner.cfg.max_active {
+        let Some(job_id) = g.queue.pop_next() else {
+            break;
+        };
+        let idx = job_id as usize;
+        if g.jobs[idx].cancelled {
+            continue;
+        }
+        let (shards, specs) = {
+            let job = &g.jobs[idx];
+            let shards = shard_ranges(&job.db, inner.cfg.shards);
+            let qlen = job
+                .prepared
+                .as_ref()
+                .expect("queued jobs carry profiles")
+                .query_len();
+            let specs: Vec<TaskSpec> = shards
+                .iter()
+                .map(|&(s, e)| TaskSpec {
+                    id: 0, // rewritten by the pool
+                    query_len: qlen,
+                    db_residues: job.db[s..e].iter().map(|x| x.len() as u64).sum(),
+                    db_sequences: e - s,
+                })
+                .collect();
+            (shards, specs)
+        };
+        let tasks = g.master.submit_tasks(specs);
+        for (shard_idx, &t) in tasks.iter().enumerate() {
+            g.task_map.insert(t, (idx, shard_idx));
+        }
+        let n = shards.len();
+        let job = &mut g.jobs[idx];
+        job.shards = shards;
+        job.phase = Phase::Running {
+            pending: n,
+            shard_hits: vec![None; n],
+            cells: 0,
+        };
+        g.active_jobs += 1;
+    }
+}
+
+/// The PE worker: the event-driven request loop of the batch runtimes,
+/// running until keep-alive is cleared and the pool drains.
+fn worker_loop(inner: &Inner, pe: PeId) {
+    let hub = &inner.hub;
+    let mut g = hub.lock();
+    'serve: loop {
+        let now = inner.now();
+        match g.master.request(pe, now) {
+            Assignment::Done => break 'serve,
+            // Timeout is a lost-wakeup safety net, not the schedule driver.
+            Assignment::Wait => g = hub.wait_timeout(g, Duration::from_millis(100)),
+            Assignment::Tasks(tasks) => {
+                for task in tasks {
+                    g = execute(inner, g, pe, task);
+                }
+            }
+            Assignment::Steal { task, .. } => g = execute(inner, g, pe, task),
+            Assignment::Replicate(task) => g = execute(inner, g, pe, task),
+        }
+    }
+}
+
+/// Execute one shard task: scan off the lock, fold the result in under it.
+fn execute<'a>(
+    inner: &'a Inner,
+    mut g: MutexGuard<'a, Exec>,
+    pe: PeId,
+    task: TaskId,
+) -> MutexGuard<'a, Exec> {
+    {
+        // Skip batch entries stolen away or already finished by a replica.
+        let t = g.master.pool().get(task);
+        if t.state == TaskState::Finished || !t.executors.contains(&pe) {
+            return g;
+        }
+    }
+    let Some(&(job_idx, shard_idx)) = g.task_map.get(&task) else {
+        return g;
+    };
+    g.master.task_started(pe, task, inner.now());
+    let job = &g.jobs[job_idx];
+    let skip_scan = job.cancelled;
+    let prepared = job.prepared.clone();
+    let top_n = job.top_n;
+    let (s, e) = job.shards[shard_idx];
+    let db = Arc::clone(&job.db);
+    drop(g);
+    inner.hub.notify_all();
+
+    let t0 = Instant::now();
+    let (hits, cells) = if skip_scan {
+        (Vec::new(), 0)
+    } else {
+        let cfg = SearchConfig {
+            threads: 1,
+            top_n,
+            chunk_size: inner.cfg.chunk_size,
+            preference: inner.cfg.preference,
+        };
+        let mut r = search_prepared(
+            prepared.as_ref().expect("running jobs carry profiles"),
+            &db[s..e],
+            &cfg,
+        );
+        // Shard hits index into the shard; rebase to global db order so
+        // the cross-shard merge tie-breaks identically to a whole-db scan.
+        for h in &mut r.hits {
+            h.db_index += s;
+        }
+        (r.hits, r.cells)
+    };
+    let secs = t0.elapsed().as_secs_f64();
+
+    let mut g = inner.hub.lock();
+    let was_first = g.master.pool().get(task).state != TaskState::Finished;
+    let gcups = (!skip_scan).then(|| observed_gcups(cells, secs));
+    g.master.task_finished(pe, task, inner.now(), gcups);
+    let done = if was_first {
+        record_shard(&mut g, inner, job_idx, shard_idx, hits, cells)
+    } else {
+        None
+    };
+    drop(g);
+    // A finish can complete the run, free a replication candidate, or
+    // (via pump) schedule the next queued job: wake everyone.
+    inner.hub.notify_all();
+    if let Some((Some(cb), reply)) = done {
+        cb(reply);
+    }
+    inner.hub.lock()
+}
+
+/// Fold a winning shard result into its job; on the last shard, finalize:
+/// merge, cache, meter, release the admission slot, pump the queue.
+/// Returns the completion to invoke off the lock.
+fn record_shard(
+    g: &mut Exec,
+    inner: &Inner,
+    job_idx: usize,
+    shard_idx: usize,
+    hits: Vec<Hit>,
+    cells: u64,
+) -> Option<(Option<Completion>, SearchReply)> {
+    {
+        let job = &mut g.jobs[job_idx];
+        let Phase::Running {
+            pending,
+            shard_hits,
+            cells: acc,
+        } = &mut job.phase
+        else {
+            return None;
+        };
+        if shard_hits[shard_idx].is_some() {
+            return None;
+        }
+        shard_hits[shard_idx] = Some(hits);
+        *acc += cells;
+        *pending -= 1;
+        if *pending > 0 {
+            return None;
+        }
+    }
+    // Last shard in: finalize.
+    let job = &mut g.jobs[job_idx];
+    let Phase::Running {
+        shard_hits,
+        cells: total_cells,
+        ..
+    } = std::mem::replace(&mut job.phase, Phase::Done)
+    else {
+        unreachable!("guarded above");
+    };
+    let merged = merge_top_n(
+        shard_hits
+            .into_iter()
+            .map(|h| h.expect("all shards recorded")),
+        job.top_n,
+    );
+    let elapsed_ms = (inner.now() - job.submitted_at) * 1000.0;
+    let cancelled = job.cancelled;
+    let completion = job.completion.take();
+    let client = job.client;
+    let key = job.key;
+    let reply = SearchReply {
+        job: job_idx as u64,
+        tag: job.tag.clone(),
+        cached: false,
+        cancelled,
+        cells: total_cells,
+        elapsed_ms,
+        hits: if cancelled {
+            Vec::new()
+        } else {
+            merged.clone()
+        },
+    };
+    if !cancelled {
+        g.cache.insert(key, merged);
+        g.metrics.completed += 1;
+        g.metrics.latency.observe(elapsed_ms);
+    }
+    g.active_jobs -= 1;
+    g.queue.release(client);
+    pump(g, inner);
+    Some((completion, reply))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{RngExt, SeedableRng};
+    use swhybrid_align::scoring::{GapModel, SubstMatrix};
+    use swhybrid_seq::Alphabet;
+    use swhybrid_simd::search::DatabaseSearch;
+
+    fn scoring() -> Scoring {
+        Scoring {
+            matrix: SubstMatrix::blosum62(),
+            gap: GapModel::Affine {
+                open: 10,
+                extend: 2,
+            },
+        }
+    }
+
+    fn random_db(seed: u64, n: usize, max_len: usize) -> Vec<EncodedSequence> {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                let len = rng.random_range(1..max_len);
+                EncodedSequence {
+                    id: format!("s{i}"),
+                    codes: (0..len).map(|_| rng.random_range(0..20u8)).collect(),
+                    alphabet: Alphabet::Protein,
+                }
+            })
+            .collect()
+    }
+
+    fn random_query(seed: u64, len: usize) -> Vec<u8> {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        (0..len).map(|_| rng.random_range(0..20u8)).collect()
+    }
+
+    fn small_service(db: &[EncodedSequence]) -> QueryService {
+        QueryService::new(
+            db.to_vec(),
+            scoring(),
+            ServiceConfig {
+                workers: 2,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn shard_ranges_cover_and_balance() {
+        let db = random_db(11, 57, 120);
+        for n in [1, 2, 3, 7, 57, 100] {
+            let shards = shard_ranges(&db, n);
+            assert_eq!(shards.first().unwrap().0, 0);
+            assert_eq!(shards.last().unwrap().1, db.len());
+            for w in shards.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "shards must be contiguous");
+            }
+            assert!(shards.iter().all(|&(s, e)| e > s), "no empty shards");
+            assert!(shards.len() <= n.min(db.len()));
+        }
+        assert_eq!(shard_ranges(&[], 4), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn served_result_matches_cold_scan() {
+        let db = random_db(23, 80, 100);
+        let query = random_query(29, 60);
+        let svc = small_service(&db);
+        let reply = svc.search_blocking(query.clone(), 12, 1).unwrap();
+        let cold = DatabaseSearch::new(
+            &query,
+            &scoring(),
+            swhybrid_simd::search::SearchConfig {
+                top_n: 12,
+                ..Default::default()
+            },
+        )
+        .run(&db);
+        assert_eq!(reply.hits, cold.hits);
+        assert!(!reply.cached);
+        assert_eq!(reply.cells, cold.cells);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn repeat_query_hits_cache_with_zero_cells() {
+        let db = random_db(31, 40, 80);
+        let query = random_query(37, 50);
+        let svc = small_service(&db);
+        let cold = svc.search_blocking(query.clone(), 10, 1).unwrap();
+        let warm = svc.search_blocking(query, 10, 1).unwrap();
+        assert!(!cold.cached && warm.cached);
+        assert_eq!(warm.cells, 0);
+        assert_eq!(warm.hits, cold.hits);
+        let stats = svc.stats();
+        let cache = stats.get("cache").unwrap();
+        assert_eq!(cache.get("hits").unwrap().as_u64().unwrap(), 1);
+        assert_eq!(
+            stats
+                .get("jobs")
+                .unwrap()
+                .get("completed")
+                .unwrap()
+                .as_u64()
+                .unwrap(),
+            2
+        );
+        svc.shutdown();
+    }
+
+    #[test]
+    fn swap_db_invalidates_cache_and_changes_results() {
+        let db_a = random_db(41, 30, 80);
+        let db_b = random_db(43, 30, 80);
+        let query = random_query(47, 40);
+        let svc = small_service(&db_a);
+        let a = svc.search_blocking(query.clone(), 5, 1).unwrap();
+        svc.swap_db(db_b.clone());
+        let b = svc.search_blocking(query.clone(), 5, 1).unwrap();
+        assert!(!b.cached, "generation bump must bypass the cache");
+        let cold_b = DatabaseSearch::new(
+            &query,
+            &scoring(),
+            swhybrid_simd::search::SearchConfig {
+                top_n: 5,
+                ..Default::default()
+            },
+        )
+        .run(&db_b);
+        assert_eq!(b.hits, cold_b.hits);
+        // Old-generation result is still byte-identical to its own scan.
+        assert_ne!(a.hits, b.hits);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn cancel_queued_job_never_scans() {
+        let db = random_db(53, 30, 60);
+        let svc = QueryService::new(
+            db.clone(),
+            scoring(),
+            ServiceConfig {
+                workers: 1,
+                max_active: 1,
+                ..Default::default()
+            },
+        );
+        // Fill the single active slot with a real query, then queue one
+        // more and cancel it before it can dispatch.
+        let (tx, rx) = std::sync::mpsc::channel();
+        let tx2 = tx.clone();
+        svc.submit(
+            random_query(59, 400),
+            5,
+            None,
+            None,
+            1,
+            Box::new(move |r| tx.send(r).unwrap()),
+        )
+        .unwrap();
+        let victim = svc
+            .submit(
+                random_query(61, 40),
+                5,
+                None,
+                None,
+                2,
+                Box::new(move |r| tx2.send(r).unwrap()),
+            )
+            .unwrap();
+        let outcome = svc.cancel(victim);
+        // Either we caught it queued, or it had already dispatched; both
+        // must deliver a reply for every submission.
+        assert_ne!(outcome, CancelOutcome::Unknown);
+        let mut replies = [rx.recv().unwrap(), rx.recv().unwrap()];
+        replies.sort_by_key(|r| r.job);
+        if outcome == CancelOutcome::Cancelled {
+            let r = replies.iter().find(|r| r.job == victim).unwrap();
+            assert!(r.cancelled);
+            assert!(r.hits.is_empty());
+        }
+        assert_eq!(svc.cancel(9999), CancelOutcome::Unknown);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn drain_rejects_new_but_finishes_queued() {
+        let db = random_db(67, 25, 60);
+        let svc = small_service(&db);
+        let (tx, rx) = std::sync::mpsc::channel();
+        svc.submit(
+            random_query(71, 80),
+            5,
+            None,
+            None,
+            1,
+            Box::new(move |r| tx.send(r).unwrap()),
+        )
+        .unwrap();
+        svc.begin_drain();
+        let err = svc.search_blocking(random_query(73, 30), 5, 2).unwrap_err();
+        assert_eq!(err, SubmitError::Draining);
+        let reply = rx.recv().unwrap();
+        assert!(!reply.cancelled);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn scoring_digest_separates_schemes() {
+        let a = scoring_digest(&scoring());
+        let b = scoring_digest(&Scoring {
+            matrix: SubstMatrix::blosum50(),
+            gap: GapModel::Affine {
+                open: 10,
+                extend: 2,
+            },
+        });
+        let c = scoring_digest(&Scoring {
+            matrix: SubstMatrix::blosum62(),
+            gap: GapModel::Affine {
+                open: 12,
+                extend: 2,
+            },
+        });
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, scoring_digest(&scoring()));
+    }
+}

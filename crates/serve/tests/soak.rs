@@ -1,0 +1,339 @@
+//! Multi-client soak of the daemon over real TCP: concurrent clients must
+//! get byte-for-byte the answers a cold single-shot search gives, and
+//! every backpressure rejection and cancellation must be a well-formed
+//! protocol reply — never a hang or a dropped connection.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use rand::{RngExt, SeedableRng};
+use swhybrid_align::scoring::{GapModel, Scoring, SubstMatrix};
+use swhybrid_json::Json;
+use swhybrid_seq::sequence::EncodedSequence;
+use swhybrid_seq::Alphabet;
+use swhybrid_serve::protocol::{request_to_json, Request, SearchRequest};
+use swhybrid_serve::service::ServiceConfig;
+use swhybrid_serve::{ServeClient, ServeDaemon};
+use swhybrid_simd::search::{DatabaseSearch, Hit, SearchConfig};
+
+fn scoring() -> Scoring {
+    Scoring {
+        matrix: SubstMatrix::blosum62(),
+        gap: GapModel::Affine {
+            open: 10,
+            extend: 2,
+        },
+    }
+}
+
+fn random_db(seed: u64, n: usize, max_len: usize) -> Vec<EncodedSequence> {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let len = rng.random_range(1..max_len);
+            EncodedSequence {
+                id: format!("s{i}"),
+                codes: (0..len).map(|_| rng.random_range(0..20u8)).collect(),
+                alphabet: Alphabet::Protein,
+            }
+        })
+        .collect()
+}
+
+/// ASCII protein residues (the wire carries text, not codes).
+fn random_query_ascii(seed: u64, len: usize) -> String {
+    const RESIDUES: &[u8] = b"ARNDCQEGHILKMFPSTWYV";
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| RESIDUES[rng.random_range(0..RESIDUES.len())] as char)
+        .collect()
+}
+
+fn cold_hits(query_ascii: &str, db: &[EncodedSequence], top_n: usize) -> Vec<Hit> {
+    let codes = Alphabet::Protein.encode(query_ascii.as_bytes()).unwrap();
+    DatabaseSearch::new(
+        &codes,
+        &scoring(),
+        SearchConfig {
+            top_n,
+            ..Default::default()
+        },
+    )
+    .run(db)
+    .hits
+}
+
+fn start_daemon(
+    db: Vec<EncodedSequence>,
+    config: ServiceConfig,
+) -> (
+    std::net::SocketAddr,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let daemon = ServeDaemon::bind(("127.0.0.1", 0), db, scoring(), config).unwrap();
+    let addr = daemon.local_addr().unwrap();
+    (addr, std::thread::spawn(move || daemon.run()))
+}
+
+#[test]
+fn eight_concurrent_clients_match_cold_single_shot_search() {
+    const CLIENTS: usize = 8;
+    const TOP_N: usize = 10;
+    let db = random_db(101, 60, 90);
+    let queries: Vec<String> = (0..6)
+        .map(|i| random_query_ascii(200 + i, 30 + 7 * i as usize))
+        .collect();
+    let expected: Vec<Vec<Hit>> = queries.iter().map(|q| cold_hits(q, &db, TOP_N)).collect();
+
+    let (addr, daemon) = start_daemon(
+        db,
+        ServiceConfig {
+            workers: 3,
+            max_active: 2,
+            queue_depth: 64,
+            per_client_inflight: 8,
+            ..Default::default()
+        },
+    );
+
+    let cached_replies: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let queries = &queries;
+                let expected = &expected;
+                scope.spawn(move || {
+                    let mut client = ServeClient::connect(addr).unwrap();
+                    let mut cached = 0usize;
+                    // Each client walks the query set at a different offset
+                    // so the cache sees both misses and hits under load.
+                    for k in 0..queries.len() {
+                        let qi = (c + k) % queries.len();
+                        let reply = client.search(&queries[qi], TOP_N).unwrap();
+                        assert_eq!(
+                            reply.get("ok").and_then(Json::as_bool),
+                            Some(true),
+                            "client {c} query {qi} rejected: {reply}"
+                        );
+                        let hits = ServeClient::hits(&reply).unwrap();
+                        assert_eq!(
+                            hits, expected[qi],
+                            "client {c} query {qi}: served hits differ from cold scan"
+                        );
+                        if reply.get("cached").and_then(Json::as_bool) == Some(true) {
+                            assert_eq!(
+                                reply.get("cells").and_then(Json::as_u64),
+                                Some(0),
+                                "cache-served reply must not have burned kernel cells"
+                            );
+                            cached += 1;
+                        }
+                    }
+                    cached
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    // 48 searches over 6 distinct queries: the cache must have answered
+    // most of the repeats.
+    assert!(
+        cached_replies > 0,
+        "no reply was served from the cache across {CLIENTS} clients"
+    );
+
+    let mut client = ServeClient::connect(addr).unwrap();
+    let stats = client.stats().unwrap();
+    let completed = stats
+        .get("jobs")
+        .and_then(|j| j.get("completed"))
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert_eq!(completed as usize, CLIENTS * queries.len());
+    let cache_hits = stats
+        .get("cache")
+        .and_then(|c| c.get("hits"))
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert_eq!(cache_hits as usize, cached_replies);
+    let latency_count = stats
+        .get("latency_ms")
+        .and_then(|l| l.get("count"))
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert_eq!(latency_count, completed);
+    // Per-PE GCUPS derived from the event stream: every worker is listed.
+    let pes = stats.get("pes").and_then(Json::as_array).unwrap();
+    assert_eq!(pes.len(), 3);
+    let finished: u64 = pes
+        .iter()
+        .map(|p| p.get("tasks_finished").and_then(Json::as_u64).unwrap())
+        .sum();
+    assert!(finished > 0, "no PE reported finished tasks");
+
+    client.shutdown().unwrap();
+    daemon.join().unwrap().unwrap();
+}
+
+#[test]
+fn backpressure_and_cancellation_replies_are_well_formed() {
+    // A single worker, a single admission slot per client, and a scan that
+    // takes long enough that pipelined requests 2..5 arrive while request
+    // 1 is still in flight: their rejections must be immediate, well
+    // formed, and tagged. (Sizes stay modest — these tests run unoptimized,
+    // where the kernel is orders of magnitude slower.)
+    let db = random_db(103, 60, 120);
+    let slow_query = random_query_ascii(301, 600);
+    let (addr, daemon) = start_daemon(
+        db,
+        ServiceConfig {
+            workers: 1,
+            max_active: 1,
+            queue_depth: 1,
+            per_client_inflight: 1,
+            cache_capacity: 0, // every search must really scan
+            ..Default::default()
+        },
+    );
+
+    // Pipeline 5 searches without reading a single reply.
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    for i in 0..5 {
+        let req = Request::Search(SearchRequest {
+            query: slow_query.clone(),
+            top_n: 5,
+            deadline_ms: None,
+            tag: Some(format!("q{i}")),
+            ack: false,
+        });
+        writeln!(writer, "{}", request_to_json(&req)).unwrap();
+    }
+    let mut results = 0usize;
+    let mut rejections = 0usize;
+    for _ in 0..5 {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let reply = Json::parse(line.trim()).unwrap();
+        let tag = reply.get("tag").and_then(Json::as_str).unwrap();
+        assert!(
+            tag.starts_with('q'),
+            "reply correlates to a request: {reply}"
+        );
+        if reply.get("ok").and_then(Json::as_bool) == Some(true) {
+            assert_eq!(reply.get("type").and_then(Json::as_str), Some("result"));
+            results += 1;
+        } else {
+            let code = reply.get("error").and_then(Json::as_str).unwrap();
+            assert!(
+                code == "client_limit" || code == "queue_full",
+                "unexpected rejection code {code:?}"
+            );
+            assert!(reply
+                .get("reason")
+                .and_then(Json::as_str)
+                .is_some_and(|r| !r.is_empty()));
+            rejections += 1;
+        }
+    }
+    assert_eq!(
+        results + rejections,
+        5,
+        "every request got exactly one reply"
+    );
+    assert!(rejections >= 1, "backpressure never triggered");
+    assert!(results >= 1, "at least the first search must be admitted");
+
+    // Cancellation: ack gives us the job id, cancel it, and both the
+    // cancel reply and the (possibly already racing) result line must be
+    // well formed.
+    let mut client = ServeClient::connect(addr).unwrap();
+    let req = Request::Search(SearchRequest {
+        query: slow_query.clone(),
+        top_n: 5,
+        deadline_ms: None,
+        tag: Some("victim".into()),
+        ack: true,
+    });
+    let ack = client.request(&req).unwrap();
+    assert_eq!(ack.get("type").and_then(Json::as_str), Some("ack"));
+    let job = ack.get("job").and_then(Json::as_u64).unwrap();
+    // After the cancel verb, exactly two more lines arrive in either
+    // order: the cancel reply and the job's single result line (cancelled
+    // or raced-to-completion).
+    let first = client.cancel(job).unwrap();
+    let second = client.recv().unwrap();
+    let (mut cancel, mut result) = (None, None);
+    for line in [first, second] {
+        match line.get("type").and_then(Json::as_str) {
+            Some("cancel") => cancel = Some(line),
+            Some("result") => result = Some(line),
+            other => panic!("unexpected reply type {other:?}: {line}"),
+        }
+    }
+    let cancel = cancel.expect("cancel verb got no reply");
+    let result = result.expect("the job never delivered its result");
+    let outcome = cancel.get("outcome").and_then(Json::as_str).unwrap();
+    assert!(outcome == "cancelled" || outcome == "already_done");
+    if outcome == "cancelled" {
+        assert_eq!(result.get("cancelled").and_then(Json::as_bool), Some(true));
+        assert!(ServeClient::hits(&result).unwrap().is_empty());
+    }
+    // A cancelled-while-running job stays "running" until its in-flight
+    // shards drain; poll briefly instead of assuming instant settlement.
+    let mut state = String::new();
+    for _ in 0..100 {
+        let status = client.status(job).unwrap();
+        state = status
+            .get("state")
+            .and_then(Json::as_str)
+            .unwrap_or("")
+            .to_string();
+        if state == "done" {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    assert_eq!(state, "done");
+
+    client.shutdown().unwrap();
+    daemon.join().unwrap().unwrap();
+}
+
+#[test]
+fn shutdown_drains_inflight_queries_before_exit() {
+    let db = random_db(107, 60, 120);
+    let slow_query = random_query_ascii(401, 500);
+    let expected = cold_hits(&slow_query, &db, 5);
+    let (addr, daemon) = start_daemon(
+        db,
+        ServiceConfig {
+            workers: 2,
+            ..Default::default()
+        },
+    );
+
+    // Client A submits and does not read yet; client B orders shutdown.
+    let mut a = ServeClient::connect(addr).unwrap();
+    let submitted = a.request(&Request::Search(SearchRequest {
+        query: slow_query.clone(),
+        top_n: 5,
+        deadline_ms: None,
+        tag: None,
+        ack: true,
+    }));
+    let ack = submitted.unwrap();
+    assert_eq!(ack.get("type").and_then(Json::as_str), Some("ack"));
+
+    let mut b = ServeClient::connect(addr).unwrap();
+    let bye = b.shutdown().unwrap();
+    assert_eq!(bye.get("draining").and_then(Json::as_bool), Some(true));
+
+    // The in-flight query still completes and reaches client A.
+    let result = a.recv().unwrap();
+    assert_eq!(result.get("type").and_then(Json::as_str), Some("result"));
+    assert_eq!(result.get("cancelled").and_then(Json::as_bool), Some(false));
+    assert_eq!(ServeClient::hits(&result).unwrap(), expected);
+
+    daemon.join().unwrap().unwrap();
+}

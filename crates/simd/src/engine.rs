@@ -8,6 +8,8 @@
 //! 2¹⁶−1 (16 bits)"; with two's-complement signed lanes the practical
 //! ceilings are 127 and 32,767, after which the scalar kernel is exact.
 
+use std::sync::Arc;
+
 use crate::portable::{sw_striped_portable, StripedOutcome, Workspace};
 use crate::profile::StripedProfile;
 use crate::sse;
@@ -53,26 +55,17 @@ impl KernelStats {
     }
 }
 
-/// A query bound to its striped profiles and scoring scheme: scores one
-/// subject at a time with the fallback chain. One engine per worker thread
-/// (it owns mutable workspaces); the profiles are built once per query.
+/// The immutable, shareable half of a query's engine: the encoded query,
+/// the scoring scheme, and every striped profile the kernels may need.
 ///
-/// ```
-/// use swhybrid_align::scoring::{GapModel, Scoring, SubstMatrix};
-/// use swhybrid_simd::engine::{EnginePreference, StripedEngine};
-/// use swhybrid_seq::Alphabet;
-///
-/// let scoring = Scoring {
-///     matrix: SubstMatrix::blosum62(),
-///     gap: GapModel::Affine { open: 10, extend: 2 },
-/// };
-/// let query = Alphabet::Protein.encode(b"MKVLAWCDEF").unwrap();
-/// let subject = Alphabet::Protein.encode(b"MKVLWCDEF").unwrap();
-/// let mut engine = StripedEngine::new(&query, &scoring, EnginePreference::Auto);
-/// assert!(engine.score(&subject) > 0);
-/// assert_eq!(engine.stats().total(), 1);
-/// ```
-pub struct StripedEngine {
+/// Building the profiles is the per-query setup cost of a database scan
+/// (`O(query × alphabet)` work and the dominant allocation). A
+/// `PreparedQuery` is built once and shared — across the worker threads of
+/// one scan, and across *scans* by a long-lived server that sees the same
+/// query repeatedly. Engines ([`StripedEngine`]) stay per-thread because
+/// they own mutable workspaces; the profiles they read are behind an
+/// [`Arc`].
+pub struct PreparedQuery {
     query: Vec<u8>,
     scoring: Scoring,
     goe: i32,
@@ -84,17 +77,14 @@ pub struct StripedEngine {
     /// 16-lane profile, built only when the AVX2 kernels will run.
     profile16_avx: Option<StripedProfile<i16>>,
     preference: EnginePreference,
-    ws8: Workspace<i8>,
-    ws16: Workspace<i16>,
-    stats: KernelStats,
 }
 
-impl StripedEngine {
-    /// Build the engine for an encoded `query` under `scoring`.
-    pub fn new(query: &[u8], scoring: &Scoring, preference: EnginePreference) -> StripedEngine {
+impl PreparedQuery {
+    /// Build all profiles for an encoded `query` under `scoring`.
+    pub fn new(query: &[u8], scoring: &Scoring, preference: EnginePreference) -> PreparedQuery {
         let (open, ext) = gap_params(scoring.gap);
         let use_avx2 = preference != EnginePreference::Portable && crate::avx2::avx2_available();
-        StripedEngine {
+        PreparedQuery {
             query: query.to_vec(),
             scoring: scoring.clone(),
             goe: open + ext,
@@ -116,6 +106,69 @@ impl StripedEngine {
                 )
             }),
             preference,
+        }
+    }
+
+    /// The encoded query.
+    pub fn query(&self) -> &[u8] {
+        &self.query
+    }
+
+    /// Query length in residues.
+    pub fn query_len(&self) -> usize {
+        self.query.len()
+    }
+
+    /// The scoring scheme the profiles were built under.
+    pub fn scoring(&self) -> &Scoring {
+        &self.scoring
+    }
+
+    /// The kernel preference the profiles were built for.
+    pub fn preference(&self) -> EnginePreference {
+        self.preference
+    }
+}
+
+/// A query bound to its striped profiles and scoring scheme: scores one
+/// subject at a time with the fallback chain. One engine per worker thread
+/// (it owns mutable workspaces); the profiles live in a shared
+/// [`PreparedQuery`], built once per query.
+///
+/// ```
+/// use swhybrid_align::scoring::{GapModel, Scoring, SubstMatrix};
+/// use swhybrid_simd::engine::{EnginePreference, StripedEngine};
+/// use swhybrid_seq::Alphabet;
+///
+/// let scoring = Scoring {
+///     matrix: SubstMatrix::blosum62(),
+///     gap: GapModel::Affine { open: 10, extend: 2 },
+/// };
+/// let query = Alphabet::Protein.encode(b"MKVLAWCDEF").unwrap();
+/// let subject = Alphabet::Protein.encode(b"MKVLWCDEF").unwrap();
+/// let mut engine = StripedEngine::new(&query, &scoring, EnginePreference::Auto);
+/// assert!(engine.score(&subject) > 0);
+/// assert_eq!(engine.stats().total(), 1);
+/// ```
+pub struct StripedEngine {
+    prepared: Arc<PreparedQuery>,
+    ws8: Workspace<i8>,
+    ws16: Workspace<i16>,
+    stats: KernelStats,
+}
+
+impl StripedEngine {
+    /// Build the engine for an encoded `query` under `scoring` (profiles
+    /// are built fresh; use [`StripedEngine::with_prepared`] to share them).
+    pub fn new(query: &[u8], scoring: &Scoring, preference: EnginePreference) -> StripedEngine {
+        StripedEngine::with_prepared(Arc::new(PreparedQuery::new(query, scoring, preference)))
+    }
+
+    /// Wrap an already-built [`PreparedQuery`], paying only for the
+    /// (lazily grown) workspaces.
+    pub fn with_prepared(prepared: Arc<PreparedQuery>) -> StripedEngine {
+        StripedEngine {
+            prepared,
             ws8: Workspace::new(),
             ws16: Workspace::new(),
             stats: KernelStats::default(),
@@ -124,7 +177,7 @@ impl StripedEngine {
 
     /// Query length in residues.
     pub fn query_len(&self) -> usize {
-        self.query.len()
+        self.prepared.query_len()
     }
 
     /// Kernel-usage counters accumulated so far.
@@ -138,34 +191,33 @@ impl StripedEngine {
     }
 
     fn run_i8(&mut self, subject: &[u8]) -> StripedOutcome {
-        if let Some(profile) = &self.profile8_avx {
-            if let Some(out) = crate::avx2::sw_striped_i8_avx2(profile, subject, self.goe, self.ext)
-            {
+        let p = &self.prepared;
+        if let Some(profile) = &p.profile8_avx {
+            if let Some(out) = crate::avx2::sw_striped_i8_avx2(profile, subject, p.goe, p.ext) {
                 return out;
             }
         }
-        if self.preference != EnginePreference::Portable {
-            if let Some(out) = sse::sw_striped_i8(&self.profile8, subject, self.goe, self.ext) {
+        if p.preference != EnginePreference::Portable {
+            if let Some(out) = sse::sw_striped_i8(&p.profile8, subject, p.goe, p.ext) {
                 return out;
             }
         }
-        sw_striped_portable(&self.profile8, subject, self.goe, self.ext, &mut self.ws8)
+        sw_striped_portable(&p.profile8, subject, p.goe, p.ext, &mut self.ws8)
     }
 
     fn run_i16(&mut self, subject: &[u8]) -> StripedOutcome {
-        if let Some(profile) = &self.profile16_avx {
-            if let Some(out) =
-                crate::avx2::sw_striped_i16_avx2(profile, subject, self.goe, self.ext)
-            {
+        let p = &self.prepared;
+        if let Some(profile) = &p.profile16_avx {
+            if let Some(out) = crate::avx2::sw_striped_i16_avx2(profile, subject, p.goe, p.ext) {
                 return out;
             }
         }
-        if self.preference != EnginePreference::Portable {
-            if let Some(out) = sse::sw_striped_i16(&self.profile16, subject, self.goe, self.ext) {
+        if p.preference != EnginePreference::Portable {
+            if let Some(out) = sse::sw_striped_i16(&p.profile16, subject, p.goe, p.ext) {
                 return out;
             }
         }
-        sw_striped_portable(&self.profile16, subject, self.goe, self.ext, &mut self.ws16)
+        sw_striped_portable(&p.profile16, subject, p.goe, p.ext, &mut self.ws16)
     }
 
     /// Score one encoded subject, with the 8→16→scalar fallback chain.
@@ -185,7 +237,7 @@ impl StripedEngine {
             return out16.score;
         }
         self.stats.resolved_scalar += 1;
-        sw_score_affine(&self.query, subject, &self.scoring).score
+        sw_score_affine(&self.prepared.query, subject, &self.prepared.scoring).score
     }
 }
 

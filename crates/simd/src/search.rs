@@ -11,8 +11,9 @@
 //! database order), plus the kernel-usage counters.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
-use crate::engine::{EnginePreference, KernelStats, StripedEngine};
+use crate::engine::{EnginePreference, KernelStats, PreparedQuery, StripedEngine};
 use swhybrid_align::alignment::Alignment;
 use swhybrid_align::gotoh::gotoh_align;
 use swhybrid_align::scoring::Scoring;
@@ -92,6 +93,27 @@ impl SearchResult {
     }
 }
 
+/// Rank hits deterministically: score descending, ties broken by database
+/// order ascending. This is THE ranking of the whole workspace — every
+/// merge of partial hit lists (per-worker, per-shard, per-process) goes
+/// through here, so a result assembled from any decomposition of the
+/// database is bit-identical to a single sequential scan.
+pub fn rank_hits(hits: &mut [Hit]) {
+    hits.sort_by(|a, b| b.score.cmp(&a.score).then(a.db_index.cmp(&b.db_index)));
+}
+
+/// Merge any number of partial hit lists into the global top `top_n`.
+///
+/// Correct whenever each input list contains at least the top `top_n` hits
+/// of its own partition (lists shorter than that are taken whole): any
+/// global top-`top_n` hit is necessarily in its partition's top `top_n`.
+pub fn merge_top_n(lists: impl IntoIterator<Item = Vec<Hit>>, top_n: usize) -> Vec<Hit> {
+    let mut all: Vec<Hit> = lists.into_iter().flatten().collect();
+    rank_hits(&mut all);
+    all.truncate(top_n);
+    all
+}
+
 /// A prepared database search: one query against many subjects.
 pub struct DatabaseSearch<'a> {
     query: &'a [u8],
@@ -111,76 +133,97 @@ impl<'a> DatabaseSearch<'a> {
         }
     }
 
-    /// Scan `subjects` and return the ranked hits.
+    /// Scan `subjects` and return the ranked hits. The query profiles are
+    /// built once and shared by every worker.
     pub fn run(&self, subjects: &[EncodedSequence]) -> SearchResult {
-        let n_workers = self.config.threads.min(subjects.len().max(1));
-        let cursor = AtomicUsize::new(0);
-        let chunk = self.config.chunk_size;
+        let prepared = Arc::new(PreparedQuery::new(
+            self.query,
+            self.scoring,
+            self.config.preference,
+        ));
+        search_prepared(&prepared, subjects, &self.config)
+    }
+}
 
-        let mut worker_outputs: Vec<(Vec<Hit>, KernelStats)> = if n_workers == 1 {
-            vec![self.scan_worker(subjects, &cursor, chunk)]
-        } else {
-            let mut outs = Vec::with_capacity(n_workers);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..n_workers)
-                    .map(|_| scope.spawn(|| self.scan_worker(subjects, &cursor, chunk)))
-                    .collect();
-                for h in handles {
-                    outs.push(h.join().expect("search worker panicked"));
-                }
+/// Scan `subjects` with an already-prepared query (shared profiles). This
+/// is the entry point for long-lived callers — a server that keeps
+/// [`PreparedQuery`]s across searches skips the per-query profile build
+/// entirely. `config.preference` is ignored: the preference is baked into
+/// the prepared profiles.
+pub fn search_prepared(
+    prepared: &Arc<PreparedQuery>,
+    subjects: &[EncodedSequence],
+    config: &SearchConfig,
+) -> SearchResult {
+    assert!(config.threads >= 1, "at least one worker required");
+    assert!(config.chunk_size >= 1, "chunk size must be positive");
+    let n_workers = config.threads.min(subjects.len().max(1));
+    let cursor = AtomicUsize::new(0);
+
+    let mut worker_outputs: Vec<(Vec<Hit>, KernelStats)> = if n_workers == 1 {
+        vec![scan_worker(prepared, subjects, &cursor, config)]
+    } else {
+        let mut outs = Vec::with_capacity(n_workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n_workers)
+                .map(|_| scope.spawn(|| scan_worker(prepared, subjects, &cursor, config)))
+                .collect();
+            for h in handles {
+                outs.push(h.join().expect("search worker panicked"));
+            }
+        });
+        outs
+    };
+
+    let mut stats = KernelStats::default();
+    for (_, worker_stats) in &worker_outputs {
+        stats.merge(worker_stats);
+    }
+    let hits = merge_top_n(
+        worker_outputs.drain(..).map(|(worker_hits, _)| worker_hits),
+        config.top_n,
+    );
+
+    let total_residues: u64 = subjects.iter().map(|s| s.len() as u64).sum();
+    SearchResult {
+        hits,
+        cells: cells(prepared.query_len(), 1) * total_residues,
+        stats,
+    }
+}
+
+fn scan_worker(
+    prepared: &Arc<PreparedQuery>,
+    subjects: &[EncodedSequence],
+    cursor: &AtomicUsize,
+    config: &SearchConfig,
+) -> (Vec<Hit>, KernelStats) {
+    let chunk = config.chunk_size;
+    let mut engine = StripedEngine::with_prepared(Arc::clone(prepared));
+    let mut local: Vec<Hit> = Vec::new();
+    loop {
+        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+        if start >= subjects.len() {
+            break;
+        }
+        let end = (start + chunk).min(subjects.len());
+        for (offset, subject) in subjects[start..end].iter().enumerate() {
+            let score = engine.score(&subject.codes);
+            local.push(Hit {
+                db_index: start + offset,
+                id: subject.id.clone(),
+                score,
+                subject_len: subject.len(),
             });
-            outs
-        };
-
-        let mut stats = KernelStats::default();
-        let mut hits: Vec<Hit> = Vec::new();
-        for (mut worker_hits, worker_stats) in worker_outputs.drain(..) {
-            hits.append(&mut worker_hits);
-            stats.merge(&worker_stats);
         }
-        hits.sort_by(|a, b| b.score.cmp(&a.score).then(a.db_index.cmp(&b.db_index)));
-        hits.truncate(self.config.top_n);
-
-        let total_residues: u64 = subjects.iter().map(|s| s.len() as u64).sum();
-        SearchResult {
-            hits,
-            cells: cells(self.query.len(), 1) * total_residues,
-            stats,
+        // Keep the per-worker list bounded: only the global top-N can
+        // survive the merge anyway.
+        if local.len() > 4 * config.top_n.max(16) {
+            rank_hits(&mut local);
+            local.truncate(2 * config.top_n.max(8));
         }
     }
-
-    fn scan_worker(
-        &self,
-        subjects: &[EncodedSequence],
-        cursor: &AtomicUsize,
-        chunk: usize,
-    ) -> (Vec<Hit>, KernelStats) {
-        let mut engine = StripedEngine::new(self.query, self.scoring, self.config.preference);
-        let mut local: Vec<Hit> = Vec::new();
-        loop {
-            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-            if start >= subjects.len() {
-                break;
-            }
-            let end = (start + chunk).min(subjects.len());
-            for (offset, subject) in subjects[start..end].iter().enumerate() {
-                let score = engine.score(&subject.codes);
-                local.push(Hit {
-                    db_index: start + offset,
-                    id: subject.id.clone(),
-                    score,
-                    subject_len: subject.len(),
-                });
-            }
-            // Keep the per-worker list bounded: only the global top-N can
-            // survive the merge anyway.
-            if local.len() > 4 * self.config.top_n.max(16) {
-                local.sort_by(|a, b| b.score.cmp(&a.score).then(a.db_index.cmp(&b.db_index)));
-                local.truncate(2 * self.config.top_n.max(8));
-            }
-        }
-        (local, engine.stats())
-    }
+    (local, engine.stats())
 }
 
 #[cfg(test)]
@@ -354,5 +397,54 @@ mod tests {
         let result = DatabaseSearch::new(&query, &s, SearchConfig::default()).run(&[]);
         assert!(result.hits.is_empty());
         assert_eq!(result.cells, 0);
+    }
+
+    #[test]
+    fn merge_top_n_matches_whole_db_scan() {
+        // Shard the database arbitrarily, scan each shard, merge the
+        // per-shard top-N lists: the ranking must be bit-identical to a
+        // single scan of the whole database. This is the invariant the
+        // query service relies on when it splits one query across tasks.
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(167);
+        let query: Vec<u8> = (0..70).map(|_| rng.random_range(0..20u8)).collect();
+        let db = random_db(169, 120, 100);
+        let s = scoring();
+        let cfg = SearchConfig {
+            top_n: 15,
+            ..Default::default()
+        };
+        let whole = DatabaseSearch::new(&query, &s, cfg.clone()).run(&db);
+
+        let prepared = Arc::new(PreparedQuery::new(&query, &s, cfg.preference));
+        let bounds = [0usize, 13, 50, 51, 120];
+        let shard_lists: Vec<Vec<Hit>> = bounds
+            .windows(2)
+            .map(|w| {
+                let mut part = search_prepared(&prepared, &db[w[0]..w[1]], &cfg).hits;
+                // Shard hits index into the shard; rebase to global order.
+                for h in &mut part {
+                    h.db_index += w[0];
+                }
+                part
+            })
+            .collect();
+        let merged = merge_top_n(shard_lists, cfg.top_n);
+        assert_eq!(merged, whole.hits);
+    }
+
+    #[test]
+    fn merge_top_n_is_deterministic_on_ties() {
+        let hit = |db_index: usize, score: i32| Hit {
+            db_index,
+            id: format!("s{db_index}"),
+            score,
+            subject_len: 10,
+        };
+        // Two lists with interleaved ties: db order must break them.
+        let a = vec![hit(4, 50), hit(0, 40), hit(6, 40)];
+        let b = vec![hit(2, 50), hit(1, 40), hit(5, 60)];
+        let merged = merge_top_n([a, b], 4);
+        let order: Vec<usize> = merged.iter().map(|h| h.db_index).collect();
+        assert_eq!(order, vec![5, 2, 4, 0]);
     }
 }

@@ -54,7 +54,25 @@ USAGE:
       --register-timeout seconds; 0 waits forever), then distributes one
       task per query and prints the merged hits. A slave silent for
       --slave-deadline seconds is declared dead and its tasks requeued.
-      --events writes the structured run-event stream as JSON.
+      --events streams the structured run-event log as JSON lines (one
+      event per line, written as the run progresses).
+
+  swhybrid serve <db.fasta> --listen HOST:PORT [--workers N] [--shards N]
+                 [--max-active N] [--queue-depth N] [--client-inflight N]
+                 [--cache N] [--policy ss|pss] [--no-adjustment]
+                 [--matrix ...] [--gap-open N] [--gap-extend N]
+      Start the persistent query daemon: the database stays resident and
+      the master/slave scheduler stays warm between queries. Speaks
+      newline-delimited JSON (verbs: search, status, cancel, stats,
+      shutdown) with bounded admission, per-client in-flight limits, an
+      LRU result cache, and live metrics. Runs until a client sends
+      shutdown, then drains in-flight queries and exits.
+
+  swhybrid query [query.fasta] --connect HOST:PORT [--top N]
+                 [--deadline-ms N] [--stats] [--shutdown]
+      Send each query in the FASTA to a running daemon and print the
+      ranked hits (marking cache-served results). --stats prints the
+      daemon's metrics snapshot; --shutdown asks it to drain and exit.
 
   swhybrid slave <query.fasta> <db.fasta> --connect HOST:PORT
                  [--name NAME] [--gcups X] [--threads N]
@@ -92,6 +110,8 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("master") => cmd_master(&args[1..]),
         Some("slave") => cmd_slave(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
         Some(other) => Err(format!("unknown command {other:?}")),
     }
 }
@@ -480,7 +500,7 @@ fn cmd_master(args: &[String]) -> Result<(), String> {
         }
         net.slave_deadline = std::time::Duration::from_secs_f64(secs);
     }
-    let server = MasterServer::bind_with(
+    let mut server = MasterServer::bind_with(
         listen,
         MasterConfig {
             policy: policy_from_opts(&opts)?,
@@ -491,6 +511,23 @@ fn cmd_master(args: &[String]) -> Result<(), String> {
         net,
     )
     .map_err(|e| format!("bind {listen}: {e}"))?;
+    // Stream events as JSONL while the run progresses (a crashed or killed
+    // master still leaves every event up to that point on disk), instead
+    // of buffering the whole log until exit.
+    let mut events_streamed = None;
+    if let Some(path) = opts.get("events") {
+        use std::io::Write;
+        let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+        let mut out = std::io::LineWriter::new(file);
+        let written = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let counter = std::sync::Arc::clone(&written);
+        server = server.with_event_sink(move |event| {
+            // A full disk must not take the run down with it.
+            let _ = writeln!(out, "{}", event.to_json());
+            counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        events_streamed = Some((written, path.to_string()));
+    }
     println!(
         "master listening on {} for {} slave(s), {} tasks",
         server.local_addr().map_err(|e| e.to_string())?,
@@ -498,10 +535,11 @@ fn cmd_master(args: &[String]) -> Result<(), String> {
         queries.len()
     );
     let outcome = server.serve(specs).map_err(|e| e.to_string())?;
-    if let Some(path) = opts.get("events") {
-        let json = swhybrid::exec::trace::events_to_json(&outcome.events);
-        std::fs::write(path, json.to_string_pretty()).map_err(|e| format!("{path}: {e}"))?;
-        println!("wrote {} events to {path}", outcome.events.len());
+    if let Some((written, path)) = events_streamed {
+        println!(
+            "streamed {} events to {path}",
+            written.load(std::sync::atomic::Ordering::Relaxed)
+        );
     }
     println!(
         "\ncompleted {} tasks in {:.2} s  →  {:.2} GCUPS",
@@ -585,6 +623,166 @@ fn cmd_slave(args: &[String]) -> Result<(), String> {
     )
     .map_err(|e| e.to_string())?;
     println!("{name}: done, executed {executed} task(s)");
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use swhybrid::serve::{ServeDaemon, ServiceConfig};
+
+    let opts = Opts::parse(
+        args,
+        &[
+            "listen",
+            "workers",
+            "shards",
+            "max-active",
+            "queue-depth",
+            "client-inflight",
+            "cache",
+            "chunk",
+            "policy",
+            "matrix",
+            "gap-open",
+            "gap-extend",
+        ],
+        &["no-adjustment"],
+    )?;
+    let [dbpath] = opts.positional.as_slice() else {
+        return Err("serve takes <db.fasta>".into());
+    };
+    let scoring = scoring_from_opts(&opts)?;
+    let subjects = load_encoded(dbpath)?;
+    let listen = opts.get("listen").unwrap_or("127.0.0.1:7979");
+    let policy = match opts.get("policy").unwrap_or("pss") {
+        "ss" => Policy::SelfScheduling,
+        "pss" => Policy::pss_default(),
+        other => {
+            return Err(format!(
+                "serve needs a dynamic policy (ss|pss), got {other:?}"
+            ))
+        }
+    };
+    let default = ServiceConfig::default();
+    let config = ServiceConfig {
+        workers: opts.get_parsed("workers", default.workers)?,
+        shards: opts.get_parsed("shards", default.shards)?,
+        max_active: opts.get_parsed("max-active", default.max_active)?,
+        queue_depth: opts.get_parsed("queue-depth", default.queue_depth)?,
+        per_client_inflight: opts.get_parsed("client-inflight", default.per_client_inflight)?,
+        cache_capacity: opts.get_parsed("cache", default.cache_capacity)?,
+        chunk_size: opts.get_parsed("chunk", default.chunk_size)?,
+        policy,
+        adjustment: !opts.has("no-adjustment"),
+        ..default
+    };
+    if config.queue_depth == 0 || config.per_client_inflight == 0 {
+        return Err("--queue-depth and --client-inflight must be at least 1".into());
+    }
+    let residues: u64 = subjects.iter().map(|s| s.len() as u64).sum();
+    let workers = config.workers.max(1);
+    let daemon = ServeDaemon::bind(listen, subjects, scoring, config)
+        .map_err(|e| format!("bind {listen}: {e}"))?;
+    println!(
+        "serving {dbpath} ({residues} residues) on {} with {workers} worker(s)",
+        daemon.local_addr().map_err(|e| e.to_string())?
+    );
+    daemon.run().map_err(|e| e.to_string())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    use swhybrid::json::Json;
+    use swhybrid::serve::protocol::SearchRequest;
+    use swhybrid::serve::ServeClient;
+
+    let opts = Opts::parse(
+        args,
+        &["connect", "top", "deadline-ms"],
+        &["stats", "shutdown"],
+    )?;
+    let connect = opts
+        .get("connect")
+        .ok_or_else(|| "--connect HOST:PORT is required".to_string())?;
+    let top_n: usize = opts.get_parsed("top", 10)?;
+    let deadline_ms = match opts.get("deadline-ms") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<u64>()
+                .map_err(|_| format!("--deadline-ms: cannot parse {v:?}"))?,
+        ),
+    };
+    let mut client =
+        ServeClient::connect(connect).map_err(|e| format!("connect {connect}: {e}"))?;
+
+    match opts.positional.as_slice() {
+        [] => {}
+        [qpath] => {
+            let records = FastaReader::open(qpath)
+                .map_err(|e| format!("{qpath}: {e}"))?
+                .read_all()
+                .map_err(|e| format!("{qpath}: {e}"))?;
+            if records.is_empty() {
+                return Err(format!("{qpath}: no query sequences"));
+            }
+            for record in &records {
+                let reply = client
+                    .search_request(SearchRequest {
+                        query: String::from_utf8_lossy(&record.residues).into_owned(),
+                        top_n,
+                        deadline_ms,
+                        tag: Some(record.id.clone()),
+                        ack: false,
+                    })
+                    .map_err(|e| e.to_string())?;
+                print_daemon_result(&record.id, &reply)?;
+            }
+        }
+        _ => return Err("query takes at most one <query.fasta>".into()),
+    }
+
+    if opts.has("stats") {
+        let stats = client.stats().map_err(|e| e.to_string())?;
+        println!("{}", stats.to_string_pretty());
+    }
+    if opts.has("shutdown") {
+        let reply = client.shutdown().map_err(|e| e.to_string())?;
+        if reply.get("ok").and_then(Json::as_bool) != Some(true) {
+            return Err(format!("shutdown refused: {reply}"));
+        }
+        println!("daemon draining for shutdown");
+    }
+    Ok(())
+}
+
+fn print_daemon_result(qid: &str, reply: &swhybrid::json::Json) -> Result<(), String> {
+    use swhybrid::json::Json;
+
+    if reply.get("ok").and_then(Json::as_bool) != Some(true) {
+        let code = reply.get("error").and_then(Json::as_str).unwrap_or("error");
+        let reason = reply.get("reason").and_then(Json::as_str).unwrap_or("");
+        return Err(format!("query {qid}: {code}: {reason}"));
+    }
+    let job = reply.get("job").and_then(Json::as_u64).unwrap_or(0);
+    let cached = reply.get("cached").and_then(Json::as_bool).unwrap_or(false);
+    let elapsed = reply
+        .get("elapsed_ms")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    let cells = reply.get("cells").and_then(Json::as_u64).unwrap_or(0);
+    println!(
+        "\n# query {qid}: job {job} {} in {elapsed:.1} ms ({cells} cells)",
+        if cached { "cached" } else { "scanned" }
+    );
+    println!("{:>4}  {:>6}  {:>6}  subject", "rank", "score", "len");
+    let hits = swhybrid::serve::ServeClient::hits(reply).map_err(|e| format!("bad result: {e}"))?;
+    for (rank, hit) in hits.iter().enumerate() {
+        println!(
+            "{:>4}  {:>6}  {:>6}  {}",
+            rank + 1,
+            hit.score,
+            hit.subject_len,
+            hit.id
+        );
+    }
     Ok(())
 }
 
@@ -721,12 +919,90 @@ mod tests {
         ]))
         .unwrap();
         slave.join().unwrap();
+        // The export is JSONL: every line is one well-formed event object.
         let text = std::fs::read_to_string(&events).unwrap();
-        let json = swhybrid::json::Json::parse(&text).unwrap();
-        let swhybrid::json::Json::Arr(entries) = json else {
-            panic!("event export is not a JSON array");
-        };
+        let entries: Vec<swhybrid::json::Json> = text
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(|l| swhybrid::json::Json::parse(l).expect("event line is valid JSON"))
+            .collect();
         assert!(!entries.is_empty(), "event export is empty");
+        assert!(
+            entries.iter().all(|e| e
+                .get("event")
+                .and_then(swhybrid::json::Json::as_str)
+                .is_some()),
+            "every event line carries its kind"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_query_daemon_round_trip() {
+        // Exercise cmd_serve + cmd_query end-to-end: serve a synthetic
+        // database, query it twice (second hit must come from the cache),
+        // print stats, then shut the daemon down and join it.
+        let dir = std::env::temp_dir().join(format!("swhybrid_cli_serve_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let db = dir.join("db.fasta");
+        run(&s(&["generate", "dog", "0.0005", db.to_str().unwrap()])).unwrap();
+        let first = FastaReader::open(&db)
+            .unwrap()
+            .next_record()
+            .unwrap()
+            .unwrap();
+        let q = dir.join("q.fasta");
+        std::fs::write(&q, swhybrid::seq::fasta::to_string(std::iter::once(&first))).unwrap();
+
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap().to_string();
+        drop(probe);
+
+        let db2 = db.clone();
+        let addr2 = addr.clone();
+        let daemon = std::thread::spawn(move || {
+            run(&s(&[
+                "serve",
+                db2.to_str().unwrap(),
+                "--listen",
+                &addr2,
+                "--workers",
+                "2",
+            ]))
+            .unwrap();
+        });
+        // Retry until the daemon is listening.
+        let mut connected = false;
+        for _ in 0..300 {
+            if run(&s(&[
+                "query",
+                q.to_str().unwrap(),
+                "--connect",
+                &addr,
+                "--top",
+                "3",
+            ]))
+            .is_ok()
+            {
+                connected = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        assert!(connected, "query CLI never reached the daemon");
+        // Repeat (cache hit) + stats + shutdown in one connection.
+        run(&s(&[
+            "query",
+            q.to_str().unwrap(),
+            "--connect",
+            &addr,
+            "--top",
+            "3",
+            "--stats",
+            "--shutdown",
+        ]))
+        .unwrap();
+        daemon.join().unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 

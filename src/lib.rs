@@ -15,6 +15,9 @@
 //! * [`exec`] — the paper's contribution: the master/slave task execution
 //!   environment with SS/PSS allocation policies and the dynamic workload
 //!   adjustment mechanism,
+//! * [`serve`] — the persistent query service: a TCP daemon that keeps the
+//!   master/slave runtime warm between queries, with admission control,
+//!   an LRU result cache, and live metrics,
 //! * [`json`] — the dependency-free JSON reader/writer used for event and
 //!   trace export.
 //!
@@ -25,4 +28,5 @@ pub use swhybrid_core as exec;
 pub use swhybrid_device as device;
 pub use swhybrid_json as json;
 pub use swhybrid_seq as seq;
+pub use swhybrid_serve as serve;
 pub use swhybrid_simd as simd;
