@@ -113,8 +113,11 @@ fn bench_kernels(c: &mut Criterion) {
 }
 
 fn bench_interseq(c: &mut Criterion) {
+    use std::sync::Arc;
     use swhybrid_seq::sequence::EncodedSequence;
-    use swhybrid_simd::interseq::scores_inter_sequence;
+    use swhybrid_seq::DbArena;
+    use swhybrid_simd::engine::{KernelStats, PreparedQuery};
+    use swhybrid_simd::interseq::{scores_arena, scores_inter_sequence};
     use swhybrid_simd::search::{DatabaseSearch, SearchConfig};
 
     let aff = affine();
@@ -126,6 +129,7 @@ fn bench_interseq(c: &mut Criterion) {
             alphabet: swhybrid_seq::Alphabet::Protein,
         })
         .collect();
+    let arena = DbArena::from_encoded(&subjects);
     let total: u64 = subjects.iter().map(|s| s.len() as u64).sum();
     let _ = &mut rng;
 
@@ -134,9 +138,22 @@ fn bench_interseq(c: &mut Criterion) {
     for qlen in [200usize, 1000] {
         let query = random_seq(qlen as u64 + 1, qlen);
         group.throughput(Throughput::Elements(qlen as u64 * total));
-        group.bench_with_input(BenchmarkId::new("inter_sequence", qlen), &qlen, |b, _| {
-            b.iter(|| scores_inter_sequence(&query, &subjects, &aff))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("inter_sequence_portable", qlen),
+            &qlen,
+            |b, _| b.iter(|| scores_inter_sequence(&query, &subjects, &aff)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("inter_sequence_simd", qlen),
+            &qlen,
+            |b, _| {
+                let prepared = Arc::new(PreparedQuery::new(&query, &aff, EnginePreference::Auto));
+                b.iter(|| {
+                    let mut stats = KernelStats::default();
+                    scores_arena(&prepared, &arena, 0..arena.len(), &mut stats)
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("striped_scan", qlen), &qlen, |b, _| {
             let search = DatabaseSearch::new(
                 &query,

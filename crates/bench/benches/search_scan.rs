@@ -6,9 +6,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use swhybrid_align::scoring::{GapModel, Scoring, SubstMatrix};
+use swhybrid_seq::sequence::EncodedSequence;
 use swhybrid_seq::synth::paper_database;
 use swhybrid_simd::engine::EnginePreference;
-use swhybrid_simd::search::{DatabaseSearch, SearchConfig};
+use swhybrid_simd::search::{DatabaseSearch, KernelChoice, SearchConfig};
 
 fn bench_scan(c: &mut Criterion) {
     let scoring = Scoring {
@@ -45,6 +46,81 @@ fn bench_scan(c: &mut Criterion) {
                         top_n: 10,
                         chunk_size: 64,
                         preference: pref,
+                        ..Default::default()
+                    },
+                );
+                b.iter(|| search.run(&subjects))
+            });
+        }
+    }
+    group.finish();
+}
+
+/// A deliberately length-skewed database: a large body of short subjects
+/// plus a handful of long outliers — the shape that starves the striped
+/// kernel on per-subject setup and favours the inter-sequence kernel.
+fn skewed_db(seed: u64, n: usize) -> Vec<EncodedSequence> {
+    let mut rng = swhybrid_seq::synth::rng(seed);
+    (0..n)
+        .map(|i| {
+            let len = if i % 97 == 0 {
+                400 + (i % 7) * 100
+            } else {
+                20 + i % 61
+            };
+            let ascii = swhybrid_seq::synth::random_protein(&mut rng, len);
+            let codes = swhybrid_seq::Alphabet::Protein
+                .encode(&ascii)
+                .expect("valid synthetic residues");
+            EncodedSequence {
+                id: format!("s{i}"),
+                codes,
+                alphabet: swhybrid_seq::Alphabet::Protein,
+            }
+        })
+        .collect()
+}
+
+/// Striped vs inter-sequence vs adaptive dispatch over the skewed database,
+/// with and without length-sorted scan order. Throughput is nominal cells
+/// (query × residues), so the kernels are directly comparable.
+fn bench_kernel_dispatch(c: &mut Criterion) {
+    let scoring = Scoring {
+        matrix: SubstMatrix::blosum62(),
+        gap: GapModel::Affine {
+            open: 10,
+            extend: 2,
+        },
+    };
+    let subjects = skewed_db(11, 2000);
+    let total: u64 = subjects.iter().map(|s| s.len() as u64).sum();
+
+    let mut group = c.benchmark_group("kernel_dispatch");
+    group.sample_size(10);
+    for qlen in [128usize, 512] {
+        let mut rng = swhybrid_seq::synth::rng(qlen as u64);
+        let query_ascii = swhybrid_seq::synth::random_protein(&mut rng, qlen);
+        let query = swhybrid_seq::Alphabet::Protein
+            .encode(&query_ascii)
+            .expect("valid synthetic residues");
+        group.throughput(Throughput::Elements(qlen as u64 * total));
+        for (label, kernel, sort_by_length) in [
+            ("striped", KernelChoice::Striped, false),
+            ("interseq", KernelChoice::InterSeq, false),
+            ("interseq_sorted", KernelChoice::InterSeq, true),
+            ("auto", KernelChoice::Auto, false),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, qlen), &qlen, |b, _| {
+                let search = DatabaseSearch::new(
+                    &query,
+                    &scoring,
+                    SearchConfig {
+                        threads: 1,
+                        top_n: 10,
+                        chunk_size: 64,
+                        preference: EnginePreference::Auto,
+                        kernel,
+                        sort_by_length,
                     },
                 );
                 b.iter(|| search.run(&subjects))
@@ -65,6 +141,6 @@ fn fast_config() -> Criterion {
 criterion_group! {
     name = benches;
     config = fast_config();
-    targets = bench_scan
+    targets = bench_scan, bench_kernel_dispatch
 }
 criterion_main!(benches);

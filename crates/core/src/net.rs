@@ -85,6 +85,7 @@ use swhybrid_device::exec::{merge_hits, ComputeBackend, QueryHit};
 use swhybrid_device::task::TaskSpec;
 use swhybrid_json::Json;
 use swhybrid_seq::sequence::EncodedSequence;
+use swhybrid_simd::engine::KernelStats;
 
 /// Timing and fault-tolerance knobs of the TCP runtime. The defaults are
 /// conservative LAN values; every test that injects faults tightens them.
@@ -216,6 +217,9 @@ pub enum SlaveMsg {
         gcups: f64,
         /// Top hits of the comparison.
         hits: Vec<WireHit>,
+        /// Kernel-usage counters of the scan. Optional on the wire: older
+        /// slaves simply omit the field.
+        kernels: Option<KernelStats>,
     },
     /// Periodic liveness signal; carries no state.
     Heartbeat,
@@ -272,6 +276,42 @@ fn field_usize(v: &Json, key: &str) -> Result<usize, String> {
         .ok_or_else(|| format!("field '{key}' is not a non-negative integer"))
 }
 
+/// Kernel counters as a JSON object (the optional `kernels` field of a
+/// `finished` message, and the serve daemon's `stats` reply).
+pub fn kernels_to_json(k: &KernelStats) -> Json {
+    Json::obj([
+        ("striped_i8", Json::Num(k.resolved_i8 as f64)),
+        ("striped_i16", Json::Num(k.resolved_i16 as f64)),
+        ("striped_scalar", Json::Num(k.resolved_scalar as f64)),
+        ("interseq_i8", Json::Num(k.interseq_i8 as f64)),
+        ("interseq_i16", Json::Num(k.interseq_i16 as f64)),
+        ("interseq_scalar", Json::Num(k.interseq_scalar as f64)),
+        ("chunks_striped", Json::Num(k.chunks_striped as f64)),
+        ("chunks_interseq", Json::Num(k.chunks_interseq as f64)),
+        ("cells_computed", Json::Num(k.cells_computed as f64)),
+    ])
+}
+
+/// Parse kernel counters serialised by [`kernels_to_json`].
+pub fn kernels_from_json(v: &Json) -> Result<KernelStats, String> {
+    let get = |key: &str| -> Result<u64, String> {
+        field(v, key)?
+            .as_u64()
+            .ok_or_else(|| format!("kernel counter '{key}' is not a non-negative integer"))
+    };
+    Ok(KernelStats {
+        resolved_i8: get("striped_i8")?,
+        resolved_i16: get("striped_i16")?,
+        resolved_scalar: get("striped_scalar")?,
+        interseq_i8: get("interseq_i8")?,
+        interseq_i16: get("interseq_i16")?,
+        interseq_scalar: get("interseq_scalar")?,
+        chunks_striped: get("chunks_striped")?,
+        chunks_interseq: get("chunks_interseq")?,
+        cells_computed: get("cells_computed")?,
+    })
+}
+
 /// One wire message: a single JSON line in each direction.
 trait Wire: Sized {
     fn to_json(&self) -> Json;
@@ -291,15 +331,26 @@ impl Wire for SlaveMsg {
                 ("type", Json::str("started")),
                 ("task", Json::Num(*task as f64)),
             ]),
-            SlaveMsg::Finished { task, gcups, hits } => Json::obj([
-                ("type", Json::str("finished")),
-                ("task", Json::Num(*task as f64)),
-                ("gcups", Json::Num(*gcups)),
-                (
-                    "hits",
-                    Json::Arr(hits.iter().map(WireHit::to_json).collect()),
-                ),
-            ]),
+            SlaveMsg::Finished {
+                task,
+                gcups,
+                hits,
+                kernels,
+            } => {
+                let mut fields = vec![
+                    ("type", Json::str("finished")),
+                    ("task", Json::Num(*task as f64)),
+                    ("gcups", Json::Num(*gcups)),
+                    (
+                        "hits",
+                        Json::Arr(hits.iter().map(WireHit::to_json).collect()),
+                    ),
+                ];
+                if let Some(k) = kernels {
+                    fields.push(("kernels", kernels_to_json(k)));
+                }
+                Json::obj(fields)
+            }
             SlaveMsg::Heartbeat => Json::obj([("type", Json::str("heartbeat"))]),
         }
     }
@@ -323,6 +374,7 @@ impl Wire for SlaveMsg {
                     .iter()
                     .map(WireHit::from_json)
                     .collect::<Result<_, _>>()?,
+                kernels: v.get("kernels").map(kernels_from_json).transpose()?,
             }),
             "heartbeat" => Ok(SlaveMsg::Heartbeat),
             other => Err(format!("unknown slave message type '{other}'")),
@@ -576,11 +628,23 @@ impl Hub {
     }
 
     /// Record a completed task; the first finisher's hits win.
-    fn finish(&mut self, pe: PeId, task: TaskId, gcups: f64, hits: Vec<WireHit>, now: f64) {
+    fn finish(
+        &mut self,
+        pe: PeId,
+        task: TaskId,
+        gcups: f64,
+        hits: Vec<WireHit>,
+        kernels: Option<KernelStats>,
+        now: f64,
+    ) {
         let was_first = self.master.pool().get(task).state != TaskState::Finished;
         let name = self.master.pe_name(pe).to_string();
         self.master.task_finished(pe, task, now, Some(gcups));
         if was_first {
+            if let Some(kernels) = kernels {
+                self.master
+                    .record_event(now, EventKind::TaskKernels { pe, task, kernels });
+            }
             self.results[task] = Some(hits);
             self.completed_by[task] = name;
         }
@@ -875,14 +939,19 @@ fn connection_reader<'scope>(
                         }
                         g.master.task_started(pe_id, task, now);
                     }
-                    SlaveMsg::Finished { task, gcups, hits } => {
+                    SlaveMsg::Finished {
+                        task,
+                        gcups,
+                        hits,
+                        kernels,
+                    } => {
                         if task >= g.results.len() {
                             g.disconnect(pe_id, now, false);
                             drop(g);
                             hub.notify_all();
                             return;
                         }
-                        g.finish(pe_id, task, gcups, hits, now);
+                        g.finish(pe_id, task, gcups, hits, kernels, now);
                     }
                     SlaveMsg::Register { .. } => {
                         g.disconnect(pe_id, now, false);
@@ -1217,6 +1286,7 @@ fn slave_work_loop(
                 task,
                 gcups,
                 hits: result.hits.into_iter().map(WireHit::from_hit).collect(),
+                kernels: Some(result.stats),
             };
             if send_msg(&finished).is_err() {
                 return Ok(SessionEnd::Lost(executed));
@@ -1289,6 +1359,15 @@ mod tests {
                     score: -7, // scores can be negative; as_i64, not as_u64
                     subject_len: 99,
                 }],
+                kernels: Some(KernelStats {
+                    resolved_i8: 5,
+                    interseq_i8: 40,
+                    interseq_i16: 2,
+                    chunks_striped: 1,
+                    chunks_interseq: 3,
+                    cells_computed: 12_345,
+                    ..Default::default()
+                }),
             },
             SlaveMsg::Heartbeat,
         ];
@@ -1322,7 +1401,12 @@ mod tests {
         // The finished round-trip preserves the hit verbatim.
         let msg = decode::<SlaveMsg>(&slave_msgs[3].to_json().to_string()).unwrap();
         match msg {
-            SlaveMsg::Finished { task, gcups, hits } => {
+            SlaveMsg::Finished {
+                task,
+                gcups,
+                hits,
+                kernels,
+            } => {
                 assert_eq!(task, 3);
                 assert!((gcups - 2.5).abs() < 1e-12);
                 assert_eq!(
@@ -1334,7 +1418,17 @@ mod tests {
                         subject_len: 99,
                     }]
                 );
+                let k = kernels.expect("kernels field must round-trip");
+                assert_eq!(k.interseq_i8, 40);
+                assert_eq!(k.cells_computed, 12_345);
             }
+            other => panic!("wrong decode: {other:?}"),
+        }
+        // A finished line without the kernels field (an older slave) still
+        // decodes, with the counters absent.
+        let legacy = r#"{"type":"finished","task":1,"gcups":1.0,"hits":[]}"#;
+        match decode::<SlaveMsg>(legacy).unwrap() {
+            SlaveMsg::Finished { kernels, .. } => assert!(kernels.is_none()),
             other => panic!("wrong decode: {other:?}"),
         }
     }
@@ -1507,6 +1601,7 @@ mod tests {
                 task: first,
                 gcups: 1000.0,
                 hits: result.hits.into_iter().map(WireHit::from_hit).collect(),
+                kernels: Some(result.stats),
             },
         )
         .unwrap();

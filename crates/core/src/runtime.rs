@@ -27,7 +27,7 @@ use crate::master::{Assignment, Master, MasterConfig};
 use crate::shared::WaitHub;
 use crate::stats::observed_gcups;
 use crate::task::TaskId;
-use crate::trace::RuntimeEvent;
+use crate::trace::{EventKind, RuntimeEvent};
 use swhybrid_align::scoring::Scoring;
 use swhybrid_device::exec::{merge_hits, ComputeBackend, QueryHit};
 use swhybrid_device::task::TaskSpec;
@@ -159,7 +159,18 @@ pub fn run_real(
                         let mut m = hub.lock();
                         let was_first =
                             m.pool().get(task).state != crate::task::TaskState::Finished;
-                        m.task_finished(pe_id, task, start.elapsed().as_secs_f64(), Some(gcups));
+                        let now = start.elapsed().as_secs_f64();
+                        m.task_finished(pe_id, task, now, Some(gcups));
+                        if was_first {
+                            m.record_event(
+                                now,
+                                EventKind::TaskKernels {
+                                    pe: pe_id,
+                                    task,
+                                    kernels: search.stats,
+                                },
+                            );
+                        }
                         was_first
                     };
                     // A finish can complete the run or free a replication

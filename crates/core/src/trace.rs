@@ -219,6 +219,18 @@ pub enum EventKind {
         /// The measured speed of the completion, GCUPS.
         measured_gcups: f64,
     },
+    /// Kernel-usage breakdown of a finished task's scan: which kernel
+    /// family scored how many subjects (striped vs inter-sequence, with
+    /// their i8/i16/scalar saturation fallbacks), how chunks were
+    /// dispatched, and the DP cells actually computed.
+    TaskKernels {
+        /// The completing PE.
+        pe: PeId,
+        /// The task.
+        task: TaskId,
+        /// The merged kernel counters of the task's scan.
+        kernels: swhybrid_simd::engine::KernelStats,
+    },
     /// A replica was cancelled because another PE finished first; its work
     /// so far is the mechanism's duplicated-cells cost.
     ReplicaCancelled {
@@ -254,6 +266,7 @@ impl EventKind {
             EventKind::TaskStolen { .. } => "task_stolen",
             EventKind::TaskReplicated { .. } => "task_replicated",
             EventKind::TaskFinished { .. } => "task_finished",
+            EventKind::TaskKernels { .. } => "task_kernels",
             EventKind::ReplicaCancelled { .. } => "replica_cancelled",
             EventKind::TaskRequeued { .. } => "task_requeued",
             EventKind::RunCompleted => "run_completed",
@@ -309,6 +322,23 @@ impl RuntimeEvent {
                 push("task", Json::Num(*task as f64));
                 push("winner", Json::Bool(*winner));
                 push("measured_gcups", Json::Num(*measured_gcups));
+            }
+            EventKind::TaskKernels { pe, task, kernels } => {
+                push("pe", Json::Num(*pe as f64));
+                push("task", Json::Num(*task as f64));
+                for (key, value) in [
+                    ("striped_i8", kernels.resolved_i8),
+                    ("striped_i16", kernels.resolved_i16),
+                    ("striped_scalar", kernels.resolved_scalar),
+                    ("interseq_i8", kernels.interseq_i8),
+                    ("interseq_i16", kernels.interseq_i16),
+                    ("interseq_scalar", kernels.interseq_scalar),
+                    ("chunks_striped", kernels.chunks_striped),
+                    ("chunks_interseq", kernels.chunks_interseq),
+                    ("cells_computed", kernels.cells_computed),
+                ] {
+                    push(key, Json::Num(value as f64));
+                }
             }
             EventKind::ReplicaCancelled {
                 pe,
@@ -501,6 +531,11 @@ mod tests {
                 task: 0,
                 winner: true,
                 measured_gcups: 0.0,
+            },
+            EventKind::TaskKernels {
+                pe: 0,
+                task: 0,
+                kernels: swhybrid_simd::engine::KernelStats::default(),
             },
             EventKind::ReplicaCancelled {
                 pe: 0,

@@ -11,7 +11,7 @@
 use swhybrid_align::scoring::Scoring;
 use swhybrid_seq::sequence::EncodedSequence;
 use swhybrid_simd::engine::EnginePreference;
-use swhybrid_simd::search::{DatabaseSearch, Hit, SearchConfig, SearchResult};
+use swhybrid_simd::search::{DatabaseSearch, Hit, KernelChoice, SearchConfig, SearchResult};
 
 /// A backend that can actually compute a query × database comparison.
 pub trait ComputeBackend: Send + Sync {
@@ -31,6 +31,8 @@ pub trait ComputeBackend: Send + Sync {
 pub struct StripedBackend {
     /// Kernel family preference.
     pub preference: EnginePreference,
+    /// Chunk dispatch: striped, inter-sequence, or adaptive.
+    pub kernel: KernelChoice,
 }
 
 impl ComputeBackend for StripedBackend {
@@ -49,6 +51,8 @@ impl ComputeBackend for StripedBackend {
                 top_n,
                 chunk_size: 64,
                 preference: self.preference,
+                kernel: self.kernel,
+                ..Default::default()
             },
         )
         .run(subjects)

@@ -1,0 +1,211 @@
+//! Flat database arena: one contiguous residue buffer plus `(offset, len)`
+//! spans.
+//!
+//! The alignment kernels scan the database sequentially; storing every
+//! subject in its own `Vec<u8>` makes that scan chase one heap pointer per
+//! sequence and defeats hardware prefetch. The arena packs all residues
+//! into a single buffer **in scan order**, so chunk claiming and the
+//! inter-sequence kernel's lane refill read forward through memory.
+//!
+//! Scan order is either database order ([`DbArena::from_encoded`]) or
+//! ascending sequence length ([`DbArena::length_sorted`]). The length-sorted
+//! order makes chunks length-homogeneous — what the inter-sequence kernel
+//! wants, since lanes idle while the longest sequence of a batch drains —
+//! and keeps a permutation back to database indices: consumers must report
+//! [`DbArena::db_index`], never the scan position, so rankings stay
+//! bit-identical to a database-order scan.
+
+use crate::sequence::EncodedSequence;
+
+/// A flat, immutable database of encoded sequences.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DbArena {
+    /// All residues, concatenated in scan order.
+    residues: Vec<u8>,
+    /// Per-sequence `(offset, len)` into `residues`, in scan order.
+    spans: Vec<(usize, usize)>,
+    /// Scan position → database index; `None` means scan order *is*
+    /// database order.
+    perm: Option<Vec<usize>>,
+}
+
+impl DbArena {
+    /// Pack `subjects` in database order.
+    pub fn from_encoded(subjects: &[EncodedSequence]) -> DbArena {
+        DbArena::pack(subjects, None)
+    }
+
+    /// Pack `subjects` in ascending length order (stable: equal lengths keep
+    /// database order), remembering the permutation back to database
+    /// indices.
+    pub fn length_sorted(subjects: &[EncodedSequence]) -> DbArena {
+        let mut order: Vec<usize> = (0..subjects.len()).collect();
+        order.sort_by_key(|&i| subjects[i].len());
+        DbArena::pack(subjects, Some(order))
+    }
+
+    fn pack(subjects: &[EncodedSequence], perm: Option<Vec<usize>>) -> DbArena {
+        let total: usize = subjects.iter().map(|s| s.len()).sum();
+        let mut residues = Vec::with_capacity(total);
+        let mut spans = Vec::with_capacity(subjects.len());
+        let positions: &mut dyn Iterator<Item = usize> = match &perm {
+            Some(order) => &mut order.iter().copied(),
+            None => &mut (0..subjects.len()),
+        };
+        for db_index in positions {
+            let codes = &subjects[db_index].codes;
+            spans.push((residues.len(), codes.len()));
+            residues.extend_from_slice(codes);
+        }
+        DbArena {
+            residues,
+            spans,
+            perm,
+        }
+    }
+
+    /// Number of sequences.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the arena holds no sequences.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Total residues across all sequences.
+    #[inline]
+    pub fn total_residues(&self) -> u64 {
+        self.residues.len() as u64
+    }
+
+    /// Residues of the sequence at scan position `pos`.
+    #[inline]
+    pub fn residues(&self, pos: usize) -> &[u8] {
+        let (offset, len) = self.spans[pos];
+        &self.residues[offset..offset + len]
+    }
+
+    /// `(offset, len)` span of scan position `pos`.
+    #[inline]
+    pub fn span(&self, pos: usize) -> (usize, usize) {
+        self.spans[pos]
+    }
+
+    /// Length in residues of the sequence at scan position `pos`.
+    #[inline]
+    pub fn seq_len(&self, pos: usize) -> usize {
+        self.spans[pos].1
+    }
+
+    /// The whole residue buffer (scan order).
+    #[inline]
+    pub fn buffer(&self) -> &[u8] {
+        &self.residues
+    }
+
+    /// Database index of the sequence at scan position `pos` — the
+    /// un-permutation every consumer must apply before reporting hits.
+    #[inline]
+    pub fn db_index(&self, pos: usize) -> usize {
+        match &self.perm {
+            Some(order) => order[pos],
+            None => pos,
+        }
+    }
+
+    /// Whether scan order differs from database order.
+    #[inline]
+    pub fn is_permuted(&self) -> bool {
+        self.perm.is_some()
+    }
+
+    /// Total residues of the scan positions in `range`.
+    pub fn range_residues(&self, range: std::ops::Range<usize>) -> u64 {
+        self.spans[range].iter().map(|&(_, len)| len as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+
+    fn seqs(lens: &[usize]) -> Vec<EncodedSequence> {
+        lens.iter()
+            .enumerate()
+            .map(|(i, &len)| EncodedSequence {
+                id: format!("s{i}"),
+                codes: (0..len).map(|j| ((i + j) % 20) as u8).collect(),
+                alphabet: Alphabet::Protein,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn db_order_round_trips() {
+        let subjects = seqs(&[3, 0, 5, 1]);
+        let arena = DbArena::from_encoded(&subjects);
+        assert_eq!(arena.len(), 4);
+        assert_eq!(arena.total_residues(), 9);
+        assert!(!arena.is_permuted());
+        for (i, s) in subjects.iter().enumerate() {
+            assert_eq!(arena.residues(i), &s.codes[..]);
+            assert_eq!(arena.seq_len(i), s.len());
+            assert_eq!(arena.db_index(i), i);
+        }
+    }
+
+    #[test]
+    fn residues_are_contiguous_in_scan_order() {
+        let subjects = seqs(&[2, 4, 3]);
+        let arena = DbArena::from_encoded(&subjects);
+        let mut expect = Vec::new();
+        for s in &subjects {
+            expect.extend_from_slice(&s.codes);
+        }
+        assert_eq!(arena.buffer(), &expect[..]);
+        let (o1, l1) = arena.span(1);
+        assert_eq!((o1, l1), (2, 4));
+    }
+
+    #[test]
+    fn length_sorted_permutes_and_unpermutes() {
+        let subjects = seqs(&[9, 2, 7, 2, 4]);
+        let arena = DbArena::length_sorted(&subjects);
+        assert!(arena.is_permuted());
+        // Ascending lengths, ties in database order.
+        let lens: Vec<usize> = (0..arena.len()).map(|p| arena.seq_len(p)).collect();
+        assert_eq!(lens, vec![2, 2, 4, 7, 9]);
+        let order: Vec<usize> = (0..arena.len()).map(|p| arena.db_index(p)).collect();
+        assert_eq!(order, vec![1, 3, 4, 2, 0]);
+        // Every scan position still reads its own sequence's residues.
+        for pos in 0..arena.len() {
+            assert_eq!(
+                arena.residues(pos),
+                &subjects[arena.db_index(pos)].codes[..]
+            );
+        }
+    }
+
+    #[test]
+    fn range_residues_sums_spans() {
+        let subjects = seqs(&[3, 5, 2, 8]);
+        let arena = DbArena::from_encoded(&subjects);
+        assert_eq!(arena.range_residues(1..3), 7);
+        assert_eq!(arena.range_residues(0..4), 18);
+        assert_eq!(arena.range_residues(2..2), 0);
+    }
+
+    #[test]
+    fn empty_database() {
+        let arena = DbArena::from_encoded(&[]);
+        assert!(arena.is_empty());
+        assert_eq!(arena.total_residues(), 0);
+        let sorted = DbArena::length_sorted(&[]);
+        assert_eq!(sorted.len(), 0);
+    }
+}

@@ -5,6 +5,9 @@
 //!
 //! * [`alphabet`] — DNA / RNA / protein alphabets and residue encoding,
 //! * [`sequence`] — sequence records (identifier, description, residues),
+//! * [`arena`] — a flat database arena (contiguous residues + spans) with an
+//!   optional length-sorted scan order, the memory layout the scan kernels
+//!   stream through,
 //! * [`fasta`] — a streaming FASTA reader/writer,
 //! * [`index`] — the paper's indexed sequence-file format (§IV-B): sequence
 //!   count, longest-sequence size, and per-sequence byte offsets for fast
@@ -21,6 +24,7 @@
 //! scale (materialised residues) suitable for real kernel execution.
 
 pub mod alphabet;
+pub mod arena;
 pub mod db;
 pub mod digest;
 pub mod error;
@@ -30,6 +34,7 @@ pub mod sequence;
 pub mod synth;
 
 pub use alphabet::Alphabet;
+pub use arena::DbArena;
 pub use db::{Database, DbStats};
 pub use error::SeqError;
 pub use sequence::Sequence;

@@ -9,6 +9,7 @@
 
 use swhybrid_core::trace::{EventKind, RuntimeEvent};
 use swhybrid_json::Json;
+use swhybrid_simd::engine::KernelStats;
 
 /// Upper bounds (milliseconds) of the latency histogram buckets; the last
 /// bucket is unbounded.
@@ -175,6 +176,8 @@ pub struct Metrics {
     pub served_from_cache: u64,
     /// End-to-end latency (admission→reply, cache hits included).
     pub latency: LatencyHistogram,
+    /// Cumulative kernel usage across every shard scan (winner or not).
+    pub kernels: KernelStats,
     /// Per-PE throughput, indexed by `PeId`.
     pub pes: Vec<PeMetric>,
 }

@@ -29,6 +29,7 @@ use std::time::{Duration, Instant};
 
 use swhybrid_align::scoring::{GapModel, Scoring};
 use swhybrid_core::master::{Assignment, Master, MasterConfig};
+use swhybrid_core::net::kernels_to_json;
 use swhybrid_core::policy::Policy;
 use swhybrid_core::shared::WaitHub;
 use swhybrid_core::stats::observed_gcups;
@@ -38,8 +39,9 @@ use swhybrid_device::task::TaskSpec;
 use swhybrid_json::Json;
 use swhybrid_seq::digest::{db_digest, query_digest, Fnv1a};
 use swhybrid_seq::sequence::EncodedSequence;
-use swhybrid_simd::engine::{EnginePreference, PreparedQuery};
-use swhybrid_simd::search::{merge_top_n, search_prepared, Hit, SearchConfig};
+use swhybrid_seq::DbArena;
+use swhybrid_simd::engine::{EnginePreference, KernelStats, PreparedQuery};
+use swhybrid_simd::search::{merge_top_n, search_arena, Hit, KernelChoice, SearchConfig};
 
 use crate::admission::{AdmissionQueue, AdmitError};
 use crate::cache::{CacheKey, ResultCache};
@@ -68,6 +70,8 @@ pub struct ServiceConfig {
     pub chunk_size: usize,
     /// Kernel preference for the striped engines.
     pub preference: EnginePreference,
+    /// Chunk dispatch: striped, inter-sequence, or adaptive.
+    pub kernel: KernelChoice,
     /// Task allocation policy (must be dynamic: SS or PSS).
     pub policy: Policy,
     /// Whether the workload adjustment mechanism is active.
@@ -85,6 +89,7 @@ impl Default for ServiceConfig {
             cache_capacity: 128,
             chunk_size: 16,
             preference: EnginePreference::Auto,
+            kernel: KernelChoice::Auto,
             policy: Policy::pss_default(),
             adjustment: true,
         }
@@ -169,6 +174,9 @@ struct Job {
     /// The database snapshot this job scans (survives a concurrent
     /// [`QueryService::swap_db`]).
     db: Arc<Vec<EncodedSequence>>,
+    /// Flat arena over the same snapshot, in database order, so shard scan
+    /// positions are global database indices.
+    arena: Arc<DbArena>,
     top_n: usize,
     key: CacheKey,
     submitted_at: f64,
@@ -190,6 +198,7 @@ struct Exec {
     metrics: Metrics,
     events_rx: Receiver<RuntimeEvent>,
     db: Arc<Vec<EncodedSequence>>,
+    db_arena: Arc<DbArena>,
     db_generation: u64,
     db_digest: u64,
     active_jobs: usize,
@@ -299,6 +308,7 @@ impl QueryService {
         }
 
         let db = Arc::new(db);
+        let db_arena = Arc::new(DbArena::from_encoded(&db));
         let digest = db_digest(&db);
         let inner = Arc::new(Inner {
             hub: WaitHub::new(Exec {
@@ -310,6 +320,7 @@ impl QueryService {
                 metrics: Metrics::default(),
                 events_rx,
                 db,
+                db_arena,
                 db_generation: 0,
                 db_digest: digest,
                 active_jobs: 0,
@@ -383,11 +394,13 @@ impl QueryService {
                 let now = inner.now();
                 let job_id = g.jobs.len() as u64;
                 let db = Arc::clone(&g.db);
+                let arena = Arc::clone(&g.db_arena);
                 g.jobs.push(Job {
                     client,
                     tag: tag.clone(),
                     prepared: None,
                     db,
+                    arena,
                     top_n,
                     key,
                     submitted_at: now,
@@ -447,11 +460,13 @@ impl QueryService {
             top_n,
         };
         let db = Arc::clone(&g.db);
+        let arena = Arc::clone(&g.db_arena);
         g.jobs.push(Job {
             client,
             tag,
             prepared: Some(prepared),
             db,
+            arena,
             top_n,
             key,
             submitted_at: now,
@@ -620,6 +635,8 @@ impl QueryService {
                 ]),
             ),
             ("latency_ms", m.latency.to_json()),
+            ("kernel", Json::str(inner.cfg.kernel.name())),
+            ("kernels", kernels_to_json(&m.kernels)),
             (
                 "pes",
                 Json::Arr(
@@ -655,8 +672,10 @@ impl QueryService {
     /// bumped generation, so every cached result of the old database is
     /// unreachable.
     pub fn swap_db(&self, subjects: Vec<EncodedSequence>) {
+        let arena = Arc::new(DbArena::from_encoded(&subjects));
         let mut g = self.inner.hub.lock();
         g.db = Arc::new(subjects);
+        g.db_arena = arena;
         g.db_digest = db_digest(&g.db);
         g.db_generation += 1;
     }
@@ -795,30 +814,43 @@ fn execute<'a>(
     let top_n = job.top_n;
     let (s, e) = job.shards[shard_idx];
     let db = Arc::clone(&job.db);
+    let arena = Arc::clone(&job.arena);
     drop(g);
     inner.hub.notify_all();
 
     let t0 = Instant::now();
-    let (hits, cells) = if skip_scan {
-        (Vec::new(), 0)
+    let (hits, cells, kernels) = if skip_scan {
+        (Vec::new(), 0, KernelStats::default())
     } else {
         let cfg = SearchConfig {
             threads: 1,
             top_n,
             chunk_size: inner.cfg.chunk_size,
             preference: inner.cfg.preference,
+            kernel: inner.cfg.kernel,
+            sort_by_length: false,
         };
-        let mut r = search_prepared(
+        let out = search_arena(
             prepared.as_ref().expect("running jobs carry profiles"),
-            &db[s..e],
+            &arena,
+            s..e,
             &cfg,
         );
-        // Shard hits index into the shard; rebase to global db order so
-        // the cross-shard merge tie-breaks identically to a whole-db scan.
-        for h in &mut r.hits {
-            h.db_index += s;
-        }
-        (r.hits, r.cells)
+        // The arena is in database order, so shard scan positions already
+        // are global database indices and the cross-shard merge tie-breaks
+        // identically to a whole-db scan. Identifiers are cloned here for
+        // the shard's top-N only.
+        let hits = out
+            .scored
+            .iter()
+            .map(|sc| Hit {
+                db_index: sc.db_index,
+                id: db[sc.db_index].id.clone(),
+                score: sc.score,
+                subject_len: sc.subject_len,
+            })
+            .collect();
+        (hits, out.cells, out.stats)
     };
     let secs = t0.elapsed().as_secs_f64();
 
@@ -826,6 +858,9 @@ fn execute<'a>(
     let was_first = g.master.pool().get(task).state != TaskState::Finished;
     let gcups = (!skip_scan).then(|| observed_gcups(cells, secs));
     g.master.task_finished(pe, task, inner.now(), gcups);
+    // Every shard scan counts, winner or not: the counters report kernel
+    // work the service actually performed.
+    g.metrics.kernels.merge(&kernels);
     let done = if was_first {
         record_shard(&mut g, inner, job_idx, shard_idx, hits, cells)
     } else {
@@ -1015,6 +1050,20 @@ mod tests {
         let stats = svc.stats();
         let cache = stats.get("cache").unwrap();
         assert_eq!(cache.get("hits").unwrap().as_u64().unwrap(), 1);
+        // The kernel counters cover the cold scan's subjects (the warm
+        // query never ran a kernel) and name the configured dispatch.
+        assert_eq!(stats.get("kernel").unwrap().as_str(), Some("auto"));
+        let kernels = stats.get("kernels").unwrap();
+        let count = |key: &str| kernels.get(key).unwrap().as_u64().unwrap();
+        let resolved = count("striped_i8")
+            + count("striped_i16")
+            + count("striped_scalar")
+            + count("interseq_i8")
+            + count("interseq_i16")
+            + count("interseq_scalar");
+        // ≥: a replicated shard's losing scan also counts (real work).
+        assert!(resolved >= 40, "one resolution per scanned subject");
+        assert!(count("cells_computed") > 0);
         assert_eq!(
             stats
                 .get("jobs")

@@ -33,18 +33,44 @@ pub enum EnginePreference {
 /// Counters describing which kernels actually ran.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct KernelStats {
-    /// Subjects resolved by the 8-bit kernel.
+    /// Subjects resolved by the striped 8-bit kernel.
     pub resolved_i8: u64,
-    /// Subjects that saturated 8 bits and were resolved by the 16-bit kernel.
+    /// Subjects that saturated 8 bits and were resolved by the striped
+    /// 16-bit kernel.
     pub resolved_i16: u64,
     /// Subjects that saturated 16 bits and needed the scalar i32 kernel.
     pub resolved_scalar: u64,
+    /// Subjects resolved by the inter-sequence 8-bit kernel.
+    pub interseq_i8: u64,
+    /// Subjects that saturated the inter-sequence 8-bit pass and were
+    /// resolved by the inter-sequence 16-bit pass.
+    pub interseq_i16: u64,
+    /// Subjects that saturated both inter-sequence passes and needed the
+    /// scalar i32 kernel.
+    pub interseq_scalar: u64,
+    /// Chunks the dispatcher sent to the striped kernel.
+    pub chunks_striped: u64,
+    /// Chunks the dispatcher sent to the inter-sequence kernel.
+    pub chunks_interseq: u64,
+    /// DP cells actually computed (every pass counted: an i8 pass that
+    /// saturates and is recomputed at i16 costs both passes' cells).
+    pub cells_computed: u64,
 }
 
 impl KernelStats {
     /// Total subjects scored.
     pub fn total(&self) -> u64 {
-        self.resolved_i8 + self.resolved_i16 + self.resolved_scalar
+        self.resolved_i8
+            + self.resolved_i16
+            + self.resolved_scalar
+            + self.interseq_i8
+            + self.interseq_i16
+            + self.interseq_scalar
+    }
+
+    /// Subjects scored by the inter-sequence kernel family.
+    pub fn interseq_total(&self) -> u64 {
+        self.interseq_i8 + self.interseq_i16 + self.interseq_scalar
     }
 
     /// Merge counters from another worker.
@@ -52,6 +78,12 @@ impl KernelStats {
         self.resolved_i8 += other.resolved_i8;
         self.resolved_i16 += other.resolved_i16;
         self.resolved_scalar += other.resolved_scalar;
+        self.interseq_i8 += other.interseq_i8;
+        self.interseq_i16 += other.interseq_i16;
+        self.interseq_scalar += other.interseq_scalar;
+        self.chunks_striped += other.chunks_striped;
+        self.chunks_interseq += other.chunks_interseq;
+        self.cells_computed += other.cells_computed;
     }
 }
 
@@ -66,16 +98,22 @@ impl KernelStats {
 /// they own mutable workspaces; the profiles they read are behind an
 /// [`Arc`].
 pub struct PreparedQuery {
-    query: Vec<u8>,
-    scoring: Scoring,
-    goe: i32,
-    ext: i32,
+    pub(crate) query: Vec<u8>,
+    pub(crate) scoring: Scoring,
+    pub(crate) goe: i32,
+    pub(crate) ext: i32,
     profile8: StripedProfile<i8>,
     profile16: StripedProfile<i16>,
     /// 32-lane profile, built only when the AVX2 kernels will run.
     profile8_avx: Option<StripedProfile<i8>>,
     /// 16-lane profile, built only when the AVX2 kernels will run.
     profile16_avx: Option<StripedProfile<i16>>,
+    /// Transposed substitution scores padded to 32-byte rows for the
+    /// inter-sequence kernels' score gather: row `c` (a database residue)
+    /// holds `score(q, c)` at `interseq_matrix[c * 32 + q]` for every query
+    /// symbol `q`. `None` when the alphabet exceeds 32 codes (the portable
+    /// inter-sequence pass handles those).
+    pub(crate) interseq_matrix: Option<Vec<i8>>,
     preference: EnginePreference,
 }
 
@@ -105,6 +143,7 @@ impl PreparedQuery {
                     crate::avx2::LANES_I16,
                 )
             }),
+            interseq_matrix: build_interseq_matrix(&scoring.matrix),
             preference,
         }
     }
@@ -128,6 +167,28 @@ impl PreparedQuery {
     pub fn preference(&self) -> EnginePreference {
         self.preference
     }
+
+    /// Gap penalties as `(open + extend, extend)` — the magnitudes the
+    /// kernels subtract.
+    pub fn gap_penalties(&self) -> (i32, i32) {
+        (self.goe, self.ext)
+    }
+}
+
+/// Build the inter-sequence kernels' padded, transposed score table (see
+/// [`PreparedQuery::interseq_matrix`]).
+fn build_interseq_matrix(matrix: &swhybrid_align::scoring::SubstMatrix) -> Option<Vec<i8>> {
+    let dim = matrix.dim();
+    if dim > 32 {
+        return None;
+    }
+    let mut table = vec![0i8; dim * 32];
+    for c in 0..dim {
+        for q in 0..dim {
+            table[c * 32 + q] = matrix.score(q as u8, c as u8) as i8;
+        }
+    }
+    Some(table)
 }
 
 /// A query bound to its striped profiles and scoring scheme: scores one
@@ -221,22 +282,28 @@ impl StripedEngine {
     }
 
     /// Score one encoded subject, with the 8→16→scalar fallback chain.
+    /// Every pass that runs is charged to `cells_computed`, so reported
+    /// GCUPS reflect work actually done on saturated workloads.
     pub fn score(&mut self, subject: &[u8]) -> i32 {
         if subject.is_empty() {
             self.stats.resolved_i8 += 1;
             return 0;
         }
+        let pass_cells = self.prepared.query_len() as u64 * subject.len() as u64;
+        self.stats.cells_computed += pass_cells;
         let out8 = self.run_i8(subject);
         if !out8.saturated {
             self.stats.resolved_i8 += 1;
             return out8.score;
         }
+        self.stats.cells_computed += pass_cells;
         let out16 = self.run_i16(subject);
         if !out16.saturated {
             self.stats.resolved_i16 += 1;
             return out16.score;
         }
         self.stats.resolved_scalar += 1;
+        self.stats.cells_computed += pass_cells;
         sw_score_affine(&self.prepared.query, subject, &self.prepared.scoring).score
     }
 }

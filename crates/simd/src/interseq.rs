@@ -1,4 +1,5 @@
-//! Inter-sequence (SWIPE-style) Smith-Waterman — the Rognes [17] baseline.
+//! Inter-sequence (SWIPE-style) Smith-Waterman — the Rognes [17] kernel
+//! family.
 //!
 //! The paper's related-work table credits Rognes' inter-sequence SIMD
 //! parallelisation with the best multicore GCUPS. Where Farrar's *striped*
@@ -6,109 +7,253 @@
 //! inter-sequence kernel scores `LANES` *different database sequences*
 //! simultaneously, one per lane, against the same query. Lanes refill from
 //! the database queue as their sequences finish, so utilisation stays high
-//! regardless of length skew.
+//! regardless of length skew — and, unlike the striped kernel, there is no
+//! lazy-F fixpoint loop and no per-subject setup: the DP state lives across
+//! subjects and a finished lane costs one column reset.
 //!
-//! This implementation is the portable reference (contiguous lane-major
-//! arrays, auto-vectorisable inner loops); a hand-scheduled intrinsics
-//! version is future work — the scheduling experiments only need the
-//! baseline's behaviour, which is identical.
+//! Three implementations share one contract (`Some(score)` exact, `None`
+//! saturated — recompute wider):
 //!
-//! Saturation: lanes run in `i16`; a lane whose score reaches `i16::MAX`
-//! is rescored with the exact scalar kernel, mirroring the striped engine's
-//! fallback chain.
+//! * the **portable** generic pass in this module (lane-major arrays over
+//!   any [`Lane`] width; the cross-architecture reference),
+//! * [`crate::interseq_sse`] — 16 × i8 and 8 × i16 per 128-bit register,
+//! * [`crate::interseq_avx2`] — 32 × i8 and 16 × i16 per 256-bit register.
+//!
+//! [`scores_arena`] is the dispatch driver used by the database scan: run
+//! the widest available 8-bit pass over a [`DbArena`] range, collect the
+//! lanes that saturated, rerun them at 16 bits, and finish stragglers with
+//! the exact scalar kernel — the same fallback chain as the striped engine,
+//! but batched per pass instead of per subject.
 
+use std::ops::Range;
+
+use crate::engine::{EnginePreference, KernelStats, PreparedQuery};
+use crate::lanes::Lane;
 use swhybrid_align::gotoh::gap_params;
 use swhybrid_align::score_only::sw_score_affine;
 use swhybrid_align::scoring::Scoring;
+use swhybrid_seq::arena::DbArena;
 use swhybrid_seq::sequence::EncodedSequence;
 
-/// Number of simultaneous subject lanes (8 × i16 in a 128-bit register).
+/// Lane count of the historical portable reference (8 × i16 in a 128-bit
+/// register). The generic pass uses [`Lane::SIMD_LANES`] per width.
 pub const LANES: usize = 8;
 
-const NEG_INF: i16 = i16::MIN;
+/// Sentinel for an idle lane.
+const IDLE: usize = usize::MAX;
 
-/// Per-lane execution state.
-#[derive(Debug, Clone, Copy)]
-struct LaneState {
-    /// Index into `subjects` of the sequence this lane is scoring, or
-    /// `usize::MAX` when idle.
-    subject: usize,
-    /// Next residue position within that subject.
-    pos: usize,
+/// How many subjects the 8-bit inter-sequence kernel scores per vector on
+/// this machine under `preference` (the lane count the Auto dispatcher
+/// reasons about).
+pub fn interseq_lanes(preference: EnginePreference) -> usize {
+    if preference != EnginePreference::Portable && crate::avx2::avx2_available() {
+        crate::avx2::LANES_I8
+    } else {
+        <i8 as Lane>::SIMD_LANES
+    }
 }
 
-/// Scores every subject against `query`, `LANES` subjects at a time.
+/// Scores every subject against `query`, [`LANES`] subjects at a time, with
+/// the portable 16-bit pass (saturated subjects are rescored by the exact
+/// scalar kernel). Returns one score per subject, in input order.
 ///
-/// Returns one score per subject, in input order.
-#[allow(clippy::needless_range_loop)] // lanes[] and best[] are co-indexed state arrays
+/// This is the historical portable reference API; the database scan goes
+/// through [`scores_arena`], which adds the 8-bit pass and the vectorized
+/// kernels.
 pub fn scores_inter_sequence(
     query: &[u8],
     subjects: &[EncodedSequence],
     scoring: &Scoring,
 ) -> Vec<i32> {
     assert!(!query.is_empty(), "query must not be empty");
+    let arena = DbArena::from_encoded(subjects);
+    let jobs: Vec<usize> = (0..arena.len()).collect();
+    pass_portable::<i16>(query, scoring, &arena, &jobs)
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| match r {
+            Some(score) => score,
+            None => sw_score_affine(query, &subjects[i].codes, scoring).score,
+        })
+        .collect()
+}
+
+/// Score the scan positions `range` of `arena` with the inter-sequence
+/// kernel chain (widest available i8 pass → i16 pass over saturated lanes →
+/// exact scalar), returning one exact score per position, in range order.
+///
+/// Counters and computed cells are accumulated into `stats`
+/// (`interseq_i8`/`interseq_i16`/`interseq_scalar`, `cells_computed`).
+pub fn scores_arena(
+    prepared: &PreparedQuery,
+    arena: &DbArena,
+    range: Range<usize>,
+    stats: &mut KernelStats,
+) -> Vec<i32> {
+    let query = prepared.query();
+    assert!(!query.is_empty(), "query must not be empty");
+    let m = query.len() as u64;
+    let jobs: Vec<usize> = range.collect();
+    let scoring = prepared.scoring();
+
+    stats.cells_computed += m * jobs.iter().map(|&p| arena.seq_len(p) as u64).sum::<u64>();
+    let r8 = run_pass::<i8>(prepared, arena, &jobs);
+
+    let mut scores = vec![0i32; jobs.len()];
+    let mut saturated: Vec<usize> = Vec::new(); // indices into `jobs`
+    for (k, r) in r8.into_iter().enumerate() {
+        match r {
+            Some(score) => {
+                scores[k] = score;
+                stats.interseq_i8 += 1;
+            }
+            None => saturated.push(k),
+        }
+    }
+
+    if !saturated.is_empty() {
+        let jobs16: Vec<usize> = saturated.iter().map(|&k| jobs[k]).collect();
+        stats.cells_computed += m * jobs16.iter().map(|&p| arena.seq_len(p) as u64).sum::<u64>();
+        let r16 = run_pass::<i16>(prepared, arena, &jobs16);
+        for (&k, r) in saturated.iter().zip(r16) {
+            match r {
+                Some(score) => {
+                    scores[k] = score;
+                    stats.interseq_i16 += 1;
+                }
+                None => {
+                    let subject = arena.residues(jobs[k]);
+                    stats.cells_computed += m * subject.len() as u64;
+                    scores[k] = sw_score_affine(query, subject, scoring).score;
+                    stats.interseq_scalar += 1;
+                }
+            }
+        }
+    }
+    scores
+}
+
+/// One pass at width `T`: vectorized when the preference and CPU allow it,
+/// portable otherwise. `Some(score)` is exact; `None` saturated `T::MAX`.
+fn run_pass<T: Lane + InterSeqWidth>(
+    prepared: &PreparedQuery,
+    arena: &DbArena,
+    jobs: &[usize],
+) -> Vec<Option<i32>> {
+    if prepared.preference() != EnginePreference::Portable {
+        if let Some(out) = T::pass_simd(prepared, arena, jobs) {
+            return out;
+        }
+    }
+    pass_portable::<T>(prepared.query(), prepared.scoring(), arena, jobs)
+}
+
+/// Width-specific hook into the hand-vectorized kernels.
+pub trait InterSeqWidth {
+    /// Run the vectorized pass for this width, or `None` when the CPU /
+    /// alphabet cannot (caller falls back to the portable pass).
+    fn pass_simd(
+        prepared: &PreparedQuery,
+        arena: &DbArena,
+        jobs: &[usize],
+    ) -> Option<Vec<Option<i32>>>;
+}
+
+impl InterSeqWidth for i8 {
+    fn pass_simd(
+        prepared: &PreparedQuery,
+        arena: &DbArena,
+        jobs: &[usize],
+    ) -> Option<Vec<Option<i32>>> {
+        crate::interseq_avx2::pass_i8(prepared, arena, jobs)
+            .or_else(|| crate::interseq_sse::pass_i8(prepared, arena, jobs))
+    }
+}
+
+impl InterSeqWidth for i16 {
+    fn pass_simd(
+        prepared: &PreparedQuery,
+        arena: &DbArena,
+        jobs: &[usize],
+    ) -> Option<Vec<Option<i32>>> {
+        crate::interseq_avx2::pass_i16(prepared, arena, jobs)
+            .or_else(|| crate::interseq_sse::pass_i16(prepared, arena, jobs))
+    }
+}
+
+/// The portable inter-sequence pass over `jobs` (scan positions into
+/// `arena`), generic in the lane width. `Some(score)` is exact; `None`
+/// means the lane reached `T::MAX` and the subject must be rescored wider.
+///
+/// Gap penalties are clamped into `T` exactly like the vectorized kernels
+/// clamp theirs, so both paths saturate identically.
+#[allow(clippy::needless_range_loop)] // lane-state arrays are co-indexed
+pub(crate) fn pass_portable<T: Lane>(
+    query: &[u8],
+    scoring: &Scoring,
+    arena: &DbArena,
+    jobs: &[usize],
+) -> Vec<Option<i32>> {
+    let lanes = T::SIMD_LANES;
     let m = query.len();
     let (open, extend) = gap_params(scoring.gap);
-    let goe = (open + extend).min(i16::MAX as i32) as i16;
-    let ext = extend.min(i16::MAX as i32) as i16;
+    let goe = T::from_i32_sat(open + extend);
+    let ext = T::from_i32_sat(extend);
 
-    let mut results = vec![0i32; subjects.len()];
-    let mut saturated: Vec<usize> = Vec::new();
-    let mut next_subject = 0usize;
+    // Query-major score columns: colprof[c * m + j] = score(query[j], c),
+    // the portable analogue of the vectorized kernels' transposed gather.
+    let dim = scoring.matrix.dim();
+    let mut colprof = vec![T::ZERO; dim * m];
+    for c in 0..dim {
+        for (j, &q) in query.iter().enumerate() {
+            colprof[c * m + j] = T::from_i32_sat(scoring.matrix.score(q, c as u8));
+        }
+    }
 
-    // Lane-major DP state: index `j * LANES + lane` holds the value for
+    let mut results: Vec<Option<i32>> = vec![None; jobs.len()];
+    // Lane-major DP state: index `j * lanes + lane` holds the value for
     // query prefix j in that lane's comparison.
-    let mut h = vec![0i16; (m + 1) * LANES];
-    let mut e = vec![NEG_INF; (m + 1) * LANES];
-    let mut best = [0i16; LANES];
-    let mut lanes = [LaneState {
-        subject: usize::MAX,
-        pos: 0,
-    }; LANES];
-    // Per-step score column: sub(query[j-1], current residue of lane).
-    let mut score_col = vec![0i16; (m + 1) * LANES];
+    let mut h = vec![T::ZERO; (m + 1) * lanes];
+    let mut e = vec![T::MIN; (m + 1) * lanes];
+    let mut score_col = vec![T::ZERO; (m + 1) * lanes];
+    let mut best = vec![T::ZERO; lanes];
+    let mut lane_job = vec![IDLE; lanes]; // index into `jobs`, or IDLE
+    let mut lane_pos = vec![0usize; lanes];
+    let mut live = vec![false; lanes];
+    let mut next = 0usize;
     let mut active = 0usize;
 
-    // Seed the lanes.
-    for lane in 0..LANES {
-        if next_subject < subjects.len() {
-            lanes[lane] = LaneState {
-                subject: next_subject,
-                pos: 0,
-            };
-            next_subject += 1;
+    for lane in 0..lanes {
+        if next < jobs.len() {
+            lane_job[lane] = next;
+            lane_pos[lane] = 0;
+            next += 1;
             active += 1;
         }
     }
 
     while active > 0 {
-        // Retire lanes whose subject is exhausted (or empty) and refill.
-        for lane in 0..LANES {
-            let st = lanes[lane];
-            if st.subject == usize::MAX {
-                continue;
-            }
-            if st.pos >= subjects[st.subject].len() {
-                let score = best[lane];
-                if score == i16::MAX {
-                    saturated.push(st.subject);
-                } else {
-                    results[st.subject] = score as i32;
+        // Retire lanes whose subject is exhausted (several in a row when
+        // subjects are empty) and refill from the job queue.
+        for lane in 0..lanes {
+            loop {
+                let job = lane_job[lane];
+                if job == IDLE || lane_pos[lane] < arena.seq_len(jobs[job]) {
+                    break;
                 }
-                // Reset the lane's DP column for the next subject.
+                let b = best[lane];
+                results[job] = (b != T::MAX).then(|| b.to_i32());
                 for j in 0..=m {
-                    h[j * LANES + lane] = 0;
-                    e[j * LANES + lane] = NEG_INF;
+                    h[j * lanes + lane] = T::ZERO;
+                    e[j * lanes + lane] = T::MIN;
                 }
-                best[lane] = 0;
-                if next_subject < subjects.len() {
-                    lanes[lane] = LaneState {
-                        subject: next_subject,
-                        pos: 0,
-                    };
-                    next_subject += 1;
+                best[lane] = T::ZERO;
+                if next < jobs.len() {
+                    lane_job[lane] = next;
+                    lane_pos[lane] = 0;
+                    next += 1;
                 } else {
-                    lanes[lane].subject = usize::MAX;
+                    lane_job[lane] = IDLE;
                     active -= 1;
                 }
             }
@@ -117,49 +262,45 @@ pub fn scores_inter_sequence(
             break;
         }
 
-        // Gather this step's substitution scores: one residue per lane.
-        // (The intrinsics version would build SWIPE's dprofile here.)
-        let mut lane_live = [false; LANES];
-        for lane in 0..LANES {
-            let st = lanes[lane];
-            if st.subject == usize::MAX || st.pos >= subjects[st.subject].len() {
+        // Gather this step's score columns: one residue per live lane.
+        for lane in 0..lanes {
+            let job = lane_job[lane];
+            if job == IDLE {
+                live[lane] = false;
                 continue;
             }
-            lane_live[lane] = true;
-            let c = subjects[st.subject].codes[st.pos];
-            let row = scoring.matrix.row(c);
-            for (j, &q) in query.iter().enumerate() {
-                score_col[(j + 1) * LANES + lane] = row[q as usize] as i16;
+            live[lane] = true;
+            let c = arena.residues(jobs[job])[lane_pos[lane]] as usize;
+            let row = &colprof[c * m..(c + 1) * m];
+            for j in 0..m {
+                score_col[(j + 1) * lanes + lane] = row[j];
             }
         }
 
         // One DP column per live lane, all lanes advanced in lock-step.
         // diag[lane] carries H[j-1] of the *previous* column.
-        let mut diag = [0i16; LANES];
-        let mut f = [NEG_INF; LANES];
+        let mut diag = vec![T::ZERO; lanes];
+        let mut f = vec![T::MIN; lanes];
         for j in 1..=m {
-            let base = j * LANES;
-            for lane in 0..LANES {
-                if !lane_live[lane] {
+            let base = j * lanes;
+            for lane in 0..lanes {
+                if !live[lane] {
                     continue;
                 }
                 let old_h = h[base + lane];
-                let mut v = diag[lane].saturating_add(score_col[base + lane]);
-                let ej =
-                    (h[base + lane].saturating_sub(goe)).max(e[base + lane].saturating_sub(ext));
-                // E for this column j uses H[j][previous column] — which is
-                // still in h[] since we overwrite below.
+                let ej = (old_h.sat_sub(goe)).max(e[base + lane].sat_sub(ext));
+                let mut v = diag[lane].sat_add(score_col[base + lane]);
                 if ej > v {
                     v = ej;
                 }
                 if f[lane] > v {
                     v = f[lane];
                 }
-                if v < 0 {
-                    v = 0;
+                if v < T::ZERO {
+                    v = T::ZERO;
                 }
                 e[base + lane] = ej;
-                f[lane] = (v.saturating_sub(goe)).max(f[lane].saturating_sub(ext));
+                f[lane] = (v.sat_sub(goe)).max(f[lane].sat_sub(ext));
                 diag[lane] = old_h;
                 h[base + lane] = v;
                 if v > best[lane] {
@@ -168,18 +309,13 @@ pub fn scores_inter_sequence(
             }
         }
 
-        // Advance lane positions.
-        for (lane, live) in lane_live.iter().enumerate() {
-            if *live {
-                lanes[lane].pos += 1;
+        for lane in 0..lanes {
+            if live[lane] {
+                lane_pos[lane] += 1;
             }
         }
     }
 
-    // Exact rescore for saturated lanes.
-    for idx in saturated {
-        results[idx] = sw_score_affine(query, &subjects[idx].codes, scoring).score;
-    }
     results
 }
 
@@ -306,5 +442,73 @@ mod tests {
     #[should_panic(expected = "query must not be empty")]
     fn empty_query_rejected() {
         scores_inter_sequence(&[], &[], &scoring());
+    }
+
+    #[test]
+    fn i8_portable_pass_flags_saturation() {
+        // A 30-residue self-match scores well over 127 → every lane result
+        // must come back None at 8 bits, Some at 16.
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(217);
+        let query: Vec<u8> = (0..60).map(|_| rng.random_range(0..20u8)).collect();
+        let subjects = vec![EncodedSequence {
+            id: "self".into(),
+            codes: query.clone(),
+            alphabet: Alphabet::Protein,
+        }];
+        let s = scoring();
+        let expect = sw_score_affine(&query, &query, &s).score;
+        assert!(expect > 127, "premise: must exceed i8");
+        let arena = DbArena::from_encoded(&subjects);
+        let r8 = pass_portable::<i8>(&query, &s, &arena, &[0]);
+        assert_eq!(r8, vec![None]);
+        let r16 = pass_portable::<i16>(&query, &s, &arena, &[0]);
+        assert_eq!(r16, vec![Some(expect)]);
+    }
+
+    #[test]
+    fn scores_arena_runs_the_width_chain() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(219);
+        let query: Vec<u8> = (0..80).map(|_| rng.random_range(0..20u8)).collect();
+        let mut subjects = random_subjects(220, 40, 60);
+        // Plant an i8-saturating subject and an i16-saturating one.
+        subjects[5] = EncodedSequence {
+            id: "sat8".into(),
+            codes: query.clone(),
+            alphabet: Alphabet::Protein,
+        };
+        for pref in [
+            EnginePreference::Auto,
+            EnginePreference::Portable,
+            EnginePreference::Simd,
+        ] {
+            let prepared = PreparedQuery::new(&query, &scoring(), pref);
+            let arena = DbArena::from_encoded(&subjects);
+            let mut stats = KernelStats::default();
+            let got = scores_arena(&prepared, &arena, 0..arena.len(), &mut stats);
+            for (i, subject) in subjects.iter().enumerate() {
+                let expect = sw_score_affine(&query, &subject.codes, &scoring()).score;
+                assert_eq!(got[i], expect, "pref {pref:?} subject {i}");
+            }
+            assert_eq!(stats.interseq_total(), subjects.len() as u64, "{pref:?}");
+            assert!(stats.interseq_i16 >= 1, "planted subject saturates i8");
+            assert!(stats.cells_computed > 0);
+        }
+    }
+
+    #[test]
+    fn scores_arena_on_a_subrange_of_a_sorted_arena() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(221);
+        let query: Vec<u8> = (0..50).map(|_| rng.random_range(0..20u8)).collect();
+        let subjects = random_subjects(222, 25, 120);
+        let prepared = PreparedQuery::new(&query, &scoring(), EnginePreference::Auto);
+        let arena = DbArena::length_sorted(&subjects);
+        let mut stats = KernelStats::default();
+        let got = scores_arena(&prepared, &arena, 5..20, &mut stats);
+        for (k, pos) in (5..20).enumerate() {
+            let expect =
+                sw_score_affine(&query, &subjects[arena.db_index(pos)].codes, &scoring()).score;
+            assert_eq!(got[k], expect, "pos {pos}");
+        }
+        assert_eq!(stats.interseq_total(), 15);
     }
 }

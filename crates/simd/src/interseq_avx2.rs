@@ -1,0 +1,297 @@
+//! x86-64 AVX2 kernels for the inter-sequence recurrence (32 × i8 and
+//! 16 × i16 lanes per 256-bit register).
+//!
+//! Same shape as [`crate::interseq_sse`] — lanes hold different database
+//! sequences, the score gather runs the 16 × 16 byte transpose — but twice
+//! the lane count. The i8 kernel transposes two 16-lane groups per matrix
+//! half and stores them as the two 128-bit halves of each 32-byte `dprofile`
+//! row; the i16 kernel transposes one 16-lane group and sign-extends it with
+//! `vpmovsxbw`. Unlike the striped kernels, inter-sequence DP needs no
+//! cross-lane shifts, so the AVX2 port is pure element-wise arithmetic.
+
+#![allow(unsafe_code)]
+
+use crate::engine::PreparedQuery;
+use swhybrid_seq::arena::DbArena;
+
+/// Run the 32 × i8 inter-sequence pass if the CPU supports AVX2 and the
+/// alphabet fits the padded score table.
+pub fn pass_i8(
+    prepared: &PreparedQuery,
+    arena: &DbArena,
+    jobs: &[usize],
+) -> Option<Vec<Option<i32>>> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let matrix32 = prepared.interseq_matrix.as_deref()?;
+        if crate::avx2::avx2_available() {
+            let (goe, ext) = prepared.gap_penalties();
+            // SAFETY: feature presence checked above.
+            return Some(unsafe {
+                x86::pass_i8_avx2(prepared.query(), matrix32, goe, ext, arena, jobs)
+            });
+        }
+    }
+    let _ = (prepared, arena, jobs);
+    None
+}
+
+/// Run the 16 × i16 inter-sequence pass if the CPU supports AVX2.
+pub fn pass_i16(
+    prepared: &PreparedQuery,
+    arena: &DbArena,
+    jobs: &[usize],
+) -> Option<Vec<Option<i32>>> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let matrix32 = prepared.interseq_matrix.as_deref()?;
+        if crate::avx2::avx2_available() {
+            let (goe, ext) = prepared.gap_penalties();
+            // SAFETY: feature presence checked above.
+            return Some(unsafe {
+                x86::pass_i16_avx2(prepared.query(), matrix32, goe, ext, arena, jobs)
+            });
+        }
+    }
+    let _ = (prepared, arena, jobs);
+    None
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use std::arch::x86_64::*;
+    use swhybrid_seq::arena::DbArena;
+
+    use crate::interseq_sse::x86::{interseq_pass, transpose_16x16, LaneCursors, IDLE};
+
+    interseq_pass!(
+        pass_i8_avx2,
+        "avx2",
+        i8,
+        32,
+        |query, h, e, best, dprofile, goe, ext, m| {
+            let v_goe = _mm256_set1_epi8(goe.clamp(i8::MIN as i32, i8::MAX as i32) as i8);
+            let v_ext = _mm256_set1_epi8(ext.clamp(i8::MIN as i32, i8::MAX as i32) as i8);
+            let v_zero = _mm256_setzero_si256();
+            let mut v_f = _mm256_set1_epi8(i8::MIN);
+            let mut v_diag = v_zero;
+            let mut v_best = _mm256_loadu_si256(best.as_ptr() as *const __m256i);
+            for j in 1..=m {
+                let off = j * 32;
+                let v_h_old = _mm256_loadu_si256(h.as_ptr().add(off) as *const __m256i);
+                let v_e_old = _mm256_loadu_si256(e.as_ptr().add(off) as *const __m256i);
+                let v_e = _mm256_max_epi8(
+                    _mm256_subs_epi8(v_h_old, v_goe),
+                    _mm256_subs_epi8(v_e_old, v_ext),
+                );
+                let v_s = _mm256_loadu_si256(
+                    dprofile
+                        .as_ptr()
+                        .add(*query.get_unchecked(j - 1) as usize * 32)
+                        as *const __m256i,
+                );
+                let mut v_v = _mm256_adds_epi8(v_diag, v_s);
+                v_v = _mm256_max_epi8(v_v, v_e);
+                v_v = _mm256_max_epi8(v_v, v_f);
+                v_v = _mm256_max_epi8(v_v, v_zero);
+                _mm256_storeu_si256(h.as_mut_ptr().add(off) as *mut __m256i, v_v);
+                _mm256_storeu_si256(e.as_mut_ptr().add(off) as *mut __m256i, v_e);
+                v_best = _mm256_max_epi8(v_best, v_v);
+                v_f = _mm256_max_epi8(_mm256_subs_epi8(v_v, v_goe), _mm256_subs_epi8(v_f, v_ext));
+                v_diag = v_h_old;
+            }
+            _mm256_storeu_si256(best.as_mut_ptr() as *mut __m256i, v_best);
+        },
+        |_query, matrix32, codes, halves, dprofile| {
+            // Two 16-lane transposes per matrix half; each output row is a
+            // 128-bit half of the 32-byte dprofile row for that symbol.
+            for half in 0..halves {
+                for group in 0..2 {
+                    let mut rows = [_mm_setzero_si128(); 16];
+                    for lane in 0..16 {
+                        rows[lane] = _mm_loadu_si128(
+                            matrix32
+                                .as_ptr()
+                                .add(codes[group * 16 + lane] * 32 + half * 16)
+                                as *const __m128i,
+                        );
+                    }
+                    let t = transpose_16x16(rows);
+                    for (q, tq) in t.iter().enumerate() {
+                        _mm_storeu_si128(
+                            dprofile.as_mut_ptr().add((half * 16 + q) * 32 + group * 16)
+                                as *mut __m128i,
+                            *tq,
+                        );
+                    }
+                }
+            }
+        }
+    );
+
+    interseq_pass!(
+        pass_i16_avx2,
+        "avx2",
+        i16,
+        16,
+        |query, h, e, best, dprofile, goe, ext, m| {
+            let v_goe = _mm256_set1_epi16(goe.clamp(i16::MIN as i32, i16::MAX as i32) as i16);
+            let v_ext = _mm256_set1_epi16(ext.clamp(i16::MIN as i32, i16::MAX as i32) as i16);
+            let v_zero = _mm256_setzero_si256();
+            let mut v_f = _mm256_set1_epi16(i16::MIN);
+            let mut v_diag = v_zero;
+            let mut v_best = _mm256_loadu_si256(best.as_ptr() as *const __m256i);
+            for j in 1..=m {
+                let off = j * 16;
+                let v_h_old = _mm256_loadu_si256(h.as_ptr().add(off) as *const __m256i);
+                let v_e_old = _mm256_loadu_si256(e.as_ptr().add(off) as *const __m256i);
+                let v_e = _mm256_max_epi16(
+                    _mm256_subs_epi16(v_h_old, v_goe),
+                    _mm256_subs_epi16(v_e_old, v_ext),
+                );
+                let v_s = _mm256_loadu_si256(
+                    dprofile
+                        .as_ptr()
+                        .add(*query.get_unchecked(j - 1) as usize * 16)
+                        as *const __m256i,
+                );
+                let mut v_v = _mm256_adds_epi16(v_diag, v_s);
+                v_v = _mm256_max_epi16(v_v, v_e);
+                v_v = _mm256_max_epi16(v_v, v_f);
+                v_v = _mm256_max_epi16(v_v, v_zero);
+                _mm256_storeu_si256(h.as_mut_ptr().add(off) as *mut __m256i, v_v);
+                _mm256_storeu_si256(e.as_mut_ptr().add(off) as *mut __m256i, v_e);
+                v_best = _mm256_max_epi16(v_best, v_v);
+                v_f =
+                    _mm256_max_epi16(_mm256_subs_epi16(v_v, v_goe), _mm256_subs_epi16(v_f, v_ext));
+                v_diag = v_h_old;
+            }
+            _mm256_storeu_si256(best.as_mut_ptr() as *mut __m256i, v_best);
+        },
+        |_query, matrix32, codes, halves, dprofile| {
+            // One 16-lane transpose per half, then sign-extend the bytes to
+            // 16 × i16 with vpmovsxbw.
+            for half in 0..halves {
+                let mut rows = [_mm_setzero_si128(); 16];
+                for lane in 0..16 {
+                    rows[lane] = _mm_loadu_si128(
+                        matrix32.as_ptr().add(codes[lane] * 32 + half * 16) as *const __m128i,
+                    );
+                }
+                let t = transpose_16x16(rows);
+                for (q, tq) in t.iter().enumerate() {
+                    let wide = _mm256_cvtepi8_epi16(*tq);
+                    _mm256_storeu_si256(
+                        dprofile.as_mut_ptr().add((half * 16 + q) * 16) as *mut __m256i,
+                        wide,
+                    );
+                }
+            }
+        }
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EnginePreference;
+    use crate::interseq::pass_portable;
+    use rand::{RngExt, SeedableRng};
+    use swhybrid_align::scoring::{GapModel, Scoring, SubstMatrix};
+    use swhybrid_seq::sequence::EncodedSequence;
+    use swhybrid_seq::Alphabet;
+
+    fn scoring() -> Scoring {
+        Scoring {
+            matrix: SubstMatrix::blosum62(),
+            gap: GapModel::Affine {
+                open: 10,
+                extend: 2,
+            },
+        }
+    }
+
+    fn random_subjects(seed: u64, n: usize, max_len: usize) -> Vec<EncodedSequence> {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| EncodedSequence {
+                id: format!("s{i}"),
+                codes: (0..rng.random_range(1..max_len))
+                    .map(|_| rng.random_range(0..20u8))
+                    .collect(),
+                alphabet: Alphabet::Protein,
+            })
+            .collect()
+    }
+
+    fn check_pass_matches_portable<T: crate::lanes::Lane>(
+        run: impl Fn(
+            &crate::engine::PreparedQuery,
+            &swhybrid_seq::arena::DbArena,
+            &[usize],
+        ) -> Option<Vec<Option<i32>>>,
+        seed: u64,
+    ) {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let s = scoring();
+        for round in 0..6 {
+            let m = rng.random_range(1..120);
+            let query: Vec<u8> = (0..m).map(|_| rng.random_range(0..20u8)).collect();
+            // More subjects than SSE tests: exercise several 32-lane refills.
+            let subjects = random_subjects(seed + round, 90, 70);
+            let arena = swhybrid_seq::arena::DbArena::from_encoded(&subjects);
+            let jobs: Vec<usize> = (0..arena.len()).collect();
+            let prepared = crate::engine::PreparedQuery::new(&query, &s, EnginePreference::Simd);
+            let Some(simd) = run(&prepared, &arena, &jobs) else {
+                return; // CPU lacks AVX2; nothing to compare.
+            };
+            let portable = pass_portable::<T>(&query, &s, &arena, &jobs);
+            assert_eq!(simd, portable, "round {round} m={m}");
+        }
+    }
+
+    #[test]
+    fn i8_pass_matches_portable() {
+        check_pass_matches_portable::<i8>(pass_i8, 401);
+    }
+
+    #[test]
+    fn i16_pass_matches_portable() {
+        check_pass_matches_portable::<i16>(pass_i16, 403);
+    }
+
+    #[test]
+    fn i8_pass_saturation_agrees_with_portable() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(407);
+        let query: Vec<u8> = (0..60).map(|_| rng.random_range(0..20u8)).collect();
+        let mut subjects = random_subjects(408, 50, 40);
+        subjects[33] = EncodedSequence {
+            id: "self".into(),
+            codes: query.clone(),
+            alphabet: Alphabet::Protein,
+        };
+        let s = scoring();
+        let arena = swhybrid_seq::arena::DbArena::from_encoded(&subjects);
+        let jobs: Vec<usize> = (0..arena.len()).collect();
+        let prepared = crate::engine::PreparedQuery::new(&query, &s, EnginePreference::Simd);
+        let Some(simd) = pass_i8(&prepared, &arena, &jobs) else {
+            return;
+        };
+        assert_eq!(simd[33], None, "planted self-match must saturate i8");
+        assert_eq!(simd, pass_portable::<i8>(&query, &s, &arena, &jobs));
+    }
+
+    #[test]
+    fn fewer_subjects_than_lanes() {
+        let query: Vec<u8> = vec![2, 7, 1, 8];
+        let s = scoring();
+        let subjects = random_subjects(411, 5, 30);
+        let arena = swhybrid_seq::arena::DbArena::from_encoded(&subjects);
+        let jobs: Vec<usize> = (0..arena.len()).collect();
+        let prepared = crate::engine::PreparedQuery::new(&query, &s, EnginePreference::Simd);
+        let Some(simd) = pass_i8(&prepared, &arena, &jobs) else {
+            return;
+        };
+        assert_eq!(simd, pass_portable::<i8>(&query, &s, &arena, &jobs));
+    }
+}

@@ -1,0 +1,514 @@
+//! x86-64 SSE kernels for the inter-sequence recurrence (16 × i8 and
+//! 8 × i16 lanes per 128-bit register).
+//!
+//! One vector holds the same DP cell of up to `LANES` *different* database
+//! sequences; lanes refill from the job queue as sequences finish. The
+//! per-step substitution gather — each lane needs `score(query[j], c_lane)`
+//! for its own residue `c_lane` — is the crux: it is done by loading each
+//! lane's padded, transposed matrix row
+//! ([`crate::engine::PreparedQuery::interseq_matrix`]) and running a 16 × 16
+//! byte transpose (a 4-stage `punpck` network), which yields one vector per
+//! *query symbol* holding that symbol's score against every lane's residue.
+//! The inner DP loop then indexes this `dprofile` by `query[j]` — a single
+//! aligned-width load per cell, exactly like SWIPE's score profile.
+//!
+//! Contract (shared with the portable pass and the AVX2 kernels): each job
+//! resolves to `Some(score)` (exact) or `None` (the lane's best hit the
+//! type's ceiling — recompute wider). Gap penalties are clamped into the
+//! lane type the same way everywhere, so all implementations saturate
+//! identically.
+
+#![allow(unsafe_code)]
+
+use crate::engine::PreparedQuery;
+use swhybrid_seq::arena::DbArena;
+
+/// Run the 16 × i8 inter-sequence pass if the CPU supports SSE4.1 (needed
+/// for signed-byte `max`) and the alphabet fits the padded score table.
+pub fn pass_i8(
+    prepared: &PreparedQuery,
+    arena: &DbArena,
+    jobs: &[usize],
+) -> Option<Vec<Option<i32>>> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let matrix32 = prepared.interseq_matrix.as_deref()?;
+        if crate::sse::sse41_available() {
+            let (goe, ext) = prepared.gap_penalties();
+            // SAFETY: feature presence checked above.
+            return Some(unsafe {
+                x86::pass_i8_sse41(prepared.query(), matrix32, goe, ext, arena, jobs)
+            });
+        }
+    }
+    let _ = (prepared, arena, jobs);
+    None
+}
+
+/// Run the 8 × i16 inter-sequence pass if the CPU supports SSE4.1 (for the
+/// sign-extending widen of the transposed score bytes).
+pub fn pass_i16(
+    prepared: &PreparedQuery,
+    arena: &DbArena,
+    jobs: &[usize],
+) -> Option<Vec<Option<i32>>> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let matrix32 = prepared.interseq_matrix.as_deref()?;
+        if crate::sse::sse41_available() {
+            let (goe, ext) = prepared.gap_penalties();
+            // SAFETY: feature presence checked above.
+            return Some(unsafe {
+                x86::pass_i16_sse41(prepared.query(), matrix32, goe, ext, arena, jobs)
+            });
+        }
+    }
+    let _ = (prepared, arena, jobs);
+    None
+}
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod x86 {
+    use std::arch::x86_64::*;
+    use swhybrid_seq::arena::DbArena;
+
+    pub(crate) const IDLE: usize = usize::MAX;
+
+    /// Transpose a 16 × 16 byte matrix: `out[q]` byte `l` = `rows[l]` byte
+    /// `q`. A 4-stage unpack network (8 → 16 → 32 → 64 bit granularity);
+    /// all intrinsics are baseline SSE2.
+    #[inline(always)]
+    pub(crate) unsafe fn transpose_16x16(rows: [__m128i; 16]) -> [__m128i; 16] {
+        let z = _mm_setzero_si128();
+        let mut u = [z; 16]; // u[2g], u[2g+1]: rows (2g, 2g+1), cols 0-7 / 8-15
+        for g in 0..8 {
+            u[2 * g] = _mm_unpacklo_epi8(rows[2 * g], rows[2 * g + 1]);
+            u[2 * g + 1] = _mm_unpackhi_epi8(rows[2 * g], rows[2 * g + 1]);
+        }
+        let mut v = [z; 16]; // row quads × col quads
+        for g in 0..4 {
+            v[4 * g] = _mm_unpacklo_epi16(u[4 * g], u[4 * g + 2]);
+            v[4 * g + 1] = _mm_unpackhi_epi16(u[4 * g], u[4 * g + 2]);
+            v[4 * g + 2] = _mm_unpacklo_epi16(u[4 * g + 1], u[4 * g + 3]);
+            v[4 * g + 3] = _mm_unpackhi_epi16(u[4 * g + 1], u[4 * g + 3]);
+        }
+        let mut w = [z; 16]; // row octets × col pairs
+        for g in 0..2 {
+            for k in 0..4 {
+                w[8 * g + 2 * k] = _mm_unpacklo_epi32(v[8 * g + k], v[8 * g + 4 + k]);
+                w[8 * g + 2 * k + 1] = _mm_unpackhi_epi32(v[8 * g + k], v[8 * g + 4 + k]);
+            }
+        }
+        let mut out = [z; 16];
+        for k in 0..8 {
+            out[2 * k] = _mm_unpacklo_epi64(w[k], w[8 + k]);
+            out[2 * k + 1] = _mm_unpackhi_epi64(w[k], w[8 + k]);
+        }
+        out
+    }
+
+    /// Per-lane scan cursors over the arena's flat residue buffer.
+    pub(crate) struct LaneCursors<const L: usize> {
+        /// Index into `jobs` (or [`IDLE`]).
+        pub(crate) job: [usize; L],
+        /// Absolute offset of the next residue in the arena buffer.
+        pub(crate) cur: [usize; L],
+        /// Absolute end offset of the lane's sequence.
+        pub(crate) end: [usize; L],
+        pub(crate) next: usize,
+        pub(crate) active: usize,
+    }
+
+    impl<const L: usize> LaneCursors<L> {
+        pub(crate) fn new(arena: &DbArena, jobs: &[usize]) -> Self {
+            let mut lanes = LaneCursors {
+                job: [IDLE; L],
+                cur: [0; L],
+                end: [0; L],
+                next: 0,
+                active: 0,
+            };
+            for lane in 0..L {
+                lanes.assign(lane, arena, jobs);
+            }
+            lanes
+        }
+
+        /// Give `lane` the next queued job (or mark it idle).
+        pub(crate) fn assign(&mut self, lane: usize, arena: &DbArena, jobs: &[usize]) {
+            let was_live = self.job[lane] != IDLE;
+            if self.next < jobs.len() {
+                let (offset, len) = arena.span(jobs[self.next]);
+                self.job[lane] = self.next;
+                self.cur[lane] = offset;
+                self.end[lane] = offset + len;
+                self.next += 1;
+                if !was_live {
+                    self.active += 1;
+                }
+            } else {
+                self.job[lane] = IDLE;
+                if was_live {
+                    self.active -= 1;
+                }
+            }
+        }
+    }
+
+    /// Shared retire/refill + gather + advance bookkeeping, generated per
+    /// lane width so the DP loop below it can stay in registers.
+    macro_rules! interseq_pass {
+        (
+            $name:ident, $feature:literal, $elem:ty, $lanes:expr,
+            |$dp_query:ident, $dp_h:ident, $dp_e:ident, $dp_best:ident,
+             $dp_dprofile:ident, $dp_goe:ident, $dp_ext:ident, $dp_m:ident| $dp:block,
+            |$gq:ident, $gmatrix:ident, $gcodes:ident, $ghalves:ident, $gdprofile:ident| $gather:block
+        ) => {
+            /// # Safety
+            /// The caller must ensure the CPU supports the named feature.
+            #[target_feature(enable = $feature)]
+            pub unsafe fn $name(
+                query: &[u8],
+                matrix32: &[i8],
+                goe: i32,
+                ext: i32,
+                arena: &DbArena,
+                jobs: &[usize],
+            ) -> Vec<Option<i32>> {
+                const L: usize = $lanes;
+                type E = $elem;
+                let m = query.len();
+                debug_assert!(m >= 1);
+                let buf = arena.buffer();
+                let halves = matrix32.len().div_ceil(32 * 16).max(1);
+                let mut results: Vec<Option<i32>> = vec![None; jobs.len()];
+                // Lane-major DP state: `j * L + lane` is query prefix j of
+                // that lane's comparison.
+                let mut h = vec![0 as E; (m + 1) * L];
+                let mut e = vec![E::MIN; (m + 1) * L];
+                let mut best = [0 as E; L];
+                // One vector of lane scores per query symbol (padded to 32).
+                let mut dprofile = [0 as E; 32 * L];
+                let mut lanes = LaneCursors::<L>::new(arena, jobs);
+
+                while lanes.active > 0 {
+                    // Retire finished lanes (empty subjects retire a whole
+                    // run at once) and refill from the queue.
+                    for lane in 0..L {
+                        while lanes.job[lane] != IDLE && lanes.cur[lane] == lanes.end[lane] {
+                            let b = best[lane];
+                            results[lanes.job[lane]] = (b != E::MAX).then(|| b as i32);
+                            for j in 0..=m {
+                                h[j * L + lane] = 0;
+                                e[j * L + lane] = E::MIN;
+                            }
+                            best[lane] = 0;
+                            lanes.assign(lane, arena, jobs);
+                        }
+                    }
+                    if lanes.active == 0 {
+                        break;
+                    }
+
+                    // One residue per live lane; idle lanes read row 0 of
+                    // the score table (their results are never used).
+                    let mut codes = [0usize; L];
+                    for lane in 0..L {
+                        if lanes.job[lane] != IDLE {
+                            codes[lane] = buf[lanes.cur[lane]] as usize;
+                        }
+                    }
+
+                    {
+                        let $gq = query;
+                        let $gmatrix = matrix32;
+                        let $gcodes = &codes;
+                        let $ghalves = halves;
+                        let $gdprofile = &mut dprofile;
+                        $gather
+                    }
+
+                    {
+                        let $dp_query = query;
+                        let $dp_h = &mut h;
+                        let $dp_e = &mut e;
+                        let $dp_best = &mut best;
+                        let $dp_dprofile = &dprofile;
+                        let $dp_goe = goe;
+                        let $dp_ext = ext;
+                        let $dp_m = m;
+                        $dp
+                    }
+
+                    for lane in 0..L {
+                        if lanes.job[lane] != IDLE {
+                            lanes.cur[lane] += 1;
+                        }
+                    }
+                }
+                results
+            }
+        };
+    }
+    pub(crate) use interseq_pass;
+
+    interseq_pass!(
+        pass_i8_sse41,
+        "sse4.1",
+        i8,
+        16,
+        |query, h, e, best, dprofile, goe, ext, m| {
+            let v_goe = _mm_set1_epi8(goe.clamp(i8::MIN as i32, i8::MAX as i32) as i8);
+            let v_ext = _mm_set1_epi8(ext.clamp(i8::MIN as i32, i8::MAX as i32) as i8);
+            let v_zero = _mm_setzero_si128();
+            let mut v_f = _mm_set1_epi8(i8::MIN);
+            let mut v_diag = v_zero;
+            let mut v_best = _mm_loadu_si128(best.as_ptr() as *const __m128i);
+            for j in 1..=m {
+                let off = j * 16;
+                let v_h_old = _mm_loadu_si128(h.as_ptr().add(off) as *const __m128i);
+                let v_e_old = _mm_loadu_si128(e.as_ptr().add(off) as *const __m128i);
+                let v_e =
+                    _mm_max_epi8(_mm_subs_epi8(v_h_old, v_goe), _mm_subs_epi8(v_e_old, v_ext));
+                let v_s = _mm_loadu_si128(
+                    dprofile
+                        .as_ptr()
+                        .add(*query.get_unchecked(j - 1) as usize * 16)
+                        as *const __m128i,
+                );
+                let mut v_v = _mm_adds_epi8(v_diag, v_s);
+                v_v = _mm_max_epi8(v_v, v_e);
+                v_v = _mm_max_epi8(v_v, v_f);
+                v_v = _mm_max_epi8(v_v, v_zero);
+                _mm_storeu_si128(h.as_mut_ptr().add(off) as *mut __m128i, v_v);
+                _mm_storeu_si128(e.as_mut_ptr().add(off) as *mut __m128i, v_e);
+                v_best = _mm_max_epi8(v_best, v_v);
+                v_f = _mm_max_epi8(_mm_subs_epi8(v_v, v_goe), _mm_subs_epi8(v_f, v_ext));
+                v_diag = v_h_old;
+            }
+            _mm_storeu_si128(best.as_mut_ptr() as *mut __m128i, v_best);
+        },
+        |_query, matrix32, codes, halves, dprofile| {
+            for half in 0..halves {
+                let mut rows = [_mm_setzero_si128(); 16];
+                for lane in 0..16 {
+                    rows[lane] = _mm_loadu_si128(
+                        matrix32.as_ptr().add(codes[lane] * 32 + half * 16) as *const __m128i,
+                    );
+                }
+                let t = transpose_16x16(rows);
+                for (q, tq) in t.iter().enumerate() {
+                    _mm_storeu_si128(
+                        dprofile.as_mut_ptr().add((half * 16 + q) * 16) as *mut __m128i,
+                        *tq,
+                    );
+                }
+            }
+        }
+    );
+
+    interseq_pass!(
+        pass_i16_sse41,
+        "sse4.1",
+        i16,
+        8,
+        |query, h, e, best, dprofile, goe, ext, m| {
+            let v_goe = _mm_set1_epi16(goe.clamp(i16::MIN as i32, i16::MAX as i32) as i16);
+            let v_ext = _mm_set1_epi16(ext.clamp(i16::MIN as i32, i16::MAX as i32) as i16);
+            let v_zero = _mm_setzero_si128();
+            let mut v_f = _mm_set1_epi16(i16::MIN);
+            let mut v_diag = v_zero;
+            let mut v_best = _mm_loadu_si128(best.as_ptr() as *const __m128i);
+            for j in 1..=m {
+                let off = j * 8;
+                let v_h_old = _mm_loadu_si128(h.as_ptr().add(off) as *const __m128i);
+                let v_e_old = _mm_loadu_si128(e.as_ptr().add(off) as *const __m128i);
+                let v_e = _mm_max_epi16(
+                    _mm_subs_epi16(v_h_old, v_goe),
+                    _mm_subs_epi16(v_e_old, v_ext),
+                );
+                let v_s = _mm_loadu_si128(
+                    dprofile
+                        .as_ptr()
+                        .add(*query.get_unchecked(j - 1) as usize * 8)
+                        as *const __m128i,
+                );
+                let mut v_v = _mm_adds_epi16(v_diag, v_s);
+                v_v = _mm_max_epi16(v_v, v_e);
+                v_v = _mm_max_epi16(v_v, v_f);
+                v_v = _mm_max_epi16(v_v, v_zero);
+                _mm_storeu_si128(h.as_mut_ptr().add(off) as *mut __m128i, v_v);
+                _mm_storeu_si128(e.as_mut_ptr().add(off) as *mut __m128i, v_e);
+                v_best = _mm_max_epi16(v_best, v_v);
+                v_f = _mm_max_epi16(_mm_subs_epi16(v_v, v_goe), _mm_subs_epi16(v_f, v_ext));
+                v_diag = v_h_old;
+            }
+            _mm_storeu_si128(best.as_mut_ptr() as *mut __m128i, v_best);
+        },
+        |_query, matrix32, codes, halves, dprofile| {
+            // 8 live rows (+ 8 dummies) through the byte transpose, then
+            // sign-extend each output's low 8 bytes to 8 × i16.
+            for half in 0..halves {
+                let mut rows = [_mm_setzero_si128(); 16];
+                for lane in 0..8 {
+                    rows[lane] = _mm_loadu_si128(
+                        matrix32.as_ptr().add(codes[lane] * 32 + half * 16) as *const __m128i,
+                    );
+                }
+                let t = transpose_16x16(rows);
+                for (q, tq) in t.iter().enumerate() {
+                    let wide = _mm_cvtepi8_epi16(*tq);
+                    _mm_storeu_si128(
+                        dprofile.as_mut_ptr().add((half * 16 + q) * 8) as *mut __m128i,
+                        wide,
+                    );
+                }
+            }
+        }
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EnginePreference;
+    use crate::interseq::pass_portable;
+    use rand::{RngExt, SeedableRng};
+    use swhybrid_align::scoring::{GapModel, Scoring, SubstMatrix};
+    use swhybrid_seq::sequence::EncodedSequence;
+    use swhybrid_seq::Alphabet;
+
+    fn scoring() -> Scoring {
+        Scoring {
+            matrix: SubstMatrix::blosum62(),
+            gap: GapModel::Affine {
+                open: 10,
+                extend: 2,
+            },
+        }
+    }
+
+    fn random_subjects(seed: u64, n: usize, max_len: usize) -> Vec<EncodedSequence> {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| EncodedSequence {
+                id: format!("s{i}"),
+                codes: (0..rng.random_range(1..max_len))
+                    .map(|_| rng.random_range(0..20u8))
+                    .collect(),
+                alphabet: Alphabet::Protein,
+            })
+            .collect()
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn transpose_matches_scalar() {
+        use std::arch::x86_64::*;
+        if !crate::sse::sse2_available() {
+            return;
+        }
+        let mut bytes = [[0i8; 16]; 16];
+        for (r, row) in bytes.iter_mut().enumerate() {
+            for (c, cell) in row.iter_mut().enumerate() {
+                *cell = (r * 16 + c) as i8;
+            }
+        }
+        unsafe {
+            let mut rows = [_mm_setzero_si128(); 16];
+            for (r, row) in bytes.iter().enumerate() {
+                rows[r] = _mm_loadu_si128(row.as_ptr() as *const __m128i);
+            }
+            let t = x86::transpose_16x16(rows);
+            for (q, tq) in t.iter().enumerate() {
+                let mut out = [0i8; 16];
+                _mm_storeu_si128(out.as_mut_ptr() as *mut __m128i, *tq);
+                for (l, &val) in out.iter().enumerate() {
+                    assert_eq!(val, bytes[l][q], "out[{q}][{l}]");
+                }
+            }
+        }
+    }
+
+    fn check_pass_matches_portable<T: crate::lanes::Lane>(
+        run: impl Fn(
+            &crate::engine::PreparedQuery,
+            &swhybrid_seq::arena::DbArena,
+            &[usize],
+        ) -> Option<Vec<Option<i32>>>,
+        seed: u64,
+    ) {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let s = scoring();
+        for round in 0..6 {
+            let m = rng.random_range(1..120);
+            let query: Vec<u8> = (0..m).map(|_| rng.random_range(0..20u8)).collect();
+            let subjects = random_subjects(seed + round, 40, 90);
+            let arena = swhybrid_seq::arena::DbArena::from_encoded(&subjects);
+            let jobs: Vec<usize> = (0..arena.len()).collect();
+            let prepared = crate::engine::PreparedQuery::new(&query, &s, EnginePreference::Simd);
+            let Some(simd) = run(&prepared, &arena, &jobs) else {
+                return; // CPU lacks the feature; nothing to compare.
+            };
+            let portable = pass_portable::<T>(&query, &s, &arena, &jobs);
+            assert_eq!(simd, portable, "round {round} m={m}");
+        }
+    }
+
+    #[test]
+    fn i8_pass_matches_portable() {
+        check_pass_matches_portable::<i8>(pass_i8, 301);
+    }
+
+    #[test]
+    fn i16_pass_matches_portable() {
+        check_pass_matches_portable::<i16>(pass_i16, 303);
+    }
+
+    #[test]
+    fn i8_pass_saturation_agrees_with_portable() {
+        // Self-match of a 60-residue query exceeds 127: the i8 pass must
+        // flag it None exactly like the portable pass.
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(307);
+        let query: Vec<u8> = (0..60).map(|_| rng.random_range(0..20u8)).collect();
+        let mut subjects = random_subjects(308, 20, 40);
+        subjects[9] = EncodedSequence {
+            id: "self".into(),
+            codes: query.clone(),
+            alphabet: Alphabet::Protein,
+        };
+        let s = scoring();
+        let arena = swhybrid_seq::arena::DbArena::from_encoded(&subjects);
+        let jobs: Vec<usize> = (0..arena.len()).collect();
+        let prepared = crate::engine::PreparedQuery::new(&query, &s, EnginePreference::Simd);
+        let Some(simd) = pass_i8(&prepared, &arena, &jobs) else {
+            return;
+        };
+        assert_eq!(simd[9], None, "planted self-match must saturate i8");
+        assert_eq!(simd, pass_portable::<i8>(&query, &s, &arena, &jobs));
+    }
+
+    #[test]
+    fn empty_and_tiny_subjects_round_through_lanes() {
+        let query: Vec<u8> = vec![3, 1, 4, 1, 5];
+        let s = scoring();
+        let mut subjects = vec![
+            EncodedSequence {
+                id: "e0".into(),
+                codes: vec![],
+                alphabet: Alphabet::Protein,
+            };
+            40
+        ];
+        subjects[17].codes = vec![3, 1, 4];
+        subjects[39].codes = vec![1];
+        let arena = swhybrid_seq::arena::DbArena::from_encoded(&subjects);
+        let jobs: Vec<usize> = (0..arena.len()).collect();
+        let prepared = crate::engine::PreparedQuery::new(&query, &s, EnginePreference::Simd);
+        let Some(simd) = pass_i8(&prepared, &arena, &jobs) else {
+            return;
+        };
+        assert_eq!(simd, pass_portable::<i8>(&query, &s, &arena, &jobs));
+        assert_eq!(simd[0], Some(0));
+    }
+}

@@ -16,12 +16,17 @@
 //! * [`engine`] — the dispatch + saturation-fallback chain: 8-bit kernel
 //!   first, recompute with 16 bits on saturation, fall back to the exact
 //!   scalar kernel as a last resort,
-//! * [`interseq`] — the Rognes/SWIPE-style *inter-sequence* kernel (the
-//!   related-work baseline [17]): `LANES` database sequences scored
-//!   simultaneously, lanes refilling from the queue,
+//! * [`interseq`] — the Rognes/SWIPE-style *inter-sequence* kernel family
+//!   (the related-work baseline [17]): `LANES` database sequences scored
+//!   simultaneously in the lanes of one vector, lanes refilling from the
+//!   queue, with its own i8 → i16 → scalar saturation chain,
+//! * [`interseq_sse`] / [`interseq_avx2`] — the hand-vectorized
+//!   inter-sequence passes (16/8 lanes per 128-bit register, 32/16 per
+//!   256-bit register) whose score gather is a 16 × 16 byte transpose,
 //! * [`search`] — a multi-threaded query × database scan with
 //!   self-scheduled chunks (the intra-node parallelisation of Rognes'
-//!   SWIPE-style tools), producing a ranked hit list.
+//!   SWIPE-style tools) and adaptive per-chunk kernel dispatch
+//!   ([`search::KernelChoice`]), producing a ranked hit list.
 //!
 //! Every kernel computes the **Gotoh affine-gap local alignment score** and
 //! is validated against `swhybrid_align::score_only::sw_score_affine`.
@@ -29,12 +34,14 @@
 pub mod avx2;
 pub mod engine;
 pub mod interseq;
+pub mod interseq_avx2;
+pub mod interseq_sse;
 pub mod lanes;
 pub mod portable;
 pub mod profile;
 pub mod search;
 pub mod sse;
 
-pub use engine::{EnginePreference, KernelStats, StripedEngine};
+pub use engine::{EnginePreference, KernelStats, PreparedQuery, StripedEngine};
 pub use profile::StripedProfile;
-pub use search::{DatabaseSearch, Hit, SearchConfig};
+pub use search::{DatabaseSearch, Hit, KernelChoice, SearchConfig};

@@ -4,20 +4,44 @@
 //! host (coarse-grained, Fig. 3b): the database is scanned in chunks that
 //! worker threads claim in a self-scheduling fashion (an atomic cursor —
 //! the same SS idea as Rognes' multi-threaded SSE search [17]), each worker
-//! owning its own [`StripedEngine`] so profiles are shared-nothing and the
-//! scan is embarrassingly parallel.
+//! owning its own engine state so the scan is embarrassingly parallel.
+//!
+//! The database is packed into a flat [`DbArena`] before scanning, and each
+//! claimed chunk is dispatched to one of two kernel families
+//! ([`KernelChoice`]):
+//!
+//! * **Striped** — the adapted-Farrar intra-sequence kernel, one subject at
+//!   a time. Wins on long queries (its DP state is `O(query)`) and on tiny
+//!   chunks.
+//! * **InterSeq** — the SWIPE-style inter-sequence kernel, `LANES` subjects
+//!   per vector. Wins on bulk scans of short-to-medium subjects: no per
+//!   subject setup, no lazy-F loop, near-perfect lane utilisation when
+//!   chunk lengths are homogeneous (see [`SearchConfig::sort_by_length`]).
+//! * **Auto** (default) — picks per chunk from the query length and the
+//!   chunk's length skew; the decision counters land in [`KernelStats`].
+//!
+//! Every kernel family resolves every subject to the exact Gotoh score, so
+//! the ranked output is **bit-identical** across kernel choices, thread
+//! counts, and scan orders: hits are keyed by *database* index (the arena
+//! un-permutes length-sorted scan positions) and ranked by [`rank_hits`]'s
+//! total order.
 //!
 //! The output is a ranked [`Hit`] list (top-N by score, ties broken by
-//! database order), plus the kernel-usage counters.
+//! database order), plus the kernel-usage counters. Workers carry plain
+//! [`Scored`] records (`Copy`, no strings); subject identifiers are
+//! materialised only for the merged top-N.
 
+use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crate::engine::{EnginePreference, KernelStats, PreparedQuery, StripedEngine};
+use crate::interseq::interseq_lanes;
 use swhybrid_align::alignment::Alignment;
 use swhybrid_align::gotoh::gotoh_align;
 use swhybrid_align::scoring::Scoring;
 use swhybrid_align::stats::cells;
+use swhybrid_seq::arena::DbArena;
 use swhybrid_seq::sequence::EncodedSequence;
 
 /// One database hit.
@@ -33,6 +57,54 @@ pub struct Hit {
     pub subject_len: usize,
 }
 
+/// A scored subject, as carried internally by scan workers: no identifier,
+/// no allocation — `Hit`s (with their cloned id strings) are materialised
+/// only for the merged top-N.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scored {
+    /// Index of the subject within the database (already un-permuted when
+    /// the scan order was length-sorted).
+    pub db_index: usize,
+    /// Optimal local alignment score.
+    pub score: i32,
+    /// Subject length in residues.
+    pub subject_len: usize,
+}
+
+/// Which kernel family scores a chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelChoice {
+    /// Always the adapted-Farrar striped kernel (one subject at a time).
+    Striped,
+    /// Always the SWIPE-style inter-sequence kernel (`LANES` subjects per
+    /// vector).
+    InterSeq,
+    /// Decide per chunk from query length and chunk length-skew.
+    #[default]
+    Auto,
+}
+
+impl KernelChoice {
+    /// Parse a CLI/protocol spelling.
+    pub fn parse(s: &str) -> Option<KernelChoice> {
+        match s {
+            "striped" => Some(KernelChoice::Striped),
+            "interseq" => Some(KernelChoice::InterSeq),
+            "auto" => Some(KernelChoice::Auto),
+            _ => None,
+        }
+    }
+
+    /// The canonical spelling accepted by [`KernelChoice::parse`].
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelChoice::Striped => "striped",
+            KernelChoice::InterSeq => "interseq",
+            KernelChoice::Auto => "auto",
+        }
+    }
+}
+
 /// Search configuration.
 #[derive(Debug, Clone)]
 pub struct SearchConfig {
@@ -43,8 +115,14 @@ pub struct SearchConfig {
     pub top_n: usize,
     /// Subjects per self-scheduled chunk.
     pub chunk_size: usize,
-    /// Kernel family preference.
+    /// Kernel family preference (intrinsics vs portable).
     pub preference: EnginePreference,
+    /// Kernel dispatch: striped, inter-sequence, or adaptive.
+    pub kernel: KernelChoice,
+    /// Scan the database in ascending-length order (chunks become
+    /// length-homogeneous, which the inter-sequence kernel likes). Hits are
+    /// always reported by database index, so results are unchanged.
+    pub sort_by_length: bool,
 }
 
 impl Default for SearchConfig {
@@ -54,6 +132,8 @@ impl Default for SearchConfig {
             top_n: 20,
             chunk_size: 64,
             preference: EnginePreference::Auto,
+            kernel: KernelChoice::Auto,
+            sort_by_length: false,
         }
     }
 }
@@ -63,8 +143,12 @@ impl Default for SearchConfig {
 pub struct SearchResult {
     /// Ranked hits (best first), at most `top_n`.
     pub hits: Vec<Hit>,
-    /// DP cells updated (query length × total subject residues).
+    /// DP cells actually computed: every kernel pass is counted, including
+    /// i16/scalar recomputation of saturated subjects.
     pub cells: u64,
+    /// Nominal cell count (query length × total subject residues) — the
+    /// classic GCUPS denominator, independent of saturation recomputes.
+    pub cells_nominal: u64,
     /// Kernel usage across all workers.
     pub stats: KernelStats,
 }
@@ -93,6 +177,22 @@ impl SearchResult {
     }
 }
 
+/// Output of an arena scan: ranked scores without materialised identifiers.
+/// This is what sharded callers (the query service) merge; ids are attached
+/// at the very end, for the global top-N only.
+#[derive(Debug, Clone)]
+pub struct ScanOutput {
+    /// Ranked scored subjects (best first), at most `top_n`, keyed by
+    /// database index.
+    pub scored: Vec<Scored>,
+    /// DP cells actually computed (all passes).
+    pub cells: u64,
+    /// Nominal cells (query length × scanned residues).
+    pub cells_nominal: u64,
+    /// Kernel usage across all workers.
+    pub stats: KernelStats,
+}
+
 /// Rank hits deterministically: score descending, ties broken by database
 /// order ascending. This is THE ranking of the whole workspace — every
 /// merge of partial hit lists (per-worker, per-shard, per-process) goes
@@ -100,6 +200,11 @@ impl SearchResult {
 /// database is bit-identical to a single sequential scan.
 pub fn rank_hits(hits: &mut [Hit]) {
     hits.sort_by(|a, b| b.score.cmp(&a.score).then(a.db_index.cmp(&b.db_index)));
+}
+
+/// [`rank_hits`]'s total order over the internal [`Scored`] records.
+pub fn rank_scored(scored: &mut [Scored]) {
+    scored.sort_by(|a, b| b.score.cmp(&a.score).then(a.db_index.cmp(&b.db_index)));
 }
 
 /// Merge any number of partial hit lists into the global top `top_n`.
@@ -150,23 +255,68 @@ impl<'a> DatabaseSearch<'a> {
 /// [`PreparedQuery`]s across searches skips the per-query profile build
 /// entirely. `config.preference` is ignored: the preference is baked into
 /// the prepared profiles.
+///
+/// The subjects are packed into a transient [`DbArena`] (length-sorted when
+/// `config.sort_by_length`); callers that already hold an arena should use
+/// [`search_arena`] directly.
 pub fn search_prepared(
     prepared: &Arc<PreparedQuery>,
     subjects: &[EncodedSequence],
     config: &SearchConfig,
 ) -> SearchResult {
+    let arena = if config.sort_by_length {
+        DbArena::length_sorted(subjects)
+    } else {
+        DbArena::from_encoded(subjects)
+    };
+    let out = search_arena(prepared, &arena, 0..arena.len(), config);
+    let hits = out
+        .scored
+        .iter()
+        .map(|s| Hit {
+            db_index: s.db_index,
+            id: subjects[s.db_index].id.clone(),
+            score: s.score,
+            subject_len: s.subject_len,
+        })
+        .collect();
+    SearchResult {
+        hits,
+        cells: out.cells,
+        cells_nominal: out.cells_nominal,
+        stats: out.stats,
+    }
+}
+
+/// Scan the arena positions in `range` with an already-prepared query.
+/// Workers claim chunks of scan positions; each chunk is dispatched per
+/// `config.kernel`. Returned records are keyed by **database** index
+/// ([`DbArena::db_index`]), so the output is independent of the arena's
+/// scan order.
+pub fn search_arena(
+    prepared: &Arc<PreparedQuery>,
+    arena: &DbArena,
+    range: Range<usize>,
+    config: &SearchConfig,
+) -> ScanOutput {
     assert!(config.threads >= 1, "at least one worker required");
     assert!(config.chunk_size >= 1, "chunk size must be positive");
-    let n_workers = config.threads.min(subjects.len().max(1));
+    assert!(range.end <= arena.len(), "scan range out of bounds");
+    let span = range.len();
+    let n_workers = config.threads.min(span.max(1));
     let cursor = AtomicUsize::new(0);
 
-    let mut worker_outputs: Vec<(Vec<Hit>, KernelStats)> = if n_workers == 1 {
-        vec![scan_worker(prepared, subjects, &cursor, config)]
+    let mut worker_outputs: Vec<(Vec<Scored>, KernelStats)> = if n_workers == 1 {
+        vec![scan_worker(prepared, arena, range.clone(), &cursor, config)]
     } else {
         let mut outs = Vec::with_capacity(n_workers);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..n_workers)
-                .map(|_| scope.spawn(|| scan_worker(prepared, subjects, &cursor, config)))
+                .map(|_| {
+                    let range = range.clone();
+                    let cursor = &cursor;
+                    scope.spawn(move || scan_worker(prepared, arena, range, cursor, config))
+                })
                 .collect();
             for h in handles {
                 outs.push(h.join().expect("search worker panicked"));
@@ -179,51 +329,107 @@ pub fn search_prepared(
     for (_, worker_stats) in &worker_outputs {
         stats.merge(worker_stats);
     }
-    let hits = merge_top_n(
-        worker_outputs.drain(..).map(|(worker_hits, _)| worker_hits),
-        config.top_n,
-    );
+    let mut scored: Vec<Scored> = worker_outputs
+        .drain(..)
+        .flat_map(|(worker_scored, _)| worker_scored)
+        .collect();
+    rank_scored(&mut scored);
+    scored.truncate(config.top_n);
 
-    let total_residues: u64 = subjects.iter().map(|s| s.len() as u64).sum();
-    SearchResult {
-        hits,
-        cells: cells(prepared.query_len(), 1) * total_residues,
+    ScanOutput {
+        scored,
+        cells: stats.cells_computed,
+        cells_nominal: cells(prepared.query_len(), 1) * arena.range_residues(range),
         stats,
     }
 }
 
+/// Should `Auto` send this chunk to the inter-sequence kernel?
+///
+/// The inter-sequence kernel amortises nothing when lanes cannot fill
+/// (`n < 2 × LANES`), thrashes the cache when the query is long (its DP
+/// state is `2 × query × LANES` bytes versus the striped kernel's
+/// `2 × query`), and wastes lanes when one subject dwarfs the chunk (every
+/// other lane idles while it drains — the skew test compares the longest
+/// subject against the chunk's mean length).
+fn auto_picks_interseq(prepared: &PreparedQuery, arena: &DbArena, chunk: Range<usize>) -> bool {
+    /// Above this query length the striped kernel's compact DP state wins.
+    const MAX_INTERSEQ_QUERY: usize = 2048;
+    /// Minimum lane utilisation (as 1/MAX_SKEW). Lanes refill from the
+    /// subject queue, so a long outlier only hurts once the queue drains
+    /// and the other lanes idle behind it: the wasted fraction of the
+    /// chunk is bounded by `max_len·lanes / total`. Only when that ratio
+    /// is extreme (one subject dominating the whole chunk) does the
+    /// striped kernel's sequential scan win back the difference.
+    const MAX_SKEW: u64 = 8;
+    let lanes = interseq_lanes(prepared.preference()) as u64;
+    if (chunk.len() as u64) < 2 * lanes {
+        return false;
+    }
+    if prepared.query_len() > MAX_INTERSEQ_QUERY {
+        return false;
+    }
+    let total = arena.range_residues(chunk.clone());
+    if total == 0 {
+        return false;
+    }
+    let max_len = chunk.clone().map(|p| arena.seq_len(p)).max().unwrap_or(0) as u64;
+    max_len * lanes <= MAX_SKEW * total
+}
+
 fn scan_worker(
     prepared: &Arc<PreparedQuery>,
-    subjects: &[EncodedSequence],
+    arena: &DbArena,
+    range: Range<usize>,
     cursor: &AtomicUsize,
     config: &SearchConfig,
-) -> (Vec<Hit>, KernelStats) {
-    let chunk = config.chunk_size;
+) -> (Vec<Scored>, KernelStats) {
+    let chunk_size = config.chunk_size;
     let mut engine = StripedEngine::with_prepared(Arc::clone(prepared));
-    let mut local: Vec<Hit> = Vec::new();
+    let mut stats = KernelStats::default();
+    let mut local: Vec<Scored> = Vec::new();
     loop {
-        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-        if start >= subjects.len() {
+        let start = range.start + cursor.fetch_add(chunk_size, Ordering::Relaxed);
+        if start >= range.end {
             break;
         }
-        let end = (start + chunk).min(subjects.len());
-        for (offset, subject) in subjects[start..end].iter().enumerate() {
-            let score = engine.score(&subject.codes);
-            local.push(Hit {
-                db_index: start + offset,
-                id: subject.id.clone(),
-                score,
-                subject_len: subject.len(),
-            });
+        let end = (start + chunk_size).min(range.end);
+        let use_interseq = match config.kernel {
+            KernelChoice::Striped => false,
+            KernelChoice::InterSeq => true,
+            KernelChoice::Auto => auto_picks_interseq(prepared, arena, start..end),
+        };
+        if use_interseq {
+            stats.chunks_interseq += 1;
+            let scores = crate::interseq::scores_arena(prepared, arena, start..end, &mut stats);
+            for (offset, &score) in scores.iter().enumerate() {
+                let pos = start + offset;
+                local.push(Scored {
+                    db_index: arena.db_index(pos),
+                    score,
+                    subject_len: arena.seq_len(pos),
+                });
+            }
+        } else {
+            stats.chunks_striped += 1;
+            for pos in start..end {
+                let score = engine.score(arena.residues(pos));
+                local.push(Scored {
+                    db_index: arena.db_index(pos),
+                    score,
+                    subject_len: arena.seq_len(pos),
+                });
+            }
         }
         // Keep the per-worker list bounded: only the global top-N can
         // survive the merge anyway.
         if local.len() > 4 * config.top_n.max(16) {
-            rank_hits(&mut local);
+            rank_scored(&mut local);
             local.truncate(2 * config.top_n.max(8));
         }
     }
-    (local, engine.stats())
+    stats.merge(&engine.stats());
+    (local, stats)
 }
 
 #[cfg(test)]
@@ -316,6 +522,99 @@ mod tests {
     }
 
     #[test]
+    fn every_kernel_choice_yields_identical_hits() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(171);
+        let query: Vec<u8> = (0..70).map(|_| rng.random_range(0..20u8)).collect();
+        let db = random_db(173, 160, 140);
+        let s = scoring();
+        let baseline = DatabaseSearch::new(
+            &query,
+            &s,
+            SearchConfig {
+                kernel: KernelChoice::Striped,
+                top_n: 25,
+                ..Default::default()
+            },
+        )
+        .run(&db);
+        for kernel in [KernelChoice::InterSeq, KernelChoice::Auto] {
+            for sort_by_length in [false, true] {
+                let got = DatabaseSearch::new(
+                    &query,
+                    &s,
+                    SearchConfig {
+                        kernel,
+                        sort_by_length,
+                        top_n: 25,
+                        threads: 3,
+                        chunk_size: 33,
+                        ..Default::default()
+                    },
+                )
+                .run(&db);
+                assert_eq!(
+                    got.hits, baseline.hits,
+                    "kernel {kernel:?} sorted {sort_by_length}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interseq_choice_populates_its_counters() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(177);
+        let query: Vec<u8> = (0..50).map(|_| rng.random_range(0..20u8)).collect();
+        let db = random_db(179, 100, 60);
+        let s = scoring();
+        let result = DatabaseSearch::new(
+            &query,
+            &s,
+            SearchConfig {
+                kernel: KernelChoice::InterSeq,
+                ..Default::default()
+            },
+        )
+        .run(&db);
+        assert_eq!(result.stats.interseq_total(), 100);
+        assert_eq!(result.stats.total(), 100);
+        assert!(result.stats.chunks_interseq >= 1);
+        assert_eq!(result.stats.chunks_striped, 0);
+        assert!(result.cells > 0);
+    }
+
+    #[test]
+    fn auto_prefers_interseq_on_homogeneous_chunks_and_striped_on_tiny_ones() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(181);
+        let query: Vec<u8> = (0..60).map(|_| rng.random_range(0..20u8)).collect();
+        let s = scoring();
+        // 128 similar-length subjects in one big chunk: inter-sequence.
+        let db = random_db(183, 128, 60);
+        let bulk = DatabaseSearch::new(
+            &query,
+            &s,
+            SearchConfig {
+                kernel: KernelChoice::Auto,
+                chunk_size: 128,
+                ..Default::default()
+            },
+        )
+        .run(&db);
+        assert!(bulk.stats.chunks_interseq >= 1, "{:?}", bulk.stats);
+        // 5 subjects: lanes can't fill, Auto must stay striped.
+        let tiny = DatabaseSearch::new(
+            &query,
+            &s,
+            SearchConfig {
+                kernel: KernelChoice::Auto,
+                ..Default::default()
+            },
+        )
+        .run(&db[..5]);
+        assert_eq!(tiny.stats.chunks_interseq, 0);
+        assert!(tiny.stats.chunks_striped >= 1);
+    }
+
+    #[test]
     fn top_n_truncates() {
         let db = random_db(141, 30, 60);
         let query: Vec<u8> = (0..40).map(|i| (i % 20) as u8).collect();
@@ -359,7 +658,36 @@ mod tests {
         let query: Vec<u8> = (0..25).map(|i| (i % 20) as u8).collect();
         let s = scoring();
         let result = DatabaseSearch::new(&query, &s, SearchConfig::default()).run(&db);
-        assert_eq!(result.cells, 25 * total);
+        assert_eq!(result.cells_nominal, 25 * total);
+        assert_eq!(result.cells, result.stats.cells_computed);
+        // No subject here saturates i8, so actual equals nominal.
+        assert_eq!(result.cells, result.cells_nominal);
+    }
+
+    #[test]
+    fn saturating_subjects_cost_extra_cells() {
+        let query: Vec<u8> = (0..200).map(|i| (i % 20) as u8).collect();
+        let db = vec![EncodedSequence {
+            id: "self".into(),
+            codes: query.clone(),
+            alphabet: Alphabet::Protein,
+        }];
+        let s = scoring();
+        for kernel in [KernelChoice::Striped, KernelChoice::InterSeq] {
+            let result = DatabaseSearch::new(
+                &query,
+                &s,
+                SearchConfig {
+                    kernel,
+                    ..Default::default()
+                },
+            )
+            .run(&db);
+            assert!(
+                result.cells > result.cells_nominal,
+                "kernel {kernel:?}: self-match must saturate i8 and recompute"
+            );
+        }
     }
 
     #[test]
@@ -397,6 +725,7 @@ mod tests {
         let result = DatabaseSearch::new(&query, &s, SearchConfig::default()).run(&[]);
         assert!(result.hits.is_empty());
         assert_eq!(result.cells, 0);
+        assert_eq!(result.cells_nominal, 0);
     }
 
     #[test]
@@ -430,6 +759,33 @@ mod tests {
             .collect();
         let merged = merge_top_n(shard_lists, cfg.top_n);
         assert_eq!(merged, whole.hits);
+    }
+
+    #[test]
+    fn search_arena_subrange_matches_subject_slice() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(191);
+        let query: Vec<u8> = (0..60).map(|_| rng.random_range(0..20u8)).collect();
+        let db = random_db(193, 80, 90);
+        let s = scoring();
+        let cfg = SearchConfig {
+            top_n: 10,
+            ..Default::default()
+        };
+        let prepared = Arc::new(PreparedQuery::new(&query, &s, cfg.preference));
+        let arena = DbArena::from_encoded(&db);
+        let out = search_arena(&prepared, &arena, 20..55, &cfg);
+        let slice = search_prepared(&prepared, &db[20..55], &cfg);
+        let rebased: Vec<Scored> = slice
+            .hits
+            .iter()
+            .map(|h| Scored {
+                db_index: h.db_index + 20,
+                score: h.score,
+                subject_len: h.subject_len,
+            })
+            .collect();
+        assert_eq!(out.scored, rebased);
+        assert_eq!(out.cells_nominal, slice.cells_nominal);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use swhybrid::seq::index::SeqIndex;
 use swhybrid::seq::sequence::EncodedSequence;
 use swhybrid::seq::synth::{paper_database, QueryOrder, QuerySetSpec};
 use swhybrid::seq::Alphabet;
-use swhybrid::simd::search::{DatabaseSearch, SearchConfig};
+use swhybrid::simd::search::{DatabaseSearch, KernelChoice, SearchConfig};
 
 const USAGE: &str = "\
 swhybrid — biological sequence comparison on hybrid platforms
@@ -37,8 +37,18 @@ USAGE:
   swhybrid search <query.fasta> <db.fasta> [--top N] [--threads N]
                   [--matrix blosum62|blosum50|pam250]
                   [--gap-open N] [--gap-extend N] [--align]
+                  [--kernel striped|interseq|auto]
       Compare every query against the database with the adapted-Farrar
       striped engine; print ranked hits (and alignments with --align).
+      --kernel selects the scan kernel per chunk: the striped engine, the
+      SWIPE-style inter-sequence engine, or adaptive dispatch (default).
+
+  swhybrid bench-kernels [--subjects N] [--qlen N] [--reps N]
+                         [--json FILE]
+      Time the striped, inter-sequence, and adaptive kernels over a
+      length-skewed synthetic database and report GCUPS (nominal cells,
+      so the kernels are directly comparable). --json also writes the
+      table as a JSON report.
 
   swhybrid simulate [--gpus N] [--sse N] [--fpgas N] [--db NAME]
                     [--policy ss|pss|fixed|wfixed] [--no-adjustment]
@@ -61,6 +71,7 @@ USAGE:
                  [--max-active N] [--queue-depth N] [--client-inflight N]
                  [--cache N] [--policy ss|pss] [--no-adjustment]
                  [--matrix ...] [--gap-open N] [--gap-extend N]
+                 [--kernel striped|interseq|auto]
       Start the persistent query daemon: the database stays resident and
       the master/slave scheduler stays warm between queries. Speaks
       newline-delimited JSON (verbs: search, status, cancel, stats,
@@ -77,6 +88,7 @@ USAGE:
   swhybrid slave <query.fasta> <db.fasta> --connect HOST:PORT
                  [--name NAME] [--gcups X] [--threads N]
                  [--heartbeat SECS] [--reconnect-retries N]
+                 [--kernel striped|interseq|auto]
       Join a running master as a slave PE. Both sides must have the same
       sequence files (the paper's shared-files model). The slave heartbeats
       every --heartbeat seconds and reconnects with exponential backoff up
@@ -107,6 +119,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("index") => cmd_index(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
         Some("search") => cmd_search(&args[1..]),
+        Some("bench-kernels") => cmd_bench_kernels(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("master") => cmd_master(&args[1..]),
         Some("slave") => cmd_slave(&args[1..]),
@@ -167,6 +180,13 @@ impl Opts {
                 .parse()
                 .map_err(|_| format!("--{name}: cannot parse {v:?}")),
         }
+    }
+}
+
+fn kernel_from_opts(opts: &Opts) -> Result<KernelChoice, String> {
+    match opts.get("kernel") {
+        None => Ok(KernelChoice::Auto),
+        Some(v) => KernelChoice::parse(v).ok_or_else(|| format!("unknown kernel {v:?}")),
     }
 }
 
@@ -232,13 +252,21 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
 fn cmd_search(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(
         args,
-        &["top", "threads", "matrix", "gap-open", "gap-extend"],
+        &[
+            "top",
+            "threads",
+            "matrix",
+            "gap-open",
+            "gap-extend",
+            "kernel",
+        ],
         &["align"],
     )?;
     let [qpath, dbpath] = opts.positional.as_slice() else {
         return Err("search takes <query.fasta> <db.fasta>".into());
     };
     let scoring = scoring_from_opts(&opts)?;
+    let kernel = kernel_from_opts(&opts)?;
     let top_n: usize = opts.get_parsed("top", 10)?;
     let threads: usize = opts.get_parsed("threads", 1)?;
     if threads == 0 {
@@ -271,6 +299,7 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
 
     let start = std::time::Instant::now();
     let mut total_cells = 0u64;
+    let mut kernel_stats = swhybrid::simd::engine::KernelStats::default();
     for query in &queries {
         let result = DatabaseSearch::new(
             &query.codes,
@@ -278,11 +307,13 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
             SearchConfig {
                 threads,
                 top_n,
+                kernel,
                 ..Default::default()
             },
         )
         .run(&subjects);
         total_cells += result.cells;
+        kernel_stats.merge(&result.stats);
         let stats_params = swhybrid::align::evalue::KarlinAltschul::for_scoring(&scoring);
         let db_residues: u64 = subjects.iter().map(|s| s.len() as u64).sum();
         println!("\n# query {} ({} aa)", query.id, query.len());
@@ -331,6 +362,166 @@ fn cmd_search(args: &[String]) -> Result<(), String> {
         "\n{total_cells} cells in {secs:.3} s = {:.2} GCUPS",
         total_cells as f64 / secs / 1e9
     );
+    println!(
+        "kernel {}: {} striped / {} inter-sequence chunks, \
+         subjects i8/i16/scalar striped {}+{}+{} interseq {}+{}+{}",
+        kernel.name(),
+        kernel_stats.chunks_striped,
+        kernel_stats.chunks_interseq,
+        kernel_stats.resolved_i8,
+        kernel_stats.resolved_i16,
+        kernel_stats.resolved_scalar,
+        kernel_stats.interseq_i8,
+        kernel_stats.interseq_i16,
+        kernel_stats.interseq_scalar,
+    );
+    Ok(())
+}
+
+/// A length-skewed synthetic database: a large body of short subjects with
+/// rare long outliers. This is the shape that starves the striped kernel
+/// on per-subject setup cost and favours inter-sequence dispatch.
+fn skewed_bench_db(seed: u64, n: usize) -> Vec<EncodedSequence> {
+    let mut rng = swhybrid::seq::synth::rng(seed);
+    (0..n)
+        .map(|i| {
+            let len = if i % 97 == 0 {
+                400 + (i % 7) * 100
+            } else {
+                20 + i % 61
+            };
+            let ascii = swhybrid::seq::synth::random_protein(&mut rng, len);
+            let codes = Alphabet::Protein
+                .encode(&ascii)
+                .expect("synthetic residues are valid");
+            EncodedSequence {
+                id: format!("s{i}"),
+                codes,
+                alphabet: Alphabet::Protein,
+            }
+        })
+        .collect()
+}
+
+fn cmd_bench_kernels(args: &[String]) -> Result<(), String> {
+    use swhybrid::exec::net::kernels_to_json;
+    use swhybrid::json::Json;
+
+    let opts = Opts::parse(args, &["subjects", "qlen", "reps", "json"], &[])?;
+    if !opts.positional.is_empty() {
+        return Err("bench-kernels takes flags only".into());
+    }
+    let n: usize = opts.get_parsed("subjects", 4000)?;
+    let qlen: usize = opts.get_parsed("qlen", 256)?;
+    let reps: usize = opts.get_parsed("reps", 3)?;
+    if n == 0 || qlen == 0 || reps == 0 {
+        return Err("--subjects, --qlen, and --reps must be at least 1".into());
+    }
+    let scoring = Scoring {
+        matrix: SubstMatrix::blosum62(),
+        gap: GapModel::Affine {
+            open: 10,
+            extend: 2,
+        },
+    };
+    let subjects = skewed_bench_db(2013, n);
+    let residues: u64 = subjects.iter().map(|s| s.len() as u64).sum();
+    let mut rng = swhybrid::seq::synth::rng(qlen as u64);
+    let query_ascii = swhybrid::seq::synth::random_protein(&mut rng, qlen);
+    let query = Alphabet::Protein
+        .encode(&query_ascii)
+        .expect("synthetic residues are valid");
+    println!(
+        "length-skewed db: {n} subjects, {residues} residues; query {qlen} aa; best of {reps}"
+    );
+    println!(
+        "{:>10}  {:>8}  {:>9}  {:>8}  {:>8}  chunks s/i",
+        "kernel", "gcups", "secs", "cells", "nominal"
+    );
+
+    let mut rows = Vec::new();
+    let mut baseline_hits: Option<Vec<swhybrid::simd::search::Hit>> = None;
+    for kernel in [
+        KernelChoice::Striped,
+        KernelChoice::InterSeq,
+        KernelChoice::Auto,
+    ] {
+        let search = DatabaseSearch::new(
+            &query,
+            &scoring,
+            SearchConfig {
+                threads: 1,
+                top_n: 10,
+                kernel,
+                ..Default::default()
+            },
+        );
+        let mut best_secs = f64::INFINITY;
+        let mut result = None;
+        for _ in 0..reps {
+            let t0 = std::time::Instant::now();
+            let r = search.run(&subjects);
+            best_secs = best_secs.min(t0.elapsed().as_secs_f64());
+            result = Some(r);
+        }
+        let r = result.expect("reps >= 1");
+        // GCUPS over *nominal* cells (query × residues): every kernel does
+        // the same nominal work, so the numbers are directly comparable
+        // even when saturation retries inflate the actual cell count.
+        let gcups = r.cells_nominal as f64 / best_secs / 1e9;
+        println!(
+            "{:>10}  {:>8.3}  {:>9.4}  {:>8}  {:>8}  {}/{}",
+            kernel.name(),
+            gcups,
+            best_secs,
+            r.cells,
+            r.cells_nominal,
+            r.stats.chunks_striped,
+            r.stats.chunks_interseq,
+        );
+        match &baseline_hits {
+            None => baseline_hits = Some(r.hits.clone()),
+            Some(b) => {
+                if *b != r.hits {
+                    return Err(format!(
+                        "kernel {} produced a different ranking than striped",
+                        kernel.name()
+                    ));
+                }
+            }
+        }
+        rows.push((kernel, gcups, best_secs, r));
+    }
+    println!("rankings identical across kernels");
+
+    if let Some(path) = opts.get("json") {
+        let report = Json::obj(vec![
+            ("subjects", Json::Num(n as f64)),
+            ("residues", Json::Num(residues as f64)),
+            ("query_len", Json::Num(qlen as f64)),
+            ("reps", Json::Num(reps as f64)),
+            ("identical_rankings", Json::Bool(true)),
+            (
+                "kernels",
+                Json::Arr(
+                    rows.iter()
+                        .map(|(kernel, gcups, secs, r)| {
+                            Json::obj(vec![
+                                ("kernel", Json::str(kernel.name())),
+                                ("gcups", Json::Num(*gcups)),
+                                ("seconds", Json::Num(*secs)),
+                                ("cells", Json::Num(r.cells as f64)),
+                                ("cells_nominal", Json::Num(r.cells_nominal as f64)),
+                                ("stats", kernels_to_json(&r.stats)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        std::fs::write(path, format!("{report}\n")).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
     Ok(())
 }
 
@@ -578,6 +769,7 @@ fn cmd_slave(args: &[String]) -> Result<(), String> {
             "top",
             "heartbeat",
             "reconnect-retries",
+            "kernel",
         ],
         &[],
     )?;
@@ -610,11 +802,15 @@ fn cmd_slave(args: &[String]) -> Result<(), String> {
     }
     net.reconnect_max_retries = opts.get_parsed("reconnect-retries", net.reconnect_max_retries)?;
     println!("{name}: connecting to {connect}");
+    let backend = StripedBackend {
+        kernel: kernel_from_opts(&opts)?,
+        ..StripedBackend::default()
+    };
     let executed = run_slave_with(
         connect,
         &name,
         gcups,
-        &StripedBackend::default(),
+        &backend,
         &queries,
         &subjects,
         &scoring,
@@ -644,6 +840,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "matrix",
             "gap-open",
             "gap-extend",
+            "kernel",
         ],
         &["no-adjustment"],
     )?;
@@ -673,6 +870,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         chunk_size: opts.get_parsed("chunk", default.chunk_size)?,
         policy,
         adjustment: !opts.has("no-adjustment"),
+        kernel: kernel_from_opts(&opts)?,
         ..default
     };
     if config.queue_depth == 0 || config.per_client_inflight == 0 {

@@ -1,0 +1,258 @@
+//! Cross-kernel equivalence: every inter-sequence lane width (portable,
+//! SSE, AVX2; i8 and i16) must agree with the scalar Gotoh oracle, and a
+//! database search must return bit-identical rankings under every
+//! `KernelChoice`, thread count, and scan order.
+
+use proptest::prelude::*;
+use swhybrid::align::score_only::sw_score_affine;
+use swhybrid::align::scoring::{GapModel, Scoring, SubstMatrix};
+use swhybrid::seq::sequence::EncodedSequence;
+use swhybrid::seq::{Alphabet, DbArena};
+use swhybrid::simd::engine::{EnginePreference, KernelStats, PreparedQuery};
+use swhybrid::simd::search::{DatabaseSearch, KernelChoice, SearchConfig};
+use swhybrid::simd::{interseq, interseq_avx2, interseq_sse};
+
+fn protein_codes(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..20, 1..max_len)
+}
+
+fn scoring_strategy() -> impl Strategy<Value = Scoring> {
+    (1i32..=14, 1i32..=4, prop::bool::ANY).prop_map(|(open, extend, blosum50)| Scoring {
+        matrix: if blosum50 {
+            SubstMatrix::blosum50()
+        } else {
+            SubstMatrix::blosum62()
+        },
+        gap: GapModel::Affine { open, extend },
+    })
+}
+
+fn encode_db(subjects: &[Vec<u8>]) -> Vec<EncodedSequence> {
+    subjects
+        .iter()
+        .enumerate()
+        .map(|(i, codes)| EncodedSequence {
+            id: format!("s{i}"),
+            codes: codes.clone(),
+            alphabet: Alphabet::Protein,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The full fallback chain (i8 → i16 → scalar) returns the oracle
+    /// score for every subject, whichever SIMD family backs the passes.
+    #[test]
+    fn scores_arena_matches_scalar_oracle(
+        query in protein_codes(100),
+        subjects in prop::collection::vec(protein_codes(120), 1..40),
+        scoring in scoring_strategy(),
+    ) {
+        let db = encode_db(&subjects);
+        let arena = DbArena::from_encoded(&db);
+        let expect: Vec<i32> = subjects
+            .iter()
+            .map(|s| sw_score_affine(&query, s, &scoring).score)
+            .collect();
+        for pref in [EnginePreference::Auto, EnginePreference::Portable] {
+            let prepared = PreparedQuery::new(&query, &scoring, pref);
+            let mut stats = KernelStats::default();
+            let got = interseq::scores_arena(&prepared, &arena, 0..arena.len(), &mut stats);
+            prop_assert_eq!(&got, &expect, "preference {:?}", pref);
+            prop_assert_eq!(stats.interseq_total(), subjects.len() as u64);
+        }
+    }
+
+    /// Each vectorized lane width individually agrees with the oracle on
+    /// every job it resolves (None = saturated, checked by the chain law).
+    #[test]
+    fn every_lane_width_matches_oracle(
+        query in protein_codes(90),
+        subjects in prop::collection::vec(protein_codes(110), 1..40),
+        scoring in scoring_strategy(),
+    ) {
+        let db = encode_db(&subjects);
+        let arena = DbArena::from_encoded(&db);
+        let jobs: Vec<usize> = (0..arena.len()).collect();
+        let prepared = PreparedQuery::new(&query, &scoring, EnginePreference::Auto);
+        let passes: [(&str, Option<Vec<Option<i32>>>); 4] = [
+            ("sse_i8", interseq_sse::pass_i8(&prepared, &arena, &jobs)),
+            ("sse_i16", interseq_sse::pass_i16(&prepared, &arena, &jobs)),
+            ("avx2_i8", interseq_avx2::pass_i8(&prepared, &arena, &jobs)),
+            ("avx2_i16", interseq_avx2::pass_i16(&prepared, &arena, &jobs)),
+        ];
+        for (name, pass) in passes {
+            let Some(results) = pass else { continue };
+            prop_assert_eq!(results.len(), subjects.len());
+            for (s, r) in subjects.iter().zip(results) {
+                if let Some(score) = r {
+                    let expect = sw_score_affine(&query, s, &scoring).score;
+                    prop_assert_eq!(score, expect, "{} lane", name);
+                }
+            }
+        }
+    }
+
+    /// A database search returns bit-identical hits under every kernel
+    /// choice × thread count × scan order × engine family.
+    #[test]
+    fn database_search_identical_across_kernel_choices(
+        query in protein_codes(80),
+        subjects in prop::collection::vec(protein_codes(150), 1..60),
+        scoring in scoring_strategy(),
+        threads in 1usize..4,
+        chunk_size in 1usize..40,
+    ) {
+        let db = encode_db(&subjects);
+        let baseline = DatabaseSearch::new(
+            &query,
+            &scoring,
+            SearchConfig {
+                top_n: db.len(),
+                kernel: KernelChoice::Striped,
+                ..Default::default()
+            },
+        )
+        .run(&db);
+        for pref in [EnginePreference::Auto, EnginePreference::Portable] {
+            for kernel in [KernelChoice::Striped, KernelChoice::InterSeq, KernelChoice::Auto] {
+                for sort_by_length in [false, true] {
+                    let got = DatabaseSearch::new(
+                        &query,
+                        &scoring,
+                        SearchConfig {
+                            threads,
+                            top_n: db.len(),
+                            chunk_size,
+                            preference: pref,
+                            kernel,
+                            sort_by_length,
+                        },
+                    )
+                    .run(&db);
+                    prop_assert_eq!(
+                        &got.hits, &baseline.hits,
+                        "kernel {:?} pref {:?} sorted {} threads {}",
+                        kernel, pref, sort_by_length, threads
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Exact i8 boundary: with match = +1 a 127-residue self-match scores
+/// exactly `i8::MAX`. The i8 pass cannot distinguish that from overflow,
+/// so it must report saturation and the i16 retry must return exactly 127.
+#[test]
+fn i8_exact_boundary_saturates_and_retries_exactly() {
+    let scoring = Scoring {
+        matrix: SubstMatrix::match_mismatch(Alphabet::Protein, 1, -4),
+        gap: GapModel::Affine {
+            open: 10,
+            extend: 2,
+        },
+    };
+    let query: Vec<u8> = vec![3u8; 127];
+    // The match run ends mid-sequence: a mismatching tail after it.
+    let mut subject = query.clone();
+    subject.extend(vec![7u8; 40]);
+    let expect = sw_score_affine(&query, &subject, &scoring).score;
+    assert_eq!(expect, 127, "constructed to land exactly on i8::MAX");
+
+    let db = encode_db(&[subject]);
+    let arena = DbArena::from_encoded(&db);
+    for pref in [EnginePreference::Auto, EnginePreference::Portable] {
+        let prepared = PreparedQuery::new(&query, &scoring, pref);
+        let mut stats = KernelStats::default();
+        let got = interseq::scores_arena(&prepared, &arena, 0..1, &mut stats);
+        assert_eq!(got, vec![127], "preference {pref:?}");
+        assert_eq!(
+            stats.interseq_i8, 0,
+            "a best of exactly i8::MAX must not resolve in the i8 pass"
+        );
+        assert_eq!(stats.interseq_i16 + stats.interseq_scalar, 1);
+    }
+}
+
+/// Exact i16 boundary: 32767 = 7 × 31 × 151, so a 4681-residue self-match
+/// with match = +7 scores exactly `i16::MAX` and must fall through both
+/// vector passes to the exact scalar kernel.
+#[test]
+fn i16_exact_boundary_falls_through_to_scalar() {
+    let scoring = Scoring {
+        matrix: SubstMatrix::match_mismatch(Alphabet::Protein, 7, -4),
+        gap: GapModel::Affine {
+            open: 10,
+            extend: 2,
+        },
+    };
+    let query: Vec<u8> = vec![5u8; 4681];
+    let mut subject = query.clone();
+    subject.extend(vec![2u8; 60]);
+    let expect = sw_score_affine(&query, &subject, &scoring).score;
+    assert_eq!(expect, 32767, "constructed to land exactly on i16::MAX");
+
+    let db = encode_db(&[subject]);
+    let arena = DbArena::from_encoded(&db);
+    for pref in [EnginePreference::Auto, EnginePreference::Portable] {
+        let prepared = PreparedQuery::new(&query, &scoring, pref);
+        let mut stats = KernelStats::default();
+        let got = interseq::scores_arena(&prepared, &arena, 0..1, &mut stats);
+        assert_eq!(got, vec![32767], "preference {pref:?}");
+        assert_eq!(stats.interseq_i8, 0);
+        assert_eq!(stats.interseq_i16, 0);
+        assert_eq!(stats.interseq_scalar, 1);
+    }
+}
+
+/// Saturating subjects are charged for every extra pass, identically
+/// across kernel choices: actual cells exceed nominal cells, and the
+/// search results still match the striped baseline exactly.
+#[test]
+fn saturation_accounting_identical_across_kernels() {
+    let scoring = Scoring {
+        matrix: SubstMatrix::match_mismatch(Alphabet::Protein, 5, -4),
+        gap: GapModel::Affine {
+            open: 10,
+            extend: 2,
+        },
+    };
+    let query: Vec<u8> = vec![1u8; 200]; // self-match 1000 > i8::MAX
+    let mut subjects: Vec<Vec<u8>> = (0..40).map(|i| vec![(i % 20) as u8; 30]).collect();
+    subjects.push(query.clone());
+    let db = encode_db(&subjects);
+
+    let mut cells = Vec::new();
+    let mut hits = Vec::new();
+    for kernel in [
+        KernelChoice::Striped,
+        KernelChoice::InterSeq,
+        KernelChoice::Auto,
+    ] {
+        let r = DatabaseSearch::new(
+            &query,
+            &scoring,
+            SearchConfig {
+                top_n: db.len(),
+                kernel,
+                ..Default::default()
+            },
+        )
+        .run(&db);
+        assert!(
+            r.cells > r.cells_nominal,
+            "saturation retries must be charged ({kernel:?})"
+        );
+        cells.push((r.cells, r.cells_nominal));
+        hits.push(r.hits);
+    }
+    // Saturation is a property of the subject, not of the kernel: the
+    // actual-cells accounting agrees across all three dispatch modes.
+    assert_eq!(cells[0], cells[1]);
+    assert_eq!(cells[0], cells[2]);
+    assert_eq!(hits[0], hits[1]);
+    assert_eq!(hits[0], hits[2]);
+}
