@@ -21,10 +21,15 @@
 //! * [`sim`] — a deterministic discrete-event simulator driving the master
 //!   with modelled PEs under virtual time (how the paper-scale platform of
 //!   4 GPUs + 8 SSE cores is reproduced on this machine),
+//! * [`pool`] — the one pool-drive loop every real runtime shares: a
+//!   [`pool::PePool`] (master + membership behind the wakeup hub) driven
+//!   through transport-agnostic [`pool::PeEndpoint`]s,
 //! * [`runtime`] — a real threaded master/slave runtime computing genuine
-//!   scores on materialised databases,
+//!   scores on materialised databases (local-thread endpoints on the
+//!   shared loop),
 //! * [`net`] — the same runtime across processes: a TCP master/slave
-//!   protocol with long-polled requests, heartbeats, and reconnection,
+//!   protocol with long-polled requests, heartbeats, and reconnection
+//!   (remote-session endpoints on the shared loop),
 //! * [`shared`] — the condvar-backed wakeup hub both real runtimes park
 //!   idle PEs on (no busy-wait polling),
 //! * [`trace`] — execution traces: per-PE Gantt segments (Fig. 5) and
@@ -37,6 +42,7 @@ pub mod membership;
 pub mod net;
 pub mod platform;
 pub mod policy;
+pub mod pool;
 pub mod runtime;
 pub mod shared;
 pub mod sim;

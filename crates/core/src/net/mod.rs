@@ -1,0 +1,1176 @@
+//! Distributed master/slave runtime over TCP.
+//!
+//! The paper's platform is two hosts on Gigabit Ethernet: the master and
+//! the slaves are separate processes and "the slaves can register
+//! themselves in the master" (Fig. 4). This module is that deployment
+//! shape: a [`MasterServer`] listens on a socket, slaves connect with
+//! [`run_slave`], register, request work, and stream results back. The
+//! same [`crate::master::Master`] state machine as the simulator and the
+//! in-process runtime makes the decisions — and since the endpoint
+//! extraction, the *same* [`crate::pool::drive`] loop runs it: a TCP
+//! session ([`serve_connection`]) is just a remote
+//! [`crate::pool::PeEndpoint`].
+//!
+//! Submodules: `wire` (message encoding + line reader), `session` (the
+//! master side of one connection, on the shared drive loop), `server`
+//! (the one-shot batch [`MasterServer`]), `slave` (the slave process,
+//! batch and serve modes).
+//!
+//! ## Wire protocol (v2)
+//!
+//! Newline-delimited JSON, one message per line (chosen over a binary
+//! format so a session is inspectable with `nc`; at one message per
+//! multi-second task, encoding cost is irrelevant — the paper itself notes
+//! communication is negligible at this granularity). In batch mode both
+//! sides already have the sequence files (exactly as in the paper, where
+//! the flat database files live on each host); only task ids, speeds, and
+//! hit lists travel over the wire. In serve mode (a daemon with
+//! `--listen-slaves`) the slave holds only the database and tasks arrive
+//! self-describing (`descs`/`desc`).
+//!
+//! Slave → master:
+//!
+//! | message | shape |
+//! |---|---|
+//! | register | `{"type":"register","name":"host-a","gcups":2.5,"proto":2}` (+ optional `"db_digest":"<16 hex>"` in serve mode) |
+//! | request | `{"type":"request"}` |
+//! | started | `{"type":"started","task":3}` |
+//! | finished | `{"type":"finished","task":3,"gcups":2.4,"hits":[…]}` |
+//! | heartbeat | `{"type":"heartbeat"}` |
+//!
+//! Master → slave:
+//!
+//! | message | shape |
+//! |---|---|
+//! | registered | `{"type":"registered","pe_id":1,"proto":2}` |
+//! | tasks | `{"type":"tasks","tasks":[4,5]}` (+ optional `"descs":[…]` in serve mode) |
+//! | execute | `{"type":"execute","task":2}` (a steal or a replica; + optional `"desc":…`) |
+//! | done | `{"type":"done"}` |
+//! | error | `{"type":"error","message":"…"}` |
+//!
+//! A hit is `{"db_index":0,"id":"seq1","score":42,"subject_len":99}`; a
+//! task desc is `{"query":[…],"shard":[s,e],"top_n":10}`. Both halves of
+//! the handshake carry [`PROTOCOL_VERSION`]; a mismatched pair fails with
+//! a clear error at registration instead of a parse failure mid-run.
+//!
+//! ## Long-polled requests (no busy-waiting)
+//!
+//! A `request` the master cannot serve yet is *held open*: the master
+//! answers nothing until an assignment exists (a task finished elsewhere,
+//! a PE died and its work was requeued, the registration barrier opened,
+//! or the run completed). There is no "wait, ask again" message and no
+//! polling loop on either side — the slave blocks on its socket and the
+//! master-side drive thread parks on the pool's condvar hub, waking the
+//! moment the schedule can have changed.
+//!
+//! ## Liveness
+//!
+//! TCP detects a closed peer, not a hung one. Slaves therefore send
+//! `heartbeat` lines every [`NetConfig::heartbeat_interval`] (a dedicated
+//! thread, so heartbeats flow even mid-kernel), and the master declares a
+//! slave dead when *nothing* arrives for [`NetConfig::slave_deadline`]:
+//! the connection is dropped and every task the slave held returns to the
+//! ready queue (`pe_leaves`), waking the other PEs immediately. The same
+//! deadline bounds the registration handshake, so a connection that never
+//! says anything cannot pin server state. [`MasterServer::serve`] itself
+//! is bounded by [`NetConfig::register_timeout`] (never blocks forever on
+//! accept) and [`NetConfig::all_lost_grace`] (gives up when every slave is
+//! gone mid-run). Slaves that lose the connection reconnect with
+//! exponential backoff ([`NetConfig::reconnect_backoff_initial`] …
+//! [`NetConfig::reconnect_backoff_max`], at most
+//! [`NetConfig::reconnect_max_retries`] consecutive failures), re-register
+//! and resume — the master admits them as late joiners.
+
+mod server;
+mod session;
+mod slave;
+mod wire;
+
+use std::io;
+use std::time::Duration;
+
+use crate::trace::RuntimeEvent;
+use swhybrid_device::exec::QueryHit;
+use swhybrid_simd::engine::KernelStats;
+
+pub use server::MasterServer;
+pub use session::serve_connection;
+pub use slave::{run_serve_slave, run_slave, run_slave_with};
+pub use wire::{
+    kernels_from_json, kernels_to_json, MasterMsg, SlaveMsg, TaskDesc, WireHit, PROTOCOL_VERSION,
+};
+
+/// Timing and fault-tolerance knobs of the TCP runtime. The defaults are
+/// conservative LAN values; every test that injects faults tightens them.
+/// Consistency is checked by [`NetConfig::validate`] wherever a config
+/// enters the runtime ([`MasterServer::bind_with`], the slave entry
+/// points, `serve --listen-slaves`).
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// How often a slave sends a heartbeat line while connected.
+    pub heartbeat_interval: Duration,
+    /// Master-side silence budget: a slave from which *nothing* (heartbeat
+    /// or protocol message) arrives for this long is declared dead and its
+    /// tasks are requeued. Also bounds the registration handshake.
+    pub slave_deadline: Duration,
+    /// How long [`MasterServer::serve`] waits for the expected number of
+    /// slaves. On expiry with at least one registration the barrier opens
+    /// and the run proceeds degraded; with none, `serve` fails with
+    /// [`io::ErrorKind::TimedOut`]. `None` waits forever (pre-hardening
+    /// behaviour).
+    pub register_timeout: Option<Duration>,
+    /// How long the master tolerates having zero live connections mid-run
+    /// before giving up with [`io::ErrorKind::ConnectionAborted`].
+    pub all_lost_grace: Duration,
+    /// First reconnect delay after a slave loses its connection.
+    pub reconnect_backoff_initial: Duration,
+    /// Upper bound for the (doubling) reconnect delay.
+    pub reconnect_backoff_max: Duration,
+    /// Consecutive failed reconnect attempts a slave makes before giving
+    /// up. The budget refills whenever a session makes progress.
+    pub reconnect_max_retries: u32,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            heartbeat_interval: Duration::from_millis(250),
+            slave_deadline: Duration::from_secs(2),
+            register_timeout: Some(Duration::from_secs(30)),
+            all_lost_grace: Duration::from_secs(10),
+            reconnect_backoff_initial: Duration::from_millis(50),
+            reconnect_backoff_max: Duration::from_secs(2),
+            reconnect_max_retries: 5,
+        }
+    }
+}
+
+impl NetConfig {
+    /// Check the knobs for consistency, failing early with
+    /// [`io::ErrorKind::InvalidInput`] instead of silently configuring a
+    /// pool that declares live slaves dead (a `slave_deadline` at or below
+    /// the heartbeat interval would do exactly that).
+    pub fn validate(&self) -> io::Result<()> {
+        let bad = |message: String| Err(io::Error::new(io::ErrorKind::InvalidInput, message));
+        if self.heartbeat_interval.is_zero() {
+            return bad("heartbeat_interval must be non-zero".to_string());
+        }
+        if self.slave_deadline <= self.heartbeat_interval {
+            return bad(format!(
+                "slave_deadline ({:?}) must exceed heartbeat_interval ({:?}); otherwise a \
+                 live, heartbeating slave is declared dead",
+                self.slave_deadline, self.heartbeat_interval
+            ));
+        }
+        if self.all_lost_grace.is_zero() {
+            return bad("all_lost_grace must be non-zero".to_string());
+        }
+        if self.register_timeout == Some(Duration::ZERO) {
+            return bad("register_timeout must be non-zero (use None to wait forever)".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of a distributed run (master side).
+#[derive(Debug)]
+pub struct DistributedOutcome {
+    /// Wall-clock seconds from first registration to last completion.
+    pub elapsed_seconds: f64,
+    /// Useful DP cells.
+    pub total_cells: u64,
+    /// Useful GCUPS.
+    pub gcups: f64,
+    /// Globally merged hits.
+    pub hits: Vec<QueryHit>,
+    /// For each task, the name of the slave whose result was used.
+    pub completed_by: Vec<String>,
+    /// Kernel-family counters merged across every slave completion
+    /// (losing replicas included — they are work the platform really did),
+    /// so distributed runs report the same counters as `search --kernel`.
+    pub kernels: KernelStats,
+    /// Kernel counters per slave, `(name, counters)`, for slaves that
+    /// reported any.
+    pub kernels_by_pe: Vec<(String, KernelStats)>,
+    /// Structured event stream of the run (see [`crate::trace`]).
+    pub events: Vec<RuntimeEvent>,
+}
+
+#[cfg(test)]
+mod tests {
+    use std::io::{BufRead, BufReader, BufWriter, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Duration;
+
+    use super::wire::{decode, recv, send, Wire};
+    use super::*;
+    use crate::master::MasterConfig;
+    use crate::policy::Policy;
+    use crate::trace::EventKind;
+    use swhybrid_align::scoring::Scoring;
+    use swhybrid_device::exec::{ComputeBackend, QueryHit, StripedBackend};
+    use swhybrid_device::task::TaskSpec;
+    use swhybrid_seq::sequence::EncodedSequence;
+    use swhybrid_seq::synth::{paper_database, QueryOrder, QuerySetSpec};
+    use swhybrid_seq::Alphabet;
+
+    fn scoring() -> Scoring {
+        Scoring {
+            matrix: swhybrid_align::scoring::SubstMatrix::blosum62(),
+            gap: swhybrid_align::scoring::GapModel::Affine {
+                open: 10,
+                extend: 2,
+            },
+        }
+    }
+
+    fn tiny_workload() -> (Vec<EncodedSequence>, Vec<EncodedSequence>, Vec<TaskSpec>) {
+        let db = paper_database("dog").unwrap().generate_scaled(77, 0.001);
+        let subjects: Vec<EncodedSequence> = db.encode_all().unwrap();
+        let queries: Vec<EncodedSequence> = QuerySetSpec {
+            count: 6,
+            min_len: 40,
+            max_len: 120,
+            order: QueryOrder::Ascending,
+        }
+        .generate(78)
+        .iter()
+        .map(|q| EncodedSequence::from_sequence(q, Alphabet::Protein).unwrap())
+        .collect();
+        let db_residues: u64 = subjects.iter().map(|s| s.len() as u64).sum();
+        let specs = queries
+            .iter()
+            .enumerate()
+            .map(|(id, q)| TaskSpec {
+                id,
+                query_len: q.len(),
+                db_residues,
+                db_sequences: subjects.len(),
+            })
+            .collect();
+        (queries, subjects, specs)
+    }
+
+    #[test]
+    fn wire_messages_round_trip() {
+        let slave_msgs = vec![
+            SlaveMsg::Register {
+                name: "host-a/core0".into(),
+                gcups: 2.7,
+                proto: PROTOCOL_VERSION,
+                // Deliberately above 2^53: must survive the trip exactly
+                // (hence the hex-string encoding, not a JSON number).
+                db_digest: Some(0xdead_beef_cafe_f00d),
+            },
+            SlaveMsg::Request,
+            SlaveMsg::Started { task: 3 },
+            SlaveMsg::Finished {
+                task: 3,
+                gcups: 2.5,
+                hits: vec![WireHit {
+                    db_index: 1,
+                    id: "s1".into(),
+                    score: -7, // scores can be negative; as_i64, not as_u64
+                    subject_len: 99,
+                }],
+                kernels: Some(swhybrid_simd::engine::KernelStats {
+                    resolved_i8: 5,
+                    interseq_i8: 40,
+                    interseq_i16: 2,
+                    chunks_striped: 1,
+                    chunks_interseq: 3,
+                    cells_computed: 12_345,
+                    ..Default::default()
+                }),
+            },
+            SlaveMsg::Heartbeat,
+        ];
+        let mut buf = Vec::new();
+        for m in &slave_msgs {
+            send(&mut buf, m).unwrap();
+        }
+        let mut reader = BufReader::new(buf.as_slice());
+        for _ in 0..slave_msgs.len() {
+            assert!(recv::<_, SlaveMsg>(&mut reader).unwrap().is_some());
+        }
+        assert!(recv::<_, SlaveMsg>(&mut reader).unwrap().is_none());
+
+        let master_msgs = vec![
+            MasterMsg::Registered {
+                pe_id: 1,
+                proto: PROTOCOL_VERSION,
+            },
+            MasterMsg::Tasks {
+                tasks: vec![4, 5],
+                descs: None,
+            },
+            MasterMsg::Tasks {
+                tasks: vec![7],
+                descs: Some(vec![TaskDesc {
+                    query: vec![0, 3, 19, 2],
+                    shard: (128, 256),
+                    top_n: 10,
+                }]),
+            },
+            MasterMsg::Execute {
+                task: 2,
+                desc: None,
+            },
+            MasterMsg::Done,
+            MasterMsg::Error {
+                message: "nope".into(),
+            },
+        ];
+        let mut buf = Vec::new();
+        for m in &master_msgs {
+            send(&mut buf, m).unwrap();
+        }
+        let mut reader = BufReader::new(buf.as_slice());
+        for _ in 0..master_msgs.len() {
+            assert!(recv::<_, MasterMsg>(&mut reader).unwrap().is_some());
+        }
+        // The register round-trip preserves version and digest verbatim.
+        match decode::<SlaveMsg>(&slave_msgs[0].to_json().to_string()).unwrap() {
+            SlaveMsg::Register {
+                proto, db_digest, ..
+            } => {
+                assert_eq!(proto, PROTOCOL_VERSION);
+                assert_eq!(db_digest, Some(0xdead_beef_cafe_f00d));
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+        // The finished round-trip preserves the hit verbatim.
+        let msg = decode::<SlaveMsg>(&slave_msgs[3].to_json().to_string()).unwrap();
+        match msg {
+            SlaveMsg::Finished {
+                task,
+                gcups,
+                hits,
+                kernels,
+            } => {
+                assert_eq!(task, 3);
+                assert!((gcups - 2.5).abs() < 1e-12);
+                assert_eq!(
+                    hits,
+                    vec![WireHit {
+                        db_index: 1,
+                        id: "s1".into(),
+                        score: -7,
+                        subject_len: 99,
+                    }]
+                );
+                let k = kernels.expect("kernels field must round-trip");
+                assert_eq!(k.interseq_i8, 40);
+                assert_eq!(k.cells_computed, 12_345);
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+        // Self-describing tasks round-trip query bytes and shard bounds.
+        match decode::<MasterMsg>(&master_msgs[2].to_json().to_string()).unwrap() {
+            MasterMsg::Tasks { tasks, descs } => {
+                assert_eq!(tasks, vec![7]);
+                let descs = descs.expect("descs must round-trip");
+                assert_eq!(descs[0].query, vec![0, 3, 19, 2]);
+                assert_eq!(descs[0].shard, (128, 256));
+                assert_eq!(descs[0].top_n, 10);
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+        // A finished line without the kernels field (an older slave) still
+        // decodes, with the counters absent.
+        let legacy = r#"{"type":"finished","task":1,"gcups":1.0,"hits":[]}"#;
+        match decode::<SlaveMsg>(legacy).unwrap() {
+            SlaveMsg::Finished { kernels, .. } => assert!(kernels.is_none()),
+            other => panic!("wrong decode: {other:?}"),
+        }
+        // A v1 register (no proto, no digest) decodes as version 1 — the
+        // handshake then rejects it with a clear error, not a parse error.
+        let v1 = r#"{"type":"register","name":"old","gcups":1.0}"#;
+        match decode::<SlaveMsg>(v1).unwrap() {
+            SlaveMsg::Register {
+                proto, db_digest, ..
+            } => {
+                assert_eq!(proto, 1);
+                assert_eq!(db_digest, None);
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+        let v1 = r#"{"type":"registered","pe_id":0}"#;
+        match decode::<MasterMsg>(v1).unwrap() {
+            MasterMsg::Registered { proto, .. } => assert_eq!(proto, 1),
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_lines_decode_to_invalid_data() {
+        for bad in [
+            "",
+            "not json",
+            "{\"type\":\"warp\"}",
+            "{\"type\":\"started\"}",
+            "{\"type\":\"register\",\"name\":\"x\",\"gcups\":1.0,\"db_digest\":12}",
+        ] {
+            let err = decode::<SlaveMsg>(bad).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "input: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn netconfig_validation_rejects_inconsistent_timings() {
+        assert!(NetConfig::default().validate().is_ok());
+        let cases = [
+            NetConfig {
+                heartbeat_interval: Duration::ZERO,
+                ..NetConfig::default()
+            },
+            NetConfig {
+                // A deadline at or below the heartbeat interval declares
+                // live slaves dead.
+                heartbeat_interval: Duration::from_secs(10),
+                slave_deadline: Duration::from_secs(2),
+                ..NetConfig::default()
+            },
+            NetConfig {
+                all_lost_grace: Duration::ZERO,
+                ..NetConfig::default()
+            },
+            NetConfig {
+                register_timeout: Some(Duration::ZERO),
+                ..NetConfig::default()
+            },
+        ];
+        for (i, bad) in cases.iter().enumerate() {
+            let err = bad.validate().unwrap_err();
+            assert_eq!(
+                err.kind(),
+                io::ErrorKind::InvalidInput,
+                "case {i} must be rejected"
+            );
+        }
+        // The error path reaches the public entry points.
+        let err =
+            MasterServer::bind_with("127.0.0.1:0", MasterConfig::default(), 1, cases[1].clone())
+                .err()
+                .expect("inconsistent timings must fail bind");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        let err = run_slave_with(
+            "127.0.0.1:1", // never reached: validation fails first
+            "bad",
+            1.0,
+            &StripedBackend::default(),
+            &[],
+            &[],
+            &scoring(),
+            3,
+            &cases[0],
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn distributed_run_two_slaves_over_tcp() {
+        let (queries, subjects, specs) = tiny_workload();
+        let server = MasterServer::bind(
+            "127.0.0.1:0",
+            MasterConfig {
+                policy: Policy::pss_default(),
+                adjustment: true,
+                dispatch: Default::default(),
+            },
+            2,
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+
+        let outcome = std::thread::scope(|scope| {
+            let q = &queries;
+            let s = &subjects;
+            for name in ["host-a", "host-b"] {
+                scope.spawn(move || {
+                    run_slave(
+                        addr,
+                        name,
+                        1.0,
+                        &StripedBackend::default(),
+                        q,
+                        s,
+                        &scoring(),
+                        3,
+                    )
+                    .expect("slave runs clean")
+                });
+            }
+            server.serve(specs).expect("server completes")
+        });
+
+        assert_eq!(outcome.completed_by.len(), 6);
+        assert!(outcome
+            .completed_by
+            .iter()
+            .all(|n| n == "host-a" || n == "host-b"));
+        assert!(outcome.gcups > 0.0);
+        // The run produced an event stream ending in completion.
+        assert!(outcome
+            .events
+            .iter()
+            .any(|e| e.kind == EventKind::RunCompleted));
+        // Slaves reported kernel counters and the server aggregated them:
+        // every scanned cell is accounted for, globally and per slave.
+        assert!(outcome.kernels.cells_computed > 0);
+        assert!(!outcome.kernels_by_pe.is_empty());
+        let by_pe_cells: u64 = outcome
+            .kernels_by_pe
+            .iter()
+            .map(|(_, k)| k.cells_computed)
+            .sum();
+        assert_eq!(by_pe_cells, outcome.kernels.cells_computed);
+        for (name, _) in &outcome.kernels_by_pe {
+            assert!(name == "host-a" || name == "host-b");
+        }
+        // Hits match a direct local computation.
+        for qh in &outcome.hits {
+            let expect = swhybrid_align::score_only::sw_score_affine(
+                &queries[qh.query_index].codes,
+                &subjects[qh.hit.db_index].codes,
+                &scoring(),
+            )
+            .score;
+            assert_eq!(qh.hit.score, expect);
+        }
+    }
+
+    /// Regression: a connection whose first message is not `register` used
+    /// to consume one of the `expected_slaves` accept slots, deadlocking
+    /// the server. It must instead get an error and cost nothing.
+    #[test]
+    fn garbage_first_message_does_not_consume_a_registration_slot() {
+        let (queries, subjects, specs) = tiny_workload();
+        let server = MasterServer::bind(
+            "127.0.0.1:0",
+            MasterConfig {
+                policy: Policy::pss_default(),
+                adjustment: true,
+                dispatch: Default::default(),
+            },
+            2,
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+
+        let outcome = std::thread::scope(|scope| {
+            let q = &queries;
+            let s = &subjects;
+            scope.spawn(move || {
+                // Not a slave at all: say something wrong, expect an error.
+                let stream = TcpStream::connect(addr).unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut writer = BufWriter::new(stream);
+                writer.write_all(b"i am not a slave\n").unwrap();
+                writer.flush().unwrap();
+                match recv::<_, MasterMsg>(&mut reader).unwrap() {
+                    Some(MasterMsg::Error { .. }) => {}
+                    other => panic!("expected an error reply, got {other:?}"),
+                }
+            });
+            for name in ["real-a", "real-b"] {
+                scope.spawn(move || {
+                    // Give the garbage client a head start so it provably
+                    // connects before both real slaves.
+                    std::thread::sleep(Duration::from_millis(100));
+                    run_slave(
+                        addr,
+                        name,
+                        1.0,
+                        &StripedBackend::default(),
+                        q,
+                        s,
+                        &scoring(),
+                        3,
+                    )
+                    .expect("real slave ok")
+                });
+            }
+            server
+                .serve(specs)
+                .expect("server completes despite garbage")
+        });
+        assert!(outcome.completed_by.iter().all(|n| !n.is_empty()));
+    }
+
+    /// A version-mismatched slave is refused at the handshake with a clear
+    /// error naming both versions — and, like any failed handshake, does
+    /// not consume a registration slot.
+    #[test]
+    fn version_mismatch_is_refused_with_a_clear_error() {
+        let (queries, subjects, specs) = tiny_workload();
+        let server = MasterServer::bind(
+            "127.0.0.1:0",
+            MasterConfig {
+                policy: Policy::pss_default(),
+                adjustment: true,
+                dispatch: Default::default(),
+            },
+            1,
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+
+        let outcome = std::thread::scope(|scope| {
+            let q = &queries;
+            let s = &subjects;
+            scope.spawn(move || {
+                // A v1 slave: its register line has no proto field.
+                let stream = TcpStream::connect(addr).unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut writer = BufWriter::new(stream);
+                writer
+                    .write_all(b"{\"type\":\"register\",\"name\":\"old\",\"gcups\":1.0}\n")
+                    .unwrap();
+                writer.flush().unwrap();
+                match recv::<_, MasterMsg>(&mut reader).unwrap() {
+                    Some(MasterMsg::Error { message }) => {
+                        assert!(
+                            message.contains("protocol version mismatch")
+                                && message.contains("v1")
+                                && message.contains(&format!("v{PROTOCOL_VERSION}")),
+                            "unhelpful error: {message}"
+                        );
+                    }
+                    other => panic!("expected a version error, got {other:?}"),
+                }
+            });
+            scope.spawn(move || {
+                std::thread::sleep(Duration::from_millis(100));
+                run_slave(
+                    addr,
+                    "current",
+                    1.0,
+                    &StripedBackend::default(),
+                    q,
+                    s,
+                    &scoring(),
+                    3,
+                )
+                .expect("current-version slave ok")
+            });
+            server
+                .serve(specs)
+                .expect("server completes despite the v1 visitor")
+        });
+        assert!(outcome.completed_by.iter().all(|n| n == "current"));
+    }
+
+    /// A slave that earns a big batch, then drops the connection (FIN)
+    /// mid-batch — simulating a process crash.
+    fn run_flaky_slave(
+        addr: std::net::SocketAddr,
+        queries: &[EncodedSequence],
+        subjects: &[EncodedSequence],
+    ) {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+        send(
+            &mut writer,
+            &SlaveMsg::Register {
+                name: "flaky".into(),
+                gcups: 100.0,
+                proto: PROTOCOL_VERSION,
+                db_digest: None,
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            recv::<_, MasterMsg>(&mut reader).unwrap(),
+            Some(MasterMsg::Registered { .. })
+        ));
+        // First allocation is one task; complete it honestly but report an
+        // absurd speed so Φ hands us a huge batch next time.
+        send(&mut writer, &SlaveMsg::Request).unwrap();
+        let first = match recv::<_, MasterMsg>(&mut reader).unwrap() {
+            Some(MasterMsg::Tasks { tasks, .. }) => tasks[0],
+            other => panic!("expected first allocation, got {other:?}"),
+        };
+        let backend = StripedBackend::default();
+        send(&mut writer, &SlaveMsg::Started { task: first }).unwrap();
+        let result = backend.compare(&queries[first], subjects, &scoring(), 3);
+        send(
+            &mut writer,
+            &SlaveMsg::Finished {
+                task: first,
+                gcups: 1000.0,
+                hits: result.hits.into_iter().map(WireHit::from_hit).collect(),
+                kernels: Some(result.stats),
+            },
+        )
+        .unwrap();
+        send(&mut writer, &SlaveMsg::Request).unwrap();
+        match recv::<_, MasterMsg>(&mut reader).unwrap() {
+            Some(MasterMsg::Tasks { tasks, .. }) => {
+                // Start the first batch entry, then vanish holding them all.
+                send(&mut writer, &SlaveMsg::Started { task: tasks[0] }).unwrap();
+            }
+            Some(MasterMsg::Execute { .. }) | Some(MasterMsg::Done) => {
+                // The steady slave was too fast this run; dropping here
+                // still exercises the disconnect path.
+            }
+            other => panic!("unexpected reply: {other:?}"),
+        }
+        // Connection drops here (stream goes out of scope): the master must
+        // return the undone batch entries to the ready queue.
+    }
+
+    #[test]
+    fn slave_crash_mid_run_is_recovered() {
+        let (queries, subjects, specs) = tiny_workload();
+        let n_tasks = specs.len();
+        let server = MasterServer::bind(
+            "127.0.0.1:0",
+            MasterConfig {
+                policy: Policy::pss_default(),
+                adjustment: true,
+                dispatch: Default::default(),
+            },
+            2,
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+
+        let outcome = std::thread::scope(|scope| {
+            let q = &queries;
+            let s = &subjects;
+            scope.spawn(move || run_flaky_slave(addr, q, s));
+            scope.spawn(move || {
+                run_slave(
+                    addr,
+                    "steady",
+                    1.0,
+                    &StripedBackend::default(),
+                    q,
+                    s,
+                    &scoring(),
+                    3,
+                )
+                .expect("steady slave survives")
+            });
+            server.serve(specs).expect("server completes despite crash")
+        });
+
+        // Every task completed, by someone.
+        assert_eq!(outcome.completed_by.len(), n_tasks);
+        assert!(outcome.completed_by.iter().all(|n| !n.is_empty()));
+        // The flaky slave finished at most its first allocation; the steady
+        // slave picked up the crashed slave's abandoned batch.
+        assert!(
+            outcome
+                .completed_by
+                .iter()
+                .filter(|n| *n == "flaky")
+                .count()
+                <= 1,
+            "completed_by: {:?}",
+            outcome.completed_by
+        );
+    }
+
+    /// The worst failure TCP cannot see: a slave that stops computing but
+    /// keeps its socket open (no FIN). The master must notice via the
+    /// heartbeat deadline, requeue the held task, and let the surviving
+    /// slave pick it up without any poll-interval delay.
+    #[test]
+    fn silently_dead_slave_is_detected_and_its_task_requeued() {
+        let (queries, subjects, specs) = tiny_workload();
+        let net = NetConfig {
+            heartbeat_interval: Duration::from_millis(100),
+            slave_deadline: Duration::from_secs(1),
+            ..NetConfig::default()
+        };
+        let server = MasterServer::bind_with(
+            "127.0.0.1:0",
+            MasterConfig {
+                policy: Policy::SelfScheduling,
+                adjustment: false, // no replication: only the deadline can save task 0
+                dispatch: Default::default(),
+            },
+            1,
+            net.clone(),
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+
+        let outcome = std::thread::scope(|scope| {
+            let q = &queries;
+            let s = &subjects;
+            let net = &net;
+            scope.spawn(move || {
+                // Mute slave: alone it satisfies the barrier, takes a task,
+                // reports it started, then goes silent with the socket open.
+                let stream = TcpStream::connect(addr).unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut writer = BufWriter::new(stream.try_clone().unwrap());
+                send(
+                    &mut writer,
+                    &SlaveMsg::Register {
+                        name: "mute".into(),
+                        gcups: 1.0,
+                        proto: PROTOCOL_VERSION,
+                        db_digest: None,
+                    },
+                )
+                .unwrap();
+                assert!(matches!(
+                    recv::<_, MasterMsg>(&mut reader).unwrap(),
+                    Some(MasterMsg::Registered { .. })
+                ));
+                send(&mut writer, &SlaveMsg::Request).unwrap();
+                let assigned = match recv::<_, MasterMsg>(&mut reader).unwrap() {
+                    Some(MasterMsg::Tasks { tasks, .. }) => tasks,
+                    other => panic!("expected tasks, got {other:?}"),
+                };
+                send(&mut writer, &SlaveMsg::Started { task: assigned[0] }).unwrap();
+                // Silence. No heartbeat, no FIN — block until the master,
+                // having declared this PE dead, closes the connection.
+                let mut sink = String::new();
+                while reader.read_line(&mut sink).map(|n| n > 0).unwrap_or(false) {
+                    sink.clear();
+                }
+            });
+            scope.spawn(move || {
+                // The real slave joins late (pe_joins path) so the mute one
+                // is guaranteed to have been assigned its task first.
+                std::thread::sleep(Duration::from_millis(200));
+                run_slave_with(
+                    addr,
+                    "steady",
+                    1.0,
+                    &StripedBackend::default(),
+                    q,
+                    s,
+                    &scoring(),
+                    3,
+                    net,
+                )
+                .expect("steady slave completes the run")
+            });
+            server
+                .serve(specs)
+                .expect("server completes despite silent death")
+        });
+
+        // All tasks completed, all by the surviving slave.
+        assert!(outcome.completed_by.iter().all(|n| n == "steady"));
+        // The liveness verdict and the requeue are in the event stream.
+        let ev = &outcome.events;
+        assert!(
+            ev.iter()
+                .any(|e| matches!(e.kind, EventKind::PeSuspectedDead { .. })),
+            "no suspected-dead event"
+        );
+        let (rq_time, rq_task) = ev
+            .iter()
+            .find_map(|e| match e.kind {
+                EventKind::TaskRequeued { task, .. } => Some((e.time, task)),
+                _ => None,
+            })
+            .expect("no requeue event");
+        // The requeued task is picked up without any poll-interval delay:
+        // the surviving slave's long-poll wakes on the requeue itself.
+        let pickup = ev
+            .iter()
+            .find_map(|e| match &e.kind {
+                EventKind::TasksAssigned { tasks, .. }
+                    if e.time >= rq_time && tasks.contains(&rq_task) =>
+                {
+                    Some(e.time)
+                }
+                _ => None,
+            })
+            .expect("requeued task never reassigned");
+        assert!(
+            pickup - rq_time < 0.5,
+            "requeue→pickup latency {}s looks like polling",
+            pickup - rq_time
+        );
+        // Hits still match a direct local computation.
+        for qh in &outcome.hits {
+            let expect = swhybrid_align::score_only::sw_score_affine(
+                &queries[qh.query_index].codes,
+                &subjects[qh.hit.db_index].codes,
+                &scoring(),
+            )
+            .score;
+            assert_eq!(qh.hit.score, expect);
+        }
+    }
+
+    /// A connection that never says anything must not pin server state:
+    /// the handshake deadline frees it without consuming a slot.
+    #[test]
+    fn silent_probe_connection_is_dropped_at_handshake_deadline() {
+        let (queries, subjects, specs) = tiny_workload();
+        let net = NetConfig {
+            heartbeat_interval: Duration::from_millis(100),
+            slave_deadline: Duration::from_secs(1),
+            ..NetConfig::default()
+        };
+        let server = MasterServer::bind_with(
+            "127.0.0.1:0",
+            MasterConfig {
+                policy: Policy::pss_default(),
+                adjustment: true,
+                dispatch: Default::default(),
+            },
+            1,
+            net.clone(),
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+
+        let outcome = std::thread::scope(|scope| {
+            let q = &queries;
+            let s = &subjects;
+            let net = &net;
+            scope.spawn(move || {
+                // Connect, say nothing, wait for the master to hang up.
+                let stream = TcpStream::connect(addr).unwrap();
+                let mut reader = BufReader::new(stream);
+                let mut sink = String::new();
+                while reader.read_line(&mut sink).map(|n| n > 0).unwrap_or(false) {
+                    sink.clear();
+                }
+            });
+            scope.spawn(move || {
+                std::thread::sleep(Duration::from_millis(100));
+                run_slave_with(
+                    addr,
+                    "real",
+                    1.0,
+                    &StripedBackend::default(),
+                    q,
+                    s,
+                    &scoring(),
+                    3,
+                    net,
+                )
+                .expect("real slave ok")
+            });
+            server
+                .serve(specs)
+                .expect("server unaffected by silent probe")
+        });
+        assert!(outcome.completed_by.iter().all(|n| n == "real"));
+    }
+
+    /// With a registration timeout, a no-show slave no longer hangs the
+    /// server: the barrier opens with whoever did register.
+    #[test]
+    fn register_timeout_proceeds_with_fewer_slaves() {
+        let (queries, subjects, specs) = tiny_workload();
+        let net = NetConfig {
+            register_timeout: Some(Duration::from_millis(300)),
+            ..NetConfig::default()
+        };
+        let server = MasterServer::bind_with(
+            "127.0.0.1:0",
+            MasterConfig {
+                policy: Policy::pss_default(),
+                adjustment: true,
+                dispatch: Default::default(),
+            },
+            2, // the second slave never shows up
+            net,
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+
+        let outcome = std::thread::scope(|scope| {
+            let q = &queries;
+            let s = &subjects;
+            scope.spawn(move || {
+                run_slave(
+                    addr,
+                    "only",
+                    1.0,
+                    &StripedBackend::default(),
+                    q,
+                    s,
+                    &scoring(),
+                    3,
+                )
+                .expect("lone slave completes everything")
+            });
+            server.serve(specs).expect("server proceeds degraded")
+        });
+        assert!(outcome.completed_by.iter().all(|n| n == "only"));
+    }
+
+    /// With no slave at all, `serve` returns instead of blocking forever
+    /// in accept.
+    #[test]
+    fn register_timeout_with_no_slaves_errors_out() {
+        let (_queries, _subjects, specs) = tiny_workload();
+        let net = NetConfig {
+            register_timeout: Some(Duration::from_millis(200)),
+            ..NetConfig::default()
+        };
+        let server =
+            MasterServer::bind_with("127.0.0.1:0", MasterConfig::default(), 1, net).unwrap();
+        let err = server.serve(specs).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+    }
+
+    /// The slave side of fault tolerance: a dropped connection is retried
+    /// with backoff, and the second session completes the work.
+    #[test]
+    fn slave_reconnects_after_connection_drop() {
+        let (queries, subjects, _specs) = tiny_workload();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let net = NetConfig {
+            heartbeat_interval: Duration::from_secs(10), // keep the transcript clean
+            slave_deadline: Duration::from_secs(30),     // must stay above the heartbeat
+            reconnect_backoff_initial: Duration::from_millis(10),
+            ..NetConfig::default()
+        };
+
+        let executed = std::thread::scope(|scope| {
+            let q = &queries;
+            let s = &subjects;
+            let net = &net;
+            let slave = scope.spawn(move || {
+                run_slave_with(
+                    addr,
+                    "phoenix",
+                    1.0,
+                    &StripedBackend::default(),
+                    q,
+                    s,
+                    &scoring(),
+                    3,
+                    net,
+                )
+            });
+            // Session 1: take the registration, then drop the connection.
+            {
+                let (stream, _) = listener.accept().unwrap();
+                let mut reader = BufReader::new(stream);
+                assert!(matches!(
+                    recv::<_, SlaveMsg>(&mut reader).unwrap(),
+                    Some(SlaveMsg::Register { .. })
+                ));
+            }
+            // Session 2: full handshake, one task, done.
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = BufWriter::new(stream);
+            assert!(matches!(
+                recv::<_, SlaveMsg>(&mut reader).unwrap(),
+                Some(SlaveMsg::Register { .. })
+            ));
+            send(
+                &mut writer,
+                &MasterMsg::Registered {
+                    pe_id: 0,
+                    proto: PROTOCOL_VERSION,
+                },
+            )
+            .unwrap();
+            loop {
+                match recv::<_, SlaveMsg>(&mut reader).unwrap() {
+                    Some(SlaveMsg::Request) => break,
+                    Some(SlaveMsg::Heartbeat) => {}
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            send(
+                &mut writer,
+                &MasterMsg::Execute {
+                    task: 0,
+                    desc: None,
+                },
+            )
+            .unwrap();
+            let mut finished = false;
+            loop {
+                match recv::<_, SlaveMsg>(&mut reader).unwrap() {
+                    Some(SlaveMsg::Heartbeat) | Some(SlaveMsg::Started { .. }) => {}
+                    Some(SlaveMsg::Finished { task, gcups, .. }) => {
+                        assert_eq!(task, 0);
+                        assert!(gcups > 0.0, "finished with degenerate speed {gcups}");
+                        finished = true;
+                    }
+                    Some(SlaveMsg::Request) if finished => break,
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            send(&mut writer, &MasterMsg::Done).unwrap();
+            slave.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(executed, 1);
+    }
+
+    #[test]
+    fn distributed_equals_local_runtime_results() {
+        let (queries, subjects, specs) = tiny_workload();
+        let server = MasterServer::bind(
+            "127.0.0.1:0",
+            MasterConfig {
+                policy: Policy::SelfScheduling,
+                adjustment: false,
+                dispatch: Default::default(),
+            },
+            1,
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let outcome = std::thread::scope(|scope| {
+            let q = &queries;
+            let s = &subjects;
+            scope.spawn(move || {
+                run_slave(
+                    addr,
+                    "solo",
+                    1.0,
+                    &StripedBackend::default(),
+                    q,
+                    s,
+                    &scoring(),
+                    3,
+                )
+                .expect("slave ok")
+            });
+            server.serve(specs).expect("server ok")
+        });
+
+        let local = crate::runtime::run_real(
+            vec![crate::runtime::RealPe {
+                name: "solo".into(),
+                static_gcups: 1.0,
+                backend: Box::new(StripedBackend::default()),
+            }],
+            &queries,
+            &subjects,
+            &scoring(),
+            crate::runtime::RuntimeConfig {
+                master: MasterConfig {
+                    policy: Policy::SelfScheduling,
+                    adjustment: false,
+                    dispatch: Default::default(),
+                },
+                top_n: 3,
+            },
+        );
+        let key = |hits: &[QueryHit]| {
+            let mut v: Vec<(usize, usize, i32)> = hits
+                .iter()
+                .map(|h| (h.query_index, h.hit.db_index, h.hit.score))
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(key(&outcome.hits), key(&local.hits));
+    }
+}

@@ -1,0 +1,210 @@
+//! The master process: accepts slave connections and runs one batch to
+//! completion on the shared pool-drive loop.
+
+use std::io;
+use std::net::{TcpListener, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use super::session::serve_connection;
+use super::{DistributedOutcome, NetConfig};
+use crate::master::{Master, MasterConfig};
+use crate::pool::{BatchOwner, PePool};
+use crate::stats::observed_gcups;
+use crate::trace::RuntimeEvent;
+use swhybrid_device::exec::merge_hits;
+use swhybrid_device::task::TaskSpec;
+use swhybrid_simd::engine::KernelStats;
+
+/// Accept-loop re-check interval (a *connection* poll while idle, not a
+/// work-request poll — work requests are long-polled on the hub condvar).
+const ACCEPT_QUANTUM: Duration = Duration::from_millis(10);
+
+/// A live event tap, as accepted by [`MasterServer::with_event_sink`].
+type EventCallback = Box<dyn FnMut(&RuntimeEvent) + Send>;
+
+/// The master process: owns the task pool, serves slave connections.
+pub struct MasterServer {
+    listener: TcpListener,
+    config: MasterConfig,
+    expected_slaves: usize,
+    net: NetConfig,
+    sink: Option<EventCallback>,
+}
+
+impl MasterServer {
+    /// Bind to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) with
+    /// default [`NetConfig`] timings.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        config: MasterConfig,
+        expected_slaves: usize,
+    ) -> io::Result<MasterServer> {
+        Self::bind_with(addr, config, expected_slaves, NetConfig::default())
+    }
+
+    /// Bind with explicit [`NetConfig`] timings. Fails with
+    /// [`io::ErrorKind::InvalidInput`] when the timings are inconsistent
+    /// (see [`NetConfig::validate`]).
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        config: MasterConfig,
+        expected_slaves: usize,
+        net: NetConfig,
+    ) -> io::Result<MasterServer> {
+        assert!(expected_slaves >= 1, "need at least one slave");
+        net.validate()?;
+        Ok(MasterServer {
+            listener: TcpListener::bind(addr)?,
+            config,
+            expected_slaves,
+            net,
+            sink: None,
+        })
+    }
+
+    /// Stream every [`RuntimeEvent`] to `sink` as it is emitted (e.g. a
+    /// JSONL file flushed per line, so a crashed run still leaves a usable
+    /// trace). Called with the master's lock held — keep it short.
+    pub fn with_event_sink(
+        mut self,
+        sink: impl FnMut(&RuntimeEvent) + Send + 'static,
+    ) -> MasterServer {
+        self.sink = Some(Box::new(sink));
+        self
+    }
+
+    /// The bound address (give this to the slaves).
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serve until every task is finished and every slave has disconnected.
+    ///
+    /// Registration is a barrier: work is only handed out once
+    /// `expected_slaves` have *registered* (required for static policies
+    /// and matching the paper's "waits for the slaves to register") — or
+    /// [`NetConfig::register_timeout`] expires, whichever is first. The
+    /// listener keeps accepting throughout the run, so a connection that
+    /// fails its handshake never consumes a slave's place and late or
+    /// reconnecting slaves can always get in.
+    pub fn serve(self, specs: Vec<TaskSpec>) -> io::Result<DistributedOutcome> {
+        let MasterServer {
+            listener,
+            config,
+            expected_slaves,
+            net,
+            sink,
+        } = self;
+        let n_tasks = specs.len();
+        let total_cells: u64 = specs.iter().map(|s| s.cells()).sum();
+        let mut master = Master::new(specs, config);
+        if let Some(sink) = sink {
+            master.set_event_sink(sink);
+        }
+        let pool = PePool::new(master, BatchOwner::new(n_tasks), expected_slaves);
+        listener.set_nonblocking(true)?;
+        let start = Instant::now();
+        let mut lost_since: Option<Instant> = None;
+
+        std::thread::scope(|scope| {
+            loop {
+                {
+                    let mut g = pool.lock();
+                    if g.abort().is_some() {
+                        break;
+                    }
+                    if g.barrier_open() && g.master.all_finished() && g.alive() == 0 {
+                        break;
+                    }
+                    if !g.barrier_open() {
+                        if let Some(t) = net.register_timeout {
+                            if start.elapsed() > t {
+                                if g.registered() == 0 {
+                                    g.set_abort(
+                                        io::ErrorKind::TimedOut,
+                                        format!("no slave registered within {t:?}"),
+                                    );
+                                } else {
+                                    // Proceed degraded with the slaves we
+                                    // have rather than hang on a no-show.
+                                    g.open_barrier();
+                                }
+                                drop(g);
+                                pool.notify_all();
+                                continue;
+                            }
+                        }
+                    } else if g.alive() == 0 && !g.master.all_finished() {
+                        let since = *lost_since.get_or_insert_with(Instant::now);
+                        if since.elapsed() > net.all_lost_grace {
+                            g.set_abort(
+                                io::ErrorKind::ConnectionAborted,
+                                "every slave disconnected mid-run",
+                            );
+                            drop(g);
+                            pool.notify_all();
+                            continue;
+                        }
+                    } else {
+                        lost_since = None;
+                    }
+                }
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let pool = &pool;
+                        let net = &net;
+                        scope.spawn(move || serve_connection(stream, pool, net));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        // Wakes early on any pool change (e.g. run
+                        // completed) and at the latest after one quantum.
+                        let g = pool.lock();
+                        let _g = pool.wait_timeout(g, ACCEPT_QUANTUM);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        let mut g = pool.lock();
+                        g.set_abort(e.kind(), e.to_string());
+                        drop(g);
+                        pool.notify_all();
+                        break;
+                    }
+                }
+            }
+            // Wake every parked endpoint so the scope can join them.
+            pool.notify_all();
+        });
+
+        let elapsed_seconds = start.elapsed().as_secs_f64();
+        let mut core = pool.into_inner();
+        if let Some((kind, message)) = core.take_abort() {
+            return Err(io::Error::new(kind, message));
+        }
+        let kernels_by_pe: Vec<(String, KernelStats)> = core
+            .owner
+            .kernels_by_pe
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| **k != KernelStats::default())
+            .map(|(pe, k)| (core.master.pe_name(pe).to_string(), *k))
+            .collect();
+        let events = core.master.take_events();
+        let hits = merge_hits(
+            core.owner
+                .results
+                .into_iter()
+                .enumerate()
+                .filter_map(|(task, hits)| hits.map(|hits| (task, hits))),
+        );
+        Ok(DistributedOutcome {
+            elapsed_seconds,
+            total_cells,
+            gcups: observed_gcups(total_cells, elapsed_seconds),
+            hits,
+            completed_by: core.owner.completed_by,
+            kernels: core.owner.kernels,
+            kernels_by_pe,
+            events,
+        })
+    }
+}

@@ -1,0 +1,550 @@
+//! Wire encoding of the master/slave protocol: newline-delimited JSON
+//! messages, the deadline-aware line reader, and the kernel-counter JSON
+//! shape shared with the serve daemon's `stats` verb.
+
+use std::io::{self, BufRead, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::task::{PeId, TaskId};
+use swhybrid_json::Json;
+use swhybrid_simd::engine::KernelStats;
+
+/// Version of the wire protocol spoken by this build. Carried by both
+/// halves of the `register` handshake; a mismatched pair fails with a
+/// clear error instead of a parse failure mid-run. History:
+///
+/// * v1 — original protocol (no version field; absent parses as 1),
+/// * v2 — `register` gained `proto` + optional `db_digest`, `registered`
+///   gained `proto`, `tasks`/`execute` gained optional self-describing
+///   payloads (`descs`/`desc`) for serve-mode slaves.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Socket read quantum: deadlines are checked at this granularity.
+pub(crate) fn liveness_quantum(deadline: Duration) -> Duration {
+    (deadline / 4).clamp(Duration::from_millis(10), Duration::from_millis(100))
+}
+
+/// A hit as it travels over the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireHit {
+    /// Index of the subject in the database.
+    pub db_index: usize,
+    /// Subject identifier.
+    pub id: String,
+    /// Local alignment score.
+    pub score: i32,
+    /// Subject length.
+    pub subject_len: usize,
+}
+
+impl WireHit {
+    pub(crate) fn from_hit(h: swhybrid_simd::search::Hit) -> WireHit {
+        WireHit {
+            db_index: h.db_index,
+            id: h.id,
+            score: h.score,
+            subject_len: h.subject_len,
+        }
+    }
+
+    pub(crate) fn into_hit(self) -> swhybrid_simd::search::Hit {
+        swhybrid_simd::search::Hit {
+            db_index: self.db_index,
+            id: self.id,
+            score: self.score,
+            subject_len: self.subject_len,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("db_index", Json::Num(self.db_index as f64)),
+            ("id", Json::str(self.id.clone())),
+            ("score", Json::Num(self.score as f64)),
+            ("subject_len", Json::Num(self.subject_len as f64)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<WireHit, String> {
+        Ok(WireHit {
+            db_index: field_usize(v, "db_index")?,
+            id: field_str(v, "id")?,
+            score: field(v, "score")?
+                .as_i64()
+                .ok_or("field 'score' is not an integer")? as i32,
+            subject_len: field_usize(v, "subject_len")?,
+        })
+    }
+}
+
+/// A self-describing task as it travels over the wire: everything a
+/// serve-mode slave (which holds only the database) needs to run the scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskDesc {
+    /// Encoded query residues.
+    pub query: Vec<u8>,
+    /// Database shard `[start, end)` in global subject indices.
+    pub shard: (usize, usize),
+    /// Hits retained for the shard.
+    pub top_n: usize,
+}
+
+impl TaskDesc {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "query",
+                Json::Arr(self.query.iter().map(|&c| Json::Num(c as f64)).collect()),
+            ),
+            (
+                "shard",
+                Json::Arr(vec![
+                    Json::Num(self.shard.0 as f64),
+                    Json::Num(self.shard.1 as f64),
+                ]),
+            ),
+            ("top_n", Json::Num(self.top_n as f64)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<TaskDesc, String> {
+        let query = field(v, "query")?
+            .as_array()
+            .ok_or("field 'query' is not an array")?
+            .iter()
+            .map(|c| {
+                c.as_u64()
+                    .filter(|&n| n <= u8::MAX as u64)
+                    .map(|n| n as u8)
+                    .ok_or_else(|| "query residue is not a byte".to_string())
+            })
+            .collect::<Result<_, _>>()?;
+        let shard = field(v, "shard")?
+            .as_array()
+            .ok_or("field 'shard' is not an array")?;
+        let [s, e] = shard else {
+            return Err("field 'shard' is not a [start, end) pair".to_string());
+        };
+        let bound = |j: &Json| {
+            j.as_u64()
+                .map(|n| n as usize)
+                .ok_or_else(|| "shard bound is not a non-negative integer".to_string())
+        };
+        Ok(TaskDesc {
+            query,
+            shard: (bound(s)?, bound(e)?),
+            top_n: field_usize(v, "top_n")?,
+        })
+    }
+}
+
+/// Messages from slave to master.
+#[derive(Debug, Clone)]
+pub enum SlaveMsg {
+    /// First message on a connection.
+    Register {
+        /// Slave name.
+        name: String,
+        /// Theoretical GCUPS prior.
+        gcups: f64,
+        /// Protocol version the slave speaks (absent on the wire = v1).
+        proto: u32,
+        /// FNV-1a digest of the slave's local database, sent by serve-mode
+        /// slaves so the master can verify both sides scan the same data.
+        /// Batch slaves omit it.
+        db_digest: Option<u64>,
+    },
+    /// Ask for work. The master holds the request open until it has an
+    /// assignment (or the run is done) — there is no "ask again" reply.
+    Request,
+    /// Report that a task began executing.
+    Started {
+        /// The task.
+        task: TaskId,
+    },
+    /// Report a completed task with its hits and observed speed.
+    Finished {
+        /// The task.
+        task: TaskId,
+        /// Observed GCUPS while executing it.
+        gcups: f64,
+        /// Top hits of the comparison.
+        hits: Vec<WireHit>,
+        /// Kernel-usage counters of the scan. Optional on the wire: older
+        /// slaves simply omit the field.
+        kernels: Option<KernelStats>,
+    },
+    /// Periodic liveness signal; carries no state.
+    Heartbeat,
+}
+
+/// Messages from master to slave.
+#[derive(Debug, Clone)]
+pub enum MasterMsg {
+    /// Registration accepted.
+    Registered {
+        /// The PE id assigned to this slave.
+        pe_id: PeId,
+        /// Protocol version the master speaks (absent on the wire = v1).
+        proto: u32,
+    },
+    /// A batch of fresh tasks.
+    Tasks {
+        /// Task ids, in execution order.
+        tasks: Vec<TaskId>,
+        /// Self-describing payloads, paired positionally with `tasks`.
+        /// Present only for serve-mode slaves.
+        descs: Option<Vec<TaskDesc>>,
+    },
+    /// Execute this task even though another PE also holds it.
+    Execute {
+        /// The task (a steal or a replica — the slave does not care).
+        task: TaskId,
+        /// Self-describing payload (serve-mode slaves only).
+        desc: Option<TaskDesc>,
+    },
+    /// Everything is finished; disconnect.
+    Done,
+    /// The peer spoke out of turn.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+pub(crate) fn field<'a>(v: &'a Json, key: &str) -> Result<&'a Json, String> {
+    v.get(key).ok_or_else(|| format!("missing field '{key}'"))
+}
+
+pub(crate) fn field_str(v: &Json, key: &str) -> Result<String, String> {
+    field(v, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("field '{key}' is not a string"))
+}
+
+pub(crate) fn field_f64(v: &Json, key: &str) -> Result<f64, String> {
+    field(v, key)?
+        .as_f64()
+        .ok_or_else(|| format!("field '{key}' is not a number"))
+}
+
+pub(crate) fn field_usize(v: &Json, key: &str) -> Result<usize, String> {
+    field(v, key)?
+        .as_u64()
+        .map(|n| n as usize)
+        .ok_or_else(|| format!("field '{key}' is not a non-negative integer"))
+}
+
+/// Kernel counters as a JSON object (the optional `kernels` field of a
+/// `finished` message, and the serve daemon's `stats` reply).
+pub fn kernels_to_json(k: &KernelStats) -> Json {
+    Json::obj([
+        ("striped_i8", Json::Num(k.resolved_i8 as f64)),
+        ("striped_i16", Json::Num(k.resolved_i16 as f64)),
+        ("striped_scalar", Json::Num(k.resolved_scalar as f64)),
+        ("interseq_i8", Json::Num(k.interseq_i8 as f64)),
+        ("interseq_i16", Json::Num(k.interseq_i16 as f64)),
+        ("interseq_scalar", Json::Num(k.interseq_scalar as f64)),
+        ("chunks_striped", Json::Num(k.chunks_striped as f64)),
+        ("chunks_interseq", Json::Num(k.chunks_interseq as f64)),
+        ("cells_computed", Json::Num(k.cells_computed as f64)),
+    ])
+}
+
+/// Parse kernel counters serialised by [`kernels_to_json`].
+pub fn kernels_from_json(v: &Json) -> Result<KernelStats, String> {
+    let get = |key: &str| -> Result<u64, String> {
+        field(v, key)?
+            .as_u64()
+            .ok_or_else(|| format!("kernel counter '{key}' is not a non-negative integer"))
+    };
+    Ok(KernelStats {
+        resolved_i8: get("striped_i8")?,
+        resolved_i16: get("striped_i16")?,
+        resolved_scalar: get("striped_scalar")?,
+        interseq_i8: get("interseq_i8")?,
+        interseq_i16: get("interseq_i16")?,
+        interseq_scalar: get("interseq_scalar")?,
+        chunks_striped: get("chunks_striped")?,
+        chunks_interseq: get("chunks_interseq")?,
+        cells_computed: get("cells_computed")?,
+    })
+}
+
+/// One wire message: a single JSON line in each direction.
+pub(crate) trait Wire: Sized {
+    fn to_json(&self) -> Json;
+    fn from_json(v: &Json) -> Result<Self, String>;
+}
+
+impl Wire for SlaveMsg {
+    fn to_json(&self) -> Json {
+        match self {
+            SlaveMsg::Register {
+                name,
+                gcups,
+                proto,
+                db_digest,
+            } => {
+                let mut fields = vec![
+                    ("type", Json::str("register")),
+                    ("name", Json::str(name.clone())),
+                    ("gcups", Json::Num(*gcups)),
+                    ("proto", Json::Num(*proto as f64)),
+                ];
+                if let Some(d) = db_digest {
+                    // A u64 does not survive a JSON number (53-bit f64
+                    // mantissa): the digest travels as 16 hex digits.
+                    fields.push(("db_digest", Json::str(format!("{d:016x}"))));
+                }
+                Json::obj(fields)
+            }
+            SlaveMsg::Request => Json::obj([("type", Json::str("request"))]),
+            SlaveMsg::Started { task } => Json::obj([
+                ("type", Json::str("started")),
+                ("task", Json::Num(*task as f64)),
+            ]),
+            SlaveMsg::Finished {
+                task,
+                gcups,
+                hits,
+                kernels,
+            } => {
+                let mut fields = vec![
+                    ("type", Json::str("finished")),
+                    ("task", Json::Num(*task as f64)),
+                    ("gcups", Json::Num(*gcups)),
+                    (
+                        "hits",
+                        Json::Arr(hits.iter().map(WireHit::to_json).collect()),
+                    ),
+                ];
+                if let Some(k) = kernels {
+                    fields.push(("kernels", kernels_to_json(k)));
+                }
+                Json::obj(fields)
+            }
+            SlaveMsg::Heartbeat => Json::obj([("type", Json::str("heartbeat"))]),
+        }
+    }
+
+    fn from_json(v: &Json) -> Result<SlaveMsg, String> {
+        match field_str(v, "type")?.as_str() {
+            "register" => Ok(SlaveMsg::Register {
+                name: field_str(v, "name")?,
+                gcups: field_f64(v, "gcups")?,
+                proto: match v.get("proto") {
+                    None => 1, // pre-versioning peers are v1
+                    Some(p) => p
+                        .as_u64()
+                        .map(|n| n as u32)
+                        .ok_or("field 'proto' is not a non-negative integer")?,
+                },
+                db_digest: v
+                    .get("db_digest")
+                    .map(|d| {
+                        d.as_str()
+                            .and_then(|s| u64::from_str_radix(s, 16).ok())
+                            .ok_or("field 'db_digest' is not a hex digest string")
+                    })
+                    .transpose()?,
+            }),
+            "request" => Ok(SlaveMsg::Request),
+            "started" => Ok(SlaveMsg::Started {
+                task: field_usize(v, "task")?,
+            }),
+            "finished" => Ok(SlaveMsg::Finished {
+                task: field_usize(v, "task")?,
+                gcups: field_f64(v, "gcups")?,
+                hits: field(v, "hits")?
+                    .as_array()
+                    .ok_or("field 'hits' is not an array")?
+                    .iter()
+                    .map(WireHit::from_json)
+                    .collect::<Result<_, _>>()?,
+                kernels: v.get("kernels").map(kernels_from_json).transpose()?,
+            }),
+            "heartbeat" => Ok(SlaveMsg::Heartbeat),
+            other => Err(format!("unknown slave message type '{other}'")),
+        }
+    }
+}
+
+impl Wire for MasterMsg {
+    fn to_json(&self) -> Json {
+        match self {
+            MasterMsg::Registered { pe_id, proto } => Json::obj([
+                ("type", Json::str("registered")),
+                ("pe_id", Json::Num(*pe_id as f64)),
+                ("proto", Json::Num(*proto as f64)),
+            ]),
+            MasterMsg::Tasks { tasks, descs } => {
+                let mut fields = vec![
+                    ("type", Json::str("tasks")),
+                    (
+                        "tasks",
+                        Json::Arr(tasks.iter().map(|&t| Json::Num(t as f64)).collect()),
+                    ),
+                ];
+                if let Some(descs) = descs {
+                    fields.push((
+                        "descs",
+                        Json::Arr(descs.iter().map(TaskDesc::to_json).collect()),
+                    ));
+                }
+                Json::obj(fields)
+            }
+            MasterMsg::Execute { task, desc } => {
+                let mut fields = vec![
+                    ("type", Json::str("execute")),
+                    ("task", Json::Num(*task as f64)),
+                ];
+                if let Some(desc) = desc {
+                    fields.push(("desc", desc.to_json()));
+                }
+                Json::obj(fields)
+            }
+            MasterMsg::Done => Json::obj([("type", Json::str("done"))]),
+            MasterMsg::Error { message } => Json::obj([
+                ("type", Json::str("error")),
+                ("message", Json::str(message.clone())),
+            ]),
+        }
+    }
+
+    fn from_json(v: &Json) -> Result<MasterMsg, String> {
+        match field_str(v, "type")?.as_str() {
+            "registered" => Ok(MasterMsg::Registered {
+                pe_id: field_usize(v, "pe_id")?,
+                proto: match v.get("proto") {
+                    None => 1,
+                    Some(p) => p
+                        .as_u64()
+                        .map(|n| n as u32)
+                        .ok_or("field 'proto' is not a non-negative integer")?,
+                },
+            }),
+            "tasks" => Ok(MasterMsg::Tasks {
+                tasks: field(v, "tasks")?
+                    .as_array()
+                    .ok_or("field 'tasks' is not an array")?
+                    .iter()
+                    .map(|t| {
+                        t.as_u64()
+                            .map(|n| n as usize)
+                            .ok_or_else(|| "task id is not a non-negative integer".to_string())
+                    })
+                    .collect::<Result<_, _>>()?,
+                descs: v
+                    .get("descs")
+                    .map(|d| {
+                        d.as_array()
+                            .ok_or("field 'descs' is not an array".to_string())?
+                            .iter()
+                            .map(TaskDesc::from_json)
+                            .collect::<Result<_, _>>()
+                    })
+                    .transpose()?,
+            }),
+            "execute" => Ok(MasterMsg::Execute {
+                task: field_usize(v, "task")?,
+                desc: v.get("desc").map(TaskDesc::from_json).transpose()?,
+            }),
+            "done" => Ok(MasterMsg::Done),
+            "error" => Ok(MasterMsg::Error {
+                message: field_str(v, "message")?,
+            }),
+            other => Err(format!("unknown master message type '{other}'")),
+        }
+    }
+}
+
+pub(crate) fn invalid(message: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.into())
+}
+
+pub(crate) fn send<W: Write, M: Wire>(writer: &mut W, msg: &M) -> io::Result<()> {
+    let mut line = msg.to_json().to_string();
+    line.push('\n');
+    writer.write_all(line.as_bytes())?;
+    writer.flush()
+}
+
+pub(crate) fn decode<M: Wire>(line: &str) -> io::Result<M> {
+    let v = Json::parse(line.trim()).map_err(|e| invalid(e.to_string()))?;
+    M::from_json(&v).map_err(invalid)
+}
+
+/// Blocking receive of one message (slave side and tests; the master reads
+/// through [`LineReader`] so it can watch deadlines).
+pub(crate) fn recv<R: BufRead, M: Wire>(reader: &mut R) -> io::Result<Option<M>> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    decode(&line).map(Some)
+}
+
+/// What one attempt to read a line produced.
+pub(crate) enum ReadOutcome {
+    /// A complete line (newline stripped).
+    Line(String),
+    /// Clean end of stream.
+    Eof,
+    /// Nothing new within the read quantum; check deadlines and try again.
+    Timeout,
+}
+
+/// Line reader over a raw [`TcpStream`] with a read timeout.
+///
+/// `BufReader::read_line` cannot be used with socket timeouts: a timeout
+/// mid-line loses the bytes read so far. This reader keeps partial input
+/// in a persistent buffer across timeouts.
+pub(crate) struct LineReader {
+    stream: TcpStream,
+    pending: Vec<u8>,
+}
+
+impl LineReader {
+    pub(crate) fn new(stream: TcpStream, quantum: Duration) -> io::Result<LineReader> {
+        stream.set_read_timeout(Some(quantum))?;
+        Ok(LineReader {
+            stream,
+            pending: Vec::new(),
+        })
+    }
+
+    pub(crate) fn read_line(&mut self) -> io::Result<ReadOutcome> {
+        loop {
+            if let Some(pos) = self.pending.iter().position(|&b| b == b'\n') {
+                let rest = self.pending.split_off(pos + 1);
+                let mut line = std::mem::replace(&mut self.pending, rest);
+                line.pop(); // the newline
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return match String::from_utf8(line) {
+                    Ok(s) => Ok(ReadOutcome::Line(s)),
+                    Err(_) => Err(invalid("non-UTF-8 line on the wire")),
+                };
+            }
+            let mut buf = [0u8; 4096];
+            match self.stream.read(&mut buf) {
+                Ok(0) => return Ok(ReadOutcome::Eof),
+                Ok(n) => self.pending.extend_from_slice(&buf[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(ReadOutcome::Timeout)
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}

@@ -1,0 +1,770 @@
+//! The one pool-drive loop shared by every real runtime.
+//!
+//! The paper's task environment is a single master scheduling a *hybrid*
+//! pool of PEs (Fig. 1). Historically this repository grew three separate
+//! drivers of the [`Master`] state machine — the virtual-time simulator,
+//! the threaded runtime, and the TCP `MasterServer` — each re-implementing
+//! the same request/execute/report cycle. This module is the extraction:
+//! one [`PePool`] (the master plus membership bookkeeping behind a
+//! [`WaitHub`]) and one [`drive`] loop, with the *transport* abstracted
+//! behind [`PeEndpoint`]. A local worker thread ([`LocalEndpoint`]) and a
+//! remote TCP slave session (`net::serve_connection`) are now just two
+//! endpoint implementations feeding the same master with identical
+//! event/stat flow: `RuntimeEvent`s, `KernelStats`, PSS progress
+//! notifications, replication/steal, and liveness-driven requeue.
+//!
+//! What a runtime still chooses is what happens to a finished task's
+//! result: that is the [`PoolOwner`] — batch runs collect hits per task
+//! ([`BatchOwner`]), the persistent daemon shards queries and fires
+//! completions. The owner also decides whether tasks have a wire payload
+//! ([`PoolOwner::task_payload`]) so self-describing tasks can be shipped
+//! to remote slaves that never saw the query.
+//!
+//! Locking discipline: the pool's [`WaitHub`] guards the master *and* the
+//! owner. Any mutation that can unblock a parked PE notifies the hub;
+//! waiters re-check their predicate in a loop. Owner callbacks run under
+//! the lock and must stay short — slow work (completion callbacks, socket
+//! writes) is returned as a [`Deferred`] closure and run off-lock.
+
+use std::collections::{HashMap, VecDeque};
+use std::io;
+
+use std::time::{Duration, Instant};
+
+use crate::master::{Assignment, Master};
+use crate::shared::{HubGuard, WaitHub};
+use crate::task::{PeId, TaskId, TaskState};
+use crate::trace::EventKind;
+use swhybrid_simd::engine::KernelStats;
+use swhybrid_simd::search::Hit;
+
+/// What one PE produced for one task.
+#[derive(Debug, Clone, Default)]
+pub struct TaskResult {
+    /// Observed speed of the completion. `None` means the scan was skipped
+    /// or cancelled and carries no speed information — it must *not* enter
+    /// the Ω-window mean (reporting `0.0` would poison PSS).
+    pub gcups: Option<f64>,
+    /// The task's ranked hits (the first finisher's hits win).
+    pub hits: Vec<Hit>,
+    /// DP cells actually computed.
+    pub cells: u64,
+    /// Kernel-family counters of the scan, when the backend reports them.
+    pub kernels: Option<KernelStats>,
+}
+
+/// A scheduling decision delivered to an endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PeCommand {
+    /// Fresh ready tasks, in allocation order.
+    Tasks(Vec<TaskId>),
+    /// One task to execute now (a steal or a replica).
+    Execute(TaskId),
+    /// The pool is drained and not keeping alive: the PE retires.
+    Done,
+}
+
+/// What an endpoint reports back to the drive loop.
+pub enum PeEvent {
+    /// The PE is idle and wants an assignment.
+    NeedWork,
+    /// The PE began executing a task.
+    Started(TaskId),
+    /// The PE finished a task.
+    Finished {
+        /// The task.
+        task: TaskId,
+        /// What it produced.
+        result: TaskResult,
+    },
+    /// A periodic PSS progress notification (observed GCUPS).
+    Progress(f64),
+    /// The PE is gone (hang-up, fatal transport error, or — with
+    /// `suspected_dead` — a missed liveness deadline).
+    Gone {
+        /// Whether this is a liveness verdict rather than an observed
+        /// hang-up.
+        suspected_dead: bool,
+    },
+}
+
+/// Work the owner wants run *after* the pool lock is released (completion
+/// callbacks, socket writes — anything slow or re-entrant).
+pub type Deferred = Box<dyn FnOnce() + Send>;
+
+/// A self-describing task for remote execution: everything a slave that
+/// has only the database needs in order to run the scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPayload {
+    /// The encoded query residues.
+    pub query: Vec<u8>,
+    /// Database shard `[start, end)` in global subject indices.
+    pub shard: (usize, usize),
+    /// Hits retained for the shard.
+    pub top_n: usize,
+}
+
+/// What a runtime does with results — the policy half the shared loop
+/// does not own.
+pub trait PoolOwner: Send {
+    /// A task finished on `pe`. Runs under the pool lock, after the
+    /// master has been informed (`was_first` is whether this PE crossed
+    /// the line first — losers' results are normally discarded). Return a
+    /// [`Deferred`] to run work off-lock.
+    fn on_finished(
+        &mut self,
+        master: &mut Master,
+        pe: PeId,
+        task: TaskId,
+        result: TaskResult,
+        was_first: bool,
+        now: f64,
+    ) -> Option<Deferred>;
+
+    /// The wire payload of a task, for owners whose tasks are
+    /// self-describing (the daemon's query shards). `None` means the task
+    /// is identified by id alone (batch runs, where both sides hold the
+    /// same files) — or, for a payload-bearing owner, that the task is no
+    /// longer shippable (e.g. its database generation was swapped out).
+    fn task_payload(&self, _master: &Master, _task: TaskId) -> Option<TaskPayload> {
+        None
+    }
+
+    /// FNV-1a digest of the owner's database, when remote slaves must
+    /// prove they hold the same one before being admitted.
+    fn db_digest(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// Membership record of one admitted PE.
+#[derive(Debug)]
+struct Member {
+    /// No further commands will be delivered (retired or torn down).
+    closed: bool,
+    /// [`Master::pe_leaves`] bookkeeping ran (or was deliberately skipped
+    /// for a clean retirement); guards against double teardown.
+    left: bool,
+    /// Admitted over the wire rather than as a local thread.
+    remote: bool,
+}
+
+/// The lock-guarded heart of a pool: the master, the owner, and the
+/// membership/barrier/abort state every endpoint shares.
+pub struct PoolCore<S> {
+    /// The scheduling state machine.
+    pub master: Master,
+    /// The result policy.
+    pub owner: S,
+    members: HashMap<PeId, Member>,
+    registered: usize,
+    expected: usize,
+    barrier_open: bool,
+    alive: usize,
+    abort: Option<(io::ErrorKind, String)>,
+}
+
+impl<S> PoolCore<S> {
+    /// PEs registered before the barrier opened.
+    pub fn registered(&self) -> usize {
+        self.registered
+    }
+
+    /// Members admitted and not yet closed.
+    pub fn alive(&self) -> usize {
+        self.alive
+    }
+
+    /// Whether the registration barrier has opened (work may flow).
+    pub fn barrier_open(&self) -> bool {
+        self.barrier_open
+    }
+
+    /// Force the barrier open (degraded start after a registration
+    /// timeout with at least one PE).
+    pub fn open_barrier(&mut self) {
+        self.barrier_open = true;
+    }
+
+    /// The pending abort, if a fatal condition was recorded.
+    pub fn abort(&self) -> Option<&(io::ErrorKind, String)> {
+        self.abort.as_ref()
+    }
+
+    /// Record a fatal condition: every endpoint unwinds at its next
+    /// scheduling point (the caller must notify the hub).
+    pub fn set_abort(&mut self, kind: io::ErrorKind, message: impl Into<String>) {
+        if self.abort.is_none() {
+            self.abort = Some((kind, message.into()));
+        }
+    }
+
+    /// Take the pending abort (teardown).
+    pub fn take_abort(&mut self) -> Option<(io::ErrorKind, String)> {
+        self.abort.take()
+    }
+
+    /// Live remote members (for teardown: local threads exit via
+    /// [`PeCommand::Done`], remote sessions must be disconnected).
+    pub fn remote_members(&self) -> Vec<PeId> {
+        let mut pes: Vec<PeId> = self
+            .members
+            .iter()
+            .filter(|(_, m)| m.remote && !m.closed)
+            .map(|(&pe, _)| pe)
+            .collect();
+        pes.sort_unstable();
+        pes
+    }
+
+    /// Whether commands can still be delivered to `pe`.
+    pub fn is_open(&self, pe: PeId) -> bool {
+        self.members.get(&pe).is_some_and(|m| !m.closed)
+    }
+
+    /// Tear down a member: exactly once per PE, its held tasks return to
+    /// the ready queue ([`Master::pe_leaves`]). `suspected_dead` marks a
+    /// liveness verdict (silence past the deadline) rather than an
+    /// observed hang-up. Callable under an existing lock — the caller
+    /// must notify the hub afterwards.
+    pub fn disconnect(&mut self, pe: PeId, now: f64, suspected_dead: bool) {
+        let Some(m) = self.members.get_mut(&pe) else {
+            return;
+        };
+        if m.left {
+            return;
+        }
+        m.left = true;
+        m.closed = true;
+        self.alive -= 1;
+        if suspected_dead {
+            self.master
+                .record_event(now, EventKind::PeSuspectedDead { pe });
+        }
+        let held: Vec<TaskId> = self
+            .master
+            .pool()
+            .executing_ids()
+            .filter(|&t| self.master.pool().get(t).executors.contains(&pe))
+            .collect();
+        self.master.pe_leaves(pe, &held);
+    }
+}
+
+/// A master plus its membership state behind a [`WaitHub`], with one
+/// wall-clock epoch — the shared substrate both transports drive.
+pub struct PePool<S> {
+    hub: WaitHub<PoolCore<S>>,
+    epoch: Instant,
+}
+
+/// How long a parked PE sleeps between predicate re-checks even without a
+/// notification — a lost-wakeup safety net, not a scheduling latency (all
+/// transitions notify the hub).
+const PARK_QUANTUM: Duration = Duration::from_millis(100);
+
+impl<S: PoolOwner> PePool<S> {
+    /// New pool around `master`. The registration barrier opens once
+    /// `expected` PEs have been admitted (0 opens it immediately — members
+    /// then join as latecomers).
+    pub fn new(master: Master, owner: S, expected: usize) -> PePool<S> {
+        PePool {
+            hub: WaitHub::new(PoolCore {
+                master,
+                owner,
+                members: HashMap::new(),
+                registered: 0,
+                expected,
+                barrier_open: expected == 0,
+                alive: 0,
+                abort: None,
+            }),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Seconds since the pool was created — the `now` of every master
+    /// call and event timestamp.
+    pub fn now(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    /// Lock the core (master + owner + membership).
+    pub fn lock(&self) -> HubGuard<'_, PoolCore<S>> {
+        self.hub.lock()
+    }
+
+    /// Wake every parked endpoint to re-check its predicate.
+    pub fn notify_all(&self) {
+        self.hub.notify_all();
+    }
+
+    /// Park on the hub until notified (see [`WaitHub::wait`]).
+    pub fn wait<'a>(&'a self, guard: HubGuard<'a, PoolCore<S>>) -> HubGuard<'a, PoolCore<S>> {
+        self.hub.wait(guard)
+    }
+
+    /// Park with an upper bound, for waiters that also watch a deadline.
+    pub fn wait_timeout<'a>(
+        &'a self,
+        guard: HubGuard<'a, PoolCore<S>>,
+        timeout: Duration,
+    ) -> HubGuard<'a, PoolCore<S>> {
+        self.hub.wait_timeout(guard, timeout)
+    }
+
+    /// Consume the pool (after every endpoint has unwound).
+    pub fn into_inner(self) -> PoolCore<S> {
+        self.hub.into_inner()
+    }
+
+    /// Admit a PE: before the barrier opens it registers (and may open the
+    /// barrier); afterwards it joins as a latecomer. Non-finite or
+    /// non-positive speed priors are clamped to the smallest positive
+    /// value rather than rejected (a misreported prior must not crash the
+    /// pool — PSS replaces it with observations anyway).
+    pub fn admit(&self, name: &str, static_gcups: f64, remote: bool) -> PeId {
+        let gcups = if static_gcups.is_finite() && static_gcups > 0.0 {
+            static_gcups
+        } else {
+            f64::MIN_POSITIVE
+        };
+        let mut g = self.lock();
+        let pe = if g.barrier_open {
+            let now = self.now();
+            g.master.pe_joins(name, gcups, now)
+        } else {
+            let pe = g.master.register(name, gcups);
+            g.registered += 1;
+            if g.registered >= g.expected {
+                g.barrier_open = true;
+            }
+            pe
+        };
+        g.alive += 1;
+        g.members.insert(
+            pe,
+            Member {
+                closed: false,
+                left: false,
+                remote,
+            },
+        );
+        drop(g);
+        self.notify_all();
+        pe
+    }
+
+    /// Tear down a member (see [`PoolCore::disconnect`]) and wake the
+    /// pool so requeued tasks are picked up immediately.
+    pub fn disconnect(&self, pe: PeId, suspected_dead: bool) {
+        let now = self.now();
+        let mut g = self.lock();
+        g.disconnect(pe, now, suspected_dead);
+        drop(g);
+        self.notify_all();
+    }
+
+    /// Whether `task` is still worth executing on `pe`: batch entries may
+    /// have been stolen from this PE or finished by a replica elsewhere
+    /// while queued.
+    pub fn still_runnable(&self, pe: PeId, task: TaskId) -> bool {
+        let g = self.lock();
+        task < g.master.pool().len() && {
+            let t = g.master.pool().get(task);
+            t.state != TaskState::Finished && t.executors.contains(&pe)
+        }
+    }
+
+    /// Record a task start. Returns `false` — the caller must tear the PE
+    /// down — when the task id is out of bounds (a corrupt or stale
+    /// report from a remote).
+    pub fn task_started(&self, pe: PeId, task: TaskId) -> bool {
+        let mut g = self.lock();
+        if task >= g.master.pool().len() {
+            return false;
+        }
+        let now = self.now();
+        g.master.task_started(pe, task, now);
+        drop(g);
+        self.notify_all();
+        true
+    }
+
+    /// Record a task completion: informs the master (stamping
+    /// `TaskKernels` for the first finisher), hands the result to the
+    /// owner, then runs any deferred work off-lock. Returns `false` on an
+    /// out-of-bounds task id.
+    pub fn task_finished(&self, pe: PeId, task: TaskId, result: TaskResult) -> bool {
+        let deferred = {
+            let mut g = self.lock();
+            if task >= g.master.pool().len() {
+                return false;
+            }
+            let now = self.now();
+            let was_first = g.master.pool().get(task).state != TaskState::Finished;
+            g.master.task_finished(pe, task, now, result.gcups);
+            if was_first {
+                if let Some(kernels) = result.kernels {
+                    g.master
+                        .record_event(now, EventKind::TaskKernels { pe, task, kernels });
+                }
+            }
+            // Split the borrow so the owner can see the master.
+            let core = &mut *g;
+            core.owner
+                .on_finished(&mut core.master, pe, task, result, was_first, now)
+        };
+        self.notify_all();
+        if let Some(run) = deferred {
+            run();
+        }
+        true
+    }
+
+    /// Record a PSS progress notification.
+    pub fn notify_progress(&self, pe: PeId, gcups: f64) {
+        let now = self.now();
+        let mut g = self.lock();
+        g.master.notify_progress(pe, now, gcups);
+    }
+
+    /// Long-poll the master for `pe`'s next command: parks on the hub
+    /// through `Wait`, returns `None` when the pool aborted or the member
+    /// was torn down concurrently. `Done` retires the member cleanly (no
+    /// requeue, no `pe_left` event — it finished its service).
+    pub fn next_assignment(&self, pe: PeId) -> Option<PeCommand> {
+        let mut g = self.lock();
+        loop {
+            if g.abort.is_some() || !g.is_open(pe) {
+                return None;
+            }
+            if g.barrier_open {
+                let now = self.now();
+                match g.master.request(pe, now) {
+                    Assignment::Tasks(tasks) => {
+                        drop(g);
+                        self.notify_all();
+                        return Some(PeCommand::Tasks(tasks));
+                    }
+                    Assignment::Steal { task, .. } => {
+                        drop(g);
+                        self.notify_all();
+                        return Some(PeCommand::Execute(task));
+                    }
+                    Assignment::Replicate(task) => {
+                        drop(g);
+                        self.notify_all();
+                        return Some(PeCommand::Execute(task));
+                    }
+                    Assignment::Done => {
+                        let m = g.members.get_mut(&pe).expect("member admitted");
+                        m.closed = true;
+                        m.left = true;
+                        g.alive -= 1;
+                        drop(g);
+                        self.notify_all();
+                        return Some(PeCommand::Done);
+                    }
+                    Assignment::Wait => {}
+                }
+            }
+            g = self.wait_timeout(g, PARK_QUANTUM);
+        }
+    }
+}
+
+/// One PE's transport: where commands go and events come from. The drive
+/// loop is transport-agnostic; this is the only surface a new backend
+/// (another wire protocol, an accelerator offload queue) must implement.
+pub trait PeEndpoint<S: PoolOwner> {
+    /// Block until the PE has something to report.
+    fn next_event(&mut self, pool: &PePool<S>, pe: PeId) -> PeEvent;
+
+    /// Deliver a scheduling decision to the PE. An error tears the PE
+    /// down (its held tasks requeue).
+    fn deliver(&mut self, pool: &PePool<S>, pe: PeId, cmd: &PeCommand) -> io::Result<()>;
+}
+
+/// Drive one admitted PE until it retires, fails, or the pool aborts —
+/// THE pool-drive loop. Both the threaded runtime and the TCP server run
+/// exactly this function; they differ only in the endpoint.
+pub fn drive<S: PoolOwner, E: PeEndpoint<S>>(pool: &PePool<S>, pe: PeId, endpoint: &mut E) {
+    loop {
+        match endpoint.next_event(pool, pe) {
+            PeEvent::NeedWork => {
+                let Some(cmd) = pool.next_assignment(pe) else {
+                    return;
+                };
+                let retiring = cmd == PeCommand::Done;
+                if endpoint.deliver(pool, pe, &cmd).is_err() {
+                    pool.disconnect(pe, false);
+                    return;
+                }
+                if retiring {
+                    return;
+                }
+            }
+            PeEvent::Started(task) => {
+                if !pool.task_started(pe, task) {
+                    pool.disconnect(pe, false);
+                    return;
+                }
+            }
+            PeEvent::Finished { task, result } => {
+                if !pool.task_finished(pe, task, result) {
+                    pool.disconnect(pe, false);
+                    return;
+                }
+            }
+            PeEvent::Progress(gcups) => pool.notify_progress(pe, gcups),
+            PeEvent::Gone { suspected_dead } => {
+                pool.disconnect(pe, suspected_dead);
+                return;
+            }
+        }
+    }
+}
+
+/// The in-process endpoint: a queue of assigned tasks and a closure that
+/// really computes one. Skips queued entries that were stolen or finished
+/// elsewhere, exactly like the old threaded runtime's inner loop.
+pub struct LocalEndpoint<F> {
+    queue: VecDeque<TaskId>,
+    running: Option<TaskId>,
+    execute: F,
+}
+
+impl<F: FnMut(TaskId) -> TaskResult> LocalEndpoint<F> {
+    /// New endpoint around the compute closure.
+    pub fn new(execute: F) -> LocalEndpoint<F> {
+        LocalEndpoint {
+            queue: VecDeque::new(),
+            running: None,
+            execute,
+        }
+    }
+}
+
+impl<S: PoolOwner, F: FnMut(TaskId) -> TaskResult> PeEndpoint<S> for LocalEndpoint<F> {
+    fn next_event(&mut self, pool: &PePool<S>, pe: PeId) -> PeEvent {
+        if let Some(task) = self.running.take() {
+            // `Started` was reported last round; compute now, off-lock.
+            let result = (self.execute)(task);
+            return PeEvent::Finished { task, result };
+        }
+        while let Some(task) = self.queue.pop_front() {
+            if pool.still_runnable(pe, task) {
+                self.running = Some(task);
+                return PeEvent::Started(task);
+            }
+        }
+        PeEvent::NeedWork
+    }
+
+    fn deliver(&mut self, _pool: &PePool<S>, _pe: PeId, cmd: &PeCommand) -> io::Result<()> {
+        match cmd {
+            PeCommand::Tasks(tasks) => self.queue.extend(tasks.iter().copied()),
+            PeCommand::Execute(task) => self.queue.push_back(*task),
+            PeCommand::Done => {}
+        }
+        Ok(())
+    }
+}
+
+/// The batch-run owner: per-task winning hits, winner names, and merged
+/// kernel counters (losing replicas' counters are merged too — they are
+/// work the platform really did).
+#[derive(Debug, Default)]
+pub struct BatchOwner {
+    /// For each task, the first finisher's hits.
+    pub results: Vec<Option<Vec<Hit>>>,
+    /// For each task, the name of the PE whose result was used.
+    pub completed_by: Vec<String>,
+    /// Kernel counters merged across every completion.
+    pub kernels: KernelStats,
+    /// Kernel counters per PE (indexed by [`PeId`]).
+    pub kernels_by_pe: Vec<KernelStats>,
+}
+
+impl BatchOwner {
+    /// New owner for a batch of `n_tasks`.
+    pub fn new(n_tasks: usize) -> BatchOwner {
+        BatchOwner {
+            results: vec![None; n_tasks],
+            completed_by: vec![String::new(); n_tasks],
+            kernels: KernelStats::default(),
+            kernels_by_pe: Vec::new(),
+        }
+    }
+}
+
+impl PoolOwner for BatchOwner {
+    fn on_finished(
+        &mut self,
+        master: &mut Master,
+        pe: PeId,
+        task: TaskId,
+        result: TaskResult,
+        was_first: bool,
+        _now: f64,
+    ) -> Option<Deferred> {
+        if let Some(kernels) = &result.kernels {
+            self.kernels.merge(kernels);
+            if self.kernels_by_pe.len() <= pe {
+                self.kernels_by_pe.resize(pe + 1, KernelStats::default());
+            }
+            self.kernels_by_pe[pe].merge(kernels);
+        }
+        if was_first {
+            if self.results.len() <= task {
+                self.results.resize(task + 1, None);
+                self.completed_by.resize(task + 1, String::new());
+            }
+            self.results[task] = Some(result.hits);
+            self.completed_by[task] = master.pe_name(pe).to_string();
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::master::MasterConfig;
+    use swhybrid_device::task::TaskSpec;
+
+    fn specs(n: usize) -> Vec<TaskSpec> {
+        (0..n)
+            .map(|id| TaskSpec {
+                id,
+                query_len: 100,
+                db_residues: 10_000,
+                db_sequences: 10,
+            })
+            .collect()
+    }
+
+    fn pool(n_tasks: usize, expected: usize) -> PePool<BatchOwner> {
+        PePool::new(
+            Master::new(specs(n_tasks), MasterConfig::default()),
+            BatchOwner::new(n_tasks),
+            expected,
+        )
+    }
+
+    #[test]
+    fn barrier_opens_at_expected_and_latecomers_join() {
+        let p = pool(2, 2);
+        let a = p.admit("a", 1.0, false);
+        assert!(!p.lock().barrier_open());
+        let b = p.admit("b", 1.0, false);
+        assert!(p.lock().barrier_open());
+        let c = p.admit("late", 1.0, true);
+        assert_eq!((a, b, c), (0, 1, 2));
+        let g = p.lock();
+        assert_eq!(g.alive(), 3);
+        assert_eq!(g.remote_members(), vec![2]);
+        assert!(g
+            .master
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::PeJoined { pe: 2, .. })));
+    }
+
+    #[test]
+    fn degenerate_speed_priors_are_clamped_not_fatal() {
+        let p = pool(1, 0);
+        p.admit("nan", f64::NAN, false);
+        p.admit("zero", 0.0, false);
+        p.admit("neg", -3.0, false);
+        let g = p.lock();
+        assert!(g.master.speed_estimates().iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn drive_runs_a_batch_to_completion_on_one_local_endpoint() {
+        let p = pool(3, 1);
+        let pe = p.admit("solo", 1.0, false);
+        let mut ep = LocalEndpoint::new(|task| TaskResult {
+            gcups: Some(1.0),
+            hits: Vec::new(),
+            cells: 100 * (task as u64 + 1),
+            kernels: Some(KernelStats {
+                resolved_i8: 1,
+                ..KernelStats::default()
+            }),
+        });
+        drive(&p, pe, &mut ep);
+        let core = p.into_inner();
+        assert!(core.master.pool().all_finished());
+        assert!(core.owner.completed_by.iter().all(|n| n == "solo"));
+        assert_eq!(core.owner.kernels.resolved_i8, 3);
+        assert_eq!(core.owner.kernels_by_pe[pe].resolved_i8, 3);
+        assert!(core
+            .master
+            .events()
+            .iter()
+            .any(|e| e.kind == EventKind::RunCompleted));
+    }
+
+    #[test]
+    fn disconnect_requeues_held_tasks_and_is_idempotent() {
+        let p = pool(2, 2);
+        let a = p.admit("a", 1.0, false);
+        let _b = p.admit("b", 1.0, false);
+        let cmd = p.next_assignment(a).expect("assignment");
+        let PeCommand::Tasks(tasks) = cmd else {
+            panic!("expected tasks, got {cmd:?}");
+        };
+        p.task_started(a, tasks[0]);
+        p.disconnect(a, true);
+        p.disconnect(a, true); // second teardown is a no-op
+        let g = p.lock();
+        assert_eq!(g.alive(), 1);
+        let events = g.master.events();
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::PeSuspectedDead { pe } if pe == a))
+                .count(),
+            1
+        );
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::TaskRequeued { task, from } if task == tasks[0] && from == a)));
+    }
+
+    #[test]
+    fn out_of_bounds_reports_are_rejected_not_fatal() {
+        let p = pool(1, 1);
+        let pe = p.admit("a", 1.0, false);
+        assert!(!p.task_started(pe, 99));
+        assert!(!p.task_finished(pe, 99, TaskResult::default()));
+        // The pool is still healthy for in-bounds traffic.
+        assert!(p.task_started(pe, 0));
+    }
+
+    #[test]
+    fn abort_unblocks_parked_endpoints() {
+        let p = pool(1, 1);
+        let pe = p.admit("a", 1.0, false);
+        // Drain the one task so the next request would Wait (keep-alive).
+        p.lock().master.set_keep_alive(true);
+        let Some(PeCommand::Tasks(tasks)) = p.next_assignment(pe) else {
+            panic!("expected tasks");
+        };
+        p.task_started(pe, tasks[0]);
+        p.task_finished(pe, tasks[0], TaskResult::default());
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| p.next_assignment(pe));
+            std::thread::sleep(Duration::from_millis(20));
+            {
+                let mut g = p.lock();
+                g.set_abort(io::ErrorKind::ConnectionAborted, "test abort");
+            }
+            p.notify_all();
+            assert!(handle.join().expect("no panic").is_none());
+        });
+    }
+}

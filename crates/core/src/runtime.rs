@@ -8,31 +8,29 @@
 //! environment end-to-end (on reduced-scale databases — the full platform
 //! experiments run under virtual time in [`crate::sim`]).
 //!
-//! The request loop is event-driven: the master lives in a
-//! [`WaitHub`], and a PE that receives [`Assignment::Wait`] parks on the
-//! hub's condvar instead of polling. Every master mutation (a task starting
-//! or finishing) notifies the hub, so an idle PE re-evaluates its request
-//! the moment the schedule can have changed — the idle→busy latency is a
-//! wakeup, not a poll interval.
+//! Since the endpoint extraction this module contains no scheduling loop of
+//! its own: each PE thread is a [`LocalEndpoint`] around its backend's
+//! compute closure, run by [`crate::pool::drive`] — the *same* function
+//! that serves a TCP slave connection in [`crate::net`]. Idle PEs long-poll
+//! inside the pool ([`crate::pool::PePool::next_assignment`]), so the
+//! idle→busy latency is a condvar wakeup, not a poll interval.
 //!
 //! One deliberate difference from the simulator: real replicas are not
 //! preempted — a replica that loses the race simply runs to completion and
 //! its result is discarded (cooperative cancellation would complicate the
 //! kernels for no behavioural gain at this scale).
 
-use std::sync::Mutex;
 use std::time::Instant;
 
-use crate::master::{Assignment, Master, MasterConfig};
-use crate::shared::WaitHub;
+use crate::master::{Master, MasterConfig};
+use crate::pool::{drive, BatchOwner, LocalEndpoint, PePool, TaskResult};
 use crate::stats::observed_gcups;
-use crate::task::TaskId;
-use crate::trace::{EventKind, RuntimeEvent};
+use crate::trace::RuntimeEvent;
 use swhybrid_align::scoring::Scoring;
 use swhybrid_device::exec::{merge_hits, ComputeBackend, QueryHit};
 use swhybrid_device::task::TaskSpec;
 use swhybrid_seq::sequence::EncodedSequence;
-use swhybrid_simd::search::Hit;
+use swhybrid_simd::engine::KernelStats;
 
 /// A real processing element: a name, a speed prior, and a backend.
 pub struct RealPe {
@@ -74,6 +72,9 @@ pub struct RuntimeOutcome {
     pub hits: Vec<QueryHit>,
     /// For each task, the name of the PE whose result was used.
     pub completed_by: Vec<String>,
+    /// Kernel-family counters merged across every completion (losing
+    /// replicas included — they are work the platform really did).
+    pub kernels: KernelStats,
     /// Structured event stream of the run (see [`crate::trace`]).
     pub events: Vec<RuntimeEvent>,
 }
@@ -103,98 +104,58 @@ pub fn run_real(
         .collect();
     let total_cells: u64 = specs.iter().map(|s| s.cells()).sum();
     let n_tasks = specs.len();
+    let top_n = config.top_n;
 
-    let mut master = Master::new(specs, config.master);
-    for pe in &pes {
-        master.register(pe.name.clone(), pe.static_gcups);
-    }
-    let hub = WaitHub::new(master);
-    type TaskHits = Option<(usize, Vec<Hit>)>;
-    let results: Mutex<Vec<TaskHits>> = Mutex::new(vec![None; n_tasks]);
-    let completed_by: Mutex<Vec<String>> = Mutex::new(vec![String::new(); n_tasks]);
+    let master = Master::new(specs, config.master);
+    let pool = PePool::new(master, BatchOwner::new(n_tasks), pes.len());
+    // Admit every PE before any thread runs, so the event stream opens
+    // with the complete registration block (the paper's barrier) and PE
+    // ids equal the caller's ordering.
+    let ids: Vec<_> = pes
+        .iter()
+        .map(|pe| pool.admit(&pe.name, pe.static_gcups, false))
+        .collect();
     let start = Instant::now();
 
     std::thread::scope(|scope| {
-        for (pe_id, pe) in pes.iter().enumerate() {
-            let hub = &hub;
-            let results = &results;
-            let completed_by = &completed_by;
-            scope.spawn(move || 'serve: loop {
-                // Hold the lock across request+wait so no wakeup can be
-                // missed between receiving Wait and parking.
-                let tasks: Vec<TaskId> = {
-                    let mut m = hub.lock();
-                    loop {
-                        let now = start.elapsed().as_secs_f64();
-                        match m.request(pe_id, now) {
-                            Assignment::Tasks(t) => break t,
-                            Assignment::Steal { task, .. } => break vec![task],
-                            Assignment::Replicate(t) => break vec![t],
-                            Assignment::Wait => m = hub.wait(m),
-                            Assignment::Done => break 'serve,
-                        }
-                    }
-                };
-                for task in tasks {
-                    // Skip batch entries that were stolen from this PE or
-                    // already finished by a replica elsewhere.
-                    {
-                        let m = hub.lock();
-                        let t = m.pool().get(task);
-                        let still_mine = t.executors.contains(&pe_id);
-                        if t.state == crate::task::TaskState::Finished || !still_mine {
-                            continue;
-                        }
-                    }
+        for (pe_id, pe) in ids.iter().copied().zip(&pes) {
+            let pool = &pool;
+            scope.spawn(move || {
+                let mut endpoint = LocalEndpoint::new(|task| {
                     let t_start = Instant::now();
-                    {
-                        let mut m = hub.lock();
-                        m.task_started(pe_id, task, start.elapsed().as_secs_f64());
+                    let search = pe.backend.compare(&queries[task], subjects, scoring, top_n);
+                    TaskResult {
+                        gcups: Some(observed_gcups(
+                            search.cells,
+                            t_start.elapsed().as_secs_f64(),
+                        )),
+                        hits: search.hits,
+                        cells: search.cells,
+                        kernels: Some(search.stats),
                     }
-                    hub.notify_all();
-                    let query = &queries[task];
-                    let search = pe.backend.compare(query, subjects, scoring, config.top_n);
-                    let gcups = observed_gcups(search.cells, t_start.elapsed().as_secs_f64());
-                    let was_first = {
-                        let mut m = hub.lock();
-                        let was_first =
-                            m.pool().get(task).state != crate::task::TaskState::Finished;
-                        let now = start.elapsed().as_secs_f64();
-                        m.task_finished(pe_id, task, now, Some(gcups));
-                        if was_first {
-                            m.record_event(
-                                now,
-                                EventKind::TaskKernels {
-                                    pe: pe_id,
-                                    task,
-                                    kernels: search.stats,
-                                },
-                            );
-                        }
-                        was_first
-                    };
-                    // A finish can complete the run or free a replication
-                    // candidate: wake every parked PE to re-request.
-                    hub.notify_all();
-                    if was_first {
-                        results.lock().expect("results poisoned")[task] = Some((task, search.hits));
-                        completed_by.lock().expect("names poisoned")[task] = pe.name.clone();
-                    }
-                }
+                });
+                drive(pool, pe_id, &mut endpoint);
             });
         }
     });
 
     let elapsed_seconds = start.elapsed().as_secs_f64();
-    let per_task = results.into_inner().expect("results poisoned");
-    let hits = merge_hits(per_task.into_iter().flatten());
+    let mut core = pool.into_inner();
+    let hits = merge_hits(
+        core.owner
+            .results
+            .into_iter()
+            .enumerate()
+            .filter_map(|(task, hits)| hits.map(|hits| (task, hits))),
+    );
     RuntimeOutcome {
         elapsed_seconds,
         total_cells,
         gcups: observed_gcups(total_cells, elapsed_seconds),
         hits,
-        completed_by: completed_by.into_inner().expect("names poisoned"),
-        events: hub.into_inner().take_events(),
+        completed_by: core.owner.completed_by,
+        kernels: core.owner.kernels,
+        events: core.master.take_events(),
     }
 }
 
@@ -259,6 +220,10 @@ mod tests {
         assert!(!out.hits.is_empty());
         assert!(out.total_cells > 0);
         assert!(out.gcups > 0.0);
+        // The kernel counters travelled through the pool: every computed
+        // cell is accounted for.
+        assert!(out.kernels.cells_computed > 0);
+        assert!(out.kernels.chunks_striped + out.kernels.chunks_interseq > 0);
     }
 
     #[test]

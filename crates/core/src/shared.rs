@@ -13,14 +13,82 @@
 //! [`WaitHub::notify_all`]. Waiters always re-check their predicate in a
 //! loop (both `wait` variants can wake spuriously, as condvars do).
 
+use std::ops::{Deref, DerefMut};
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::Duration;
+
+#[cfg(debug_assertions)]
+mod reentrancy {
+    //! Debug-only self-deadlock detector: a thread that calls
+    //! [`super::WaitHub::lock`] while already holding the same hub would
+    //! block on itself forever (std mutexes are not recursive). Catch it
+    //! with a panic and a backtrace instead.
+    use std::cell::RefCell;
+
+    thread_local! {
+        static HELD: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+    }
+
+    pub fn acquire(hub: usize) {
+        HELD.with(|h| {
+            let mut v = h.borrow_mut();
+            assert!(
+                !v.contains(&hub),
+                "re-entrant WaitHub::lock: this thread already holds hub {hub:#x} \
+                 (self-deadlock)"
+            );
+            v.push(hub);
+        });
+    }
+
+    pub fn release(hub: usize) {
+        HELD.with(|h| {
+            let mut v = h.borrow_mut();
+            if let Some(i) = v.iter().rposition(|&k| k == hub) {
+                v.remove(i);
+            }
+        });
+    }
+}
 
 /// A mutex-protected value plus a condition variable announcing changes.
 #[derive(Debug, Default)]
 pub struct WaitHub<T> {
     inner: Mutex<T>,
     cv: Condvar,
+}
+
+/// The lock guard handed out by [`WaitHub::lock`]; derefs to the protected
+/// value. In debug builds it also maintains the per-thread held-hub list
+/// backing the re-entrancy check.
+#[derive(Debug)]
+pub struct HubGuard<'a, T> {
+    inner: Option<MutexGuard<'a, T>>,
+    hub: usize,
+}
+
+impl<T> Deref for HubGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard taken")
+    }
+}
+
+impl<T> DerefMut for HubGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard taken")
+    }
+}
+
+impl<T> Drop for HubGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.is_some() {
+            #[cfg(debug_assertions)]
+            reentrancy::release(self.hub);
+            #[cfg(not(debug_assertions))]
+            let _ = self.hub;
+        }
+    }
 }
 
 impl<T> WaitHub<T> {
@@ -32,9 +100,19 @@ impl<T> WaitHub<T> {
         }
     }
 
-    /// Lock the protected value.
-    pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.inner.lock().expect("WaitHub lock poisoned")
+    fn wrap<'a>(&'a self, inner: MutexGuard<'a, T>) -> HubGuard<'a, T> {
+        HubGuard {
+            inner: Some(inner),
+            hub: self as *const WaitHub<T> as usize,
+        }
+    }
+
+    /// Lock the protected value. Panics in debug builds when the calling
+    /// thread already holds this hub (a guaranteed self-deadlock).
+    pub fn lock(&self) -> HubGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        reentrancy::acquire(self as *const WaitHub<T> as usize);
+        self.wrap(self.inner.lock().expect("WaitHub lock poisoned"))
     }
 
     /// Wake every thread blocked in [`WaitHub::wait`] /
@@ -46,21 +124,38 @@ impl<T> WaitHub<T> {
 
     /// Atomically release `guard` and sleep until notified. May wake
     /// spuriously; callers re-check their predicate.
-    pub fn wait<'a>(&'a self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
-        self.cv.wait(guard).expect("WaitHub lock poisoned")
+    pub fn wait<'a>(&'a self, mut guard: HubGuard<'a, T>) -> HubGuard<'a, T> {
+        // Taking `inner` disarms the guard's release: the thread keeps its
+        // held-hub entry across the park — conceptually it still owns the
+        // critical section when `wait` returns, and it cannot call `lock`
+        // while parked.
+        let inner = guard.inner.take().expect("guard taken");
+        drop(guard);
+        self.wrap_rewait(self.cv.wait(inner).expect("WaitHub lock poisoned"))
     }
 
     /// Like [`WaitHub::wait`] but with an upper bound on the sleep, for
     /// waiters that also watch a deadline.
     pub fn wait_timeout<'a>(
         &'a self,
-        guard: MutexGuard<'a, T>,
+        mut guard: HubGuard<'a, T>,
         timeout: Duration,
-    ) -> MutexGuard<'a, T> {
-        self.cv
-            .wait_timeout(guard, timeout)
-            .expect("WaitHub lock poisoned")
-            .0
+    ) -> HubGuard<'a, T> {
+        let inner = guard.inner.take().expect("guard taken");
+        drop(guard);
+        self.wrap_rewait(
+            self.cv
+                .wait_timeout(inner, timeout)
+                .expect("WaitHub lock poisoned")
+                .0,
+        )
+    }
+
+    /// Re-wrap a guard returned by a condvar wait without re-registering
+    /// the hub in the held list (the waiting thread never released its
+    /// logical ownership).
+    fn wrap_rewait<'a>(&'a self, inner: MutexGuard<'a, T>) -> HubGuard<'a, T> {
+        self.wrap(inner)
     }
 
     /// Consume the hub and return the protected value (once all sharers
@@ -104,6 +199,26 @@ mod tests {
             latency < Duration::from_millis(500),
             "wake latency {latency:?}"
         );
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "re-entrant WaitHub::lock")]
+    fn reentrant_lock_is_detected() {
+        let hub = WaitHub::new(0u32);
+        let _outer = hub.lock();
+        let _inner = hub.lock(); // would self-deadlock without the detector
+    }
+
+    #[test]
+    fn guard_release_survives_a_wait() {
+        // After a wait the thread still logically owns the hub: dropping
+        // the returned guard must release it so a later lock succeeds.
+        let hub = WaitHub::new(0u32);
+        let guard = hub.lock();
+        let guard = hub.wait_timeout(guard, Duration::from_millis(5));
+        drop(guard);
+        let _again = hub.lock();
     }
 
     #[test]

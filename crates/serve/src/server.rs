@@ -61,6 +61,18 @@ impl ServeDaemon {
         self.listener.local_addr()
     }
 
+    /// Additionally accept remote TCP slaves on `addr` (the
+    /// `--listen-slaves` mode): remote processes join the same scheduling
+    /// pool as the local PE workers and serve shard scans until they
+    /// disconnect or the daemon shuts down. Returns the bound address.
+    pub fn listen_slaves(
+        &self,
+        addr: impl ToSocketAddrs,
+        net: swhybrid_core::net::NetConfig,
+    ) -> io::Result<SocketAddr> {
+        self.service.listen_slaves(addr, net)
+    }
+
     /// Serve until a client sends `shutdown`, then drain every in-flight
     /// query and return.
     pub fn run(self) -> io::Result<()> {

@@ -5,9 +5,15 @@
 //!
 //! * a [`Master`] in keep-alive mode — the same SS/PSS scheduler and
 //!   workload-adjustment state machine the batch runtimes use, never
-//!   restarted between queries,
-//! * long-lived PE worker threads parked on a [`WaitHub`] (the event-driven
-//!   request loop of `swhybrid_core::runtime`, minus the thread scope),
+//!   restarted between queries — wrapped in a
+//!   [`PePool`](swhybrid_core::pool::PePool),
+//! * long-lived PE worker threads, each a
+//!   [`LocalEndpoint`](swhybrid_core::pool::LocalEndpoint) run by the
+//!   shared [`drive`](swhybrid_core::pool::drive) loop,
+//! * optionally, via [`QueryService::listen_slaves`], remote TCP slaves
+//!   that join and leave mid-daemon-lifetime — served by the *same* drive
+//!   loop through [`serve_connection`](swhybrid_core::net::serve_connection),
+//!   so a fleet can mix local SIMD threads and remote processes freely,
 //! * the admission queue, result cache, and metrics.
 //!
 //! Every admitted query is split into contiguous, residue-balanced
@@ -15,7 +21,11 @@
 //! the whole platform (and the adjustment mechanism can replicate a
 //! straggling shard near the tail). Per-shard top-N lists are rebased to
 //! global database indices and merged with [`merge_top_n`], which makes the
-//! served ranking bit-identical to a cold single-process scan.
+//! served ranking bit-identical to a cold single-process scan. Remote
+//! slaves receive shards as self-describing payloads (query bytes + shard
+//! bounds) and must prove at registration — by database digest — that they
+//! hold the exact database the daemon serves; a [`QueryService::swap_db`]
+//! disconnects every remote slave, because their copy is now stale.
 //!
 //! Replies are delivered through per-job completion callbacks, so the
 //! executor never blocks on a slow client: the TCP layer hands in a
@@ -23,29 +33,37 @@
 //! sender.
 
 use std::collections::HashMap;
+use std::io;
+use std::net::{TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{Arc, MutexGuard};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use swhybrid_align::scoring::{GapModel, Scoring};
-use swhybrid_core::master::{Assignment, Master, MasterConfig};
-use swhybrid_core::net::kernels_to_json;
+use swhybrid_core::master::{Master, MasterConfig};
+use swhybrid_core::net::{kernels_to_json, serve_connection, NetConfig};
 use swhybrid_core::policy::Policy;
-use swhybrid_core::shared::WaitHub;
+use swhybrid_core::pool::{
+    drive, Deferred, LocalEndpoint, PePool, PoolOwner, TaskPayload, TaskResult,
+};
 use swhybrid_core::stats::observed_gcups;
-use swhybrid_core::task::{PeId, TaskId, TaskState};
+use swhybrid_core::task::{PeId, TaskId};
 use swhybrid_core::trace::RuntimeEvent;
 use swhybrid_device::task::TaskSpec;
 use swhybrid_json::Json;
 use swhybrid_seq::digest::{db_digest, query_digest, Fnv1a};
 use swhybrid_seq::sequence::EncodedSequence;
 use swhybrid_seq::DbArena;
-use swhybrid_simd::engine::{EnginePreference, KernelStats, PreparedQuery};
+use swhybrid_simd::engine::{EnginePreference, PreparedQuery};
 use swhybrid_simd::search::{merge_top_n, search_arena, Hit, KernelChoice, SearchConfig};
 
 use crate::admission::{AdmissionQueue, AdmitError};
 use crate::cache::{CacheKey, ResultCache};
 use crate::metrics::Metrics;
+
+/// Slave-listener accept re-check interval.
+const ACCEPT_QUANTUM: Duration = Duration::from_millis(10);
 
 /// How a reply leaves the service: invoked exactly once per submitted
 /// query, off the executor's lock.
@@ -107,7 +125,9 @@ pub struct SearchReply {
     pub cached: bool,
     /// Whether the job was cancelled (then `hits` is empty).
     pub cancelled: bool,
-    /// Kernel cells actually computed for this reply.
+    /// Kernel cells actually computed for this reply. Counts only cells
+    /// the daemon's own workers scanned — shards completed by remote
+    /// slaves burned their cells elsewhere.
     pub cells: u64,
     /// Admission-to-reply latency.
     pub elapsed_ms: f64,
@@ -169,6 +189,8 @@ enum Phase {
 struct Job {
     client: u64,
     tag: Option<String>,
+    /// The raw encoded query, shipped to remote slaves as the task payload.
+    codes: Vec<u8>,
     /// Shared query profiles; `None` only for cache-served jobs.
     prepared: Option<Arc<PreparedQuery>>,
     /// The database snapshot this job scans (survives a concurrent
@@ -177,6 +199,9 @@ struct Job {
     /// Flat arena over the same snapshot, in database order, so shard scan
     /// positions are global database indices.
     arena: Arc<DbArena>,
+    /// The database generation the job was admitted under. Remote slaves
+    /// only ever see current-generation payloads (a swap disconnects them).
+    generation: u64,
     top_n: usize,
     key: CacheKey,
     submitted_at: f64,
@@ -187,10 +212,11 @@ struct Job {
     completion: Option<Completion>,
 }
 
-/// Everything behind the service's single lock. Kernels never run under
-/// it — workers snapshot `Arc`s and release before scanning.
-struct Exec {
-    master: Master,
+/// The pool owner: everything the service keeps under the pool's lock
+/// besides the master itself. Kernels never run under it — workers
+/// snapshot `Arc`s and release before scanning.
+struct ServeOwner {
+    cfg: ServiceConfig,
     jobs: Vec<Job>,
     task_map: HashMap<TaskId, (usize, usize)>,
     queue: AdmissionQueue,
@@ -205,18 +231,71 @@ struct Exec {
     draining: bool,
 }
 
+impl PoolOwner for ServeOwner {
+    fn on_finished(
+        &mut self,
+        master: &mut Master,
+        _pe: PeId,
+        task: TaskId,
+        result: TaskResult,
+        was_first: bool,
+        now: f64,
+    ) -> Option<Deferred> {
+        // Every shard scan counts, winner or not: the counters report
+        // kernel work the platform actually performed (remote slaves
+        // report theirs over the wire).
+        if let Some(k) = &result.kernels {
+            self.metrics.kernels.merge(k);
+        }
+        if !was_first {
+            return None;
+        }
+        let &(job_idx, shard_idx) = self.task_map.get(&task)?;
+        let done = record_shard(
+            self,
+            master,
+            now,
+            job_idx,
+            shard_idx,
+            result.hits,
+            result.cells,
+        );
+        done.map(|(completion, reply)| -> Deferred {
+            Box::new(move || {
+                if let Some(cb) = completion {
+                    cb(reply);
+                }
+            })
+        })
+    }
+
+    fn task_payload(&self, _master: &Master, task: TaskId) -> Option<TaskPayload> {
+        let &(job_idx, shard_idx) = self.task_map.get(&task)?;
+        let job = self.jobs.get(job_idx)?;
+        // A remote slave holds the *current* database; never ship it a
+        // shard of an older snapshot (possible only transiently, since a
+        // swap disconnects remotes — but a task can already be in flight).
+        if job.cancelled || job.generation != self.db_generation {
+            return None;
+        }
+        let &(s, e) = job.shards.get(shard_idx)?;
+        Some(TaskPayload {
+            query: job.codes.clone(),
+            shard: (s, e),
+            top_n: job.top_n,
+        })
+    }
+
+    fn db_digest(&self) -> Option<u64> {
+        Some(self.db_digest)
+    }
+}
+
 struct Inner {
-    hub: WaitHub<Exec>,
+    pool: PePool<ServeOwner>,
     cfg: ServiceConfig,
     scoring: Scoring,
     scoring_digest: u64,
-    epoch: Instant,
-}
-
-impl Inner {
-    fn now(&self) -> f64 {
-        self.epoch.elapsed().as_secs_f64()
-    }
 }
 
 /// Stable digest of a scoring scheme (matrix identity + gap model), the
@@ -269,6 +348,9 @@ fn shard_ranges(db: &[EncodedSequence], shards: usize) -> Vec<(usize, usize)> {
 pub struct QueryService {
     inner: Arc<Inner>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    /// Tells slave-listener threads to stop accepting.
+    stop_listeners: Arc<AtomicBool>,
+    listeners: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl QueryService {
@@ -303,45 +385,105 @@ impl QueryService {
         master.set_event_sink(move |e| {
             let _ = events_tx.send(e.clone());
         });
-        for w in 0..cfg.workers {
-            master.register(format!("serve{w}"), 1.0);
-        }
 
         let db = Arc::new(db);
         let db_arena = Arc::new(DbArena::from_encoded(&db));
         let digest = db_digest(&db);
+        let owner = ServeOwner {
+            cfg: cfg.clone(),
+            jobs: Vec::new(),
+            task_map: HashMap::new(),
+            queue: AdmissionQueue::new(cfg.queue_depth, cfg.per_client_inflight),
+            cache: ResultCache::new(cfg.cache_capacity),
+            metrics: Metrics::default(),
+            events_rx,
+            db,
+            db_arena,
+            db_generation: 0,
+            db_digest: digest,
+            active_jobs: 0,
+            draining: false,
+        };
+        let pool = PePool::new(master, owner, cfg.workers);
         let inner = Arc::new(Inner {
-            hub: WaitHub::new(Exec {
-                master,
-                jobs: Vec::new(),
-                task_map: HashMap::new(),
-                queue: AdmissionQueue::new(cfg.queue_depth, cfg.per_client_inflight),
-                cache: ResultCache::new(cfg.cache_capacity),
-                metrics: Metrics::default(),
-                events_rx,
-                db,
-                db_arena,
-                db_generation: 0,
-                db_digest: digest,
-                active_jobs: 0,
-                draining: false,
-            }),
+            pool,
             scoring_digest: scoring_digest(&scoring),
             scoring,
             cfg,
-            epoch: Instant::now(),
         });
-
-        let workers = (0..inner.cfg.workers)
+        // Admit the local workers up front (the registration block), then
+        // spawn their drive threads.
+        let ids: Vec<PeId> = (0..inner.cfg.workers)
+            .map(|w| inner.pool.admit(&format!("serve{w}"), 1.0, false))
+            .collect();
+        let workers = ids
+            .into_iter()
             .map(|pe| {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
                     .name(format!("swhybrid-serve-pe{pe}"))
-                    .spawn(move || worker_loop(&inner, pe))
+                    .spawn(move || {
+                        let mut endpoint = LocalEndpoint::new(|task| execute_task(&inner, task));
+                        drive(&inner.pool, pe, &mut endpoint);
+                    })
                     .expect("spawn PE worker")
             })
             .collect();
-        QueryService { inner, workers }
+        QueryService {
+            inner,
+            workers,
+            stop_listeners: Arc::new(AtomicBool::new(false)),
+            listeners: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Accept remote TCP slaves on `addr` for the lifetime of the daemon:
+    /// the hybrid-fleet mode of `swhybrid serve --listen-slaves`.
+    ///
+    /// Each accepted connection is a full protocol session
+    /// ([`serve_connection`]) feeding the same pool as the local worker
+    /// threads: slaves join mid-lifetime (`pe_joins`), receive
+    /// self-describing shard payloads, and may disconnect at any time —
+    /// their in-flight shards requeue to the remaining fleet. A slave must
+    /// register with the digest of the daemon's current database
+    /// ([`swhybrid_core::net::run_serve_slave`] does); anything else is
+    /// refused at the handshake. Returns the bound address. Fails with
+    /// [`io::ErrorKind::InvalidInput`] when `net` is inconsistent.
+    pub fn listen_slaves(
+        &self,
+        addr: impl ToSocketAddrs,
+        net: NetConfig,
+    ) -> io::Result<std::net::SocketAddr> {
+        net.validate()?;
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let inner = Arc::clone(&self.inner);
+        let stop = Arc::clone(&self.stop_listeners);
+        let handle = std::thread::Builder::new()
+            .name("swhybrid-serve-slaves".to_string())
+            .spawn(move || loop {
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let inner = Arc::clone(&inner);
+                        let net = net.clone();
+                        std::thread::spawn(move || serve_connection(stream, &inner.pool, &net));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_QUANTUM);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => return,
+                }
+            })?;
+        self.listeners
+            .lock()
+            .expect("listener registry")
+            .push(handle);
+        Ok(local)
     }
 
     /// The scoring scheme queries are evaluated under.
@@ -373,34 +515,39 @@ impl QueryService {
         completion: Completion,
     ) -> Result<u64, SubmitError> {
         let inner = &self.inner;
+        let pool = &inner.pool;
         let top_n = top_n.max(1);
         let qdigest = query_digest(&codes);
 
         // Fast path: serve from cache without building profiles.
         {
-            let mut g = inner.hub.lock();
-            if g.draining {
-                g.metrics.rejected_draining += 1;
+            let mut g = pool.lock();
+            let o = &mut g.owner;
+            if o.draining {
+                o.metrics.rejected_draining += 1;
                 return Err(SubmitError::Draining);
             }
             let key = CacheKey {
                 query_digest: qdigest,
-                db_generation: g.db_generation,
-                db_digest: g.db_digest,
+                db_generation: o.db_generation,
+                db_digest: o.db_digest,
                 scoring_digest: inner.scoring_digest,
                 top_n,
             };
-            if let Some(hits) = g.cache.get(&key) {
-                let now = inner.now();
-                let job_id = g.jobs.len() as u64;
-                let db = Arc::clone(&g.db);
-                let arena = Arc::clone(&g.db_arena);
-                g.jobs.push(Job {
+            if let Some(hits) = o.cache.get(&key) {
+                let now = pool.now();
+                let job_id = o.jobs.len() as u64;
+                let db = Arc::clone(&o.db);
+                let arena = Arc::clone(&o.db_arena);
+                let generation = o.db_generation;
+                o.jobs.push(Job {
                     client,
                     tag: tag.clone(),
+                    codes,
                     prepared: None,
                     db,
                     arena,
+                    generation,
                     top_n,
                     key,
                     submitted_at: now,
@@ -410,10 +557,10 @@ impl QueryService {
                     cached: true,
                     completion: None,
                 });
-                g.metrics.completed += 1;
-                g.metrics.served_from_cache += 1;
-                let elapsed_ms = (inner.now() - now) * 1000.0;
-                g.metrics.latency.observe(elapsed_ms);
+                o.metrics.completed += 1;
+                o.metrics.served_from_cache += 1;
+                let elapsed_ms = (pool.now() - now) * 1000.0;
+                o.metrics.latency.observe(elapsed_ms);
                 drop(g);
                 completion(SearchReply {
                     job: job_id,
@@ -434,39 +581,44 @@ impl QueryService {
             &inner.scoring,
             inner.cfg.preference,
         ));
-        let mut g = inner.hub.lock();
-        if g.draining {
-            g.metrics.rejected_draining += 1;
+        let mut g = pool.lock();
+        let core = &mut *g;
+        let o = &mut core.owner;
+        if o.draining {
+            o.metrics.rejected_draining += 1;
             return Err(SubmitError::Draining);
         }
-        let now = inner.now();
-        let job_id = g.jobs.len() as u64;
+        let now = pool.now();
+        let job_id = o.jobs.len() as u64;
         let deadline = deadline_ms
             .map(|ms| now + ms as f64 / 1000.0)
             .unwrap_or(f64::INFINITY);
-        if let Err(e) = g.queue.admit(job_id, client, deadline) {
+        if let Err(e) = o.queue.admit(job_id, client, deadline) {
             match &e {
-                AdmitError::QueueFull { .. } => g.metrics.rejected_queue_full += 1,
-                AdmitError::ClientLimit { .. } => g.metrics.rejected_client_limit += 1,
-                AdmitError::Draining => g.metrics.rejected_draining += 1,
+                AdmitError::QueueFull { .. } => o.metrics.rejected_queue_full += 1,
+                AdmitError::ClientLimit { .. } => o.metrics.rejected_client_limit += 1,
+                AdmitError::Draining => o.metrics.rejected_draining += 1,
             }
             return Err(e);
         }
         let key = CacheKey {
             query_digest: qdigest,
-            db_generation: g.db_generation,
-            db_digest: g.db_digest,
+            db_generation: o.db_generation,
+            db_digest: o.db_digest,
             scoring_digest: inner.scoring_digest,
             top_n,
         };
-        let db = Arc::clone(&g.db);
-        let arena = Arc::clone(&g.db_arena);
-        g.jobs.push(Job {
+        let db = Arc::clone(&o.db);
+        let arena = Arc::clone(&o.db_arena);
+        let generation = o.db_generation;
+        o.jobs.push(Job {
             client,
             tag,
+            codes,
             prepared: Some(prepared),
             db,
             arena,
+            generation,
             top_n,
             key,
             submitted_at: now,
@@ -476,10 +628,10 @@ impl QueryService {
             cached: false,
             completion: Some(completion),
         });
-        g.metrics.admitted += 1;
-        pump(&mut g, inner);
+        o.metrics.admitted += 1;
+        pump(&mut core.master, o);
         drop(g);
-        inner.hub.notify_all();
+        pool.notify_all();
         Ok(job_id)
     }
 
@@ -506,13 +658,14 @@ impl QueryService {
 
     /// Where a job currently is.
     pub fn status(&self, job: u64) -> JobStatus {
-        let g = self.inner.hub.lock();
-        let Some(j) = g.jobs.get(job as usize) else {
+        let g = self.inner.pool.lock();
+        let o = &g.owner;
+        let Some(j) = o.jobs.get(job as usize) else {
             return JobStatus::Unknown;
         };
         match &j.phase {
             Phase::Queued => JobStatus::Queued {
-                position: g.queue.position(job).unwrap_or(0),
+                position: o.queue.position(job).unwrap_or(0),
             },
             Phase::Running {
                 pending,
@@ -534,10 +687,11 @@ impl QueryService {
     /// discarded and never cached. Either way the submitter's completion
     /// fires promptly with `cancelled: true`.
     pub fn cancel(&self, job: u64) -> CancelOutcome {
-        let inner = &self.inner;
-        let mut g = inner.hub.lock();
-        let now = inner.now();
-        let Some(j) = g.jobs.get_mut(job as usize) else {
+        let pool = &self.inner.pool;
+        let mut g = pool.lock();
+        let now = pool.now();
+        let o = &mut g.owner;
+        let Some(j) = o.jobs.get_mut(job as usize) else {
             return CancelOutcome::Unknown;
         };
         if j.cancelled || matches!(j.phase, Phase::Done) {
@@ -553,10 +707,10 @@ impl QueryService {
         let elapsed_ms = (now - j.submitted_at) * 1000.0;
         let completion = j.completion.take();
         if was_queued {
-            g.queue.remove(job);
-            g.queue.release(client);
+            o.queue.remove(job);
+            o.queue.release(client);
         }
-        g.metrics.cancelled += 1;
+        o.metrics.cancelled += 1;
         drop(g);
         if let Some(cb) = completion {
             cb(SearchReply {
@@ -576,37 +730,35 @@ impl QueryService {
     /// pending runtime events into the per-PE series first.
     pub fn stats(&self) -> Json {
         let inner = &self.inner;
-        let mut g = inner.hub.lock();
-        let Exec {
-            events_rx, metrics, ..
-        } = &mut *g;
-        while let Ok(e) = events_rx.try_recv() {
-            metrics.apply_event(&e);
+        let mut g = inner.pool.lock();
+        let o = &mut g.owner;
+        while let Ok(e) = o.events_rx.try_recv() {
+            o.metrics.apply_event(&e);
         }
-        let m = &g.metrics;
-        let cs = g.cache.stats();
-        let db_residues: u64 = g.db.iter().map(|s| s.len() as u64).sum();
+        let m = &o.metrics;
+        let cs = o.cache.stats();
+        let db_residues: u64 = o.db.iter().map(|s| s.len() as u64).sum();
         Json::obj(vec![
             ("ok", Json::Bool(true)),
             ("type", Json::str("stats")),
-            ("uptime_s", Json::Num(inner.now())),
-            ("draining", Json::Bool(g.draining)),
+            ("uptime_s", Json::Num(inner.pool.now())),
+            ("draining", Json::Bool(o.draining)),
             (
                 "queue",
                 Json::obj(vec![
-                    ("depth", Json::Num(g.queue.depth() as f64)),
-                    ("limit", Json::Num(g.queue.depth_limit() as f64)),
-                    ("max_depth", Json::Num(g.queue.max_depth as f64)),
+                    ("depth", Json::Num(o.queue.depth() as f64)),
+                    ("limit", Json::Num(o.queue.depth_limit() as f64)),
+                    ("max_depth", Json::Num(o.queue.max_depth as f64)),
                     (
                         "per_client_limit",
-                        Json::Num(g.queue.per_client_limit() as f64),
+                        Json::Num(o.queue.per_client_limit() as f64),
                     ),
                 ]),
             ),
             (
                 "jobs",
                 Json::obj(vec![
-                    ("active", Json::Num(g.active_jobs as f64)),
+                    ("active", Json::Num(o.active_jobs as f64)),
                     ("admitted", Json::Num(m.admitted as f64)),
                     ("completed", Json::Num(m.completed as f64)),
                     ("cancelled", Json::Num(m.cancelled as f64)),
@@ -629,8 +781,8 @@ impl QueryService {
                     ("hit_rate", Json::Num(cs.hit_rate())),
                     ("insertions", Json::Num(cs.insertions as f64)),
                     ("evictions", Json::Num(cs.evictions as f64)),
-                    ("size", Json::Num(g.cache.len() as f64)),
-                    ("capacity", Json::Num(g.cache.capacity() as f64)),
+                    ("size", Json::Num(o.cache.len() as f64)),
+                    ("capacity", Json::Num(o.cache.capacity() as f64)),
                     ("served_from_cache", Json::Num(m.served_from_cache as f64)),
                 ]),
             ),
@@ -658,10 +810,10 @@ impl QueryService {
             (
                 "db",
                 Json::obj(vec![
-                    ("sequences", Json::Num(g.db.len() as f64)),
+                    ("sequences", Json::Num(o.db.len() as f64)),
                     ("residues", Json::Num(db_residues as f64)),
-                    ("generation", Json::Num(g.db_generation as f64)),
-                    ("digest", Json::str(format!("{:016x}", g.db_digest))),
+                    ("generation", Json::Num(o.db_generation as f64)),
+                    ("digest", Json::str(format!("{:016x}", o.db_digest))),
                 ]),
             ),
         ])
@@ -670,36 +822,69 @@ impl QueryService {
     /// Replace the database (a reload). Running jobs keep scanning their
     /// snapshot (`Arc`-shared); new submissions see the new content and a
     /// bumped generation, so every cached result of the old database is
-    /// unreachable.
+    /// unreachable. Remote slaves are disconnected — their database copy
+    /// is now stale — and their in-flight shards requeue to the local
+    /// workers; a slave holding the new database can immediately rejoin.
     pub fn swap_db(&self, subjects: Vec<EncodedSequence>) {
         let arena = Arc::new(DbArena::from_encoded(&subjects));
-        let mut g = self.inner.hub.lock();
-        g.db = Arc::new(subjects);
-        g.db_arena = arena;
-        g.db_digest = db_digest(&g.db);
-        g.db_generation += 1;
+        let remote = {
+            let mut g = self.inner.pool.lock();
+            let o = &mut g.owner;
+            o.db = Arc::new(subjects);
+            o.db_arena = arena;
+            o.db_digest = db_digest(&o.db);
+            o.db_generation += 1;
+            g.remote_members()
+        };
+        for pe in remote {
+            self.inner.pool.disconnect(pe, false);
+        }
     }
 
     /// Stop admitting new queries; queued and running ones still complete.
     pub fn begin_drain(&self) {
-        self.inner.hub.lock().draining = true;
-        self.inner.hub.notify_all();
+        self.inner.pool.lock().owner.draining = true;
+        self.inner.pool.notify_all();
     }
 
     /// Graceful shutdown: reject new admissions, wait for every queued and
-    /// running job to deliver its reply, then stop the workers and join
-    /// them.
+    /// running job to deliver its reply, then stop the workers (and any
+    /// slave listeners) and join them.
     pub fn shutdown(mut self) {
         self.begin_drain();
         loop {
-            let mut g = self.inner.hub.lock();
-            if g.active_jobs == 0 && g.queue.depth() == 0 {
+            let mut g = self.inner.pool.lock();
+            if g.owner.active_jobs == 0 && g.owner.queue.depth() == 0 {
                 g.master.set_keep_alive(false);
                 break;
             }
-            let _g = self.inner.hub.wait_timeout(g, Duration::from_millis(50));
+            let _g = self.inner.pool.wait_timeout(g, Duration::from_millis(50));
         }
-        self.inner.hub.notify_all();
+        self.inner.pool.notify_all();
+        self.stop_everything();
+    }
+
+    /// Stop listeners, disconnect remote slaves, join workers.
+    fn stop_everything(&mut self) {
+        self.stop_listeners.store(true, Ordering::Relaxed);
+        let listeners: Vec<_> = self
+            .listeners
+            .lock()
+            .expect("listener registry")
+            .drain(..)
+            .collect();
+        for h in listeners {
+            h.join().expect("slave listener panicked");
+        }
+        // Remote sessions see `Done` on their next request; disconnect the
+        // rest proactively so their reader threads exit within a quantum.
+        // The member list must be snapshotted BEFORE the loop: a `for` over
+        // `pool.lock().remote_members()` keeps the guard alive for the whole
+        // loop body, and `disconnect` locks the pool again — self-deadlock.
+        let remote = self.inner.pool.lock().remote_members();
+        for pe in remote {
+            self.inner.pool.disconnect(pe, false);
+        }
         for h in self.workers.drain(..) {
             h.join().expect("PE worker panicked");
         }
@@ -712,30 +897,28 @@ impl Drop for QueryService {
             return; // shutdown() already joined
         }
         {
-            let mut g = self.inner.hub.lock();
-            g.draining = true;
+            let mut g = self.inner.pool.lock();
+            g.owner.draining = true;
             g.master.set_keep_alive(false);
         }
-        self.inner.hub.notify_all();
-        for h in self.workers.drain(..) {
-            h.join().expect("PE worker panicked");
-        }
+        self.inner.pool.notify_all();
+        self.stop_everything();
     }
 }
 
 /// Admit queued jobs into the task pool up to the active-job bound.
-fn pump(g: &mut Exec, inner: &Inner) {
-    while g.active_jobs < inner.cfg.max_active {
-        let Some(job_id) = g.queue.pop_next() else {
+fn pump(master: &mut Master, o: &mut ServeOwner) {
+    while o.active_jobs < o.cfg.max_active {
+        let Some(job_id) = o.queue.pop_next() else {
             break;
         };
         let idx = job_id as usize;
-        if g.jobs[idx].cancelled {
+        if o.jobs[idx].cancelled {
             continue;
         }
         let (shards, specs) = {
-            let job = &g.jobs[idx];
-            let shards = shard_ranges(&job.db, inner.cfg.shards);
+            let job = &o.jobs[idx];
+            let shards = shard_ranges(&job.db, o.cfg.shards);
             let qlen = job
                 .prepared
                 .as_ref()
@@ -752,143 +935,100 @@ fn pump(g: &mut Exec, inner: &Inner) {
                 .collect();
             (shards, specs)
         };
-        let tasks = g.master.submit_tasks(specs);
+        let tasks = master.submit_tasks(specs);
         for (shard_idx, &t) in tasks.iter().enumerate() {
-            g.task_map.insert(t, (idx, shard_idx));
+            o.task_map.insert(t, (idx, shard_idx));
         }
         let n = shards.len();
-        let job = &mut g.jobs[idx];
+        let job = &mut o.jobs[idx];
         job.shards = shards;
         job.phase = Phase::Running {
             pending: n,
             shard_hits: vec![None; n],
             cells: 0,
         };
-        g.active_jobs += 1;
+        o.active_jobs += 1;
     }
 }
 
-/// The PE worker: the event-driven request loop of the batch runtimes,
-/// running until keep-alive is cleared and the pool drains.
-fn worker_loop(inner: &Inner, pe: PeId) {
-    let hub = &inner.hub;
-    let mut g = hub.lock();
-    'serve: loop {
-        let now = inner.now();
-        match g.master.request(pe, now) {
-            Assignment::Done => break 'serve,
-            // Timeout is a lost-wakeup safety net, not the schedule driver.
-            Assignment::Wait => g = hub.wait_timeout(g, Duration::from_millis(100)),
-            Assignment::Tasks(tasks) => {
-                for task in tasks {
-                    g = execute(inner, g, pe, task);
-                }
-            }
-            Assignment::Steal { task, .. } => g = execute(inner, g, pe, task),
-            Assignment::Replicate(task) => g = execute(inner, g, pe, task),
-        }
-    }
-}
-
-/// Execute one shard task: scan off the lock, fold the result in under it.
-fn execute<'a>(
-    inner: &'a Inner,
-    mut g: MutexGuard<'a, Exec>,
-    pe: PeId,
-    task: TaskId,
-) -> MutexGuard<'a, Exec> {
-    {
-        // Skip batch entries stolen away or already finished by a replica.
-        let t = g.master.pool().get(task);
-        if t.state == TaskState::Finished || !t.executors.contains(&pe) {
-            return g;
-        }
-    }
-    let Some(&(job_idx, shard_idx)) = g.task_map.get(&task) else {
-        return g;
-    };
-    g.master.task_started(pe, task, inner.now());
-    let job = &g.jobs[job_idx];
-    let skip_scan = job.cancelled;
-    let prepared = job.prepared.clone();
-    let top_n = job.top_n;
-    let (s, e) = job.shards[shard_idx];
-    let db = Arc::clone(&job.db);
-    let arena = Arc::clone(&job.arena);
-    drop(g);
-    inner.hub.notify_all();
-
-    let t0 = Instant::now();
-    let (hits, cells, kernels) = if skip_scan {
-        (Vec::new(), 0, KernelStats::default())
-    } else {
-        let cfg = SearchConfig {
-            threads: 1,
-            top_n,
-            chunk_size: inner.cfg.chunk_size,
-            preference: inner.cfg.preference,
-            kernel: inner.cfg.kernel,
-            sort_by_length: false,
+/// Execute one shard task on a local worker: snapshot the job under the
+/// lock, scan off it. The pool (via [`LocalEndpoint`] and
+/// [`ServeOwner::on_finished`]) handles started/finished bookkeeping.
+fn execute_task(inner: &Inner, task: TaskId) -> TaskResult {
+    let (prepared, top_n, range, db, arena, skip_scan) = {
+        let g = inner.pool.lock();
+        let o = &g.owner;
+        let Some(&(job_idx, shard_idx)) = o.task_map.get(&task) else {
+            // Unknown task (should not happen): report a skip, not a scan.
+            return TaskResult::default();
         };
-        let out = search_arena(
-            prepared.as_ref().expect("running jobs carry profiles"),
-            &arena,
-            s..e,
-            &cfg,
-        );
-        // The arena is in database order, so shard scan positions already
-        // are global database indices and the cross-shard merge tie-breaks
-        // identically to a whole-db scan. Identifiers are cloned here for
-        // the shard's top-N only.
-        let hits = out
-            .scored
-            .iter()
-            .map(|sc| Hit {
-                db_index: sc.db_index,
-                id: db[sc.db_index].id.clone(),
-                score: sc.score,
-                subject_len: sc.subject_len,
-            })
-            .collect();
-        (hits, out.cells, out.stats)
+        let job = &o.jobs[job_idx];
+        (
+            job.prepared.clone(),
+            job.top_n,
+            job.shards[shard_idx],
+            Arc::clone(&job.db),
+            Arc::clone(&job.arena),
+            job.cancelled,
+        )
     };
-    let secs = t0.elapsed().as_secs_f64();
-
-    let mut g = inner.hub.lock();
-    let was_first = g.master.pool().get(task).state != TaskState::Finished;
-    let gcups = (!skip_scan).then(|| observed_gcups(cells, secs));
-    g.master.task_finished(pe, task, inner.now(), gcups);
-    // Every shard scan counts, winner or not: the counters report kernel
-    // work the service actually performed.
-    g.metrics.kernels.merge(&kernels);
-    let done = if was_first {
-        record_shard(&mut g, inner, job_idx, shard_idx, hits, cells)
-    } else {
-        None
-    };
-    drop(g);
-    // A finish can complete the run, free a replication candidate, or
-    // (via pump) schedule the next queued job: wake everyone.
-    inner.hub.notify_all();
-    if let Some((Some(cb), reply)) = done {
-        cb(reply);
+    if skip_scan {
+        // Cancelled mid-run: complete the task without burning kernels and
+        // without a speed report (a 0.0 would poison the PSS window).
+        return TaskResult::default();
     }
-    inner.hub.lock()
+    let (s, e) = range;
+    let t0 = Instant::now();
+    let cfg = SearchConfig {
+        threads: 1,
+        top_n,
+        chunk_size: inner.cfg.chunk_size,
+        preference: inner.cfg.preference,
+        kernel: inner.cfg.kernel,
+        sort_by_length: false,
+    };
+    let out = search_arena(
+        prepared.as_ref().expect("running jobs carry profiles"),
+        &arena,
+        s..e,
+        &cfg,
+    );
+    // The arena is in database order, so shard scan positions already
+    // are global database indices and the cross-shard merge tie-breaks
+    // identically to a whole-db scan. Identifiers are cloned here for
+    // the shard's top-N only.
+    let hits = out
+        .scored
+        .iter()
+        .map(|sc| Hit {
+            db_index: sc.db_index,
+            id: db[sc.db_index].id.clone(),
+            score: sc.score,
+            subject_len: sc.subject_len,
+        })
+        .collect();
+    TaskResult {
+        gcups: Some(observed_gcups(out.cells, t0.elapsed().as_secs_f64())),
+        hits,
+        cells: out.cells,
+        kernels: Some(out.stats),
+    }
 }
 
 /// Fold a winning shard result into its job; on the last shard, finalize:
 /// merge, cache, meter, release the admission slot, pump the queue.
 /// Returns the completion to invoke off the lock.
 fn record_shard(
-    g: &mut Exec,
-    inner: &Inner,
+    o: &mut ServeOwner,
+    master: &mut Master,
+    now: f64,
     job_idx: usize,
     shard_idx: usize,
     hits: Vec<Hit>,
     cells: u64,
 ) -> Option<(Option<Completion>, SearchReply)> {
     {
-        let job = &mut g.jobs[job_idx];
+        let job = &mut o.jobs[job_idx];
         let Phase::Running {
             pending,
             shard_hits,
@@ -908,7 +1048,7 @@ fn record_shard(
         }
     }
     // Last shard in: finalize.
-    let job = &mut g.jobs[job_idx];
+    let job = &mut o.jobs[job_idx];
     let Phase::Running {
         shard_hits,
         cells: total_cells,
@@ -923,7 +1063,7 @@ fn record_shard(
             .map(|h| h.expect("all shards recorded")),
         job.top_n,
     );
-    let elapsed_ms = (inner.now() - job.submitted_at) * 1000.0;
+    let elapsed_ms = (now - job.submitted_at) * 1000.0;
     let cancelled = job.cancelled;
     let completion = job.completion.take();
     let client = job.client;
@@ -942,13 +1082,13 @@ fn record_shard(
         },
     };
     if !cancelled {
-        g.cache.insert(key, merged);
-        g.metrics.completed += 1;
-        g.metrics.latency.observe(elapsed_ms);
+        o.cache.insert(key, merged);
+        o.metrics.completed += 1;
+        o.metrics.latency.observe(elapsed_ms);
     }
-    g.active_jobs -= 1;
-    g.queue.release(client);
-    pump(g, inner);
+    o.active_jobs -= 1;
+    o.queue.release(client);
+    pump(master, o);
     Some((completion, reply))
 }
 

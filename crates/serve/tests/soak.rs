@@ -3,18 +3,21 @@
 //! every backpressure rejection and cancellation must be a well-formed
 //! protocol reply — never a hang or a dropped connection.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+use std::time::Duration;
 
 use rand::{RngExt, SeedableRng};
 use swhybrid_align::scoring::{GapModel, Scoring, SubstMatrix};
+use swhybrid_core::net::{run_serve_slave, NetConfig, PROTOCOL_VERSION};
 use swhybrid_json::Json;
+use swhybrid_seq::digest::db_digest;
 use swhybrid_seq::sequence::EncodedSequence;
 use swhybrid_seq::Alphabet;
 use swhybrid_serve::protocol::{request_to_json, Request, SearchRequest};
 use swhybrid_serve::service::ServiceConfig;
 use swhybrid_serve::{ServeClient, ServeDaemon};
-use swhybrid_simd::search::{DatabaseSearch, Hit, SearchConfig};
+use swhybrid_simd::search::{DatabaseSearch, Hit, KernelChoice, SearchConfig};
 
 fn scoring() -> Scoring {
     Scoring {
@@ -298,6 +301,218 @@ fn backpressure_and_cancellation_replies_are_well_formed() {
 
     client.shutdown().unwrap();
     daemon.join().unwrap().unwrap();
+}
+
+/// A hand-rolled wire slave that registers, asks for work, and hangs up
+/// the moment it is handed a task — a process crash mid-query, as seen
+/// from the daemon.
+struct DoomedSlave {
+    stream: TcpStream,
+    writer: TcpStream,
+    pending: Vec<u8>,
+}
+
+impl DoomedSlave {
+    fn register(addr: std::net::SocketAddr, digest: u64) -> DoomedSlave {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_millis(100)))
+            .unwrap();
+        let writer = stream.try_clone().unwrap();
+        let mut slave = DoomedSlave {
+            stream,
+            writer,
+            pending: Vec::new(),
+        };
+        writeln!(
+            &mut slave.writer,
+            "{{\"type\":\"register\",\"name\":\"doomed\",\"gcups\":1.0,\
+             \"proto\":{PROTOCOL_VERSION},\"db_digest\":\"{digest:016x}\"}}"
+        )
+        .unwrap();
+        let line = slave.read_line().expect("handshake reply");
+        assert!(
+            line.contains("\"registered\""),
+            "daemon refused the slave: {line}"
+        );
+        writeln!(&mut slave.writer, "{{\"type\":\"request\"}}").unwrap();
+        slave
+    }
+
+    /// Next protocol line; heartbeats are sent while waiting so the
+    /// daemon's liveness deadline never fires prematurely.
+    fn read_line(&mut self) -> Option<String> {
+        loop {
+            if let Some(pos) = self.pending.iter().position(|&b| b == b'\n') {
+                let rest = self.pending.split_off(pos + 1);
+                let mut line = std::mem::replace(&mut self.pending, rest);
+                line.pop();
+                return Some(String::from_utf8(line).unwrap());
+            }
+            let mut chunk = [0u8; 1024];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return None,
+                Ok(n) => self.pending.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock
+                            | std::io::ErrorKind::TimedOut
+                            | std::io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    writeln!(&mut self.writer, "{{\"type\":\"heartbeat\"}}").ok();
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+
+    /// Block until the daemon assigns a task, then die without a word.
+    fn die_on_first_assignment(mut self) {
+        while let Some(line) = self.read_line() {
+            if line.contains("\"execute\"") || line.contains("\"tasks\"") {
+                return; // drop both socket halves: a crash mid-assignment
+            }
+        }
+    }
+}
+
+#[test]
+fn hybrid_fleet_survives_a_remote_slave_dying_mid_query() {
+    const TOP_N: usize = 10;
+    let db = random_db(113, 60, 110);
+    let queries: Vec<String> = (0..4)
+        .map(|i| random_query_ascii(500 + i, 200 + 40 * i as usize))
+        .collect();
+    let expected: Vec<Vec<Hit>> = queries.iter().map(|q| cold_hits(q, &db, TOP_N)).collect();
+
+    // Two local workers plus a slave listener; caching off so every query
+    // really exercises the fleet, and enough shards per query that remote
+    // slaves always have work to claim.
+    let daemon = ServeDaemon::bind(
+        ("127.0.0.1", 0),
+        db.clone(),
+        scoring(),
+        ServiceConfig {
+            workers: 2,
+            shards: 6,
+            cache_capacity: 0,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = daemon.local_addr().unwrap();
+    let slave_addr = daemon
+        .listen_slaves(("127.0.0.1", 0), NetConfig::default())
+        .unwrap();
+    let daemon = std::thread::spawn(move || daemon.run());
+
+    // A real serve-mode slave: full protocol, heartbeats, shard scans over
+    // its own copy of the database. No reconnect budget — when the daemon
+    // shuts down, the slave exits instead of retrying.
+    let slave_db = db.clone();
+    let slave = std::thread::spawn(move || {
+        let net = NetConfig {
+            reconnect_max_retries: 0,
+            ..NetConfig::default()
+        };
+        run_serve_slave(
+            slave_addr,
+            "remote-a",
+            1.0,
+            &slave_db,
+            &scoring(),
+            KernelChoice::Auto,
+            &net,
+        )
+    });
+
+    let pe_count = |stats: &Json| {
+        stats
+            .get("pes")
+            .and_then(Json::as_array)
+            .map(|p| p.len())
+            .unwrap_or(0)
+    };
+    let mut client = ServeClient::connect(addr).unwrap();
+    for _ in 0..200 {
+        if pe_count(&client.stats().unwrap()) >= 3 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(
+        pe_count(&client.stats().unwrap()) >= 3,
+        "remote-a never joined the pool"
+    );
+
+    // A second remote that will crash the moment it is handed a shard.
+    let doomed = DoomedSlave::register(slave_addr, db_digest(&db));
+    for _ in 0..200 {
+        if pe_count(&client.stats().unwrap()) >= 4 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(
+        pe_count(&client.stats().unwrap()) >= 4,
+        "doomed slave never joined the pool"
+    );
+
+    // First query: the doomed slave takes a shard and dies mid-run; its
+    // shard must requeue to the survivors and the merged hit table must
+    // still be byte-identical to the cold scan.
+    let ack = client
+        .request(&Request::Search(SearchRequest {
+            query: queries[0].clone(),
+            top_n: TOP_N,
+            deadline_ms: None,
+            tag: None,
+            ack: true,
+        }))
+        .unwrap();
+    assert_eq!(ack.get("type").and_then(Json::as_str), Some("ack"));
+    doomed.die_on_first_assignment();
+    let result = client.recv().unwrap();
+    assert_eq!(result.get("type").and_then(Json::as_str), Some("result"));
+    assert_eq!(result.get("cancelled").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        ServeClient::hits(&result).unwrap(),
+        expected[0],
+        "query 0: hybrid fleet result differs from cold scan after slave death"
+    );
+
+    // The fleet keeps serving: local threads + the surviving remote.
+    for (i, q) in queries.iter().enumerate().skip(1) {
+        let reply = client.search(q, TOP_N).unwrap();
+        assert_eq!(
+            ServeClient::hits(&reply).unwrap(),
+            expected[i],
+            "query {i}: hybrid fleet result differs from cold scan"
+        );
+    }
+
+    // The surviving remote really worked: its PE row reports completions.
+    let stats = client.stats().unwrap();
+    let pes = stats.get("pes").and_then(Json::as_array).unwrap();
+    assert!(pes.len() >= 4, "stats must list locals and both remotes");
+    let remote_finished = pes
+        .iter()
+        .filter(|p| p.get("name").and_then(Json::as_str) == Some("remote-a"))
+        .map(|p| p.get("tasks_finished").and_then(Json::as_u64).unwrap())
+        .sum::<u64>();
+    assert!(
+        remote_finished > 0,
+        "remote-a never completed a shard across {} queries",
+        queries.len()
+    );
+
+    client.shutdown().unwrap();
+    daemon.join().unwrap().unwrap();
+    // The slave exits once the daemon is gone (cleanly via `done`, or with
+    // an exhausted reconnect budget if the teardown race dropped it).
+    let _ = slave.join().unwrap();
 }
 
 #[test]

@@ -68,9 +68,10 @@ USAGE:
       event per line, written as the run progresses).
 
   swhybrid serve <db.fasta> --listen HOST:PORT [--workers N] [--shards N]
-                 [--max-active N] [--queue-depth N] [--client-inflight N]
-                 [--cache N] [--policy ss|pss] [--no-adjustment]
-                 [--matrix ...] [--gap-open N] [--gap-extend N]
+                 [--listen-slaves HOST:PORT] [--max-active N]
+                 [--queue-depth N] [--client-inflight N] [--cache N]
+                 [--policy ss|pss] [--no-adjustment] [--matrix ...]
+                 [--gap-open N] [--gap-extend N]
                  [--kernel striped|interseq|auto]
       Start the persistent query daemon: the database stays resident and
       the master/slave scheduler stays warm between queries. Speaks
@@ -78,6 +79,10 @@ USAGE:
       shutdown) with bounded admission, per-client in-flight limits, an
       LRU result cache, and live metrics. Runs until a client sends
       shutdown, then drains in-flight queries and exits.
+      --listen-slaves additionally accepts remote slave processes
+      (`swhybrid slave --serve`) on a second port: they join the same
+      scheduling pool as the local workers, take database shards, and may
+      connect or disconnect at any time while the daemon keeps serving.
 
   swhybrid query [query.fasta] --connect HOST:PORT [--top N]
                  [--deadline-ms N] [--stats] [--shutdown]
@@ -93,6 +98,16 @@ USAGE:
       sequence files (the paper's shared-files model). The slave heartbeats
       every --heartbeat seconds and reconnects with exponential backoff up
       to --reconnect-retries times if the connection drops.
+
+  swhybrid slave --serve <db.fasta> --connect HOST:PORT
+                 [--name NAME] [--gcups X] [--matrix ...] [--gap-open N]
+                 [--gap-extend N] [--kernel striped|interseq|auto]
+                 [--heartbeat SECS] [--reconnect-retries N]
+      Join a daemon's slave port (`swhybrid serve --listen-slaves`) as a
+      serve-mode slave: no query file — the daemon ships each query and
+      shard over the wire. The slave proves at registration (by database
+      digest) that it loaded exactly the database the daemon serves, and
+      scans shards until the daemon shuts down.
 
   swhybrid help
       Show this message.
@@ -738,6 +753,38 @@ fn cmd_master(args: &[String]) -> Result<(), String> {
         outcome.elapsed_seconds,
         outcome.gcups
     );
+    // Kernel accounting mirrors `swhybrid search`: the same counters, here
+    // aggregated over the wire from every slave's reports.
+    let k = &outcome.kernels;
+    if k.total() > 0 {
+        println!(
+            "kernel (all slaves): {} striped / {} inter-sequence chunks, \
+             subjects i8/i16/scalar striped {}+{}+{} interseq {}+{}+{}",
+            k.chunks_striped,
+            k.chunks_interseq,
+            k.resolved_i8,
+            k.resolved_i16,
+            k.resolved_scalar,
+            k.interseq_i8,
+            k.interseq_i16,
+            k.interseq_scalar,
+        );
+        for (name, k) in &outcome.kernels_by_pe {
+            println!(
+                "  {name}: {} cells, {} striped / {} inter-sequence chunks, \
+                 subjects i8/i16/scalar striped {}+{}+{} interseq {}+{}+{}",
+                k.cells_computed,
+                k.chunks_striped,
+                k.chunks_interseq,
+                k.resolved_i8,
+                k.resolved_i16,
+                k.resolved_scalar,
+                k.interseq_i8,
+                k.interseq_i16,
+                k.interseq_scalar,
+            );
+        }
+    }
     println!("\nmerged hits (top {}):", opts.get_parsed("top", 10usize)?);
     for (rank, qh) in outcome
         .hits
@@ -758,7 +805,7 @@ fn cmd_master(args: &[String]) -> Result<(), String> {
 
 fn cmd_slave(args: &[String]) -> Result<(), String> {
     use swhybrid::device::exec::StripedBackend;
-    use swhybrid::exec::net::{run_slave_with, NetConfig};
+    use swhybrid::exec::net::{run_serve_slave, run_slave_with, NetConfig};
 
     let opts = Opts::parse(
         args,
@@ -770,26 +817,18 @@ fn cmd_slave(args: &[String]) -> Result<(), String> {
             "heartbeat",
             "reconnect-retries",
             "kernel",
+            "matrix",
+            "gap-open",
+            "gap-extend",
         ],
-        &[],
+        &["serve"],
     )?;
-    let [qpath, dbpath] = opts.positional.as_slice() else {
-        return Err("slave takes <query.fasta> <db.fasta>".into());
-    };
     let connect = opts
         .get("connect")
         .ok_or_else(|| "--connect HOST:PORT is required".to_string())?;
     let name = opts.get("name").unwrap_or("slave").to_string();
     let gcups: f64 = opts.get_parsed("gcups", 1.0)?;
-    let queries = load_encoded(qpath)?;
-    let subjects = load_encoded(dbpath)?;
-    let scoring = Scoring {
-        matrix: SubstMatrix::blosum62(),
-        gap: GapModel::Affine {
-            open: 10,
-            extend: 2,
-        },
-    };
+    let scoring = scoring_from_opts(&opts)?;
     let mut net = NetConfig::default();
     if let Some(secs) = opts.get("heartbeat") {
         let secs: f64 = secs
@@ -801,6 +840,34 @@ fn cmd_slave(args: &[String]) -> Result<(), String> {
         net.heartbeat_interval = std::time::Duration::from_secs_f64(secs);
     }
     net.reconnect_max_retries = opts.get_parsed("reconnect-retries", net.reconnect_max_retries)?;
+
+    if opts.has("serve") {
+        // Serve-mode: only the database is loaded locally; queries and
+        // shard bounds arrive over the wire from the daemon.
+        let [dbpath] = opts.positional.as_slice() else {
+            return Err("slave --serve takes <db.fasta>".into());
+        };
+        let subjects = load_encoded(dbpath)?;
+        println!("{name}: connecting to daemon at {connect} (serve mode)");
+        let executed = run_serve_slave(
+            connect,
+            &name,
+            gcups,
+            &subjects,
+            &scoring,
+            kernel_from_opts(&opts)?,
+            &net,
+        )
+        .map_err(|e| e.to_string())?;
+        println!("{name}: done, executed {executed} shard(s)");
+        return Ok(());
+    }
+
+    let [qpath, dbpath] = opts.positional.as_slice() else {
+        return Err("slave takes <query.fasta> <db.fasta>".into());
+    };
+    let queries = load_encoded(qpath)?;
+    let subjects = load_encoded(dbpath)?;
     println!("{name}: connecting to {connect}");
     let backend = StripedBackend {
         kernel: kernel_from_opts(&opts)?,
@@ -829,6 +896,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         args,
         &[
             "listen",
+            "listen-slaves",
             "workers",
             "shards",
             "max-active",
@@ -884,6 +952,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         "serving {dbpath} ({residues} residues) on {} with {workers} worker(s)",
         daemon.local_addr().map_err(|e| e.to_string())?
     );
+    if let Some(slave_addr) = opts.get("listen-slaves") {
+        let bound = daemon
+            .listen_slaves(slave_addr, swhybrid::exec::net::NetConfig::default())
+            .map_err(|e| format!("bind slave port {slave_addr}: {e}"))?;
+        println!("accepting remote slaves on {bound} (swhybrid slave --serve {dbpath} --connect {bound})");
+    }
     daemon.run().map_err(|e| e.to_string())
 }
 
@@ -1201,6 +1275,110 @@ mod tests {
         ]))
         .unwrap();
         daemon.join().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_hybrid_fleet_with_remote_slave_round_trip() {
+        // `serve --listen-slaves` + `slave --serve`: a daemon scheduling a
+        // mixed fleet (local worker threads + one remote TCP slave) must
+        // answer queries and shut down cleanly, with the remote exiting too.
+        let dir = std::env::temp_dir().join(format!("swhybrid_cli_hybrid_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let db = dir.join("db.fasta");
+        run(&s(&["generate", "dog", "0.0005", db.to_str().unwrap()])).unwrap();
+        let first = FastaReader::open(&db)
+            .unwrap()
+            .next_record()
+            .unwrap()
+            .unwrap();
+        let q = dir.join("q.fasta");
+        std::fs::write(&q, swhybrid::seq::fasta::to_string(std::iter::once(&first))).unwrap();
+
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap().to_string();
+        let probe2 = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let slave_addr = probe2.local_addr().unwrap().to_string();
+        drop((probe, probe2));
+
+        let db2 = db.clone();
+        let addr2 = addr.clone();
+        let slave_addr2 = slave_addr.clone();
+        let daemon = std::thread::spawn(move || {
+            run(&s(&[
+                "serve",
+                db2.to_str().unwrap(),
+                "--listen",
+                &addr2,
+                "--listen-slaves",
+                &slave_addr2,
+                "--workers",
+                "2",
+                "--shards",
+                "4",
+                "--cache",
+                "0",
+            ]))
+            .unwrap();
+        });
+        let db3 = db.clone();
+        let slave = std::thread::spawn(move || {
+            // Wait until the daemon's slave port accepts, then join. The
+            // session ends either cleanly (`done` at drain) or with a
+            // connection loss if daemon teardown wins the race — both are
+            // valid exits for this smoke test.
+            let mut up = false;
+            for _ in 0..300 {
+                if std::net::TcpStream::connect(&slave_addr).is_ok() {
+                    up = true;
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            assert!(up, "daemon slave port never opened");
+            let _ = run(&s(&[
+                "slave",
+                "--serve",
+                db3.to_str().unwrap(),
+                "--connect",
+                &slave_addr,
+                "--name",
+                "cli-remote",
+                "--reconnect-retries",
+                "0",
+            ]));
+        });
+        let mut connected = false;
+        for _ in 0..300 {
+            if run(&s(&[
+                "query",
+                q.to_str().unwrap(),
+                "--connect",
+                &addr,
+                "--top",
+                "3",
+            ]))
+            .is_ok()
+            {
+                connected = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        assert!(connected, "query CLI never reached the hybrid daemon");
+        run(&s(&[
+            "query",
+            q.to_str().unwrap(),
+            "--connect",
+            &addr,
+            "--top",
+            "3",
+            "--stats",
+            "--shutdown",
+        ]))
+        .unwrap();
+        daemon.join().unwrap();
+        slave.join().unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 
