@@ -188,6 +188,7 @@ pub fn fig5_workload() -> Vec<TaskSpec> {
         .map(|id| TaskSpec {
             id,
             query_len: 1000,
+            queries: 1,
             db_residues: 6_000_000,
             db_sequences: 1_000,
         })

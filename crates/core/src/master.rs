@@ -101,6 +101,13 @@ struct PeInfo {
     name: String,
     stats: PeSpeedStats,
     alive: bool,
+    /// Joined after the registration barrier ([`Master::pe_joins`]). Until
+    /// its first real measurement lands, such a PE sits in the Ω window
+    /// with only its static prior — a bad prior there skews `min_alive`
+    /// and through it every *other* PE's Φ, so [`Master::batch_for`]
+    /// clamps the whole fleet to the SS grain while any alive late joiner
+    /// is still unobserved.
+    late_join: bool,
     /// Start times of tasks currently running on this PE (tasks assigned
     /// but not yet started are not in this map).
     running: HashMap<TaskId, f64>,
@@ -233,6 +240,7 @@ impl Master {
             name,
             stats: PeSpeedStats::new(static_gcups, self.config.policy.omega()),
             alive: true,
+            late_join: false,
             running: HashMap::new(),
         });
         id
@@ -393,6 +401,20 @@ impl Master {
         if !self.pes[pe].stats.has_observations() {
             return 1;
         }
+        // A reconnecting or late-joining PE re-enters the Ω window with
+        // only its static prior. Until its first real measurement lands,
+        // that prior is the `min_alive` candidate every other PE's Φ is
+        // divided by — a mis-stated prior would briefly hand the whole
+        // fleet mis-calibrated batches. Clamp everyone to the SS grain for
+        // that interval; the cold-start case (initial registrations) keeps
+        // the paper's behaviour, where priors are what Φ is *for*.
+        if self
+            .pes
+            .iter()
+            .any(|p| p.alive && p.late_join && !p.stats.has_observations())
+        {
+            return 1;
+        }
         let speeds = self.speed_estimates();
         let alive: Vec<bool> = self.pes.iter().map(|p| p.alive).collect();
         self.config.policy.batch_size(pe, &speeds, &alive)
@@ -529,6 +551,7 @@ impl Master {
             name,
             stats: PeSpeedStats::new(static_gcups, self.config.policy.omega()),
             alive: true,
+            late_join: true,
             running: HashMap::new(),
         });
         if let Some(quotas) = &mut self.quotas {
@@ -547,6 +570,7 @@ mod tests {
             .map(|id| TaskSpec {
                 id,
                 query_len: 1000,
+                queries: 1,
                 db_residues: 1_000_000_000,
                 db_sequences: 10_000,
             })
@@ -592,6 +616,62 @@ mod tests {
         m.notify_progress(sse, 2.0, 40.0); // the "SSE" is actually fast
         match m.request(sse, 2.0) {
             Assignment::Tasks(t) => assert_eq!(t.len(), 1), // 40/30 rounds to 1
+            other => panic!("{other:?}"),
+        }
+    }
+
+    /// Regression: a PE that joins (or reconnects) mid-run re-enters the
+    /// Ω window with only its static prior. That prior is a `min_alive`
+    /// candidate, so before the clamp a wildly wrong one would hand every
+    /// *other* PE a mis-calibrated Φ batch until the joiner's first real
+    /// measurement landed. The fleet must instead drop to the SS grain
+    /// for exactly that interval.
+    #[test]
+    fn late_join_clamps_fleet_to_ss_until_first_measurement() {
+        let mut m = master(40, Policy::pss_default(), true);
+        let gpu = m.register("gpu0", 30.0);
+        let sse = m.register("sse0", 3.0);
+        assert_eq!(m.request(gpu, 0.0), Assignment::Tasks(vec![0]));
+        assert_eq!(m.request(sse, 0.0), Assignment::Tasks(vec![1]));
+        m.task_finished(gpu, 0, 1.0, Some(30.0));
+        m.task_finished(sse, 1, 1.0, Some(3.0));
+        // Calibrated fleet: Φ = round(30/3) = 10 for the GPU.
+        let batch = match m.request(gpu, 1.0) {
+            Assignment::Tasks(t) => {
+                assert_eq!(t.len(), 10);
+                t
+            }
+            other => panic!("{other:?}"),
+        };
+        for t in batch {
+            m.task_finished(gpu, t, 1.5, Some(30.0));
+        }
+        // A PE joins mid-run with a wildly wrong (tiny) static prior.
+        // Unclamped, min_alive = 0.05 and the GPU's next Φ would be
+        // round(30/0.05) = 600 — the whole fleet must clamp to SS instead.
+        let joiner = m.pe_joins("joiner", 0.05, 2.0);
+        match m.request(gpu, 2.0) {
+            Assignment::Tasks(t) => assert_eq!(
+                t.len(),
+                1,
+                "fleet must hold the SS grain while the joiner is unobserved"
+            ),
+            other => panic!("{other:?}"),
+        }
+        // The joiner itself starts on the first-allocation rule.
+        let t_joiner = match m.request(joiner, 2.0) {
+            Assignment::Tasks(t) => {
+                assert_eq!(t.len(), 1);
+                t[0]
+            }
+            other => panic!("{other:?}"),
+        };
+        // Its first real measurement replaces the prior in the Ω window
+        // and lifts the clamp: Φ resumes against measured speeds only
+        // (min_alive is the SSE's observed 3.0, not the joiner's prior).
+        m.task_finished(joiner, t_joiner, 3.0, Some(5.0));
+        match m.request(gpu, 3.0) {
+            Assignment::Tasks(t) => assert_eq!(t.len(), 10),
             other => panic!("{other:?}"),
         }
     }

@@ -16,7 +16,7 @@
 //! (the one-shot batch [`MasterServer`]), `slave` (the slave process,
 //! batch and serve modes).
 //!
-//! ## Wire protocol (v2)
+//! ## Wire protocol (v3)
 //!
 //! Newline-delimited JSON, one message per line (chosen over a binary
 //! format so a session is inspectable with `nc`; at one message per
@@ -32,24 +32,25 @@
 //!
 //! | message | shape |
 //! |---|---|
-//! | register | `{"type":"register","name":"host-a","gcups":2.5,"proto":2}` (+ optional `"db_digest":"<16 hex>"` in serve mode) |
+//! | register | `{"type":"register","name":"host-a","gcups":2.5,"proto":3}` (+ optional `"db_digest":"<16 hex>"` in serve mode) |
 //! | request | `{"type":"request"}` |
 //! | started | `{"type":"started","task":3}` |
-//! | finished | `{"type":"finished","task":3,"gcups":2.4,"hits":[…]}` |
+//! | finished | `{"type":"finished","task":3,"gcups":2.4,"hits":[…]}` (+ optional per-query `"fused":[…]` for fused tasks) |
 //! | heartbeat | `{"type":"heartbeat"}` |
 //!
 //! Master → slave:
 //!
 //! | message | shape |
 //! |---|---|
-//! | registered | `{"type":"registered","pe_id":1,"proto":2}` |
+//! | registered | `{"type":"registered","pe_id":1,"proto":3}` |
 //! | tasks | `{"type":"tasks","tasks":[4,5]}` (+ optional `"descs":[…]` in serve mode) |
 //! | execute | `{"type":"execute","task":2}` (a steal or a replica; + optional `"desc":…`) |
 //! | done | `{"type":"done"}` |
 //! | error | `{"type":"error","message":"…"}` |
 //!
 //! A hit is `{"db_index":0,"id":"seq1","score":42,"subject_len":99}`; a
-//! task desc is `{"query":[…],"shard":[s,e],"top_n":10}`. Both halves of
+//! task desc is `{"queries":[{"query":[…],"top_n":10},…],"shard":[s,e]}`
+//! — a *fused query batch*, length 1 for the paper's grain. Both halves of
 //! the handshake carry [`PROTOCOL_VERSION`]; a mismatched pair fails with
 //! a clear error at registration instead of a parse failure mid-run.
 //!
@@ -97,7 +98,8 @@ pub use server::MasterServer;
 pub use session::serve_connection;
 pub use slave::{run_serve_slave, run_slave, run_slave_with};
 pub use wire::{
-    kernels_from_json, kernels_to_json, MasterMsg, SlaveMsg, TaskDesc, WireHit, PROTOCOL_VERSION,
+    kernels_from_json, kernels_to_json, FusedResultDesc, MasterMsg, QueryDesc, SlaveMsg, TaskDesc,
+    WireHit, PROTOCOL_VERSION,
 };
 
 /// Timing and fault-tolerance knobs of the TCP runtime. The defaults are
@@ -244,6 +246,7 @@ mod tests {
             .map(|(id, q)| TaskSpec {
                 id,
                 query_len: q.len(),
+                queries: 1,
                 db_residues,
                 db_sequences: subjects.len(),
             })
@@ -282,6 +285,7 @@ mod tests {
                     cells_computed: 12_345,
                     ..Default::default()
                 }),
+                fused: None,
             },
             SlaveMsg::Heartbeat,
         ];
@@ -307,9 +311,17 @@ mod tests {
             MasterMsg::Tasks {
                 tasks: vec![7],
                 descs: Some(vec![TaskDesc {
-                    query: vec![0, 3, 19, 2],
+                    queries: vec![
+                        wire::QueryDesc {
+                            query: vec![0, 3, 19, 2],
+                            top_n: 10,
+                        },
+                        wire::QueryDesc {
+                            query: vec![5, 7],
+                            top_n: 3,
+                        },
+                    ],
                     shard: (128, 256),
-                    top_n: 10,
                 }]),
             },
             MasterMsg::Execute {
@@ -347,6 +359,7 @@ mod tests {
                 gcups,
                 hits,
                 kernels,
+                fused,
             } => {
                 assert_eq!(task, 3);
                 assert!((gcups - 2.5).abs() < 1e-12);
@@ -362,17 +375,22 @@ mod tests {
                 let k = kernels.expect("kernels field must round-trip");
                 assert_eq!(k.interseq_i8, 40);
                 assert_eq!(k.cells_computed, 12_345);
+                assert!(fused.is_none());
             }
             other => panic!("wrong decode: {other:?}"),
         }
-        // Self-describing tasks round-trip query bytes and shard bounds.
+        // Self-describing tasks round-trip the fused query batch and shard
+        // bounds, preserving batch order.
         match decode::<MasterMsg>(&master_msgs[2].to_json().to_string()).unwrap() {
             MasterMsg::Tasks { tasks, descs } => {
                 assert_eq!(tasks, vec![7]);
                 let descs = descs.expect("descs must round-trip");
-                assert_eq!(descs[0].query, vec![0, 3, 19, 2]);
+                assert_eq!(descs[0].queries.len(), 2);
+                assert_eq!(descs[0].queries[0].query, vec![0, 3, 19, 2]);
+                assert_eq!(descs[0].queries[0].top_n, 10);
+                assert_eq!(descs[0].queries[1].query, vec![5, 7]);
+                assert_eq!(descs[0].queries[1].top_n, 3);
                 assert_eq!(descs[0].shard, (128, 256));
-                assert_eq!(descs[0].top_n, 10);
             }
             other => panic!("wrong decode: {other:?}"),
         }
@@ -703,6 +721,7 @@ mod tests {
                 gcups: 1000.0,
                 hits: result.hits.into_iter().map(WireHit::from_hit).collect(),
                 kernels: Some(result.stats),
+                fused: None,
             },
         )
         .unwrap();

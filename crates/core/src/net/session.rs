@@ -15,11 +15,13 @@ use std::sync::mpsc;
 use std::time::Instant;
 
 use super::wire::{
-    decode, invalid, liveness_quantum, send, LineReader, MasterMsg, ReadOutcome, SlaveMsg,
-    TaskDesc, WireHit, PROTOCOL_VERSION,
+    decode, invalid, liveness_quantum, send, LineReader, MasterMsg, QueryDesc, ReadOutcome,
+    SlaveMsg, TaskDesc, WireHit, PROTOCOL_VERSION,
 };
 use super::NetConfig;
-use crate::pool::{drive, PeCommand, PeEndpoint, PeEvent, PePool, PoolOwner, TaskResult};
+use crate::pool::{
+    drive, FusedQueryResult, PeCommand, PeEndpoint, PeEvent, PePool, PoolOwner, TaskResult,
+};
 use crate::task::PeId;
 
 /// Serve one slave connection against `pool` until the slave retires,
@@ -191,6 +193,7 @@ fn reader_loop<S: PoolOwner>(
                         gcups,
                         hits,
                         kernels,
+                        fused,
                     } => PeEvent::Finished {
                         task,
                         result: TaskResult {
@@ -198,6 +201,16 @@ fn reader_loop<S: PoolOwner>(
                             hits: hits.into_iter().map(WireHit::into_hit).collect(),
                             cells: kernels.map(|k| k.cells_computed).unwrap_or(0),
                             kernels,
+                            fused: fused.map(|per_query| {
+                                per_query
+                                    .into_iter()
+                                    .map(|f| FusedQueryResult {
+                                        cells: f.kernels.map(|k| k.cells_computed).unwrap_or(0),
+                                        hits: f.hits.into_iter().map(WireHit::into_hit).collect(),
+                                        kernels: f.kernels,
+                                    })
+                                    .collect()
+                            }),
                         },
                     },
                     SlaveMsg::Register { .. } => {
@@ -253,9 +266,15 @@ impl RemoteEndpoint {
                 g.owner
                     .task_payload(&g.master, t)
                     .map(|p| TaskDesc {
-                        query: p.query,
+                        queries: p
+                            .queries
+                            .into_iter()
+                            .map(|q| QueryDesc {
+                                query: q.query,
+                                top_n: q.top_n,
+                            })
+                            .collect(),
                         shard: p.shard,
-                        top_n: p.top_n,
                     })
                     .ok_or_else(|| invalid(format!("task {t} has no shippable payload")))
             })

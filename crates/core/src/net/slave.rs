@@ -18,7 +18,9 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use super::wire::{invalid, recv, send, MasterMsg, SlaveMsg, TaskDesc, WireHit, PROTOCOL_VERSION};
+use super::wire::{
+    invalid, recv, send, FusedResultDesc, MasterMsg, SlaveMsg, TaskDesc, WireHit, PROTOCOL_VERSION,
+};
 use super::NetConfig;
 use crate::shared::WaitHub;
 use crate::stats::observed_gcups;
@@ -28,8 +30,8 @@ use swhybrid_device::exec::ComputeBackend;
 use swhybrid_seq::digest::db_digest;
 use swhybrid_seq::sequence::EncodedSequence;
 use swhybrid_seq::DbArena;
-use swhybrid_simd::engine::{EnginePreference, PreparedQuery};
-use swhybrid_simd::search::{search_arena, Hit, KernelChoice, SearchConfig};
+use swhybrid_simd::engine::{EnginePreference, KernelStats, PreparedQuery};
+use swhybrid_simd::search::{search_arena_multi, Hit, KernelChoice, SearchConfig};
 
 /// How a slave session over one connection ended.
 enum SessionEnd {
@@ -86,6 +88,7 @@ impl TaskExecutor for BatchExecutor<'_> {
             gcups,
             hits: result.hits.into_iter().map(WireHit::from_hit).collect(),
             kernels: Some(result.stats),
+            fused: None,
         })
     }
 }
@@ -116,43 +119,68 @@ impl TaskExecutor for ShardExecutor<'_> {
                 self.subjects.len()
             )));
         }
-        let prepared = self.prepared.entry(desc.query.clone()).or_insert_with(|| {
-            Arc::new(PreparedQuery::new(
-                &desc.query,
-                self.scoring,
-                EnginePreference::Auto,
-            ))
-        });
+        // One pass over the shard scores the whole fused batch (K = 1 for
+        // an unfused daemon). Profiles are memoised per distinct query.
+        let batch: Vec<(Arc<PreparedQuery>, usize)> = desc
+            .queries
+            .iter()
+            .map(|q| {
+                let prepared = self.prepared.entry(q.query.clone()).or_insert_with(|| {
+                    Arc::new(PreparedQuery::new(
+                        &q.query,
+                        self.scoring,
+                        EnginePreference::Auto,
+                    ))
+                });
+                (Arc::clone(prepared), q.top_n)
+            })
+            .collect();
         let cfg = SearchConfig {
             threads: 1,
-            top_n: desc.top_n,
-            chunk_size: 16,
+            top_n: batch.iter().map(|(_, n)| *n).max().unwrap_or(0),
+            // The default chunk size; anything below twice the
+            // inter-sequence lane width silently degrades every Auto
+            // dispatch to the striped kernel.
+            chunk_size: SearchConfig::default().chunk_size,
             preference: EnginePreference::Auto,
             kernel: self.kernel,
             sort_by_length: false,
         };
         let t0 = Instant::now();
-        let out = search_arena(prepared, &self.arena, s..e, &cfg);
-        let gcups = observed_gcups(out.cells, t0.elapsed().as_secs_f64());
+        let outputs = search_arena_multi(&batch, &self.arena, s..e, &cfg);
+        let elapsed = t0.elapsed().as_secs_f64();
+        let total_cells: u64 = outputs.iter().map(|o| o.cells).sum();
+        let gcups = observed_gcups(total_cells, elapsed);
+        let mut merged = KernelStats::default();
         // Hits carry global database indices, so the master's cross-shard
         // merge tie-breaks identically to a whole-db scan.
-        let hits = out
-            .scored
-            .iter()
-            .map(|sc| {
-                WireHit::from_hit(Hit {
-                    db_index: sc.db_index,
-                    id: self.subjects[sc.db_index].id.clone(),
-                    score: sc.score,
-                    subject_len: sc.subject_len,
-                })
+        let fused: Vec<FusedResultDesc> = outputs
+            .into_iter()
+            .map(|out| {
+                merged.merge(&out.stats);
+                FusedResultDesc {
+                    hits: out
+                        .scored
+                        .iter()
+                        .map(|sc| {
+                            WireHit::from_hit(Hit {
+                                db_index: sc.db_index,
+                                id: self.subjects[sc.db_index].id.clone(),
+                                score: sc.score,
+                                subject_len: sc.subject_len,
+                            })
+                        })
+                        .collect(),
+                    kernels: Some(out.stats),
+                }
             })
             .collect();
         Ok(SlaveMsg::Finished {
             task,
             gcups,
-            hits,
-            kernels: Some(out.stats),
+            hits: Vec::new(),
+            kernels: Some(merged),
+            fused: Some(fused),
         })
     }
 }

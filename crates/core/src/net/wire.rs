@@ -17,8 +17,13 @@ use swhybrid_simd::engine::KernelStats;
 /// * v1 — original protocol (no version field; absent parses as 1),
 /// * v2 — `register` gained `proto` + optional `db_digest`, `registered`
 ///   gained `proto`, `tasks`/`execute` gained optional self-describing
-///   payloads (`descs`/`desc`) for serve-mode slaves.
-pub const PROTOCOL_VERSION: u32 = 2;
+///   payloads (`descs`/`desc`) for serve-mode slaves,
+/// * v3 — self-describing payloads carry a fused *query batch*
+///   (`queries`: `[{query, top_n}, …]`) instead of a single query, and
+///   `finished` gained the matching optional per-query result list
+///   (`fused`: `[{hits, kernels?}, …]`, paired positionally with the
+///   batch).
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Socket read quantum: deadlines are checked at this granularity.
 pub(crate) fn liveness_quantum(deadline: Duration) -> Duration {
@@ -78,37 +83,27 @@ impl WireHit {
     }
 }
 
-/// A self-describing task as it travels over the wire: everything a
-/// serve-mode slave (which holds only the database) needs to run the scan.
+/// One query of a self-describing task as it travels over the wire.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TaskDesc {
+pub struct QueryDesc {
     /// Encoded query residues.
     pub query: Vec<u8>,
-    /// Database shard `[start, end)` in global subject indices.
-    pub shard: (usize, usize),
-    /// Hits retained for the shard.
+    /// Hits retained for the shard, for this query.
     pub top_n: usize,
 }
 
-impl TaskDesc {
+impl QueryDesc {
     fn to_json(&self) -> Json {
         Json::obj([
             (
                 "query",
                 Json::Arr(self.query.iter().map(|&c| Json::Num(c as f64)).collect()),
             ),
-            (
-                "shard",
-                Json::Arr(vec![
-                    Json::Num(self.shard.0 as f64),
-                    Json::Num(self.shard.1 as f64),
-                ]),
-            ),
             ("top_n", Json::Num(self.top_n as f64)),
         ])
     }
 
-    fn from_json(v: &Json) -> Result<TaskDesc, String> {
+    fn from_json(v: &Json) -> Result<QueryDesc, String> {
         let query = field(v, "query")?
             .as_array()
             .ok_or("field 'query' is not an array")?
@@ -120,6 +115,52 @@ impl TaskDesc {
                     .ok_or_else(|| "query residue is not a byte".to_string())
             })
             .collect::<Result<_, _>>()?;
+        Ok(QueryDesc {
+            query,
+            top_n: field_usize(v, "top_n")?,
+        })
+    }
+}
+
+/// A self-describing task as it travels over the wire: everything a
+/// serve-mode slave (which holds only the database) needs to run the scan.
+/// Since v3 a task carries a *batch* of queries (length 1 for an unfused
+/// task) that are all scored against the shard in one fused pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskDesc {
+    /// The fused query batch, in demux order.
+    pub queries: Vec<QueryDesc>,
+    /// Database shard `[start, end)` in global subject indices.
+    pub shard: (usize, usize),
+}
+
+impl TaskDesc {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "queries",
+                Json::Arr(self.queries.iter().map(QueryDesc::to_json).collect()),
+            ),
+            (
+                "shard",
+                Json::Arr(vec![
+                    Json::Num(self.shard.0 as f64),
+                    Json::Num(self.shard.1 as f64),
+                ]),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<TaskDesc, String> {
+        let queries = field(v, "queries")?
+            .as_array()
+            .ok_or("field 'queries' is not an array")?
+            .iter()
+            .map(QueryDesc::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        if queries.is_empty() {
+            return Err("field 'queries' is empty".to_string());
+        }
         let shard = field(v, "shard")?
             .as_array()
             .ok_or("field 'shard' is not an array")?;
@@ -132,9 +173,43 @@ impl TaskDesc {
                 .ok_or_else(|| "shard bound is not a non-negative integer".to_string())
         };
         Ok(TaskDesc {
-            query,
+            queries,
             shard: (bound(s)?, bound(e)?),
-            top_n: field_usize(v, "top_n")?,
+        })
+    }
+}
+
+/// One query's slice of a fused `finished` message.
+#[derive(Debug, Clone)]
+pub struct FusedResultDesc {
+    /// This query's ranked hits over the shard.
+    pub hits: Vec<WireHit>,
+    /// This query's kernel counters (per-query attribution); its cells are
+    /// `kernels.cells_computed`, exactly like the top-level convention.
+    pub kernels: Option<KernelStats>,
+}
+
+impl FusedResultDesc {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![(
+            "hits",
+            Json::Arr(self.hits.iter().map(WireHit::to_json).collect()),
+        )];
+        if let Some(k) = &self.kernels {
+            fields.push(("kernels", kernels_to_json(k)));
+        }
+        Json::obj(fields)
+    }
+
+    fn from_json(v: &Json) -> Result<FusedResultDesc, String> {
+        Ok(FusedResultDesc {
+            hits: field(v, "hits")?
+                .as_array()
+                .ok_or("field 'hits' is not an array")?
+                .iter()
+                .map(WireHit::from_json)
+                .collect::<Result<_, _>>()?,
+            kernels: v.get("kernels").map(kernels_from_json).transpose()?,
         })
     }
 }
@@ -169,11 +244,15 @@ pub enum SlaveMsg {
         task: TaskId,
         /// Observed GCUPS while executing it.
         gcups: f64,
-        /// Top hits of the comparison.
+        /// Top hits of the comparison (aggregate; empty for fused tasks,
+        /// whose hits travel per query in `fused`).
         hits: Vec<WireHit>,
-        /// Kernel-usage counters of the scan. Optional on the wire: older
-        /// slaves simply omit the field.
+        /// Kernel-usage counters of the scan (merged over the batch for
+        /// fused tasks). Optional on the wire.
         kernels: Option<KernelStats>,
+        /// Per-query results of a fused task, paired positionally with the
+        /// payload's query batch. Absent for batch-mode tasks.
+        fused: Option<Vec<FusedResultDesc>>,
     },
     /// Periodic liveness signal; carries no state.
     Heartbeat,
@@ -311,6 +390,7 @@ impl Wire for SlaveMsg {
                 gcups,
                 hits,
                 kernels,
+                fused,
             } => {
                 let mut fields = vec![
                     ("type", Json::str("finished")),
@@ -323,6 +403,12 @@ impl Wire for SlaveMsg {
                 ];
                 if let Some(k) = kernels {
                     fields.push(("kernels", kernels_to_json(k)));
+                }
+                if let Some(fused) = fused {
+                    fields.push((
+                        "fused",
+                        Json::Arr(fused.iter().map(FusedResultDesc::to_json).collect()),
+                    ));
                 }
                 Json::obj(fields)
             }
@@ -365,6 +451,16 @@ impl Wire for SlaveMsg {
                     .map(WireHit::from_json)
                     .collect::<Result<_, _>>()?,
                 kernels: v.get("kernels").map(kernels_from_json).transpose()?,
+                fused: v
+                    .get("fused")
+                    .map(|f| {
+                        f.as_array()
+                            .ok_or("field 'fused' is not an array".to_string())?
+                            .iter()
+                            .map(FusedResultDesc::from_json)
+                            .collect::<Result<_, _>>()
+                    })
+                    .transpose()?,
             }),
             "heartbeat" => Ok(SlaveMsg::Heartbeat),
             other => Err(format!("unknown slave message type '{other}'")),

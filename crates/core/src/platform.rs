@@ -186,6 +186,7 @@ impl PlatformBuilder {
             .map(|(id, query_len)| TaskSpec {
                 id,
                 query_len,
+                queries: 1,
                 db_residues: db.total_residues,
                 db_sequences: db.num_sequences,
             })

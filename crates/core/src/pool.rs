@@ -38,6 +38,19 @@ use crate::trace::EventKind;
 use swhybrid_simd::engine::KernelStats;
 use swhybrid_simd::search::Hit;
 
+/// One query's slice of a fused task's result: what the serve owner
+/// demuxes back to the individual job (paired positionally with the
+/// payload's query batch).
+#[derive(Debug, Clone, Default)]
+pub struct FusedQueryResult {
+    /// This query's ranked hits over the task's shard.
+    pub hits: Vec<Hit>,
+    /// DP cells this query's passes actually computed.
+    pub cells: u64,
+    /// This query's kernel counters (per-query attribution).
+    pub kernels: Option<KernelStats>,
+}
+
 /// What one PE produced for one task.
 #[derive(Debug, Clone, Default)]
 pub struct TaskResult {
@@ -45,12 +58,18 @@ pub struct TaskResult {
     /// or cancelled and carries no speed information — it must *not* enter
     /// the Ω-window mean (reporting `0.0` would poison PSS).
     pub gcups: Option<f64>,
-    /// The task's ranked hits (the first finisher's hits win).
+    /// The task's ranked hits (the first finisher's hits win). Empty for
+    /// fused tasks, whose hits live per query in `fused`.
     pub hits: Vec<Hit>,
-    /// DP cells actually computed.
+    /// DP cells actually computed (summed over the batch when fused).
     pub cells: u64,
-    /// Kernel-family counters of the scan, when the backend reports them.
+    /// Kernel-family counters of the scan, when the backend reports them
+    /// (merged over the batch when fused).
     pub kernels: Option<KernelStats>,
+    /// Per-query results of a fused task, paired positionally with the
+    /// [`TaskPayload::queries`] batch. `None` for the paper's
+    /// one-query-per-task grain.
+    pub fused: Option<Vec<FusedQueryResult>>,
 }
 
 /// A scheduling decision delivered to an endpoint.
@@ -92,16 +111,25 @@ pub enum PeEvent {
 /// callbacks, socket writes — anything slow or re-entrant).
 pub type Deferred = Box<dyn FnOnce() + Send>;
 
-/// A self-describing task for remote execution: everything a slave that
-/// has only the database needs in order to run the scan.
+/// One query of a self-describing task payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct TaskPayload {
+pub struct QueryPayload {
     /// The encoded query residues.
     pub query: Vec<u8>,
+    /// Hits retained for the shard, for this query.
+    pub top_n: usize,
+}
+
+/// A self-describing task for remote execution: everything a slave that
+/// has only the database needs in order to run the scan. A fused task
+/// carries the whole co-resident query batch; the shard is scanned once
+/// and every query scored against it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPayload {
+    /// The query batch (length 1 for the paper's one-query grain).
+    pub queries: Vec<QueryPayload>,
     /// Database shard `[start, end)` in global subject indices.
     pub shard: (usize, usize),
-    /// Hits retained for the shard.
-    pub top_n: usize,
 }
 
 /// What a runtime does with results — the policy half the shared loop
@@ -639,6 +667,7 @@ mod tests {
             .map(|id| TaskSpec {
                 id,
                 query_len: 100,
+                queries: 1,
                 db_residues: 10_000,
                 db_sequences: 10,
             })
@@ -694,6 +723,7 @@ mod tests {
                 resolved_i8: 1,
                 ..KernelStats::default()
             }),
+            fused: None,
         });
         drive(&p, pe, &mut ep);
         let core = p.into_inner();

@@ -98,6 +98,7 @@ pub fn run_real(
         .map(|(id, q)| TaskSpec {
             id,
             query_len: q.len(),
+            queries: 1,
             db_residues,
             db_sequences: subjects.len(),
         })
@@ -132,6 +133,7 @@ pub fn run_real(
                         hits: search.hits,
                         cells: search.cells,
                         kernels: Some(search.stats),
+                        fused: None,
                     }
                 });
                 drive(pool, pe_id, &mut endpoint);

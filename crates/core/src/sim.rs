@@ -546,6 +546,7 @@ fn probe_task() -> TaskSpec {
     TaskSpec {
         id: usize::MAX,
         query_len: 2550,
+        queries: 1,
         db_residues: 190_814_275,
         db_sequences: 537_505,
     }
@@ -577,6 +578,7 @@ mod tests {
             .map(|id| TaskSpec {
                 id,
                 query_len: 1000,
+                queries: 1,
                 db_residues: cells_each / 1000,
                 db_sequences: 1000,
             })

@@ -249,6 +249,7 @@ mod tests {
             .map(|id| TaskSpec {
                 id,
                 query_len: 100 * (id + 1),
+                queries: 1,
                 db_residues: 1_000_000,
                 db_sequences: 1000,
             })

@@ -66,6 +66,7 @@ mod tests {
         let t = TaskSpec {
             id: 0,
             query_len: 5000,
+            queries: 1,
             db_residues: 190_814_275,
             db_sequences: 537_505,
         };
@@ -83,6 +84,7 @@ mod tests {
         let t = TaskSpec {
             id: 0,
             query_len: 100,
+            queries: 1,
             db_residues: 12_400_000,
             db_sequences: 25_160,
         };

@@ -104,12 +104,14 @@ mod tests {
         let short = TaskSpec {
             id: 0,
             query_len: 1000,
+            queries: 1,
             db_residues: 10_000_000,
             db_sequences: 10_000,
         };
         let long = TaskSpec {
             id: 1,
             query_len: 5000,
+            queries: 1,
             ..short.clone()
         };
         assert!(f.rate(&long) < f.rate(&short) * 1.01);

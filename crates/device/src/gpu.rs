@@ -28,6 +28,7 @@ pub const INTER_INTRA_THRESHOLD: usize = 3072;
 /// let task = TaskSpec {
 ///     id: 0,
 ///     query_len: 5000,
+///     queries: 1,
 ///     db_residues: 190_814_275, // SwissProt
 ///     db_sequences: 537_505,
 /// };
@@ -104,6 +105,7 @@ mod tests {
         TaskSpec {
             id: 0,
             query_len,
+            queries: 1,
             db_residues: 190_814_275,
             db_sequences: 537_505,
         }
@@ -134,6 +136,7 @@ mod tests {
         let tiny = TaskSpec {
             id: 0,
             query_len: 100,
+            queries: 1,
             db_residues: 1_000_000,
             db_sequences: 2_000,
         };

@@ -6,12 +6,21 @@
 //! performance model needs: query length and database size.
 
 /// Immutable description of one task (query × whole database).
+///
+/// The serve path additionally emits *fused* tasks — up to K co-resident
+/// queries scored against one database shard in a single pass. A fused
+/// task sets `queries` to K and `query_len` to the *sum* of the fused
+/// query lengths, so [`TaskSpec::cells`] naturally charges K× the cells of
+/// one pass and the PSS speed estimates stay calibrated.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TaskSpec {
     /// Stable task identifier (index into the query file).
     pub id: usize,
-    /// Query length in residues.
+    /// Query residues scored against the database: one query's length for
+    /// the paper's grain, the sum over the batch for a fused task.
     pub query_len: usize,
+    /// Number of queries fused into this task (1 for the paper's grain).
+    pub queries: usize,
     /// Total residues of the database the query is compared against.
     pub db_residues: u64,
     /// Number of sequences in the database (drives accelerator occupancy).
@@ -108,6 +117,7 @@ mod tests {
         TaskSpec {
             id: 0,
             query_len: 1000,
+            queries: 1,
             db_residues: 2_000_000,
             db_sequences: 100,
         }

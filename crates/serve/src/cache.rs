@@ -39,6 +39,10 @@ pub struct CacheStats {
     pub insertions: u64,
     /// Entries displaced by capacity pressure.
     pub evictions: u64,
+    /// Lookups whose key matched but whose stored query bytes did not — a
+    /// 64-bit digest collision that, unverified, would have served another
+    /// query's hit table. Counted as misses.
+    pub collisions: u64,
 }
 
 impl CacheStats {
@@ -55,6 +59,11 @@ impl CacheStats {
 
 #[derive(Debug)]
 struct Entry {
+    /// The exact query codes the entry was computed for. `query_digest` is
+    /// 64-bit FNV-1a — honest about collisions — so a hit is only a hit if
+    /// the stored bytes also match; otherwise two colliding queries would
+    /// silently share one hit table.
+    query: Vec<u8>,
     hits: Vec<Hit>,
     last_used: u64,
 }
@@ -83,14 +92,22 @@ impl ResultCache {
         }
     }
 
-    /// Look up a result, refreshing its recency on a hit.
-    pub fn get(&mut self, key: &CacheKey) -> Option<Vec<Hit>> {
+    /// Look up a result, refreshing its recency on a hit. `query` is the
+    /// query's alphabet codes; an entry whose digest matches but whose
+    /// stored bytes differ is a digest collision and must miss (the caller
+    /// recomputes, and [`ResultCache::insert`] replaces the entry).
+    pub fn get(&mut self, key: &CacheKey, query: &[u8]) -> Option<Vec<Hit>> {
         self.stamp += 1;
         match self.map.get_mut(key) {
-            Some(entry) => {
+            Some(entry) if entry.query == query => {
                 entry.last_used = self.stamp;
                 self.stats.hits += 1;
                 Some(entry.hits.clone())
+            }
+            Some(_) => {
+                self.stats.collisions += 1;
+                self.stats.misses += 1;
+                None
             }
             None => {
                 self.stats.misses += 1;
@@ -100,7 +117,7 @@ impl ResultCache {
     }
 
     /// Store a result, evicting the least recently used entry when full.
-    pub fn insert(&mut self, key: CacheKey, hits: Vec<Hit>) {
+    pub fn insert(&mut self, key: CacheKey, query: &[u8], hits: Vec<Hit>) {
         if self.capacity == 0 {
             return;
         }
@@ -120,6 +137,7 @@ impl ResultCache {
         self.map.insert(
             key,
             Entry {
+                query: query.to_vec(),
                 hits,
                 last_used: self.stamp,
             },
@@ -170,12 +188,18 @@ mod tests {
         }]
     }
 
+    /// Distinct stand-in query bytes per digest for tests that don't
+    /// exercise collisions.
+    fn codes(q: u64) -> Vec<u8> {
+        vec![q as u8, 1, 2, 3]
+    }
+
     #[test]
     fn hit_and_miss_accounting() {
         let mut c = ResultCache::new(4);
-        assert!(c.get(&key(1)).is_none());
-        c.insert(key(1), hits(42));
-        assert_eq!(c.get(&key(1)).unwrap()[0].score, 42);
+        assert!(c.get(&key(1), &codes(1)).is_none());
+        c.insert(key(1), &codes(1), hits(42));
+        assert_eq!(c.get(&key(1), &codes(1)).unwrap()[0].score, 42);
         let s = c.stats();
         assert_eq!((s.hits, s.misses), (1, 1));
         assert!((s.hit_rate() - 0.5).abs() < 1e-12);
@@ -184,24 +208,24 @@ mod tests {
     #[test]
     fn generation_bump_is_a_different_key() {
         let mut c = ResultCache::new(4);
-        c.insert(key(1), hits(1));
+        c.insert(key(1), &codes(1), hits(1));
         let stale = CacheKey {
             db_generation: 1,
             ..key(1)
         };
-        assert!(c.get(&stale).is_none());
+        assert!(c.get(&stale, &codes(1)).is_none());
     }
 
     #[test]
     fn lru_evicts_coldest() {
         let mut c = ResultCache::new(2);
-        c.insert(key(1), hits(1));
-        c.insert(key(2), hits(2));
-        c.get(&key(1)); // key 2 is now coldest
-        c.insert(key(3), hits(3));
-        assert!(c.get(&key(1)).is_some());
-        assert!(c.get(&key(2)).is_none());
-        assert!(c.get(&key(3)).is_some());
+        c.insert(key(1), &codes(1), hits(1));
+        c.insert(key(2), &codes(2), hits(2));
+        c.get(&key(1), &codes(1)); // key 2 is now coldest
+        c.insert(key(3), &codes(3), hits(3));
+        assert!(c.get(&key(1), &codes(1)).is_some());
+        assert!(c.get(&key(2), &codes(2)).is_none());
+        assert!(c.get(&key(3), &codes(3)).is_some());
         assert_eq!(c.stats().evictions, 1);
         assert_eq!(c.len(), 2);
     }
@@ -209,8 +233,32 @@ mod tests {
     #[test]
     fn zero_capacity_disables() {
         let mut c = ResultCache::new(0);
-        c.insert(key(1), hits(1));
-        assert!(c.get(&key(1)).is_none());
+        c.insert(key(1), &codes(1), hits(1));
+        assert!(c.get(&key(1), &codes(1)).is_none());
         assert!(c.is_empty());
+    }
+
+    /// Regression: two queries whose 64-bit digests collide (deliberately
+    /// forced here by giving different bytes the same `query_digest`) used
+    /// to share one hit table — the second query was silently served the
+    /// first query's results. A colliding lookup must miss, count as a
+    /// collision, and the recompute must replace the entry.
+    #[test]
+    fn digest_collision_misses_instead_of_serving_the_wrong_query() {
+        let mut c = ResultCache::new(4);
+        let alice = vec![1u8, 2, 3, 4];
+        let bob = vec![9u8, 9, 9, 9]; // same digest, different query
+        c.insert(key(1), &alice, hits(42));
+        // Bob's lookup lands on Alice's entry; the byte check must veto it.
+        assert!(
+            c.get(&key(1), &bob).is_none(),
+            "collision served another query's hits"
+        );
+        assert_eq!(c.stats().collisions, 1);
+        // Bob recomputes and stores; the entry now answers Bob, not Alice.
+        c.insert(key(1), &bob, hits(7));
+        assert_eq!(c.get(&key(1), &bob).unwrap()[0].score, 7);
+        assert!(c.get(&key(1), &alice).is_none());
+        assert_eq!(c.stats().collisions, 2);
     }
 }

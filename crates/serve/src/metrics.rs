@@ -174,6 +174,14 @@ pub struct Metrics {
     pub completed: u64,
     /// Completions answered from the cache.
     pub served_from_cache: u64,
+    /// Shard tasks dispatched into the pool (each scans one database shard
+    /// for its whole query batch).
+    pub fused_tasks: u64,
+    /// Queries carried by those tasks, summed: `fused_queries /
+    /// fused_tasks` is the achieved fusion factor (1.0 = unfused).
+    pub fused_queries: u64,
+    /// Terminal jobs evicted from the registry after the retention window.
+    pub jobs_expired: u64,
     /// End-to-end latency (admission→reply, cache hits included).
     pub latency: LatencyHistogram,
     /// Cumulative kernel usage across every shard scan (winner or not).

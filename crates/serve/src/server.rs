@@ -248,6 +248,9 @@ fn handle_request(
                         ("cached", Json::Bool(cached)),
                     ],
                 ),
+                // The id was issued but its terminal record aged out of the
+                // registry: a well-formed answer, not an error.
+                JobStatus::Expired => status_reply(job, "expired", Vec::new()),
             };
             write_json(writer, &reply);
             false

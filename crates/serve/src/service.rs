@@ -22,17 +22,32 @@
 //! straggling shard near the tail). Per-shard top-N lists are rebased to
 //! global database indices and merged with [`merge_top_n`], which makes the
 //! served ranking bit-identical to a cold single-process scan. Remote
-//! slaves receive shards as self-describing payloads (query bytes + shard
+//! slaves receive shards as self-describing payloads (query batch + shard
 //! bounds) and must prove at registration — by database digest — that they
 //! hold the exact database the daemon serves; a [`QueryService::swap_db`]
 //! disconnects every remote slave, because their copy is now stale.
+//!
+//! ## Cross-query fusion
+//!
+//! When several queries are active at once, the dominant cost of scanning
+//! each one separately is *streaming the database again*: the arena is
+//! typically far larger than any cache, so K solo scans read it K times.
+//! The dispatcher therefore **fuses** co-admitted queries (up to
+//! [`ServiceConfig::fusion`], same database generation) into shared shard
+//! tasks: one task scores the whole query batch against its shard while
+//! the chunk is hot in cache ([`search_arena_multi`]). Per-query work
+//! inside a chunk is exactly what a solo scan would do, so fused replies
+//! stay byte-identical to per-query cold scans — the win is wall-clock
+//! throughput, not a different answer. A fused task's
+//! [`TaskSpec`] charges the batch's summed query length, so PSS cell
+//! accounting and speed estimates stay calibrated.
 //!
 //! Replies are delivered through per-job completion callbacks, so the
 //! executor never blocks on a slow client: the TCP layer hands in a
 //! closure that writes to the connection, in-process callers a channel
 //! sender.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{TcpListener, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -45,7 +60,8 @@ use swhybrid_core::master::{Master, MasterConfig};
 use swhybrid_core::net::{kernels_to_json, serve_connection, NetConfig};
 use swhybrid_core::policy::Policy;
 use swhybrid_core::pool::{
-    drive, Deferred, LocalEndpoint, PePool, PoolOwner, TaskPayload, TaskResult,
+    drive, Deferred, FusedQueryResult, LocalEndpoint, PePool, PoolOwner, QueryPayload, TaskPayload,
+    TaskResult,
 };
 use swhybrid_core::stats::observed_gcups;
 use swhybrid_core::task::{PeId, TaskId};
@@ -55,8 +71,8 @@ use swhybrid_json::Json;
 use swhybrid_seq::digest::{db_digest, query_digest, Fnv1a};
 use swhybrid_seq::sequence::EncodedSequence;
 use swhybrid_seq::DbArena;
-use swhybrid_simd::engine::{EnginePreference, PreparedQuery};
-use swhybrid_simd::search::{merge_top_n, search_arena, Hit, KernelChoice, SearchConfig};
+use swhybrid_simd::engine::{EnginePreference, KernelStats, PreparedQuery};
+use swhybrid_simd::search::{merge_top_n, search_arena_multi, Hit, KernelChoice, SearchConfig};
 
 use crate::admission::{AdmissionQueue, AdmitError};
 use crate::cache::{CacheKey, ResultCache};
@@ -76,7 +92,9 @@ pub struct ServiceConfig {
     pub workers: usize,
     /// Database shards per query (tasks per query); 0 means one per worker.
     pub shards: usize,
-    /// Queries scheduled into the pool at once; further admissions queue.
+    /// Fused query groups scheduled into the pool at once (each group
+    /// carries up to [`ServiceConfig::fusion`] queries); further
+    /// admissions queue.
     pub max_active: usize,
     /// Admission queue depth bound (excess is rejected with backpressure).
     pub queue_depth: usize,
@@ -84,7 +102,10 @@ pub struct ServiceConfig {
     pub per_client_inflight: usize,
     /// Result cache capacity (entries); 0 disables caching.
     pub cache_capacity: usize,
-    /// Subjects claimed per cursor step inside a shard scan.
+    /// Subjects claimed per cursor step inside a shard scan. Must be at
+    /// least twice the inter-sequence lane width for the Auto dispatcher
+    /// to ever pick the inter-sequence kernel — undersized chunks
+    /// silently degrade every scan to the striped kernel.
     pub chunk_size: usize,
     /// Kernel preference for the striped engines.
     pub preference: EnginePreference,
@@ -94,6 +115,21 @@ pub struct ServiceConfig {
     pub policy: Policy,
     /// Whether the workload adjustment mechanism is active.
     pub adjustment: bool,
+    /// Maximum queries fused into one shard task (1 disables fusion).
+    /// Only co-active queries against the same database generation fuse.
+    pub fusion: usize,
+    /// Fusion window: when a free slot sees fewer than `fusion` queued
+    /// queries, it holds this long for companions before scheduling an
+    /// undersized group. Under a steady concurrent load the window never
+    /// actually elapses — the batch fills first — so only stragglers pay
+    /// it. `0.0` schedules immediately (no window).
+    pub fusion_window_ms: f64,
+    /// Terminal jobs kept answering `status` before eviction (count bound;
+    /// see also [`ServiceConfig::retention_secs`]).
+    pub retained_jobs: usize,
+    /// Terminal jobs older than this are evicted even under the count
+    /// bound, so an idle daemon's registry also drains.
+    pub retention_secs: f64,
 }
 
 impl Default for ServiceConfig {
@@ -105,11 +141,15 @@ impl Default for ServiceConfig {
             queue_depth: 64,
             per_client_inflight: 4,
             cache_capacity: 128,
-            chunk_size: 16,
+            chunk_size: 64,
             preference: EnginePreference::Auto,
             kernel: KernelChoice::Auto,
             policy: Policy::pss_default(),
             adjustment: true,
+            fusion: 4,
+            fusion_window_ms: 3.0,
+            retained_jobs: 256,
+            retention_secs: 300.0,
         }
     }
 }
@@ -160,6 +200,9 @@ pub enum JobStatus {
         /// Whether it was served from the cache.
         cached: bool,
     },
+    /// The job existed, finished, and was evicted after the retention
+    /// window — the id is valid but its record is gone.
+    Expired,
     /// No such job.
     Unknown,
 }
@@ -212,13 +255,32 @@ struct Job {
     completion: Option<Completion>,
 }
 
+/// One scheduled shard task: the job ids whose queries it scores (the
+/// fused batch, in batch order — results pair with it positionally) and
+/// which shard of their shared database snapshot it scans. `group_tasks`
+/// lists every task of the same fused group, so the whole group's map
+/// entries can be dropped when its last shard lands.
+#[derive(Debug, Clone)]
+struct FusedTask {
+    jobs: Vec<u64>,
+    shard_idx: usize,
+    group_tasks: Vec<TaskId>,
+}
+
 /// The pool owner: everything the service keeps under the pool's lock
 /// besides the master itself. Kernels never run under it — workers
 /// snapshot `Arc`s and release before scanning.
 struct ServeOwner {
     cfg: ServiceConfig,
-    jobs: Vec<Job>,
-    task_map: HashMap<TaskId, (usize, usize)>,
+    /// Live and recently terminal jobs, by id. Terminal jobs are evicted
+    /// after the retention window (`retired`), so the registry stays
+    /// bounded however long the daemon runs.
+    jobs: HashMap<u64, Job>,
+    next_job_id: u64,
+    /// Terminal jobs awaiting eviction, oldest first, with the time they
+    /// retired.
+    retired: VecDeque<(u64, f64)>,
+    task_map: HashMap<TaskId, FusedTask>,
     queue: AdmissionQueue,
     cache: ResultCache,
     metrics: Metrics,
@@ -228,7 +290,38 @@ struct ServeOwner {
     db_generation: u64,
     db_digest: u64,
     active_jobs: usize,
+    /// When an undersized backlog started waiting for companions (the
+    /// fusion window). `None` when the queue is empty, full enough, or
+    /// already drained into a group. The flusher thread schedules the
+    /// partial group once the window elapses.
+    window_open_since: Option<f64>,
+    /// Fused groups currently in the pool — the unit [`ServiceConfig::
+    /// max_active`] bounds. A group frees its slot only when its last
+    /// member finishes, so up to `fusion` queued queries can take the
+    /// freed slot together (that is what lets fusion bootstrap: slots
+    /// freeing one *job* at a time would only ever re-admit singletons).
+    active_groups: usize,
     draining: bool,
+}
+
+/// Mark a terminal job for eviction and sweep the retention window.
+fn retire(o: &mut ServeOwner, job: u64, now: f64) {
+    o.retired.push_back((job, now));
+    sweep_retired(o, now);
+}
+
+/// Evict retired jobs beyond the count bound or older than the retention
+/// window. Status on an evicted id answers [`JobStatus::Expired`].
+fn sweep_retired(o: &mut ServeOwner, now: f64) {
+    while let Some(&(job, at)) = o.retired.front() {
+        if o.retired.len() > o.cfg.retained_jobs || now - at > o.cfg.retention_secs {
+            o.retired.pop_front();
+            o.jobs.remove(&job);
+            o.metrics.jobs_expired += 1;
+        } else {
+            break;
+        }
+    }
 }
 
 impl PoolOwner for ServeOwner {
@@ -250,39 +343,79 @@ impl PoolOwner for ServeOwner {
         if !was_first {
             return None;
         }
-        let &(job_idx, shard_idx) = self.task_map.get(&task)?;
-        let done = record_shard(
-            self,
-            master,
-            now,
-            job_idx,
-            shard_idx,
-            result.hits,
-            result.cells,
-        );
-        done.map(|(completion, reply)| -> Deferred {
-            Box::new(move || {
+        let ft = self.task_map.get(&task)?.clone();
+        // Demux the fused result: entry k belongs to batch member k. A
+        // result without the fused list (a skipped scan) counts every
+        // member's shard as done with nothing to contribute.
+        let per_query = result
+            .fused
+            .unwrap_or_else(|| vec![FusedQueryResult::default(); ft.jobs.len()]);
+        debug_assert_eq!(per_query.len(), ft.jobs.len());
+        let mut done = Vec::new();
+        for (&job_id, fq) in ft.jobs.iter().zip(per_query) {
+            if let Some(d) = record_shard(self, now, job_id, ft.shard_idx, fq.hits, fq.cells) {
+                done.push(d);
+            }
+        }
+        // The group finishes atomically (every member shares the same
+        // shard set, so the last task completes them all): drop its task
+        // entries so the map stays bounded over the daemon's lifetime,
+        // free its scheduling slot, and refill from the queue — a freed
+        // slot admits up to `fusion` queued queries as the next group.
+        if ft.jobs.iter().all(|id| {
+            self.jobs
+                .get(id)
+                .is_none_or(|j| matches!(j.phase, Phase::Done))
+        }) {
+            for t in &ft.group_tasks {
+                self.task_map.remove(t);
+            }
+            self.active_groups -= 1;
+            pump(master, self, now, false);
+        }
+        if done.is_empty() {
+            return None;
+        }
+        Some(Box::new(move || {
+            for (completion, reply) in done {
                 if let Some(cb) = completion {
                     cb(reply);
                 }
-            })
-        })
+            }
+        }))
     }
 
     fn task_payload(&self, _master: &Master, task: TaskId) -> Option<TaskPayload> {
-        let &(job_idx, shard_idx) = self.task_map.get(&task)?;
-        let job = self.jobs.get(job_idx)?;
+        let ft = self.task_map.get(&task)?;
         // A remote slave holds the *current* database; never ship it a
         // shard of an older snapshot (possible only transiently, since a
         // swap disconnects remotes — but a task can already be in flight).
-        if job.cancelled || job.generation != self.db_generation {
+        // A wholly cancelled batch is not worth shipping either; a batch
+        // with any live member ships complete, cancelled members included,
+        // so fused results pair with `FusedTask::jobs` positionally.
+        if ft
+            .jobs
+            .iter()
+            .all(|id| self.jobs.get(id).is_none_or(|j| j.cancelled))
+        {
             return None;
         }
-        let &(s, e) = job.shards.get(shard_idx)?;
+        let mut queries = Vec::with_capacity(ft.jobs.len());
+        let mut shard = None;
+        for id in &ft.jobs {
+            let job = self.jobs.get(id)?;
+            if job.generation != self.db_generation {
+                return None;
+            }
+            shard = Some(*job.shards.get(ft.shard_idx)?);
+            queries.push(QueryPayload {
+                query: job.codes.clone(),
+                top_n: job.top_n,
+            });
+        }
         Some(TaskPayload {
-            query: job.codes.clone(),
-            shard: (s, e),
-            top_n: job.top_n,
+            queries,
+            shard: shard?,
         })
     }
 
@@ -365,6 +498,7 @@ impl QueryService {
         }
         cfg.max_active = cfg.max_active.max(1);
         cfg.chunk_size = cfg.chunk_size.max(1);
+        cfg.fusion = cfg.fusion.max(1);
         assert!(
             !cfg.policy.is_static(),
             "the query service needs a dynamic policy (ss or pss): \
@@ -391,7 +525,9 @@ impl QueryService {
         let digest = db_digest(&db);
         let owner = ServeOwner {
             cfg: cfg.clone(),
-            jobs: Vec::new(),
+            jobs: HashMap::new(),
+            next_job_id: 0,
+            retired: VecDeque::new(),
             task_map: HashMap::new(),
             queue: AdmissionQueue::new(cfg.queue_depth, cfg.per_client_inflight),
             cache: ResultCache::new(cfg.cache_capacity),
@@ -402,6 +538,8 @@ impl QueryService {
             db_generation: 0,
             db_digest: digest,
             active_jobs: 0,
+            window_open_since: None,
+            active_groups: 0,
             draining: false,
         };
         let pool = PePool::new(master, owner, cfg.workers);
@@ -416,7 +554,7 @@ impl QueryService {
         let ids: Vec<PeId> = (0..inner.cfg.workers)
             .map(|w| inner.pool.admit(&format!("serve{w}"), 1.0, false))
             .collect();
-        let workers = ids
+        let mut workers: Vec<_> = ids
             .into_iter()
             .map(|pe| {
                 let inner = Arc::clone(&inner);
@@ -429,10 +567,14 @@ impl QueryService {
                     .expect("spawn PE worker")
             })
             .collect();
+        let stop = Arc::new(AtomicBool::new(false));
+        if inner.cfg.fusion > 1 && inner.cfg.fusion_window_ms > 0.0 {
+            workers.push(spawn_window_flusher(Arc::clone(&inner), Arc::clone(&stop)));
+        }
         QueryService {
             inner,
             workers,
-            stop_listeners: Arc::new(AtomicBool::new(false)),
+            stop_listeners: stop,
             listeners: Mutex::new(Vec::new()),
         }
     }
@@ -534,29 +676,34 @@ impl QueryService {
                 scoring_digest: inner.scoring_digest,
                 top_n,
             };
-            if let Some(hits) = o.cache.get(&key) {
+            if let Some(hits) = o.cache.get(&key, &codes) {
                 let now = pool.now();
-                let job_id = o.jobs.len() as u64;
+                let job_id = o.next_job_id;
+                o.next_job_id += 1;
                 let db = Arc::clone(&o.db);
                 let arena = Arc::clone(&o.db_arena);
                 let generation = o.db_generation;
-                o.jobs.push(Job {
-                    client,
-                    tag: tag.clone(),
-                    codes,
-                    prepared: None,
-                    db,
-                    arena,
-                    generation,
-                    top_n,
-                    key,
-                    submitted_at: now,
-                    shards: Vec::new(),
-                    phase: Phase::Done,
-                    cancelled: false,
-                    cached: true,
-                    completion: None,
-                });
+                o.jobs.insert(
+                    job_id,
+                    Job {
+                        client,
+                        tag: tag.clone(),
+                        codes,
+                        prepared: None,
+                        db,
+                        arena,
+                        generation,
+                        top_n,
+                        key,
+                        submitted_at: now,
+                        shards: Vec::new(),
+                        phase: Phase::Done,
+                        cancelled: false,
+                        cached: true,
+                        completion: None,
+                    },
+                );
+                retire(o, job_id, now);
                 o.metrics.completed += 1;
                 o.metrics.served_from_cache += 1;
                 let elapsed_ms = (pool.now() - now) * 1000.0;
@@ -589,7 +736,7 @@ impl QueryService {
             return Err(SubmitError::Draining);
         }
         let now = pool.now();
-        let job_id = o.jobs.len() as u64;
+        let job_id = o.next_job_id;
         let deadline = deadline_ms
             .map(|ms| now + ms as f64 / 1000.0)
             .unwrap_or(f64::INFINITY);
@@ -601,6 +748,7 @@ impl QueryService {
             }
             return Err(e);
         }
+        o.next_job_id += 1;
         let key = CacheKey {
             query_digest: qdigest,
             db_generation: o.db_generation,
@@ -611,25 +759,28 @@ impl QueryService {
         let db = Arc::clone(&o.db);
         let arena = Arc::clone(&o.db_arena);
         let generation = o.db_generation;
-        o.jobs.push(Job {
-            client,
-            tag,
-            codes,
-            prepared: Some(prepared),
-            db,
-            arena,
-            generation,
-            top_n,
-            key,
-            submitted_at: now,
-            shards: Vec::new(),
-            phase: Phase::Queued,
-            cancelled: false,
-            cached: false,
-            completion: Some(completion),
-        });
+        o.jobs.insert(
+            job_id,
+            Job {
+                client,
+                tag,
+                codes,
+                prepared: Some(prepared),
+                db,
+                arena,
+                generation,
+                top_n,
+                key,
+                submitted_at: now,
+                shards: Vec::new(),
+                phase: Phase::Queued,
+                cancelled: false,
+                cached: false,
+                completion: Some(completion),
+            },
+        );
         o.metrics.admitted += 1;
-        pump(&mut core.master, o);
+        pump(&mut core.master, o, now, false);
         drop(g);
         pool.notify_all();
         Ok(job_id)
@@ -656,12 +807,18 @@ impl QueryService {
         Ok(rx.recv().expect("service dropped before replying"))
     }
 
-    /// Where a job currently is.
+    /// Where a job currently is. An id that was issued but whose terminal
+    /// record has been evicted answers [`JobStatus::Expired`]; an id never
+    /// issued answers [`JobStatus::Unknown`].
     pub fn status(&self, job: u64) -> JobStatus {
         let g = self.inner.pool.lock();
         let o = &g.owner;
-        let Some(j) = o.jobs.get(job as usize) else {
-            return JobStatus::Unknown;
+        let Some(j) = o.jobs.get(&job) else {
+            return if job < o.next_job_id {
+                JobStatus::Expired
+            } else {
+                JobStatus::Unknown
+            };
         };
         match &j.phase {
             Phase::Queued => JobStatus::Queued {
@@ -691,8 +848,13 @@ impl QueryService {
         let mut g = pool.lock();
         let now = pool.now();
         let o = &mut g.owner;
-        let Some(j) = o.jobs.get_mut(job as usize) else {
-            return CancelOutcome::Unknown;
+        let Some(j) = o.jobs.get_mut(&job) else {
+            // An evicted job necessarily already completed.
+            return if job < o.next_job_id {
+                CancelOutcome::AlreadyDone
+            } else {
+                CancelOutcome::Unknown
+            };
         };
         if j.cancelled || matches!(j.phase, Phase::Done) {
             return CancelOutcome::AlreadyDone;
@@ -709,6 +871,7 @@ impl QueryService {
         if was_queued {
             o.queue.remove(job);
             o.queue.release(client);
+            retire(o, job, now);
         }
         o.metrics.cancelled += 1;
         drop(g);
@@ -731,10 +894,14 @@ impl QueryService {
     pub fn stats(&self) -> Json {
         let inner = &self.inner;
         let mut g = inner.pool.lock();
+        let now = inner.pool.now();
         let o = &mut g.owner;
         while let Ok(e) = o.events_rx.try_recv() {
             o.metrics.apply_event(&e);
         }
+        // Age-based eviction must not depend on traffic: an idle daemon's
+        // registry drains on the next stats poll.
+        sweep_retired(o, now);
         let m = &o.metrics;
         let cs = o.cache.stats();
         let db_residues: u64 = o.db.iter().map(|s| s.len() as u64).sum();
@@ -771,6 +938,24 @@ impl QueryService {
                         Json::Num(m.rejected_client_limit as f64),
                     ),
                     ("rejected_draining", Json::Num(m.rejected_draining as f64)),
+                    ("expired", Json::Num(m.jobs_expired as f64)),
+                    ("registry", Json::Num(o.jobs.len() as f64)),
+                ]),
+            ),
+            (
+                "fusion",
+                Json::obj(vec![
+                    ("max", Json::Num(inner.cfg.fusion as f64)),
+                    ("tasks", Json::Num(m.fused_tasks as f64)),
+                    ("queries", Json::Num(m.fused_queries as f64)),
+                    (
+                        "factor",
+                        Json::Num(if m.fused_tasks == 0 {
+                            0.0
+                        } else {
+                            m.fused_queries as f64 / m.fused_tasks as f64
+                        }),
+                    ),
                 ]),
             ),
             (
@@ -778,6 +963,7 @@ impl QueryService {
                 Json::obj(vec![
                     ("hits", Json::Num(cs.hits as f64)),
                     ("misses", Json::Num(cs.misses as f64)),
+                    ("collisions", Json::Num(cs.collisions as f64)),
                     ("hit_rate", Json::Num(cs.hit_rate())),
                     ("insertions", Json::Num(cs.insertions as f64)),
                     ("evictions", Json::Num(cs.evictions as f64)),
@@ -906,42 +1092,149 @@ impl Drop for QueryService {
     }
 }
 
-/// Admit queued jobs into the task pool up to the active-job bound.
-fn pump(master: &mut Master, o: &mut ServeOwner) {
-    while o.active_jobs < o.cfg.max_active {
-        let Some(job_id) = o.queue.pop_next() else {
+/// The fusion-window flusher: a mostly-idle thread that schedules a held
+/// undersized group once its window elapses. Under steady concurrent
+/// load the batch fills before the deadline and this thread never pumps;
+/// it exists so a straggler's query cannot wait forever for companions
+/// that never come.
+fn spawn_window_flusher(inner: Arc<Inner>, stop: Arc<AtomicBool>) -> std::thread::JoinHandle<()> {
+    let window = inner.cfg.fusion_window_ms / 1000.0;
+    std::thread::Builder::new()
+        .name("swhybrid-serve-fuser".to_string())
+        .spawn(move || loop {
+            if stop.load(Ordering::Relaxed) {
+                return;
+            }
+            let mut g = inner.pool.lock();
+            let now = inner.pool.now();
+            match g.owner.window_open_since {
+                Some(t0) if now - t0 >= window => {
+                    g.owner.window_open_since = None;
+                    let core = &mut *g;
+                    pump(&mut core.master, &mut core.owner, now, true);
+                    drop(g);
+                    inner.pool.notify_all();
+                }
+                Some(t0) => {
+                    // Sleep out the remainder; a submit that fills the
+                    // batch pumps on its own thread, so oversleeping here
+                    // only ever delays a straggler, never a full group.
+                    let left = (window - (now - t0)).max(0.0005);
+                    let _g = inner.pool.wait_timeout(g, Duration::from_secs_f64(left));
+                }
+                None => {
+                    let _g = inner.pool.wait_timeout(g, ACCEPT_QUANTUM);
+                }
+            }
+        })
+        .expect("spawn fusion-window flusher")
+}
+
+/// Admit queued jobs into the task pool up to the active-group bound,
+/// fusing co-queued same-generation queries into shared shard tasks (up
+/// to [`ServiceConfig::fusion`] queries per group).
+fn pump(master: &mut Master, o: &mut ServeOwner, now: f64, flush: bool) {
+    // A popped job whose snapshot generation differs from the group being
+    // formed starts the next group instead (it cannot be pushed back into
+    // the admission queue). In the rare swap-db race this can transiently
+    // overshoot `max_active` by the carried group; it never loses a job.
+    let mut carry: Option<u64> = None;
+    while carry.is_some() || o.active_groups < o.cfg.max_active {
+        // Fusion window: an undersized backlog (carried jobs excepted —
+        // they are already popped) holds briefly for companions instead
+        // of scheduling a lonely pass. The flusher thread re-pumps with
+        // `flush` once the window elapses; draining flushes immediately.
+        if carry.is_none()
+            && !flush
+            && !o.draining
+            && o.cfg.fusion > 1
+            && o.cfg.fusion_window_ms > 0.0
+            && o.queue.depth() > 0
+            && o.queue.depth() < o.cfg.fusion
+        {
+            if o.window_open_since.is_none() {
+                o.window_open_since = Some(now);
+            }
+            return;
+        }
+        let mut group: Vec<u64> = carry.take().into_iter().collect();
+        while group.len() < o.cfg.fusion {
+            let Some(job_id) = o.queue.pop_next() else {
+                break;
+            };
+            if o.jobs.get(&job_id).is_none_or(|j| j.cancelled) {
+                continue;
+            }
+            if group
+                .first()
+                .is_some_and(|head| o.jobs[head].generation != o.jobs[&job_id].generation)
+            {
+                carry = Some(job_id);
+                break;
+            }
+            group.push(job_id);
+        }
+        if group.is_empty() {
+            o.window_open_since = None;
             break;
-        };
-        let idx = job_id as usize;
-        if o.jobs[idx].cancelled {
-            continue;
         }
-        let (shards, specs) = {
-            let job = &o.jobs[idx];
-            let shards = shard_ranges(&job.db, o.cfg.shards);
-            let qlen = job
-                .prepared
-                .as_ref()
-                .expect("queued jobs carry profiles")
-                .query_len();
-            let specs: Vec<TaskSpec> = shards
-                .iter()
-                .map(|&(s, e)| TaskSpec {
-                    id: 0, // rewritten by the pool
-                    query_len: qlen,
-                    db_residues: job.db[s..e].iter().map(|x| x.len() as u64).sum(),
-                    db_sequences: e - s,
-                })
-                .collect();
-            (shards, specs)
-        };
-        let tasks = master.submit_tasks(specs);
-        for (shard_idx, &t) in tasks.iter().enumerate() {
-            o.task_map.insert(t, (idx, shard_idx));
-        }
-        let n = shards.len();
-        let job = &mut o.jobs[idx];
-        job.shards = shards;
+        o.window_open_since = None;
+        schedule_group(master, o, &group);
+    }
+}
+
+/// Submit one fused group (1..=fusion jobs sharing a database snapshot
+/// generation) as a set of shard tasks, one task per shard scoring the
+/// whole batch.
+fn schedule_group(master: &mut Master, o: &mut ServeOwner, group: &[u64]) {
+    let Some(&head) = group.first() else {
+        return;
+    };
+    let (shards, specs) = {
+        let first = &o.jobs[&head];
+        let shards = shard_ranges(&first.db, o.cfg.shards);
+        // A fused task computes every member's matrix against the shard,
+        // so its spec charges the batch's summed query length — PSS cell
+        // accounting then counts K× cells per task automatically.
+        let qlen: usize = group
+            .iter()
+            .map(|id| {
+                o.jobs[id]
+                    .prepared
+                    .as_ref()
+                    .expect("queued jobs carry profiles")
+                    .query_len()
+            })
+            .sum();
+        let specs: Vec<TaskSpec> = shards
+            .iter()
+            .map(|&(s, e)| TaskSpec {
+                id: 0, // rewritten by the pool
+                query_len: qlen,
+                queries: group.len(),
+                db_residues: first.db[s..e].iter().map(|x| x.len() as u64).sum(),
+                db_sequences: e - s,
+            })
+            .collect();
+        (shards, specs)
+    };
+    let tasks = master.submit_tasks(specs);
+    o.metrics.fused_tasks += tasks.len() as u64;
+    o.metrics.fused_queries += (tasks.len() * group.len()) as u64;
+    for (shard_idx, &t) in tasks.iter().enumerate() {
+        o.task_map.insert(
+            t,
+            FusedTask {
+                jobs: group.to_vec(),
+                shard_idx,
+                group_tasks: tasks.clone(),
+            },
+        );
+    }
+    let n = shards.len();
+    for id in group {
+        let job = o.jobs.get_mut(id).expect("grouped jobs are live");
+        job.shards = shards.clone();
         job.phase = Phase::Running {
             pending: n,
             shard_hits: vec![None; n],
@@ -949,69 +1242,104 @@ fn pump(master: &mut Master, o: &mut ServeOwner) {
         };
         o.active_jobs += 1;
     }
+    o.active_groups += 1;
 }
 
-/// Execute one shard task on a local worker: snapshot the job under the
-/// lock, scan off it. The pool (via [`LocalEndpoint`] and
-/// [`ServeOwner::on_finished`]) handles started/finished bookkeeping.
+/// Execute one fused shard task on a local worker: snapshot the batch
+/// under the lock, scan the shard once for every live member off it. The
+/// pool (via [`LocalEndpoint`] and [`ServeOwner::on_finished`]) handles
+/// started/finished bookkeeping.
 fn execute_task(inner: &Inner, task: TaskId) -> TaskResult {
-    let (prepared, top_n, range, db, arena, skip_scan) = {
+    let (entries, range, db, arena) = {
         let g = inner.pool.lock();
         let o = &g.owner;
-        let Some(&(job_idx, shard_idx)) = o.task_map.get(&task) else {
+        let Some(ft) = o.task_map.get(&task) else {
             // Unknown task (should not happen): report a skip, not a scan.
             return TaskResult::default();
         };
-        let job = &o.jobs[job_idx];
+        // Batch members stay positional: a cancelled (or vanished) member
+        // keeps its slot as `None` so results pair with `FusedTask::jobs`.
+        let mut entries: Vec<Option<(Arc<PreparedQuery>, usize)>> =
+            Vec::with_capacity(ft.jobs.len());
+        let mut range = None;
+        let mut snapshot = None;
+        for id in &ft.jobs {
+            let entry = o.jobs.get(id).filter(|j| !j.cancelled).map(|job| {
+                range = Some(job.shards[ft.shard_idx]);
+                snapshot = Some((Arc::clone(&job.db), Arc::clone(&job.arena)));
+                (
+                    Arc::clone(job.prepared.as_ref().expect("running jobs carry profiles")),
+                    job.top_n,
+                )
+            });
+            entries.push(entry);
+        }
+        let Some((db, arena)) = snapshot else {
+            // Every member cancelled mid-run: complete the task without
+            // burning kernels and without a speed report (a 0.0 would
+            // poison the PSS window).
+            return TaskResult {
+                fused: Some(vec![FusedQueryResult::default(); entries.len()]),
+                ..TaskResult::default()
+            };
+        };
         (
-            job.prepared.clone(),
-            job.top_n,
-            job.shards[shard_idx],
-            Arc::clone(&job.db),
-            Arc::clone(&job.arena),
-            job.cancelled,
+            entries,
+            range.expect("live member sets the range"),
+            db,
+            arena,
         )
     };
-    if skip_scan {
-        // Cancelled mid-run: complete the task without burning kernels and
-        // without a speed report (a 0.0 would poison the PSS window).
-        return TaskResult::default();
-    }
     let (s, e) = range;
     let t0 = Instant::now();
+    let live: Vec<(Arc<PreparedQuery>, usize)> = entries.iter().flatten().cloned().collect();
     let cfg = SearchConfig {
         threads: 1,
-        top_n,
+        top_n: live.iter().map(|&(_, n)| n).max().unwrap_or(0),
         chunk_size: inner.cfg.chunk_size,
         preference: inner.cfg.preference,
         kernel: inner.cfg.kernel,
         sort_by_length: false,
     };
-    let out = search_arena(
-        prepared.as_ref().expect("running jobs carry profiles"),
-        &arena,
-        s..e,
-        &cfg,
-    );
-    // The arena is in database order, so shard scan positions already
-    // are global database indices and the cross-shard merge tie-breaks
-    // identically to a whole-db scan. Identifiers are cloned here for
-    // the shard's top-N only.
-    let hits = out
-        .scored
-        .iter()
-        .map(|sc| Hit {
-            db_index: sc.db_index,
-            id: db[sc.db_index].id.clone(),
-            score: sc.score,
-            subject_len: sc.subject_len,
-        })
-        .collect();
+    let outs = search_arena_multi(&live, &arena, s..e, &cfg);
+    // Demux per query, positionally. The arena is in database order, so
+    // shard scan positions already are global database indices and the
+    // cross-shard merge tie-breaks identically to a whole-db scan.
+    // Identifiers are cloned here for the shard's top-N only.
+    let mut outs = outs.into_iter();
+    let mut fused = Vec::with_capacity(entries.len());
+    let mut total_cells = 0u64;
+    let mut merged_stats = KernelStats::default();
+    for entry in &entries {
+        if entry.is_none() {
+            fused.push(FusedQueryResult::default());
+            continue;
+        }
+        let out = outs.next().expect("one output per live batch member");
+        let hits = out
+            .scored
+            .iter()
+            .map(|sc| Hit {
+                db_index: sc.db_index,
+                id: db[sc.db_index].id.clone(),
+                score: sc.score,
+                subject_len: sc.subject_len,
+            })
+            .collect();
+        total_cells += out.cells;
+        merged_stats.merge(&out.stats);
+        fused.push(FusedQueryResult {
+            hits,
+            cells: out.cells,
+            kernels: Some(out.stats),
+        });
+    }
     TaskResult {
-        gcups: Some(observed_gcups(out.cells, t0.elapsed().as_secs_f64())),
-        hits,
-        cells: out.cells,
-        kernels: Some(out.stats),
+        gcups: Some(observed_gcups(total_cells, t0.elapsed().as_secs_f64())),
+        hits: Vec::new(),
+        cells: total_cells,
+        kernels: Some(merged_stats),
+        fused: Some(fused),
     }
 }
 
@@ -1020,15 +1348,14 @@ fn execute_task(inner: &Inner, task: TaskId) -> TaskResult {
 /// Returns the completion to invoke off the lock.
 fn record_shard(
     o: &mut ServeOwner,
-    master: &mut Master,
     now: f64,
-    job_idx: usize,
+    job_id: u64,
     shard_idx: usize,
     hits: Vec<Hit>,
     cells: u64,
 ) -> Option<(Option<Completion>, SearchReply)> {
     {
-        let job = &mut o.jobs[job_idx];
+        let job = o.jobs.get_mut(&job_id)?;
         let Phase::Running {
             pending,
             shard_hits,
@@ -1048,7 +1375,7 @@ fn record_shard(
         }
     }
     // Last shard in: finalize.
-    let job = &mut o.jobs[job_idx];
+    let job = o.jobs.get_mut(&job_id)?;
     let Phase::Running {
         shard_hits,
         cells: total_cells,
@@ -1068,8 +1395,9 @@ fn record_shard(
     let completion = job.completion.take();
     let client = job.client;
     let key = job.key;
+    let codes = job.codes.clone();
     let reply = SearchReply {
-        job: job_idx as u64,
+        job: job_id,
         tag: job.tag.clone(),
         cached: false,
         cancelled,
@@ -1082,13 +1410,15 @@ fn record_shard(
         },
     };
     if !cancelled {
-        o.cache.insert(key, merged);
+        o.cache.insert(key, &codes, merged);
         o.metrics.completed += 1;
         o.metrics.latency.observe(elapsed_ms);
     }
+    retire(o, job_id, now);
     o.active_jobs -= 1;
     o.queue.release(client);
-    pump(master, o);
+    // The scheduling slot is the *group's*; [`ServeOwner::on_finished`]
+    // frees it (and pumps the queue) when the whole group is done.
     Some((completion, reply))
 }
 
@@ -1311,6 +1641,158 @@ mod tests {
         assert_eq!(err, SubmitError::Draining);
         let reply = rx.recv().unwrap();
         assert!(!reply.cancelled);
+        svc.shutdown();
+    }
+
+    /// Regression (unbounded job registry): the daemon used to keep every
+    /// terminal job's record forever, so weeks of queries grew `jobs`
+    /// without bound. Terminal jobs must be evicted after the retention
+    /// window, evicted ids must answer `Expired` (not `Unknown`), and the
+    /// registry must stay bounded over 10k queries.
+    #[test]
+    fn job_registry_stays_bounded_over_ten_thousand_queries() {
+        let db = random_db(83, 20, 50);
+        let query = random_query(89, 30);
+        let svc = QueryService::new(
+            db,
+            scoring(),
+            ServiceConfig {
+                workers: 1,
+                retained_jobs: 32,
+                retention_secs: 1e9, // count bound only; age is tested below
+                ..Default::default()
+            },
+        );
+        for _ in 0..10_000 {
+            let reply = svc.search_blocking(query.clone(), 5, 1).unwrap();
+            assert!(!reply.cancelled);
+        }
+        let stats = svc.stats();
+        let jobs = stats.get("jobs").unwrap();
+        let registry = jobs.get("registry").unwrap().as_u64().unwrap();
+        assert!(
+            registry <= 32 + 2,
+            "registry grew unbounded: {registry} records after 10k queries"
+        );
+        let expired = jobs.get("expired").unwrap().as_u64().unwrap();
+        assert!(expired >= 10_000 - 34, "evictions not accounted: {expired}");
+        // The evicted id is a well-formed answer, not an unknown one.
+        assert_eq!(svc.status(0), JobStatus::Expired);
+        assert_eq!(svc.cancel(0), CancelOutcome::AlreadyDone);
+        // An id never issued stays unknown.
+        assert_eq!(svc.status(99_999_999), JobStatus::Unknown);
+        assert_eq!(svc.cancel(99_999_999), CancelOutcome::Unknown);
+        svc.shutdown();
+    }
+
+    /// Terminal records also age out without traffic: the age bound must
+    /// drain an idle daemon's registry (swept on the stats poll).
+    #[test]
+    fn retention_age_drains_an_idle_registry() {
+        let db = random_db(91, 15, 40);
+        let svc = QueryService::new(
+            db,
+            scoring(),
+            ServiceConfig {
+                workers: 1,
+                retained_jobs: 1024,
+                retention_secs: 0.02,
+                ..Default::default()
+            },
+        );
+        let job = svc.search_blocking(random_query(93, 25), 5, 1).unwrap().job;
+        assert!(matches!(svc.status(job), JobStatus::Done { .. }));
+        std::thread::sleep(Duration::from_millis(60));
+        let _ = svc.stats(); // the idle sweep
+        assert_eq!(svc.status(job), JobStatus::Expired);
+        svc.shutdown();
+    }
+
+    /// The tentpole's law at service level: queries that queue behind a
+    /// running group are fused into shared shard tasks, and every fused
+    /// reply is byte-identical to that query's solo cold scan.
+    #[test]
+    fn fused_queries_match_cold_scans_and_share_tasks() {
+        let db = random_db(97, 50, 70);
+        let svc = QueryService::new(
+            db.clone(),
+            scoring(),
+            ServiceConfig {
+                workers: 1,
+                max_active: 1,
+                fusion: 4,
+                cache_capacity: 0,
+                per_client_inflight: 16,
+                ..Default::default()
+            },
+        );
+        // A slow head query occupies the single group slot; the four short
+        // queries behind it queue and must dispatch as one fused group.
+        let (tx, rx) = std::sync::mpsc::channel();
+        let head = random_query(101, 700);
+        let tx0 = tx.clone();
+        svc.submit(
+            head.clone(),
+            5,
+            None,
+            None,
+            1,
+            Box::new(move |r| tx0.send(r).unwrap()),
+        )
+        .unwrap();
+        let queries: Vec<(Vec<u8>, usize)> = (0..4u64)
+            .map(|i| (random_query(103 + i, 25 + 5 * i as usize), 4 + i as usize))
+            .collect();
+        for (q, top_n) in &queries {
+            let tx = tx.clone();
+            svc.submit(
+                q.clone(),
+                *top_n,
+                None,
+                None,
+                1,
+                Box::new(move |r| tx.send(r).unwrap()),
+            )
+            .unwrap();
+        }
+        let replies: Vec<SearchReply> = (0..5).map(|_| rx.recv().unwrap()).collect();
+        let oracle = |q: &[u8], top_n: usize| {
+            DatabaseSearch::new(
+                q,
+                &scoring(),
+                swhybrid_simd::search::SearchConfig {
+                    top_n,
+                    ..Default::default()
+                },
+            )
+            .run(&db)
+        };
+        for reply in &replies {
+            let (q, top_n) = if reply.job == 0 {
+                (&head, 5usize)
+            } else {
+                let (q, n) = &queries[reply.job as usize - 1];
+                (q, *n)
+            };
+            let cold = oracle(q, top_n);
+            assert_eq!(
+                reply.hits, cold.hits,
+                "job {} differs from cold scan",
+                reply.job
+            );
+            assert_eq!(
+                reply.cells, cold.cells,
+                "job {} cell count drifted",
+                reply.job
+            );
+        }
+        let stats = svc.stats();
+        let fusion = stats.get("fusion").unwrap();
+        let factor = fusion.get("factor").unwrap().as_f64().unwrap();
+        assert!(
+            factor > 1.0,
+            "the queued queries never fused (factor {factor})"
+        );
         svc.shutdown();
     }
 

@@ -1,0 +1,103 @@
+//! Property tests of the fused-scan law the serve path relies on: scoring
+//! a batch of queries in one shared database pass is **permutation
+//! invariant** — each query's output (ranking, cell count, kernel usage)
+//! depends only on the query and the database, never on who else rides in
+//! the batch or in which order. This is what lets the dispatcher fuse and
+//! regroup concurrent queries freely while staying byte-identical to
+//! per-query cold scans.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use swhybrid_align::scoring::{GapModel, Scoring, SubstMatrix};
+use swhybrid_seq::sequence::EncodedSequence;
+use swhybrid_seq::{Alphabet, DbArena};
+use swhybrid_simd::engine::PreparedQuery;
+use swhybrid_simd::search::{search_arena, search_arena_multi, SearchConfig};
+
+fn scoring() -> Scoring {
+    Scoring {
+        matrix: SubstMatrix::blosum62(),
+        gap: GapModel::Affine {
+            open: 10,
+            extend: 2,
+        },
+    }
+}
+
+/// Alphabet codes 0..20 (the canonical protein residues).
+fn codes(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..20, 1..max_len)
+}
+
+fn database(max_seqs: usize) -> impl Strategy<Value = Vec<EncodedSequence>> {
+    prop::collection::vec(codes(50), 1..max_seqs).prop_map(|seqs| {
+        seqs.into_iter()
+            .enumerate()
+            .map(|(i, codes)| EncodedSequence {
+                id: format!("s{i}"),
+                codes,
+                alphabet: Alphabet::Protein,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn fused_scoring_is_permutation_invariant_in_the_query_batch(
+        db in database(20),
+        queries in prop::collection::vec((codes(40), 1usize..10), 2..5),
+        rotation in 0usize..4,
+        reversed in prop::bool::ANY,
+    ) {
+        let s = scoring();
+        let arena = DbArena::from_encoded(&db);
+        let cfg = SearchConfig {
+            chunk_size: 5,
+            ..Default::default()
+        };
+        let batch: Vec<(Arc<PreparedQuery>, usize)> = queries
+            .iter()
+            .map(|(q, top_n)| {
+                (Arc::new(PreparedQuery::new(q, &s, cfg.preference)), *top_n)
+            })
+            .collect();
+
+        // Rotation + optional reversal reaches every cyclic/dihedral
+        // rearrangement of the batch — enough to falsify any positional
+        // dependence.
+        let mut permuted = batch.clone();
+        permuted.rotate_left(rotation % batch.len());
+        if reversed {
+            permuted.reverse();
+        }
+        let mut index: Vec<usize> = (0..batch.len()).collect();
+        index.rotate_left(rotation % batch.len());
+        if reversed {
+            index.reverse();
+        }
+
+        let base = search_arena_multi(&batch, &arena, 0..arena.len(), &cfg);
+        let perm = search_arena_multi(&permuted, &arena, 0..arena.len(), &cfg);
+        prop_assert_eq!(base.len(), batch.len());
+        for (slot, &orig) in index.iter().enumerate() {
+            prop_assert_eq!(
+                &perm[slot].scored, &base[orig].scored,
+                "query {} ranked differently at batch slot {}", orig, slot
+            );
+            prop_assert_eq!(perm[slot].cells, base[orig].cells);
+            prop_assert_eq!(perm[slot].stats.total(), base[orig].stats.total());
+        }
+
+        // And each batch slot equals the query's solo scan outright.
+        for (k, (prepared, top_n)) in batch.iter().enumerate() {
+            let solo_cfg = SearchConfig { top_n: *top_n, ..cfg };
+            let solo = search_arena(prepared, &arena, 0..arena.len(), &solo_cfg);
+            prop_assert_eq!(&base[k].scored, &solo.scored);
+            prop_assert_eq!(base[k].cells, solo.cells);
+        }
+    }
+}

@@ -177,6 +177,116 @@ fn eight_concurrent_clients_match_cold_single_shot_search() {
     daemon.join().unwrap().unwrap();
 }
 
+/// Concurrency soak with fusion on: four clients interleave submits and
+/// cancels against a daemon that fuses co-queued queries into shared
+/// shard tasks. Every completed job must be byte-identical to its
+/// single-query cold scan — fusion may only change wall-clock, never the
+/// answer — and every cancel must produce a well-formed pair of replies.
+#[test]
+fn four_clients_interleaving_submits_and_cancels_with_fusion_on() {
+    const CLIENTS: usize = 4;
+    const ROUNDS: usize = 6;
+    const TOP_N: usize = 8;
+    let db = random_db(127, 50, 80);
+    let queries: Vec<String> = (0..CLIENTS * ROUNDS)
+        .map(|i| random_query_ascii(700 + i as u64, 24 + (i % 5) * 9))
+        .collect();
+    let expected: Vec<Vec<Hit>> = queries.iter().map(|q| cold_hits(q, &db, TOP_N)).collect();
+
+    // Cache off so every completed query really went through (possibly
+    // fused) shard scans; two group slots so queries queue and fuse.
+    let (addr, daemon) = start_daemon(
+        db,
+        ServiceConfig {
+            workers: 2,
+            max_active: 2,
+            fusion: 4,
+            cache_capacity: 0,
+            queue_depth: 64,
+            per_client_inflight: 8,
+            ..Default::default()
+        },
+    );
+
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let queries = &queries;
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut client = ServeClient::connect(addr).unwrap();
+                for k in 0..ROUNDS {
+                    let qi = c * ROUNDS + k;
+                    if k % 3 == 2 {
+                        // Interleaved cancel: ack gives the job id; the
+                        // cancel reply and the job's single result line
+                        // arrive in either order, both well formed.
+                        let ack = client
+                            .request(&Request::Search(SearchRequest {
+                                query: queries[qi].clone(),
+                                top_n: TOP_N,
+                                deadline_ms: None,
+                                tag: Some(format!("c{c}k{k}")),
+                                ack: true,
+                            }))
+                            .unwrap();
+                        assert_eq!(ack.get("type").and_then(Json::as_str), Some("ack"));
+                        let job = ack.get("job").and_then(Json::as_u64).unwrap();
+                        let first = client.cancel(job).unwrap();
+                        let second = client.recv().unwrap();
+                        let (mut cancel, mut result) = (None, None);
+                        for line in [first, second] {
+                            match line.get("type").and_then(Json::as_str) {
+                                Some("cancel") => cancel = Some(line),
+                                Some("result") => result = Some(line),
+                                other => panic!("client {c}: unexpected reply {other:?}"),
+                            }
+                        }
+                        let cancel = cancel.expect("cancel verb got no reply");
+                        let result = result.expect("job never delivered a result");
+                        let outcome = cancel.get("outcome").and_then(Json::as_str).unwrap();
+                        if outcome == "cancelled" {
+                            assert_eq!(result.get("cancelled").and_then(Json::as_bool), Some(true));
+                            assert!(ServeClient::hits(&result).unwrap().is_empty());
+                        } else {
+                            // Raced to completion: the answer must still be
+                            // the cold scan's.
+                            assert_eq!(ServeClient::hits(&result).unwrap(), expected[qi]);
+                        }
+                    } else {
+                        let reply = client.search(&queries[qi], TOP_N).unwrap();
+                        assert_eq!(
+                            reply.get("ok").and_then(Json::as_bool),
+                            Some(true),
+                            "client {c} round {k} rejected: {reply}"
+                        );
+                        assert_eq!(
+                            ServeClient::hits(&reply).unwrap(),
+                            expected[qi],
+                            "client {c} round {k}: fused result differs from cold scan"
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    // Fusion really engaged: shard tasks were shared by multiple queries.
+    let mut client = ServeClient::connect(addr).unwrap();
+    let stats = client.stats().unwrap();
+    let fusion = stats.get("fusion").unwrap();
+    let tasks = fusion.get("tasks").and_then(Json::as_u64).unwrap();
+    let fused_queries = fusion.get("queries").and_then(Json::as_u64).unwrap();
+    assert!(tasks > 0, "no shard tasks dispatched");
+    assert!(
+        fused_queries > tasks,
+        "four concurrent clients never co-scheduled a fused group \
+         ({fused_queries} query-slots over {tasks} tasks)"
+    );
+
+    client.shutdown().unwrap();
+    daemon.join().unwrap().unwrap();
+}
+
 #[test]
 fn backpressure_and_cancellation_replies_are_well_formed() {
     // A single worker, a single admission slot per client, and a scan that

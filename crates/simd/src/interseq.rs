@@ -94,10 +94,28 @@ pub fn scores_arena(
     assert!(!query.is_empty(), "query must not be empty");
     let m = query.len() as u64;
     let jobs: Vec<usize> = range.collect();
-    let scoring = prepared.scoring();
 
     stats.cells_computed += m * jobs.iter().map(|&p| arena.seq_len(p) as u64).sum::<u64>();
     let r8 = run_pass::<i8>(prepared, arena, &jobs);
+    finish_after_i8(prepared, arena, &jobs, r8, stats)
+}
+
+/// Resolve one query's i8 pass results into exact scores: keep the exact
+/// i8 lanes, rerun the saturated subjects at 16 bits, and finish stragglers
+/// with the exact scalar kernel — accumulating the width counters and the
+/// rerun cells into `stats`. Shared by [`scores_arena`] and
+/// [`scores_arena_multi`], which is what keeps the fused chain's
+/// per-query output and accounting byte-identical to the solo chain's.
+fn finish_after_i8(
+    prepared: &PreparedQuery,
+    arena: &DbArena,
+    jobs: &[usize],
+    r8: Vec<Option<i32>>,
+    stats: &mut KernelStats,
+) -> Vec<i32> {
+    let query = prepared.query();
+    let m = query.len() as u64;
+    let scoring = prepared.scoring();
 
     let mut scores = vec![0i32; jobs.len()];
     let mut saturated: Vec<usize> = Vec::new(); // indices into `jobs`
@@ -131,6 +149,92 @@ pub fn scores_arena(
         }
     }
     scores
+}
+
+/// Fused variant of [`scores_arena`]: score every query in `batch` against
+/// the same scan range in ONE shared 8-bit pass. The per-column score
+/// gather (matrix-row loads plus the byte transpose) depends only on the
+/// database lanes, so the fused pass builds it once per column and runs
+/// each query's DP loop over the already-filled lane buffer; each query's
+/// saturated subjects then finish through its own i16 → scalar rerun,
+/// exactly like the solo chain.
+///
+/// Returns one score vector per batch entry. Scores and the per-query
+/// `stats` accounting are byte-identical to calling [`scores_arena`] once
+/// per query — fusion changes wall-clock, never results. When the batch
+/// cannot fuse (a single query, mixed scorings, a portable preference, or
+/// no vectorized multi-query pass on this CPU) it falls back to exactly
+/// that solo loop.
+pub fn scores_arena_multi(
+    batch: &[&PreparedQuery],
+    arena: &DbArena,
+    range: Range<usize>,
+    stats: &mut [KernelStats],
+) -> Vec<Vec<i32>> {
+    assert_eq!(batch.len(), stats.len(), "one stats slot per query");
+    assert!(
+        batch.iter().all(|p| !p.query().is_empty()),
+        "query must not be empty"
+    );
+    let jobs: Vec<usize> = range.clone().collect();
+
+    let fused8 = if batch.len() >= 2
+        && batch
+            .iter()
+            .all(|p| p.preference() != EnginePreference::Portable)
+    {
+        crate::interseq_avx2::multi_pass_i8(batch, arena, &jobs)
+            .or_else(|| crate::interseq_sse::multi_pass_i8(batch, arena, &jobs))
+    } else {
+        None
+    };
+    let Some(r8_batch) = fused8 else {
+        return batch
+            .iter()
+            .zip(stats.iter_mut())
+            .map(|(prepared, stats)| scores_arena(prepared, arena, range.clone(), stats))
+            .collect();
+    };
+
+    let total: u64 = jobs.iter().map(|&p| arena.seq_len(p) as u64).sum();
+    batch
+        .iter()
+        .zip(r8_batch)
+        .zip(stats.iter_mut())
+        .map(|((prepared, r8), stats)| {
+            stats.cells_computed += prepared.query_len() as u64 * total;
+            finish_after_i8(prepared, arena, &jobs, r8, stats)
+        })
+        .collect()
+}
+
+/// The unpacked kernel inputs of a fusable batch: the query slices, the
+/// shared padded score table, and the shared `(open+extend, extend)` gap
+/// penalties.
+#[cfg(target_arch = "x86_64")]
+pub(crate) type FusableBatch<'a> = (Vec<&'a [u8]>, &'a [i8], i32, i32);
+
+/// Validate that `batch` can share one fused pass and unpack the kernel
+/// inputs: every query must carry the same padded score table and gap
+/// penalties (the serve path guarantees one scoring per fused task; mixed
+/// batches simply refuse to fuse). Returns the query slices plus the shared
+/// matrix and penalties.
+#[cfg(target_arch = "x86_64")]
+pub(crate) fn fusable_batch<'a>(batch: &[&'a PreparedQuery]) -> Option<FusableBatch<'a>> {
+    let first = batch.first()?;
+    let matrix32 = first.interseq_matrix.as_deref()?;
+    let (goe, ext) = first.gap_penalties();
+    for p in &batch[1..] {
+        if p.interseq_matrix.as_deref() != Some(matrix32) || p.gap_penalties() != (goe, ext) {
+            return None;
+        }
+    }
+    Some((
+        batch.iter().map(|p| p.query()).collect(),
+        matrix32,
+        goe,
+        ext,
+    ))
 }
 
 /// One pass at width `T`: vectorized when the preference and CPU allow it,
@@ -492,6 +596,67 @@ mod tests {
             assert_eq!(stats.interseq_total(), subjects.len() as u64, "{pref:?}");
             assert!(stats.interseq_i16 >= 1, "planted subject saturates i8");
             assert!(stats.cells_computed > 0);
+        }
+    }
+
+    #[test]
+    fn scores_arena_multi_is_byte_identical_to_solo_chains() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(231);
+        // Different lengths, one query with a planted i8-saturating
+        // self-match: the fused chain must reproduce each solo chain's
+        // scores AND its width/cell accounting exactly.
+        let queries: Vec<Vec<u8>> = [20usize, 55, 20, 90]
+            .iter()
+            .map(|&m| (0..m).map(|_| rng.random_range(0..20u8)).collect())
+            .collect();
+        let mut subjects = random_subjects(232, 70, 60);
+        subjects[13] = EncodedSequence {
+            id: "self".into(),
+            codes: queries[1].clone(),
+            alphabet: Alphabet::Protein,
+        };
+        for pref in [
+            EnginePreference::Auto,
+            EnginePreference::Portable,
+            EnginePreference::Simd,
+        ] {
+            let prepared: Vec<PreparedQuery> = queries
+                .iter()
+                .map(|q| PreparedQuery::new(q, &scoring(), pref))
+                .collect();
+            let batch: Vec<&PreparedQuery> = prepared.iter().collect();
+            let arena = DbArena::from_encoded(&subjects);
+            let mut multi_stats = vec![KernelStats::default(); batch.len()];
+            let fused = scores_arena_multi(&batch, &arena, 0..arena.len(), &mut multi_stats);
+            assert_eq!(fused.len(), batch.len());
+            for (q, prepared) in batch.iter().enumerate() {
+                let mut solo_stats = KernelStats::default();
+                let solo = scores_arena(prepared, &arena, 0..arena.len(), &mut solo_stats);
+                assert_eq!(fused[q], solo, "pref {pref:?} query {q}");
+                assert_eq!(multi_stats[q], solo_stats, "pref {pref:?} query {q} stats");
+            }
+        }
+    }
+
+    #[test]
+    fn scores_arena_multi_falls_back_on_mixed_scorings() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(233);
+        let query: Vec<u8> = (0..30).map(|_| rng.random_range(0..20u8)).collect();
+        let cheap = Scoring {
+            matrix: SubstMatrix::blosum62(),
+            gap: GapModel::Affine { open: 4, extend: 1 },
+        };
+        let a = PreparedQuery::new(&query, &scoring(), EnginePreference::Auto);
+        let b = PreparedQuery::new(&query, &cheap, EnginePreference::Auto);
+        let subjects = random_subjects(234, 40, 50);
+        let arena = DbArena::from_encoded(&subjects);
+        let mut stats = vec![KernelStats::default(); 2];
+        let got = scores_arena_multi(&[&a, &b], &arena, 0..arena.len(), &mut stats);
+        for (prepared, scores) in [&a, &b].into_iter().zip(&got) {
+            for (k, subject) in subjects.iter().enumerate() {
+                let expect = sw_score_affine(&query, &subject.codes, prepared.scoring()).score;
+                assert_eq!(scores[k], expect);
+            }
         }
     }
 

@@ -57,6 +57,50 @@ pub fn pass_i16(
     None
 }
 
+/// Run the fused multi-query 32 × i8 pass: every query scored against
+/// `jobs` in one shared lane traversal, the per-column score gather built
+/// once and reused by each query's DP loop. `None` when the CPU lacks AVX2
+/// or the batch does not share a single scoring.
+pub fn multi_pass_i8(
+    batch: &[&PreparedQuery],
+    arena: &DbArena,
+    jobs: &[usize],
+) -> Option<Vec<Vec<Option<i32>>>> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let (queries, matrix32, goe, ext) = crate::interseq::fusable_batch(batch)?;
+        if crate::avx2::avx2_available() {
+            // SAFETY: feature presence checked above.
+            return Some(unsafe {
+                x86::multi_pass_i8_avx2(&queries, matrix32, goe, ext, arena, jobs)
+            });
+        }
+    }
+    let _ = (batch, arena, jobs);
+    None
+}
+
+/// Run the fused multi-query 16 × i16 pass (the rerun width for subjects
+/// that saturate the i8 pass).
+pub fn multi_pass_i16(
+    batch: &[&PreparedQuery],
+    arena: &DbArena,
+    jobs: &[usize],
+) -> Option<Vec<Vec<Option<i32>>>> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let (queries, matrix32, goe, ext) = crate::interseq::fusable_batch(batch)?;
+        if crate::avx2::avx2_available() {
+            // SAFETY: feature presence checked above.
+            return Some(unsafe {
+                x86::multi_pass_i16_avx2(&queries, matrix32, goe, ext, arena, jobs)
+            });
+        }
+    }
+    let _ = (batch, arena, jobs);
+    None
+}
+
 #[cfg(target_arch = "x86_64")]
 mod x86 {
     use std::arch::x86_64::*;
@@ -66,6 +110,7 @@ mod x86 {
 
     interseq_pass!(
         pass_i8_avx2,
+        multi_pass_i8_avx2,
         "avx2",
         i8,
         32,
@@ -131,6 +176,7 @@ mod x86 {
 
     interseq_pass!(
         pass_i16_avx2,
+        multi_pass_i16_avx2,
         "avx2",
         i16,
         16,
@@ -293,5 +339,94 @@ mod tests {
             return;
         };
         assert_eq!(simd, pass_portable::<i8>(&query, &s, &arena, &jobs));
+    }
+
+    #[test]
+    fn multi_pass_i8_matches_solo_passes() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(421);
+        let s = scoring();
+        let mut subjects = random_subjects(422, 90, 70);
+        // Different lengths on purpose: the fused pass must keep each
+        // query's own DP extent while sharing the lane traversal.
+        let queries: Vec<Vec<u8>> = [20usize, 47, 20, 111]
+            .iter()
+            .map(|&m| (0..m).map(|_| rng.random_range(0..20u8)).collect())
+            .collect();
+        // Plant a subject that saturates the pass for query 1 only.
+        subjects[40] = EncodedSequence {
+            id: "self".into(),
+            codes: queries[1].clone(),
+            alphabet: Alphabet::Protein,
+        };
+        let arena = swhybrid_seq::arena::DbArena::from_encoded(&subjects);
+        let jobs: Vec<usize> = (0..arena.len()).collect();
+        let prepared: Vec<_> = queries
+            .iter()
+            .map(|q| crate::engine::PreparedQuery::new(q, &s, EnginePreference::Simd))
+            .collect();
+        let batch: Vec<&crate::engine::PreparedQuery> = prepared.iter().collect();
+        let Some(multi) = multi_pass_i8(&batch, &arena, &jobs) else {
+            return; // CPU lacks the feature; nothing to compare.
+        };
+        assert_eq!(multi.len(), batch.len());
+        for (q, p) in batch.iter().enumerate() {
+            let solo = pass_i8(p, &arena, &jobs).unwrap();
+            assert_eq!(multi[q], solo, "query {q}");
+        }
+        assert_eq!(multi[1][40], None, "planted self-match must saturate i8");
+    }
+
+    #[test]
+    fn multi_pass_i16_matches_solo_passes() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(425);
+        let s = scoring();
+        let mut subjects = random_subjects(426, 90, 70);
+        // Different lengths on purpose: the fused pass must keep each
+        // query's own DP extent while sharing the lane traversal.
+        let queries: Vec<Vec<u8>> = [20usize, 47, 20, 111]
+            .iter()
+            .map(|&m| (0..m).map(|_| rng.random_range(0..20u8)).collect())
+            .collect();
+        // Plant a subject that saturates the pass for query 1 only.
+        subjects[40] = EncodedSequence {
+            id: "self".into(),
+            codes: queries[1].iter().cycle().take(3100).copied().collect(),
+            alphabet: Alphabet::Protein,
+        };
+        let arena = swhybrid_seq::arena::DbArena::from_encoded(&subjects);
+        let jobs: Vec<usize> = (0..arena.len()).collect();
+        let prepared: Vec<_> = queries
+            .iter()
+            .map(|q| crate::engine::PreparedQuery::new(q, &s, EnginePreference::Simd))
+            .collect();
+        let batch: Vec<&crate::engine::PreparedQuery> = prepared.iter().collect();
+        let Some(multi) = multi_pass_i16(&batch, &arena, &jobs) else {
+            return; // CPU lacks the feature; nothing to compare.
+        };
+        assert_eq!(multi.len(), batch.len());
+        for (q, p) in batch.iter().enumerate() {
+            let solo = pass_i16(p, &arena, &jobs).unwrap();
+            assert_eq!(multi[q], solo, "query {q}");
+        }
+        let _ = &multi;
+    }
+
+    #[test]
+    fn multi_pass_refuses_mixed_scorings() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(431);
+        let query: Vec<u8> = (0..30).map(|_| rng.random_range(0..20u8)).collect();
+        let cheap = Scoring {
+            matrix: SubstMatrix::blosum62(),
+            gap: GapModel::Affine { open: 4, extend: 1 },
+        };
+        let a = crate::engine::PreparedQuery::new(&query, &scoring(), EnginePreference::Simd);
+        let b = crate::engine::PreparedQuery::new(&query, &cheap, EnginePreference::Simd);
+        let subjects = random_subjects(432, 8, 30);
+        let arena = swhybrid_seq::arena::DbArena::from_encoded(&subjects);
+        let jobs: Vec<usize> = (0..arena.len()).collect();
+        assert!(
+            multi_pass_i8(&[&a, &b], &arena, &jobs).is_none(),
+            "mixed gap penalties must refuse to fuse"
+        );
     }
 }

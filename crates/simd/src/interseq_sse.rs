@@ -67,6 +67,49 @@ pub fn pass_i16(
     None
 }
 
+/// Run the fused multi-query 16 × i8 pass: every query scored against
+/// `jobs` in one shared lane traversal. `None` when the CPU lacks SSE4.1
+/// or the batch does not share a single scoring.
+pub fn multi_pass_i8(
+    batch: &[&PreparedQuery],
+    arena: &DbArena,
+    jobs: &[usize],
+) -> Option<Vec<Vec<Option<i32>>>> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let (queries, matrix32, goe, ext) = super::interseq::fusable_batch(batch)?;
+        if crate::sse::sse41_available() {
+            // SAFETY: feature presence checked above.
+            return Some(unsafe {
+                x86::multi_pass_i8_sse41(&queries, matrix32, goe, ext, arena, jobs)
+            });
+        }
+    }
+    let _ = (batch, arena, jobs);
+    None
+}
+
+/// Run the fused multi-query 8 × i16 pass (the rerun width for subjects
+/// that saturate the i8 pass).
+pub fn multi_pass_i16(
+    batch: &[&PreparedQuery],
+    arena: &DbArena,
+    jobs: &[usize],
+) -> Option<Vec<Vec<Option<i32>>>> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let (queries, matrix32, goe, ext) = super::interseq::fusable_batch(batch)?;
+        if crate::sse::sse41_available() {
+            // SAFETY: feature presence checked above.
+            return Some(unsafe {
+                x86::multi_pass_i16_sse41(&queries, matrix32, goe, ext, arena, jobs)
+            });
+        }
+    }
+    let _ = (batch, arena, jobs);
+    None
+}
+
 #[cfg(target_arch = "x86_64")]
 pub(crate) mod x86 {
     use std::arch::x86_64::*;
@@ -157,9 +200,18 @@ pub(crate) mod x86 {
 
     /// Shared retire/refill + gather + advance bookkeeping, generated per
     /// lane width so the DP loop below it can stay in registers.
+    ///
+    /// Each invocation emits two passes from the same DP and gather blocks:
+    /// the single-query `$name`, and the fused `$multi` which scores a whole
+    /// query *batch* per lane traversal. The score gather (matrix-row loads
+    /// plus the byte transpose) depends only on the lane residues — never on
+    /// the query — so the fused pass builds `dprofile` once per column and
+    /// runs every query's DP block over it. Per query the instruction
+    /// sequence is identical to `$name`, which is what keeps fused scores
+    /// byte-identical to solo passes.
     macro_rules! interseq_pass {
         (
-            $name:ident, $feature:literal, $elem:ty, $lanes:expr,
+            $name:ident, $multi:ident, $feature:literal, $elem:ty, $lanes:expr,
             |$dp_query:ident, $dp_h:ident, $dp_e:ident, $dp_best:ident,
              $dp_dprofile:ident, $dp_goe:ident, $dp_ext:ident, $dp_m:ident| $dp:block,
             |$gq:ident, $gmatrix:ident, $gcodes:ident, $ghalves:ident, $gdprofile:ident| $gather:block
@@ -248,12 +300,125 @@ pub(crate) mod x86 {
                 }
                 results
             }
+
+            /// Fused variant of the pass above: scores every query in
+            /// `queries` against `jobs` in ONE lane traversal, reusing the
+            /// per-column score gather across the batch. Returns one result
+            /// vector per query, each byte-identical to running the
+            /// single-query pass alone.
+            ///
+            /// All queries must share the scoring that produced `matrix32`,
+            /// `goe` and `ext` — the safe wrappers check this.
+            ///
+            /// # Safety
+            /// The caller must ensure the CPU supports the named feature.
+            #[target_feature(enable = $feature)]
+            pub unsafe fn $multi(
+                queries: &[&[u8]],
+                matrix32: &[i8],
+                goe: i32,
+                ext: i32,
+                arena: &DbArena,
+                jobs: &[usize],
+            ) -> Vec<Vec<Option<i32>>> {
+                const L: usize = $lanes;
+                type E = $elem;
+                let nq = queries.len();
+                if nq == 0 {
+                    return Vec::new();
+                }
+                debug_assert!(queries.iter().all(|q| !q.is_empty()));
+                let buf = arena.buffer();
+                let halves = matrix32.len().div_ceil(32 * 16).max(1);
+                let mut results: Vec<Vec<Option<i32>>> = vec![vec![None; jobs.len()]; nq];
+                // Per-query DP state over the SHARED lane assignment: query
+                // q's `j * L + lane` is its prefix j against that lane's
+                // subject.
+                let mut h: Vec<Vec<E>> = queries
+                    .iter()
+                    .map(|q| vec![0 as E; (q.len() + 1) * L])
+                    .collect();
+                let mut e: Vec<Vec<E>> = queries
+                    .iter()
+                    .map(|q| vec![E::MIN; (q.len() + 1) * L])
+                    .collect();
+                let mut best: Vec<[E; L]> = vec![[0 as E; L]; nq];
+                let mut dprofile = [0 as E; 32 * L];
+                let mut lanes = LaneCursors::<L>::new(arena, jobs);
+
+                while lanes.active > 0 {
+                    // Retire finished lanes for EVERY query (the traversal
+                    // is shared, so all queries finish a subject together)
+                    // and refill from the queue.
+                    for lane in 0..L {
+                        while lanes.job[lane] != IDLE && lanes.cur[lane] == lanes.end[lane] {
+                            let job = lanes.job[lane];
+                            for (q, query) in queries.iter().enumerate() {
+                                let b = best[q][lane];
+                                results[q][job] = (b != E::MAX).then(|| b as i32);
+                                for j in 0..=query.len() {
+                                    h[q][j * L + lane] = 0;
+                                    e[q][j * L + lane] = E::MIN;
+                                }
+                                best[q][lane] = 0;
+                            }
+                            lanes.assign(lane, arena, jobs);
+                        }
+                    }
+                    if lanes.active == 0 {
+                        break;
+                    }
+
+                    // One residue per live lane; idle lanes read row 0 of
+                    // the score table (their results are never used).
+                    let mut codes = [0usize; L];
+                    for lane in 0..L {
+                        if lanes.job[lane] != IDLE {
+                            codes[lane] = buf[lanes.cur[lane]] as usize;
+                        }
+                    }
+
+                    // Built once per column — every query's DP loop below
+                    // reads the same gathered lane scores.
+                    {
+                        let $gq = queries[0];
+                        let $gmatrix = matrix32;
+                        let $gcodes = &codes;
+                        let $ghalves = halves;
+                        let $gdprofile = &mut dprofile;
+                        $gather
+                    }
+
+                    // The multi-query outer loop: each query advances one DP
+                    // column over the already-filled lane buffer. The chains
+                    // are independent, so the CPU overlaps their latencies.
+                    for (q, &query) in queries.iter().enumerate() {
+                        let $dp_query = query;
+                        let $dp_h = &mut h[q];
+                        let $dp_e = &mut e[q];
+                        let $dp_best = &mut best[q];
+                        let $dp_dprofile = &dprofile;
+                        let $dp_goe = goe;
+                        let $dp_ext = ext;
+                        let $dp_m = query.len();
+                        $dp
+                    }
+
+                    for lane in 0..L {
+                        if lanes.job[lane] != IDLE {
+                            lanes.cur[lane] += 1;
+                        }
+                    }
+                }
+                results
+            }
         };
     }
     pub(crate) use interseq_pass;
 
     interseq_pass!(
         pass_i8_sse41,
+        multi_pass_i8_sse41,
         "sse4.1",
         i8,
         16,
@@ -309,6 +474,7 @@ pub(crate) mod x86 {
 
     interseq_pass!(
         pass_i16_sse41,
+        multi_pass_i16_sse41,
         "sse4.1",
         i16,
         8,
@@ -510,5 +676,94 @@ mod tests {
         };
         assert_eq!(simd, pass_portable::<i8>(&query, &s, &arena, &jobs));
         assert_eq!(simd[0], Some(0));
+    }
+
+    #[test]
+    fn multi_pass_i8_matches_solo_passes() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(441);
+        let s = scoring();
+        let mut subjects = random_subjects(442, 90, 70);
+        // Different lengths on purpose: the fused pass must keep each
+        // query's own DP extent while sharing the lane traversal.
+        let queries: Vec<Vec<u8>> = [20usize, 47, 20, 111]
+            .iter()
+            .map(|&m| (0..m).map(|_| rng.random_range(0..20u8)).collect())
+            .collect();
+        // Plant a subject that saturates the pass for query 1 only.
+        subjects[40] = EncodedSequence {
+            id: "self".into(),
+            codes: queries[1].clone(),
+            alphabet: Alphabet::Protein,
+        };
+        let arena = swhybrid_seq::arena::DbArena::from_encoded(&subjects);
+        let jobs: Vec<usize> = (0..arena.len()).collect();
+        let prepared: Vec<_> = queries
+            .iter()
+            .map(|q| crate::engine::PreparedQuery::new(q, &s, EnginePreference::Simd))
+            .collect();
+        let batch: Vec<&crate::engine::PreparedQuery> = prepared.iter().collect();
+        let Some(multi) = multi_pass_i8(&batch, &arena, &jobs) else {
+            return; // CPU lacks the feature; nothing to compare.
+        };
+        assert_eq!(multi.len(), batch.len());
+        for (q, p) in batch.iter().enumerate() {
+            let solo = pass_i8(p, &arena, &jobs).unwrap();
+            assert_eq!(multi[q], solo, "query {q}");
+        }
+        assert_eq!(multi[1][40], None, "planted self-match must saturate i8");
+    }
+
+    #[test]
+    fn multi_pass_i16_matches_solo_passes() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(445);
+        let s = scoring();
+        let mut subjects = random_subjects(446, 90, 70);
+        // Different lengths on purpose: the fused pass must keep each
+        // query's own DP extent while sharing the lane traversal.
+        let queries: Vec<Vec<u8>> = [20usize, 47, 20, 111]
+            .iter()
+            .map(|&m| (0..m).map(|_| rng.random_range(0..20u8)).collect())
+            .collect();
+        // Plant a subject that saturates the pass for query 1 only.
+        subjects[40] = EncodedSequence {
+            id: "self".into(),
+            codes: queries[1].iter().cycle().take(3100).copied().collect(),
+            alphabet: Alphabet::Protein,
+        };
+        let arena = swhybrid_seq::arena::DbArena::from_encoded(&subjects);
+        let jobs: Vec<usize> = (0..arena.len()).collect();
+        let prepared: Vec<_> = queries
+            .iter()
+            .map(|q| crate::engine::PreparedQuery::new(q, &s, EnginePreference::Simd))
+            .collect();
+        let batch: Vec<&crate::engine::PreparedQuery> = prepared.iter().collect();
+        let Some(multi) = multi_pass_i16(&batch, &arena, &jobs) else {
+            return; // CPU lacks the feature; nothing to compare.
+        };
+        assert_eq!(multi.len(), batch.len());
+        for (q, p) in batch.iter().enumerate() {
+            let solo = pass_i16(p, &arena, &jobs).unwrap();
+            assert_eq!(multi[q], solo, "query {q}");
+        }
+        let _ = &multi;
+    }
+
+    #[test]
+    fn multi_pass_refuses_mixed_scorings() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(431);
+        let query: Vec<u8> = (0..30).map(|_| rng.random_range(0..20u8)).collect();
+        let cheap = Scoring {
+            matrix: SubstMatrix::blosum62(),
+            gap: GapModel::Affine { open: 4, extend: 1 },
+        };
+        let a = crate::engine::PreparedQuery::new(&query, &scoring(), EnginePreference::Simd);
+        let b = crate::engine::PreparedQuery::new(&query, &cheap, EnginePreference::Simd);
+        let subjects = random_subjects(432, 8, 30);
+        let arena = swhybrid_seq::arena::DbArena::from_encoded(&subjects);
+        let jobs: Vec<usize> = (0..arena.len()).collect();
+        assert!(
+            multi_pass_i8(&[&a, &b], &arena, &jobs).is_none(),
+            "mixed gap penalties must refuse to fuse"
+        );
     }
 }

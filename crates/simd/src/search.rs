@@ -344,6 +344,87 @@ pub fn search_arena(
     }
 }
 
+/// Scan the arena positions in `range` for a *batch* of prepared queries
+/// at once — the fused-scan entry point of the serve path. Each entry is
+/// `(prepared query, top_n)`; the returned outputs are paired positionally
+/// with the batch.
+///
+/// Workers claim chunks exactly as [`search_arena`] does, but score every
+/// query of the batch against a chunk while its residues are hot in cache:
+/// the striped kernel loops per query per chunk, the inter-sequence kernel
+/// re-runs its lane buffer over the same chunk per query. Per-query kernel
+/// work is *identical* to a solo [`search_arena`] run — the kernel choice
+/// depends only on the query and the chunk shape, lane scheduling in the
+/// inter-sequence pass is score-independent, and ranking is a total order —
+/// so each output is byte-identical to scanning that query alone
+/// (`fused_batch_matches_solo_scans` and the serve crate's permutation
+/// property prove the law). `config.top_n` is ignored; each entry carries
+/// its own.
+pub fn search_arena_multi(
+    batch: &[(Arc<PreparedQuery>, usize)],
+    arena: &DbArena,
+    range: Range<usize>,
+    config: &SearchConfig,
+) -> Vec<ScanOutput> {
+    assert!(config.threads >= 1, "at least one worker required");
+    assert!(config.chunk_size >= 1, "chunk size must be positive");
+    assert!(range.end <= arena.len(), "scan range out of bounds");
+    if batch.is_empty() {
+        return Vec::new();
+    }
+    let span = range.len();
+    let n_workers = config.threads.min(span.max(1));
+    let cursor = AtomicUsize::new(0);
+
+    let worker_outputs: Vec<Vec<(Vec<Scored>, KernelStats)>> = if n_workers == 1 {
+        vec![multi_scan_worker(
+            batch,
+            arena,
+            range.clone(),
+            &cursor,
+            config,
+        )]
+    } else {
+        let mut outs = Vec::with_capacity(n_workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n_workers)
+                .map(|_| {
+                    let range = range.clone();
+                    let cursor = &cursor;
+                    scope.spawn(move || multi_scan_worker(batch, arena, range, cursor, config))
+                })
+                .collect();
+            for h in handles {
+                outs.push(h.join().expect("fused search worker panicked"));
+            }
+        });
+        outs
+    };
+
+    let mut merged: Vec<(Vec<Scored>, KernelStats)> =
+        vec![(Vec::new(), KernelStats::default()); batch.len()];
+    for worker in worker_outputs {
+        for (k, (worker_scored, worker_stats)) in worker.into_iter().enumerate() {
+            merged[k].0.extend(worker_scored);
+            merged[k].1.merge(&worker_stats);
+        }
+    }
+    merged
+        .into_iter()
+        .zip(batch)
+        .map(|((mut scored, stats), (prepared, top_n))| {
+            rank_scored(&mut scored);
+            scored.truncate(*top_n);
+            ScanOutput {
+                scored,
+                cells: stats.cells_computed,
+                cells_nominal: cells(prepared.query_len(), 1) * arena.range_residues(range.clone()),
+                stats,
+            }
+        })
+        .collect()
+}
+
 /// Should `Auto` send this chunk to the inter-sequence kernel?
 ///
 /// The inter-sequence kernel amortises nothing when lanes cannot fill
@@ -430,6 +511,92 @@ fn scan_worker(
     }
     stats.merge(&engine.stats());
     (local, stats)
+}
+
+/// One worker of a fused scan: claims chunks from the shared cursor and
+/// scores every batch query against each chunk before releasing it. The
+/// per-query work inside one chunk mirrors [`scan_worker`] statement for
+/// statement — that is what keeps fused outputs byte-identical to solo
+/// scans. Returns one `(scored, stats)` pair per batch entry.
+fn multi_scan_worker(
+    batch: &[(Arc<PreparedQuery>, usize)],
+    arena: &DbArena,
+    range: Range<usize>,
+    cursor: &AtomicUsize,
+    config: &SearchConfig,
+) -> Vec<(Vec<Scored>, KernelStats)> {
+    let chunk_size = config.chunk_size;
+    let mut engines: Vec<StripedEngine> = batch
+        .iter()
+        .map(|(prepared, _)| StripedEngine::with_prepared(Arc::clone(prepared)))
+        .collect();
+    let mut stats: Vec<KernelStats> = vec![KernelStats::default(); batch.len()];
+    let mut locals: Vec<Vec<Scored>> = vec![Vec::new(); batch.len()];
+    loop {
+        let start = range.start + cursor.fetch_add(chunk_size, Ordering::Relaxed);
+        if start >= range.end {
+            break;
+        }
+        let end = (start + chunk_size).min(range.end);
+        // Decide every query's kernel for this chunk up front, then run all
+        // the inter-sequence queries through ONE fused pass while the chunk
+        // is hot: the per-column score gather is shared across the batch and
+        // each query's DP loop runs over the already-filled lane buffer.
+        // Per query this is byte-identical to its solo `scores_arena` call.
+        let picks_interseq: Vec<bool> = batch
+            .iter()
+            .map(|(prepared, _)| match config.kernel {
+                KernelChoice::Striped => false,
+                KernelChoice::InterSeq => true,
+                KernelChoice::Auto => auto_picks_interseq(prepared, arena, start..end),
+            })
+            .collect();
+        let fused: Vec<usize> = (0..batch.len()).filter(|&k| picks_interseq[k]).collect();
+        let fused_batch: Vec<&PreparedQuery> = fused.iter().map(|&k| &*batch[k].0).collect();
+        let mut fused_stats = vec![KernelStats::default(); fused.len()];
+        let fused_scores =
+            crate::interseq::scores_arena_multi(&fused_batch, arena, start..end, &mut fused_stats);
+        let mut fused_out = fused
+            .iter()
+            .zip(fused_scores)
+            .zip(fused_stats)
+            .map(|((&k, scores), stats)| (k, scores, stats));
+        for (k, top_n) in batch.iter().map(|&(_, top_n)| top_n).enumerate() {
+            if picks_interseq[k] {
+                let (fk, scores, chunk_stats) =
+                    fused_out.next().expect("one fused result per pick");
+                debug_assert_eq!(fk, k);
+                stats[k].chunks_interseq += 1;
+                stats[k].merge(&chunk_stats);
+                for (offset, &score) in scores.iter().enumerate() {
+                    let pos = start + offset;
+                    locals[k].push(Scored {
+                        db_index: arena.db_index(pos),
+                        score,
+                        subject_len: arena.seq_len(pos),
+                    });
+                }
+            } else {
+                stats[k].chunks_striped += 1;
+                for pos in start..end {
+                    let score = engines[k].score(arena.residues(pos));
+                    locals[k].push(Scored {
+                        db_index: arena.db_index(pos),
+                        score,
+                        subject_len: arena.seq_len(pos),
+                    });
+                }
+            }
+            if locals[k].len() > 4 * top_n.max(16) {
+                rank_scored(&mut locals[k]);
+                locals[k].truncate(2 * top_n.max(8));
+            }
+        }
+    }
+    for (k, engine) in engines.iter().enumerate() {
+        stats[k].merge(&engine.stats());
+    }
+    locals.into_iter().zip(stats).collect()
 }
 
 #[cfg(test)]
@@ -786,6 +953,83 @@ mod tests {
             .collect();
         assert_eq!(out.scored, rebased);
         assert_eq!(out.cells_nominal, slice.cells_nominal);
+    }
+
+    /// The fused-scan law: each output of a batched scan is byte-identical
+    /// to scanning that query alone with the same configuration — scored
+    /// list, cell counts, and kernel counters all match, across kernel
+    /// choices, per-entry depths, and thread counts.
+    #[test]
+    fn fused_batch_matches_solo_scans() {
+        let db = random_db(197, 120, 110);
+        let s = scoring();
+        let arena = DbArena::from_encoded(&db);
+        let queries: Vec<Vec<u8>> = [(199u64, 40), (211, 80), (223, 17), (227, 60)]
+            .iter()
+            .map(|&(seed, len)| {
+                let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+                (0..len).map(|_| rng.random_range(0..20u8)).collect()
+            })
+            .collect();
+        for kernel in [
+            KernelChoice::Auto,
+            KernelChoice::Striped,
+            KernelChoice::InterSeq,
+        ] {
+            for threads in [1, 3] {
+                let cfg = SearchConfig {
+                    threads,
+                    chunk_size: 9,
+                    kernel,
+                    ..Default::default()
+                };
+                let batch: Vec<(Arc<PreparedQuery>, usize)> = queries
+                    .iter()
+                    .enumerate()
+                    .map(|(i, q)| {
+                        (
+                            Arc::new(PreparedQuery::new(q, &s, cfg.preference)),
+                            5 + 3 * i, // distinct per-entry depths
+                        )
+                    })
+                    .collect();
+                let fused = search_arena_multi(&batch, &arena, 0..arena.len(), &cfg);
+                assert_eq!(fused.len(), batch.len());
+                for ((prepared, top_n), out) in batch.iter().zip(&fused) {
+                    let solo_cfg = SearchConfig {
+                        top_n: *top_n,
+                        ..cfg
+                    };
+                    let solo = search_arena(prepared, &arena, 0..arena.len(), &solo_cfg);
+                    assert_eq!(out.scored, solo.scored, "{kernel:?} t{threads}");
+                    assert_eq!(out.cells, solo.cells);
+                    assert_eq!(out.cells_nominal, solo.cells_nominal);
+                    assert_eq!(out.stats.total(), solo.stats.total());
+                }
+            }
+        }
+    }
+
+    /// A single-entry batch degrades to exactly `search_arena`, and an
+    /// empty batch returns nothing without touching the arena.
+    #[test]
+    fn fused_batch_edge_sizes() {
+        let db = random_db(229, 40, 70);
+        let s = scoring();
+        let arena = DbArena::from_encoded(&db);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(233);
+        let query: Vec<u8> = (0..30).map(|_| rng.random_range(0..20u8)).collect();
+        let cfg = SearchConfig {
+            top_n: 7,
+            ..Default::default()
+        };
+        let prepared = Arc::new(PreparedQuery::new(&query, &s, cfg.preference));
+        let fused = search_arena_multi(&[(Arc::clone(&prepared), 7)], &arena, 10..35, &cfg);
+        let solo = search_arena(&prepared, &arena, 10..35, &cfg);
+        assert_eq!(fused.len(), 1);
+        assert_eq!(fused[0].scored, solo.scored);
+        assert_eq!(fused[0].cells, solo.cells);
+        assert!(search_arena_multi(&[], &arena, 0..arena.len(), &cfg).is_empty());
     }
 
     #[test]

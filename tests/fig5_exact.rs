@@ -46,6 +46,7 @@ fn tasks() -> Vec<TaskSpec> {
         .map(|id| TaskSpec {
             id,
             query_len: 1000,
+            queries: 1,
             db_residues: 6_000_000, // 6 Gcells: 1 s at 6 GCUPS
             db_sequences: 1_000,
         })

@@ -60,6 +60,7 @@ fn run(speeds: &[f64], sizes: &[u64], policy: Policy, adjustment: bool) -> SimRe
         .map(|(id, &tenth_gcells)| TaskSpec {
             id,
             query_len: 1000,
+            queries: 1,
             db_residues: tenth_gcells * 100_000, // ×1000 query = 0.1 Gcells units
             db_sequences: 100,
         })
