@@ -14,20 +14,82 @@
 //! and keeps a permutation back to database indices: consumers must report
 //! [`DbArena::db_index`], never the scan position, so rankings stay
 //! bit-identical to a database-order scan.
+//!
+//! The residue buffer is either owned (packed from encoded sequences) or
+//! **shared**: a window into a reference-counted byte buffer such as a
+//! memory-mapped `.swdb` store file ([`DbArena::from_shared`]). Shared
+//! arenas let the daemon serve scans directly out of the page cache with
+//! zero copies; every accessor behaves identically for both storages.
 
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::SeqError;
 use crate::sequence::EncodedSequence;
 
+/// A reference-counted byte buffer an arena can borrow residues from
+/// without copying — e.g. a memory-mapped store file.
+pub type SharedBytes = Arc<dyn AsRef<[u8]> + Send + Sync>;
+
+/// Residue storage: an owned packed buffer, or a window into a shared one.
+#[derive(Clone)]
+enum Residues {
+    Owned(Vec<u8>),
+    Shared {
+        buf: SharedBytes,
+        offset: usize,
+        len: usize,
+    },
+}
+
+impl Residues {
+    #[inline]
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Residues::Owned(v) => v,
+            Residues::Shared { buf, offset, len } => &(**buf).as_ref()[*offset..*offset + *len],
+        }
+    }
+}
+
 /// A flat, immutable database of encoded sequences.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct DbArena {
     /// All residues, concatenated in scan order.
-    residues: Vec<u8>,
+    residues: Residues,
     /// Per-sequence `(offset, len)` into `residues`, in scan order.
     spans: Vec<(usize, usize)>,
     /// Scan position → database index; `None` means scan order *is*
     /// database order.
     perm: Option<Vec<usize>>,
 }
+
+impl fmt::Debug for DbArena {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DbArena")
+            .field("sequences", &self.spans.len())
+            .field("residues", &self.residues.as_slice().len())
+            .field("permuted", &self.perm.is_some())
+            .field(
+                "storage",
+                &match self.residues {
+                    Residues::Owned(_) => "owned",
+                    Residues::Shared { .. } => "shared",
+                },
+            )
+            .finish()
+    }
+}
+
+impl PartialEq for DbArena {
+    fn eq(&self, other: &Self) -> bool {
+        self.residues.as_slice() == other.residues.as_slice()
+            && self.spans == other.spans
+            && self.perm == other.perm
+    }
+}
+
+impl Eq for DbArena {}
 
 impl DbArena {
     /// Pack `subjects` in database order.
@@ -58,10 +120,82 @@ impl DbArena {
             residues.extend_from_slice(codes);
         }
         DbArena {
-            residues,
+            residues: Residues::Owned(residues),
             spans,
             perm,
         }
+    }
+
+    /// Borrow a `len`-byte residue window at `offset` inside `buf` without
+    /// copying — the zero-copy load path for memory-mapped stores.
+    ///
+    /// The spans must tile the window exactly: strictly contiguous
+    /// (`offset_{i+1} = offset_i + len_i`, starting at 0) and summing to
+    /// `len`. `perm`, when present, must be a permutation of `0..spans.len()`.
+    /// Violations return [`SeqError::BadArena`]; an arena built here is
+    /// indistinguishable from a packed one to every consumer.
+    pub fn from_shared(
+        buf: SharedBytes,
+        offset: usize,
+        len: usize,
+        spans: Vec<(usize, usize)>,
+        perm: Option<Vec<usize>>,
+    ) -> Result<DbArena, SeqError> {
+        let buf_len = (*buf).as_ref().len();
+        let end = offset
+            .checked_add(len)
+            .ok_or_else(|| SeqError::BadArena("window offset + len overflows".into()))?;
+        if end > buf_len {
+            return Err(SeqError::BadArena(format!(
+                "window [{offset}, {end}) exceeds buffer of {buf_len} bytes"
+            )));
+        }
+        let mut cursor = 0usize;
+        for (i, &(off, l)) in spans.iter().enumerate() {
+            if off != cursor {
+                return Err(SeqError::BadArena(format!(
+                    "span {i} starts at {off}, expected {cursor} (spans must tile the arena)"
+                )));
+            }
+            cursor = cursor
+                .checked_add(l)
+                .ok_or_else(|| SeqError::BadArena(format!("span {i} length overflows")))?;
+        }
+        if cursor != len {
+            return Err(SeqError::BadArena(format!(
+                "spans cover {cursor} residues but the arena window holds {len}"
+            )));
+        }
+        if let Some(order) = &perm {
+            if order.len() != spans.len() {
+                return Err(SeqError::BadArena(format!(
+                    "permutation has {} entries for {} spans",
+                    order.len(),
+                    spans.len()
+                )));
+            }
+            let mut seen = vec![false; order.len()];
+            for &ix in order {
+                if ix >= seen.len() || seen[ix] {
+                    return Err(SeqError::BadArena(format!(
+                        "permutation entry {ix} out of range or repeated"
+                    )));
+                }
+                seen[ix] = true;
+            }
+        }
+        Ok(DbArena {
+            residues: Residues::Shared { buf, offset, len },
+            spans,
+            perm,
+        })
+    }
+
+    /// Whether the residue buffer is a shared (e.g. memory-mapped) window
+    /// rather than an owned allocation.
+    #[inline]
+    pub fn is_shared(&self) -> bool {
+        matches!(self.residues, Residues::Shared { .. })
     }
 
     /// Number of sequences.
@@ -79,14 +213,14 @@ impl DbArena {
     /// Total residues across all sequences.
     #[inline]
     pub fn total_residues(&self) -> u64 {
-        self.residues.len() as u64
+        self.residues.as_slice().len() as u64
     }
 
     /// Residues of the sequence at scan position `pos`.
     #[inline]
     pub fn residues(&self, pos: usize) -> &[u8] {
         let (offset, len) = self.spans[pos];
-        &self.residues[offset..offset + len]
+        &self.residues.as_slice()[offset..offset + len]
     }
 
     /// `(offset, len)` span of scan position `pos`.
@@ -104,7 +238,19 @@ impl DbArena {
     /// The whole residue buffer (scan order).
     #[inline]
     pub fn buffer(&self) -> &[u8] {
-        &self.residues
+        self.residues.as_slice()
+    }
+
+    /// The spans table (scan order).
+    #[inline]
+    pub fn spans(&self) -> &[(usize, usize)] {
+        &self.spans
+    }
+
+    /// The scan permutation, if scan order differs from database order.
+    #[inline]
+    pub fn permutation(&self) -> Option<&[usize]> {
+        self.perm.as_deref()
     }
 
     /// Database index of the sequence at scan position `pos` — the
@@ -207,5 +353,48 @@ mod tests {
         assert_eq!(arena.total_residues(), 0);
         let sorted = DbArena::length_sorted(&[]);
         assert_eq!(sorted.len(), 0);
+    }
+
+    #[test]
+    fn shared_window_matches_owned_packing() {
+        let subjects = seqs(&[3, 0, 5, 1]);
+        let owned = DbArena::from_encoded(&subjects);
+        // Embed the packed residues inside a larger shared buffer with a
+        // leading pad, as a store file does.
+        let mut file = vec![0xAAu8; 7];
+        file.extend_from_slice(owned.buffer());
+        file.push(0xBB);
+        let buf: SharedBytes = Arc::new(file);
+        let shared =
+            DbArena::from_shared(buf, 7, owned.buffer().len(), owned.spans().to_vec(), None)
+                .unwrap();
+        assert!(shared.is_shared());
+        assert_eq!(shared, owned);
+        for (i, subject) in subjects.iter().enumerate() {
+            assert_eq!(shared.residues(i), &subject.codes[..]);
+        }
+    }
+
+    #[test]
+    fn shared_window_rejects_bad_geometry() {
+        let buf: SharedBytes = Arc::new(vec![1u8, 2, 3, 4]);
+        // Window past the end of the buffer.
+        assert!(matches!(
+            DbArena::from_shared(buf.clone(), 2, 3, vec![(0, 3)], None),
+            Err(SeqError::BadArena(_))
+        ));
+        // Spans with a gap.
+        assert!(DbArena::from_shared(buf.clone(), 0, 4, vec![(0, 1), (2, 2)], None).is_err());
+        // Spans overrunning the window.
+        assert!(DbArena::from_shared(buf.clone(), 0, 4, vec![(0, 5)], None).is_err());
+        // Spans undershooting the window.
+        assert!(DbArena::from_shared(buf.clone(), 0, 4, vec![(0, 2)], None).is_err());
+        // Bad permutation: repeated entry.
+        assert!(
+            DbArena::from_shared(buf.clone(), 0, 4, vec![(0, 2), (2, 2)], Some(vec![0, 0]))
+                .is_err()
+        );
+        // Bad permutation: out of range.
+        assert!(DbArena::from_shared(buf, 0, 4, vec![(0, 2), (2, 2)], Some(vec![0, 2])).is_err());
     }
 }

@@ -77,6 +77,26 @@ pub fn db_digest(subjects: &[EncodedSequence]) -> u64 {
     h.finish()
 }
 
+/// [`db_digest`] computed from a database's parts — ids plus a
+/// database-order arena — instead of `EncodedSequence`s. Bit-identical to
+/// [`db_digest`] over the sequences the parts were built from, so a store
+/// file's recorded digest and a FASTA-loaded daemon's recomputed one agree.
+///
+/// The arena must be in database order (unpermuted): the digest covers
+/// sequences in database order, and `arena.residues(i)` must be sequence
+/// `i`'s codes.
+pub fn db_digest_parts(ids: &[String], arena: &crate::arena::DbArena) -> u64 {
+    debug_assert!(!arena.is_permuted(), "digest arena must be in db order");
+    debug_assert_eq!(ids.len(), arena.len());
+    let mut h = Fnv1a::new();
+    h.update(&(ids.len() as u64).to_le_bytes());
+    for (i, id) in ids.iter().enumerate() {
+        h.update_framed(id.as_bytes());
+        h.update_framed(arena.residues(i));
+    }
+    h.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,6 +138,18 @@ mod tests {
         let one = vec![enc("x", b"AC"), enc("y", b"D")];
         let two = vec![enc("x", b"A"), enc("y", b"CD")];
         assert_ne!(db_digest(&one), db_digest(&two));
+    }
+
+    #[test]
+    fn digest_parts_matches_db_digest() {
+        let db = vec![enc("a", b"MKVL"), enc("b", b"AWCD"), enc("c", b"")];
+        let ids: Vec<String> = db.iter().map(|s| s.id.clone()).collect();
+        let arena = crate::arena::DbArena::from_encoded(&db);
+        assert_eq!(db_digest_parts(&ids, &arena), db_digest(&db));
+        assert_eq!(
+            db_digest_parts(&[], &crate::arena::DbArena::from_encoded(&[])),
+            db_digest(&[])
+        );
     }
 
     #[test]

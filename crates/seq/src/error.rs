@@ -19,6 +19,8 @@ pub enum SeqError {
     MalformedFasta(String),
     /// The index file is corrupt or was written by an incompatible version.
     BadIndex(String),
+    /// An arena's geometry (window, spans, permutation) is inconsistent.
+    BadArena(String),
     /// A sequence identifier was requested that does not exist.
     UnknownSequence(String),
     /// A sequence ordinal was requested that is out of range.
@@ -43,6 +45,7 @@ impl fmt::Display for SeqError {
             ),
             SeqError::MalformedFasta(msg) => write!(f, "malformed FASTA: {msg}"),
             SeqError::BadIndex(msg) => write!(f, "bad index file: {msg}"),
+            SeqError::BadArena(msg) => write!(f, "bad arena: {msg}"),
             SeqError::UnknownSequence(id) => write!(f, "unknown sequence {id:?}"),
             SeqError::IndexOutOfRange {
                 requested,

@@ -100,6 +100,10 @@ impl SeqIndex {
     }
 
     /// Deserialise from the binary on-disk layout.
+    ///
+    /// Truncation anywhere — header or offsets table — is reported as a
+    /// [`SeqError::BadIndex`] naming how many entries were promised and
+    /// found, not as a bare I/O error.
     pub fn read_from<R: Read>(reader: &mut R) -> Result<SeqIndex, SeqError> {
         let mut magic = [0u8; 8];
         reader.read_exact(&mut magic)?;
@@ -109,14 +113,31 @@ impl SeqIndex {
             )));
         }
         let mut buf = [0u8; 8];
-        reader.read_exact(&mut buf)?;
+        let eof = |what: String| {
+            move |e: std::io::Error| {
+                if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                    SeqError::BadIndex(what.clone())
+                } else {
+                    SeqError::Io(e)
+                }
+            }
+        };
+        reader
+            .read_exact(&mut buf)
+            .map_err(eof("truncated header: sequence count missing".into()))?;
         let count = u64::from_le_bytes(buf) as usize;
-        reader.read_exact(&mut buf)?;
+        reader
+            .read_exact(&mut buf)
+            .map_err(eof("truncated header: max_len missing".into()))?;
         let max_len = u64::from_le_bytes(buf);
-        let mut offsets = Vec::with_capacity(count);
+        // Cap the pre-allocation: a corrupt count must not OOM before the
+        // truncation check below catches it.
+        let mut offsets = Vec::with_capacity(count.min(1 << 20));
         let mut prev: Option<u64> = None;
         for i in 0..count {
-            reader.read_exact(&mut buf)?;
+            reader.read_exact(&mut buf).map_err(eof(format!(
+                "truncated offsets: header promises {count} entries, file ends at entry {i}"
+            )))?;
             let off = u64::from_le_bytes(buf);
             if let Some(p) = prev {
                 if off <= p {
@@ -129,6 +150,20 @@ impl SeqIndex {
             offsets.push(off);
         }
         Ok(SeqIndex { max_len, offsets })
+    }
+
+    /// Check every offset against the flat file's byte length: an index
+    /// whose offsets point at or past end-of-file describes a different
+    /// (or truncated) file and must not be used for seeking.
+    pub fn validate_against_len(&self, file_len: u64) -> Result<(), SeqError> {
+        for (i, &off) in self.offsets.iter().enumerate() {
+            if off >= file_len {
+                return Err(SeqError::BadIndex(format!(
+                    "offset {off} of entry {i} points past end of file ({file_len} bytes)"
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Write the index next to the FASTA file (`<path>.swhidx`).
@@ -168,17 +203,17 @@ impl IndexedFasta {
             idx.save_alongside(fasta_path)?;
             idx
         };
-        Ok(IndexedFasta {
-            file: BufReader::new(File::open(fasta_path)?),
-            index,
-            path: fasta_path.to_path_buf(),
-        })
+        IndexedFasta::with_index(fasta_path, index)
     }
 
-    /// Open with an explicit, already-loaded index.
+    /// Open with an explicit, already-loaded index. The index's offsets are
+    /// validated against the flat file's length — a stale or corrupt index
+    /// is rejected here instead of producing wrong records on `fetch`.
     pub fn with_index(fasta_path: impl AsRef<Path>, index: SeqIndex) -> Result<Self, SeqError> {
+        let file = File::open(fasta_path.as_ref())?;
+        index.validate_against_len(file.metadata()?.len())?;
         Ok(IndexedFasta {
-            file: BufReader::new(File::open(fasta_path.as_ref())?),
+            file: BufReader::new(file),
             index,
             path: fasta_path.as_ref().to_path_buf(),
         })
@@ -277,6 +312,72 @@ mod tests {
         let mut buf = Vec::new();
         idx.write_to(&mut buf).unwrap();
         assert!(SeqIndex::read_from(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_offsets_rejected_with_clear_error() {
+        let idx = SeqIndex::build(sample_fasta().as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        idx.write_to(&mut buf).unwrap();
+        // Chop the last offset in half.
+        buf.truncate(buf.len() - 4);
+        match SeqIndex::read_from(&mut buf.as_slice()) {
+            Err(SeqError::BadIndex(msg)) => {
+                assert!(msg.contains("promises 3 entries"), "{msg}");
+                assert!(msg.contains("entry 2"), "{msg}");
+            }
+            other => panic!("expected BadIndex, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_header_rejected_with_clear_error() {
+        // Magic present, count half-written.
+        let mut buf = MAGIC.to_vec();
+        buf.extend_from_slice(&[0u8; 3]);
+        match SeqIndex::read_from(&mut buf.as_slice()) {
+            Err(SeqError::BadIndex(msg)) => assert!(msg.contains("truncated header"), "{msg}"),
+            other => panic!("expected BadIndex, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn huge_count_does_not_preallocate() {
+        // Header promises u64::MAX sequences then ends; must error, not OOM.
+        let mut buf = MAGIC.to_vec();
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        assert!(matches!(
+            SeqIndex::read_from(&mut buf.as_slice()),
+            Err(SeqError::BadIndex(_))
+        ));
+    }
+
+    #[test]
+    fn offsets_past_eof_rejected_at_open() {
+        let dir = std::env::temp_dir().join(format!("swhidx_eof_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("queries.fasta");
+        let text = sample_fasta();
+        std::fs::write(&path, &text).unwrap();
+
+        // An index whose last offset points past the file (e.g. the FASTA
+        // was truncated after indexing) must be rejected at open.
+        let mut idx = SeqIndex::build(text.as_bytes()).unwrap();
+        idx.offsets.push(text.len() as u64 + 100);
+        idx.save_alongside(&path).unwrap();
+        match IndexedFasta::open(&path) {
+            Err(SeqError::BadIndex(msg)) => assert!(msg.contains("past end of file"), "{msg}"),
+            other => panic!("expected BadIndex, got {:?}", other.map(|_| ())),
+        }
+
+        // with_index performs the same validation.
+        let stale = SeqIndex {
+            max_len: 10,
+            offsets: vec![0, text.len() as u64],
+        };
+        assert!(IndexedFasta::with_index(&path, stale).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

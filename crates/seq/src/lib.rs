@@ -13,6 +13,9 @@
 //!   count, longest-sequence size, and per-sequence byte offsets for fast
 //!   random access into a flat file,
 //! * [`db`] — an in-memory database with summary statistics,
+//! * [`snapshot`] — an immutable, shareable view of one database generation
+//!   (ids + database-order arena + digest), the unit a serve daemon
+//!   hot-swaps atomically,
 //! * [`digest`] — stable content digests for queries and databases (the
 //!   cache keys of the persistent query service),
 //! * [`synth`] — deterministic synthetic generators standing in for the five
@@ -31,10 +34,12 @@ pub mod error;
 pub mod fasta;
 pub mod index;
 pub mod sequence;
+pub mod snapshot;
 pub mod synth;
 
 pub use alphabet::Alphabet;
-pub use arena::DbArena;
+pub use arena::{DbArena, SharedBytes};
 pub use db::{Database, DbStats};
 pub use error::SeqError;
 pub use sequence::Sequence;
+pub use snapshot::DbSnapshot;

@@ -144,6 +144,13 @@ impl ResultCache {
         );
     }
 
+    /// Drop every entry at once (a database reload: the generation bump
+    /// already makes old keys unreachable, clearing releases their memory
+    /// immediately). Cumulative stats are kept.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
     /// Number of cached results.
     pub fn len(&self) -> usize {
         self.map.len()

@@ -7,7 +7,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 use swhybrid_json::Json;
 use swhybrid_simd::search::Hit;
 
-use crate::protocol::{hits_from_json, request_to_json, Request, SearchRequest};
+use crate::protocol::{hits_from_json, request_to_json, ReloadRequest, Request, SearchRequest};
 
 /// One connection to a running [`crate::ServeDaemon`].
 pub struct ServeClient {
@@ -96,6 +96,25 @@ impl ServeClient {
     /// Cancel a job.
     pub fn cancel(&mut self, job: u64) -> io::Result<Json> {
         self.request(&Request::Cancel { job })
+    }
+
+    /// Hot-swap the daemon onto a `.swdb` store (server-side path).
+    /// `verify` requests a full checksum + digest re-hash before the swap.
+    pub fn reload_store(&mut self, path: &str, verify: bool) -> io::Result<Json> {
+        self.request(&Request::Reload(ReloadRequest {
+            store: Some(path.to_string()),
+            fasta: None,
+            verify,
+        }))
+    }
+
+    /// Hot-swap the daemon onto a FASTA file (server-side path).
+    pub fn reload_fasta(&mut self, path: &str) -> io::Result<Json> {
+        self.request(&Request::Reload(ReloadRequest {
+            store: None,
+            fasta: Some(path.to_string()),
+            verify: false,
+        }))
     }
 
     /// Ask the daemon to drain and exit.

@@ -16,7 +16,7 @@
 //!   GCUPS folded from the master's [`swhybrid_core::trace::RuntimeEvent`]
 //!   stream,
 //! * [`protocol`] — the newline-delimited JSON wire vocabulary
-//!   (`search` / `status` / `cancel` / `stats` / `shutdown`),
+//!   (`search` / `status` / `cancel` / `stats` / `reload` / `shutdown`),
 //! * [`server`] — the TCP daemon (`swhybrid serve`),
 //! * [`client`] — a blocking line-protocol client (`swhybrid query`).
 //!

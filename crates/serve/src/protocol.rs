@@ -9,6 +9,8 @@
 //! {"verb":"status","job":3}
 //! {"verb":"cancel","job":3}
 //! {"verb":"stats"}
+//! {"verb":"reload","store":"/data/db.swdb","verify":true}
+//! {"verb":"reload","fasta":"/data/db.fasta"}
 //! {"verb":"shutdown"}
 //! ```
 //!
@@ -39,8 +41,22 @@ pub enum Request {
     },
     /// Snapshot the daemon's metrics.
     Stats,
+    /// Atomically hot-swap the daemon onto a new database generation.
+    Reload(ReloadRequest),
     /// Drain in-flight queries, reject new ones, exit.
     Shutdown,
+}
+
+/// The payload of a `reload` request: exactly one source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReloadRequest {
+    /// Path to a `.swdb` store file to map (server-side path).
+    pub store: Option<String>,
+    /// Path to a FASTA file to parse and encode (server-side path).
+    pub fasta: Option<String>,
+    /// For store loads: re-hash the arena checksum and db digest before
+    /// swapping (the `--verify-store` semantics).
+    pub verify: bool,
 }
 
 /// The payload of a `search` request.
@@ -111,6 +127,19 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             })
         }
         "stats" => Ok(Request::Stats),
+        "reload" => {
+            let store = json.get("store").and_then(Json::as_str).map(str::to_string);
+            let fasta = json.get("fasta").and_then(Json::as_str).map(str::to_string);
+            if store.is_some() == fasta.is_some() {
+                return Err("reload: exactly one of \"store\" or \"fasta\" required".into());
+            }
+            let verify = json.get("verify").and_then(Json::as_bool).unwrap_or(false);
+            Ok(Request::Reload(ReloadRequest {
+                store,
+                fasta,
+                verify,
+            }))
+        }
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown verb {other:?}")),
     }
@@ -145,6 +174,19 @@ pub fn request_to_json(req: &Request) -> Json {
             ("job", Json::Num(*job as f64)),
         ]),
         Request::Stats => Json::obj(vec![("verb", Json::str("stats"))]),
+        Request::Reload(r) => {
+            let mut fields = vec![("verb".to_string(), Json::str("reload"))];
+            if let Some(p) = &r.store {
+                fields.push(("store".to_string(), Json::str(p)));
+            }
+            if let Some(p) = &r.fasta {
+                fields.push(("fasta".to_string(), Json::str(p)));
+            }
+            if r.verify {
+                fields.push(("verify".to_string(), Json::Bool(true)));
+            }
+            Json::Obj(fields)
+        }
         Request::Shutdown => Json::obj(vec![("verb", Json::str("shutdown"))]),
     }
 }
@@ -260,6 +302,28 @@ mod tests {
         assert!(parse_request(r#"{"verb":"search"}"#).is_err());
         assert!(parse_request(r#"{"verb":"search","query":"A","top_n":0}"#).is_err());
         assert!(parse_request(r#"{"verb":"cancel"}"#).is_err());
+    }
+
+    #[test]
+    fn reload_round_trips_and_demands_one_source() {
+        for req in [
+            Request::Reload(ReloadRequest {
+                store: Some("/data/db.swdb".into()),
+                fasta: None,
+                verify: true,
+            }),
+            Request::Reload(ReloadRequest {
+                store: None,
+                fasta: Some("db.fasta".into()),
+                verify: false,
+            }),
+        ] {
+            let line = request_to_json(&req).to_string();
+            assert_eq!(parse_request(&line).unwrap(), req);
+        }
+        // No source, or both sources, is malformed.
+        assert!(parse_request(r#"{"verb":"reload"}"#).is_err());
+        assert!(parse_request(r#"{"verb":"reload","store":"a","fasta":"b"}"#).is_err());
     }
 
     #[test]

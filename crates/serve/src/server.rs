@@ -18,15 +18,19 @@
 
 use std::io::{self, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use swhybrid_align::scoring::Scoring;
 use swhybrid_json::Json;
+use swhybrid_seq::fasta::FastaReader;
 use swhybrid_seq::sequence::EncodedSequence;
+use swhybrid_seq::DbSnapshot;
+use swhybrid_store::{Store, Verify};
 
-use crate::protocol::{error_reply, hits_to_json, parse_request, Request};
+use crate::protocol::{error_reply, hits_to_json, parse_request, ReloadRequest, Request};
 use crate::service::{
     CancelOutcome, Completion, JobStatus, QueryService, SearchReply, ServiceConfig,
 };
@@ -53,6 +57,22 @@ impl ServeDaemon {
         Ok(ServeDaemon {
             listener,
             service: QueryService::new(db, scoring, config),
+        })
+    }
+
+    /// Bind over a pre-assembled database snapshot — the `serve
+    /// --db-store` path, where the snapshot borrows a memory-mapped
+    /// `.swdb` and the digest comes from its header (no startup re-hash).
+    pub fn bind_snapshot(
+        addr: impl ToSocketAddrs,
+        db: DbSnapshot,
+        scoring: Scoring,
+        config: ServiceConfig,
+    ) -> io::Result<ServeDaemon> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(ServeDaemon {
+            listener,
+            service: QueryService::with_snapshot(db, scoring, config),
         })
     }
 
@@ -280,6 +300,37 @@ fn handle_request(
             write_json(writer, &service.stats());
             false
         }
+        Request::Reload(r) => {
+            // Load and validate the new generation entirely off the pool
+            // lock — concurrent queries keep flowing against the old
+            // snapshot; the swap itself is one pointer replacement.
+            match load_reload_snapshot(&r, service.scoring()) {
+                Ok((snapshot, source)) => {
+                    let name = snapshot.name().to_string();
+                    let sequences = snapshot.len();
+                    let residues = snapshot.total_residues();
+                    let digest = snapshot.digest();
+                    let generation = service.swap_snapshot(snapshot);
+                    write_json(
+                        writer,
+                        &Json::obj(vec![
+                            ("ok", Json::Bool(true)),
+                            ("type", Json::str("reload")),
+                            ("source", Json::str(source)),
+                            ("name", Json::str(&name)),
+                            ("generation", Json::Num(generation as f64)),
+                            ("sequences", Json::Num(sequences as f64)),
+                            ("residues", Json::Num(residues as f64)),
+                            ("digest", Json::str(format!("{digest:016x}"))),
+                        ]),
+                    );
+                }
+                Err((code, reason)) => {
+                    write_json(writer, &error_reply("reload", code, &reason, None))
+                }
+            }
+            false
+        }
         Request::Shutdown => {
             service.begin_drain();
             write_json(
@@ -293,6 +344,56 @@ fn handle_request(
             stop.store(true, Ordering::SeqCst);
             true
         }
+    }
+}
+
+/// Assemble the new database generation for a `reload` request: map a
+/// `.swdb` store (optionally Full-verified) or parse a FASTA under the
+/// daemon's scoring alphabet. A failure leaves the daemon exactly as it
+/// was — the error names the source, and nothing has been swapped.
+fn load_reload_snapshot(
+    r: &ReloadRequest,
+    scoring: &Scoring,
+) -> Result<(DbSnapshot, &'static str), (&'static str, String)> {
+    if let Some(path) = &r.store {
+        let verify = if r.verify {
+            Verify::Full
+        } else {
+            Verify::Quick
+        };
+        let store =
+            Store::open_with(path, verify).map_err(|e| ("bad_store", format!("{path}: {e}")))?;
+        if !store.is_empty() && store.alphabet() != scoring.matrix.alphabet {
+            return Err((
+                "alphabet_mismatch",
+                format!(
+                    "store alphabet {:?} does not match the daemon's scoring alphabet {:?}",
+                    store.alphabet(),
+                    scoring.matrix.alphabet
+                ),
+            ));
+        }
+        let snap = store
+            .into_snapshot()
+            .map_err(|e| ("bad_store", format!("{path}: {e}")))?;
+        Ok((snap, "store"))
+    } else if let Some(path) = &r.fasta {
+        let records = FastaReader::open(path)
+            .and_then(|mut f| f.read_all())
+            .map_err(|e| ("bad_fasta", format!("{path}: {e}")))?;
+        let db: Vec<EncodedSequence> = records
+            .iter()
+            .map(|rec| EncodedSequence::from_sequence(rec, scoring.matrix.alphabet))
+            .collect::<Result<_, _>>()
+            .map_err(|e| ("bad_fasta", format!("{path}: {e}")))?;
+        let name = Path::new(path)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        Ok((DbSnapshot::from_encoded(name, &db), "fasta"))
+    } else {
+        // parse_request guarantees one source; belt and braces.
+        Err(("bad_request", "reload needs a source".into()))
     }
 }
 
@@ -315,6 +416,7 @@ pub fn result_to_json(reply: &SearchReply) -> Json {
         ("job".to_string(), Json::Num(reply.job as f64)),
         ("cached".to_string(), Json::Bool(reply.cached)),
         ("cancelled".to_string(), Json::Bool(reply.cancelled)),
+        ("generation".to_string(), Json::Num(reply.generation as f64)),
         ("cells".to_string(), Json::Num(reply.cells as f64)),
         ("elapsed_ms".to_string(), Json::Num(reply.elapsed_ms)),
         ("hits".to_string(), hits_to_json(&reply.hits)),

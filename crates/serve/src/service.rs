@@ -68,9 +68,9 @@ use swhybrid_core::task::{PeId, TaskId};
 use swhybrid_core::trace::RuntimeEvent;
 use swhybrid_device::task::TaskSpec;
 use swhybrid_json::Json;
-use swhybrid_seq::digest::{db_digest, query_digest, Fnv1a};
+use swhybrid_seq::digest::{query_digest, Fnv1a};
 use swhybrid_seq::sequence::EncodedSequence;
-use swhybrid_seq::DbArena;
+use swhybrid_seq::DbSnapshot;
 use swhybrid_simd::engine::{EnginePreference, KernelStats, PreparedQuery};
 use swhybrid_simd::search::{merge_top_n, search_arena_multi, Hit, KernelChoice, SearchConfig};
 
@@ -165,6 +165,10 @@ pub struct SearchReply {
     pub cached: bool,
     /// Whether the job was cancelled (then `hits` is empty).
     pub cancelled: bool,
+    /// The database generation the result was computed against. A client
+    /// spanning a hot reload can tell old-snapshot replies from
+    /// new-snapshot ones by this number.
+    pub generation: u64,
     /// Kernel cells actually computed for this reply. Counts only cells
     /// the daemon's own workers scanned — shards completed by remote
     /// slaves burned their cells elsewhere.
@@ -237,11 +241,9 @@ struct Job {
     /// Shared query profiles; `None` only for cache-served jobs.
     prepared: Option<Arc<PreparedQuery>>,
     /// The database snapshot this job scans (survives a concurrent
-    /// [`QueryService::swap_db`]).
-    db: Arc<Vec<EncodedSequence>>,
-    /// Flat arena over the same snapshot, in database order, so shard scan
-    /// positions are global database indices.
-    arena: Arc<DbArena>,
+    /// [`QueryService::swap_snapshot`]): ids plus the database-order
+    /// arena, so shard scan positions are global database indices.
+    db: Arc<DbSnapshot>,
     /// The database generation the job was admitted under. Remote slaves
     /// only ever see current-generation payloads (a swap disconnects them).
     generation: u64,
@@ -285,10 +287,11 @@ struct ServeOwner {
     cache: ResultCache,
     metrics: Metrics,
     events_rx: Receiver<RuntimeEvent>,
-    db: Arc<Vec<EncodedSequence>>,
-    db_arena: Arc<DbArena>,
+    /// The current database generation: ids, database-order arena, digest.
+    /// Replaced wholesale by a reload, never mutated — in-flight jobs hold
+    /// their own `Arc` and finish on the snapshot they were admitted under.
+    db: Arc<DbSnapshot>,
     db_generation: u64,
-    db_digest: u64,
     active_jobs: usize,
     /// When an undersized backlog started waiting for companions (the
     /// fusion window). `None` when the queue is empty, full enough, or
@@ -420,7 +423,7 @@ impl PoolOwner for ServeOwner {
     }
 
     fn db_digest(&self) -> Option<u64> {
-        Some(self.db_digest)
+        Some(self.db.digest())
     }
 }
 
@@ -451,30 +454,6 @@ pub fn scoring_digest(scoring: &Scoring) -> u64 {
     h.finish()
 }
 
-/// Contiguous, residue-balanced shard boundaries over `db`.
-fn shard_ranges(db: &[EncodedSequence], shards: usize) -> Vec<(usize, usize)> {
-    if db.is_empty() {
-        return vec![(0, 0)];
-    }
-    let n = shards.clamp(1, db.len());
-    // Weight each sequence by residues + 1 so runs of empty sequences
-    // still advance the split.
-    let total: u64 = db.iter().map(|s| s.len() as u64 + 1).sum();
-    let mut out = Vec::with_capacity(n);
-    let mut start = 0usize;
-    let mut acc = 0u64;
-    for (i, s) in db.iter().enumerate() {
-        acc += s.len() as u64 + 1;
-        let k = out.len() as u64 + 1;
-        if out.len() < n - 1 && i + 1 < db.len() && acc * n as u64 >= k * total {
-            out.push((start, i + 1));
-            start = i + 1;
-        }
-    }
-    out.push((start, db.len()));
-    out
-}
-
 /// The persistent query service. Dropping it shuts the workers down
 /// without draining; call [`QueryService::shutdown`] for the graceful
 /// drain-then-exit path.
@@ -487,10 +466,25 @@ pub struct QueryService {
 }
 
 impl QueryService {
-    /// Start the service over a database snapshot. Spawns
-    /// `config.workers` PE threads; they idle on the hub until queries
-    /// arrive.
+    /// Start the service over owned encoded sequences (the FASTA load
+    /// path): packs a [`DbSnapshot`] — which hashes the database, O(db) —
+    /// and delegates to [`QueryService::with_snapshot`].
     pub fn new(db: Vec<EncodedSequence>, scoring: Scoring, config: ServiceConfig) -> QueryService {
+        QueryService::with_snapshot(DbSnapshot::from_encoded("", &db), scoring, config)
+    }
+
+    /// Start the service over a pre-assembled database snapshot — the
+    /// store load path (`serve --db-store`), where the digest comes from
+    /// the `.swdb` header, so startup never re-hashes the database.
+    /// Spawns `config.workers` PE threads; they idle on the hub until
+    /// queries arrive.
+    pub fn with_snapshot(db: DbSnapshot, scoring: Scoring, config: ServiceConfig) -> QueryService {
+        assert!(
+            db.is_empty() || db.alphabet() == scoring.matrix.alphabet,
+            "database alphabet {:?} does not match scoring alphabet {:?}",
+            db.alphabet(),
+            scoring.matrix.alphabet
+        );
         let mut cfg = config;
         cfg.workers = cfg.workers.max(1);
         if cfg.shards == 0 {
@@ -521,8 +515,6 @@ impl QueryService {
         });
 
         let db = Arc::new(db);
-        let db_arena = Arc::new(DbArena::from_encoded(&db));
-        let digest = db_digest(&db);
         let owner = ServeOwner {
             cfg: cfg.clone(),
             jobs: HashMap::new(),
@@ -534,9 +526,7 @@ impl QueryService {
             metrics: Metrics::default(),
             events_rx,
             db,
-            db_arena,
             db_generation: 0,
-            db_digest: digest,
             active_jobs: 0,
             window_open_since: None,
             active_groups: 0,
@@ -672,7 +662,7 @@ impl QueryService {
             let key = CacheKey {
                 query_digest: qdigest,
                 db_generation: o.db_generation,
-                db_digest: o.db_digest,
+                db_digest: o.db.digest(),
                 scoring_digest: inner.scoring_digest,
                 top_n,
             };
@@ -681,7 +671,6 @@ impl QueryService {
                 let job_id = o.next_job_id;
                 o.next_job_id += 1;
                 let db = Arc::clone(&o.db);
-                let arena = Arc::clone(&o.db_arena);
                 let generation = o.db_generation;
                 o.jobs.insert(
                     job_id,
@@ -691,7 +680,6 @@ impl QueryService {
                         codes,
                         prepared: None,
                         db,
-                        arena,
                         generation,
                         top_n,
                         key,
@@ -714,6 +702,7 @@ impl QueryService {
                     tag,
                     cached: true,
                     cancelled: false,
+                    generation,
                     cells: 0,
                     elapsed_ms,
                     hits,
@@ -752,12 +741,11 @@ impl QueryService {
         let key = CacheKey {
             query_digest: qdigest,
             db_generation: o.db_generation,
-            db_digest: o.db_digest,
+            db_digest: o.db.digest(),
             scoring_digest: inner.scoring_digest,
             top_n,
         };
         let db = Arc::clone(&o.db);
-        let arena = Arc::clone(&o.db_arena);
         let generation = o.db_generation;
         o.jobs.insert(
             job_id,
@@ -767,7 +755,6 @@ impl QueryService {
                 codes,
                 prepared: Some(prepared),
                 db,
-                arena,
                 generation,
                 top_n,
                 key,
@@ -866,6 +853,7 @@ impl QueryService {
         }
         let client = j.client;
         let tag = j.tag.clone();
+        let generation = j.generation;
         let elapsed_ms = (now - j.submitted_at) * 1000.0;
         let completion = j.completion.take();
         if was_queued {
@@ -881,6 +869,7 @@ impl QueryService {
                 tag,
                 cached: false,
                 cancelled: true,
+                generation,
                 cells: 0,
                 elapsed_ms,
                 hits: Vec::new(),
@@ -904,7 +893,6 @@ impl QueryService {
         sweep_retired(o, now);
         let m = &o.metrics;
         let cs = o.cache.stats();
-        let db_residues: u64 = o.db.iter().map(|s| s.len() as u64).sum();
         Json::obj(vec![
             ("ok", Json::Bool(true)),
             ("type", Json::str("stats")),
@@ -996,35 +984,54 @@ impl QueryService {
             (
                 "db",
                 Json::obj(vec![
+                    ("name", Json::str(o.db.name())),
                     ("sequences", Json::Num(o.db.len() as f64)),
-                    ("residues", Json::Num(db_residues as f64)),
+                    ("residues", Json::Num(o.db.total_residues() as f64)),
                     ("generation", Json::Num(o.db_generation as f64)),
-                    ("digest", Json::str(format!("{:016x}", o.db_digest))),
+                    ("digest", Json::str(format!("{:016x}", o.db.digest()))),
+                    ("mapped", Json::Bool(o.db.arena().is_shared())),
                 ]),
             ),
         ])
     }
 
-    /// Replace the database (a reload). Running jobs keep scanning their
-    /// snapshot (`Arc`-shared); new submissions see the new content and a
-    /// bumped generation, so every cached result of the old database is
-    /// unreachable. Remote slaves are disconnected — their database copy
-    /// is now stale — and their in-flight shards requeue to the local
-    /// workers; a slave holding the new database can immediately rejoin.
+    /// Replace the database from owned sequences (re-encodes and
+    /// re-hashes — the FASTA reload path). See
+    /// [`QueryService::swap_snapshot`] for the semantics.
     pub fn swap_db(&self, subjects: Vec<EncodedSequence>) {
-        let arena = Arc::new(DbArena::from_encoded(&subjects));
-        let remote = {
+        self.swap_snapshot(DbSnapshot::from_encoded("", &subjects));
+    }
+
+    /// Atomically swap the daemon onto a new database snapshot (a hot
+    /// reload). Running jobs keep scanning their own snapshot
+    /// (`Arc`-shared), so no query ever observes a mixed-generation
+    /// database; new submissions see the new content under a bumped
+    /// generation, which makes every cached result of the old database
+    /// unreachable (the cache is also cleared outright to release the
+    /// memory). Remote slaves are disconnected — their database copy is
+    /// now stale — and their in-flight shards requeue to the local
+    /// workers; a slave holding the new database can immediately rejoin
+    /// under its digest. Returns the new generation.
+    pub fn swap_snapshot(&self, snapshot: DbSnapshot) -> u64 {
+        let (generation, remote) = {
             let mut g = self.inner.pool.lock();
             let o = &mut g.owner;
-            o.db = Arc::new(subjects);
-            o.db_arena = arena;
-            o.db_digest = db_digest(&o.db);
+            o.db = Arc::new(snapshot);
             o.db_generation += 1;
-            g.remote_members()
+            o.cache.clear();
+            let generation = o.db_generation;
+            (generation, g.remote_members())
         };
         for pe in remote {
             self.inner.pool.disconnect(pe, false);
         }
+        generation
+    }
+
+    /// The current generation number and database snapshot.
+    pub fn db(&self) -> (u64, Arc<DbSnapshot>) {
+        let g = self.inner.pool.lock();
+        (g.owner.db_generation, Arc::clone(&g.owner.db))
     }
 
     /// Stop admitting new queries; queued and running ones still complete.
@@ -1192,7 +1199,7 @@ fn schedule_group(master: &mut Master, o: &mut ServeOwner, group: &[u64]) {
     };
     let (shards, specs) = {
         let first = &o.jobs[&head];
-        let shards = shard_ranges(&first.db, o.cfg.shards);
+        let shards = first.db.shard_ranges(o.cfg.shards);
         // A fused task computes every member's matrix against the shard,
         // so its spec charges the batch's summed query length — PSS cell
         // accounting then counts K× cells per task automatically.
@@ -1212,7 +1219,7 @@ fn schedule_group(master: &mut Master, o: &mut ServeOwner, group: &[u64]) {
                 id: 0, // rewritten by the pool
                 query_len: qlen,
                 queries: group.len(),
-                db_residues: first.db[s..e].iter().map(|x| x.len() as u64).sum(),
+                db_residues: first.db.range_residues(s..e),
                 db_sequences: e - s,
             })
             .collect();
@@ -1250,7 +1257,7 @@ fn schedule_group(master: &mut Master, o: &mut ServeOwner, group: &[u64]) {
 /// pool (via [`LocalEndpoint`] and [`ServeOwner::on_finished`]) handles
 /// started/finished bookkeeping.
 fn execute_task(inner: &Inner, task: TaskId) -> TaskResult {
-    let (entries, range, db, arena) = {
+    let (entries, range, db) = {
         let g = inner.pool.lock();
         let o = &g.owner;
         let Some(ft) = o.task_map.get(&task) else {
@@ -1266,7 +1273,7 @@ fn execute_task(inner: &Inner, task: TaskId) -> TaskResult {
         for id in &ft.jobs {
             let entry = o.jobs.get(id).filter(|j| !j.cancelled).map(|job| {
                 range = Some(job.shards[ft.shard_idx]);
-                snapshot = Some((Arc::clone(&job.db), Arc::clone(&job.arena)));
+                snapshot = Some(Arc::clone(&job.db));
                 (
                     Arc::clone(job.prepared.as_ref().expect("running jobs carry profiles")),
                     job.top_n,
@@ -1274,7 +1281,7 @@ fn execute_task(inner: &Inner, task: TaskId) -> TaskResult {
             });
             entries.push(entry);
         }
-        let Some((db, arena)) = snapshot else {
+        let Some(db) = snapshot else {
             // Every member cancelled mid-run: complete the task without
             // burning kernels and without a speed report (a 0.0 would
             // poison the PSS window).
@@ -1283,12 +1290,7 @@ fn execute_task(inner: &Inner, task: TaskId) -> TaskResult {
                 ..TaskResult::default()
             };
         };
-        (
-            entries,
-            range.expect("live member sets the range"),
-            db,
-            arena,
-        )
+        (entries, range.expect("live member sets the range"), db)
     };
     let (s, e) = range;
     let t0 = Instant::now();
@@ -1301,7 +1303,7 @@ fn execute_task(inner: &Inner, task: TaskId) -> TaskResult {
         kernel: inner.cfg.kernel,
         sort_by_length: false,
     };
-    let outs = search_arena_multi(&live, &arena, s..e, &cfg);
+    let outs = search_arena_multi(&live, db.arena(), s..e, &cfg);
     // Demux per query, positionally. The arena is in database order, so
     // shard scan positions already are global database indices and the
     // cross-shard merge tie-breaks identically to a whole-db scan.
@@ -1321,7 +1323,7 @@ fn execute_task(inner: &Inner, task: TaskId) -> TaskResult {
             .iter()
             .map(|sc| Hit {
                 db_index: sc.db_index,
-                id: db[sc.db_index].id.clone(),
+                id: db.id(sc.db_index).to_string(),
                 score: sc.score,
                 subject_len: sc.subject_len,
             })
@@ -1401,6 +1403,7 @@ fn record_shard(
         tag: job.tag.clone(),
         cached: false,
         cancelled,
+        generation: job.generation,
         cells: total_cells,
         elapsed_ms,
         hits: if cancelled {
@@ -1473,8 +1476,9 @@ mod tests {
     #[test]
     fn shard_ranges_cover_and_balance() {
         let db = random_db(11, 57, 120);
+        let snap = DbSnapshot::from_encoded("", &db);
         for n in [1, 2, 3, 7, 57, 100] {
-            let shards = shard_ranges(&db, n);
+            let shards = snap.shard_ranges(n);
             assert_eq!(shards.first().unwrap().0, 0);
             assert_eq!(shards.last().unwrap().1, db.len());
             for w in shards.windows(2) {
@@ -1483,7 +1487,8 @@ mod tests {
             assert!(shards.iter().all(|&(s, e)| e > s), "no empty shards");
             assert!(shards.len() <= n.min(db.len()));
         }
-        assert_eq!(shard_ranges(&[], 4), vec![(0, 0)]);
+        let empty = DbSnapshot::from_encoded("", &[]);
+        assert_eq!(empty.shard_ranges(4), vec![(0, 0)]);
     }
 
     #[test]

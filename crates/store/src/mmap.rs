@@ -1,0 +1,201 @@
+//! Read-only file bytes, memory-mapped where the platform allows.
+//!
+//! No external mmap crate is available in this build environment, so the
+//! Unix path declares the two libc symbols it needs directly (std already
+//! links libc there). Elsewhere — or when mapping fails — the file is read
+//! into an owned buffer; callers cannot tell the difference except through
+//! [`StoreBytes::is_mapped`].
+//!
+//! The mapping is `MAP_PRIVATE` over an immutable store file. Store builds
+//! are atomic (temp file + rename), so the mapped inode is never rewritten
+//! in place; a reload maps a *new* file while old snapshots keep the old
+//! mapping alive until their last `Arc` drops.
+
+use std::fs::File;
+use std::io::{self, Read};
+use std::path::Path;
+
+#[cfg(unix)]
+mod sys {
+    use core::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    pub fn map_failed(ptr: *mut c_void) -> bool {
+        ptr as isize == -1
+    }
+}
+
+enum Inner {
+    Owned(Vec<u8>),
+    #[cfg(unix)]
+    Mapped {
+        ptr: *const u8,
+        len: usize,
+    },
+}
+
+/// An immutable byte buffer backing a store: a private file mapping on
+/// Unix, an owned read elsewhere.
+pub struct StoreBytes {
+    inner: Inner,
+}
+
+// The mapped region is read-only for the lifetime of the value, so sharing
+// the raw pointer across threads is sound.
+#[cfg(unix)]
+unsafe impl Send for StoreBytes {}
+#[cfg(unix)]
+unsafe impl Sync for StoreBytes {}
+
+impl StoreBytes {
+    /// Map (or read) the whole of `path`.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<StoreBytes> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len();
+        if len > usize::MAX as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "file too large for address space",
+            ));
+        }
+        let len = len as usize;
+        #[cfg(unix)]
+        {
+            // mmap of length 0 is EINVAL; an empty file is trivially owned.
+            if len > 0 {
+                use std::os::unix::io::AsRawFd;
+                let ptr = unsafe {
+                    sys::mmap(
+                        std::ptr::null_mut(),
+                        len,
+                        sys::PROT_READ,
+                        sys::MAP_PRIVATE,
+                        file.as_raw_fd(),
+                        0,
+                    )
+                };
+                if !sys::map_failed(ptr) {
+                    return Ok(StoreBytes {
+                        inner: Inner::Mapped {
+                            ptr: ptr as *const u8,
+                            len,
+                        },
+                    });
+                }
+                // Mapping refused (e.g. odd filesystem): fall through to read.
+            }
+        }
+        let mut buf = Vec::with_capacity(len);
+        file.read_to_end(&mut buf)?;
+        Ok(StoreBytes {
+            inner: Inner::Owned(buf),
+        })
+    }
+
+    /// Wrap an in-memory buffer (tests, corruption injection).
+    pub fn from_vec(bytes: Vec<u8>) -> StoreBytes {
+        StoreBytes {
+            inner: Inner::Owned(bytes),
+        }
+    }
+
+    /// Whether the bytes come from a live memory mapping.
+    pub fn is_mapped(&self) -> bool {
+        match self.inner {
+            Inner::Owned(_) => false,
+            #[cfg(unix)]
+            Inner::Mapped { .. } => true,
+        }
+    }
+
+    /// Byte length.
+    pub fn len(&self) -> usize {
+        self.as_ref().len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl AsRef<[u8]> for StoreBytes {
+    fn as_ref(&self) -> &[u8] {
+        match &self.inner {
+            Inner::Owned(v) => v,
+            #[cfg(unix)]
+            Inner::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+        }
+    }
+}
+
+impl Drop for StoreBytes {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Inner::Mapped { ptr, len } = self.inner {
+            unsafe {
+                sys::munmap(ptr as *mut core::ffi::c_void, len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn maps_and_reads_back_file_contents() {
+        let dir = std::env::temp_dir().join(format!("swdb_mmap_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bytes.bin");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(70_000).collect();
+        File::create(&path).unwrap().write_all(&payload).unwrap();
+        let bytes = StoreBytes::open(&path).unwrap();
+        assert_eq!(bytes.as_ref(), &payload[..]);
+        #[cfg(unix)]
+        assert!(bytes.is_mapped());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_file_is_owned_and_empty() {
+        let dir = std::env::temp_dir().join(format!("swdb_mmap_empty_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.bin");
+        File::create(&path).unwrap();
+        let bytes = StoreBytes::open(&path).unwrap();
+        assert!(bytes.is_empty());
+        assert!(!bytes.is_mapped());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let bytes = std::sync::Arc::new(StoreBytes::from_vec(vec![7u8; 1024]));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let b = bytes.clone();
+                std::thread::spawn(move || (*b).as_ref().iter().map(|&x| x as u64).sum::<u64>())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 7 * 1024);
+        }
+    }
+}

@@ -18,6 +18,9 @@
 //! * [`serve`] — the persistent query service: a TCP daemon that keeps the
 //!   master/slave runtime warm between queries, with admission control,
 //!   an LRU result cache, and live metrics,
+//! * [`store`] — the persistent `.swdb` database store: versioned,
+//!   checksummed, memory-mapped files the daemon boots from and
+//!   hot-reloads onto,
 //! * [`json`] — the dependency-free JSON reader/writer used for event and
 //!   trace export.
 //!
@@ -30,3 +33,4 @@ pub use swhybrid_json as json;
 pub use swhybrid_seq as seq;
 pub use swhybrid_serve as serve;
 pub use swhybrid_simd as simd;
+pub use swhybrid_store as store;
