@@ -92,12 +92,14 @@ fn bench_kernels(c: &mut Criterion) {
         );
         if sse::sse41_available() {
             group.bench_with_input(BenchmarkId::new("striped_sse_i8", qlen), &qlen, |b, _| {
-                b.iter(|| sse::sw_striped_i8(&p8, &subject, goe, ext).unwrap())
+                let mut ws = Workspace::<i8>::new();
+                b.iter(|| sse::sw_striped_i8(&p8, &subject, goe, ext, &mut ws).unwrap())
             });
         }
         if sse::sse2_available() {
             group.bench_with_input(BenchmarkId::new("striped_sse_i16", qlen), &qlen, |b, _| {
-                b.iter(|| sse::sw_striped_i16(&p16, &subject, goe, ext).unwrap())
+                let mut ws = Workspace::<i16>::new();
+                b.iter(|| sse::sw_striped_i16(&p16, &subject, goe, ext, &mut ws).unwrap())
             });
         }
         group.bench_with_input(
@@ -105,7 +107,8 @@ fn bench_kernels(c: &mut Criterion) {
             &qlen,
             |b, _| {
                 let mut engine = StripedEngine::new(&query, &aff, EnginePreference::Auto);
-                b.iter(|| engine.score(&subject))
+                let mut scratch = swhybrid_simd::KernelScratch::new();
+                b.iter(|| engine.score(&subject, &mut scratch))
             },
         );
     }

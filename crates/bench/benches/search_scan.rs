@@ -121,6 +121,7 @@ fn bench_kernel_dispatch(c: &mut Criterion) {
                         preference: EnginePreference::Auto,
                         kernel,
                         sort_by_length,
+                        prefetch: true,
                     },
                 );
                 b.iter(|| search.run(&subjects))

@@ -31,7 +31,8 @@ use swhybrid_seq::digest::db_digest;
 use swhybrid_seq::sequence::EncodedSequence;
 use swhybrid_seq::DbArena;
 use swhybrid_simd::engine::{EnginePreference, KernelStats, PreparedQuery};
-use swhybrid_simd::search::{search_arena_multi, Hit, KernelChoice, SearchConfig};
+use swhybrid_simd::search::{search_arena_multi_with_scratch, Hit, KernelChoice, SearchConfig};
+use swhybrid_simd::KernelScratch;
 
 /// How a slave session over one connection ended.
 enum SessionEnd {
@@ -103,6 +104,9 @@ struct ShardExecutor<'a> {
     scoring: &'a Scoring,
     kernel: KernelChoice,
     prepared: HashMap<Vec<u8>, Arc<PreparedQuery>>,
+    /// Kernel buffers, reused across shards (and reconnects) for the
+    /// executor's lifetime — the steady-state shard scan allocates nothing.
+    scratch: KernelScratch,
 }
 
 impl TaskExecutor for ShardExecutor<'_> {
@@ -145,9 +149,11 @@ impl TaskExecutor for ShardExecutor<'_> {
             preference: EnginePreference::Auto,
             kernel: self.kernel,
             sort_by_length: false,
+            prefetch: SearchConfig::default().prefetch,
         };
         let t0 = Instant::now();
-        let outputs = search_arena_multi(&batch, &self.arena, s..e, &cfg);
+        let outputs =
+            search_arena_multi_with_scratch(&batch, &self.arena, s..e, &cfg, &mut self.scratch);
         let elapsed = t0.elapsed().as_secs_f64();
         let total_cells: u64 = outputs.iter().map(|o| o.cells).sum();
         let gcups = observed_gcups(total_cells, elapsed);
@@ -259,6 +265,7 @@ pub fn run_serve_slave(
         scoring,
         kernel,
         prepared: HashMap::new(),
+        scratch: KernelScratch::new(),
     };
     run_sessions(&addr, name, static_gcups, Some(digest), &mut executor, net)
 }

@@ -1,0 +1,245 @@
+//! The LRU prepared-query cache.
+//!
+//! Building a [`PreparedQuery`] is the per-submission fixed cost of the
+//! cold path: striped profiles at both widths, the inter-sequence score
+//! matrix reshuffle, the saturation thresholds. For a daemon fielding a
+//! repeated-query workload (the same probe against a rotating database, a
+//! dashboard re-issuing its panel queries) that cost is pure waste — the
+//! profile depends only on the query residues, the scoring scheme, and the
+//! kernel preference, none of which change across database reloads.
+//!
+//! The cache key is exactly that triple. Deliberately *not* in the key:
+//! `top_n` (ranking depth never touches the profile), the database digest
+//! or generation (profiles are database-independent — a reload keeps every
+//! entry warm), and per-request metadata. A hit returns the shared
+//! [`Arc`], so concurrent jobs for the same query also share one profile
+//! allocation. Hits are byte-identical to a cold build: the profile is a
+//! pure function of the key, so rankings and [`KernelStats`] cannot
+//! differ (`tests/prepared_cache.rs` proves it).
+//!
+//! Like [`crate::cache::ResultCache`], the 64-bit query digest is honest
+//! about collisions: every hit re-checks the stored query bytes, and a
+//! mismatch counts as a collision and misses.
+//!
+//! [`KernelStats`]: swhybrid_simd::engine::KernelStats
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use swhybrid_simd::engine::{EnginePreference, PreparedQuery};
+
+use crate::cache::CacheStats;
+
+/// The full identity of a prepared query's inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PreparedKey {
+    /// Digest of the query's alphabet codes.
+    pub query_digest: u64,
+    /// Digest of the scoring scheme (matrix + gap model).
+    pub scoring_digest: u64,
+    /// Kernel family the profiles were built for.
+    pub preference: EnginePreference,
+}
+
+struct Entry {
+    /// The exact query codes the profile was built from; a digest-colliding
+    /// lookup must miss rather than hand another query this profile.
+    query: Vec<u8>,
+    prepared: Arc<PreparedQuery>,
+    last_used: u64,
+}
+
+/// A bounded least-recently-used map from [`PreparedKey`] to a shared
+/// [`PreparedQuery`]. Recency is a logical stamp bumped on every touch;
+/// eviction removes the minimum-stamp entry. Capacity 0 disables the
+/// cache (every lookup misses, nothing is stored).
+pub struct PreparedCache {
+    capacity: usize,
+    stamp: u64,
+    map: HashMap<PreparedKey, Entry>,
+    stats: CacheStats,
+}
+
+impl PreparedCache {
+    /// Create a cache holding at most `capacity` prepared queries.
+    pub fn new(capacity: usize) -> PreparedCache {
+        PreparedCache {
+            capacity,
+            stamp: 0,
+            map: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Look up a prepared query, refreshing its recency on a hit. `query`
+    /// is the query's alphabet codes; an entry whose digest matches but
+    /// whose stored bytes differ is a collision and must miss.
+    pub fn get(&mut self, key: &PreparedKey, query: &[u8]) -> Option<Arc<PreparedQuery>> {
+        self.stamp += 1;
+        match self.map.get_mut(key) {
+            Some(entry) if entry.query == query => {
+                entry.last_used = self.stamp;
+                self.stats.hits += 1;
+                Some(Arc::clone(&entry.prepared))
+            }
+            Some(_) => {
+                self.stats.collisions += 1;
+                self.stats.misses += 1;
+                None
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Store a prepared query, evicting the least recently used entry
+    /// when full.
+    pub fn insert(&mut self, key: PreparedKey, query: &[u8], prepared: Arc<PreparedQuery>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.stamp += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(&victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+            {
+                self.map.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+        self.stats.insertions += 1;
+        self.map.insert(
+            key,
+            Entry {
+                query: query.to_vec(),
+                prepared,
+                last_used: self.stamp,
+            },
+        );
+    }
+
+    /// Number of cached prepared queries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Effectiveness counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swhybrid_align::scoring::{GapModel, Scoring, SubstMatrix};
+
+    fn scoring() -> Scoring {
+        Scoring {
+            matrix: SubstMatrix::blosum62(),
+            gap: GapModel::Affine {
+                open: 10,
+                extend: 2,
+            },
+        }
+    }
+
+    fn key(q: u64, s: u64) -> PreparedKey {
+        PreparedKey {
+            query_digest: q,
+            scoring_digest: s,
+            preference: EnginePreference::Auto,
+        }
+    }
+
+    fn prepared(codes: &[u8]) -> Arc<PreparedQuery> {
+        Arc::new(PreparedQuery::new(
+            codes,
+            &scoring(),
+            EnginePreference::Auto,
+        ))
+    }
+
+    #[test]
+    fn hit_returns_the_same_allocation() {
+        let mut c = PreparedCache::new(4);
+        let codes = vec![1u8, 2, 3];
+        let p = prepared(&codes);
+        assert!(c.get(&key(1, 9), &codes).is_none());
+        c.insert(key(1, 9), &codes, Arc::clone(&p));
+        let got = c.get(&key(1, 9), &codes).unwrap();
+        assert!(Arc::ptr_eq(&got, &p), "a hit must share the stored Arc");
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn scoring_digest_change_is_a_different_key() {
+        let mut c = PreparedCache::new(4);
+        let codes = vec![1u8, 2, 3];
+        c.insert(key(1, 9), &codes, prepared(&codes));
+        assert!(c.get(&key(1, 10), &codes).is_none());
+    }
+
+    #[test]
+    fn preference_change_is_a_different_key() {
+        let mut c = PreparedCache::new(4);
+        let codes = vec![1u8, 2, 3];
+        c.insert(key(1, 9), &codes, prepared(&codes));
+        let other = PreparedKey {
+            preference: EnginePreference::Portable,
+            ..key(1, 9)
+        };
+        assert!(c.get(&other, &codes).is_none());
+    }
+
+    #[test]
+    fn digest_collision_misses() {
+        let mut c = PreparedCache::new(4);
+        let alice = vec![1u8, 2, 3];
+        let bob = vec![4u8, 5, 6]; // same forced digest, different bytes
+        c.insert(key(1, 9), &alice, prepared(&alice));
+        assert!(c.get(&key(1, 9), &bob).is_none());
+        assert_eq!(c.stats().collisions, 1);
+    }
+
+    #[test]
+    fn lru_evicts_coldest() {
+        let mut c = PreparedCache::new(2);
+        let a = vec![1u8];
+        let b = vec![2u8];
+        let d = vec![3u8];
+        c.insert(key(1, 9), &a, prepared(&a));
+        c.insert(key(2, 9), &b, prepared(&b));
+        c.get(&key(1, 9), &a); // key 2 is now coldest
+        c.insert(key(3, 9), &d, prepared(&d));
+        assert!(c.get(&key(1, 9), &a).is_some());
+        assert!(c.get(&key(2, 9), &b).is_none());
+        assert!(c.get(&key(3, 9), &d).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = PreparedCache::new(0);
+        let codes = vec![1u8];
+        c.insert(key(1, 9), &codes, prepared(&codes));
+        assert!(c.get(&key(1, 9), &codes).is_none());
+        assert!(c.is_empty());
+    }
+}

@@ -72,11 +72,15 @@ use swhybrid_seq::digest::{query_digest, Fnv1a};
 use swhybrid_seq::sequence::EncodedSequence;
 use swhybrid_seq::DbSnapshot;
 use swhybrid_simd::engine::{EnginePreference, KernelStats, PreparedQuery};
-use swhybrid_simd::search::{merge_top_n, search_arena_multi, Hit, KernelChoice, SearchConfig};
+use swhybrid_simd::search::{
+    merge_top_n, search_arena_multi_with_scratch, Hit, KernelChoice, SearchConfig,
+};
+use swhybrid_simd::KernelScratch;
 
 use crate::admission::{AdmissionQueue, AdmitError};
 use crate::cache::{CacheKey, ResultCache};
 use crate::metrics::Metrics;
+use crate::prepared::{PreparedCache, PreparedKey};
 
 /// Slave-listener accept re-check interval.
 const ACCEPT_QUANTUM: Duration = Duration::from_millis(10);
@@ -130,6 +134,13 @@ pub struct ServiceConfig {
     /// Terminal jobs older than this are evicted even under the count
     /// bound, so an idle daemon's registry also drains.
     pub retention_secs: f64,
+    /// Prepared-query cache capacity (entries); 0 disables it. Hits skip
+    /// profile construction entirely; results are byte-identical either
+    /// way (the cache stores exactly what the cold path would build).
+    pub prepared_capacity: usize,
+    /// Software next-subject prefetch inside shard scans (see
+    /// [`SearchConfig::prefetch`]). Advisory only — never changes results.
+    pub prefetch: bool,
 }
 
 impl Default for ServiceConfig {
@@ -150,6 +161,8 @@ impl Default for ServiceConfig {
             fusion_window_ms: 3.0,
             retained_jobs: 256,
             retention_secs: 300.0,
+            prepared_capacity: 128,
+            prefetch: true,
         }
     }
 }
@@ -432,6 +445,36 @@ struct Inner {
     cfg: ServiceConfig,
     scoring: Scoring,
     scoring_digest: u64,
+    /// Prepared-query profiles shared across submissions (and across
+    /// database reloads: the key is database-independent). Own lock, not
+    /// the pool lock — profile builds happen off the scheduler.
+    prepared: Mutex<PreparedCache>,
+}
+
+impl Inner {
+    /// Fetch the shared profile for `codes`, building (off every lock)
+    /// and caching it on a miss. Hits are byte-identical to a cold build:
+    /// the profile is a pure function of the cache key.
+    fn prepared_query(&self, codes: &[u8], query_digest: u64) -> Arc<PreparedQuery> {
+        let key = PreparedKey {
+            query_digest,
+            scoring_digest: self.scoring_digest,
+            preference: self.cfg.preference,
+        };
+        if let Some(p) = self.prepared.lock().unwrap().get(&key, codes) {
+            return p;
+        }
+        let p = Arc::new(PreparedQuery::new(
+            codes,
+            &self.scoring,
+            self.cfg.preference,
+        ));
+        self.prepared
+            .lock()
+            .unwrap()
+            .insert(key, codes, Arc::clone(&p));
+        p
+    }
 }
 
 /// Stable digest of a scoring scheme (matrix identity + gap model), the
@@ -536,6 +579,7 @@ impl QueryService {
         let inner = Arc::new(Inner {
             pool,
             scoring_digest: scoring_digest(&scoring),
+            prepared: Mutex::new(PreparedCache::new(cfg.prepared_capacity)),
             scoring,
             cfg,
         });
@@ -551,7 +595,12 @@ impl QueryService {
                 std::thread::Builder::new()
                     .name(format!("swhybrid-serve-pe{pe}"))
                     .spawn(move || {
-                        let mut endpoint = LocalEndpoint::new(|task| execute_task(&inner, task));
+                        // One KernelScratch per PE thread, living for the
+                        // daemon's lifetime: every shard this worker scans
+                        // reuses the same warm, high-water-sized buffers.
+                        let mut scratch = KernelScratch::new();
+                        let mut endpoint =
+                            LocalEndpoint::new(|task| execute_task(&inner, task, &mut scratch));
                         drive(&inner.pool, pe, &mut endpoint);
                     })
                     .expect("spawn PE worker")
@@ -711,12 +760,9 @@ impl QueryService {
             }
         }
 
-        // Cold path: build the shared profiles off the lock, then admit.
-        let prepared = Arc::new(PreparedQuery::new(
-            &codes,
-            &inner.scoring,
-            inner.cfg.preference,
-        ));
+        // Cold path: fetch (or build, off the lock) the shared profiles,
+        // then admit.
+        let prepared = inner.prepared_query(&codes, qdigest);
         let mut g = pool.lock();
         let core = &mut *g;
         let o = &mut core.owner;
@@ -960,6 +1006,20 @@ impl QueryService {
                     ("served_from_cache", Json::Num(m.served_from_cache as f64)),
                 ]),
             ),
+            ("prepared_cache", {
+                let pc = inner.prepared.lock().unwrap();
+                let ps = pc.stats();
+                Json::obj(vec![
+                    ("hits", Json::Num(ps.hits as f64)),
+                    ("misses", Json::Num(ps.misses as f64)),
+                    ("collisions", Json::Num(ps.collisions as f64)),
+                    ("hit_rate", Json::Num(ps.hit_rate())),
+                    ("insertions", Json::Num(ps.insertions as f64)),
+                    ("evictions", Json::Num(ps.evictions as f64)),
+                    ("size", Json::Num(pc.len() as f64)),
+                    ("capacity", Json::Num(pc.capacity() as f64)),
+                ])
+            }),
             ("latency_ms", m.latency.to_json()),
             ("kernel", Json::str(inner.cfg.kernel.name())),
             ("kernels", kernels_to_json(&m.kernels)),
@@ -1256,7 +1316,7 @@ fn schedule_group(master: &mut Master, o: &mut ServeOwner, group: &[u64]) {
 /// under the lock, scan the shard once for every live member off it. The
 /// pool (via [`LocalEndpoint`] and [`ServeOwner::on_finished`]) handles
 /// started/finished bookkeeping.
-fn execute_task(inner: &Inner, task: TaskId) -> TaskResult {
+fn execute_task(inner: &Inner, task: TaskId, scratch: &mut KernelScratch) -> TaskResult {
     let (entries, range, db) = {
         let g = inner.pool.lock();
         let o = &g.owner;
@@ -1302,8 +1362,9 @@ fn execute_task(inner: &Inner, task: TaskId) -> TaskResult {
         preference: inner.cfg.preference,
         kernel: inner.cfg.kernel,
         sort_by_length: false,
+        prefetch: inner.cfg.prefetch,
     };
-    let outs = search_arena_multi(&live, db.arena(), s..e, &cfg);
+    let outs = search_arena_multi_with_scratch(&live, db.arena(), s..e, &cfg, scratch);
     // Demux per query, positionally. The arena is in database order, so
     // shard scan positions already are global database indices and the
     // cross-shard merge tie-breaks identically to a whole-db scan.

@@ -10,7 +10,7 @@
 
 #![allow(unsafe_code)]
 
-use crate::portable::StripedOutcome;
+use crate::portable::{StripedOutcome, Workspace};
 use crate::profile::StripedProfile;
 
 /// Lane count of the 8-bit AVX2 kernel.
@@ -38,16 +38,17 @@ pub fn sw_striped_i8_avx2(
     subject: &[u8],
     goe: i32,
     ext: i32,
+    ws: &mut Workspace<i8>,
 ) -> Option<StripedOutcome> {
     #[cfg(target_arch = "x86_64")]
     {
         if avx2_available() {
             assert_eq!(profile.lanes, LANES_I8, "profile must be 32-lane");
             // SAFETY: feature presence checked above.
-            return Some(unsafe { imp::sw_i8(profile, subject, goe, ext) });
+            return Some(unsafe { imp::sw_i8(profile, subject, goe, ext, ws) });
         }
     }
-    let _ = (profile, subject, goe, ext);
+    let _ = (profile, subject, goe, ext, ws);
     None
 }
 
@@ -58,16 +59,17 @@ pub fn sw_striped_i16_avx2(
     subject: &[u8],
     goe: i32,
     ext: i32,
+    ws: &mut Workspace<i16>,
 ) -> Option<StripedOutcome> {
     #[cfg(target_arch = "x86_64")]
     {
         if avx2_available() {
             assert_eq!(profile.lanes, LANES_I16, "profile must be 16-lane");
             // SAFETY: feature presence checked above.
-            return Some(unsafe { imp::sw_i16(profile, subject, goe, ext) });
+            return Some(unsafe { imp::sw_i16(profile, subject, goe, ext, ws) });
         }
     }
-    let _ = (profile, subject, goe, ext);
+    let _ = (profile, subject, goe, ext, ws);
     None
 }
 
@@ -94,14 +96,19 @@ mod imp {
                 subject: &[u8],
                 goe: i32,
                 ext: i32,
+                ws: &mut Workspace<$lane_ty>,
             ) -> StripedOutcome {
                 const LANES: usize = $lanes;
                 debug_assert_eq!(profile.lanes, LANES);
                 let seg_len = profile.seg_len;
                 let slots = seg_len * LANES;
-                let mut h_load = vec![0 as $lane_ty; slots];
-                let mut h_store = vec![0 as $lane_ty; slots];
-                let mut e_arr = vec![<$lane_ty>::MIN; slots];
+                ws.reset(slots);
+                // Raw pointers hoisted out of the DP loop: going through the
+                // workspace's Vec headers each iteration would force the compiler
+                // to re-load the data pointers after every store.
+                let mut h_load = ws.h_load.as_mut_ptr();
+                let mut h_store = ws.h_store.as_mut_ptr();
+                let e_arr = ws.e.as_mut_ptr();
 
                 let clamp =
                     |x: i32| x.clamp(<$lane_ty>::MIN as i32, <$lane_ty>::MAX as i32) as $lane_ty;
@@ -127,30 +134,23 @@ mod imp {
                 for &r in subject {
                     let mut v_f = v_min;
                     let mut v_h = lshift(_mm256_loadu_si256(
-                        h_load.as_ptr().add((seg_len - 1) * LANES) as *const __m256i,
+                        h_load.add((seg_len - 1) * LANES) as *const __m256i
                     ));
 
                     for k in 0..seg_len {
                         let prof = _mm256_loadu_si256(profile.vector_ptr(r, k) as *const __m256i);
                         v_h = $adds(v_h, prof);
-                        let v_e =
-                            _mm256_loadu_si256(e_arr.as_ptr().add(k * LANES) as *const __m256i);
+                        let v_e = _mm256_loadu_si256(e_arr.add(k * LANES) as *const __m256i);
                         v_h = $max(v_h, v_e);
                         v_h = $max(v_h, v_f);
                         v_h = $max(v_h, v_zero);
                         v_best = $max(v_best, v_h);
-                        _mm256_storeu_si256(
-                            h_store.as_mut_ptr().add(k * LANES) as *mut __m256i,
-                            v_h,
-                        );
+                        _mm256_storeu_si256(h_store.add(k * LANES) as *mut __m256i, v_h);
                         let h_open = $subs(v_h, v_goe);
                         let v_e2 = $max(h_open, $subs(v_e, v_ext));
-                        _mm256_storeu_si256(
-                            e_arr.as_mut_ptr().add(k * LANES) as *mut __m256i,
-                            v_e2,
-                        );
+                        _mm256_storeu_si256(e_arr.add(k * LANES) as *mut __m256i, v_e2);
                         v_f = $max(h_open, $subs(v_f, v_ext));
-                        v_h = _mm256_loadu_si256(h_load.as_ptr().add(k * LANES) as *const __m256i);
+                        v_h = _mm256_loadu_si256(h_load.add(k * LANES) as *const __m256i);
                     }
 
                     // Break condition argued in crate::portable: the carry
@@ -159,22 +159,17 @@ mod imp {
                         v_f = _mm256_or_si256(lshift(v_f), min_lane0);
                         let mut alive = false;
                         for k in 0..seg_len {
-                            let mut vh = _mm256_loadu_si256(
-                                h_store.as_ptr().add(k * LANES) as *const __m256i
-                            );
+                            let mut vh =
+                                _mm256_loadu_si256(h_store.add(k * LANES) as *const __m256i);
                             let gt = _mm256_movemask_epi8($cmpgt(v_f, vh));
                             if gt != 0 {
                                 vh = $max(vh, v_f);
-                                _mm256_storeu_si256(
-                                    h_store.as_mut_ptr().add(k * LANES) as *mut __m256i,
-                                    vh,
-                                );
+                                _mm256_storeu_si256(h_store.add(k * LANES) as *mut __m256i, vh);
                                 let h_open = $subs(vh, v_goe);
-                                let e_old = _mm256_loadu_si256(
-                                    e_arr.as_ptr().add(k * LANES) as *const __m256i
-                                );
+                                let e_old =
+                                    _mm256_loadu_si256(e_arr.add(k * LANES) as *const __m256i);
                                 _mm256_storeu_si256(
-                                    e_arr.as_mut_ptr().add(k * LANES) as *mut __m256i,
+                                    e_arr.add(k * LANES) as *mut __m256i,
                                     $max(e_old, h_open),
                                 );
                                 v_best = $max(v_best, vh);
@@ -249,7 +244,7 @@ mod tests {
             let q: Vec<u8> = (0..ql).map(|_| rng.random_range(0..20u8)).collect();
             let t: Vec<u8> = (0..tl).map(|_| rng.random_range(0..20u8)).collect();
             let profile = StripedProfile::<i16>::build_with_lanes(&q, &matrix, LANES_I16);
-            let avx = sw_striped_i16_avx2(&profile, &t, 12, 2).unwrap();
+            let avx = sw_striped_i16_avx2(&profile, &t, 12, 2, &mut Workspace::new()).unwrap();
             let portable = sw_striped_portable(&profile, &t, 12, 2, &mut ws);
             assert_eq!(avx, portable, "round {round} ql={ql} tl={tl}");
         }
@@ -269,7 +264,7 @@ mod tests {
             let q: Vec<u8> = (0..ql).map(|_| rng.random_range(0..20u8)).collect();
             let t: Vec<u8> = (0..tl).map(|_| rng.random_range(0..20u8)).collect();
             let profile = StripedProfile::<i8>::build_with_lanes(&q, &matrix, LANES_I8);
-            let avx = sw_striped_i8_avx2(&profile, &t, 12, 2).unwrap();
+            let avx = sw_striped_i8_avx2(&profile, &t, 12, 2, &mut Workspace::new()).unwrap();
             let portable = sw_striped_portable(&profile, &t, 12, 2, &mut ws);
             assert_eq!(avx, portable, "round {round} ql={ql} tl={tl}");
         }

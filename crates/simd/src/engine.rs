@@ -12,13 +12,14 @@ use std::sync::Arc;
 
 use crate::portable::{sw_striped_portable, StripedOutcome, Workspace};
 use crate::profile::StripedProfile;
+use crate::scratch::KernelScratch;
 use crate::sse;
 use swhybrid_align::gotoh::gap_params;
 use swhybrid_align::score_only::sw_score_affine;
 use swhybrid_align::scoring::Scoring;
 
 /// Which implementation family to use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum EnginePreference {
     /// Intrinsics when the CPU supports them, portable otherwise.
     #[default]
@@ -192,13 +193,15 @@ fn build_interseq_matrix(matrix: &swhybrid_align::scoring::SubstMatrix) -> Optio
 }
 
 /// A query bound to its striped profiles and scoring scheme: scores one
-/// subject at a time with the fallback chain. One engine per worker thread
-/// (it owns mutable workspaces); the profiles live in a shared
-/// [`PreparedQuery`], built once per query.
+/// subject at a time with the fallback chain. The engine itself is cheap —
+/// profiles live in a shared [`PreparedQuery`], DP rows in the caller's
+/// [`KernelScratch`] — so the scratch (one per worker thread) carries the
+/// reusable buffers across engines, queries and chunks.
 ///
 /// ```
 /// use swhybrid_align::scoring::{GapModel, Scoring, SubstMatrix};
 /// use swhybrid_simd::engine::{EnginePreference, StripedEngine};
+/// use swhybrid_simd::scratch::KernelScratch;
 /// use swhybrid_seq::Alphabet;
 ///
 /// let scoring = Scoring {
@@ -207,14 +210,13 @@ fn build_interseq_matrix(matrix: &swhybrid_align::scoring::SubstMatrix) -> Optio
 /// };
 /// let query = Alphabet::Protein.encode(b"MKVLAWCDEF").unwrap();
 /// let subject = Alphabet::Protein.encode(b"MKVLWCDEF").unwrap();
+/// let mut scratch = KernelScratch::new();
 /// let mut engine = StripedEngine::new(&query, &scoring, EnginePreference::Auto);
-/// assert!(engine.score(&subject) > 0);
+/// assert!(engine.score(&subject, &mut scratch) > 0);
 /// assert_eq!(engine.stats().total(), 1);
 /// ```
 pub struct StripedEngine {
     prepared: Arc<PreparedQuery>,
-    ws8: Workspace<i8>,
-    ws16: Workspace<i16>,
     stats: KernelStats,
 }
 
@@ -225,13 +227,11 @@ impl StripedEngine {
         StripedEngine::with_prepared(Arc::new(PreparedQuery::new(query, scoring, preference)))
     }
 
-    /// Wrap an already-built [`PreparedQuery`], paying only for the
-    /// (lazily grown) workspaces.
+    /// Wrap an already-built [`PreparedQuery`]; construction is free (the
+    /// DP rows live in the caller's [`KernelScratch`]).
     pub fn with_prepared(prepared: Arc<PreparedQuery>) -> StripedEngine {
         StripedEngine {
             prepared,
-            ws8: Workspace::new(),
-            ws16: Workspace::new(),
             stats: KernelStats::default(),
         }
     }
@@ -251,53 +251,56 @@ impl StripedEngine {
         self.stats = KernelStats::default();
     }
 
-    fn run_i8(&mut self, subject: &[u8]) -> StripedOutcome {
+    fn run_i8(&self, subject: &[u8], ws: &mut Workspace<i8>) -> StripedOutcome {
         let p = &self.prepared;
         if let Some(profile) = &p.profile8_avx {
-            if let Some(out) = crate::avx2::sw_striped_i8_avx2(profile, subject, p.goe, p.ext) {
+            if let Some(out) = crate::avx2::sw_striped_i8_avx2(profile, subject, p.goe, p.ext, ws) {
                 return out;
             }
         }
         if p.preference != EnginePreference::Portable {
-            if let Some(out) = sse::sw_striped_i8(&p.profile8, subject, p.goe, p.ext) {
+            if let Some(out) = sse::sw_striped_i8(&p.profile8, subject, p.goe, p.ext, ws) {
                 return out;
             }
         }
-        sw_striped_portable(&p.profile8, subject, p.goe, p.ext, &mut self.ws8)
+        sw_striped_portable(&p.profile8, subject, p.goe, p.ext, ws)
     }
 
-    fn run_i16(&mut self, subject: &[u8]) -> StripedOutcome {
+    fn run_i16(&self, subject: &[u8], ws: &mut Workspace<i16>) -> StripedOutcome {
         let p = &self.prepared;
         if let Some(profile) = &p.profile16_avx {
-            if let Some(out) = crate::avx2::sw_striped_i16_avx2(profile, subject, p.goe, p.ext) {
+            if let Some(out) = crate::avx2::sw_striped_i16_avx2(profile, subject, p.goe, p.ext, ws)
+            {
                 return out;
             }
         }
         if p.preference != EnginePreference::Portable {
-            if let Some(out) = sse::sw_striped_i16(&p.profile16, subject, p.goe, p.ext) {
+            if let Some(out) = sse::sw_striped_i16(&p.profile16, subject, p.goe, p.ext, ws) {
                 return out;
             }
         }
-        sw_striped_portable(&p.profile16, subject, p.goe, p.ext, &mut self.ws16)
+        sw_striped_portable(&p.profile16, subject, p.goe, p.ext, ws)
     }
 
     /// Score one encoded subject, with the 8→16→scalar fallback chain.
     /// Every pass that runs is charged to `cells_computed`, so reported
-    /// GCUPS reflect work actually done on saturated workloads.
-    pub fn score(&mut self, subject: &[u8]) -> i32 {
+    /// GCUPS reflect work actually done on saturated workloads. `scratch`
+    /// provides the DP rows; in steady state (same query length) the call
+    /// performs zero heap allocations.
+    pub fn score(&mut self, subject: &[u8], scratch: &mut KernelScratch) -> i32 {
         if subject.is_empty() {
             self.stats.resolved_i8 += 1;
             return 0;
         }
         let pass_cells = self.prepared.query_len() as u64 * subject.len() as u64;
         self.stats.cells_computed += pass_cells;
-        let out8 = self.run_i8(subject);
+        let out8 = self.run_i8(subject, &mut scratch.ws8);
         if !out8.saturated {
             self.stats.resolved_i8 += 1;
             return out8.score;
         }
         self.stats.cells_computed += pass_cells;
-        let out16 = self.run_i16(subject);
+        let out16 = self.run_i16(subject, &mut scratch.ws16);
         if !out16.saturated {
             self.stats.resolved_i16 += 1;
             return out16.score;
@@ -338,11 +341,12 @@ mod tests {
             EnginePreference::Portable,
             EnginePreference::Simd,
         ] {
+            let mut scratch = KernelScratch::new();
             let mut engine = StripedEngine::new(&query, &s, pref);
             for _ in 0..30 {
                 let len = rng.random_range(1..200);
                 let subject = random_seq(&mut rng, len);
-                let got = engine.score(&subject);
+                let got = engine.score(&subject, &mut scratch);
                 let expect = sw_score_affine(&query, &subject, &s).score;
                 assert_eq!(got, expect, "pref {pref:?}");
             }
@@ -357,7 +361,7 @@ mod tests {
         let query = random_seq(&mut rng, 400);
         let s = scoring();
         let mut engine = StripedEngine::new(&query, &s, EnginePreference::Auto);
-        let got = engine.score(&query);
+        let got = engine.score(&query, &mut KernelScratch::new());
         let expect = sw_score_affine(&query, &query, &s).score;
         assert_eq!(got, expect);
         assert!(expect > 127, "test premise: score must exceed i8 range");
@@ -374,7 +378,7 @@ mod tests {
         let query: Vec<u8> = vec![17u8; 3100];
         let s = scoring();
         let mut engine = StripedEngine::new(&query, &s, EnginePreference::Auto);
-        let got = engine.score(&query);
+        let got = engine.score(&query, &mut KernelScratch::new());
         let expect = sw_score_affine(&query, &query, &s).score;
         assert_eq!(got, expect);
         assert!(expect > i16::MAX as i32, "test premise: must exceed i16");
@@ -386,7 +390,7 @@ mod tests {
         let s = scoring();
         let query = vec![0u8, 1, 2];
         let mut engine = StripedEngine::new(&query, &s, EnginePreference::Auto);
-        assert_eq!(engine.score(&[]), 0);
+        assert_eq!(engine.score(&[], &mut KernelScratch::new()), 0);
     }
 
     #[test]
@@ -394,7 +398,7 @@ mod tests {
         let s = scoring();
         let query = vec![0u8, 1, 2];
         let mut engine = StripedEngine::new(&query, &s, EnginePreference::Auto);
-        engine.score(&[0, 1, 2]);
+        engine.score(&[0, 1, 2], &mut KernelScratch::new());
         assert_eq!(engine.stats().total(), 1);
         engine.reset_stats();
         assert_eq!(engine.stats().total(), 0);

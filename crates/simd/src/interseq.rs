@@ -29,6 +29,7 @@ use std::ops::Range;
 
 use crate::engine::{EnginePreference, KernelStats, PreparedQuery};
 use crate::lanes::Lane;
+use crate::scratch::{InterSeqScratch, KernelScratch, WidthBuf};
 use swhybrid_align::gotoh::gap_params;
 use swhybrid_align::score_only::sw_score_affine;
 use swhybrid_align::scoring::Scoring;
@@ -90,65 +91,124 @@ pub fn scores_arena(
     range: Range<usize>,
     stats: &mut KernelStats,
 ) -> Vec<i32> {
-    let query = prepared.query();
-    assert!(!query.is_empty(), "query must not be empty");
-    let m = query.len() as u64;
-    let jobs: Vec<usize> = range.collect();
+    let mut scratch = KernelScratch::new();
+    scores_arena_with(prepared, arena, range, stats, &mut scratch, false).to_vec()
+}
 
+/// Hot-path variant of [`scores_arena`]: every buffer the chain needs lives
+/// in `scratch` (reused across chunks — zero steady-state allocations) and
+/// the returned slice borrows `scratch.scores`. `prefetch` turns on the
+/// advisory next-subject prefetch at lane refill; it never changes scores
+/// or `stats`.
+pub fn scores_arena_with<'s>(
+    prepared: &PreparedQuery,
+    arena: &DbArena,
+    range: Range<usize>,
+    stats: &mut KernelStats,
+    scratch: &'s mut KernelScratch,
+    prefetch: bool,
+) -> &'s [i32] {
+    assert!(!prepared.query().is_empty(), "query must not be empty");
+    let KernelScratch {
+        interseq, scores, ..
+    } = scratch;
+    interseq.jobs.clear();
+    interseq.jobs.extend(range);
+    scores_jobs_into(prepared, arena, interseq, prefetch, stats, scores);
+    scores
+}
+
+/// Run the full i8 → i16 → scalar chain over the pre-filled
+/// `interseq.jobs`, writing one exact score per job into `out`.
+fn scores_jobs_into(
+    prepared: &PreparedQuery,
+    arena: &DbArena,
+    interseq: &mut InterSeqScratch,
+    prefetch: bool,
+    stats: &mut KernelStats,
+    out: &mut Vec<i32>,
+) {
+    let InterSeqScratch {
+        jobs,
+        sat,
+        jobs16,
+        w8,
+        w16,
+    } = interseq;
+    let m = prepared.query_len() as u64;
     stats.cells_computed += m * jobs.iter().map(|&p| arena.seq_len(p) as u64).sum::<u64>();
-    let r8 = run_pass::<i8>(prepared, arena, &jobs);
-    finish_after_i8(prepared, arena, &jobs, r8, stats)
+    run_pass_buf::<i8>(prepared, arena, jobs, prefetch, w8);
+    finish_after_i8_into(
+        prepared,
+        arena,
+        jobs,
+        &w8.results,
+        sat,
+        jobs16,
+        w16,
+        prefetch,
+        stats,
+        out,
+    );
 }
 
 /// Resolve one query's i8 pass results into exact scores: keep the exact
 /// i8 lanes, rerun the saturated subjects at 16 bits, and finish stragglers
 /// with the exact scalar kernel — accumulating the width counters and the
-/// rerun cells into `stats`. Shared by [`scores_arena`] and
-/// [`scores_arena_multi`], which is what keeps the fused chain's
-/// per-query output and accounting byte-identical to the solo chain's.
-fn finish_after_i8(
+/// rerun cells into `stats`. Shared by the solo and fused chains, which is
+/// what keeps the fused chain's per-query output and accounting
+/// byte-identical to the solo chain's. `sat`/`jobs16`/`w16` are scratch
+/// (reused across chunks); `out` receives one score per job.
+#[allow(clippy::too_many_arguments)]
+fn finish_after_i8_into(
     prepared: &PreparedQuery,
     arena: &DbArena,
     jobs: &[usize],
-    r8: Vec<Option<i32>>,
+    r8: &[Option<i32>],
+    sat: &mut Vec<usize>,
+    jobs16: &mut Vec<usize>,
+    w16: &mut WidthBuf<i16>,
+    prefetch: bool,
     stats: &mut KernelStats,
-) -> Vec<i32> {
+    out: &mut Vec<i32>,
+) {
     let query = prepared.query();
     let m = query.len() as u64;
     let scoring = prepared.scoring();
 
-    let mut scores = vec![0i32; jobs.len()];
-    let mut saturated: Vec<usize> = Vec::new(); // indices into `jobs`
-    for (k, r) in r8.into_iter().enumerate() {
-        match r {
+    out.clear();
+    out.resize(jobs.len(), 0);
+    sat.clear(); // indices into `jobs`
+    for (k, r) in r8.iter().enumerate() {
+        match *r {
             Some(score) => {
-                scores[k] = score;
+                out[k] = score;
                 stats.interseq_i8 += 1;
             }
-            None => saturated.push(k),
+            None => sat.push(k),
         }
     }
 
-    if !saturated.is_empty() {
-        let jobs16: Vec<usize> = saturated.iter().map(|&k| jobs[k]).collect();
+    if !sat.is_empty() {
+        jobs16.clear();
+        jobs16.extend(sat.iter().map(|&k| jobs[k]));
         stats.cells_computed += m * jobs16.iter().map(|&p| arena.seq_len(p) as u64).sum::<u64>();
-        let r16 = run_pass::<i16>(prepared, arena, &jobs16);
-        for (&k, r) in saturated.iter().zip(r16) {
-            match r {
+        run_pass_buf::<i16>(prepared, arena, jobs16, prefetch, w16);
+        for (i, &k) in sat.iter().enumerate() {
+            match w16.results[i] {
                 Some(score) => {
-                    scores[k] = score;
+                    out[k] = score;
                     stats.interseq_i16 += 1;
                 }
                 None => {
                     let subject = arena.residues(jobs[k]);
                     stats.cells_computed += m * subject.len() as u64;
-                    scores[k] = sw_score_affine(query, subject, scoring).score;
+                    out[k] = sw_score_affine(query, subject, scoring).score;
                     stats.interseq_scalar += 1;
                 }
             }
         }
     }
-    scores
 }
 
 /// Fused variant of [`scores_arena`]: score every query in `batch` against
@@ -171,56 +231,92 @@ pub fn scores_arena_multi(
     range: Range<usize>,
     stats: &mut [KernelStats],
 ) -> Vec<Vec<i32>> {
+    let mut scratch = KernelScratch::new();
+    scores_arena_multi_with(batch, arena, range, stats, &mut scratch, false).to_vec()
+}
+
+/// Hot-path variant of [`scores_arena_multi`]: all buffers live in
+/// `scratch` and the returned slice borrows `scratch.multi_scores` (one
+/// score vector per batch entry). Scores and per-query `stats` stay
+/// byte-identical to the solo chain's regardless of `prefetch` or scratch
+/// reuse.
+pub fn scores_arena_multi_with<'s>(
+    batch: &[&PreparedQuery],
+    arena: &DbArena,
+    range: Range<usize>,
+    stats: &mut [KernelStats],
+    scratch: &'s mut KernelScratch,
+    prefetch: bool,
+) -> &'s [Vec<i32>] {
     assert_eq!(batch.len(), stats.len(), "one stats slot per query");
     assert!(
         batch.iter().all(|p| !p.query().is_empty()),
         "query must not be empty"
     );
-    let jobs: Vec<usize> = range.clone().collect();
+    let KernelScratch {
+        interseq,
+        multi_scores,
+        ..
+    } = scratch;
+    multi_scores.resize_with(batch.len(), Vec::new);
+    interseq.jobs.clear();
+    interseq.jobs.extend(range);
 
-    let fused8 = if batch.len() >= 2
+    let fused = batch.len() >= 2
         && batch
             .iter()
             .all(|p| p.preference() != EnginePreference::Portable)
-    {
-        crate::interseq_avx2::multi_pass_i8(batch, arena, &jobs)
-            .or_else(|| crate::interseq_sse::multi_pass_i8(batch, arena, &jobs))
+        && {
+            let InterSeqScratch { jobs, w8, .. } = &mut *interseq;
+            crate::interseq_avx2::multi_pass_i8_buf(batch, arena, jobs, prefetch, w8)
+                || crate::interseq_sse::multi_pass_i8_buf(batch, arena, jobs, prefetch, w8)
+        };
+    if fused {
+        let total: u64 = interseq.jobs.iter().map(|&p| arena.seq_len(p) as u64).sum();
+        let InterSeqScratch {
+            jobs,
+            sat,
+            jobs16,
+            w8,
+            w16,
+        } = interseq;
+        for (q, (prepared, stats)) in batch.iter().zip(stats.iter_mut()).enumerate() {
+            stats.cells_computed += prepared.query_len() as u64 * total;
+            finish_after_i8_into(
+                prepared,
+                arena,
+                jobs,
+                &w8.mresults[q],
+                sat,
+                jobs16,
+                w16,
+                prefetch,
+                stats,
+                &mut multi_scores[q],
+            );
+        }
     } else {
-        None
-    };
-    let Some(r8_batch) = fused8 else {
-        return batch
+        // Fall back to exactly the solo chain, one query at a time over the
+        // same job list.
+        for ((prepared, stats), out) in batch
             .iter()
             .zip(stats.iter_mut())
-            .map(|(prepared, stats)| scores_arena(prepared, arena, range.clone(), stats))
-            .collect();
-    };
-
-    let total: u64 = jobs.iter().map(|&p| arena.seq_len(p) as u64).sum();
-    batch
-        .iter()
-        .zip(r8_batch)
-        .zip(stats.iter_mut())
-        .map(|((prepared, r8), stats)| {
-            stats.cells_computed += prepared.query_len() as u64 * total;
-            finish_after_i8(prepared, arena, &jobs, r8, stats)
-        })
-        .collect()
+            .zip(multi_scores.iter_mut())
+        {
+            scores_jobs_into(prepared, arena, interseq, prefetch, stats, out);
+        }
+    }
+    multi_scores
 }
-
-/// The unpacked kernel inputs of a fusable batch: the query slices, the
-/// shared padded score table, and the shared `(open+extend, extend)` gap
-/// penalties.
-#[cfg(target_arch = "x86_64")]
-pub(crate) type FusableBatch<'a> = (Vec<&'a [u8]>, &'a [i8], i32, i32);
 
 /// Validate that `batch` can share one fused pass and unpack the kernel
 /// inputs: every query must carry the same padded score table and gap
 /// penalties (the serve path guarantees one scoring per fused task; mixed
-/// batches simply refuse to fuse). Returns the query slices plus the shared
-/// matrix and penalties.
+/// batches simply refuse to fuse). Returns the shared matrix and penalties
+/// — allocation-free, because the fused kernels read the queries straight
+/// from the batch.
 #[cfg(target_arch = "x86_64")]
-pub(crate) fn fusable_batch<'a>(batch: &[&'a PreparedQuery]) -> Option<FusableBatch<'a>> {
+pub(crate) fn fusable_batch<'a>(batch: &[&'a PreparedQuery]) -> Option<(&'a [i8], i32, i32)> {
     let first = batch.first()?;
     let matrix32 = first.interseq_matrix.as_deref()?;
     let (goe, ext) = first.gap_penalties();
@@ -229,59 +325,71 @@ pub(crate) fn fusable_batch<'a>(batch: &[&'a PreparedQuery]) -> Option<FusableBa
             return None;
         }
     }
-    Some((
-        batch.iter().map(|p| p.query()).collect(),
-        matrix32,
-        goe,
-        ext,
-    ))
+    Some((matrix32, goe, ext))
 }
 
-/// One pass at width `T`: vectorized when the preference and CPU allow it,
-/// portable otherwise. `Some(score)` is exact; `None` saturated `T::MAX`.
-fn run_pass<T: Lane + InterSeqWidth>(
+/// One pass at width `T` into `buf.results`: vectorized when the
+/// preference and CPU allow it, portable otherwise. `Some(score)` is exact;
+/// `None` saturated `T::MAX`.
+fn run_pass_buf<T: Lane + InterSeqWidth>(
     prepared: &PreparedQuery,
     arena: &DbArena,
     jobs: &[usize],
-) -> Vec<Option<i32>> {
-    if prepared.preference() != EnginePreference::Portable {
-        if let Some(out) = T::pass_simd(prepared, arena, jobs) {
-            return out;
-        }
+    prefetch: bool,
+    buf: &mut WidthBuf<T>,
+) {
+    if prepared.preference() != EnginePreference::Portable
+        && T::pass_simd_buf(prepared, arena, jobs, prefetch, buf)
+    {
+        return;
     }
-    pass_portable::<T>(prepared.query(), prepared.scoring(), arena, jobs)
+    pass_portable_buf::<T>(
+        prepared.query(),
+        prepared.scoring(),
+        arena,
+        jobs,
+        prefetch,
+        buf,
+    );
 }
 
 /// Width-specific hook into the hand-vectorized kernels.
-pub trait InterSeqWidth {
-    /// Run the vectorized pass for this width, or `None` when the CPU /
-    /// alphabet cannot (caller falls back to the portable pass).
-    fn pass_simd(
+pub(crate) trait InterSeqWidth: Lane {
+    /// Run the vectorized pass for this width into `buf.results`, or return
+    /// `false` when the CPU / alphabet cannot (caller falls back to the
+    /// portable pass).
+    fn pass_simd_buf(
         prepared: &PreparedQuery,
         arena: &DbArena,
         jobs: &[usize],
-    ) -> Option<Vec<Option<i32>>>;
+        prefetch: bool,
+        buf: &mut WidthBuf<Self>,
+    ) -> bool;
 }
 
 impl InterSeqWidth for i8 {
-    fn pass_simd(
+    fn pass_simd_buf(
         prepared: &PreparedQuery,
         arena: &DbArena,
         jobs: &[usize],
-    ) -> Option<Vec<Option<i32>>> {
-        crate::interseq_avx2::pass_i8(prepared, arena, jobs)
-            .or_else(|| crate::interseq_sse::pass_i8(prepared, arena, jobs))
+        prefetch: bool,
+        buf: &mut WidthBuf<i8>,
+    ) -> bool {
+        crate::interseq_avx2::pass_i8_buf(prepared, arena, jobs, prefetch, buf)
+            || crate::interseq_sse::pass_i8_buf(prepared, arena, jobs, prefetch, buf)
     }
 }
 
 impl InterSeqWidth for i16 {
-    fn pass_simd(
+    fn pass_simd_buf(
         prepared: &PreparedQuery,
         arena: &DbArena,
         jobs: &[usize],
-    ) -> Option<Vec<Option<i32>>> {
-        crate::interseq_avx2::pass_i16(prepared, arena, jobs)
-            .or_else(|| crate::interseq_sse::pass_i16(prepared, arena, jobs))
+        prefetch: bool,
+        buf: &mut WidthBuf<i16>,
+    ) -> bool {
+        crate::interseq_avx2::pass_i16_buf(prepared, arena, jobs, prefetch, buf)
+            || crate::interseq_sse::pass_i16_buf(prepared, arena, jobs, prefetch, buf)
     }
 }
 
@@ -291,39 +399,82 @@ impl InterSeqWidth for i16 {
 ///
 /// Gap penalties are clamped into `T` exactly like the vectorized kernels
 /// clamp theirs, so both paths saturate identically.
-#[allow(clippy::needless_range_loop)] // lane-state arrays are co-indexed
 pub(crate) fn pass_portable<T: Lane>(
     query: &[u8],
     scoring: &Scoring,
     arena: &DbArena,
     jobs: &[usize],
 ) -> Vec<Option<i32>> {
+    let mut buf = WidthBuf::new();
+    pass_portable_buf::<T>(query, scoring, arena, jobs, false, &mut buf);
+    buf.results
+}
+
+/// Hot-path variant of [`pass_portable`]: all lane state lives in `buf`
+/// (reused across chunks) and results land in `buf.results`.
+#[allow(clippy::needless_range_loop)] // lane-state arrays are co-indexed
+pub(crate) fn pass_portable_buf<T: Lane>(
+    query: &[u8],
+    scoring: &Scoring,
+    arena: &DbArena,
+    jobs: &[usize],
+    prefetch: bool,
+    buf: &mut WidthBuf<T>,
+) {
     let lanes = T::SIMD_LANES;
     let m = query.len();
     let (open, extend) = gap_params(scoring.gap);
     let goe = T::from_i32_sat(open + extend);
     let ext = T::from_i32_sat(extend);
 
+    let WidthBuf {
+        results,
+        h,
+        e,
+        colprof,
+        score_col,
+        best,
+        lane_job,
+        lane_pos,
+        live,
+        diag,
+        f,
+        ..
+    } = buf;
+
     // Query-major score columns: colprof[c * m + j] = score(query[j], c),
     // the portable analogue of the vectorized kernels' transposed gather.
     let dim = scoring.matrix.dim();
-    let mut colprof = vec![T::ZERO; dim * m];
+    colprof.clear();
+    colprof.resize(dim * m, T::ZERO);
     for c in 0..dim {
         for (j, &q) in query.iter().enumerate() {
             colprof[c * m + j] = T::from_i32_sat(scoring.matrix.score(q, c as u8));
         }
     }
 
-    let mut results: Vec<Option<i32>> = vec![None; jobs.len()];
+    results.clear();
+    results.resize(jobs.len(), None);
     // Lane-major DP state: index `j * lanes + lane` holds the value for
     // query prefix j in that lane's comparison.
-    let mut h = vec![T::ZERO; (m + 1) * lanes];
-    let mut e = vec![T::MIN; (m + 1) * lanes];
-    let mut score_col = vec![T::ZERO; (m + 1) * lanes];
-    let mut best = vec![T::ZERO; lanes];
-    let mut lane_job = vec![IDLE; lanes]; // index into `jobs`, or IDLE
-    let mut lane_pos = vec![0usize; lanes];
-    let mut live = vec![false; lanes];
+    h.clear();
+    h.resize((m + 1) * lanes, T::ZERO);
+    e.clear();
+    e.resize((m + 1) * lanes, T::MIN);
+    score_col.clear();
+    score_col.resize((m + 1) * lanes, T::ZERO);
+    best.clear();
+    best.resize(lanes, T::ZERO);
+    lane_job.clear();
+    lane_job.resize(lanes, IDLE); // index into `jobs`, or IDLE
+    lane_pos.clear();
+    lane_pos.resize(lanes, 0usize);
+    live.clear();
+    live.resize(lanes, false);
+    diag.clear();
+    diag.resize(lanes, T::ZERO);
+    f.clear();
+    f.resize(lanes, T::MIN);
     let mut next = 0usize;
     let mut active = 0usize;
 
@@ -333,6 +484,9 @@ pub(crate) fn pass_portable<T: Lane>(
             lane_pos[lane] = 0;
             next += 1;
             active += 1;
+            if prefetch && next < jobs.len() {
+                crate::scratch::prefetch_read(arena.residues(jobs[next]));
+            }
         }
     }
 
@@ -356,6 +510,11 @@ pub(crate) fn pass_portable<T: Lane>(
                     lane_job[lane] = next;
                     lane_pos[lane] = 0;
                     next += 1;
+                    // Hide the NEXT refill's residue fetch behind the
+                    // columns about to run.
+                    if prefetch && next < jobs.len() {
+                        crate::scratch::prefetch_read(arena.residues(jobs[next]));
+                    }
                 } else {
                     lane_job[lane] = IDLE;
                     active -= 1;
@@ -382,9 +541,10 @@ pub(crate) fn pass_portable<T: Lane>(
         }
 
         // One DP column per live lane, all lanes advanced in lock-step.
-        // diag[lane] carries H[j-1] of the *previous* column.
-        let mut diag = vec![T::ZERO; lanes];
-        let mut f = vec![T::MIN; lanes];
+        // diag[lane] carries H[j-1] of the *previous* column; both carries
+        // restart every column (same values a fresh vec would hold).
+        diag.fill(T::ZERO);
+        f.fill(T::MIN);
         for j in 1..=m {
             let base = j * lanes;
             for lane in 0..lanes {
@@ -419,8 +579,6 @@ pub(crate) fn pass_portable<T: Lane>(
             }
         }
     }
-
-    results
 }
 
 #[cfg(test)]

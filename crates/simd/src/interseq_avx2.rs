@@ -12,7 +12,46 @@
 #![allow(unsafe_code)]
 
 use crate::engine::PreparedQuery;
+use crate::scratch::WidthBuf;
 use swhybrid_seq::arena::DbArena;
+
+/// Hot-path variant of [`pass_i8`]: results land in `buf.results`, DP rows
+/// in `buf.h`/`buf.e` (reused, zero steady-state allocations). Returns
+/// whether the vectorized pass ran.
+pub(crate) fn pass_i8_buf(
+    prepared: &PreparedQuery,
+    arena: &DbArena,
+    jobs: &[usize],
+    prefetch: bool,
+    buf: &mut WidthBuf<i8>,
+) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if let Some(matrix32) = prepared.interseq_matrix.as_deref() {
+            if crate::avx2::avx2_available() {
+                let (goe, ext) = prepared.gap_penalties();
+                // SAFETY: feature presence checked above.
+                unsafe {
+                    x86::pass_i8_avx2(
+                        prepared.query(),
+                        matrix32,
+                        goe,
+                        ext,
+                        arena,
+                        jobs,
+                        prefetch,
+                        &mut buf.h,
+                        &mut buf.e,
+                        &mut buf.results,
+                    )
+                };
+                return true;
+            }
+        }
+    }
+    let _ = (prepared, arena, jobs, prefetch, buf);
+    false
+}
 
 /// Run the 32 × i8 inter-sequence pass if the CPU supports AVX2 and the
 /// alphabet fits the padded score table.
@@ -21,19 +60,44 @@ pub fn pass_i8(
     arena: &DbArena,
     jobs: &[usize],
 ) -> Option<Vec<Option<i32>>> {
+    let mut buf = WidthBuf::new();
+    pass_i8_buf(prepared, arena, jobs, false, &mut buf).then_some(buf.results)
+}
+
+/// Hot-path variant of [`pass_i16`] (see [`pass_i8_buf`]).
+pub(crate) fn pass_i16_buf(
+    prepared: &PreparedQuery,
+    arena: &DbArena,
+    jobs: &[usize],
+    prefetch: bool,
+    buf: &mut WidthBuf<i16>,
+) -> bool {
     #[cfg(target_arch = "x86_64")]
     {
-        let matrix32 = prepared.interseq_matrix.as_deref()?;
-        if crate::avx2::avx2_available() {
-            let (goe, ext) = prepared.gap_penalties();
-            // SAFETY: feature presence checked above.
-            return Some(unsafe {
-                x86::pass_i8_avx2(prepared.query(), matrix32, goe, ext, arena, jobs)
-            });
+        if let Some(matrix32) = prepared.interseq_matrix.as_deref() {
+            if crate::avx2::avx2_available() {
+                let (goe, ext) = prepared.gap_penalties();
+                // SAFETY: feature presence checked above.
+                unsafe {
+                    x86::pass_i16_avx2(
+                        prepared.query(),
+                        matrix32,
+                        goe,
+                        ext,
+                        arena,
+                        jobs,
+                        prefetch,
+                        &mut buf.h,
+                        &mut buf.e,
+                        &mut buf.results,
+                    )
+                };
+                return true;
+            }
         }
     }
-    let _ = (prepared, arena, jobs);
-    None
+    let _ = (prepared, arena, jobs, prefetch, buf);
+    false
 }
 
 /// Run the 16 × i16 inter-sequence pass if the CPU supports AVX2.
@@ -42,19 +106,46 @@ pub fn pass_i16(
     arena: &DbArena,
     jobs: &[usize],
 ) -> Option<Vec<Option<i32>>> {
+    let mut buf = WidthBuf::new();
+    pass_i16_buf(prepared, arena, jobs, false, &mut buf).then_some(buf.results)
+}
+
+/// Hot-path variant of [`multi_pass_i8`]: per-query results land in
+/// `buf.mresults`, DP state in `buf.mh`/`buf.me`/`buf.mbest`. Returns
+/// whether the fused pass ran.
+pub(crate) fn multi_pass_i8_buf(
+    batch: &[&PreparedQuery],
+    arena: &DbArena,
+    jobs: &[usize],
+    prefetch: bool,
+    buf: &mut WidthBuf<i8>,
+) -> bool {
     #[cfg(target_arch = "x86_64")]
     {
-        let matrix32 = prepared.interseq_matrix.as_deref()?;
-        if crate::avx2::avx2_available() {
-            let (goe, ext) = prepared.gap_penalties();
-            // SAFETY: feature presence checked above.
-            return Some(unsafe {
-                x86::pass_i16_avx2(prepared.query(), matrix32, goe, ext, arena, jobs)
-            });
+        if let Some((matrix32, goe, ext)) = crate::interseq::fusable_batch(batch) {
+            if crate::avx2::avx2_available() {
+                // SAFETY: feature presence checked above.
+                unsafe {
+                    x86::multi_pass_i8_avx2(
+                        batch,
+                        matrix32,
+                        goe,
+                        ext,
+                        arena,
+                        jobs,
+                        prefetch,
+                        &mut buf.mh,
+                        &mut buf.me,
+                        &mut buf.mbest,
+                        &mut buf.mresults,
+                    )
+                };
+                return true;
+            }
         }
     }
-    let _ = (prepared, arena, jobs);
-    None
+    let _ = (batch, arena, jobs, prefetch, buf);
+    false
 }
 
 /// Run the fused multi-query 32 × i8 pass: every query scored against
@@ -66,18 +157,44 @@ pub fn multi_pass_i8(
     arena: &DbArena,
     jobs: &[usize],
 ) -> Option<Vec<Vec<Option<i32>>>> {
+    let mut buf = WidthBuf::new();
+    multi_pass_i8_buf(batch, arena, jobs, false, &mut buf).then_some(buf.mresults)
+}
+
+/// Hot-path variant of [`multi_pass_i16`] (see [`multi_pass_i8_buf`]).
+pub(crate) fn multi_pass_i16_buf(
+    batch: &[&PreparedQuery],
+    arena: &DbArena,
+    jobs: &[usize],
+    prefetch: bool,
+    buf: &mut WidthBuf<i16>,
+) -> bool {
     #[cfg(target_arch = "x86_64")]
     {
-        let (queries, matrix32, goe, ext) = crate::interseq::fusable_batch(batch)?;
-        if crate::avx2::avx2_available() {
-            // SAFETY: feature presence checked above.
-            return Some(unsafe {
-                x86::multi_pass_i8_avx2(&queries, matrix32, goe, ext, arena, jobs)
-            });
+        if let Some((matrix32, goe, ext)) = crate::interseq::fusable_batch(batch) {
+            if crate::avx2::avx2_available() {
+                // SAFETY: feature presence checked above.
+                unsafe {
+                    x86::multi_pass_i16_avx2(
+                        batch,
+                        matrix32,
+                        goe,
+                        ext,
+                        arena,
+                        jobs,
+                        prefetch,
+                        &mut buf.mh,
+                        &mut buf.me,
+                        &mut buf.mbest,
+                        &mut buf.mresults,
+                    )
+                };
+                return true;
+            }
         }
     }
-    let _ = (batch, arena, jobs);
-    None
+    let _ = (batch, arena, jobs, prefetch, buf);
+    false
 }
 
 /// Run the fused multi-query 16 × i16 pass (the rerun width for subjects
@@ -87,18 +204,8 @@ pub fn multi_pass_i16(
     arena: &DbArena,
     jobs: &[usize],
 ) -> Option<Vec<Vec<Option<i32>>>> {
-    #[cfg(target_arch = "x86_64")]
-    {
-        let (queries, matrix32, goe, ext) = crate::interseq::fusable_batch(batch)?;
-        if crate::avx2::avx2_available() {
-            // SAFETY: feature presence checked above.
-            return Some(unsafe {
-                x86::multi_pass_i16_avx2(&queries, matrix32, goe, ext, arena, jobs)
-            });
-        }
-    }
-    let _ = (batch, arena, jobs);
-    None
+    let mut buf = WidthBuf::new();
+    multi_pass_i16_buf(batch, arena, jobs, false, &mut buf).then_some(buf.mresults)
 }
 
 #[cfg(target_arch = "x86_64")]

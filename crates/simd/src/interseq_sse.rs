@@ -21,7 +21,46 @@
 #![allow(unsafe_code)]
 
 use crate::engine::PreparedQuery;
+use crate::scratch::WidthBuf;
 use swhybrid_seq::arena::DbArena;
+
+/// Hot-path variant of [`pass_i8`]: results land in `buf.results`, DP rows
+/// in `buf.h`/`buf.e` (reused, zero steady-state allocations). Returns
+/// whether the vectorized pass ran.
+pub(crate) fn pass_i8_buf(
+    prepared: &PreparedQuery,
+    arena: &DbArena,
+    jobs: &[usize],
+    prefetch: bool,
+    buf: &mut WidthBuf<i8>,
+) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if let Some(matrix32) = prepared.interseq_matrix.as_deref() {
+            if crate::sse::sse41_available() {
+                let (goe, ext) = prepared.gap_penalties();
+                // SAFETY: feature presence checked above.
+                unsafe {
+                    x86::pass_i8_sse41(
+                        prepared.query(),
+                        matrix32,
+                        goe,
+                        ext,
+                        arena,
+                        jobs,
+                        prefetch,
+                        &mut buf.h,
+                        &mut buf.e,
+                        &mut buf.results,
+                    )
+                };
+                return true;
+            }
+        }
+    }
+    let _ = (prepared, arena, jobs, prefetch, buf);
+    false
+}
 
 /// Run the 16 × i8 inter-sequence pass if the CPU supports SSE4.1 (needed
 /// for signed-byte `max`) and the alphabet fits the padded score table.
@@ -30,19 +69,44 @@ pub fn pass_i8(
     arena: &DbArena,
     jobs: &[usize],
 ) -> Option<Vec<Option<i32>>> {
+    let mut buf = WidthBuf::new();
+    pass_i8_buf(prepared, arena, jobs, false, &mut buf).then_some(buf.results)
+}
+
+/// Hot-path variant of [`pass_i16`] (see [`pass_i8_buf`]).
+pub(crate) fn pass_i16_buf(
+    prepared: &PreparedQuery,
+    arena: &DbArena,
+    jobs: &[usize],
+    prefetch: bool,
+    buf: &mut WidthBuf<i16>,
+) -> bool {
     #[cfg(target_arch = "x86_64")]
     {
-        let matrix32 = prepared.interseq_matrix.as_deref()?;
-        if crate::sse::sse41_available() {
-            let (goe, ext) = prepared.gap_penalties();
-            // SAFETY: feature presence checked above.
-            return Some(unsafe {
-                x86::pass_i8_sse41(prepared.query(), matrix32, goe, ext, arena, jobs)
-            });
+        if let Some(matrix32) = prepared.interseq_matrix.as_deref() {
+            if crate::sse::sse41_available() {
+                let (goe, ext) = prepared.gap_penalties();
+                // SAFETY: feature presence checked above.
+                unsafe {
+                    x86::pass_i16_sse41(
+                        prepared.query(),
+                        matrix32,
+                        goe,
+                        ext,
+                        arena,
+                        jobs,
+                        prefetch,
+                        &mut buf.h,
+                        &mut buf.e,
+                        &mut buf.results,
+                    )
+                };
+                return true;
+            }
         }
     }
-    let _ = (prepared, arena, jobs);
-    None
+    let _ = (prepared, arena, jobs, prefetch, buf);
+    false
 }
 
 /// Run the 8 × i16 inter-sequence pass if the CPU supports SSE4.1 (for the
@@ -52,19 +116,46 @@ pub fn pass_i16(
     arena: &DbArena,
     jobs: &[usize],
 ) -> Option<Vec<Option<i32>>> {
+    let mut buf = WidthBuf::new();
+    pass_i16_buf(prepared, arena, jobs, false, &mut buf).then_some(buf.results)
+}
+
+/// Hot-path variant of [`multi_pass_i8`]: per-query results land in
+/// `buf.mresults`, DP state in `buf.mh`/`buf.me`/`buf.mbest`. Returns
+/// whether the fused pass ran.
+pub(crate) fn multi_pass_i8_buf(
+    batch: &[&PreparedQuery],
+    arena: &DbArena,
+    jobs: &[usize],
+    prefetch: bool,
+    buf: &mut WidthBuf<i8>,
+) -> bool {
     #[cfg(target_arch = "x86_64")]
     {
-        let matrix32 = prepared.interseq_matrix.as_deref()?;
-        if crate::sse::sse41_available() {
-            let (goe, ext) = prepared.gap_penalties();
-            // SAFETY: feature presence checked above.
-            return Some(unsafe {
-                x86::pass_i16_sse41(prepared.query(), matrix32, goe, ext, arena, jobs)
-            });
+        if let Some((matrix32, goe, ext)) = super::interseq::fusable_batch(batch) {
+            if crate::sse::sse41_available() {
+                // SAFETY: feature presence checked above.
+                unsafe {
+                    x86::multi_pass_i8_sse41(
+                        batch,
+                        matrix32,
+                        goe,
+                        ext,
+                        arena,
+                        jobs,
+                        prefetch,
+                        &mut buf.mh,
+                        &mut buf.me,
+                        &mut buf.mbest,
+                        &mut buf.mresults,
+                    )
+                };
+                return true;
+            }
         }
     }
-    let _ = (prepared, arena, jobs);
-    None
+    let _ = (batch, arena, jobs, prefetch, buf);
+    false
 }
 
 /// Run the fused multi-query 16 × i8 pass: every query scored against
@@ -75,18 +166,44 @@ pub fn multi_pass_i8(
     arena: &DbArena,
     jobs: &[usize],
 ) -> Option<Vec<Vec<Option<i32>>>> {
+    let mut buf = WidthBuf::new();
+    multi_pass_i8_buf(batch, arena, jobs, false, &mut buf).then_some(buf.mresults)
+}
+
+/// Hot-path variant of [`multi_pass_i16`] (see [`multi_pass_i8_buf`]).
+pub(crate) fn multi_pass_i16_buf(
+    batch: &[&PreparedQuery],
+    arena: &DbArena,
+    jobs: &[usize],
+    prefetch: bool,
+    buf: &mut WidthBuf<i16>,
+) -> bool {
     #[cfg(target_arch = "x86_64")]
     {
-        let (queries, matrix32, goe, ext) = super::interseq::fusable_batch(batch)?;
-        if crate::sse::sse41_available() {
-            // SAFETY: feature presence checked above.
-            return Some(unsafe {
-                x86::multi_pass_i8_sse41(&queries, matrix32, goe, ext, arena, jobs)
-            });
+        if let Some((matrix32, goe, ext)) = super::interseq::fusable_batch(batch) {
+            if crate::sse::sse41_available() {
+                // SAFETY: feature presence checked above.
+                unsafe {
+                    x86::multi_pass_i16_sse41(
+                        batch,
+                        matrix32,
+                        goe,
+                        ext,
+                        arena,
+                        jobs,
+                        prefetch,
+                        &mut buf.mh,
+                        &mut buf.me,
+                        &mut buf.mbest,
+                        &mut buf.mresults,
+                    )
+                };
+                return true;
+            }
         }
     }
-    let _ = (batch, arena, jobs);
-    None
+    let _ = (batch, arena, jobs, prefetch, buf);
+    false
 }
 
 /// Run the fused multi-query 8 × i16 pass (the rerun width for subjects
@@ -96,18 +213,8 @@ pub fn multi_pass_i16(
     arena: &DbArena,
     jobs: &[usize],
 ) -> Option<Vec<Vec<Option<i32>>>> {
-    #[cfg(target_arch = "x86_64")]
-    {
-        let (queries, matrix32, goe, ext) = super::interseq::fusable_batch(batch)?;
-        if crate::sse::sse41_available() {
-            // SAFETY: feature presence checked above.
-            return Some(unsafe {
-                x86::multi_pass_i16_sse41(&queries, matrix32, goe, ext, arena, jobs)
-            });
-        }
-    }
-    let _ = (batch, arena, jobs);
-    None
+    let mut buf = WidthBuf::new();
+    multi_pass_i16_buf(batch, arena, jobs, false, &mut buf).then_some(buf.mresults)
 }
 
 #[cfg(target_arch = "x86_64")]
@@ -163,7 +270,7 @@ pub(crate) mod x86 {
     }
 
     impl<const L: usize> LaneCursors<L> {
-        pub(crate) fn new(arena: &DbArena, jobs: &[usize]) -> Self {
+        pub(crate) fn new(arena: &DbArena, jobs: &[usize], prefetch: bool) -> Self {
             let mut lanes = LaneCursors {
                 job: [IDLE; L],
                 cur: [0; L],
@@ -172,13 +279,19 @@ pub(crate) mod x86 {
                 active: 0,
             };
             for lane in 0..L {
-                lanes.assign(lane, arena, jobs);
+                lanes.assign(lane, arena, jobs, prefetch);
             }
             lanes
         }
 
         /// Give `lane` the next queued job (or mark it idle).
-        pub(crate) fn assign(&mut self, lane: usize, arena: &DbArena, jobs: &[usize]) {
+        pub(crate) fn assign(
+            &mut self,
+            lane: usize,
+            arena: &DbArena,
+            jobs: &[usize],
+            prefetch: bool,
+        ) {
             let was_live = self.job[lane] != IDLE;
             if self.next < jobs.len() {
                 let (offset, len) = arena.span(jobs[self.next]);
@@ -188,6 +301,12 @@ pub(crate) mod x86 {
                 self.next += 1;
                 if !was_live {
                     self.active += 1;
+                }
+                // Hide the NEXT refill's residue fetch behind the columns
+                // about to run: whichever lane retires first will start
+                // reading this span at its head.
+                if prefetch && self.next < jobs.len() {
+                    crate::scratch::prefetch_read(arena.residues(jobs[self.next]));
                 }
             } else {
                 self.job[lane] = IDLE;
@@ -219,6 +338,7 @@ pub(crate) mod x86 {
             /// # Safety
             /// The caller must ensure the CPU supports the named feature.
             #[target_feature(enable = $feature)]
+            #[allow(clippy::too_many_arguments)]
             pub unsafe fn $name(
                 query: &[u8],
                 matrix32: &[i8],
@@ -226,22 +346,30 @@ pub(crate) mod x86 {
                 ext: i32,
                 arena: &DbArena,
                 jobs: &[usize],
-            ) -> Vec<Option<i32>> {
+                prefetch: bool,
+                h: &mut Vec<$elem>,
+                e: &mut Vec<$elem>,
+                results: &mut Vec<Option<i32>>,
+            ) {
                 const L: usize = $lanes;
                 type E = $elem;
                 let m = query.len();
                 debug_assert!(m >= 1);
                 let buf = arena.buffer();
                 let halves = matrix32.len().div_ceil(32 * 16).max(1);
-                let mut results: Vec<Option<i32>> = vec![None; jobs.len()];
+                results.clear();
+                results.resize(jobs.len(), None);
                 // Lane-major DP state: `j * L + lane` is query prefix j of
-                // that lane's comparison.
-                let mut h = vec![0 as E; (m + 1) * L];
-                let mut e = vec![E::MIN; (m + 1) * L];
+                // that lane's comparison. Caller-owned and sized high-water:
+                // clear + resize only change the length once warm.
+                h.clear();
+                h.resize((m + 1) * L, 0 as E);
+                e.clear();
+                e.resize((m + 1) * L, E::MIN);
                 let mut best = [0 as E; L];
                 // One vector of lane scores per query symbol (padded to 32).
                 let mut dprofile = [0 as E; 32 * L];
-                let mut lanes = LaneCursors::<L>::new(arena, jobs);
+                let mut lanes = LaneCursors::<L>::new(arena, jobs, prefetch);
 
                 while lanes.active > 0 {
                     // Retire finished lanes (empty subjects retire a whole
@@ -255,7 +383,7 @@ pub(crate) mod x86 {
                                 e[j * L + lane] = E::MIN;
                             }
                             best[lane] = 0;
-                            lanes.assign(lane, arena, jobs);
+                            lanes.assign(lane, arena, jobs, prefetch);
                         }
                     }
                     if lanes.active == 0 {
@@ -282,8 +410,8 @@ pub(crate) mod x86 {
 
                     {
                         let $dp_query = query;
-                        let $dp_h = &mut h;
-                        let $dp_e = &mut e;
+                        let $dp_h = &mut *h;
+                        let $dp_e = &mut *e;
                         let $dp_best = &mut best;
                         let $dp_dprofile = &dprofile;
                         let $dp_goe = goe;
@@ -298,7 +426,6 @@ pub(crate) mod x86 {
                         }
                     }
                 }
-                results
             }
 
             /// Fused variant of the pass above: scores every query in
@@ -313,38 +440,51 @@ pub(crate) mod x86 {
             /// # Safety
             /// The caller must ensure the CPU supports the named feature.
             #[target_feature(enable = $feature)]
+            #[allow(clippy::too_many_arguments)]
             pub unsafe fn $multi(
-                queries: &[&[u8]],
+                queries: &[&crate::engine::PreparedQuery],
                 matrix32: &[i8],
                 goe: i32,
                 ext: i32,
                 arena: &DbArena,
                 jobs: &[usize],
-            ) -> Vec<Vec<Option<i32>>> {
+                prefetch: bool,
+                h: &mut Vec<Vec<$elem>>,
+                e: &mut Vec<Vec<$elem>>,
+                best: &mut Vec<$elem>,
+                results: &mut Vec<Vec<Option<i32>>>,
+            ) {
                 const L: usize = $lanes;
                 type E = $elem;
                 let nq = queries.len();
+                results.resize_with(nq, Vec::new);
                 if nq == 0 {
-                    return Vec::new();
+                    return;
                 }
-                debug_assert!(queries.iter().all(|q| !q.is_empty()));
+                debug_assert!(queries.iter().all(|p| !p.query().is_empty()));
                 let buf = arena.buffer();
                 let halves = matrix32.len().div_ceil(32 * 16).max(1);
-                let mut results: Vec<Vec<Option<i32>>> = vec![vec![None; jobs.len()]; nq];
+                for r in results.iter_mut() {
+                    r.clear();
+                    r.resize(jobs.len(), None);
+                }
                 // Per-query DP state over the SHARED lane assignment: query
                 // q's `j * L + lane` is its prefix j against that lane's
-                // subject.
-                let mut h: Vec<Vec<E>> = queries
-                    .iter()
-                    .map(|q| vec![0 as E; (q.len() + 1) * L])
-                    .collect();
-                let mut e: Vec<Vec<E>> = queries
-                    .iter()
-                    .map(|q| vec![E::MIN; (q.len() + 1) * L])
-                    .collect();
-                let mut best: Vec<[E; L]> = vec![[0 as E; L]; nq];
+                // subject. Caller-owned, reused across chunks.
+                h.resize_with(nq, Vec::new);
+                e.resize_with(nq, Vec::new);
+                for ((hq, eq), p) in h.iter_mut().zip(e.iter_mut()).zip(queries) {
+                    let rows = (p.query().len() + 1) * L;
+                    hq.clear();
+                    hq.resize(rows, 0 as E);
+                    eq.clear();
+                    eq.resize(rows, E::MIN);
+                }
+                // Per-query per-lane best, flattened `q * L + lane`.
+                best.clear();
+                best.resize(nq * L, 0 as E);
                 let mut dprofile = [0 as E; 32 * L];
-                let mut lanes = LaneCursors::<L>::new(arena, jobs);
+                let mut lanes = LaneCursors::<L>::new(arena, jobs, prefetch);
 
                 while lanes.active > 0 {
                     // Retire finished lanes for EVERY query (the traversal
@@ -353,16 +493,16 @@ pub(crate) mod x86 {
                     for lane in 0..L {
                         while lanes.job[lane] != IDLE && lanes.cur[lane] == lanes.end[lane] {
                             let job = lanes.job[lane];
-                            for (q, query) in queries.iter().enumerate() {
-                                let b = best[q][lane];
+                            for (q, p) in queries.iter().enumerate() {
+                                let b = best[q * L + lane];
                                 results[q][job] = (b != E::MAX).then(|| b as i32);
-                                for j in 0..=query.len() {
+                                for j in 0..=p.query().len() {
                                     h[q][j * L + lane] = 0;
                                     e[q][j * L + lane] = E::MIN;
                                 }
-                                best[q][lane] = 0;
+                                best[q * L + lane] = 0;
                             }
-                            lanes.assign(lane, arena, jobs);
+                            lanes.assign(lane, arena, jobs, prefetch);
                         }
                     }
                     if lanes.active == 0 {
@@ -381,7 +521,7 @@ pub(crate) mod x86 {
                     // Built once per column — every query's DP loop below
                     // reads the same gathered lane scores.
                     {
-                        let $gq = queries[0];
+                        let $gq = queries[0].query();
                         let $gmatrix = matrix32;
                         let $gcodes = &codes;
                         let $ghalves = halves;
@@ -392,11 +532,12 @@ pub(crate) mod x86 {
                     // The multi-query outer loop: each query advances one DP
                     // column over the already-filled lane buffer. The chains
                     // are independent, so the CPU overlaps their latencies.
-                    for (q, &query) in queries.iter().enumerate() {
+                    for (q, p) in queries.iter().enumerate() {
+                        let query = p.query();
                         let $dp_query = query;
                         let $dp_h = &mut h[q];
                         let $dp_e = &mut e[q];
-                        let $dp_best = &mut best[q];
+                        let $dp_best = &mut best[q * L..(q + 1) * L];
                         let $dp_dprofile = &dprofile;
                         let $dp_goe = goe;
                         let $dp_ext = ext;
@@ -410,7 +551,6 @@ pub(crate) mod x86 {
                         }
                     }
                 }
-                results
             }
         };
     }

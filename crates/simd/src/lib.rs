@@ -39,9 +39,11 @@ pub mod interseq_sse;
 pub mod lanes;
 pub mod portable;
 pub mod profile;
+pub mod scratch;
 pub mod search;
 pub mod sse;
 
 pub use engine::{EnginePreference, KernelStats, PreparedQuery, StripedEngine};
 pub use profile::StripedProfile;
+pub use scratch::KernelScratch;
 pub use search::{DatabaseSearch, Hit, KernelChoice, SearchConfig};

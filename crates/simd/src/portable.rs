@@ -32,12 +32,21 @@ pub struct StripedOutcome {
     pub saturated: bool,
 }
 
-/// Reusable DP rows for [`sw_striped_portable`]; allocate once per worker.
+/// Reusable DP rows for the striped kernels (this portable one and the
+/// intrinsics kernels in [`crate::sse`] / [`crate::avx2`]); allocate once
+/// per worker — typically as part of [`crate::scratch::KernelScratch`] —
+/// and reuse across subjects and chunks. Rows grow high-water: `reset`
+/// only changes lengths, so steady-state reuse never reallocates.
 #[derive(Debug, Default)]
 pub struct Workspace<T: Lane> {
-    h_load: Vec<T>,
-    h_store: Vec<T>,
-    e: Vec<T>,
+    pub(crate) h_load: Vec<T>,
+    pub(crate) h_store: Vec<T>,
+    pub(crate) e: Vec<T>,
+    /// The wrap-around H vector of the current column (portable path only;
+    /// the intrinsics kernels keep it in a register).
+    pub(crate) vh: Vec<T>,
+    /// The F carry vector (portable path only).
+    pub(crate) vf: Vec<T>,
 }
 
 impl<T: Lane> Workspace<T> {
@@ -47,10 +56,12 @@ impl<T: Lane> Workspace<T> {
             h_load: Vec::new(),
             h_store: Vec::new(),
             e: Vec::new(),
+            vh: Vec::new(),
+            vf: Vec::new(),
         }
     }
 
-    fn reset(&mut self, slots: usize) {
+    pub(crate) fn reset(&mut self, slots: usize) {
         self.h_load.clear();
         self.h_load.resize(slots, T::ZERO);
         self.h_store.clear();
@@ -76,14 +87,23 @@ pub fn sw_striped_portable<T: Lane>(
     let goe = T::from_i32_sat(goe);
     let ext = T::from_i32_sat(ext);
     let mut best = T::ZERO;
-    let mut v_h = vec![T::ZERO; lanes];
-    let mut v_f = vec![T::MIN; lanes];
+    ws.vh.clear();
+    ws.vh.resize(lanes, T::ZERO);
+    ws.vf.clear();
+    ws.vf.resize(lanes, T::MIN);
+    let Workspace {
+        h_load,
+        h_store,
+        e,
+        vh: v_h,
+        vf: v_f,
+    } = ws;
 
     for &r in subject {
         debug_assert!((r as usize) < profile.alphabet_size);
         // vH := H[last vector] of previous column, shifted one lane up
         // (lane 0 receives the zero boundary).
-        let last = &ws.h_load[(seg_len - 1) * lanes..seg_len * lanes];
+        let last = &h_load[(seg_len - 1) * lanes..seg_len * lanes];
         v_h[0] = T::ZERO;
         v_h[1..lanes].copy_from_slice(&last[..lanes - 1]);
         for f in v_f.iter_mut() {
@@ -92,9 +112,9 @@ pub fn sw_striped_portable<T: Lane>(
 
         for k in 0..seg_len {
             let prof = profile.vector(r, k);
-            let e_row = &mut ws.e[k * lanes..(k + 1) * lanes];
-            let h_store = &mut ws.h_store[k * lanes..(k + 1) * lanes];
-            let h_load = &ws.h_load[k * lanes..(k + 1) * lanes];
+            let e_row = &mut e[k * lanes..(k + 1) * lanes];
+            let h_row = &mut h_store[k * lanes..(k + 1) * lanes];
+            let h_prev = &h_load[k * lanes..(k + 1) * lanes];
             for l in 0..lanes {
                 let mut h = v_h[l].sat_add(prof[l]);
                 let e = e_row[l];
@@ -110,11 +130,11 @@ pub fn sw_striped_portable<T: Lane>(
                 if h > best {
                     best = h;
                 }
-                h_store[l] = h;
+                h_row[l] = h;
                 let h_open = h.sat_sub(goe);
                 e_row[l] = max(h_open, e.sat_sub(ext));
                 v_f[l] = max(h_open, v_f[l].sat_sub(ext));
-                v_h[l] = h_load[l];
+                v_h[l] = h_prev[l];
             }
         }
 
@@ -132,11 +152,11 @@ pub fn sw_striped_portable<T: Lane>(
             v_f[0] = T::MIN;
             let mut alive = false;
             for k in 0..seg_len {
-                let e_row = &mut ws.e[k * lanes..(k + 1) * lanes];
-                let h_store = &mut ws.h_store[k * lanes..(k + 1) * lanes];
+                let e_row = &mut e[k * lanes..(k + 1) * lanes];
+                let h_row = &mut h_store[k * lanes..(k + 1) * lanes];
                 for l in 0..lanes {
-                    if v_f[l] > h_store[l] {
-                        h_store[l] = v_f[l];
+                    if v_f[l] > h_row[l] {
+                        h_row[l] = v_f[l];
                         let h_open = v_f[l].sat_sub(goe);
                         if h_open > e_row[l] {
                             e_row[l] = h_open;
@@ -145,10 +165,10 @@ pub fn sw_striped_portable<T: Lane>(
                             best = v_f[l];
                         }
                     }
-                    if v_f[l] > h_store[l].sat_sub(goe) {
+                    if v_f[l] > h_row[l].sat_sub(goe) {
                         alive = true;
                     }
-                    v_f[l] = max(v_f[l].sat_sub(ext), h_store[l].sat_sub(goe));
+                    v_f[l] = max(v_f[l].sat_sub(ext), h_row[l].sat_sub(goe));
                 }
             }
             if !alive {
@@ -156,7 +176,7 @@ pub fn sw_striped_portable<T: Lane>(
             }
         }
 
-        std::mem::swap(&mut ws.h_load, &mut ws.h_store);
+        std::mem::swap(h_load, h_store);
     }
 
     StripedOutcome {

@@ -37,6 +37,7 @@ use std::sync::Arc;
 
 use crate::engine::{EnginePreference, KernelStats, PreparedQuery, StripedEngine};
 use crate::interseq::interseq_lanes;
+use crate::scratch::KernelScratch;
 use swhybrid_align::alignment::Alignment;
 use swhybrid_align::gotoh::gotoh_align;
 use swhybrid_align::scoring::Scoring;
@@ -123,6 +124,11 @@ pub struct SearchConfig {
     /// length-homogeneous, which the inter-sequence kernel likes). Hits are
     /// always reported by database index, so results are unchanged.
     pub sort_by_length: bool,
+    /// Software-prefetch the next subject's residue span ahead of use
+    /// (inter-sequence lane refill and the striped sequential scan). A pure
+    /// CPU hint: scores, rankings and [`KernelStats`] are identical either
+    /// way.
+    pub prefetch: bool,
 }
 
 impl Default for SearchConfig {
@@ -134,6 +140,7 @@ impl Default for SearchConfig {
             preference: EnginePreference::Auto,
             kernel: KernelChoice::Auto,
             sort_by_length: false,
+            prefetch: true,
         }
     }
 }
@@ -199,12 +206,14 @@ pub struct ScanOutput {
 /// through here, so a result assembled from any decomposition of the
 /// database is bit-identical to a single sequential scan.
 pub fn rank_hits(hits: &mut [Hit]) {
-    hits.sort_by(|a, b| b.score.cmp(&a.score).then(a.db_index.cmp(&b.db_index)));
+    // Unstable sort: allocation-free, and deterministic anyway because the
+    // comparator is a total order (db_index is unique per list).
+    hits.sort_unstable_by(|a, b| b.score.cmp(&a.score).then(a.db_index.cmp(&b.db_index)));
 }
 
 /// [`rank_hits`]'s total order over the internal [`Scored`] records.
 pub fn rank_scored(scored: &mut [Scored]) {
-    scored.sort_by(|a, b| b.score.cmp(&a.score).then(a.db_index.cmp(&b.db_index)));
+    scored.sort_unstable_by(|a, b| b.score.cmp(&a.score).then(a.db_index.cmp(&b.db_index)));
 }
 
 /// Merge any number of partial hit lists into the global top `top_n`.
@@ -299,6 +308,22 @@ pub fn search_arena(
     range: Range<usize>,
     config: &SearchConfig,
 ) -> ScanOutput {
+    search_arena_with_scratch(prepared, arena, range, config, &mut KernelScratch::new())
+}
+
+/// [`search_arena`] with a caller-owned [`KernelScratch`] for the
+/// single-worker path. Long-lived executors (serve PE threads, the remote
+/// slave) keep one scratch per thread so back-to-back shards find warm,
+/// already-sized buffers — the steady-state scan then allocates nothing.
+/// With `config.threads > 1` every spawned worker owns its own scratch for
+/// its lifetime and `scratch` is left untouched.
+pub fn search_arena_with_scratch(
+    prepared: &Arc<PreparedQuery>,
+    arena: &DbArena,
+    range: Range<usize>,
+    config: &SearchConfig,
+    scratch: &mut KernelScratch,
+) -> ScanOutput {
     assert!(config.threads >= 1, "at least one worker required");
     assert!(config.chunk_size >= 1, "chunk size must be positive");
     assert!(range.end <= arena.len(), "scan range out of bounds");
@@ -307,7 +332,14 @@ pub fn search_arena(
     let cursor = AtomicUsize::new(0);
 
     let mut worker_outputs: Vec<(Vec<Scored>, KernelStats)> = if n_workers == 1 {
-        vec![scan_worker(prepared, arena, range.clone(), &cursor, config)]
+        vec![scan_worker(
+            prepared,
+            arena,
+            range.clone(),
+            &cursor,
+            config,
+            scratch,
+        )]
     } else {
         let mut outs = Vec::with_capacity(n_workers);
         std::thread::scope(|scope| {
@@ -315,7 +347,16 @@ pub fn search_arena(
                 .map(|_| {
                     let range = range.clone();
                     let cursor = &cursor;
-                    scope.spawn(move || scan_worker(prepared, arena, range, cursor, config))
+                    scope.spawn(move || {
+                        scan_worker(
+                            prepared,
+                            arena,
+                            range,
+                            cursor,
+                            config,
+                            &mut KernelScratch::new(),
+                        )
+                    })
                 })
                 .collect();
             for h in handles {
@@ -366,6 +407,18 @@ pub fn search_arena_multi(
     range: Range<usize>,
     config: &SearchConfig,
 ) -> Vec<ScanOutput> {
+    search_arena_multi_with_scratch(batch, arena, range, config, &mut KernelScratch::new())
+}
+
+/// [`search_arena_multi`] with a caller-owned [`KernelScratch`] (see
+/// [`search_arena_with_scratch`] for the ownership model).
+pub fn search_arena_multi_with_scratch(
+    batch: &[(Arc<PreparedQuery>, usize)],
+    arena: &DbArena,
+    range: Range<usize>,
+    config: &SearchConfig,
+    scratch: &mut KernelScratch,
+) -> Vec<ScanOutput> {
     assert!(config.threads >= 1, "at least one worker required");
     assert!(config.chunk_size >= 1, "chunk size must be positive");
     assert!(range.end <= arena.len(), "scan range out of bounds");
@@ -383,6 +436,7 @@ pub fn search_arena_multi(
             range.clone(),
             &cursor,
             config,
+            scratch,
         )]
     } else {
         let mut outs = Vec::with_capacity(n_workers);
@@ -391,7 +445,16 @@ pub fn search_arena_multi(
                 .map(|_| {
                     let range = range.clone();
                     let cursor = &cursor;
-                    scope.spawn(move || multi_scan_worker(batch, arena, range, cursor, config))
+                    scope.spawn(move || {
+                        multi_scan_worker(
+                            batch,
+                            arena,
+                            range,
+                            cursor,
+                            config,
+                            &mut KernelScratch::new(),
+                        )
+                    })
                 })
                 .collect();
             for h in handles {
@@ -464,6 +527,7 @@ fn scan_worker(
     range: Range<usize>,
     cursor: &AtomicUsize,
     config: &SearchConfig,
+    scratch: &mut KernelScratch,
 ) -> (Vec<Scored>, KernelStats) {
     let chunk_size = config.chunk_size;
     let mut engine = StripedEngine::with_prepared(Arc::clone(prepared));
@@ -482,7 +546,14 @@ fn scan_worker(
         };
         if use_interseq {
             stats.chunks_interseq += 1;
-            let scores = crate::interseq::scores_arena(prepared, arena, start..end, &mut stats);
+            let scores = crate::interseq::scores_arena_with(
+                prepared,
+                arena,
+                start..end,
+                &mut stats,
+                scratch,
+                config.prefetch,
+            );
             for (offset, &score) in scores.iter().enumerate() {
                 let pos = start + offset;
                 local.push(Scored {
@@ -494,7 +565,12 @@ fn scan_worker(
         } else {
             stats.chunks_striped += 1;
             for pos in start..end {
-                let score = engine.score(arena.residues(pos));
+                // Pull the next subject's residues towards L1 while this
+                // one is scored.
+                if config.prefetch && pos + 1 < end {
+                    crate::scratch::prefetch_read(arena.residues(pos + 1));
+                }
+                let score = engine.score(arena.residues(pos), scratch);
                 local.push(Scored {
                     db_index: arena.db_index(pos),
                     score,
@@ -524,6 +600,7 @@ fn multi_scan_worker(
     range: Range<usize>,
     cursor: &AtomicUsize,
     config: &SearchConfig,
+    scratch: &mut KernelScratch,
 ) -> Vec<(Vec<Scored>, KernelStats)> {
     let chunk_size = config.chunk_size;
     let mut engines: Vec<StripedEngine> = batch
@@ -532,6 +609,12 @@ fn multi_scan_worker(
         .collect();
     let mut stats: Vec<KernelStats> = vec![KernelStats::default(); batch.len()];
     let mut locals: Vec<Vec<Scored>> = vec![Vec::new(); batch.len()];
+    // Per-chunk lists, hoisted out of the claim loop and reused (cleared
+    // each chunk) so the steady-state loop allocates nothing.
+    let mut picks_interseq: Vec<bool> = Vec::with_capacity(batch.len());
+    let mut fused: Vec<usize> = Vec::with_capacity(batch.len());
+    let mut fused_batch: Vec<&PreparedQuery> = Vec::with_capacity(batch.len());
+    let mut fused_stats: Vec<KernelStats> = Vec::with_capacity(batch.len());
     loop {
         let start = range.start + cursor.fetch_add(chunk_size, Ordering::Relaxed);
         if start >= range.end {
@@ -543,31 +626,33 @@ fn multi_scan_worker(
         // is hot: the per-column score gather is shared across the batch and
         // each query's DP loop runs over the already-filled lane buffer.
         // Per query this is byte-identical to its solo `scores_arena` call.
-        let picks_interseq: Vec<bool> = batch
-            .iter()
-            .map(|(prepared, _)| match config.kernel {
-                KernelChoice::Striped => false,
-                KernelChoice::InterSeq => true,
-                KernelChoice::Auto => auto_picks_interseq(prepared, arena, start..end),
-            })
-            .collect();
-        let fused: Vec<usize> = (0..batch.len()).filter(|&k| picks_interseq[k]).collect();
-        let fused_batch: Vec<&PreparedQuery> = fused.iter().map(|&k| &*batch[k].0).collect();
-        let mut fused_stats = vec![KernelStats::default(); fused.len()];
-        let fused_scores =
-            crate::interseq::scores_arena_multi(&fused_batch, arena, start..end, &mut fused_stats);
-        let mut fused_out = fused
-            .iter()
-            .zip(fused_scores)
-            .zip(fused_stats)
-            .map(|((&k, scores), stats)| (k, scores, stats));
-        for (k, top_n) in batch.iter().map(|&(_, top_n)| top_n).enumerate() {
-            if picks_interseq[k] {
-                let (fk, scores, chunk_stats) =
-                    fused_out.next().expect("one fused result per pick");
-                debug_assert_eq!(fk, k);
+        picks_interseq.clear();
+        picks_interseq.extend(batch.iter().map(|(prepared, _)| match config.kernel {
+            KernelChoice::Striped => false,
+            KernelChoice::InterSeq => true,
+            KernelChoice::Auto => auto_picks_interseq(prepared, arena, start..end),
+        }));
+        fused.clear();
+        fused.extend((0..batch.len()).filter(|&k| picks_interseq[k]));
+        fused_batch.clear();
+        fused_batch.extend(fused.iter().map(|&k| &*batch[k].0));
+        fused_stats.clear();
+        fused_stats.resize(fused.len(), KernelStats::default());
+        // The fused pass folds in first (its scores borrow `scratch`), then
+        // the striped queries run; per-query work and counters are the same
+        // either way because each query takes exactly one of the paths.
+        {
+            let fused_scores = crate::interseq::scores_arena_multi_with(
+                &fused_batch,
+                arena,
+                start..end,
+                &mut fused_stats,
+                scratch,
+                config.prefetch,
+            );
+            for ((&k, scores), chunk_stats) in fused.iter().zip(fused_scores).zip(&fused_stats) {
                 stats[k].chunks_interseq += 1;
-                stats[k].merge(&chunk_stats);
+                stats[k].merge(chunk_stats);
                 for (offset, &score) in scores.iter().enumerate() {
                     let pos = start + offset;
                     locals[k].push(Scored {
@@ -576,10 +661,16 @@ fn multi_scan_worker(
                         subject_len: arena.seq_len(pos),
                     });
                 }
-            } else {
+            }
+        }
+        for (k, top_n) in batch.iter().map(|&(_, top_n)| top_n).enumerate() {
+            if !picks_interseq[k] {
                 stats[k].chunks_striped += 1;
                 for pos in start..end {
-                    let score = engines[k].score(arena.residues(pos));
+                    if config.prefetch && pos + 1 < end {
+                        crate::scratch::prefetch_read(arena.residues(pos + 1));
+                    }
+                    let score = engines[k].score(arena.residues(pos), scratch);
                     locals[k].push(Scored {
                         db_index: arena.db_index(pos),
                         score,

@@ -15,7 +15,7 @@
 
 #![allow(unsafe_code)]
 
-use crate::portable::StripedOutcome;
+use crate::portable::{StripedOutcome, Workspace};
 use crate::profile::StripedProfile;
 
 /// Whether the 16-bit SSE2 kernel can run on this machine.
@@ -42,39 +42,43 @@ pub fn sse41_available() -> bool {
     }
 }
 
-/// Safe wrapper: run the 16-bit kernel if the CPU supports it.
+/// Safe wrapper: run the 16-bit kernel if the CPU supports it. `ws` holds
+/// the DP rows and is reused (grown high-water) across calls.
 pub fn sw_striped_i16(
     profile: &StripedProfile<i16>,
     subject: &[u8],
     goe: i32,
     ext: i32,
+    ws: &mut Workspace<i16>,
 ) -> Option<StripedOutcome> {
     #[cfg(target_arch = "x86_64")]
     {
         if sse2_available() {
             // SAFETY: feature presence checked above.
-            return Some(unsafe { x86::sw_striped_i16_sse2(profile, subject, goe, ext) });
+            return Some(unsafe { x86::sw_striped_i16_sse2(profile, subject, goe, ext, ws) });
         }
     }
-    let _ = (profile, subject, goe, ext);
+    let _ = (profile, subject, goe, ext, ws);
     None
 }
 
-/// Safe wrapper: run the 8-bit kernel if the CPU supports it.
+/// Safe wrapper: run the 8-bit kernel if the CPU supports it. `ws` holds
+/// the DP rows and is reused (grown high-water) across calls.
 pub fn sw_striped_i8(
     profile: &StripedProfile<i8>,
     subject: &[u8],
     goe: i32,
     ext: i32,
+    ws: &mut Workspace<i8>,
 ) -> Option<StripedOutcome> {
     #[cfg(target_arch = "x86_64")]
     {
         if sse41_available() {
             // SAFETY: feature presence checked above.
-            return Some(unsafe { x86::sw_striped_i8_sse41(profile, subject, goe, ext) });
+            return Some(unsafe { x86::sw_striped_i8_sse41(profile, subject, goe, ext, ws) });
         }
     }
-    let _ = (profile, subject, goe, ext);
+    let _ = (profile, subject, goe, ext, ws);
     None
 }
 
@@ -94,14 +98,19 @@ mod x86 {
         subject: &[u8],
         goe: i32,
         ext: i32,
+        ws: &mut Workspace<i16>,
     ) -> StripedOutcome {
         const LANES: usize = 8;
         debug_assert_eq!(profile.lanes, LANES);
         let seg_len = profile.seg_len;
         let slots = seg_len * LANES;
-        let mut h_load = vec![0i16; slots];
-        let mut h_store = vec![0i16; slots];
-        let mut e_arr = vec![i16::MIN; slots];
+        ws.reset(slots);
+        // Raw pointers hoisted out of the DP loop: going through the
+        // workspace's Vec headers each iteration would force the compiler
+        // to re-load the data pointers after every store.
+        let mut h_load = ws.h_load.as_mut_ptr();
+        let mut h_store = ws.h_store.as_mut_ptr();
+        let e_arr = ws.e.as_mut_ptr();
 
         let v_goe = _mm_set1_epi16(goe as i16);
         let v_ext = _mm_set1_epi16(ext as i16);
@@ -114,23 +123,23 @@ mod x86 {
             // vH = previous column's last vector shifted one lane up
             // (lane 0 ← zero boundary; slli fills with zeros).
             let mut v_h = _mm_slli_si128::<2>(_mm_loadu_si128(
-                h_load.as_ptr().add((seg_len - 1) * LANES) as *const __m128i,
+                h_load.add((seg_len - 1) * LANES) as *const __m128i
             ));
 
             for k in 0..seg_len {
                 let prof = _mm_loadu_si128(profile.vector_ptr(r, k) as *const __m128i);
                 v_h = _mm_adds_epi16(v_h, prof);
-                let v_e = _mm_loadu_si128(e_arr.as_ptr().add(k * LANES) as *const __m128i);
+                let v_e = _mm_loadu_si128(e_arr.add(k * LANES) as *const __m128i);
                 v_h = _mm_max_epi16(v_h, v_e);
                 v_h = _mm_max_epi16(v_h, v_f);
                 v_h = _mm_max_epi16(v_h, v_zero);
                 v_best = _mm_max_epi16(v_best, v_h);
-                _mm_storeu_si128(h_store.as_mut_ptr().add(k * LANES) as *mut __m128i, v_h);
+                _mm_storeu_si128(h_store.add(k * LANES) as *mut __m128i, v_h);
                 let h_open = _mm_subs_epi16(v_h, v_goe);
                 let v_e2 = _mm_max_epi16(h_open, _mm_subs_epi16(v_e, v_ext));
-                _mm_storeu_si128(e_arr.as_mut_ptr().add(k * LANES) as *mut __m128i, v_e2);
+                _mm_storeu_si128(e_arr.add(k * LANES) as *mut __m128i, v_e2);
                 v_f = _mm_max_epi16(h_open, _mm_subs_epi16(v_f, v_ext));
-                v_h = _mm_loadu_si128(h_load.as_ptr().add(k * LANES) as *const __m128i);
+                v_h = _mm_loadu_si128(h_load.add(k * LANES) as *const __m128i);
             }
 
             // Lazy-F fixpoint (break condition argued in crate::portable:
@@ -140,16 +149,15 @@ mod x86 {
                 v_f = _mm_or_si128(_mm_slli_si128::<2>(v_f), v_min_lane0);
                 let mut alive = false;
                 for k in 0..seg_len {
-                    let mut vh = _mm_loadu_si128(h_store.as_ptr().add(k * LANES) as *const __m128i);
+                    let mut vh = _mm_loadu_si128(h_store.add(k * LANES) as *const __m128i);
                     let gt = _mm_movemask_epi8(_mm_cmpgt_epi16(v_f, vh));
                     if gt != 0 {
                         vh = _mm_max_epi16(vh, v_f);
-                        _mm_storeu_si128(h_store.as_mut_ptr().add(k * LANES) as *mut __m128i, vh);
+                        _mm_storeu_si128(h_store.add(k * LANES) as *mut __m128i, vh);
                         let h_open = _mm_subs_epi16(vh, v_goe);
-                        let e_old =
-                            _mm_loadu_si128(e_arr.as_ptr().add(k * LANES) as *const __m128i);
+                        let e_old = _mm_loadu_si128(e_arr.add(k * LANES) as *const __m128i);
                         _mm_storeu_si128(
-                            e_arr.as_mut_ptr().add(k * LANES) as *mut __m128i,
+                            e_arr.add(k * LANES) as *mut __m128i,
                             _mm_max_epi16(e_old, h_open),
                         );
                         v_best = _mm_max_epi16(v_best, vh);
@@ -187,14 +195,19 @@ mod x86 {
         subject: &[u8],
         goe: i32,
         ext: i32,
+        ws: &mut Workspace<i8>,
     ) -> StripedOutcome {
         const LANES: usize = 16;
         debug_assert_eq!(profile.lanes, LANES);
         let seg_len = profile.seg_len;
         let slots = seg_len * LANES;
-        let mut h_load = vec![0i8; slots];
-        let mut h_store = vec![0i8; slots];
-        let mut e_arr = vec![i8::MIN; slots];
+        ws.reset(slots);
+        // Raw pointers hoisted out of the DP loop: going through the
+        // workspace's Vec headers each iteration would force the compiler
+        // to re-load the data pointers after every store.
+        let mut h_load = ws.h_load.as_mut_ptr();
+        let mut h_store = ws.h_store.as_mut_ptr();
+        let e_arr = ws.e.as_mut_ptr();
 
         let v_goe = _mm_set1_epi8(goe.clamp(i8::MIN as i32, i8::MAX as i32) as i8);
         let v_ext = _mm_set1_epi8(ext.clamp(i8::MIN as i32, i8::MAX as i32) as i8);
@@ -205,39 +218,38 @@ mod x86 {
         for &r in subject {
             let mut v_f = _mm_set1_epi8(i8::MIN);
             let mut v_h = _mm_slli_si128::<1>(_mm_loadu_si128(
-                h_load.as_ptr().add((seg_len - 1) * LANES) as *const __m128i,
+                h_load.add((seg_len - 1) * LANES) as *const __m128i
             ));
 
             for k in 0..seg_len {
                 let prof = _mm_loadu_si128(profile.vector_ptr(r, k) as *const __m128i);
                 v_h = _mm_adds_epi8(v_h, prof);
-                let v_e = _mm_loadu_si128(e_arr.as_ptr().add(k * LANES) as *const __m128i);
+                let v_e = _mm_loadu_si128(e_arr.add(k * LANES) as *const __m128i);
                 v_h = _mm_max_epi8(v_h, v_e);
                 v_h = _mm_max_epi8(v_h, v_f);
                 v_h = _mm_max_epi8(v_h, v_zero);
                 v_best = _mm_max_epi8(v_best, v_h);
-                _mm_storeu_si128(h_store.as_mut_ptr().add(k * LANES) as *mut __m128i, v_h);
+                _mm_storeu_si128(h_store.add(k * LANES) as *mut __m128i, v_h);
                 let h_open = _mm_subs_epi8(v_h, v_goe);
                 let v_e2 = _mm_max_epi8(h_open, _mm_subs_epi8(v_e, v_ext));
-                _mm_storeu_si128(e_arr.as_mut_ptr().add(k * LANES) as *mut __m128i, v_e2);
+                _mm_storeu_si128(e_arr.add(k * LANES) as *mut __m128i, v_e2);
                 v_f = _mm_max_epi8(h_open, _mm_subs_epi8(v_f, v_ext));
-                v_h = _mm_loadu_si128(h_load.as_ptr().add(k * LANES) as *const __m128i);
+                v_h = _mm_loadu_si128(h_load.add(k * LANES) as *const __m128i);
             }
 
             'lazy: for _ in 0..LANES {
                 v_f = _mm_or_si128(_mm_slli_si128::<1>(v_f), v_min_lane0);
                 let mut alive = false;
                 for k in 0..seg_len {
-                    let mut vh = _mm_loadu_si128(h_store.as_ptr().add(k * LANES) as *const __m128i);
+                    let mut vh = _mm_loadu_si128(h_store.add(k * LANES) as *const __m128i);
                     let gt = _mm_movemask_epi8(_mm_cmpgt_epi8(v_f, vh));
                     if gt != 0 {
                         vh = _mm_max_epi8(vh, v_f);
-                        _mm_storeu_si128(h_store.as_mut_ptr().add(k * LANES) as *mut __m128i, vh);
+                        _mm_storeu_si128(h_store.add(k * LANES) as *mut __m128i, vh);
                         let h_open = _mm_subs_epi8(vh, v_goe);
-                        let e_old =
-                            _mm_loadu_si128(e_arr.as_ptr().add(k * LANES) as *const __m128i);
+                        let e_old = _mm_loadu_si128(e_arr.add(k * LANES) as *const __m128i);
                         _mm_storeu_si128(
-                            e_arr.as_mut_ptr().add(k * LANES) as *mut __m128i,
+                            e_arr.add(k * LANES) as *mut __m128i,
                             _mm_max_epi8(e_old, h_open),
                         );
                         v_best = _mm_max_epi8(v_best, vh);
@@ -274,14 +286,22 @@ mod tests {
     use rand::{RngExt, SeedableRng};
     use swhybrid_align::scoring::SubstMatrix;
 
+    #[allow(clippy::type_complexity)]
     fn check_against_portable<T: Lane>(
-        run_sse: impl Fn(&StripedProfile<T>, &[u8], i32, i32) -> Option<StripedOutcome>,
+        run_sse: impl Fn(
+            &StripedProfile<T>,
+            &[u8],
+            i32,
+            i32,
+            &mut Workspace<T>,
+        ) -> Option<StripedOutcome>,
         seed: u64,
         max_len: usize,
     ) {
         let matrix = SubstMatrix::blosum62();
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
         let mut ws = Workspace::<T>::new();
+        let mut sse_ws = Workspace::<T>::new();
         let mut ran = false;
         for round in 0..50 {
             let ql = rng.random_range(1..max_len);
@@ -289,7 +309,7 @@ mod tests {
             let q: Vec<u8> = (0..ql).map(|_| rng.random_range(0..20u8)).collect();
             let t: Vec<u8> = (0..tl).map(|_| rng.random_range(0..20u8)).collect();
             let profile = StripedProfile::<T>::build(&q, &matrix);
-            let Some(sse) = run_sse(&profile, &t, 12, 2) else {
+            let Some(sse) = run_sse(&profile, &t, 12, 2, &mut sse_ws) else {
                 return; // CPU lacks the feature; nothing to compare.
             };
             ran = true;
@@ -315,7 +335,7 @@ mod tests {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(107);
         let q: Vec<u8> = (0..300).map(|_| rng.random_range(0..20u8)).collect();
         let profile = StripedProfile::<i8>::build(&q, &matrix);
-        let Some(sse) = sw_striped_i8(&profile, &q, 12, 2) else {
+        let Some(sse) = sw_striped_i8(&profile, &q, 12, 2, &mut Workspace::new()) else {
             return;
         };
         assert!(sse.saturated);
@@ -329,7 +349,7 @@ mod tests {
         let matrix = SubstMatrix::blosum62();
         let q = swhybrid_seq::Alphabet::Protein.encode(b"MKVLAW").unwrap();
         let p16 = StripedProfile::<i16>::build(&q, &matrix);
-        if let Some(out) = sw_striped_i16(&p16, &[], 12, 2) {
+        if let Some(out) = sw_striped_i16(&p16, &[], 12, 2, &mut Workspace::new()) {
             assert_eq!(out.score, 0);
         }
     }

@@ -1,0 +1,190 @@
+//! Steady-state allocation regression: after the first (warming) chunk, a
+//! scan worker's hot path must perform **zero** heap allocations per chunk,
+//! for every kernel family — striped, solo inter-sequence, and the fused
+//! multi-query chain. The [`KernelScratch`] buffers are sized high-water on
+//! the first chunk and only `clear()`/`resize()`d afterwards; this test is
+//! the enforcement for that contract (see `crates/simd/src/scratch.rs`).
+//!
+//! The counting allocator wraps the system allocator and counts every
+//! `alloc`/`realloc`/`alloc_zeroed` call process-wide, so every probe runs
+//! inside one `#[test]` (the default harness would interleave counts from
+//! concurrent tests).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use swhybrid_align::scoring::{GapModel, Scoring, SubstMatrix};
+use swhybrid_seq::sequence::EncodedSequence;
+use swhybrid_seq::{Alphabet, DbArena};
+use swhybrid_simd::engine::{EnginePreference, KernelStats, PreparedQuery, StripedEngine};
+use swhybrid_simd::interseq::{scores_arena_multi_with, scores_arena_with};
+use swhybrid_simd::KernelScratch;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: pure pass-through to the system allocator plus a relaxed counter.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocation count across `f`, measured on this thread only in the sense
+/// that nothing else runs concurrently (single `#[test]`).
+fn allocations_during<R>(mut f: impl FnMut() -> R) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let r = f();
+    std::hint::black_box(r);
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+fn scoring() -> Scoring {
+    Scoring {
+        matrix: SubstMatrix::blosum62(),
+        gap: GapModel::Affine {
+            open: 10,
+            extend: 2,
+        },
+    }
+}
+
+/// Deterministic pseudo-random residues (no rand dependency in this test:
+/// the allocator hook must observe only the kernels).
+fn residues(seed: u64, len: usize) -> Vec<u8> {
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) % 20) as u8
+        })
+        .collect()
+}
+
+fn arena(n: usize, max_len: usize) -> DbArena {
+    let db: Vec<EncodedSequence> = (0..n)
+        .map(|i| EncodedSequence {
+            id: format!("s{i}"),
+            codes: residues(i as u64 + 1, 40 + (i * 17) % max_len),
+            alphabet: Alphabet::Protein,
+        })
+        .collect();
+    DbArena::from_encoded(&db)
+}
+
+#[test]
+fn warm_scan_paths_allocate_nothing_per_chunk() {
+    let scoring = scoring();
+    let arena = arena(96, 160);
+    let chunk = 32usize;
+    let chunks: Vec<std::ops::Range<usize>> = (0..arena.len())
+        .step_by(chunk)
+        .map(|s| s..(s + chunk).min(arena.len()))
+        .collect();
+    assert!(
+        chunks.len() >= 3,
+        "need several chunks to measure steady state"
+    );
+
+    for pref in [EnginePreference::Auto, EnginePreference::Portable] {
+        let query = residues(99, 120);
+        let prepared = PreparedQuery::new(&query, &scoring, pref);
+
+        // Solo inter-sequence chain: chunk 0 warms the scratch high-water;
+        // every later chunk must be allocation-free.
+        let mut scratch = KernelScratch::new();
+        let mut stats = KernelStats::default();
+        scores_arena_with(
+            &prepared,
+            &arena,
+            chunks[0].clone(),
+            &mut stats,
+            &mut scratch,
+            true,
+        );
+        for c in &chunks[1..] {
+            let n = allocations_during(|| {
+                scores_arena_with(&prepared, &arena, c.clone(), &mut stats, &mut scratch, true);
+            });
+            assert_eq!(
+                n, 0,
+                "interseq chunk {c:?} allocated {n} times after warmup ({pref:?})"
+            );
+        }
+
+        // Striped engine: one warming call sizes both width workspaces.
+        let mut scratch = KernelScratch::new();
+        let mut engine = StripedEngine::new(&query, &scoring, pref);
+        engine.score(arena.residues(0), &mut scratch);
+        let n = allocations_during(|| {
+            for pos in 0..arena.len() {
+                engine.score(arena.residues(pos), &mut scratch);
+            }
+        });
+        assert_eq!(
+            n, 0,
+            "striped scan allocated {n} times after warmup ({pref:?})"
+        );
+    }
+
+    // Fused multi-query chain: the batch and per-query outputs are part of
+    // the scratch too.
+    let q0 = residues(7, 90);
+    let q1 = residues(8, 110);
+    let q2 = residues(9, 70);
+    let batch: Vec<PreparedQuery> = [&q0, &q1, &q2]
+        .iter()
+        .map(|q| PreparedQuery::new(q, &scoring, EnginePreference::Auto))
+        .collect();
+    let refs: Vec<&PreparedQuery> = batch.iter().collect();
+    let mut scratch = KernelScratch::new();
+    let mut stats = vec![KernelStats::default(); refs.len()];
+    scores_arena_multi_with(
+        &refs,
+        &arena,
+        chunks[0].clone(),
+        &mut stats,
+        &mut scratch,
+        true,
+    );
+    for c in &chunks[1..] {
+        let n = allocations_during(|| {
+            scores_arena_multi_with(&refs, &arena, c.clone(), &mut stats, &mut scratch, true);
+        });
+        assert_eq!(n, 0, "fused chunk {c:?} allocated {n} times after warmup");
+    }
+
+    // Chunk-count independence: the steady-state cost does not depend on
+    // how many chunks have already been scanned — 40 extra chunks (with
+    // prefetch off, covering both traversal modes) still cost zero.
+    let query = residues(3, 100);
+    let prepared = PreparedQuery::new(&query, &scoring, EnginePreference::Auto);
+    let mut scratch = KernelScratch::new();
+    let mut stats = KernelStats::default();
+    scores_arena_with(&prepared, &arena, 0..32, &mut stats, &mut scratch, false);
+    let n = allocations_during(|| {
+        for _ in 0..20 {
+            scores_arena_with(&prepared, &arena, 16..48, &mut stats, &mut scratch, false);
+            scores_arena_with(&prepared, &arena, 32..64, &mut stats, &mut scratch, false);
+        }
+    });
+    assert_eq!(n, 0, "40 warm chunks allocated {n} times");
+}

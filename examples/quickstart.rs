@@ -14,6 +14,7 @@ use swhybrid::align::sw::SwMatrix;
 use swhybrid::seq::fasta;
 use swhybrid::seq::Alphabet;
 use swhybrid::simd::engine::{EnginePreference, StripedEngine};
+use swhybrid::simd::KernelScratch;
 
 fn main() {
     // --- Fig. 1: a global alignment and its score ------------------------
@@ -71,7 +72,8 @@ fn main() {
 
     // --- The adapted-Farrar striped engine agrees with the oracle --------
     let mut engine = StripedEngine::new(&q1, &blosum, EnginePreference::Auto);
-    let striped = engine.score(&q2);
+    let mut scratch = KernelScratch::new();
+    let striped = engine.score(&q2, &mut scratch);
     println!(
         "striped SIMD score: {striped} (scalar oracle: {})",
         aligned.score

@@ -66,11 +66,14 @@ USAGE:
       re-checks the arena checksum and digest before scanning.
 
   swhybrid bench-kernels [--subjects N] [--qlen N] [--reps N]
-                         [--json FILE]
+                         [--threads LIST] [--json FILE]
       Time the striped, inter-sequence, and adaptive kernels over a
       length-skewed synthetic database and report GCUPS (nominal cells,
-      so the kernels are directly comparable). --json also writes the
-      table as a JSON report.
+      so the kernels are directly comparable). --threads takes a comma
+      list of worker counts (default 1,2,4) and reports per-count GCUPS
+      plus scaling efficiency; rankings must stay identical across every
+      kernel x thread combination. --json also writes the table as a
+      JSON report.
 
   swhybrid simulate [--gpus N] [--sse N] [--fpgas N] [--db NAME]
                     [--policy ss|pss|fixed|wfixed] [--no-adjustment]
@@ -655,7 +658,7 @@ fn cmd_bench_kernels(args: &[String]) -> Result<(), String> {
     use swhybrid::exec::net::kernels_to_json;
     use swhybrid::json::Json;
 
-    let opts = Opts::parse(args, &["subjects", "qlen", "reps", "json"], &[])?;
+    let opts = Opts::parse(args, &["subjects", "qlen", "reps", "threads", "json"], &[])?;
     if !opts.positional.is_empty() {
         return Err("bench-kernels takes flags only".into());
     }
@@ -664,6 +667,21 @@ fn cmd_bench_kernels(args: &[String]) -> Result<(), String> {
     let reps: usize = opts.get_parsed("reps", 3)?;
     if n == 0 || qlen == 0 || reps == 0 {
         return Err("--subjects, --qlen, and --reps must be at least 1".into());
+    }
+    let threads: Vec<usize> = opts
+        .get("threads")
+        .unwrap_or("1,2,4")
+        .split(',')
+        .map(|t| {
+            t.trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|&t| t >= 1)
+                .ok_or_else(|| format!("--threads: '{t}' is not a positive integer"))
+        })
+        .collect::<Result<_, _>>()?;
+    if !threads.contains(&1) {
+        return Err("--threads must include 1 (the scaling-efficiency baseline)".into());
     }
     let scoring = Scoring {
         matrix: SubstMatrix::blosum62(),
@@ -683,8 +701,8 @@ fn cmd_bench_kernels(args: &[String]) -> Result<(), String> {
         "length-skewed db: {n} subjects, {residues} residues; query {qlen} aa; best of {reps}"
     );
     println!(
-        "{:>10}  {:>8}  {:>9}  {:>8}  {:>8}  chunks s/i",
-        "kernel", "gcups", "secs", "cells", "nominal"
+        "{:>10}  {:>7}  {:>8}  {:>9}  {:>6}  {:>8}  {:>8}  chunks s/i",
+        "kernel", "threads", "gcups", "secs", "eff", "cells", "nominal"
     );
 
     let mut rows = Vec::new();
@@ -694,53 +712,65 @@ fn cmd_bench_kernels(args: &[String]) -> Result<(), String> {
         KernelChoice::InterSeq,
         KernelChoice::Auto,
     ] {
-        let search = DatabaseSearch::new(
-            &query,
-            &scoring,
-            SearchConfig {
-                threads: 1,
-                top_n: 10,
-                kernel,
-                ..Default::default()
-            },
-        );
-        let mut best_secs = f64::INFINITY;
-        let mut result = None;
-        for _ in 0..reps {
-            let t0 = std::time::Instant::now();
-            let r = search.run(&subjects);
-            best_secs = best_secs.min(t0.elapsed().as_secs_f64());
-            result = Some(r);
-        }
-        let r = result.expect("reps >= 1");
-        // GCUPS over *nominal* cells (query × residues): every kernel does
-        // the same nominal work, so the numbers are directly comparable
-        // even when saturation retries inflate the actual cell count.
-        let gcups = r.cells_nominal as f64 / best_secs / 1e9;
-        println!(
-            "{:>10}  {:>8.3}  {:>9.4}  {:>8}  {:>8}  {}/{}",
-            kernel.name(),
-            gcups,
-            best_secs,
-            r.cells,
-            r.cells_nominal,
-            r.stats.chunks_striped,
-            r.stats.chunks_interseq,
-        );
-        match &baseline_hits {
-            None => baseline_hits = Some(r.hits.clone()),
-            Some(b) => {
-                if *b != r.hits {
-                    return Err(format!(
-                        "kernel {} produced a different ranking than striped",
-                        kernel.name()
-                    ));
+        let mut single_gcups = None;
+        for &t in &threads {
+            let search = DatabaseSearch::new(
+                &query,
+                &scoring,
+                SearchConfig {
+                    threads: t,
+                    top_n: 10,
+                    kernel,
+                    ..Default::default()
+                },
+            );
+            let mut best_secs = f64::INFINITY;
+            let mut result = None;
+            for _ in 0..reps {
+                let t0 = std::time::Instant::now();
+                let r = search.run(&subjects);
+                best_secs = best_secs.min(t0.elapsed().as_secs_f64());
+                result = Some(r);
+            }
+            let r = result.expect("reps >= 1");
+            // GCUPS over *nominal* cells (query × residues): every kernel
+            // does the same nominal work, so the numbers are directly
+            // comparable even when saturation retries inflate the actual
+            // cell count.
+            let gcups = r.cells_nominal as f64 / best_secs / 1e9;
+            if t == 1 {
+                single_gcups = Some(gcups);
+            }
+            // Perfect scaling doubles GCUPS when threads double; the
+            // efficiency is the achieved fraction of that ideal.
+            let efficiency = single_gcups.map(|g1| gcups / (t as f64 * g1));
+            println!(
+                "{:>10}  {:>7}  {:>8.3}  {:>9.4}  {:>6}  {:>8}  {:>8}  {}/{}",
+                kernel.name(),
+                t,
+                gcups,
+                best_secs,
+                efficiency.map_or("--".into(), |e| format!("{e:.2}")),
+                r.cells,
+                r.cells_nominal,
+                r.stats.chunks_striped,
+                r.stats.chunks_interseq,
+            );
+            match &baseline_hits {
+                None => baseline_hits = Some(r.hits.clone()),
+                Some(b) => {
+                    if *b != r.hits {
+                        return Err(format!(
+                            "kernel {} at {t} threads produced a different ranking than striped",
+                            kernel.name()
+                        ));
+                    }
                 }
             }
+            rows.push((kernel, t, gcups, best_secs, efficiency, r));
         }
-        rows.push((kernel, gcups, best_secs, r));
     }
-    println!("rankings identical across kernels");
+    println!("rankings identical across all kernel x thread combinations");
 
     if let Some(path) = opts.get("json") {
         let report = Json::obj(vec![
@@ -753,7 +783,8 @@ fn cmd_bench_kernels(args: &[String]) -> Result<(), String> {
                 "kernels",
                 Json::Arr(
                     rows.iter()
-                        .map(|(kernel, gcups, secs, r)| {
+                        .filter(|(_, t, ..)| *t == 1)
+                        .map(|(kernel, _, gcups, secs, _, r)| {
                             Json::obj(vec![
                                 ("kernel", Json::str(kernel.name())),
                                 ("gcups", Json::Num(*gcups)),
@@ -761,6 +792,25 @@ fn cmd_bench_kernels(args: &[String]) -> Result<(), String> {
                                 ("cells", Json::Num(r.cells as f64)),
                                 ("cells_nominal", Json::Num(r.cells_nominal as f64)),
                                 ("stats", kernels_to_json(&r.stats)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "threads_sweep",
+                Json::Arr(
+                    rows.iter()
+                        .map(|(kernel, t, gcups, secs, efficiency, _)| {
+                            Json::obj(vec![
+                                ("kernel", Json::str(kernel.name())),
+                                ("threads", Json::Num(*t as f64)),
+                                ("gcups", Json::Num(*gcups)),
+                                ("seconds", Json::Num(*secs)),
+                                (
+                                    "scaling_efficiency",
+                                    efficiency.map_or(Json::Null, Json::Num),
+                                ),
                             ])
                         })
                         .collect(),

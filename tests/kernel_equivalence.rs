@@ -119,24 +119,27 @@ proptest! {
         for pref in [EnginePreference::Auto, EnginePreference::Portable] {
             for kernel in [KernelChoice::Striped, KernelChoice::InterSeq, KernelChoice::Auto] {
                 for sort_by_length in [false, true] {
-                    let got = DatabaseSearch::new(
-                        &query,
-                        &scoring,
-                        SearchConfig {
-                            threads,
-                            top_n: db.len(),
-                            chunk_size,
-                            preference: pref,
-                            kernel,
-                            sort_by_length,
-                        },
-                    )
-                    .run(&db);
-                    prop_assert_eq!(
-                        &got.hits, &baseline.hits,
-                        "kernel {:?} pref {:?} sorted {} threads {}",
-                        kernel, pref, sort_by_length, threads
-                    );
+                    for prefetch in [false, true] {
+                        let got = DatabaseSearch::new(
+                            &query,
+                            &scoring,
+                            SearchConfig {
+                                threads,
+                                top_n: db.len(),
+                                chunk_size,
+                                preference: pref,
+                                kernel,
+                                sort_by_length,
+                                prefetch,
+                            },
+                        )
+                        .run(&db);
+                        prop_assert_eq!(
+                            &got.hits, &baseline.hits,
+                            "kernel {:?} pref {:?} sorted {} threads {} prefetch {}",
+                            kernel, pref, sort_by_length, threads, prefetch
+                        );
+                    }
                 }
             }
         }

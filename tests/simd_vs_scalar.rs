@@ -6,6 +6,7 @@ use proptest::prelude::*;
 use swhybrid::align::score_only::sw_score_affine;
 use swhybrid::align::scoring::{GapModel, Scoring, SubstMatrix};
 use swhybrid::simd::engine::{EnginePreference, StripedEngine};
+use swhybrid::simd::KernelScratch;
 
 fn protein_codes(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
     prop::collection::vec(0u8..20, 1..max_len)
@@ -34,7 +35,8 @@ proptest! {
         let expect = sw_score_affine(&query, &subject, &scoring).score;
         for pref in [EnginePreference::Auto, EnginePreference::Portable, EnginePreference::Simd] {
             let mut engine = StripedEngine::new(&query, &scoring, pref);
-            prop_assert_eq!(engine.score(&subject), expect, "preference {:?}", pref);
+            let mut scratch = KernelScratch::new();
+            prop_assert_eq!(engine.score(&subject, &mut scratch), expect, "preference {:?}", pref);
         }
     }
 
@@ -48,7 +50,8 @@ proptest! {
         // change the optimal local score.
         let mut ab = StripedEngine::new(&a, &scoring, EnginePreference::Auto);
         let mut ba = StripedEngine::new(&b, &scoring, EnginePreference::Auto);
-        prop_assert_eq!(ab.score(&b), ba.score(&a));
+        let mut scratch = KernelScratch::new();
+        prop_assert_eq!(ab.score(&b, &mut scratch), ba.score(&a, &mut scratch));
     }
 
     #[test]
@@ -58,7 +61,8 @@ proptest! {
         scoring in scoring_strategy(),
     ) {
         let mut engine = StripedEngine::new(&query, &scoring, EnginePreference::Auto);
-        let score = engine.score(&subject);
+        let mut scratch = KernelScratch::new();
+        let score = engine.score(&subject, &mut scratch);
         prop_assert!(score >= 0);
         // Upper bound: best diagonal score × shorter length.
         let bound = scoring.matrix.max_score() * query.len().min(subject.len()) as i32;
@@ -74,10 +78,11 @@ proptest! {
     ) {
         // A local alignment of (q, t) is still available in (q, t ++ extra).
         let mut engine = StripedEngine::new(&query, &scoring, EnginePreference::Auto);
-        let base = engine.score(&subject);
+        let mut scratch = KernelScratch::new();
+        let base = engine.score(&subject, &mut scratch);
         let mut longer = subject.clone();
         longer.extend_from_slice(&extra);
-        prop_assert!(engine.score(&longer) >= base);
+        prop_assert!(engine.score(&longer, &mut scratch) >= base);
     }
 
     #[test]
@@ -90,6 +95,7 @@ proptest! {
         // the full ungapped diagonal.
         let expect: i32 = query.iter().map(|&c| scoring.matrix.score(c, c)).sum();
         let mut engine = StripedEngine::new(&query, &scoring, EnginePreference::Auto);
-        prop_assert_eq!(engine.score(&query), expect);
+        let mut scratch = KernelScratch::new();
+        prop_assert_eq!(engine.score(&query, &mut scratch), expect);
     }
 }
