@@ -31,8 +31,8 @@ use swhybrid_seq::digest::db_digest;
 use swhybrid_seq::sequence::EncodedSequence;
 use swhybrid_seq::DbArena;
 use swhybrid_simd::engine::{EnginePreference, KernelStats, PreparedQuery};
-use swhybrid_simd::search::{search_arena_multi_with_scratch, Hit, KernelChoice, SearchConfig};
-use swhybrid_simd::KernelScratch;
+use swhybrid_simd::exec::{chunk_size, materialize_hits, ShardExecutor, ShardPlan};
+use swhybrid_simd::search::{KernelChoice, SearchConfig};
 
 /// How a slave session over one connection ended.
 enum SessionEnd {
@@ -98,18 +98,19 @@ impl TaskExecutor for BatchExecutor<'_> {
 /// profiles are memoised across tasks *and* reconnects — the dominant
 /// per-query setup cost is paid once per distinct query, like a local
 /// daemon worker.
-struct ShardExecutor<'a> {
+struct ServeShardExecutor<'a> {
     arena: DbArena,
     subjects: &'a [EncodedSequence],
     scoring: &'a Scoring,
     kernel: KernelChoice,
     prepared: HashMap<Vec<u8>, Arc<PreparedQuery>>,
-    /// Kernel buffers, reused across shards (and reconnects) for the
-    /// executor's lifetime — the steady-state shard scan allocates nothing.
-    scratch: KernelScratch,
+    /// The shared shard-execution layer, reused across shards (and
+    /// reconnects) for this slave's lifetime — it owns the kernel scratch,
+    /// so the steady-state shard scan allocates nothing.
+    executor: ShardExecutor,
 }
 
-impl TaskExecutor for ShardExecutor<'_> {
+impl TaskExecutor for ServeShardExecutor<'_> {
     fn execute(&mut self, task: TaskId, desc: Option<&TaskDesc>) -> io::Result<SlaveMsg> {
         let desc = desc.ok_or_else(|| {
             invalid(format!(
@@ -139,21 +140,16 @@ impl TaskExecutor for ShardExecutor<'_> {
                 (Arc::clone(prepared), q.top_n)
             })
             .collect();
-        let cfg = SearchConfig {
-            threads: 1,
-            top_n: batch.iter().map(|(_, n)| *n).max().unwrap_or(0),
-            // The default chunk size; anything below twice the
-            // inter-sequence lane width silently degrades every Auto
-            // dispatch to the striped kernel.
-            chunk_size: SearchConfig::default().chunk_size,
-            preference: EnginePreference::Auto,
+        let plan = ShardPlan {
+            range: s..e,
+            // The centralized chunk-size decision; the floor keeps Auto
+            // dispatch able to fill the inter-sequence lanes.
+            chunk_size: chunk_size(None).map_err(invalid)?,
             kernel: self.kernel,
-            sort_by_length: false,
             prefetch: SearchConfig::default().prefetch,
         };
         let t0 = Instant::now();
-        let outputs =
-            search_arena_multi_with_scratch(&batch, &self.arena, s..e, &cfg, &mut self.scratch);
+        let outputs = self.executor.execute(&batch, &self.arena, &plan);
         let elapsed = t0.elapsed().as_secs_f64();
         let total_cells: u64 = outputs.iter().map(|o| o.cells).sum();
         let gcups = observed_gcups(total_cells, elapsed);
@@ -165,17 +161,9 @@ impl TaskExecutor for ShardExecutor<'_> {
             .map(|out| {
                 merged.merge(&out.stats);
                 FusedResultDesc {
-                    hits: out
-                        .scored
-                        .iter()
-                        .map(|sc| {
-                            WireHit::from_hit(Hit {
-                                db_index: sc.db_index,
-                                id: self.subjects[sc.db_index].id.clone(),
-                                score: sc.score,
-                                subject_len: sc.subject_len,
-                            })
-                        })
+                    hits: materialize_hits(&out.scored, |i| self.subjects[i].id.clone())
+                        .into_iter()
+                        .map(WireHit::from_hit)
                         .collect(),
                     kernels: Some(out.stats),
                 }
@@ -259,13 +247,13 @@ pub fn run_serve_slave(
     net: &NetConfig,
 ) -> io::Result<usize> {
     let digest = db_digest(subjects);
-    let mut executor = ShardExecutor {
+    let mut executor = ServeShardExecutor {
         arena: DbArena::from_encoded(subjects),
         subjects,
         scoring,
         kernel,
         prepared: HashMap::new(),
-        scratch: KernelScratch::new(),
+        executor: ShardExecutor::new(),
     };
     run_sessions(&addr, name, static_gcups, Some(digest), &mut executor, net)
 }

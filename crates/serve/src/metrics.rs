@@ -144,6 +144,11 @@ pub struct PeMetric {
     measured: u64,
     /// Most recent measured GCUPS.
     pub last_gcups: f64,
+    /// Cumulative kernel usage of this PE's winning scans, folded from
+    /// `task_kernels` events. Both transports emit them — local PE
+    /// threads and remote slaves — so the per-PE breakdown in `stats`
+    /// agrees with a `--events` stream of the same run.
+    pub kernels: KernelStats,
 }
 
 impl PeMetric {
@@ -213,6 +218,12 @@ impl Metrics {
                     m.measured += 1;
                     m.last_gcups = *measured_gcups;
                 }
+            }
+            EventKind::TaskKernels { pe, kernels, .. } => {
+                if self.pes.len() <= *pe {
+                    self.pes.resize_with(pe + 1, PeMetric::default);
+                }
+                self.pes[*pe].kernels.merge(kernels);
             }
             _ => {}
         }
@@ -292,5 +303,37 @@ mod tests {
         });
         assert_eq!(m.pes[0].tasks_finished, 3);
         assert!((m.pes[0].mean_gcups() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn task_kernels_events_fold_into_per_pe_counters() {
+        let mut m = Metrics::default();
+        let kernels = KernelStats {
+            resolved_i8: 7,
+            chunks_striped: 2,
+            cells_computed: 1234,
+            ..Default::default()
+        };
+        // Arrives before any registration event: the series must grow.
+        m.apply_event(&RuntimeEvent {
+            time: 1.0,
+            kind: EventKind::TaskKernels {
+                pe: 1,
+                task: 0,
+                kernels,
+            },
+        });
+        m.apply_event(&RuntimeEvent {
+            time: 2.0,
+            kind: EventKind::TaskKernels {
+                pe: 1,
+                task: 1,
+                kernels,
+            },
+        });
+        assert_eq!(m.pes[1].kernels.resolved_i8, 14);
+        assert_eq!(m.pes[1].kernels.chunks_striped, 4);
+        assert_eq!(m.pes[1].kernels.cells_computed, 2468);
+        assert_eq!(m.pes[0].kernels, KernelStats::default());
     }
 }

@@ -419,6 +419,10 @@ pub fn result_to_json(reply: &SearchReply) -> Json {
         ("generation".to_string(), Json::Num(reply.generation as f64)),
         ("cells".to_string(), Json::Num(reply.cells as f64)),
         ("elapsed_ms".to_string(), Json::Num(reply.elapsed_ms)),
+        (
+            "kernels".to_string(),
+            swhybrid_core::net::kernels_to_json(&reply.kernels),
+        ),
         ("hits".to_string(), hits_to_json(&reply.hits)),
     ];
     if let Some(tag) = &reply.tag {

@@ -20,7 +20,7 @@
 //! **database shards**, one task per shard, so a single query exercises
 //! the whole platform (and the adjustment mechanism can replicate a
 //! straggling shard near the tail). Per-shard top-N lists are rebased to
-//! global database indices and merged with [`merge_top_n`], which makes the
+//! global database indices and merged with `merge_top_n`, which makes the
 //! served ranking bit-identical to a cold single-process scan. Remote
 //! slaves receive shards as self-describing payloads (query batch + shard
 //! bounds) and must prove at registration — by database digest — that they
@@ -35,17 +35,39 @@
 //! The dispatcher therefore **fuses** co-admitted queries (up to
 //! [`ServiceConfig::fusion`], same database generation) into shared shard
 //! tasks: one task scores the whole query batch against its shard while
-//! the chunk is hot in cache ([`search_arena_multi`]). Per-query work
-//! inside a chunk is exactly what a solo scan would do, so fused replies
-//! stay byte-identical to per-query cold scans — the win is wall-clock
-//! throughput, not a different answer. A fused task's
-//! [`TaskSpec`] charges the batch's summed query length, so PSS cell
-//! accounting and speed estimates stay calibrated.
+//! the chunk is hot in cache. Per-query work inside a chunk is exactly
+//! what a solo scan would do — the fused and solo paths share one
+//! implementation, [`ShardExecutor`](swhybrid_simd::ShardExecutor) — so
+//! fused replies stay byte-identical to per-query cold scans; the win is
+//! wall-clock throughput, not a different answer. A fused task's
+//! [`TaskSpec`](swhybrid_device::task::TaskSpec) charges the batch's
+//! summed query length, so PSS cell accounting and speed estimates stay
+//! calibrated.
 //!
 //! Replies are delivered through per-job completion callbacks, so the
 //! executor never blocks on a slow client: the TCP layer hands in a
 //! closure that writes to the connection, in-process callers a channel
 //! sender.
+//!
+//! ## Module layout
+//!
+//! This file holds the configuration, the reply/job data model, and
+//! service construction; each operational concern lives in a submodule:
+//! `admit` (submission, cache fast path, status, cancellation), `fusion`
+//! (queue pumping and fused-group scheduling), `execution` (the local PE
+//! path driving the shared shard executor plus shard-result accounting),
+//! `reload` (hot database swaps, drain, shutdown), and `stats` (the
+//! `stats` reply body and the scoring digest).
+
+mod admit;
+mod execution;
+mod fusion;
+mod reload;
+mod stats;
+#[cfg(test)]
+mod tests;
+
+pub use stats::scoring_digest;
 
 use std::collections::{HashMap, VecDeque};
 use std::io;
@@ -53,31 +75,22 @@ use std::net::{TcpListener, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use swhybrid_align::scoring::{GapModel, Scoring};
+use swhybrid_align::scoring::Scoring;
 use swhybrid_core::master::{Master, MasterConfig};
-use swhybrid_core::net::{kernels_to_json, serve_connection, NetConfig};
+use swhybrid_core::net::{serve_connection, NetConfig};
 use swhybrid_core::policy::Policy;
-use swhybrid_core::pool::{
-    drive, Deferred, FusedQueryResult, LocalEndpoint, PePool, PoolOwner, QueryPayload, TaskPayload,
-    TaskResult,
-};
-use swhybrid_core::stats::observed_gcups;
+use swhybrid_core::pool::{drive, LocalEndpoint, PePool};
 use swhybrid_core::task::{PeId, TaskId};
 use swhybrid_core::trace::RuntimeEvent;
-use swhybrid_device::task::TaskSpec;
-use swhybrid_json::Json;
-use swhybrid_seq::digest::{query_digest, Fnv1a};
 use swhybrid_seq::sequence::EncodedSequence;
 use swhybrid_seq::DbSnapshot;
 use swhybrid_simd::engine::{EnginePreference, KernelStats, PreparedQuery};
-use swhybrid_simd::search::{
-    merge_top_n, search_arena_multi_with_scratch, Hit, KernelChoice, SearchConfig,
-};
-use swhybrid_simd::KernelScratch;
+use swhybrid_simd::search::{Hit, KernelChoice};
+use swhybrid_simd::ShardExecutor;
 
-use crate::admission::{AdmissionQueue, AdmitError};
+use crate::admission::AdmissionQueue;
 use crate::cache::{CacheKey, ResultCache};
 use crate::metrics::Metrics;
 use crate::prepared::{PreparedCache, PreparedKey};
@@ -106,10 +119,12 @@ pub struct ServiceConfig {
     pub per_client_inflight: usize,
     /// Result cache capacity (entries); 0 disables caching.
     pub cache_capacity: usize,
-    /// Subjects claimed per cursor step inside a shard scan. Must be at
-    /// least twice the inter-sequence lane width for the Auto dispatcher
-    /// to ever pick the inter-sequence kernel — undersized chunks
-    /// silently degrade every scan to the striped kernel.
+    /// Subjects claimed per cursor step inside a shard scan. `0` means the
+    /// validated default ([`swhybrid_simd::chunk_floor`]); any explicit
+    /// value is checked against that floor by
+    /// [`swhybrid_simd::chunk_size`] — undersized chunks silently degrade
+    /// every `Auto` scan to the striped kernel, so they are rejected
+    /// rather than normalised.
     pub chunk_size: usize,
     /// Kernel preference for the striped engines.
     pub preference: EnginePreference,
@@ -138,8 +153,8 @@ pub struct ServiceConfig {
     /// profile construction entirely; results are byte-identical either
     /// way (the cache stores exactly what the cold path would build).
     pub prepared_capacity: usize,
-    /// Software next-subject prefetch inside shard scans (see
-    /// [`SearchConfig::prefetch`]). Advisory only — never changes results.
+    /// Software next-subject prefetch inside shard scans. Advisory only —
+    /// never changes results.
     pub prefetch: bool,
 }
 
@@ -152,7 +167,7 @@ impl Default for ServiceConfig {
             queue_depth: 64,
             per_client_inflight: 4,
             cache_capacity: 128,
-            chunk_size: 64,
+            chunk_size: swhybrid_simd::chunk_floor(),
             preference: EnginePreference::Auto,
             kernel: KernelChoice::Auto,
             policy: Policy::pss_default(),
@@ -188,6 +203,13 @@ pub struct SearchReply {
     pub cells: u64,
     /// Admission-to-reply latency.
     pub elapsed_ms: f64,
+    /// Per-query kernel counters, merged across this query's winning
+    /// shard scans (local or remote — slaves report theirs over the
+    /// wire). Zero for cache hits and cancellations: no kernel ran for
+    /// this reply. Because every transport drives the same shard
+    /// executor, these counters are identical to the one-shot scan's for
+    /// the same query, database, and shard decomposition.
+    pub kernels: KernelStats,
     /// The ranked hits (global database indices).
     pub hits: Vec<Hit>,
 }
@@ -242,6 +264,7 @@ enum Phase {
         pending: usize,
         shard_hits: Vec<Option<Vec<Hit>>>,
         cells: u64,
+        kernels: KernelStats,
     },
     Done,
 }
@@ -320,126 +343,6 @@ struct ServeOwner {
     draining: bool,
 }
 
-/// Mark a terminal job for eviction and sweep the retention window.
-fn retire(o: &mut ServeOwner, job: u64, now: f64) {
-    o.retired.push_back((job, now));
-    sweep_retired(o, now);
-}
-
-/// Evict retired jobs beyond the count bound or older than the retention
-/// window. Status on an evicted id answers [`JobStatus::Expired`].
-fn sweep_retired(o: &mut ServeOwner, now: f64) {
-    while let Some(&(job, at)) = o.retired.front() {
-        if o.retired.len() > o.cfg.retained_jobs || now - at > o.cfg.retention_secs {
-            o.retired.pop_front();
-            o.jobs.remove(&job);
-            o.metrics.jobs_expired += 1;
-        } else {
-            break;
-        }
-    }
-}
-
-impl PoolOwner for ServeOwner {
-    fn on_finished(
-        &mut self,
-        master: &mut Master,
-        _pe: PeId,
-        task: TaskId,
-        result: TaskResult,
-        was_first: bool,
-        now: f64,
-    ) -> Option<Deferred> {
-        // Every shard scan counts, winner or not: the counters report
-        // kernel work the platform actually performed (remote slaves
-        // report theirs over the wire).
-        if let Some(k) = &result.kernels {
-            self.metrics.kernels.merge(k);
-        }
-        if !was_first {
-            return None;
-        }
-        let ft = self.task_map.get(&task)?.clone();
-        // Demux the fused result: entry k belongs to batch member k. A
-        // result without the fused list (a skipped scan) counts every
-        // member's shard as done with nothing to contribute.
-        let per_query = result
-            .fused
-            .unwrap_or_else(|| vec![FusedQueryResult::default(); ft.jobs.len()]);
-        debug_assert_eq!(per_query.len(), ft.jobs.len());
-        let mut done = Vec::new();
-        for (&job_id, fq) in ft.jobs.iter().zip(per_query) {
-            if let Some(d) = record_shard(self, now, job_id, ft.shard_idx, fq.hits, fq.cells) {
-                done.push(d);
-            }
-        }
-        // The group finishes atomically (every member shares the same
-        // shard set, so the last task completes them all): drop its task
-        // entries so the map stays bounded over the daemon's lifetime,
-        // free its scheduling slot, and refill from the queue — a freed
-        // slot admits up to `fusion` queued queries as the next group.
-        if ft.jobs.iter().all(|id| {
-            self.jobs
-                .get(id)
-                .is_none_or(|j| matches!(j.phase, Phase::Done))
-        }) {
-            for t in &ft.group_tasks {
-                self.task_map.remove(t);
-            }
-            self.active_groups -= 1;
-            pump(master, self, now, false);
-        }
-        if done.is_empty() {
-            return None;
-        }
-        Some(Box::new(move || {
-            for (completion, reply) in done {
-                if let Some(cb) = completion {
-                    cb(reply);
-                }
-            }
-        }))
-    }
-
-    fn task_payload(&self, _master: &Master, task: TaskId) -> Option<TaskPayload> {
-        let ft = self.task_map.get(&task)?;
-        // A remote slave holds the *current* database; never ship it a
-        // shard of an older snapshot (possible only transiently, since a
-        // swap disconnects remotes — but a task can already be in flight).
-        // A wholly cancelled batch is not worth shipping either; a batch
-        // with any live member ships complete, cancelled members included,
-        // so fused results pair with `FusedTask::jobs` positionally.
-        if ft
-            .jobs
-            .iter()
-            .all(|id| self.jobs.get(id).is_none_or(|j| j.cancelled))
-        {
-            return None;
-        }
-        let mut queries = Vec::with_capacity(ft.jobs.len());
-        let mut shard = None;
-        for id in &ft.jobs {
-            let job = self.jobs.get(id)?;
-            if job.generation != self.db_generation {
-                return None;
-            }
-            shard = Some(*job.shards.get(ft.shard_idx)?);
-            queries.push(QueryPayload {
-                query: job.codes.clone(),
-                top_n: job.top_n,
-            });
-        }
-        Some(TaskPayload {
-            queries,
-            shard: shard?,
-        })
-    }
-
-    fn db_digest(&self) -> Option<u64> {
-        Some(self.db.digest())
-    }
-}
-
 struct Inner {
     pool: PePool<ServeOwner>,
     cfg: ServiceConfig,
@@ -475,26 +378,6 @@ impl Inner {
             .insert(key, codes, Arc::clone(&p));
         p
     }
-}
-
-/// Stable digest of a scoring scheme (matrix identity + gap model), the
-/// scoring component of [`CacheKey`].
-pub fn scoring_digest(scoring: &Scoring) -> u64 {
-    let mut h = Fnv1a::new();
-    h.update_framed(scoring.matrix.name.as_bytes());
-    h.update_framed(format!("{:?}", scoring.matrix.alphabet).as_bytes());
-    match scoring.gap {
-        GapModel::Linear { penalty } => {
-            h.update(&[0]);
-            h.update(&penalty.to_le_bytes());
-        }
-        GapModel::Affine { open, extend } => {
-            h.update(&[1]);
-            h.update(&open.to_le_bytes());
-            h.update(&extend.to_le_bytes());
-        }
-    }
-    h.finish()
 }
 
 /// The persistent query service. Dropping it shuts the workers down
@@ -534,7 +417,14 @@ impl QueryService {
             cfg.shards = cfg.workers;
         }
         cfg.max_active = cfg.max_active.max(1);
-        cfg.chunk_size = cfg.chunk_size.max(1);
+        // The one chunk-size decision for every scan path lives in
+        // `simd::exec`: 0 means the default, anything else must clear the
+        // floor (the PR 5 silent-degradation bug class).
+        cfg.chunk_size = swhybrid_simd::chunk_size(match cfg.chunk_size {
+            0 => None,
+            c => Some(c),
+        })
+        .expect("invalid ServiceConfig::chunk_size");
         cfg.fusion = cfg.fusion.max(1);
         assert!(
             !cfg.policy.is_static(),
@@ -595,12 +485,14 @@ impl QueryService {
                 std::thread::Builder::new()
                     .name(format!("swhybrid-serve-pe{pe}"))
                     .spawn(move || {
-                        // One KernelScratch per PE thread, living for the
-                        // daemon's lifetime: every shard this worker scans
-                        // reuses the same warm, high-water-sized buffers.
-                        let mut scratch = KernelScratch::new();
-                        let mut endpoint =
-                            LocalEndpoint::new(|task| execute_task(&inner, task, &mut scratch));
+                        // One ShardExecutor (and so one KernelScratch) per
+                        // PE thread, living for the daemon's lifetime:
+                        // every shard this worker scans reuses the same
+                        // warm, high-water-sized buffers.
+                        let mut executor = ShardExecutor::new();
+                        let mut endpoint = LocalEndpoint::new(|task| {
+                            execution::execute_task(&inner, task, &mut executor)
+                        });
                         drive(&inner.pool, pe, &mut endpoint);
                     })
                     .expect("spawn PE worker")
@@ -608,7 +500,10 @@ impl QueryService {
             .collect();
         let stop = Arc::new(AtomicBool::new(false));
         if inner.cfg.fusion > 1 && inner.cfg.fusion_window_ms > 0.0 {
-            workers.push(spawn_window_flusher(Arc::clone(&inner), Arc::clone(&stop)));
+            workers.push(fusion::spawn_window_flusher(
+                Arc::clone(&inner),
+                Arc::clone(&stop),
+            ));
         }
         QueryService {
             inner,
@@ -680,1207 +575,5 @@ impl QueryService {
             .alphabet
             .encode(residues)
             .map_err(|e| e.to_string())
-    }
-
-    /// Submit a query. On a cache hit the completion fires before this
-    /// returns (with `cached: true` and zero cells); otherwise the query
-    /// is admitted (or rejected with backpressure) and the completion
-    /// fires when the scan finishes. Returns the job id.
-    pub fn submit(
-        &self,
-        codes: Vec<u8>,
-        top_n: usize,
-        deadline_ms: Option<u64>,
-        tag: Option<String>,
-        client: u64,
-        completion: Completion,
-    ) -> Result<u64, SubmitError> {
-        let inner = &self.inner;
-        let pool = &inner.pool;
-        let top_n = top_n.max(1);
-        let qdigest = query_digest(&codes);
-
-        // Fast path: serve from cache without building profiles.
-        {
-            let mut g = pool.lock();
-            let o = &mut g.owner;
-            if o.draining {
-                o.metrics.rejected_draining += 1;
-                return Err(SubmitError::Draining);
-            }
-            let key = CacheKey {
-                query_digest: qdigest,
-                db_generation: o.db_generation,
-                db_digest: o.db.digest(),
-                scoring_digest: inner.scoring_digest,
-                top_n,
-            };
-            if let Some(hits) = o.cache.get(&key, &codes) {
-                let now = pool.now();
-                let job_id = o.next_job_id;
-                o.next_job_id += 1;
-                let db = Arc::clone(&o.db);
-                let generation = o.db_generation;
-                o.jobs.insert(
-                    job_id,
-                    Job {
-                        client,
-                        tag: tag.clone(),
-                        codes,
-                        prepared: None,
-                        db,
-                        generation,
-                        top_n,
-                        key,
-                        submitted_at: now,
-                        shards: Vec::new(),
-                        phase: Phase::Done,
-                        cancelled: false,
-                        cached: true,
-                        completion: None,
-                    },
-                );
-                retire(o, job_id, now);
-                o.metrics.completed += 1;
-                o.metrics.served_from_cache += 1;
-                let elapsed_ms = (pool.now() - now) * 1000.0;
-                o.metrics.latency.observe(elapsed_ms);
-                drop(g);
-                completion(SearchReply {
-                    job: job_id,
-                    tag,
-                    cached: true,
-                    cancelled: false,
-                    generation,
-                    cells: 0,
-                    elapsed_ms,
-                    hits,
-                });
-                return Ok(job_id);
-            }
-        }
-
-        // Cold path: fetch (or build, off the lock) the shared profiles,
-        // then admit.
-        let prepared = inner.prepared_query(&codes, qdigest);
-        let mut g = pool.lock();
-        let core = &mut *g;
-        let o = &mut core.owner;
-        if o.draining {
-            o.metrics.rejected_draining += 1;
-            return Err(SubmitError::Draining);
-        }
-        let now = pool.now();
-        let job_id = o.next_job_id;
-        let deadline = deadline_ms
-            .map(|ms| now + ms as f64 / 1000.0)
-            .unwrap_or(f64::INFINITY);
-        if let Err(e) = o.queue.admit(job_id, client, deadline) {
-            match &e {
-                AdmitError::QueueFull { .. } => o.metrics.rejected_queue_full += 1,
-                AdmitError::ClientLimit { .. } => o.metrics.rejected_client_limit += 1,
-                AdmitError::Draining => o.metrics.rejected_draining += 1,
-            }
-            return Err(e);
-        }
-        o.next_job_id += 1;
-        let key = CacheKey {
-            query_digest: qdigest,
-            db_generation: o.db_generation,
-            db_digest: o.db.digest(),
-            scoring_digest: inner.scoring_digest,
-            top_n,
-        };
-        let db = Arc::clone(&o.db);
-        let generation = o.db_generation;
-        o.jobs.insert(
-            job_id,
-            Job {
-                client,
-                tag,
-                codes,
-                prepared: Some(prepared),
-                db,
-                generation,
-                top_n,
-                key,
-                submitted_at: now,
-                shards: Vec::new(),
-                phase: Phase::Queued,
-                cancelled: false,
-                cached: false,
-                completion: Some(completion),
-            },
-        );
-        o.metrics.admitted += 1;
-        pump(&mut core.master, o, now, false);
-        drop(g);
-        pool.notify_all();
-        Ok(job_id)
-    }
-
-    /// Submit and block until the reply arrives (in-process convenience).
-    pub fn search_blocking(
-        &self,
-        codes: Vec<u8>,
-        top_n: usize,
-        client: u64,
-    ) -> Result<SearchReply, SubmitError> {
-        let (tx, rx) = std::sync::mpsc::channel();
-        self.submit(
-            codes,
-            top_n,
-            None,
-            None,
-            client,
-            Box::new(move |reply| {
-                let _ = tx.send(reply);
-            }),
-        )?;
-        Ok(rx.recv().expect("service dropped before replying"))
-    }
-
-    /// Where a job currently is. An id that was issued but whose terminal
-    /// record has been evicted answers [`JobStatus::Expired`]; an id never
-    /// issued answers [`JobStatus::Unknown`].
-    pub fn status(&self, job: u64) -> JobStatus {
-        let g = self.inner.pool.lock();
-        let o = &g.owner;
-        let Some(j) = o.jobs.get(&job) else {
-            return if job < o.next_job_id {
-                JobStatus::Expired
-            } else {
-                JobStatus::Unknown
-            };
-        };
-        match &j.phase {
-            Phase::Queued => JobStatus::Queued {
-                position: o.queue.position(job).unwrap_or(0),
-            },
-            Phase::Running {
-                pending,
-                shard_hits,
-                ..
-            } => JobStatus::Running {
-                shards_done: shard_hits.len() - pending,
-                shards_total: shard_hits.len(),
-            },
-            Phase::Done => JobStatus::Done {
-                cancelled: j.cancelled,
-                cached: j.cached,
-            },
-        }
-    }
-
-    /// Cancel a job. Queued jobs are withdrawn before any kernel runs;
-    /// running jobs finish their in-flight shards but their hits are
-    /// discarded and never cached. Either way the submitter's completion
-    /// fires promptly with `cancelled: true`.
-    pub fn cancel(&self, job: u64) -> CancelOutcome {
-        let pool = &self.inner.pool;
-        let mut g = pool.lock();
-        let now = pool.now();
-        let o = &mut g.owner;
-        let Some(j) = o.jobs.get_mut(&job) else {
-            // An evicted job necessarily already completed.
-            return if job < o.next_job_id {
-                CancelOutcome::AlreadyDone
-            } else {
-                CancelOutcome::Unknown
-            };
-        };
-        if j.cancelled || matches!(j.phase, Phase::Done) {
-            return CancelOutcome::AlreadyDone;
-        }
-        j.cancelled = true;
-        let was_queued = matches!(j.phase, Phase::Queued);
-        if was_queued {
-            j.phase = Phase::Done;
-        }
-        let client = j.client;
-        let tag = j.tag.clone();
-        let generation = j.generation;
-        let elapsed_ms = (now - j.submitted_at) * 1000.0;
-        let completion = j.completion.take();
-        if was_queued {
-            o.queue.remove(job);
-            o.queue.release(client);
-            retire(o, job, now);
-        }
-        o.metrics.cancelled += 1;
-        drop(g);
-        if let Some(cb) = completion {
-            cb(SearchReply {
-                job,
-                tag,
-                cached: false,
-                cancelled: true,
-                generation,
-                cells: 0,
-                elapsed_ms,
-                hits: Vec::new(),
-            });
-        }
-        CancelOutcome::Cancelled
-    }
-
-    /// Snapshot the daemon's metrics as the `stats` reply body. Folds any
-    /// pending runtime events into the per-PE series first.
-    pub fn stats(&self) -> Json {
-        let inner = &self.inner;
-        let mut g = inner.pool.lock();
-        let now = inner.pool.now();
-        let o = &mut g.owner;
-        while let Ok(e) = o.events_rx.try_recv() {
-            o.metrics.apply_event(&e);
-        }
-        // Age-based eviction must not depend on traffic: an idle daemon's
-        // registry drains on the next stats poll.
-        sweep_retired(o, now);
-        let m = &o.metrics;
-        let cs = o.cache.stats();
-        Json::obj(vec![
-            ("ok", Json::Bool(true)),
-            ("type", Json::str("stats")),
-            ("uptime_s", Json::Num(inner.pool.now())),
-            ("draining", Json::Bool(o.draining)),
-            (
-                "queue",
-                Json::obj(vec![
-                    ("depth", Json::Num(o.queue.depth() as f64)),
-                    ("limit", Json::Num(o.queue.depth_limit() as f64)),
-                    ("max_depth", Json::Num(o.queue.max_depth as f64)),
-                    (
-                        "per_client_limit",
-                        Json::Num(o.queue.per_client_limit() as f64),
-                    ),
-                ]),
-            ),
-            (
-                "jobs",
-                Json::obj(vec![
-                    ("active", Json::Num(o.active_jobs as f64)),
-                    ("admitted", Json::Num(m.admitted as f64)),
-                    ("completed", Json::Num(m.completed as f64)),
-                    ("cancelled", Json::Num(m.cancelled as f64)),
-                    (
-                        "rejected_queue_full",
-                        Json::Num(m.rejected_queue_full as f64),
-                    ),
-                    (
-                        "rejected_client_limit",
-                        Json::Num(m.rejected_client_limit as f64),
-                    ),
-                    ("rejected_draining", Json::Num(m.rejected_draining as f64)),
-                    ("expired", Json::Num(m.jobs_expired as f64)),
-                    ("registry", Json::Num(o.jobs.len() as f64)),
-                ]),
-            ),
-            (
-                "fusion",
-                Json::obj(vec![
-                    ("max", Json::Num(inner.cfg.fusion as f64)),
-                    ("tasks", Json::Num(m.fused_tasks as f64)),
-                    ("queries", Json::Num(m.fused_queries as f64)),
-                    (
-                        "factor",
-                        Json::Num(if m.fused_tasks == 0 {
-                            0.0
-                        } else {
-                            m.fused_queries as f64 / m.fused_tasks as f64
-                        }),
-                    ),
-                ]),
-            ),
-            (
-                "cache",
-                Json::obj(vec![
-                    ("hits", Json::Num(cs.hits as f64)),
-                    ("misses", Json::Num(cs.misses as f64)),
-                    ("collisions", Json::Num(cs.collisions as f64)),
-                    ("hit_rate", Json::Num(cs.hit_rate())),
-                    ("insertions", Json::Num(cs.insertions as f64)),
-                    ("evictions", Json::Num(cs.evictions as f64)),
-                    ("size", Json::Num(o.cache.len() as f64)),
-                    ("capacity", Json::Num(o.cache.capacity() as f64)),
-                    ("served_from_cache", Json::Num(m.served_from_cache as f64)),
-                ]),
-            ),
-            ("prepared_cache", {
-                let pc = inner.prepared.lock().unwrap();
-                let ps = pc.stats();
-                Json::obj(vec![
-                    ("hits", Json::Num(ps.hits as f64)),
-                    ("misses", Json::Num(ps.misses as f64)),
-                    ("collisions", Json::Num(ps.collisions as f64)),
-                    ("hit_rate", Json::Num(ps.hit_rate())),
-                    ("insertions", Json::Num(ps.insertions as f64)),
-                    ("evictions", Json::Num(ps.evictions as f64)),
-                    ("size", Json::Num(pc.len() as f64)),
-                    ("capacity", Json::Num(pc.capacity() as f64)),
-                ])
-            }),
-            ("latency_ms", m.latency.to_json()),
-            ("kernel", Json::str(inner.cfg.kernel.name())),
-            ("kernels", kernels_to_json(&m.kernels)),
-            (
-                "pes",
-                Json::Arr(
-                    m.pes
-                        .iter()
-                        .enumerate()
-                        .map(|(pe, p)| {
-                            Json::obj(vec![
-                                ("pe", Json::Num(pe as f64)),
-                                ("name", Json::str(&p.name)),
-                                ("tasks_finished", Json::Num(p.tasks_finished as f64)),
-                                ("mean_gcups", Json::Num(p.mean_gcups())),
-                                ("last_gcups", Json::Num(p.last_gcups)),
-                            ])
-                        })
-                        .collect(),
-                ),
-            ),
-            (
-                "db",
-                Json::obj(vec![
-                    ("name", Json::str(o.db.name())),
-                    ("sequences", Json::Num(o.db.len() as f64)),
-                    ("residues", Json::Num(o.db.total_residues() as f64)),
-                    ("generation", Json::Num(o.db_generation as f64)),
-                    ("digest", Json::str(format!("{:016x}", o.db.digest()))),
-                    ("mapped", Json::Bool(o.db.arena().is_shared())),
-                ]),
-            ),
-        ])
-    }
-
-    /// Replace the database from owned sequences (re-encodes and
-    /// re-hashes — the FASTA reload path). See
-    /// [`QueryService::swap_snapshot`] for the semantics.
-    pub fn swap_db(&self, subjects: Vec<EncodedSequence>) {
-        self.swap_snapshot(DbSnapshot::from_encoded("", &subjects));
-    }
-
-    /// Atomically swap the daemon onto a new database snapshot (a hot
-    /// reload). Running jobs keep scanning their own snapshot
-    /// (`Arc`-shared), so no query ever observes a mixed-generation
-    /// database; new submissions see the new content under a bumped
-    /// generation, which makes every cached result of the old database
-    /// unreachable (the cache is also cleared outright to release the
-    /// memory). Remote slaves are disconnected — their database copy is
-    /// now stale — and their in-flight shards requeue to the local
-    /// workers; a slave holding the new database can immediately rejoin
-    /// under its digest. Returns the new generation.
-    pub fn swap_snapshot(&self, snapshot: DbSnapshot) -> u64 {
-        let (generation, remote) = {
-            let mut g = self.inner.pool.lock();
-            let o = &mut g.owner;
-            o.db = Arc::new(snapshot);
-            o.db_generation += 1;
-            o.cache.clear();
-            let generation = o.db_generation;
-            (generation, g.remote_members())
-        };
-        for pe in remote {
-            self.inner.pool.disconnect(pe, false);
-        }
-        generation
-    }
-
-    /// The current generation number and database snapshot.
-    pub fn db(&self) -> (u64, Arc<DbSnapshot>) {
-        let g = self.inner.pool.lock();
-        (g.owner.db_generation, Arc::clone(&g.owner.db))
-    }
-
-    /// Stop admitting new queries; queued and running ones still complete.
-    pub fn begin_drain(&self) {
-        self.inner.pool.lock().owner.draining = true;
-        self.inner.pool.notify_all();
-    }
-
-    /// Graceful shutdown: reject new admissions, wait for every queued and
-    /// running job to deliver its reply, then stop the workers (and any
-    /// slave listeners) and join them.
-    pub fn shutdown(mut self) {
-        self.begin_drain();
-        loop {
-            let mut g = self.inner.pool.lock();
-            if g.owner.active_jobs == 0 && g.owner.queue.depth() == 0 {
-                g.master.set_keep_alive(false);
-                break;
-            }
-            let _g = self.inner.pool.wait_timeout(g, Duration::from_millis(50));
-        }
-        self.inner.pool.notify_all();
-        self.stop_everything();
-    }
-
-    /// Stop listeners, disconnect remote slaves, join workers.
-    fn stop_everything(&mut self) {
-        self.stop_listeners.store(true, Ordering::Relaxed);
-        let listeners: Vec<_> = self
-            .listeners
-            .lock()
-            .expect("listener registry")
-            .drain(..)
-            .collect();
-        for h in listeners {
-            h.join().expect("slave listener panicked");
-        }
-        // Remote sessions see `Done` on their next request; disconnect the
-        // rest proactively so their reader threads exit within a quantum.
-        // The member list must be snapshotted BEFORE the loop: a `for` over
-        // `pool.lock().remote_members()` keeps the guard alive for the whole
-        // loop body, and `disconnect` locks the pool again — self-deadlock.
-        let remote = self.inner.pool.lock().remote_members();
-        for pe in remote {
-            self.inner.pool.disconnect(pe, false);
-        }
-        for h in self.workers.drain(..) {
-            h.join().expect("PE worker panicked");
-        }
-    }
-}
-
-impl Drop for QueryService {
-    fn drop(&mut self) {
-        if self.workers.is_empty() {
-            return; // shutdown() already joined
-        }
-        {
-            let mut g = self.inner.pool.lock();
-            g.owner.draining = true;
-            g.master.set_keep_alive(false);
-        }
-        self.inner.pool.notify_all();
-        self.stop_everything();
-    }
-}
-
-/// The fusion-window flusher: a mostly-idle thread that schedules a held
-/// undersized group once its window elapses. Under steady concurrent
-/// load the batch fills before the deadline and this thread never pumps;
-/// it exists so a straggler's query cannot wait forever for companions
-/// that never come.
-fn spawn_window_flusher(inner: Arc<Inner>, stop: Arc<AtomicBool>) -> std::thread::JoinHandle<()> {
-    let window = inner.cfg.fusion_window_ms / 1000.0;
-    std::thread::Builder::new()
-        .name("swhybrid-serve-fuser".to_string())
-        .spawn(move || loop {
-            if stop.load(Ordering::Relaxed) {
-                return;
-            }
-            let mut g = inner.pool.lock();
-            let now = inner.pool.now();
-            match g.owner.window_open_since {
-                Some(t0) if now - t0 >= window => {
-                    g.owner.window_open_since = None;
-                    let core = &mut *g;
-                    pump(&mut core.master, &mut core.owner, now, true);
-                    drop(g);
-                    inner.pool.notify_all();
-                }
-                Some(t0) => {
-                    // Sleep out the remainder; a submit that fills the
-                    // batch pumps on its own thread, so oversleeping here
-                    // only ever delays a straggler, never a full group.
-                    let left = (window - (now - t0)).max(0.0005);
-                    let _g = inner.pool.wait_timeout(g, Duration::from_secs_f64(left));
-                }
-                None => {
-                    let _g = inner.pool.wait_timeout(g, ACCEPT_QUANTUM);
-                }
-            }
-        })
-        .expect("spawn fusion-window flusher")
-}
-
-/// Admit queued jobs into the task pool up to the active-group bound,
-/// fusing co-queued same-generation queries into shared shard tasks (up
-/// to [`ServiceConfig::fusion`] queries per group).
-fn pump(master: &mut Master, o: &mut ServeOwner, now: f64, flush: bool) {
-    // A popped job whose snapshot generation differs from the group being
-    // formed starts the next group instead (it cannot be pushed back into
-    // the admission queue). In the rare swap-db race this can transiently
-    // overshoot `max_active` by the carried group; it never loses a job.
-    let mut carry: Option<u64> = None;
-    while carry.is_some() || o.active_groups < o.cfg.max_active {
-        // Fusion window: an undersized backlog (carried jobs excepted —
-        // they are already popped) holds briefly for companions instead
-        // of scheduling a lonely pass. The flusher thread re-pumps with
-        // `flush` once the window elapses; draining flushes immediately.
-        if carry.is_none()
-            && !flush
-            && !o.draining
-            && o.cfg.fusion > 1
-            && o.cfg.fusion_window_ms > 0.0
-            && o.queue.depth() > 0
-            && o.queue.depth() < o.cfg.fusion
-        {
-            if o.window_open_since.is_none() {
-                o.window_open_since = Some(now);
-            }
-            return;
-        }
-        let mut group: Vec<u64> = carry.take().into_iter().collect();
-        while group.len() < o.cfg.fusion {
-            let Some(job_id) = o.queue.pop_next() else {
-                break;
-            };
-            if o.jobs.get(&job_id).is_none_or(|j| j.cancelled) {
-                continue;
-            }
-            if group
-                .first()
-                .is_some_and(|head| o.jobs[head].generation != o.jobs[&job_id].generation)
-            {
-                carry = Some(job_id);
-                break;
-            }
-            group.push(job_id);
-        }
-        if group.is_empty() {
-            o.window_open_since = None;
-            break;
-        }
-        o.window_open_since = None;
-        schedule_group(master, o, &group);
-    }
-}
-
-/// Submit one fused group (1..=fusion jobs sharing a database snapshot
-/// generation) as a set of shard tasks, one task per shard scoring the
-/// whole batch.
-fn schedule_group(master: &mut Master, o: &mut ServeOwner, group: &[u64]) {
-    let Some(&head) = group.first() else {
-        return;
-    };
-    let (shards, specs) = {
-        let first = &o.jobs[&head];
-        let shards = first.db.shard_ranges(o.cfg.shards);
-        // A fused task computes every member's matrix against the shard,
-        // so its spec charges the batch's summed query length — PSS cell
-        // accounting then counts K× cells per task automatically.
-        let qlen: usize = group
-            .iter()
-            .map(|id| {
-                o.jobs[id]
-                    .prepared
-                    .as_ref()
-                    .expect("queued jobs carry profiles")
-                    .query_len()
-            })
-            .sum();
-        let specs: Vec<TaskSpec> = shards
-            .iter()
-            .map(|&(s, e)| TaskSpec {
-                id: 0, // rewritten by the pool
-                query_len: qlen,
-                queries: group.len(),
-                db_residues: first.db.range_residues(s..e),
-                db_sequences: e - s,
-            })
-            .collect();
-        (shards, specs)
-    };
-    let tasks = master.submit_tasks(specs);
-    o.metrics.fused_tasks += tasks.len() as u64;
-    o.metrics.fused_queries += (tasks.len() * group.len()) as u64;
-    for (shard_idx, &t) in tasks.iter().enumerate() {
-        o.task_map.insert(
-            t,
-            FusedTask {
-                jobs: group.to_vec(),
-                shard_idx,
-                group_tasks: tasks.clone(),
-            },
-        );
-    }
-    let n = shards.len();
-    for id in group {
-        let job = o.jobs.get_mut(id).expect("grouped jobs are live");
-        job.shards = shards.clone();
-        job.phase = Phase::Running {
-            pending: n,
-            shard_hits: vec![None; n],
-            cells: 0,
-        };
-        o.active_jobs += 1;
-    }
-    o.active_groups += 1;
-}
-
-/// Execute one fused shard task on a local worker: snapshot the batch
-/// under the lock, scan the shard once for every live member off it. The
-/// pool (via [`LocalEndpoint`] and [`ServeOwner::on_finished`]) handles
-/// started/finished bookkeeping.
-fn execute_task(inner: &Inner, task: TaskId, scratch: &mut KernelScratch) -> TaskResult {
-    let (entries, range, db) = {
-        let g = inner.pool.lock();
-        let o = &g.owner;
-        let Some(ft) = o.task_map.get(&task) else {
-            // Unknown task (should not happen): report a skip, not a scan.
-            return TaskResult::default();
-        };
-        // Batch members stay positional: a cancelled (or vanished) member
-        // keeps its slot as `None` so results pair with `FusedTask::jobs`.
-        let mut entries: Vec<Option<(Arc<PreparedQuery>, usize)>> =
-            Vec::with_capacity(ft.jobs.len());
-        let mut range = None;
-        let mut snapshot = None;
-        for id in &ft.jobs {
-            let entry = o.jobs.get(id).filter(|j| !j.cancelled).map(|job| {
-                range = Some(job.shards[ft.shard_idx]);
-                snapshot = Some(Arc::clone(&job.db));
-                (
-                    Arc::clone(job.prepared.as_ref().expect("running jobs carry profiles")),
-                    job.top_n,
-                )
-            });
-            entries.push(entry);
-        }
-        let Some(db) = snapshot else {
-            // Every member cancelled mid-run: complete the task without
-            // burning kernels and without a speed report (a 0.0 would
-            // poison the PSS window).
-            return TaskResult {
-                fused: Some(vec![FusedQueryResult::default(); entries.len()]),
-                ..TaskResult::default()
-            };
-        };
-        (entries, range.expect("live member sets the range"), db)
-    };
-    let (s, e) = range;
-    let t0 = Instant::now();
-    let live: Vec<(Arc<PreparedQuery>, usize)> = entries.iter().flatten().cloned().collect();
-    let cfg = SearchConfig {
-        threads: 1,
-        top_n: live.iter().map(|&(_, n)| n).max().unwrap_or(0),
-        chunk_size: inner.cfg.chunk_size,
-        preference: inner.cfg.preference,
-        kernel: inner.cfg.kernel,
-        sort_by_length: false,
-        prefetch: inner.cfg.prefetch,
-    };
-    let outs = search_arena_multi_with_scratch(&live, db.arena(), s..e, &cfg, scratch);
-    // Demux per query, positionally. The arena is in database order, so
-    // shard scan positions already are global database indices and the
-    // cross-shard merge tie-breaks identically to a whole-db scan.
-    // Identifiers are cloned here for the shard's top-N only.
-    let mut outs = outs.into_iter();
-    let mut fused = Vec::with_capacity(entries.len());
-    let mut total_cells = 0u64;
-    let mut merged_stats = KernelStats::default();
-    for entry in &entries {
-        if entry.is_none() {
-            fused.push(FusedQueryResult::default());
-            continue;
-        }
-        let out = outs.next().expect("one output per live batch member");
-        let hits = out
-            .scored
-            .iter()
-            .map(|sc| Hit {
-                db_index: sc.db_index,
-                id: db.id(sc.db_index).to_string(),
-                score: sc.score,
-                subject_len: sc.subject_len,
-            })
-            .collect();
-        total_cells += out.cells;
-        merged_stats.merge(&out.stats);
-        fused.push(FusedQueryResult {
-            hits,
-            cells: out.cells,
-            kernels: Some(out.stats),
-        });
-    }
-    TaskResult {
-        gcups: Some(observed_gcups(total_cells, t0.elapsed().as_secs_f64())),
-        hits: Vec::new(),
-        cells: total_cells,
-        kernels: Some(merged_stats),
-        fused: Some(fused),
-    }
-}
-
-/// Fold a winning shard result into its job; on the last shard, finalize:
-/// merge, cache, meter, release the admission slot, pump the queue.
-/// Returns the completion to invoke off the lock.
-fn record_shard(
-    o: &mut ServeOwner,
-    now: f64,
-    job_id: u64,
-    shard_idx: usize,
-    hits: Vec<Hit>,
-    cells: u64,
-) -> Option<(Option<Completion>, SearchReply)> {
-    {
-        let job = o.jobs.get_mut(&job_id)?;
-        let Phase::Running {
-            pending,
-            shard_hits,
-            cells: acc,
-        } = &mut job.phase
-        else {
-            return None;
-        };
-        if shard_hits[shard_idx].is_some() {
-            return None;
-        }
-        shard_hits[shard_idx] = Some(hits);
-        *acc += cells;
-        *pending -= 1;
-        if *pending > 0 {
-            return None;
-        }
-    }
-    // Last shard in: finalize.
-    let job = o.jobs.get_mut(&job_id)?;
-    let Phase::Running {
-        shard_hits,
-        cells: total_cells,
-        ..
-    } = std::mem::replace(&mut job.phase, Phase::Done)
-    else {
-        unreachable!("guarded above");
-    };
-    let merged = merge_top_n(
-        shard_hits
-            .into_iter()
-            .map(|h| h.expect("all shards recorded")),
-        job.top_n,
-    );
-    let elapsed_ms = (now - job.submitted_at) * 1000.0;
-    let cancelled = job.cancelled;
-    let completion = job.completion.take();
-    let client = job.client;
-    let key = job.key;
-    let codes = job.codes.clone();
-    let reply = SearchReply {
-        job: job_id,
-        tag: job.tag.clone(),
-        cached: false,
-        cancelled,
-        generation: job.generation,
-        cells: total_cells,
-        elapsed_ms,
-        hits: if cancelled {
-            Vec::new()
-        } else {
-            merged.clone()
-        },
-    };
-    if !cancelled {
-        o.cache.insert(key, &codes, merged);
-        o.metrics.completed += 1;
-        o.metrics.latency.observe(elapsed_ms);
-    }
-    retire(o, job_id, now);
-    o.active_jobs -= 1;
-    o.queue.release(client);
-    // The scheduling slot is the *group's*; [`ServeOwner::on_finished`]
-    // frees it (and pumps the queue) when the whole group is done.
-    Some((completion, reply))
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use rand::{RngExt, SeedableRng};
-    use swhybrid_align::scoring::{GapModel, SubstMatrix};
-    use swhybrid_seq::Alphabet;
-    use swhybrid_simd::search::DatabaseSearch;
-
-    fn scoring() -> Scoring {
-        Scoring {
-            matrix: SubstMatrix::blosum62(),
-            gap: GapModel::Affine {
-                open: 10,
-                extend: 2,
-            },
-        }
-    }
-
-    fn random_db(seed: u64, n: usize, max_len: usize) -> Vec<EncodedSequence> {
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-        (0..n)
-            .map(|i| {
-                let len = rng.random_range(1..max_len);
-                EncodedSequence {
-                    id: format!("s{i}"),
-                    codes: (0..len).map(|_| rng.random_range(0..20u8)).collect(),
-                    alphabet: Alphabet::Protein,
-                }
-            })
-            .collect()
-    }
-
-    fn random_query(seed: u64, len: usize) -> Vec<u8> {
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-        (0..len).map(|_| rng.random_range(0..20u8)).collect()
-    }
-
-    fn small_service(db: &[EncodedSequence]) -> QueryService {
-        QueryService::new(
-            db.to_vec(),
-            scoring(),
-            ServiceConfig {
-                workers: 2,
-                ..Default::default()
-            },
-        )
-    }
-
-    #[test]
-    fn shard_ranges_cover_and_balance() {
-        let db = random_db(11, 57, 120);
-        let snap = DbSnapshot::from_encoded("", &db);
-        for n in [1, 2, 3, 7, 57, 100] {
-            let shards = snap.shard_ranges(n);
-            assert_eq!(shards.first().unwrap().0, 0);
-            assert_eq!(shards.last().unwrap().1, db.len());
-            for w in shards.windows(2) {
-                assert_eq!(w[0].1, w[1].0, "shards must be contiguous");
-            }
-            assert!(shards.iter().all(|&(s, e)| e > s), "no empty shards");
-            assert!(shards.len() <= n.min(db.len()));
-        }
-        let empty = DbSnapshot::from_encoded("", &[]);
-        assert_eq!(empty.shard_ranges(4), vec![(0, 0)]);
-    }
-
-    #[test]
-    fn served_result_matches_cold_scan() {
-        let db = random_db(23, 80, 100);
-        let query = random_query(29, 60);
-        let svc = small_service(&db);
-        let reply = svc.search_blocking(query.clone(), 12, 1).unwrap();
-        let cold = DatabaseSearch::new(
-            &query,
-            &scoring(),
-            swhybrid_simd::search::SearchConfig {
-                top_n: 12,
-                ..Default::default()
-            },
-        )
-        .run(&db);
-        assert_eq!(reply.hits, cold.hits);
-        assert!(!reply.cached);
-        assert_eq!(reply.cells, cold.cells);
-        svc.shutdown();
-    }
-
-    #[test]
-    fn repeat_query_hits_cache_with_zero_cells() {
-        let db = random_db(31, 40, 80);
-        let query = random_query(37, 50);
-        let svc = small_service(&db);
-        let cold = svc.search_blocking(query.clone(), 10, 1).unwrap();
-        let warm = svc.search_blocking(query, 10, 1).unwrap();
-        assert!(!cold.cached && warm.cached);
-        assert_eq!(warm.cells, 0);
-        assert_eq!(warm.hits, cold.hits);
-        let stats = svc.stats();
-        let cache = stats.get("cache").unwrap();
-        assert_eq!(cache.get("hits").unwrap().as_u64().unwrap(), 1);
-        // The kernel counters cover the cold scan's subjects (the warm
-        // query never ran a kernel) and name the configured dispatch.
-        assert_eq!(stats.get("kernel").unwrap().as_str(), Some("auto"));
-        let kernels = stats.get("kernels").unwrap();
-        let count = |key: &str| kernels.get(key).unwrap().as_u64().unwrap();
-        let resolved = count("striped_i8")
-            + count("striped_i16")
-            + count("striped_scalar")
-            + count("interseq_i8")
-            + count("interseq_i16")
-            + count("interseq_scalar");
-        // ≥: a replicated shard's losing scan also counts (real work).
-        assert!(resolved >= 40, "one resolution per scanned subject");
-        assert!(count("cells_computed") > 0);
-        assert_eq!(
-            stats
-                .get("jobs")
-                .unwrap()
-                .get("completed")
-                .unwrap()
-                .as_u64()
-                .unwrap(),
-            2
-        );
-        svc.shutdown();
-    }
-
-    #[test]
-    fn swap_db_invalidates_cache_and_changes_results() {
-        let db_a = random_db(41, 30, 80);
-        let db_b = random_db(43, 30, 80);
-        let query = random_query(47, 40);
-        let svc = small_service(&db_a);
-        let a = svc.search_blocking(query.clone(), 5, 1).unwrap();
-        svc.swap_db(db_b.clone());
-        let b = svc.search_blocking(query.clone(), 5, 1).unwrap();
-        assert!(!b.cached, "generation bump must bypass the cache");
-        let cold_b = DatabaseSearch::new(
-            &query,
-            &scoring(),
-            swhybrid_simd::search::SearchConfig {
-                top_n: 5,
-                ..Default::default()
-            },
-        )
-        .run(&db_b);
-        assert_eq!(b.hits, cold_b.hits);
-        // Old-generation result is still byte-identical to its own scan.
-        assert_ne!(a.hits, b.hits);
-        svc.shutdown();
-    }
-
-    #[test]
-    fn cancel_queued_job_never_scans() {
-        let db = random_db(53, 30, 60);
-        let svc = QueryService::new(
-            db.clone(),
-            scoring(),
-            ServiceConfig {
-                workers: 1,
-                max_active: 1,
-                ..Default::default()
-            },
-        );
-        // Fill the single active slot with a real query, then queue one
-        // more and cancel it before it can dispatch.
-        let (tx, rx) = std::sync::mpsc::channel();
-        let tx2 = tx.clone();
-        svc.submit(
-            random_query(59, 400),
-            5,
-            None,
-            None,
-            1,
-            Box::new(move |r| tx.send(r).unwrap()),
-        )
-        .unwrap();
-        let victim = svc
-            .submit(
-                random_query(61, 40),
-                5,
-                None,
-                None,
-                2,
-                Box::new(move |r| tx2.send(r).unwrap()),
-            )
-            .unwrap();
-        let outcome = svc.cancel(victim);
-        // Either we caught it queued, or it had already dispatched; both
-        // must deliver a reply for every submission.
-        assert_ne!(outcome, CancelOutcome::Unknown);
-        let mut replies = [rx.recv().unwrap(), rx.recv().unwrap()];
-        replies.sort_by_key(|r| r.job);
-        if outcome == CancelOutcome::Cancelled {
-            let r = replies.iter().find(|r| r.job == victim).unwrap();
-            assert!(r.cancelled);
-            assert!(r.hits.is_empty());
-        }
-        assert_eq!(svc.cancel(9999), CancelOutcome::Unknown);
-        svc.shutdown();
-    }
-
-    #[test]
-    fn drain_rejects_new_but_finishes_queued() {
-        let db = random_db(67, 25, 60);
-        let svc = small_service(&db);
-        let (tx, rx) = std::sync::mpsc::channel();
-        svc.submit(
-            random_query(71, 80),
-            5,
-            None,
-            None,
-            1,
-            Box::new(move |r| tx.send(r).unwrap()),
-        )
-        .unwrap();
-        svc.begin_drain();
-        let err = svc.search_blocking(random_query(73, 30), 5, 2).unwrap_err();
-        assert_eq!(err, SubmitError::Draining);
-        let reply = rx.recv().unwrap();
-        assert!(!reply.cancelled);
-        svc.shutdown();
-    }
-
-    /// Regression (unbounded job registry): the daemon used to keep every
-    /// terminal job's record forever, so weeks of queries grew `jobs`
-    /// without bound. Terminal jobs must be evicted after the retention
-    /// window, evicted ids must answer `Expired` (not `Unknown`), and the
-    /// registry must stay bounded over 10k queries.
-    #[test]
-    fn job_registry_stays_bounded_over_ten_thousand_queries() {
-        let db = random_db(83, 20, 50);
-        let query = random_query(89, 30);
-        let svc = QueryService::new(
-            db,
-            scoring(),
-            ServiceConfig {
-                workers: 1,
-                retained_jobs: 32,
-                retention_secs: 1e9, // count bound only; age is tested below
-                ..Default::default()
-            },
-        );
-        for _ in 0..10_000 {
-            let reply = svc.search_blocking(query.clone(), 5, 1).unwrap();
-            assert!(!reply.cancelled);
-        }
-        let stats = svc.stats();
-        let jobs = stats.get("jobs").unwrap();
-        let registry = jobs.get("registry").unwrap().as_u64().unwrap();
-        assert!(
-            registry <= 32 + 2,
-            "registry grew unbounded: {registry} records after 10k queries"
-        );
-        let expired = jobs.get("expired").unwrap().as_u64().unwrap();
-        assert!(expired >= 10_000 - 34, "evictions not accounted: {expired}");
-        // The evicted id is a well-formed answer, not an unknown one.
-        assert_eq!(svc.status(0), JobStatus::Expired);
-        assert_eq!(svc.cancel(0), CancelOutcome::AlreadyDone);
-        // An id never issued stays unknown.
-        assert_eq!(svc.status(99_999_999), JobStatus::Unknown);
-        assert_eq!(svc.cancel(99_999_999), CancelOutcome::Unknown);
-        svc.shutdown();
-    }
-
-    /// Terminal records also age out without traffic: the age bound must
-    /// drain an idle daemon's registry (swept on the stats poll).
-    #[test]
-    fn retention_age_drains_an_idle_registry() {
-        let db = random_db(91, 15, 40);
-        let svc = QueryService::new(
-            db,
-            scoring(),
-            ServiceConfig {
-                workers: 1,
-                retained_jobs: 1024,
-                retention_secs: 0.02,
-                ..Default::default()
-            },
-        );
-        let job = svc.search_blocking(random_query(93, 25), 5, 1).unwrap().job;
-        assert!(matches!(svc.status(job), JobStatus::Done { .. }));
-        std::thread::sleep(Duration::from_millis(60));
-        let _ = svc.stats(); // the idle sweep
-        assert_eq!(svc.status(job), JobStatus::Expired);
-        svc.shutdown();
-    }
-
-    /// The tentpole's law at service level: queries that queue behind a
-    /// running group are fused into shared shard tasks, and every fused
-    /// reply is byte-identical to that query's solo cold scan.
-    #[test]
-    fn fused_queries_match_cold_scans_and_share_tasks() {
-        let db = random_db(97, 50, 70);
-        let svc = QueryService::new(
-            db.clone(),
-            scoring(),
-            ServiceConfig {
-                workers: 1,
-                max_active: 1,
-                fusion: 4,
-                cache_capacity: 0,
-                per_client_inflight: 16,
-                ..Default::default()
-            },
-        );
-        // A slow head query occupies the single group slot; the four short
-        // queries behind it queue and must dispatch as one fused group.
-        let (tx, rx) = std::sync::mpsc::channel();
-        let head = random_query(101, 700);
-        let tx0 = tx.clone();
-        svc.submit(
-            head.clone(),
-            5,
-            None,
-            None,
-            1,
-            Box::new(move |r| tx0.send(r).unwrap()),
-        )
-        .unwrap();
-        let queries: Vec<(Vec<u8>, usize)> = (0..4u64)
-            .map(|i| (random_query(103 + i, 25 + 5 * i as usize), 4 + i as usize))
-            .collect();
-        for (q, top_n) in &queries {
-            let tx = tx.clone();
-            svc.submit(
-                q.clone(),
-                *top_n,
-                None,
-                None,
-                1,
-                Box::new(move |r| tx.send(r).unwrap()),
-            )
-            .unwrap();
-        }
-        let replies: Vec<SearchReply> = (0..5).map(|_| rx.recv().unwrap()).collect();
-        let oracle = |q: &[u8], top_n: usize| {
-            DatabaseSearch::new(
-                q,
-                &scoring(),
-                swhybrid_simd::search::SearchConfig {
-                    top_n,
-                    ..Default::default()
-                },
-            )
-            .run(&db)
-        };
-        for reply in &replies {
-            let (q, top_n) = if reply.job == 0 {
-                (&head, 5usize)
-            } else {
-                let (q, n) = &queries[reply.job as usize - 1];
-                (q, *n)
-            };
-            let cold = oracle(q, top_n);
-            assert_eq!(
-                reply.hits, cold.hits,
-                "job {} differs from cold scan",
-                reply.job
-            );
-            assert_eq!(
-                reply.cells, cold.cells,
-                "job {} cell count drifted",
-                reply.job
-            );
-        }
-        let stats = svc.stats();
-        let fusion = stats.get("fusion").unwrap();
-        let factor = fusion.get("factor").unwrap().as_f64().unwrap();
-        assert!(
-            factor > 1.0,
-            "the queued queries never fused (factor {factor})"
-        );
-        svc.shutdown();
-    }
-
-    #[test]
-    fn scoring_digest_separates_schemes() {
-        let a = scoring_digest(&scoring());
-        let b = scoring_digest(&Scoring {
-            matrix: SubstMatrix::blosum50(),
-            gap: GapModel::Affine {
-                open: 10,
-                extend: 2,
-            },
-        });
-        let c = scoring_digest(&Scoring {
-            matrix: SubstMatrix::blosum62(),
-            gap: GapModel::Affine {
-                open: 12,
-                extend: 2,
-            },
-        });
-        assert_ne!(a, b);
-        assert_ne!(a, c);
-        assert_eq!(a, scoring_digest(&scoring()));
     }
 }

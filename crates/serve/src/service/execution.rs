@@ -1,0 +1,305 @@
+//! The execution path: the pool-owner callbacks (result demux, payload
+//! assembly) and the local PE worker's shard scan, which drives the ONE
+//! shared shard executor ([`ShardExecutor`]) — the same chunk loop, kernel
+//! dispatch, and top-N demux the one-shot `search` workers and the remote
+//! serve-mode slave use, so served hit tables and kernel counters are
+//! byte-identical to theirs by construction.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use swhybrid_core::master::Master;
+use swhybrid_core::pool::{
+    Deferred, FusedQueryResult, PoolOwner, QueryPayload, TaskPayload, TaskResult,
+};
+use swhybrid_core::stats::observed_gcups;
+use swhybrid_core::task::{PeId, TaskId};
+use swhybrid_simd::engine::{KernelStats, PreparedQuery};
+use swhybrid_simd::search::{merge_top_n, Hit};
+use swhybrid_simd::{materialize_hits, ShardExecutor, ShardPlan};
+
+use super::admit::retire;
+use super::fusion::pump;
+use super::{Completion, Inner, Phase, SearchReply, ServeOwner};
+
+impl PoolOwner for ServeOwner {
+    fn on_finished(
+        &mut self,
+        master: &mut Master,
+        _pe: PeId,
+        task: TaskId,
+        result: TaskResult,
+        was_first: bool,
+        now: f64,
+    ) -> Option<Deferred> {
+        // Every shard scan counts, winner or not: the counters report
+        // kernel work the platform actually performed (remote slaves
+        // report theirs over the wire).
+        if let Some(k) = &result.kernels {
+            self.metrics.kernels.merge(k);
+        }
+        if !was_first {
+            return None;
+        }
+        let ft = self.task_map.get(&task)?.clone();
+        // Demux the fused result: entry k belongs to batch member k. A
+        // result without the fused list (a skipped scan) counts every
+        // member's shard as done with nothing to contribute.
+        let per_query = result
+            .fused
+            .unwrap_or_else(|| vec![FusedQueryResult::default(); ft.jobs.len()]);
+        debug_assert_eq!(per_query.len(), ft.jobs.len());
+        let mut done = Vec::new();
+        for (&job_id, fq) in ft.jobs.iter().zip(per_query) {
+            if let Some(d) = record_shard(
+                self,
+                now,
+                job_id,
+                ft.shard_idx,
+                fq.hits,
+                fq.cells,
+                fq.kernels,
+            ) {
+                done.push(d);
+            }
+        }
+        // The group finishes atomically (every member shares the same
+        // shard set, so the last task completes them all): drop its task
+        // entries so the map stays bounded over the daemon's lifetime,
+        // free its scheduling slot, and refill from the queue — a freed
+        // slot admits up to `fusion` queued queries as the next group.
+        if ft.jobs.iter().all(|id| {
+            self.jobs
+                .get(id)
+                .is_none_or(|j| matches!(j.phase, Phase::Done))
+        }) {
+            for t in &ft.group_tasks {
+                self.task_map.remove(t);
+            }
+            self.active_groups -= 1;
+            pump(master, self, now, false);
+        }
+        if done.is_empty() {
+            return None;
+        }
+        Some(Box::new(move || {
+            for (completion, reply) in done {
+                if let Some(cb) = completion {
+                    cb(reply);
+                }
+            }
+        }))
+    }
+
+    fn task_payload(&self, _master: &Master, task: TaskId) -> Option<TaskPayload> {
+        let ft = self.task_map.get(&task)?;
+        // A remote slave holds the *current* database; never ship it a
+        // shard of an older snapshot (possible only transiently, since a
+        // swap disconnects remotes — but a task can already be in flight).
+        // A wholly cancelled batch is not worth shipping either; a batch
+        // with any live member ships complete, cancelled members included,
+        // so fused results pair with `FusedTask::jobs` positionally.
+        if ft
+            .jobs
+            .iter()
+            .all(|id| self.jobs.get(id).is_none_or(|j| j.cancelled))
+        {
+            return None;
+        }
+        let mut queries = Vec::with_capacity(ft.jobs.len());
+        let mut shard = None;
+        for id in &ft.jobs {
+            let job = self.jobs.get(id)?;
+            if job.generation != self.db_generation {
+                return None;
+            }
+            shard = Some(*job.shards.get(ft.shard_idx)?);
+            queries.push(QueryPayload {
+                query: job.codes.clone(),
+                top_n: job.top_n,
+            });
+        }
+        Some(TaskPayload {
+            queries,
+            shard: shard?,
+        })
+    }
+
+    fn db_digest(&self) -> Option<u64> {
+        Some(self.db.digest())
+    }
+}
+
+/// Execute one fused shard task on a local worker: snapshot the batch
+/// under the lock, then drive the shared [`ShardExecutor`] over the shard
+/// off it. The pool (via [`swhybrid_core::pool::LocalEndpoint`] and
+/// [`ServeOwner::on_finished`]) handles started/finished bookkeeping.
+pub(super) fn execute_task(
+    inner: &Inner,
+    task: TaskId,
+    executor: &mut ShardExecutor,
+) -> TaskResult {
+    let (entries, range, db) = {
+        let g = inner.pool.lock();
+        let o = &g.owner;
+        let Some(ft) = o.task_map.get(&task) else {
+            // Unknown task (should not happen): report a skip, not a scan.
+            return TaskResult::default();
+        };
+        // Batch members stay positional: a cancelled (or vanished) member
+        // keeps its slot as `None` so results pair with `FusedTask::jobs`.
+        let mut entries: Vec<Option<(Arc<PreparedQuery>, usize)>> =
+            Vec::with_capacity(ft.jobs.len());
+        let mut range = None;
+        let mut snapshot = None;
+        for id in &ft.jobs {
+            let entry = o.jobs.get(id).filter(|j| !j.cancelled).map(|job| {
+                range = Some(job.shards[ft.shard_idx]);
+                snapshot = Some(Arc::clone(&job.db));
+                (
+                    Arc::clone(job.prepared.as_ref().expect("running jobs carry profiles")),
+                    job.top_n,
+                )
+            });
+            entries.push(entry);
+        }
+        let Some(db) = snapshot else {
+            // Every member cancelled mid-run: complete the task without
+            // burning kernels and without a speed report (a 0.0 would
+            // poison the PSS window).
+            return TaskResult {
+                fused: Some(vec![FusedQueryResult::default(); entries.len()]),
+                ..TaskResult::default()
+            };
+        };
+        (entries, range.expect("live member sets the range"), db)
+    };
+    let (s, e) = range;
+    let t0 = Instant::now();
+    let live: Vec<(Arc<PreparedQuery>, usize)> = entries.iter().flatten().cloned().collect();
+    let plan = ShardPlan {
+        range: s..e,
+        chunk_size: inner.cfg.chunk_size,
+        kernel: inner.cfg.kernel,
+        prefetch: inner.cfg.prefetch,
+    };
+    let outs = executor.execute(&live, db.arena(), &plan);
+    // Demux per query, positionally. The arena is in database order, so
+    // shard scan positions already are global database indices and the
+    // cross-shard merge tie-breaks identically to a whole-db scan.
+    // Identifiers are cloned here for the shard's top-N only.
+    let mut outs = outs.into_iter();
+    let mut fused = Vec::with_capacity(entries.len());
+    let mut total_cells = 0u64;
+    let mut merged_stats = KernelStats::default();
+    for entry in &entries {
+        if entry.is_none() {
+            fused.push(FusedQueryResult::default());
+            continue;
+        }
+        let out = outs.next().expect("one output per live batch member");
+        let hits = materialize_hits(&out.scored, |i| db.id(i).to_string());
+        total_cells += out.cells;
+        merged_stats.merge(&out.stats);
+        fused.push(FusedQueryResult {
+            hits,
+            cells: out.cells,
+            kernels: Some(out.stats),
+        });
+    }
+    TaskResult {
+        gcups: Some(observed_gcups(total_cells, t0.elapsed().as_secs_f64())),
+        hits: Vec::new(),
+        cells: total_cells,
+        kernels: Some(merged_stats),
+        fused: Some(fused),
+    }
+}
+
+/// Fold a winning shard result into its job; on the last shard, finalize:
+/// merge, cache, meter, release the admission slot, pump the queue.
+/// Returns the completion to invoke off the lock.
+#[allow(clippy::too_many_arguments)]
+fn record_shard(
+    o: &mut ServeOwner,
+    now: f64,
+    job_id: u64,
+    shard_idx: usize,
+    hits: Vec<Hit>,
+    cells: u64,
+    kernels: Option<KernelStats>,
+) -> Option<(Option<Completion>, SearchReply)> {
+    {
+        let job = o.jobs.get_mut(&job_id)?;
+        let Phase::Running {
+            pending,
+            shard_hits,
+            cells: acc,
+            kernels: kacc,
+        } = &mut job.phase
+        else {
+            return None;
+        };
+        if shard_hits[shard_idx].is_some() {
+            return None;
+        }
+        shard_hits[shard_idx] = Some(hits);
+        *acc += cells;
+        if let Some(k) = &kernels {
+            kacc.merge(k);
+        }
+        *pending -= 1;
+        if *pending > 0 {
+            return None;
+        }
+    }
+    // Last shard in: finalize.
+    let job = o.jobs.get_mut(&job_id)?;
+    let Phase::Running {
+        shard_hits,
+        cells: total_cells,
+        kernels: total_kernels,
+        ..
+    } = std::mem::replace(&mut job.phase, Phase::Done)
+    else {
+        unreachable!("guarded above");
+    };
+    let merged = merge_top_n(
+        shard_hits
+            .into_iter()
+            .map(|h| h.expect("all shards recorded")),
+        job.top_n,
+    );
+    let elapsed_ms = (now - job.submitted_at) * 1000.0;
+    let cancelled = job.cancelled;
+    let completion = job.completion.take();
+    let client = job.client;
+    let key = job.key;
+    let codes = job.codes.clone();
+    let reply = SearchReply {
+        job: job_id,
+        tag: job.tag.clone(),
+        cached: false,
+        cancelled,
+        generation: job.generation,
+        cells: total_cells,
+        elapsed_ms,
+        kernels: total_kernels,
+        hits: if cancelled {
+            Vec::new()
+        } else {
+            merged.clone()
+        },
+    };
+    if !cancelled {
+        o.cache.insert(key, &codes, merged);
+        o.metrics.completed += 1;
+        o.metrics.latency.observe(elapsed_ms);
+    }
+    retire(o, job_id, now);
+    o.active_jobs -= 1;
+    o.queue.release(client);
+    // The scheduling slot is the *group's*; [`ServeOwner::on_finished`]
+    // frees it (and pumps the queue) when the whole group is done.
+    Some((completion, reply))
+}

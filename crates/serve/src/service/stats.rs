@@ -1,0 +1,168 @@
+//! Observability: the `stats` reply body (folding pending runtime events
+//! into the per-PE series first) and the scoring-scheme digest.
+
+use swhybrid_align::scoring::{GapModel, Scoring};
+use swhybrid_core::net::kernels_to_json;
+use swhybrid_json::Json;
+use swhybrid_seq::digest::Fnv1a;
+
+use super::admit::sweep_retired;
+use super::QueryService;
+
+/// Stable digest of a scoring scheme (matrix identity + gap model), the
+/// scoring component of [`crate::cache::CacheKey`].
+pub fn scoring_digest(scoring: &Scoring) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update_framed(scoring.matrix.name.as_bytes());
+    h.update_framed(format!("{:?}", scoring.matrix.alphabet).as_bytes());
+    match scoring.gap {
+        GapModel::Linear { penalty } => {
+            h.update(&[0]);
+            h.update(&penalty.to_le_bytes());
+        }
+        GapModel::Affine { open, extend } => {
+            h.update(&[1]);
+            h.update(&open.to_le_bytes());
+            h.update(&extend.to_le_bytes());
+        }
+    }
+    h.finish()
+}
+
+impl QueryService {
+    /// Snapshot the daemon's metrics as the `stats` reply body. Folds any
+    /// pending runtime events into the per-PE series first.
+    pub fn stats(&self) -> Json {
+        let inner = &self.inner;
+        let mut g = inner.pool.lock();
+        let now = inner.pool.now();
+        let o = &mut g.owner;
+        while let Ok(e) = o.events_rx.try_recv() {
+            o.metrics.apply_event(&e);
+        }
+        // Age-based eviction must not depend on traffic: an idle daemon's
+        // registry drains on the next stats poll.
+        sweep_retired(o, now);
+        let m = &o.metrics;
+        let cs = o.cache.stats();
+        Json::obj(vec![
+            ("ok", Json::Bool(true)),
+            ("type", Json::str("stats")),
+            ("uptime_s", Json::Num(inner.pool.now())),
+            ("draining", Json::Bool(o.draining)),
+            (
+                "queue",
+                Json::obj(vec![
+                    ("depth", Json::Num(o.queue.depth() as f64)),
+                    ("limit", Json::Num(o.queue.depth_limit() as f64)),
+                    ("max_depth", Json::Num(o.queue.max_depth as f64)),
+                    (
+                        "per_client_limit",
+                        Json::Num(o.queue.per_client_limit() as f64),
+                    ),
+                ]),
+            ),
+            (
+                "jobs",
+                Json::obj(vec![
+                    ("active", Json::Num(o.active_jobs as f64)),
+                    ("admitted", Json::Num(m.admitted as f64)),
+                    ("completed", Json::Num(m.completed as f64)),
+                    ("cancelled", Json::Num(m.cancelled as f64)),
+                    (
+                        "rejected_queue_full",
+                        Json::Num(m.rejected_queue_full as f64),
+                    ),
+                    (
+                        "rejected_client_limit",
+                        Json::Num(m.rejected_client_limit as f64),
+                    ),
+                    ("rejected_draining", Json::Num(m.rejected_draining as f64)),
+                    ("expired", Json::Num(m.jobs_expired as f64)),
+                    ("registry", Json::Num(o.jobs.len() as f64)),
+                ]),
+            ),
+            (
+                "fusion",
+                Json::obj(vec![
+                    ("max", Json::Num(inner.cfg.fusion as f64)),
+                    ("tasks", Json::Num(m.fused_tasks as f64)),
+                    ("queries", Json::Num(m.fused_queries as f64)),
+                    (
+                        "factor",
+                        Json::Num(if m.fused_tasks == 0 {
+                            0.0
+                        } else {
+                            m.fused_queries as f64 / m.fused_tasks as f64
+                        }),
+                    ),
+                ]),
+            ),
+            (
+                "cache",
+                Json::obj(vec![
+                    ("hits", Json::Num(cs.hits as f64)),
+                    ("misses", Json::Num(cs.misses as f64)),
+                    ("collisions", Json::Num(cs.collisions as f64)),
+                    ("hit_rate", Json::Num(cs.hit_rate())),
+                    ("insertions", Json::Num(cs.insertions as f64)),
+                    ("evictions", Json::Num(cs.evictions as f64)),
+                    ("size", Json::Num(o.cache.len() as f64)),
+                    ("capacity", Json::Num(o.cache.capacity() as f64)),
+                    ("served_from_cache", Json::Num(m.served_from_cache as f64)),
+                ]),
+            ),
+            ("prepared_cache", {
+                let pc = inner.prepared.lock().unwrap();
+                let ps = pc.stats();
+                Json::obj(vec![
+                    ("hits", Json::Num(ps.hits as f64)),
+                    ("misses", Json::Num(ps.misses as f64)),
+                    ("collisions", Json::Num(ps.collisions as f64)),
+                    ("hit_rate", Json::Num(ps.hit_rate())),
+                    ("insertions", Json::Num(ps.insertions as f64)),
+                    ("evictions", Json::Num(ps.evictions as f64)),
+                    ("size", Json::Num(pc.len() as f64)),
+                    ("capacity", Json::Num(pc.capacity() as f64)),
+                ])
+            }),
+            ("latency_ms", m.latency.to_json()),
+            ("kernel", Json::str(inner.cfg.kernel.name())),
+            ("kernels", kernels_to_json(&m.kernels)),
+            (
+                "pes",
+                Json::Arr(
+                    m.pes
+                        .iter()
+                        .enumerate()
+                        .map(|(pe, p)| {
+                            Json::obj(vec![
+                                ("pe", Json::Num(pe as f64)),
+                                ("name", Json::str(&p.name)),
+                                ("tasks_finished", Json::Num(p.tasks_finished as f64)),
+                                ("mean_gcups", Json::Num(p.mean_gcups())),
+                                ("last_gcups", Json::Num(p.last_gcups)),
+                                // Folded from `task_kernels` runtime events,
+                                // which every transport now emits — local PE
+                                // threads and remote slaves alike — so this
+                                // breakdown agrees with `--events` streams.
+                                ("kernels", kernels_to_json(&p.kernels)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "db",
+                Json::obj(vec![
+                    ("name", Json::str(o.db.name())),
+                    ("sequences", Json::Num(o.db.len() as f64)),
+                    ("residues", Json::Num(o.db.total_residues() as f64)),
+                    ("generation", Json::Num(o.db_generation as f64)),
+                    ("digest", Json::str(format!("{:016x}", o.db.digest()))),
+                    ("mapped", Json::Bool(o.db.arena().is_shared())),
+                ]),
+            ),
+        ])
+    }
+}

@@ -1,0 +1,430 @@
+//! The shard-execution layer: ONE implementation of the chunked database
+//! scan, shared by every owner of a shard.
+//!
+//! The paper's architecture (Fig. 1) is a single task-execution environment
+//! driving heterogeneous PEs; this module is that environment's inner loop.
+//! Three owners drive it:
+//!
+//! * the one-shot `search` scan workers ([`crate::search::search_arena`] and
+//!   the fused [`crate::search::search_arena_multi`]),
+//! * the serve daemon's local PE threads (`swhybrid-serve`),
+//! * the remote serve-mode slave executor (`core::net::slave`).
+//!
+//! Each owner builds a [`ShardPlan`] (which arena positions to scan, the
+//! chunk size, the kernel preference, prefetch) and drives a
+//! [`ShardExecutor`], which owns the per-worker [`KernelScratch`] for its
+//! lifetime and implements chunk claiming, per-chunk [`KernelChoice`]
+//! dispatch, solo and fused multi-query DP driving, [`KernelStats`]
+//! accumulation, and the per-query top-N demux. Because the loop exists
+//! once, hit tables and kernel counters are byte-identical across the three
+//! transports by construction — the tri-path oracle test pins this.
+//!
+//! Chunk sizing is centralized here too: [`chunk_size`] enforces a floor of
+//! [`chunk_floor`] = 2 × the widest kernel lane count. Below that floor the
+//! `Auto` dispatcher can never fill the inter-sequence lanes, so every chunk
+//! silently degrades to the striped kernel — the exact bug class PR 5 fixed
+//! twice (serve default 16, slave hardcoded 16).
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::engine::{KernelStats, PreparedQuery, StripedEngine};
+use crate::interseq::interseq_lanes;
+use crate::scratch::KernelScratch;
+use crate::search::{rank_scored, Hit, KernelChoice, ScanOutput, Scored, SearchConfig};
+use swhybrid_align::stats::cells;
+use swhybrid_seq::arena::DbArena;
+
+/// The minimum chunk size any scan path may use: 2 × the widest
+/// inter-sequence kernel lane count (AVX2, 32 × i8). A chunk narrower than
+/// this can never satisfy the `Auto` dispatcher's lane-fill guard, so every
+/// `Auto` chunk silently runs striped — a performance bug with no wrong
+/// answers to catch it.
+pub const fn chunk_floor() -> usize {
+    2 * crate::avx2::LANES_I8
+}
+
+/// The ONE chunk-size decision for every scan path. `None` yields the
+/// default (the floor itself); `Some(c)` validates a caller override
+/// against [`chunk_floor`] and rejects it rather than silently degrading.
+pub fn chunk_size(requested: Option<usize>) -> Result<usize, String> {
+    let floor = chunk_floor();
+    match requested {
+        None => Ok(floor),
+        Some(c) if c >= floor => Ok(c),
+        Some(c) => Err(format!(
+            "chunk size {c} is below the floor {floor} (2 x the widest kernel \
+             lane count): Auto dispatch could never fill the inter-sequence lanes"
+        )),
+    }
+}
+
+/// Everything an owner decides about scanning one shard: the arena slice,
+/// how it is chunked, which kernel family scores each chunk, and whether to
+/// issue software prefetches. The executor supplies the rest (scratch,
+/// engines, counters).
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    /// Arena scan positions to cover.
+    pub range: Range<usize>,
+    /// Subjects per self-scheduled chunk.
+    pub chunk_size: usize,
+    /// Kernel dispatch: striped, inter-sequence, or adaptive.
+    pub kernel: KernelChoice,
+    /// Software-prefetch the next subject's residues ahead of use.
+    pub prefetch: bool,
+}
+
+impl ShardPlan {
+    /// Derive a plan from a [`SearchConfig`] (the search-path spelling).
+    pub fn from_config(range: Range<usize>, config: &SearchConfig) -> ShardPlan {
+        ShardPlan {
+            range,
+            chunk_size: config.chunk_size,
+            kernel: config.kernel,
+            prefetch: config.prefetch,
+        }
+    }
+}
+
+/// Should `Auto` send this chunk to the inter-sequence kernel?
+///
+/// The inter-sequence kernel amortises nothing when lanes cannot fill
+/// (`n < 2 × LANES`), thrashes the cache when the query is long (its DP
+/// state is `2 × query × LANES` bytes versus the striped kernel's
+/// `2 × query`), and wastes lanes when one subject dwarfs the chunk (every
+/// other lane idles while it drains — the skew test compares the longest
+/// subject against the chunk's mean length).
+fn auto_picks_interseq(prepared: &PreparedQuery, arena: &DbArena, chunk: Range<usize>) -> bool {
+    /// Above this query length the striped kernel's compact DP state wins.
+    const MAX_INTERSEQ_QUERY: usize = 2048;
+    /// Minimum lane utilisation (as 1/MAX_SKEW). Lanes refill from the
+    /// subject queue, so a long outlier only hurts once the queue drains
+    /// and the other lanes idle behind it: the wasted fraction of the
+    /// chunk is bounded by `max_len·lanes / total`. Only when that ratio
+    /// is extreme (one subject dominating the whole chunk) does the
+    /// striped kernel's sequential scan win back the difference.
+    const MAX_SKEW: u64 = 8;
+    let lanes = interseq_lanes(prepared.preference()) as u64;
+    if (chunk.len() as u64) < 2 * lanes {
+        return false;
+    }
+    if prepared.query_len() > MAX_INTERSEQ_QUERY {
+        return false;
+    }
+    let total = arena.range_residues(chunk.clone());
+    if total == 0 {
+        return false;
+    }
+    let max_len = chunk.clone().map(|p| arena.seq_len(p)).max().unwrap_or(0) as u64;
+    max_len * lanes <= MAX_SKEW * total
+}
+
+/// One worker of the shard-execution layer. Owns the worker's
+/// [`KernelScratch`] for its lifetime — per-PE, not per-chunk, so chunk
+/// N+1 finds chunk N's buffers warm — and implements the only chunk-claim
+/// loops in the workspace ([`ShardExecutor::solo`] and
+/// [`ShardExecutor::fused`]).
+pub struct ShardExecutor {
+    scratch: KernelScratch,
+}
+
+impl Default for ShardExecutor {
+    fn default() -> Self {
+        ShardExecutor::new()
+    }
+}
+
+impl ShardExecutor {
+    /// Fresh executor with empty scratch; buffers size themselves
+    /// high-water on first use.
+    pub fn new() -> Self {
+        ShardExecutor {
+            scratch: KernelScratch::new(),
+        }
+    }
+
+    /// Wrap an existing scratch (a caller that owns one per thread keeps
+    /// its warm buffers across executors).
+    pub fn from_scratch(scratch: KernelScratch) -> Self {
+        ShardExecutor { scratch }
+    }
+
+    /// Recover the scratch (and its warm buffers) from a finished executor.
+    pub fn into_scratch(self) -> KernelScratch {
+        self.scratch
+    }
+
+    /// THE solo chunk loop: claim chunks of `plan.range` from the shared
+    /// `cursor`, dispatch each per `plan.kernel`, and accumulate this
+    /// worker's scored subjects and kernel counters. `top_n` bounds the
+    /// local list (only the global top-N can survive the merge).
+    pub fn solo(
+        &mut self,
+        prepared: &Arc<PreparedQuery>,
+        arena: &DbArena,
+        plan: &ShardPlan,
+        cursor: &AtomicUsize,
+        top_n: usize,
+    ) -> (Vec<Scored>, KernelStats) {
+        let range = &plan.range;
+        let chunk_size = plan.chunk_size;
+        let scratch = &mut self.scratch;
+        let mut engine = StripedEngine::with_prepared(Arc::clone(prepared));
+        let mut stats = KernelStats::default();
+        let mut local: Vec<Scored> = Vec::new();
+        loop {
+            let start = range.start + cursor.fetch_add(chunk_size, Ordering::Relaxed);
+            if start >= range.end {
+                break;
+            }
+            let end = (start + chunk_size).min(range.end);
+            let use_interseq = match plan.kernel {
+                KernelChoice::Striped => false,
+                KernelChoice::InterSeq => true,
+                KernelChoice::Auto => auto_picks_interseq(prepared, arena, start..end),
+            };
+            if use_interseq {
+                stats.chunks_interseq += 1;
+                let scores = crate::interseq::scores_arena_with(
+                    prepared,
+                    arena,
+                    start..end,
+                    &mut stats,
+                    scratch,
+                    plan.prefetch,
+                );
+                for (offset, &score) in scores.iter().enumerate() {
+                    let pos = start + offset;
+                    local.push(Scored {
+                        db_index: arena.db_index(pos),
+                        score,
+                        subject_len: arena.seq_len(pos),
+                    });
+                }
+            } else {
+                stats.chunks_striped += 1;
+                for pos in start..end {
+                    // Pull the next subject's residues towards L1 while this
+                    // one is scored.
+                    if plan.prefetch && pos + 1 < end {
+                        crate::scratch::prefetch_read(arena.residues(pos + 1));
+                    }
+                    let score = engine.score(arena.residues(pos), scratch);
+                    local.push(Scored {
+                        db_index: arena.db_index(pos),
+                        score,
+                        subject_len: arena.seq_len(pos),
+                    });
+                }
+            }
+            // Keep the per-worker list bounded: only the global top-N can
+            // survive the merge anyway.
+            if local.len() > 4 * top_n.max(16) {
+                rank_scored(&mut local);
+                local.truncate(2 * top_n.max(8));
+            }
+        }
+        stats.merge(&engine.stats());
+        (local, stats)
+    }
+
+    /// THE fused chunk loop: claim chunks from the shared cursor and score
+    /// every batch query against each chunk before releasing it. The
+    /// per-query work inside one chunk mirrors [`ShardExecutor::solo`]
+    /// statement for statement — that is what keeps fused outputs
+    /// byte-identical to solo scans. Returns one `(scored, stats)` pair per
+    /// batch entry.
+    pub fn fused(
+        &mut self,
+        batch: &[(Arc<PreparedQuery>, usize)],
+        arena: &DbArena,
+        plan: &ShardPlan,
+        cursor: &AtomicUsize,
+    ) -> Vec<(Vec<Scored>, KernelStats)> {
+        let range = &plan.range;
+        let chunk_size = plan.chunk_size;
+        let scratch = &mut self.scratch;
+        let mut engines: Vec<StripedEngine> = batch
+            .iter()
+            .map(|(prepared, _)| StripedEngine::with_prepared(Arc::clone(prepared)))
+            .collect();
+        let mut stats: Vec<KernelStats> = vec![KernelStats::default(); batch.len()];
+        let mut locals: Vec<Vec<Scored>> = vec![Vec::new(); batch.len()];
+        // Per-chunk lists, hoisted out of the claim loop and reused (cleared
+        // each chunk) so the steady-state loop allocates nothing.
+        let mut picks_interseq: Vec<bool> = Vec::with_capacity(batch.len());
+        let mut fused: Vec<usize> = Vec::with_capacity(batch.len());
+        let mut fused_batch: Vec<&PreparedQuery> = Vec::with_capacity(batch.len());
+        let mut fused_stats: Vec<KernelStats> = Vec::with_capacity(batch.len());
+        loop {
+            let start = range.start + cursor.fetch_add(chunk_size, Ordering::Relaxed);
+            if start >= range.end {
+                break;
+            }
+            let end = (start + chunk_size).min(range.end);
+            // Decide every query's kernel for this chunk up front, then run
+            // all the inter-sequence queries through ONE fused pass while
+            // the chunk is hot: the per-column score gather is shared across
+            // the batch and each query's DP loop runs over the
+            // already-filled lane buffer. Per query this is byte-identical
+            // to its solo `scores_arena` call.
+            picks_interseq.clear();
+            picks_interseq.extend(batch.iter().map(|(prepared, _)| match plan.kernel {
+                KernelChoice::Striped => false,
+                KernelChoice::InterSeq => true,
+                KernelChoice::Auto => auto_picks_interseq(prepared, arena, start..end),
+            }));
+            fused.clear();
+            fused.extend((0..batch.len()).filter(|&k| picks_interseq[k]));
+            fused_batch.clear();
+            fused_batch.extend(fused.iter().map(|&k| &*batch[k].0));
+            fused_stats.clear();
+            fused_stats.resize(fused.len(), KernelStats::default());
+            // The fused pass folds in first (its scores borrow `scratch`),
+            // then the striped queries run; per-query work and counters are
+            // the same either way because each query takes exactly one of
+            // the paths.
+            {
+                let fused_scores = crate::interseq::scores_arena_multi_with(
+                    &fused_batch,
+                    arena,
+                    start..end,
+                    &mut fused_stats,
+                    scratch,
+                    plan.prefetch,
+                );
+                for ((&k, scores), chunk_stats) in fused.iter().zip(fused_scores).zip(&fused_stats)
+                {
+                    stats[k].chunks_interseq += 1;
+                    stats[k].merge(chunk_stats);
+                    for (offset, &score) in scores.iter().enumerate() {
+                        let pos = start + offset;
+                        locals[k].push(Scored {
+                            db_index: arena.db_index(pos),
+                            score,
+                            subject_len: arena.seq_len(pos),
+                        });
+                    }
+                }
+            }
+            for (k, top_n) in batch.iter().map(|&(_, top_n)| top_n).enumerate() {
+                if !picks_interseq[k] {
+                    stats[k].chunks_striped += 1;
+                    for pos in start..end {
+                        if plan.prefetch && pos + 1 < end {
+                            crate::scratch::prefetch_read(arena.residues(pos + 1));
+                        }
+                        let score = engines[k].score(arena.residues(pos), scratch);
+                        locals[k].push(Scored {
+                            db_index: arena.db_index(pos),
+                            score,
+                            subject_len: arena.seq_len(pos),
+                        });
+                    }
+                }
+                if locals[k].len() > 4 * top_n.max(16) {
+                    rank_scored(&mut locals[k]);
+                    locals[k].truncate(2 * top_n.max(8));
+                }
+            }
+        }
+        for (k, engine) in engines.iter().enumerate() {
+            stats[k].merge(&engine.stats());
+        }
+        locals.into_iter().zip(stats).collect()
+    }
+
+    /// Scan one whole shard with this (single) worker: the entry point of
+    /// the long-lived owners — serve PE threads and the remote slave — that
+    /// execute one self-describing shard task at a time. Drives the fused
+    /// loop over a private cursor and demuxes into per-query outputs; a
+    /// one-query batch is byte-identical to a solo scan of the same range.
+    pub fn execute(
+        &mut self,
+        batch: &[(Arc<PreparedQuery>, usize)],
+        arena: &DbArena,
+        plan: &ShardPlan,
+    ) -> Vec<ScanOutput> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        let cursor = AtomicUsize::new(0);
+        let per_query = self.fused(batch, arena, plan, &cursor);
+        demux_top_n(per_query, batch, arena, plan.range.clone())
+    }
+}
+
+/// THE per-query top-N demux: rank each query's merged scored list by
+/// [`rank_scored`]'s total order, truncate to that query's depth, and
+/// attach the cell accounting. Every multi-query path (fused search,
+/// serve PE, slave) ends here, so per-query outputs are identical across
+/// decompositions.
+pub(crate) fn demux_top_n(
+    merged: Vec<(Vec<Scored>, KernelStats)>,
+    batch: &[(Arc<PreparedQuery>, usize)],
+    arena: &DbArena,
+    range: Range<usize>,
+) -> Vec<ScanOutput> {
+    merged
+        .into_iter()
+        .zip(batch)
+        .map(|((mut scored, stats), (prepared, top_n))| {
+            rank_scored(&mut scored);
+            scored.truncate(*top_n);
+            ScanOutput {
+                scored,
+                cells: stats.cells_computed,
+                cells_nominal: cells(prepared.query_len(), 1) * arena.range_residues(range.clone()),
+                stats,
+            }
+        })
+        .collect()
+}
+
+/// Materialise ranked [`Hit`]s from internal [`Scored`] records: the one
+/// place identifier strings are attached (for the reported top-N only).
+/// `id_of` maps a database index to its identifier — callers hold ids in
+/// different shapes (encoded records, arena snapshots, store headers).
+pub fn materialize_hits(scored: &[Scored], mut id_of: impl FnMut(usize) -> String) -> Vec<Hit> {
+    scored
+        .iter()
+        .map(|s| Hit {
+            db_index: s.db_index,
+            id: id_of(s.db_index),
+            score: s.score,
+            subject_len: s.subject_len,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pin the floor: 2 × the widest (AVX2 32 × i8) lane count. If a wider
+    /// kernel is ever added, this test forces the floor (and every default
+    /// chunk size) to be revisited.
+    #[test]
+    fn chunk_floor_is_twice_the_widest_lane_count() {
+        assert_eq!(chunk_floor(), 64);
+        assert_eq!(chunk_size(None).unwrap(), 64);
+        assert_eq!(chunk_size(Some(64)).unwrap(), 64);
+        assert_eq!(chunk_size(Some(4096)).unwrap(), 4096);
+        assert!(chunk_size(Some(63)).is_err());
+        assert!(chunk_size(Some(16)).is_err());
+        assert!(chunk_size(Some(0)).is_err());
+    }
+
+    #[test]
+    fn search_config_validate_pins_the_floor() {
+        let mut cfg = SearchConfig::default();
+        assert!(cfg.validate().is_ok(), "the default must validate");
+        cfg.chunk_size = chunk_floor() - 1;
+        assert!(cfg.validate().is_err());
+        cfg.chunk_size = chunk_floor();
+        cfg.threads = 0;
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -33,6 +33,7 @@
 
 pub mod avx2;
 pub mod engine;
+pub mod exec;
 pub mod interseq;
 pub mod interseq_avx2;
 pub mod interseq_sse;
@@ -44,6 +45,7 @@ pub mod search;
 pub mod sse;
 
 pub use engine::{EnginePreference, KernelStats, PreparedQuery, StripedEngine};
+pub use exec::{chunk_floor, chunk_size, materialize_hits, ShardExecutor, ShardPlan};
 pub use profile::StripedProfile;
 pub use scratch::KernelScratch;
 pub use search::{DatabaseSearch, Hit, KernelChoice, SearchConfig};

@@ -32,11 +32,11 @@
 //! materialised only for the merged top-N.
 
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::AtomicUsize;
 use std::sync::Arc;
 
-use crate::engine::{EnginePreference, KernelStats, PreparedQuery, StripedEngine};
-use crate::interseq::interseq_lanes;
+use crate::engine::{EnginePreference, KernelStats, PreparedQuery};
+use crate::exec::{demux_top_n, ShardExecutor, ShardPlan};
 use crate::scratch::KernelScratch;
 use swhybrid_align::alignment::Alignment;
 use swhybrid_align::gotoh::gotoh_align;
@@ -136,12 +136,30 @@ impl Default for SearchConfig {
         SearchConfig {
             threads: 1,
             top_n: 20,
-            chunk_size: 64,
+            chunk_size: crate::exec::chunk_floor(),
             preference: EnginePreference::Auto,
             kernel: KernelChoice::Auto,
             sort_by_length: false,
             prefetch: true,
         }
+    }
+}
+
+impl SearchConfig {
+    /// Validate an externally-supplied configuration (CLI flags, daemon
+    /// config, wire payloads). Rejects a chunk size below
+    /// [`crate::exec::chunk_floor`] — small chunks silently degrade every
+    /// `Auto` dispatch to the striped kernel (the PR 5 bug class) — and a
+    /// zero thread count. Internal tests may still construct smaller chunks
+    /// directly; the floor is a boundary contract, not a kernel limit.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.threads == 0 {
+            return Err("threads must be at least 1".into());
+        }
+        if self.top_n == 0 {
+            return Err("top_n must be at least 1".into());
+        }
+        crate::exec::chunk_size(Some(self.chunk_size)).map(|_| ())
     }
 }
 
@@ -279,16 +297,7 @@ pub fn search_prepared(
         DbArena::from_encoded(subjects)
     };
     let out = search_arena(prepared, &arena, 0..arena.len(), config);
-    let hits = out
-        .scored
-        .iter()
-        .map(|s| Hit {
-            db_index: s.db_index,
-            id: subjects[s.db_index].id.clone(),
-            score: s.score,
-            subject_len: s.subject_len,
-        })
-        .collect();
+    let hits = crate::exec::materialize_hits(&out.scored, |i| subjects[i].id.clone());
     SearchResult {
         hits,
         cells: out.cells,
@@ -330,32 +339,24 @@ pub fn search_arena_with_scratch(
     let span = range.len();
     let n_workers = config.threads.min(span.max(1));
     let cursor = AtomicUsize::new(0);
+    let plan = ShardPlan::from_config(range.clone(), config);
 
     let mut worker_outputs: Vec<(Vec<Scored>, KernelStats)> = if n_workers == 1 {
-        vec![scan_worker(
-            prepared,
-            arena,
-            range.clone(),
-            &cursor,
-            config,
-            scratch,
-        )]
+        // Single worker: run on the caller's scratch so a long-lived owner
+        // keeps its warm buffers (moved into the executor and back).
+        let mut executor = ShardExecutor::from_scratch(std::mem::take(scratch));
+        let out = executor.solo(prepared, arena, &plan, &cursor, config.top_n);
+        *scratch = executor.into_scratch();
+        vec![out]
     } else {
         let mut outs = Vec::with_capacity(n_workers);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..n_workers)
                 .map(|_| {
-                    let range = range.clone();
+                    let plan = &plan;
                     let cursor = &cursor;
                     scope.spawn(move || {
-                        scan_worker(
-                            prepared,
-                            arena,
-                            range,
-                            cursor,
-                            config,
-                            &mut KernelScratch::new(),
-                        )
+                        ShardExecutor::new().solo(prepared, arena, plan, cursor, config.top_n)
                     })
                 })
                 .collect();
@@ -428,33 +429,21 @@ pub fn search_arena_multi_with_scratch(
     let span = range.len();
     let n_workers = config.threads.min(span.max(1));
     let cursor = AtomicUsize::new(0);
+    let plan = ShardPlan::from_config(range.clone(), config);
 
     let worker_outputs: Vec<Vec<(Vec<Scored>, KernelStats)>> = if n_workers == 1 {
-        vec![multi_scan_worker(
-            batch,
-            arena,
-            range.clone(),
-            &cursor,
-            config,
-            scratch,
-        )]
+        let mut executor = ShardExecutor::from_scratch(std::mem::take(scratch));
+        let out = executor.fused(batch, arena, &plan, &cursor);
+        *scratch = executor.into_scratch();
+        vec![out]
     } else {
         let mut outs = Vec::with_capacity(n_workers);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..n_workers)
                 .map(|_| {
-                    let range = range.clone();
+                    let plan = &plan;
                     let cursor = &cursor;
-                    scope.spawn(move || {
-                        multi_scan_worker(
-                            batch,
-                            arena,
-                            range,
-                            cursor,
-                            config,
-                            &mut KernelScratch::new(),
-                        )
-                    })
+                    scope.spawn(move || ShardExecutor::new().fused(batch, arena, plan, cursor))
                 })
                 .collect();
             for h in handles {
@@ -472,222 +461,7 @@ pub fn search_arena_multi_with_scratch(
             merged[k].1.merge(&worker_stats);
         }
     }
-    merged
-        .into_iter()
-        .zip(batch)
-        .map(|((mut scored, stats), (prepared, top_n))| {
-            rank_scored(&mut scored);
-            scored.truncate(*top_n);
-            ScanOutput {
-                scored,
-                cells: stats.cells_computed,
-                cells_nominal: cells(prepared.query_len(), 1) * arena.range_residues(range.clone()),
-                stats,
-            }
-        })
-        .collect()
-}
-
-/// Should `Auto` send this chunk to the inter-sequence kernel?
-///
-/// The inter-sequence kernel amortises nothing when lanes cannot fill
-/// (`n < 2 × LANES`), thrashes the cache when the query is long (its DP
-/// state is `2 × query × LANES` bytes versus the striped kernel's
-/// `2 × query`), and wastes lanes when one subject dwarfs the chunk (every
-/// other lane idles while it drains — the skew test compares the longest
-/// subject against the chunk's mean length).
-fn auto_picks_interseq(prepared: &PreparedQuery, arena: &DbArena, chunk: Range<usize>) -> bool {
-    /// Above this query length the striped kernel's compact DP state wins.
-    const MAX_INTERSEQ_QUERY: usize = 2048;
-    /// Minimum lane utilisation (as 1/MAX_SKEW). Lanes refill from the
-    /// subject queue, so a long outlier only hurts once the queue drains
-    /// and the other lanes idle behind it: the wasted fraction of the
-    /// chunk is bounded by `max_len·lanes / total`. Only when that ratio
-    /// is extreme (one subject dominating the whole chunk) does the
-    /// striped kernel's sequential scan win back the difference.
-    const MAX_SKEW: u64 = 8;
-    let lanes = interseq_lanes(prepared.preference()) as u64;
-    if (chunk.len() as u64) < 2 * lanes {
-        return false;
-    }
-    if prepared.query_len() > MAX_INTERSEQ_QUERY {
-        return false;
-    }
-    let total = arena.range_residues(chunk.clone());
-    if total == 0 {
-        return false;
-    }
-    let max_len = chunk.clone().map(|p| arena.seq_len(p)).max().unwrap_or(0) as u64;
-    max_len * lanes <= MAX_SKEW * total
-}
-
-fn scan_worker(
-    prepared: &Arc<PreparedQuery>,
-    arena: &DbArena,
-    range: Range<usize>,
-    cursor: &AtomicUsize,
-    config: &SearchConfig,
-    scratch: &mut KernelScratch,
-) -> (Vec<Scored>, KernelStats) {
-    let chunk_size = config.chunk_size;
-    let mut engine = StripedEngine::with_prepared(Arc::clone(prepared));
-    let mut stats = KernelStats::default();
-    let mut local: Vec<Scored> = Vec::new();
-    loop {
-        let start = range.start + cursor.fetch_add(chunk_size, Ordering::Relaxed);
-        if start >= range.end {
-            break;
-        }
-        let end = (start + chunk_size).min(range.end);
-        let use_interseq = match config.kernel {
-            KernelChoice::Striped => false,
-            KernelChoice::InterSeq => true,
-            KernelChoice::Auto => auto_picks_interseq(prepared, arena, start..end),
-        };
-        if use_interseq {
-            stats.chunks_interseq += 1;
-            let scores = crate::interseq::scores_arena_with(
-                prepared,
-                arena,
-                start..end,
-                &mut stats,
-                scratch,
-                config.prefetch,
-            );
-            for (offset, &score) in scores.iter().enumerate() {
-                let pos = start + offset;
-                local.push(Scored {
-                    db_index: arena.db_index(pos),
-                    score,
-                    subject_len: arena.seq_len(pos),
-                });
-            }
-        } else {
-            stats.chunks_striped += 1;
-            for pos in start..end {
-                // Pull the next subject's residues towards L1 while this
-                // one is scored.
-                if config.prefetch && pos + 1 < end {
-                    crate::scratch::prefetch_read(arena.residues(pos + 1));
-                }
-                let score = engine.score(arena.residues(pos), scratch);
-                local.push(Scored {
-                    db_index: arena.db_index(pos),
-                    score,
-                    subject_len: arena.seq_len(pos),
-                });
-            }
-        }
-        // Keep the per-worker list bounded: only the global top-N can
-        // survive the merge anyway.
-        if local.len() > 4 * config.top_n.max(16) {
-            rank_scored(&mut local);
-            local.truncate(2 * config.top_n.max(8));
-        }
-    }
-    stats.merge(&engine.stats());
-    (local, stats)
-}
-
-/// One worker of a fused scan: claims chunks from the shared cursor and
-/// scores every batch query against each chunk before releasing it. The
-/// per-query work inside one chunk mirrors [`scan_worker`] statement for
-/// statement — that is what keeps fused outputs byte-identical to solo
-/// scans. Returns one `(scored, stats)` pair per batch entry.
-fn multi_scan_worker(
-    batch: &[(Arc<PreparedQuery>, usize)],
-    arena: &DbArena,
-    range: Range<usize>,
-    cursor: &AtomicUsize,
-    config: &SearchConfig,
-    scratch: &mut KernelScratch,
-) -> Vec<(Vec<Scored>, KernelStats)> {
-    let chunk_size = config.chunk_size;
-    let mut engines: Vec<StripedEngine> = batch
-        .iter()
-        .map(|(prepared, _)| StripedEngine::with_prepared(Arc::clone(prepared)))
-        .collect();
-    let mut stats: Vec<KernelStats> = vec![KernelStats::default(); batch.len()];
-    let mut locals: Vec<Vec<Scored>> = vec![Vec::new(); batch.len()];
-    // Per-chunk lists, hoisted out of the claim loop and reused (cleared
-    // each chunk) so the steady-state loop allocates nothing.
-    let mut picks_interseq: Vec<bool> = Vec::with_capacity(batch.len());
-    let mut fused: Vec<usize> = Vec::with_capacity(batch.len());
-    let mut fused_batch: Vec<&PreparedQuery> = Vec::with_capacity(batch.len());
-    let mut fused_stats: Vec<KernelStats> = Vec::with_capacity(batch.len());
-    loop {
-        let start = range.start + cursor.fetch_add(chunk_size, Ordering::Relaxed);
-        if start >= range.end {
-            break;
-        }
-        let end = (start + chunk_size).min(range.end);
-        // Decide every query's kernel for this chunk up front, then run all
-        // the inter-sequence queries through ONE fused pass while the chunk
-        // is hot: the per-column score gather is shared across the batch and
-        // each query's DP loop runs over the already-filled lane buffer.
-        // Per query this is byte-identical to its solo `scores_arena` call.
-        picks_interseq.clear();
-        picks_interseq.extend(batch.iter().map(|(prepared, _)| match config.kernel {
-            KernelChoice::Striped => false,
-            KernelChoice::InterSeq => true,
-            KernelChoice::Auto => auto_picks_interseq(prepared, arena, start..end),
-        }));
-        fused.clear();
-        fused.extend((0..batch.len()).filter(|&k| picks_interseq[k]));
-        fused_batch.clear();
-        fused_batch.extend(fused.iter().map(|&k| &*batch[k].0));
-        fused_stats.clear();
-        fused_stats.resize(fused.len(), KernelStats::default());
-        // The fused pass folds in first (its scores borrow `scratch`), then
-        // the striped queries run; per-query work and counters are the same
-        // either way because each query takes exactly one of the paths.
-        {
-            let fused_scores = crate::interseq::scores_arena_multi_with(
-                &fused_batch,
-                arena,
-                start..end,
-                &mut fused_stats,
-                scratch,
-                config.prefetch,
-            );
-            for ((&k, scores), chunk_stats) in fused.iter().zip(fused_scores).zip(&fused_stats) {
-                stats[k].chunks_interseq += 1;
-                stats[k].merge(chunk_stats);
-                for (offset, &score) in scores.iter().enumerate() {
-                    let pos = start + offset;
-                    locals[k].push(Scored {
-                        db_index: arena.db_index(pos),
-                        score,
-                        subject_len: arena.seq_len(pos),
-                    });
-                }
-            }
-        }
-        for (k, top_n) in batch.iter().map(|&(_, top_n)| top_n).enumerate() {
-            if !picks_interseq[k] {
-                stats[k].chunks_striped += 1;
-                for pos in start..end {
-                    if config.prefetch && pos + 1 < end {
-                        crate::scratch::prefetch_read(arena.residues(pos + 1));
-                    }
-                    let score = engines[k].score(arena.residues(pos), scratch);
-                    locals[k].push(Scored {
-                        db_index: arena.db_index(pos),
-                        score,
-                        subject_len: arena.seq_len(pos),
-                    });
-                }
-            }
-            if locals[k].len() > 4 * top_n.max(16) {
-                rank_scored(&mut locals[k]);
-                locals[k].truncate(2 * top_n.max(8));
-            }
-        }
-    }
-    for (k, engine) in engines.iter().enumerate() {
-        stats[k].merge(&engine.stats());
-    }
-    locals.into_iter().zip(stats).collect()
+    demux_top_n(merged, batch, arena, range)
 }
 
 #[cfg(test)]

@@ -7,2503 +7,21 @@
 //! swhybrid simulate [opts]                            platform simulation
 //! ```
 //!
-//! Run `swhybrid help` for the full option list.
+//! Run `swhybrid help` for the full option list. Every verb lives in
+//! [`swhybrid::cli`] (one module per verb family) so the whole CLI surface
+//! is unit-testable in-process; this binary only owns argv and the exit
+//! code.
 
 use std::process::ExitCode;
 
-use swhybrid::align::scoring::{GapModel, Scoring, SubstMatrix};
-use swhybrid::exec::platform::PlatformBuilder;
-use swhybrid::exec::policy::Policy;
-use swhybrid::seq::fasta::FastaReader;
-use swhybrid::seq::index::SeqIndex;
-use swhybrid::seq::sequence::EncodedSequence;
-use swhybrid::seq::synth::{paper_database, QueryOrder, QuerySetSpec};
-use swhybrid::seq::{Alphabet, DbSnapshot};
-use swhybrid::simd::search::{
-    search_arena, DatabaseSearch, Hit, KernelChoice, SearchConfig, SearchResult,
-};
-use swhybrid::simd::PreparedQuery;
-use swhybrid::store::{build_store, Store, Verify};
-
-const USAGE: &str = "\
-swhybrid — biological sequence comparison on hybrid platforms
-
-USAGE:
-  swhybrid index <file.fasta>
-      Build the indexed-format sidecar (<file>.swhidx): sequence count,
-      longest-sequence size, per-sequence byte offsets.
-
-  swhybrid db build <db.fasta> <out.swdb> [--name NAME]
-      Compile a FASTA database into a persistent `.swdb` store: the
-      encoded residue arena (64-byte aligned, memory-mappable), ids,
-      spans, the length-sorted scan permutation, per-chunk residue
-      counts, and the FNV database digest — everything the runtime
-      otherwise reconstructs on every boot. Written atomically
-      (temp file + fsync + rename).
-
-  swhybrid db inspect <store.swdb> [--verify]
-      Print a store's header: name, alphabet, sequence/residue counts,
-      length extrema, digest, section sizes. --verify additionally
-      checks the arena checksum and re-hashes the full database digest.
-
-  swhybrid generate <db-name> <scale> <out.fasta>
-      Write a synthetic stand-in for one of the paper's databases.
-      <db-name>: dog | rat | human | mouse | swissprot
-      <scale>:   fraction of the full sequence count, e.g. 0.01
-
-  swhybrid search <query.fasta> <db.fasta> [--top N] [--threads N]
-                  [--matrix blosum62|blosum50|pam250]
-                  [--gap-open N] [--gap-extend N] [--align]
-                  [--kernel striped|interseq|auto]
-                  [--db-store FILE.swdb] [--verify-store]
-      Compare every query against the database with the adapted-Farrar
-      striped engine; print ranked hits (and alignments with --align).
-      --kernel selects the scan kernel per chunk: the striped engine, the
-      SWIPE-style inter-sequence engine, or adaptive dispatch (default).
-      --db-store replaces <db.fasta> with a `.swdb` store: the arena is
-      memory-mapped and scanned in place (no parse, no re-encode), with
-      hit tables byte-identical to the FASTA path. --verify-store
-      re-checks the arena checksum and digest before scanning.
-
-  swhybrid bench-kernels [--subjects N] [--qlen N] [--reps N]
-                         [--threads LIST] [--json FILE]
-      Time the striped, inter-sequence, and adaptive kernels over a
-      length-skewed synthetic database and report GCUPS (nominal cells,
-      so the kernels are directly comparable). --threads takes a comma
-      list of worker counts (default 1,2,4) and reports per-count GCUPS
-      plus scaling efficiency; rankings must stay identical across every
-      kernel x thread combination. --json also writes the table as a
-      JSON report.
-
-  swhybrid simulate [--gpus N] [--sse N] [--fpgas N] [--db NAME]
-                    [--policy ss|pss|fixed|wfixed] [--no-adjustment]
-                    [--order asc|desc|shuffle] [--queries N]
-      Run the paper's 40-query workload (or --queries N) on a simulated
-      hybrid platform under virtual time and report time/GCUPS.
-
-  swhybrid master <query.fasta> <db.fasta> --listen HOST:PORT --slaves N
-                  [--policy ...] [--no-adjustment] [--top N]
-                  [--register-timeout SECS] [--slave-deadline SECS]
-                  [--events FILE.json]
-      Start the distributed master: waits for N slaves to register (at most
-      --register-timeout seconds; 0 waits forever), then distributes one
-      task per query and prints the merged hits. A slave silent for
-      --slave-deadline seconds is declared dead and its tasks requeued.
-      --events streams the structured run-event log as JSON lines (one
-      event per line, written as the run progresses).
-
-  swhybrid serve <db.fasta> --listen HOST:PORT [--workers N] [--shards N]
-                 [--db-store FILE.swdb] [--verify-store]
-                 [--listen-slaves HOST:PORT] [--max-active N] [--fusion N]
-                 [--queue-depth N] [--client-inflight N] [--cache N]
-                 [--retain N] [--policy ss|pss] [--no-adjustment]
-                 [--matrix ...] [--gap-open N] [--gap-extend N]
-                 [--kernel striped|interseq|auto]
-      Start the persistent query daemon: the database stays resident and
-      the master/slave scheduler stays warm between queries. Speaks
-      newline-delimited JSON (verbs: search, status, cancel, stats,
-      shutdown) with bounded admission, per-client in-flight limits, an
-      LRU result cache, and live metrics. Runs until a client sends
-      shutdown, then drains in-flight queries and exits.
-      Queries that queue behind a running group are fused — up to
-      --fusion of them share each database pass (1 disables fusion);
-      results stay byte-identical to per-query scans. --retain bounds how
-      many finished jobs keep answering status before eviction.
-      --listen-slaves additionally accepts remote slave processes
-      (`swhybrid slave --serve`) on a second port: they join the same
-      scheduling pool as the local workers, take database shards, and may
-      connect or disconnect at any time while the daemon keeps serving.
-      --db-store boots the daemon from a `.swdb` store instead of FASTA:
-      the arena is memory-mapped and the stored digest seeds the slave
-      handshake without an O(db) startup re-hash (--verify-store opts
-      back into the full checksum + digest check). A running daemon
-      hot-swaps databases via the `reload` verb (see swhybrid reload).
-
-  swhybrid bench-serve [--concurrency N] [--queries N] [--qlen N]
-                       [--subjects N] [--fusion N] [--workers N]
-                       [--json FILE]
-      Measure serving throughput (queries/sec) of the in-process daemon
-      at --concurrency closed-loop clients, fused vs unfused, and report
-      the speedup. Hit tables are diffed between the two runs — fusion
-      must never change an answer. --json writes the report (default
-      BENCH_serve.json).
-
-  swhybrid query [query.fasta] --connect HOST:PORT [--top N]
-                 [--deadline-ms N] [--stats] [--shutdown]
-      Send each query in the FASTA to a running daemon and print the
-      ranked hits (marking cache-served results). --stats prints the
-      daemon's metrics snapshot; --shutdown asks it to drain and exit.
-
-  swhybrid reload --connect HOST:PORT (--store FILE.swdb [--verify]
-                  | --fasta FILE.fasta)
-      Atomically hot-swap a running daemon onto a new database without
-      restarting it: in-flight queries finish on the old snapshot, new
-      queries see only the new one, the result cache is invalidated, and
-      remote slaves are disconnected for re-admission under the new
-      digest. --verify makes the daemon fully checksum the store first.
-
-  swhybrid bench-store [--subjects N] [--qlen N] [--reps N] [--json FILE]
-      Measure cold-start-to-first-result latency and peak memory of the
-      two database load paths — FASTA parse + re-encode vs `.swdb`
-      memory-map — over the same synthetic database, diff the hit
-      tables (must be identical), and write the report (default
-      BENCH_store.json).
-
-  swhybrid slave <query.fasta> <db.fasta> --connect HOST:PORT
-                 [--name NAME] [--gcups X] [--threads N]
-                 [--heartbeat SECS] [--reconnect-retries N]
-                 [--kernel striped|interseq|auto]
-      Join a running master as a slave PE. Both sides must have the same
-      sequence files (the paper's shared-files model). The slave heartbeats
-      every --heartbeat seconds and reconnects with exponential backoff up
-      to --reconnect-retries times if the connection drops.
-
-  swhybrid slave --serve <db.fasta> --connect HOST:PORT
-                 [--name NAME] [--gcups X] [--matrix ...] [--gap-open N]
-                 [--gap-extend N] [--kernel striped|interseq|auto]
-                 [--heartbeat SECS] [--reconnect-retries N]
-      Join a daemon's slave port (`swhybrid serve --listen-slaves`) as a
-      serve-mode slave: no query file — the daemon ships each query and
-      shard over the wire. The slave proves at registration (by database
-      digest) that it loaded exactly the database the daemon serves, and
-      scans shards until the daemon shuts down.
-
-  swhybrid help
-      Show this message.
-";
-
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
+    match swhybrid::cli::run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!("run `swhybrid help` for usage");
             ExitCode::FAILURE
         }
-    }
-}
-
-fn run(args: &[String]) -> Result<(), String> {
-    match args.first().map(String::as_str) {
-        None | Some("help") | Some("--help") | Some("-h") => {
-            print!("{USAGE}");
-            Ok(())
-        }
-        Some("index") => cmd_index(&args[1..]),
-        Some("db") => cmd_db(&args[1..]),
-        Some("generate") => cmd_generate(&args[1..]),
-        Some("search") => cmd_search(&args[1..]),
-        Some("bench-kernels") => cmd_bench_kernels(&args[1..]),
-        Some("bench-serve") => cmd_bench_serve(&args[1..]),
-        Some("bench-store") => cmd_bench_store(&args[1..]),
-        Some("bench-store-probe") => cmd_bench_store_probe(&args[1..]),
-        Some("reload") => cmd_reload(&args[1..]),
-        Some("simulate") => cmd_simulate(&args[1..]),
-        Some("master") => cmd_master(&args[1..]),
-        Some("slave") => cmd_slave(&args[1..]),
-        Some("serve") => cmd_serve(&args[1..]),
-        Some("query") => cmd_query(&args[1..]),
-        Some(other) => Err(format!("unknown command {other:?}")),
-    }
-}
-
-// ---------------------------------------------------------------- options
-
-/// Minimal flag parser: `--key value` pairs plus positional arguments.
-struct Opts {
-    positional: Vec<String>,
-    flags: Vec<(String, Option<String>)>,
-}
-
-impl Opts {
-    fn parse(args: &[String], value_flags: &[&str], bool_flags: &[&str]) -> Result<Opts, String> {
-        let mut positional = Vec::new();
-        let mut flags = Vec::new();
-        let mut it = args.iter().peekable();
-        while let Some(arg) = it.next() {
-            if let Some(name) = arg.strip_prefix("--") {
-                if bool_flags.contains(&name) {
-                    flags.push((name.to_string(), None));
-                } else if value_flags.contains(&name) {
-                    let value = it
-                        .next()
-                        .ok_or_else(|| format!("--{name} requires a value"))?;
-                    flags.push((name.to_string(), Some(value.clone())));
-                } else {
-                    return Err(format!("unknown flag --{name}"));
-                }
-            } else {
-                positional.push(arg.clone());
-            }
-        }
-        Ok(Opts { positional, flags })
-    }
-
-    fn get(&self, name: &str) -> Option<&str> {
-        self.flags
-            .iter()
-            .rev()
-            .find(|(n, _)| n == name)
-            .and_then(|(_, v)| v.as_deref())
-    }
-
-    fn has(&self, name: &str) -> bool {
-        self.flags.iter().any(|(n, _)| n == name)
-    }
-
-    fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
-        match self.get(name) {
-            None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| format!("--{name}: cannot parse {v:?}")),
-        }
-    }
-}
-
-fn kernel_from_opts(opts: &Opts) -> Result<KernelChoice, String> {
-    match opts.get("kernel") {
-        None => Ok(KernelChoice::Auto),
-        Some(v) => KernelChoice::parse(v).ok_or_else(|| format!("unknown kernel {v:?}")),
-    }
-}
-
-fn scoring_from_opts(opts: &Opts) -> Result<Scoring, String> {
-    let matrix = match opts.get("matrix").unwrap_or("blosum62") {
-        "blosum62" => SubstMatrix::blosum62(),
-        "blosum50" => SubstMatrix::blosum50(),
-        "pam250" => SubstMatrix::pam250(),
-        other => return Err(format!("unknown matrix {other:?}")),
-    };
-    let open = opts.get_parsed("gap-open", 10i32)?;
-    let extend = opts.get_parsed("gap-extend", 2i32)?;
-    if open < 0 || extend <= 0 {
-        return Err("gap penalties must be positive".into());
-    }
-    Ok(Scoring {
-        matrix,
-        gap: GapModel::Affine { open, extend },
-    })
-}
-
-// ---------------------------------------------------------------- commands
-
-fn cmd_index(args: &[String]) -> Result<(), String> {
-    let opts = Opts::parse(args, &[], &[])?;
-    let [path] = opts.positional.as_slice() else {
-        return Err("index takes exactly one FASTA path".into());
-    };
-    let index = SeqIndex::build_for_file(path).map_err(|e| e.to_string())?;
-    let out = index.save_alongside(path).map_err(|e| e.to_string())?;
-    println!(
-        "indexed {}: {} sequences, longest {} residues → {}",
-        path,
-        index.count(),
-        index.max_len,
-        out.display()
-    );
-    Ok(())
-}
-
-fn store_verify(full: bool) -> Verify {
-    if full {
-        Verify::Full
-    } else {
-        Verify::Quick
-    }
-}
-
-fn cmd_db(args: &[String]) -> Result<(), String> {
-    match args.first().map(String::as_str) {
-        Some("build") => cmd_db_build(&args[1..]),
-        Some("inspect") => cmd_db_inspect(&args[1..]),
-        _ => Err("db takes a subcommand: build | inspect".into()),
-    }
-}
-
-fn cmd_db_build(args: &[String]) -> Result<(), String> {
-    let opts = Opts::parse(args, &["name"], &[])?;
-    let [fasta, out] = opts.positional.as_slice() else {
-        return Err("db build takes <db.fasta> <out.swdb>".into());
-    };
-    let subjects = load_encoded(fasta)?;
-    let name = match opts.get("name") {
-        Some(n) => n.to_string(),
-        None => std::path::Path::new(out)
-            .file_stem()
-            .map(|s| s.to_string_lossy().into_owned())
-            .unwrap_or_default(),
-    };
-    let summary = build_store(out, &name, &subjects).map_err(|e| format!("{out}: {e}"))?;
-    println!(
-        "built {}: {} sequences, {} residues, digest {:016x}, {} bytes",
-        summary.path.display(),
-        summary.sequences,
-        summary.residues,
-        summary.db_digest,
-        summary.file_bytes
-    );
-    Ok(())
-}
-
-fn cmd_db_inspect(args: &[String]) -> Result<(), String> {
-    let opts = Opts::parse(args, &[], &["verify"])?;
-    let [path] = opts.positional.as_slice() else {
-        return Err("db inspect takes <store.swdb>".into());
-    };
-    let file_bytes = std::fs::metadata(path)
-        .map_err(|e| format!("{path}: {e}"))?
-        .len();
-    let store = Store::open_with(path, store_verify(opts.has("verify")))
-        .map_err(|e| format!("{path}: {e}"))?;
-    let h = store.header();
-    println!("store:      {path} ({file_bytes} bytes)");
-    println!("name:       {}", store.name());
-    println!("alphabet:   {:?}", store.alphabet());
-    println!("sequences:  {}", h.num_seqs);
-    println!(
-        "residues:   {} (arena {} bytes at offset {})",
-        h.total_residues, h.arena_len, h.arena_off
-    );
-    println!("lengths:    {}..{}", h.min_len, h.max_len);
-    println!(
-        "digest:     {:016x}{}",
-        store.db_digest(),
-        if opts.has("verify") {
-            " (re-hashed, arena checksum verified)"
-        } else {
-            " (stored; metadata checksum verified)"
-        }
-    );
-    println!(
-        "chunks:     {} x {} residue-count stride",
-        store.chunk_residues().len(),
-        h.chunk_stride
-    );
-    println!(
-        "scan perm:  {}",
-        if store.scan_permutation().is_some() {
-            "length-sorted (present)"
-        } else {
-            "absent"
-        }
-    );
-    println!("mapped:     {}", store.is_mapped());
-    Ok(())
-}
-
-fn cmd_generate(args: &[String]) -> Result<(), String> {
-    let opts = Opts::parse(args, &["seed"], &[])?;
-    let [name, scale, out] = opts.positional.as_slice() else {
-        return Err("generate takes <db-name> <scale> <out.fasta>".into());
-    };
-    let profile = paper_database(name).ok_or_else(|| format!("unknown database {name:?}"))?;
-    let scale: f64 = scale.parse().map_err(|_| format!("bad scale {scale:?}"))?;
-    if !(0.0..=1.0).contains(&scale) || scale == 0.0 {
-        return Err("scale must be in (0, 1]".into());
-    }
-    let seed = opts.get_parsed("seed", 2013u64)?;
-    let db = profile.generate_scaled(seed, scale);
-    let stats = db.stats();
-    let text = swhybrid::seq::fasta::to_string(&db.sequences);
-    std::fs::write(out, text).map_err(|e| e.to_string())?;
-    println!(
-        "wrote {}: {} sequences, {} residues (stand-in for {})",
-        out, stats.num_sequences, stats.total_residues, profile.name
-    );
-    Ok(())
-}
-
-/// The database side of a one-shot search: encoded records from FASTA, or
-/// a `.swdb` snapshot whose arena is scanned in place (memory-mapped, no
-/// re-encode). Hit tables are identical either way — the scan is keyed by
-/// database index, independent of the arena's provenance.
-enum DbSource {
-    Encoded(Vec<EncodedSequence>),
-    Snapshot(DbSnapshot),
-}
-
-impl DbSource {
-    fn len(&self) -> usize {
-        match self {
-            DbSource::Encoded(v) => v.len(),
-            DbSource::Snapshot(s) => s.len(),
-        }
-    }
-
-    fn total_residues(&self) -> u64 {
-        match self {
-            DbSource::Encoded(v) => v.iter().map(|s| s.len() as u64).sum(),
-            DbSource::Snapshot(s) => s.total_residues(),
-        }
-    }
-
-    fn subject_codes(&self, i: usize) -> &[u8] {
-        match self {
-            DbSource::Encoded(v) => &v[i].codes,
-            DbSource::Snapshot(s) => s.residues(i),
-        }
-    }
-
-    fn decode_subject(&self, i: usize) -> Vec<u8> {
-        match self {
-            DbSource::Encoded(v) => v[i].decode(),
-            DbSource::Snapshot(s) => s.alphabet().decode_all(s.residues(i)),
-        }
-    }
-
-    fn search(&self, query: &[u8], scoring: &Scoring, config: SearchConfig) -> SearchResult {
-        match self {
-            DbSource::Encoded(v) => DatabaseSearch::new(query, scoring, config).run(v),
-            DbSource::Snapshot(snap) => {
-                let prepared =
-                    std::sync::Arc::new(PreparedQuery::new(query, scoring, config.preference));
-                let out = search_arena(&prepared, snap.arena(), 0..snap.len(), &config);
-                SearchResult {
-                    hits: out
-                        .scored
-                        .iter()
-                        .map(|sc| Hit {
-                            db_index: sc.db_index,
-                            id: snap.id(sc.db_index).to_string(),
-                            score: sc.score,
-                            subject_len: sc.subject_len,
-                        })
-                        .collect(),
-                    cells: out.cells,
-                    cells_nominal: out.cells_nominal,
-                    stats: out.stats,
-                }
-            }
-        }
-    }
-}
-
-fn cmd_search(args: &[String]) -> Result<(), String> {
-    let opts = Opts::parse(
-        args,
-        &[
-            "top",
-            "threads",
-            "matrix",
-            "gap-open",
-            "gap-extend",
-            "kernel",
-            "db-store",
-        ],
-        &["align", "verify-store"],
-    )?;
-    let scoring = scoring_from_opts(&opts)?;
-    let kernel = kernel_from_opts(&opts)?;
-    let top_n: usize = opts.get_parsed("top", 10)?;
-    let threads: usize = opts.get_parsed("threads", 1)?;
-    if threads == 0 {
-        return Err("--threads must be at least 1".into());
-    }
-
-    let encode_all = |path: &str| -> Result<Vec<EncodedSequence>, String> {
-        FastaReader::open(path)
-            .map_err(|e| format!("{path}: {e}"))?
-            .read_all()
-            .map_err(|e| format!("{path}: {e}"))?
-            .iter()
-            .map(|r| {
-                EncodedSequence::from_sequence(r, Alphabet::Protein)
-                    .map_err(|e| format!("{path} ({}): {e}", r.id))
-            })
-            .collect()
-    };
-    let (qpath, db) = match (opts.get("db-store"), opts.positional.as_slice()) {
-        (Some(store_path), [qpath]) => {
-            let snapshot = Store::open_with(store_path, store_verify(opts.has("verify-store")))
-                .and_then(Store::into_snapshot)
-                .map_err(|e| format!("{store_path}: {e}"))?;
-            if !snapshot.is_empty() && snapshot.alphabet() != scoring.matrix.alphabet {
-                return Err(format!(
-                    "{store_path}: store alphabet {:?} does not match scoring alphabet {:?}",
-                    snapshot.alphabet(),
-                    scoring.matrix.alphabet
-                ));
-            }
-            (qpath, DbSource::Snapshot(snapshot))
-        }
-        (None, [qpath, dbpath]) => (qpath, DbSource::Encoded(encode_all(dbpath)?)),
-        (Some(_), _) => return Err("search --db-store takes <query.fasta> only".into()),
-        (None, _) => return Err("search takes <query.fasta> <db.fasta>".into()),
-    };
-    let queries = encode_all(qpath)?;
-    if queries.is_empty() {
-        return Err(format!("{qpath}: no query sequences"));
-    }
-    println!(
-        "{} quer{} × {} subjects",
-        queries.len(),
-        if queries.len() == 1 { "y" } else { "ies" },
-        db.len()
-    );
-
-    let start = std::time::Instant::now();
-    let mut total_cells = 0u64;
-    let mut kernel_stats = swhybrid::simd::engine::KernelStats::default();
-    for query in &queries {
-        let result = db.search(
-            &query.codes,
-            &scoring,
-            SearchConfig {
-                threads,
-                top_n,
-                kernel,
-                ..Default::default()
-            },
-        );
-        total_cells += result.cells;
-        kernel_stats.merge(&result.stats);
-        let stats_params = swhybrid::align::evalue::KarlinAltschul::for_scoring(&scoring);
-        let db_residues: u64 = db.total_residues();
-        println!("\n# query {} ({} aa)", query.id, query.len());
-        println!(
-            "{:>4}  {:>6}  {:>8}  {:>9}  {:>6}  subject",
-            "rank", "score", "bits", "E-value", "len"
-        );
-        for (rank, hit) in result.hits.iter().enumerate() {
-            let (bits, evalue) = match &stats_params {
-                Some(p) => (
-                    format!("{:.1}", p.bit_score(hit.score)),
-                    format!(
-                        "{:.1e}",
-                        p.evalue(hit.score, query.len(), db_residues, db.len())
-                    ),
-                ),
-                None => ("-".into(), "-".into()),
-            };
-            println!(
-                "{:>4}  {:>6}  {:>8}  {:>9}  {:>6}  {}",
-                rank + 1,
-                hit.score,
-                bits,
-                evalue,
-                hit.subject_len,
-                hit.id
-            );
-        }
-        if opts.has("align") {
-            for hit in &result.hits {
-                let alignment = swhybrid::align::gotoh::gotoh_align(
-                    &query.codes,
-                    db.subject_codes(hit.db_index),
-                    &scoring,
-                );
-                debug_assert_eq!(alignment.score, hit.score, "hit {}", hit.id);
-                println!(
-                    "\n>{} score {} cigar {} identity {:.0}%",
-                    hit.id,
-                    hit.score,
-                    alignment.cigar(),
-                    alignment.identity() * 100.0
-                );
-                let q_ascii = query.decode();
-                let s_ascii = db.decode_subject(hit.db_index);
-                println!("{}", alignment.pretty(&q_ascii, &s_ascii));
-            }
-        }
-    }
-    let secs = start.elapsed().as_secs_f64();
-    println!(
-        "\n{total_cells} cells in {secs:.3} s = {:.2} GCUPS",
-        total_cells as f64 / secs / 1e9
-    );
-    println!(
-        "kernel {}: {} striped / {} inter-sequence chunks, \
-         subjects i8/i16/scalar striped {}+{}+{} interseq {}+{}+{}",
-        kernel.name(),
-        kernel_stats.chunks_striped,
-        kernel_stats.chunks_interseq,
-        kernel_stats.resolved_i8,
-        kernel_stats.resolved_i16,
-        kernel_stats.resolved_scalar,
-        kernel_stats.interseq_i8,
-        kernel_stats.interseq_i16,
-        kernel_stats.interseq_scalar,
-    );
-    Ok(())
-}
-
-/// A length-skewed synthetic database: a large body of short subjects with
-/// rare long outliers. This is the shape that starves the striped kernel
-/// on per-subject setup cost and favours inter-sequence dispatch.
-fn skewed_bench_db(seed: u64, n: usize) -> Vec<EncodedSequence> {
-    let mut rng = swhybrid::seq::synth::rng(seed);
-    (0..n)
-        .map(|i| {
-            let len = if i % 97 == 0 {
-                400 + (i % 7) * 100
-            } else {
-                20 + i % 61
-            };
-            let ascii = swhybrid::seq::synth::random_protein(&mut rng, len);
-            let codes = Alphabet::Protein
-                .encode(&ascii)
-                .expect("synthetic residues are valid");
-            EncodedSequence {
-                id: format!("s{i}"),
-                codes,
-                alphabet: Alphabet::Protein,
-            }
-        })
-        .collect()
-}
-
-fn cmd_bench_kernels(args: &[String]) -> Result<(), String> {
-    use swhybrid::exec::net::kernels_to_json;
-    use swhybrid::json::Json;
-
-    let opts = Opts::parse(args, &["subjects", "qlen", "reps", "threads", "json"], &[])?;
-    if !opts.positional.is_empty() {
-        return Err("bench-kernels takes flags only".into());
-    }
-    let n: usize = opts.get_parsed("subjects", 4000)?;
-    let qlen: usize = opts.get_parsed("qlen", 256)?;
-    let reps: usize = opts.get_parsed("reps", 3)?;
-    if n == 0 || qlen == 0 || reps == 0 {
-        return Err("--subjects, --qlen, and --reps must be at least 1".into());
-    }
-    let threads: Vec<usize> = opts
-        .get("threads")
-        .unwrap_or("1,2,4")
-        .split(',')
-        .map(|t| {
-            t.trim()
-                .parse::<usize>()
-                .ok()
-                .filter(|&t| t >= 1)
-                .ok_or_else(|| format!("--threads: '{t}' is not a positive integer"))
-        })
-        .collect::<Result<_, _>>()?;
-    if !threads.contains(&1) {
-        return Err("--threads must include 1 (the scaling-efficiency baseline)".into());
-    }
-    let scoring = Scoring {
-        matrix: SubstMatrix::blosum62(),
-        gap: GapModel::Affine {
-            open: 10,
-            extend: 2,
-        },
-    };
-    let subjects = skewed_bench_db(2013, n);
-    let residues: u64 = subjects.iter().map(|s| s.len() as u64).sum();
-    let mut rng = swhybrid::seq::synth::rng(qlen as u64);
-    let query_ascii = swhybrid::seq::synth::random_protein(&mut rng, qlen);
-    let query = Alphabet::Protein
-        .encode(&query_ascii)
-        .expect("synthetic residues are valid");
-    println!(
-        "length-skewed db: {n} subjects, {residues} residues; query {qlen} aa; best of {reps}"
-    );
-    println!(
-        "{:>10}  {:>7}  {:>8}  {:>9}  {:>6}  {:>8}  {:>8}  chunks s/i",
-        "kernel", "threads", "gcups", "secs", "eff", "cells", "nominal"
-    );
-
-    let mut rows = Vec::new();
-    let mut baseline_hits: Option<Vec<swhybrid::simd::search::Hit>> = None;
-    for kernel in [
-        KernelChoice::Striped,
-        KernelChoice::InterSeq,
-        KernelChoice::Auto,
-    ] {
-        let mut single_gcups = None;
-        for &t in &threads {
-            let search = DatabaseSearch::new(
-                &query,
-                &scoring,
-                SearchConfig {
-                    threads: t,
-                    top_n: 10,
-                    kernel,
-                    ..Default::default()
-                },
-            );
-            let mut best_secs = f64::INFINITY;
-            let mut result = None;
-            for _ in 0..reps {
-                let t0 = std::time::Instant::now();
-                let r = search.run(&subjects);
-                best_secs = best_secs.min(t0.elapsed().as_secs_f64());
-                result = Some(r);
-            }
-            let r = result.expect("reps >= 1");
-            // GCUPS over *nominal* cells (query × residues): every kernel
-            // does the same nominal work, so the numbers are directly
-            // comparable even when saturation retries inflate the actual
-            // cell count.
-            let gcups = r.cells_nominal as f64 / best_secs / 1e9;
-            if t == 1 {
-                single_gcups = Some(gcups);
-            }
-            // Perfect scaling doubles GCUPS when threads double; the
-            // efficiency is the achieved fraction of that ideal.
-            let efficiency = single_gcups.map(|g1| gcups / (t as f64 * g1));
-            println!(
-                "{:>10}  {:>7}  {:>8.3}  {:>9.4}  {:>6}  {:>8}  {:>8}  {}/{}",
-                kernel.name(),
-                t,
-                gcups,
-                best_secs,
-                efficiency.map_or("--".into(), |e| format!("{e:.2}")),
-                r.cells,
-                r.cells_nominal,
-                r.stats.chunks_striped,
-                r.stats.chunks_interseq,
-            );
-            match &baseline_hits {
-                None => baseline_hits = Some(r.hits.clone()),
-                Some(b) => {
-                    if *b != r.hits {
-                        return Err(format!(
-                            "kernel {} at {t} threads produced a different ranking than striped",
-                            kernel.name()
-                        ));
-                    }
-                }
-            }
-            rows.push((kernel, t, gcups, best_secs, efficiency, r));
-        }
-    }
-    println!("rankings identical across all kernel x thread combinations");
-
-    if let Some(path) = opts.get("json") {
-        let report = Json::obj(vec![
-            ("subjects", Json::Num(n as f64)),
-            ("residues", Json::Num(residues as f64)),
-            ("query_len", Json::Num(qlen as f64)),
-            ("reps", Json::Num(reps as f64)),
-            ("identical_rankings", Json::Bool(true)),
-            (
-                "kernels",
-                Json::Arr(
-                    rows.iter()
-                        .filter(|(_, t, ..)| *t == 1)
-                        .map(|(kernel, _, gcups, secs, _, r)| {
-                            Json::obj(vec![
-                                ("kernel", Json::str(kernel.name())),
-                                ("gcups", Json::Num(*gcups)),
-                                ("seconds", Json::Num(*secs)),
-                                ("cells", Json::Num(r.cells as f64)),
-                                ("cells_nominal", Json::Num(r.cells_nominal as f64)),
-                                ("stats", kernels_to_json(&r.stats)),
-                            ])
-                        })
-                        .collect(),
-                ),
-            ),
-            (
-                "threads_sweep",
-                Json::Arr(
-                    rows.iter()
-                        .map(|(kernel, t, gcups, secs, efficiency, _)| {
-                            Json::obj(vec![
-                                ("kernel", Json::str(kernel.name())),
-                                ("threads", Json::Num(*t as f64)),
-                                ("gcups", Json::Num(*gcups)),
-                                ("seconds", Json::Num(*secs)),
-                                (
-                                    "scaling_efficiency",
-                                    efficiency.map_or(Json::Null, Json::Num),
-                                ),
-                            ])
-                        })
-                        .collect(),
-                ),
-            ),
-        ]);
-        std::fs::write(path, format!("{report}\n")).map_err(|e| format!("{path}: {e}"))?;
-        println!("wrote {path}");
-    }
-    Ok(())
-}
-
-/// Knobs of one [`serve_bench_run`]: total queries across all clients,
-/// top-N per reply, per-client pipelining depth, the fusion cap, and the
-/// fleet shape (local worker threads + loopback TCP slaves).
-struct ServeBenchKnobs {
-    total: usize,
-    top_n: usize,
-    inflight: usize,
-    fusion: usize,
-    workers: usize,
-    slaves: usize,
-}
-
-/// One serving-throughput run: `concurrency` pipelined clients, each
-/// keeping `inflight` submissions of its own fixed query outstanding
-/// until `queries` total complete — the saturated-server regime a
-/// throughput benchmark is about (a closed loop with one outstanding
-/// query per client measures latency, not capacity, and starves the
-/// scheduler of anything to fuse).
-/// Returns (queries/sec, per-client hit tables, achieved fusion factor).
-fn serve_bench_run(
-    db: &[EncodedSequence],
-    scoring: &Scoring,
-    queries: &[Vec<u8>],
-    knobs: &ServeBenchKnobs,
-) -> Result<(f64, Vec<Vec<swhybrid::simd::search::Hit>>, f64), String> {
-    use swhybrid::exec::net::{run_serve_slave, NetConfig};
-    use swhybrid::serve::{QueryService, SearchReply, ServiceConfig};
-
-    let &ServeBenchKnobs {
-        total,
-        top_n,
-        inflight,
-        fusion,
-        workers,
-        slaves,
-    } = knobs;
-
-    let svc = QueryService::new(
-        db.to_vec(),
-        scoring.clone(),
-        ServiceConfig {
-            workers,
-            // One shard per fleet member, so every group spreads across
-            // the whole fleet (local workers and TCP slaves alike).
-            shards: workers + slaves,
-            // Two groups in flight: while one scans, the next one's wire
-            // round trips overlap with it instead of idling the fleet.
-            max_active: 2,
-            fusion,
-            cache_capacity: 0, // every submission really scans
-            queue_depth: (queries.len() * inflight).max(4) * 2,
-            per_client_inflight: inflight.max(1),
-            ..Default::default()
-        },
-    );
-    // The hybrid-fleet mode: loopback TCP slaves join the pool and pull
-    // shard tasks over the wire. Fused tasks carry the whole query batch
-    // in one round trip — the per-task transport is exactly what fusion
-    // amortizes.
-    let mut slave_threads = Vec::new();
-    if slaves > 0 {
-        let net = NetConfig {
-            reconnect_max_retries: 0,
-            ..NetConfig::default()
-        };
-        let addr = svc
-            .listen_slaves("127.0.0.1:0", net.clone())
-            .map_err(|e| format!("listen_slaves: {e}"))?;
-        for s in 0..slaves {
-            let db = db.to_vec();
-            let scoring = scoring.clone();
-            let net = net.clone();
-            slave_threads.push(std::thread::spawn(move || {
-                let _ = run_serve_slave(
-                    addr,
-                    &format!("bench-slave{s}"),
-                    1.0,
-                    &db,
-                    &scoring,
-                    swhybrid::simd::search::KernelChoice::Auto,
-                    &net,
-                );
-            }));
-        }
-        let fleet = workers + slaves;
-        for _ in 0..500 {
-            let pes = svc
-                .stats()
-                .get("pes")
-                .and_then(swhybrid::json::Json::as_array)
-                .map(|p| p.len())
-                .unwrap_or(0);
-            if pes >= fleet {
-                break;
-            }
-            std::thread::sleep(std::time::Duration::from_millis(10));
-        }
-    }
-    let per_client = total / queries.len();
-    let t0 = std::time::Instant::now();
-    let tables: Vec<Vec<swhybrid::simd::search::Hit>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = queries
-            .iter()
-            .enumerate()
-            .map(|(c, q)| {
-                let svc = &svc;
-                scope.spawn(move || {
-                    let (tx, rx) = std::sync::mpsc::channel::<SearchReply>();
-                    let submit = |n: usize| -> Result<(), String> {
-                        for _ in 0..n {
-                            let tx = tx.clone();
-                            svc.submit(
-                                q.clone(),
-                                top_n,
-                                None,
-                                None,
-                                c as u64,
-                                Box::new(move |reply| {
-                                    let _ = tx.send(reply);
-                                }),
-                            )
-                            .map_err(|e| format!("client {c} rejected: {e:?}"))?;
-                        }
-                        Ok(())
-                    };
-                    submit(inflight.min(per_client))?;
-                    let mut submitted = inflight.min(per_client);
-                    let mut table = Vec::new();
-                    for rep in 0..per_client {
-                        let reply = rx.recv().expect("service dropped before replying");
-                        if rep == 0 {
-                            table = reply.hits;
-                        } else if table != reply.hits {
-                            return Err(format!("client {c} rep {rep}: hits drifted"));
-                        }
-                        if submitted < per_client {
-                            submit(1)?;
-                            submitted += 1;
-                        }
-                    }
-                    Ok(table)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("bench client panicked"))
-            .collect::<Result<_, String>>()
-    })?;
-    let secs = t0.elapsed().as_secs_f64();
-    let stats = svc.stats();
-    let factor = stats
-        .get("fusion")
-        .and_then(|f| f.get("factor"))
-        .and_then(swhybrid::json::Json::as_f64)
-        .unwrap_or(0.0);
-    svc.shutdown();
-    for h in slave_threads {
-        h.join().expect("bench slave panicked");
-    }
-    Ok(((per_client * queries.len()) as f64 / secs, tables, factor))
-}
-
-fn cmd_bench_serve(args: &[String]) -> Result<(), String> {
-    use swhybrid::json::Json;
-
-    let opts = Opts::parse(
-        args,
-        &[
-            "concurrency",
-            "queries",
-            "qlen",
-            "subjects",
-            "fusion",
-            "workers",
-            "slaves",
-            "inflight",
-            "top",
-            "json",
-        ],
-        &[],
-    )?;
-    if !opts.positional.is_empty() {
-        return Err("bench-serve takes flags only".into());
-    }
-    let concurrency: usize = opts.get_parsed("concurrency", 4)?;
-    let total: usize = opts.get_parsed("queries", 64)?;
-    let qlen: usize = opts.get_parsed("qlen", 20)?;
-    let subjects_n: usize = opts.get_parsed("subjects", 2000)?;
-    let fusion: usize = opts.get_parsed("fusion", 4)?;
-    let workers: usize = opts.get_parsed("workers", 1)?;
-    let slaves: usize = opts.get_parsed("slaves", 1)?;
-    let inflight: usize = opts.get_parsed("inflight", 4)?;
-    let top_n: usize = opts.get_parsed("top", 10)?;
-    let json_path = opts.get("json").unwrap_or("BENCH_serve.json");
-    if concurrency == 0 || total < concurrency || qlen == 0 || subjects_n == 0 || fusion == 0 {
-        return Err(
-            "--concurrency, --qlen, --subjects, --fusion must be >= 1 and \
-             --queries >= --concurrency"
-                .into(),
-        );
-    }
-    let scoring = Scoring {
-        matrix: SubstMatrix::blosum62(),
-        gap: GapModel::Affine {
-            open: 10,
-            extend: 2,
-        },
-    };
-    let db = skewed_bench_db(2013, subjects_n);
-    let residues: u64 = db.iter().map(|s| s.len() as u64).sum();
-    // Identical-length, distinct queries — one per closed-loop client.
-    let queries: Vec<Vec<u8>> = (0..concurrency)
-        .map(|c| {
-            let mut rng = swhybrid::seq::synth::rng(4000 + c as u64);
-            let ascii = swhybrid::seq::synth::random_protein(&mut rng, qlen);
-            Alphabet::Protein
-                .encode(&ascii)
-                .expect("synthetic residues are valid")
-        })
-        .collect();
-    println!(
-        "serving bench: {subjects_n} subjects ({residues} residues), \
-         {concurrency} clients x {qlen} aa, {total} queries per run"
-    );
-
-    // Warm-up run (populates allocator, page cache) is the unfused run
-    // measured second; run fused first so neither mode benefits from
-    // being warmed by the other asymmetrically... measure both orders'
-    // worst case instead: unfused, fused, unfused — keep the better
-    // unfused (fairness tilts against fusion).
-    let knobs = ServeBenchKnobs {
-        total,
-        top_n,
-        inflight,
-        fusion,
-        workers,
-        slaves,
-    };
-    let unfused = ServeBenchKnobs { fusion: 1, ..knobs };
-    let (qps_unfused_a, hits_unfused, _) = serve_bench_run(&db, &scoring, &queries, &unfused)?;
-    let (qps_fused, hits_fused, factor) = serve_bench_run(&db, &scoring, &queries, &knobs)?;
-    let (qps_unfused_b, hits_unfused_b, _) = serve_bench_run(&db, &scoring, &queries, &unfused)?;
-    if hits_fused != hits_unfused || hits_unfused != hits_unfused_b {
-        return Err("fused and unfused runs returned different hit tables".into());
-    }
-    let qps_unfused = qps_unfused_a.max(qps_unfused_b);
-    let speedup = qps_fused / qps_unfused;
-    println!("  unfused: {qps_unfused:8.2} queries/s");
-    println!("  fused:   {qps_fused:8.2} queries/s (achieved fusion factor {factor:.2})");
-    println!("  speedup: {speedup:.2}x  (hit tables identical)");
-
-    let report = Json::obj(vec![
-        ("concurrency", Json::Num(concurrency as f64)),
-        ("queries", Json::Num(total as f64)),
-        ("query_len", Json::Num(qlen as f64)),
-        ("subjects", Json::Num(subjects_n as f64)),
-        ("residues", Json::Num(residues as f64)),
-        ("workers", Json::Num(workers as f64)),
-        ("fusion", Json::Num(fusion as f64)),
-        ("fusion_factor", Json::Num(factor)),
-        ("qps_unfused", Json::Num(qps_unfused)),
-        ("qps_fused", Json::Num(qps_fused)),
-        ("speedup", Json::Num(speedup)),
-        ("identical_hits", Json::Bool(true)),
-    ]);
-    std::fs::write(json_path, format!("{report}\n")).map_err(|e| format!("{json_path}: {e}"))?;
-    println!("wrote {json_path}");
-    Ok(())
-}
-
-/// Peak RSS (`VmHWM`) in kB. Linux only; `None` elsewhere.
-fn peak_rss_kb() -> Option<u64> {
-    let text = std::fs::read_to_string("/proc/self/status").ok()?;
-    text.lines()
-        .find_map(|l| l.strip_prefix("VmHWM:"))
-        .and_then(|rest| rest.trim().trim_end_matches("kB").trim().parse().ok())
-}
-
-/// Reset the peak-RSS watermark to the current RSS so per-phase peaks are
-/// measurable in one process (Linux `clear_refs`; a no-op elsewhere).
-fn reset_peak_rss() {
-    let _ = std::fs::write("/proc/self/clear_refs", "5");
-}
-
-/// One cold-start measurement: load the database from `path`, run one
-/// query to first result, and report (load seconds, total seconds, hits,
-/// peak RSS in kB if measurable).
-struct ColdStart {
-    load_secs: f64,
-    first_result_secs: f64,
-    hits: Vec<Hit>,
-    peak_rss_kb: Option<u64>,
-}
-
-/// Preferred measurement: run the probe in a fresh child process, so each
-/// path's peak RSS reflects that path alone instead of the allocator reuse
-/// of whatever ran before it in this process. Only possible when we *are*
-/// the real `swhybrid` binary (under `cargo test` the current executable
-/// is the test harness, whose argv belongs to libtest).
-fn cold_start_via_probe(
-    path: &str,
-    from_store: bool,
-    query_ascii: &str,
-    top_n: usize,
-) -> Option<ColdStart> {
-    use swhybrid::json::Json;
-    use swhybrid::serve::protocol::hits_from_json;
-
-    let exe = std::env::current_exe().ok()?;
-    if exe.file_stem()?.to_str()? != "swhybrid" {
-        return None;
-    }
-    let out = std::process::Command::new(&exe)
-        .args([
-            "bench-store-probe",
-            path,
-            if from_store { "store" } else { "fasta" },
-            query_ascii,
-            &top_n.to_string(),
-        ])
-        .output()
-        .ok()?;
-    if !out.status.success() {
-        return None;
-    }
-    let json = Json::parse(std::str::from_utf8(&out.stdout).ok()?.trim()).ok()?;
-    Some(ColdStart {
-        load_secs: json.get("load_secs").and_then(Json::as_f64)?,
-        first_result_secs: json.get("first_result_secs").and_then(Json::as_f64)?,
-        hits: hits_from_json(json.get("hits")?).ok()?,
-        peak_rss_kb: json.get("peak_rss_kb").and_then(Json::as_u64),
-    })
-}
-
-/// Internal entry point for [`cold_start_via_probe`] (not in USAGE): load
-/// one database path, run one query, print the measurement as one JSON
-/// line on stdout.
-fn cmd_bench_store_probe(args: &[String]) -> Result<(), String> {
-    use swhybrid::json::Json;
-    use swhybrid::serve::protocol::hits_to_json;
-
-    let [path, kind, query_ascii, top_n] = args else {
-        return Err("bench-store-probe takes <path> <store|fasta> <query> <top>".into());
-    };
-    let from_store = match kind.as_str() {
-        "store" => true,
-        "fasta" => false,
-        other => return Err(format!("unknown probe kind {other:?}")),
-    };
-    let top_n: usize = top_n.parse().map_err(|_| format!("bad top {top_n:?}"))?;
-    let query = Alphabet::Protein
-        .encode(query_ascii.as_bytes())
-        .map_err(|e| e.to_string())?;
-    let scoring = Scoring {
-        matrix: SubstMatrix::blosum62(),
-        gap: GapModel::Affine {
-            open: 10,
-            extend: 2,
-        },
-    };
-    let c = cold_start_in_process(path, from_store, &query, &scoring, top_n)?;
-    println!(
-        "{}",
-        Json::obj(vec![
-            ("load_secs", Json::Num(c.load_secs)),
-            ("first_result_secs", Json::Num(c.first_result_secs)),
-            (
-                "peak_rss_kb",
-                c.peak_rss_kb.map_or(Json::Null, |v| Json::Num(v as f64)),
-            ),
-            ("hits", hits_to_json(&c.hits)),
-        ])
-    );
-    Ok(())
-}
-
-fn cold_start_in_process(
-    path: &str,
-    from_store: bool,
-    query: &[u8],
-    scoring: &Scoring,
-    top_n: usize,
-) -> Result<ColdStart, String> {
-    reset_peak_rss();
-    let rss_before = peak_rss_kb();
-    let t0 = std::time::Instant::now();
-    let db = if from_store {
-        DbSource::Snapshot(
-            Store::open(path)
-                .and_then(Store::into_snapshot)
-                .map_err(|e| format!("{path}: {e}"))?,
-        )
-    } else {
-        DbSource::Encoded(load_encoded(path)?)
-    };
-    let load_secs = t0.elapsed().as_secs_f64();
-    let result = db.search(
-        query,
-        scoring,
-        SearchConfig {
-            top_n,
-            ..Default::default()
-        },
-    );
-    let first_result_secs = t0.elapsed().as_secs_f64();
-    let peak = peak_rss_kb();
-    Ok(ColdStart {
-        load_secs,
-        first_result_secs,
-        hits: result.hits,
-        peak_rss_kb: match (rss_before, peak) {
-            (Some(before), Some(after)) => Some(after.saturating_sub(before)),
-            _ => None,
-        },
-    })
-}
-
-fn cmd_bench_store(args: &[String]) -> Result<(), String> {
-    use swhybrid::json::Json;
-    use swhybrid::seq::sequence::Sequence;
-
-    let opts = Opts::parse(args, &["subjects", "qlen", "reps", "top", "json"], &[])?;
-    if !opts.positional.is_empty() {
-        return Err("bench-store takes flags only".into());
-    }
-    let n: usize = opts.get_parsed("subjects", 20000)?;
-    let qlen: usize = opts.get_parsed("qlen", 64)?;
-    let reps: usize = opts.get_parsed("reps", 3)?;
-    let top_n: usize = opts.get_parsed("top", 10)?;
-    let json_path = opts.get("json").unwrap_or("BENCH_store.json");
-    if n == 0 || qlen == 0 || reps == 0 {
-        return Err("--subjects, --qlen, and --reps must be at least 1".into());
-    }
-    let scoring = Scoring {
-        matrix: SubstMatrix::blosum62(),
-        gap: GapModel::Affine {
-            open: 10,
-            extend: 2,
-        },
-    };
-    let db = skewed_bench_db(2013, n);
-    let residues: u64 = db.iter().map(|s| s.len() as u64).sum();
-    let dir = std::env::temp_dir().join(format!("swhybrid_bench_store_{}", std::process::id()));
-    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
-    let fasta_path = dir.join("bench.fasta");
-    let store_path = dir.join("bench.swdb");
-    let records: Vec<Sequence> = db
-        .iter()
-        .map(|s| Sequence::new(s.id.clone(), "", s.decode()))
-        .collect();
-    std::fs::write(&fasta_path, swhybrid::seq::fasta::to_string(&records))
-        .map_err(|e| e.to_string())?;
-    build_store(&store_path, "bench", &db).map_err(|e| e.to_string())?;
-    let mut rng = swhybrid::seq::synth::rng(77);
-    let query_ascii = swhybrid::seq::synth::random_protein(&mut rng, qlen);
-    let query = Alphabet::Protein
-        .encode(&query_ascii)
-        .expect("synthetic residues are valid");
-    println!(
-        "cold-start bench: {n} subjects ({residues} residues), query {qlen} aa, best of {reps}"
-    );
-
-    let query_str = String::from_utf8(query_ascii.clone()).expect("synthetic query is ASCII");
-    let measure = |path: &std::path::Path, from_store: bool| -> Result<ColdStart, String> {
-        let path = path.to_str().expect("temp paths are UTF-8");
-        match cold_start_via_probe(path, from_store, &query_str, top_n) {
-            Some(c) => Ok(c),
-            // In-process fallback (tests, non-subprocess platforms): the
-            // RSS split between the two paths is then approximate.
-            None => cold_start_in_process(path, from_store, &query, &scoring, top_n),
-        }
-    };
-    let mut best: [Option<ColdStart>; 2] = [None, None];
-    for _ in 0..reps {
-        let store = measure(&store_path, true)?;
-        let fasta = measure(&fasta_path, false)?;
-        if store.hits != fasta.hits {
-            return Err("store-path and FASTA-path hit tables differ".into());
-        }
-        for (slot, run) in best.iter_mut().zip([store, fasta]) {
-            if slot.as_ref().is_none_or(|b| run.load_secs < b.load_secs) {
-                *slot = Some(run);
-            }
-        }
-    }
-    let [Some(store), Some(fasta)] = best else {
-        unreachable!("reps >= 1 fills both slots");
-    };
-    let speedup = fasta.load_secs / store.load_secs.max(1e-9);
-    let fmt_rss = |kb: Option<u64>| kb.map_or("n/a".to_string(), |v| format!("{v} kB"));
-    println!(
-        "  fasta: load {:.4} s, first result {:.4} s, peak RSS {}",
-        fasta.load_secs,
-        fasta.first_result_secs,
-        fmt_rss(fasta.peak_rss_kb)
-    );
-    println!(
-        "  store: load {:.4} s, first result {:.4} s, peak RSS {}",
-        store.load_secs,
-        store.first_result_secs,
-        fmt_rss(store.peak_rss_kb)
-    );
-    println!("  load speedup: {speedup:.1}x  (hit tables identical)");
-
-    let side = |c: &ColdStart| {
-        Json::obj(vec![
-            ("load_secs", Json::Num(c.load_secs)),
-            ("first_result_secs", Json::Num(c.first_result_secs)),
-            (
-                "peak_rss_kb",
-                c.peak_rss_kb.map_or(Json::Null, |v| Json::Num(v as f64)),
-            ),
-        ])
-    };
-    let report = Json::obj(vec![
-        ("subjects", Json::Num(n as f64)),
-        ("residues", Json::Num(residues as f64)),
-        ("query_len", Json::Num(qlen as f64)),
-        ("reps", Json::Num(reps as f64)),
-        ("fasta", side(&fasta)),
-        ("store", side(&store)),
-        ("load_speedup", Json::Num(speedup)),
-        ("identical_hits", Json::Bool(true)),
-    ]);
-    std::fs::write(json_path, format!("{report}\n")).map_err(|e| format!("{json_path}: {e}"))?;
-    println!("wrote {json_path}");
-    std::fs::remove_dir_all(&dir).ok();
-    Ok(())
-}
-
-fn cmd_simulate(args: &[String]) -> Result<(), String> {
-    let opts = Opts::parse(
-        args,
-        &[
-            "gpus", "sse", "fpgas", "db", "policy", "order", "queries", "omega",
-        ],
-        &["no-adjustment"],
-    )?;
-    if !opts.positional.is_empty() {
-        return Err(format!(
-            "simulate takes flags only (got {:?})",
-            opts.positional[0]
-        ));
-    }
-    let gpus: usize = opts.get_parsed("gpus", 4)?;
-    let sse: usize = opts.get_parsed("sse", 4)?;
-    let fpgas: usize = opts.get_parsed("fpgas", 0)?;
-    if gpus + sse + fpgas == 0 {
-        return Err("platform needs at least one PE".into());
-    }
-    let db = paper_database(opts.get("db").unwrap_or("swissprot"))
-        .ok_or_else(|| format!("unknown database {:?}", opts.get("db").unwrap_or("")))?
-        .full_scale_stats();
-    let omega: usize = opts.get_parsed("omega", 5)?;
-    let policy = match opts.get("policy").unwrap_or("pss") {
-        "ss" => Policy::SelfScheduling,
-        "pss" => Policy::Pss {
-            omega: omega.max(1),
-        },
-        "fixed" => Policy::Fixed,
-        "wfixed" => Policy::WFixed,
-        other => return Err(format!("unknown policy {other:?}")),
-    };
-    let order = match opts.get("order").unwrap_or("asc") {
-        "asc" => QueryOrder::Ascending,
-        "desc" => QueryOrder::Descending,
-        "shuffle" => QueryOrder::Shuffled,
-        other => return Err(format!("unknown order {other:?}")),
-    };
-    let mut spec = QuerySetSpec::paper();
-    spec.count = opts.get_parsed("queries", 40usize)?;
-    if spec.count == 0 {
-        return Err("--queries must be at least 1".into());
-    }
-    spec.order = order;
-
-    let workload = PlatformBuilder::workload(&db, &spec, 2013);
-    let builder = PlatformBuilder::new()
-        .gpus(gpus)
-        .sse_cores(sse)
-        .fpgas(fpgas)
-        .policy(policy)
-        .adjustment(!opts.has("no-adjustment"));
-    let label = builder.describe();
-    let out = builder.run(workload);
-
-    println!("platform:  {label}");
-    println!("database:  {} ({} residues)", db.name, db.total_residues);
-    println!(
-        "workload:  {} queries, {:?} order, policy {:?}, adjustment {}",
-        spec.count,
-        order,
-        policy,
-        !opts.has("no-adjustment")
-    );
-    println!(
-        "result:    {:.1} s  |  {:.2} GCUPS  |  duplicated work {:.1}%",
-        out.seconds(),
-        out.gcups(),
-        100.0 * out.report.duplicated_cells / out.report.total_cells.max(1) as f64
-    );
-    println!("\nper-PE:");
-    for pe in &out.report.per_pe {
-        println!(
-            "  {:<6} {:>9.1} s busy  {:>3} completed  {:>3} cancelled",
-            pe.name, pe.busy_seconds, pe.tasks_completed, pe.tasks_cancelled
-        );
-    }
-    Ok(())
-}
-
-fn load_encoded(path: &str) -> Result<Vec<EncodedSequence>, String> {
-    FastaReader::open(path)
-        .map_err(|e| format!("{path}: {e}"))?
-        .read_all()
-        .map_err(|e| format!("{path}: {e}"))?
-        .iter()
-        .map(|r| {
-            EncodedSequence::from_sequence(r, Alphabet::Protein)
-                .map_err(|e| format!("{path} ({}): {e}", r.id))
-        })
-        .collect()
-}
-
-fn policy_from_opts(opts: &Opts) -> Result<Policy, String> {
-    Ok(match opts.get("policy").unwrap_or("pss") {
-        "ss" => Policy::SelfScheduling,
-        "pss" => Policy::pss_default(),
-        "fixed" => Policy::Fixed,
-        "wfixed" => Policy::WFixed,
-        other => return Err(format!("unknown policy {other:?}")),
-    })
-}
-
-fn cmd_master(args: &[String]) -> Result<(), String> {
-    use swhybrid::exec::master::MasterConfig;
-    use swhybrid::exec::net::{MasterServer, NetConfig};
-
-    let opts = Opts::parse(
-        args,
-        &[
-            "listen",
-            "slaves",
-            "policy",
-            "top",
-            "register-timeout",
-            "slave-deadline",
-            "events",
-        ],
-        &["no-adjustment"],
-    )?;
-    let [qpath, dbpath] = opts.positional.as_slice() else {
-        return Err("master takes <query.fasta> <db.fasta>".into());
-    };
-    let listen = opts.get("listen").unwrap_or("0.0.0.0:7878");
-    let slaves: usize = opts.get_parsed("slaves", 1)?;
-    if slaves == 0 {
-        return Err("--slaves must be at least 1".into());
-    }
-    let queries = load_encoded(qpath)?;
-    let subjects = load_encoded(dbpath)?;
-    if queries.is_empty() {
-        return Err(format!("{qpath}: no query sequences"));
-    }
-    let db_residues: u64 = subjects.iter().map(|s| s.len() as u64).sum();
-    let specs = queries
-        .iter()
-        .enumerate()
-        .map(|(id, q)| swhybrid::device::task::TaskSpec {
-            id,
-            query_len: q.len(),
-            queries: 1,
-            db_residues,
-            db_sequences: subjects.len(),
-        })
-        .collect();
-
-    let mut net = NetConfig::default();
-    if let Some(secs) = opts.get("register-timeout") {
-        let secs: f64 = secs
-            .parse()
-            .map_err(|_| format!("--register-timeout: cannot parse {secs:?}"))?;
-        net.register_timeout = if secs > 0.0 {
-            Some(std::time::Duration::from_secs_f64(secs))
-        } else {
-            None
-        };
-    }
-    if let Some(secs) = opts.get("slave-deadline") {
-        let secs: f64 = secs
-            .parse()
-            .map_err(|_| format!("--slave-deadline: cannot parse {secs:?}"))?;
-        if secs <= 0.0 {
-            return Err("--slave-deadline must be positive".into());
-        }
-        net.slave_deadline = std::time::Duration::from_secs_f64(secs);
-    }
-    let mut server = MasterServer::bind_with(
-        listen,
-        MasterConfig {
-            policy: policy_from_opts(&opts)?,
-            adjustment: !opts.has("no-adjustment"),
-            dispatch: Default::default(),
-        },
-        slaves,
-        net,
-    )
-    .map_err(|e| format!("bind {listen}: {e}"))?;
-    // Stream events as JSONL while the run progresses (a crashed or killed
-    // master still leaves every event up to that point on disk), instead
-    // of buffering the whole log until exit.
-    let mut events_streamed = None;
-    if let Some(path) = opts.get("events") {
-        use std::io::Write;
-        let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
-        let mut out = std::io::LineWriter::new(file);
-        let written = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
-        let counter = std::sync::Arc::clone(&written);
-        server = server.with_event_sink(move |event| {
-            // A full disk must not take the run down with it.
-            let _ = writeln!(out, "{}", event.to_json());
-            counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        });
-        events_streamed = Some((written, path.to_string()));
-    }
-    println!(
-        "master listening on {} for {} slave(s), {} tasks",
-        server.local_addr().map_err(|e| e.to_string())?,
-        slaves,
-        queries.len()
-    );
-    let outcome = server.serve(specs).map_err(|e| e.to_string())?;
-    if let Some((written, path)) = events_streamed {
-        println!(
-            "streamed {} events to {path}",
-            written.load(std::sync::atomic::Ordering::Relaxed)
-        );
-    }
-    println!(
-        "\ncompleted {} tasks in {:.2} s  →  {:.2} GCUPS",
-        outcome.completed_by.len(),
-        outcome.elapsed_seconds,
-        outcome.gcups
-    );
-    // Kernel accounting mirrors `swhybrid search`: the same counters, here
-    // aggregated over the wire from every slave's reports.
-    let k = &outcome.kernels;
-    if k.total() > 0 {
-        println!(
-            "kernel (all slaves): {} striped / {} inter-sequence chunks, \
-             subjects i8/i16/scalar striped {}+{}+{} interseq {}+{}+{}",
-            k.chunks_striped,
-            k.chunks_interseq,
-            k.resolved_i8,
-            k.resolved_i16,
-            k.resolved_scalar,
-            k.interseq_i8,
-            k.interseq_i16,
-            k.interseq_scalar,
-        );
-        for (name, k) in &outcome.kernels_by_pe {
-            println!(
-                "  {name}: {} cells, {} striped / {} inter-sequence chunks, \
-                 subjects i8/i16/scalar striped {}+{}+{} interseq {}+{}+{}",
-                k.cells_computed,
-                k.chunks_striped,
-                k.chunks_interseq,
-                k.resolved_i8,
-                k.resolved_i16,
-                k.resolved_scalar,
-                k.interseq_i8,
-                k.interseq_i16,
-                k.interseq_scalar,
-            );
-        }
-    }
-    println!("\nmerged hits (top {}):", opts.get_parsed("top", 10usize)?);
-    for (rank, qh) in outcome
-        .hits
-        .iter()
-        .take(opts.get_parsed("top", 10usize)?)
-        .enumerate()
-    {
-        println!(
-            "{:>4}  score {:>5}  q{}  {}",
-            rank + 1,
-            qh.hit.score,
-            qh.query_index,
-            qh.hit.id
-        );
-    }
-    Ok(())
-}
-
-fn cmd_slave(args: &[String]) -> Result<(), String> {
-    use swhybrid::device::exec::StripedBackend;
-    use swhybrid::exec::net::{run_serve_slave, run_slave_with, NetConfig};
-
-    let opts = Opts::parse(
-        args,
-        &[
-            "connect",
-            "name",
-            "gcups",
-            "top",
-            "heartbeat",
-            "reconnect-retries",
-            "kernel",
-            "matrix",
-            "gap-open",
-            "gap-extend",
-        ],
-        &["serve"],
-    )?;
-    let connect = opts
-        .get("connect")
-        .ok_or_else(|| "--connect HOST:PORT is required".to_string())?;
-    let name = opts.get("name").unwrap_or("slave").to_string();
-    let gcups: f64 = opts.get_parsed("gcups", 1.0)?;
-    let scoring = scoring_from_opts(&opts)?;
-    let mut net = NetConfig::default();
-    if let Some(secs) = opts.get("heartbeat") {
-        let secs: f64 = secs
-            .parse()
-            .map_err(|_| format!("--heartbeat: cannot parse {secs:?}"))?;
-        if secs <= 0.0 {
-            return Err("--heartbeat must be positive".into());
-        }
-        net.heartbeat_interval = std::time::Duration::from_secs_f64(secs);
-    }
-    net.reconnect_max_retries = opts.get_parsed("reconnect-retries", net.reconnect_max_retries)?;
-
-    if opts.has("serve") {
-        // Serve-mode: only the database is loaded locally; queries and
-        // shard bounds arrive over the wire from the daemon.
-        let [dbpath] = opts.positional.as_slice() else {
-            return Err("slave --serve takes <db.fasta>".into());
-        };
-        let subjects = load_encoded(dbpath)?;
-        println!("{name}: connecting to daemon at {connect} (serve mode)");
-        let executed = run_serve_slave(
-            connect,
-            &name,
-            gcups,
-            &subjects,
-            &scoring,
-            kernel_from_opts(&opts)?,
-            &net,
-        )
-        .map_err(|e| e.to_string())?;
-        println!("{name}: done, executed {executed} shard(s)");
-        return Ok(());
-    }
-
-    let [qpath, dbpath] = opts.positional.as_slice() else {
-        return Err("slave takes <query.fasta> <db.fasta>".into());
-    };
-    let queries = load_encoded(qpath)?;
-    let subjects = load_encoded(dbpath)?;
-    println!("{name}: connecting to {connect}");
-    let backend = StripedBackend {
-        kernel: kernel_from_opts(&opts)?,
-        ..StripedBackend::default()
-    };
-    let executed = run_slave_with(
-        connect,
-        &name,
-        gcups,
-        &backend,
-        &queries,
-        &subjects,
-        &scoring,
-        opts.get_parsed("top", 10usize)?,
-        &net,
-    )
-    .map_err(|e| e.to_string())?;
-    println!("{name}: done, executed {executed} task(s)");
-    Ok(())
-}
-
-fn cmd_serve(args: &[String]) -> Result<(), String> {
-    use swhybrid::serve::{ServeDaemon, ServiceConfig};
-
-    let opts = Opts::parse(
-        args,
-        &[
-            "listen",
-            "listen-slaves",
-            "workers",
-            "shards",
-            "max-active",
-            "queue-depth",
-            "client-inflight",
-            "cache",
-            "chunk",
-            "policy",
-            "matrix",
-            "gap-open",
-            "gap-extend",
-            "kernel",
-            "fusion",
-            "retain",
-            "db-store",
-        ],
-        &["no-adjustment", "verify-store"],
-    )?;
-    let scoring = scoring_from_opts(&opts)?;
-    // The daemon boots either from FASTA (parse + encode + digest on every
-    // start) or from a `.swdb` store (memory-mapped arena, stored digest —
-    // no O(db) re-hash unless --verify-store asks for it).
-    let (dbpath, snapshot) = match (opts.get("db-store"), opts.positional.as_slice()) {
-        (Some(store_path), []) => {
-            let snapshot = Store::open_with(store_path, store_verify(opts.has("verify-store")))
-                .and_then(Store::into_snapshot)
-                .map_err(|e| format!("{store_path}: {e}"))?;
-            if !snapshot.is_empty() && snapshot.alphabet() != scoring.matrix.alphabet {
-                return Err(format!(
-                    "{store_path}: store alphabet {:?} does not match scoring alphabet {:?}",
-                    snapshot.alphabet(),
-                    scoring.matrix.alphabet
-                ));
-            }
-            (store_path.to_string(), snapshot)
-        }
-        (None, [dbpath]) => {
-            let subjects = load_encoded(dbpath)?;
-            let name = std::path::Path::new(dbpath)
-                .file_stem()
-                .map(|s| s.to_string_lossy().into_owned())
-                .unwrap_or_default();
-            (dbpath.clone(), DbSnapshot::from_encoded(&name, &subjects))
-        }
-        (Some(_), _) => return Err("serve --db-store takes no positional database".into()),
-        (None, _) => return Err("serve takes <db.fasta> (or --db-store FILE.swdb)".into()),
-    };
-    let listen = opts.get("listen").unwrap_or("127.0.0.1:7979");
-    let policy = match opts.get("policy").unwrap_or("pss") {
-        "ss" => Policy::SelfScheduling,
-        "pss" => Policy::pss_default(),
-        other => {
-            return Err(format!(
-                "serve needs a dynamic policy (ss|pss), got {other:?}"
-            ))
-        }
-    };
-    let default = ServiceConfig::default();
-    let config = ServiceConfig {
-        workers: opts.get_parsed("workers", default.workers)?,
-        shards: opts.get_parsed("shards", default.shards)?,
-        max_active: opts.get_parsed("max-active", default.max_active)?,
-        queue_depth: opts.get_parsed("queue-depth", default.queue_depth)?,
-        per_client_inflight: opts.get_parsed("client-inflight", default.per_client_inflight)?,
-        cache_capacity: opts.get_parsed("cache", default.cache_capacity)?,
-        chunk_size: opts.get_parsed("chunk", default.chunk_size)?,
-        policy,
-        adjustment: !opts.has("no-adjustment"),
-        kernel: kernel_from_opts(&opts)?,
-        fusion: opts.get_parsed("fusion", default.fusion)?,
-        retained_jobs: opts.get_parsed("retain", default.retained_jobs)?,
-        ..default
-    };
-    if config.queue_depth == 0 || config.per_client_inflight == 0 {
-        return Err("--queue-depth and --client-inflight must be at least 1".into());
-    }
-    if config.fusion == 0 {
-        return Err("--fusion must be at least 1 (1 disables fusion)".into());
-    }
-    let residues = snapshot.total_residues();
-    let digest = snapshot.digest();
-    let mapped = snapshot.arena().is_shared();
-    let workers = config.workers.max(1);
-    let daemon = ServeDaemon::bind_snapshot(listen, snapshot, scoring, config)
-        .map_err(|e| format!("bind {listen}: {e}"))?;
-    println!(
-        "serving {dbpath} ({residues} residues{}) on {} with {workers} worker(s), \
-         digest {digest:016x}",
-        if mapped { ", memory-mapped" } else { "" },
-        daemon.local_addr().map_err(|e| e.to_string())?
-    );
-    if let Some(slave_addr) = opts.get("listen-slaves") {
-        let bound = daemon
-            .listen_slaves(slave_addr, swhybrid::exec::net::NetConfig::default())
-            .map_err(|e| format!("bind slave port {slave_addr}: {e}"))?;
-        println!("accepting remote slaves on {bound} (swhybrid slave --serve {dbpath} --connect {bound})");
-    }
-    daemon.run().map_err(|e| e.to_string())
-}
-
-fn cmd_query(args: &[String]) -> Result<(), String> {
-    use swhybrid::json::Json;
-    use swhybrid::serve::protocol::SearchRequest;
-    use swhybrid::serve::ServeClient;
-
-    let opts = Opts::parse(
-        args,
-        &["connect", "top", "deadline-ms"],
-        &["stats", "shutdown"],
-    )?;
-    let connect = opts
-        .get("connect")
-        .ok_or_else(|| "--connect HOST:PORT is required".to_string())?;
-    let top_n: usize = opts.get_parsed("top", 10)?;
-    let deadline_ms = match opts.get("deadline-ms") {
-        None => None,
-        Some(v) => Some(
-            v.parse::<u64>()
-                .map_err(|_| format!("--deadline-ms: cannot parse {v:?}"))?,
-        ),
-    };
-    let mut client =
-        ServeClient::connect(connect).map_err(|e| format!("connect {connect}: {e}"))?;
-
-    match opts.positional.as_slice() {
-        [] => {}
-        [qpath] => {
-            let records = FastaReader::open(qpath)
-                .map_err(|e| format!("{qpath}: {e}"))?
-                .read_all()
-                .map_err(|e| format!("{qpath}: {e}"))?;
-            if records.is_empty() {
-                return Err(format!("{qpath}: no query sequences"));
-            }
-            for record in &records {
-                let reply = client
-                    .search_request(SearchRequest {
-                        query: String::from_utf8_lossy(&record.residues).into_owned(),
-                        top_n,
-                        deadline_ms,
-                        tag: Some(record.id.clone()),
-                        ack: false,
-                    })
-                    .map_err(|e| e.to_string())?;
-                print_daemon_result(&record.id, &reply)?;
-            }
-        }
-        _ => return Err("query takes at most one <query.fasta>".into()),
-    }
-
-    if opts.has("stats") {
-        let stats = client.stats().map_err(|e| e.to_string())?;
-        println!("{}", stats.to_string_pretty());
-    }
-    if opts.has("shutdown") {
-        let reply = client.shutdown().map_err(|e| e.to_string())?;
-        if reply.get("ok").and_then(Json::as_bool) != Some(true) {
-            return Err(format!("shutdown refused: {reply}"));
-        }
-        println!("daemon draining for shutdown");
-    }
-    Ok(())
-}
-
-fn cmd_reload(args: &[String]) -> Result<(), String> {
-    use swhybrid::json::Json;
-    use swhybrid::serve::ServeClient;
-
-    let opts = Opts::parse(args, &["connect", "store", "fasta"], &["verify"])?;
-    if !opts.positional.is_empty() {
-        return Err("reload takes flags only".into());
-    }
-    let connect = opts
-        .get("connect")
-        .ok_or_else(|| "--connect HOST:PORT is required".to_string())?;
-    let mut client =
-        ServeClient::connect(connect).map_err(|e| format!("connect {connect}: {e}"))?;
-    let reply = match (opts.get("store"), opts.get("fasta")) {
-        (Some(store), None) => client.reload_store(store, opts.has("verify")),
-        (None, Some(fasta)) => {
-            if opts.has("verify") {
-                return Err("--verify applies to --store reloads only".into());
-            }
-            client.reload_fasta(fasta)
-        }
-        _ => return Err("reload needs exactly one of --store or --fasta".into()),
-    }
-    .map_err(|e| e.to_string())?;
-    if reply.get("ok").and_then(Json::as_bool) != Some(true) {
-        let code = reply.get("error").and_then(Json::as_str).unwrap_or("error");
-        let reason = reply.get("reason").and_then(Json::as_str).unwrap_or("");
-        return Err(format!("reload refused: {code}: {reason}"));
-    }
-    println!(
-        "daemon now serving {} (generation {}): {} sequences, {} residues, digest {}",
-        reply.get("name").and_then(Json::as_str).unwrap_or("?"),
-        reply.get("generation").and_then(Json::as_u64).unwrap_or(0),
-        reply.get("sequences").and_then(Json::as_u64).unwrap_or(0),
-        reply.get("residues").and_then(Json::as_u64).unwrap_or(0),
-        reply.get("digest").and_then(Json::as_str).unwrap_or("?"),
-    );
-    println!("remote slaves (if any) were disconnected for re-admission under the new digest");
-    Ok(())
-}
-
-fn print_daemon_result(qid: &str, reply: &swhybrid::json::Json) -> Result<(), String> {
-    use swhybrid::json::Json;
-
-    if reply.get("ok").and_then(Json::as_bool) != Some(true) {
-        let code = reply.get("error").and_then(Json::as_str).unwrap_or("error");
-        let reason = reply.get("reason").and_then(Json::as_str).unwrap_or("");
-        return Err(format!("query {qid}: {code}: {reason}"));
-    }
-    let job = reply.get("job").and_then(Json::as_u64).unwrap_or(0);
-    let cached = reply.get("cached").and_then(Json::as_bool).unwrap_or(false);
-    let elapsed = reply
-        .get("elapsed_ms")
-        .and_then(Json::as_f64)
-        .unwrap_or(0.0);
-    let cells = reply.get("cells").and_then(Json::as_u64).unwrap_or(0);
-    println!(
-        "\n# query {qid}: job {job} {} in {elapsed:.1} ms ({cells} cells)",
-        if cached { "cached" } else { "scanned" }
-    );
-    println!("{:>4}  {:>6}  {:>6}  subject", "rank", "score", "len");
-    let hits = swhybrid::serve::ServeClient::hits(reply).map_err(|e| format!("bad result: {e}"))?;
-    for (rank, hit) in hits.iter().enumerate() {
-        println!(
-            "{:>4}  {:>6}  {:>6}  {}",
-            rank + 1,
-            hit.score,
-            hit.subject_len,
-            hit.id
-        );
-    }
-    Ok(())
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn s(v: &[&str]) -> Vec<String> {
-        v.iter().map(|x| x.to_string()).collect()
-    }
-
-    #[test]
-    fn opts_parser_positional_and_flags() {
-        let o = Opts::parse(
-            &s(&["a.fasta", "--top", "5", "--align", "b.fasta"]),
-            &["top"],
-            &["align"],
-        )
-        .unwrap();
-        assert_eq!(o.positional, s(&["a.fasta", "b.fasta"]));
-        assert_eq!(o.get("top"), Some("5"));
-        assert!(o.has("align"));
-        assert_eq!(o.get_parsed("top", 1usize).unwrap(), 5);
-        assert_eq!(o.get_parsed("missing", 7usize).unwrap(), 7);
-    }
-
-    #[test]
-    fn opts_parser_rejects_unknown_and_missing_value() {
-        assert!(Opts::parse(&s(&["--bogus"]), &["top"], &[]).is_err());
-        assert!(Opts::parse(&s(&["--top"]), &["top"], &[]).is_err());
-    }
-
-    #[test]
-    fn scoring_from_opts_defaults_and_overrides() {
-        let o = Opts::parse(&s(&[]), &["matrix", "gap-open", "gap-extend"], &[]).unwrap();
-        let sc = scoring_from_opts(&o).unwrap();
-        assert_eq!(sc.matrix.name, "BLOSUM62");
-        let o = Opts::parse(
-            &s(&["--matrix", "pam250", "--gap-open", "12"]),
-            &["matrix", "gap-open", "gap-extend"],
-            &[],
-        )
-        .unwrap();
-        let sc = scoring_from_opts(&o).unwrap();
-        assert_eq!(sc.matrix.name, "PAM250");
-        assert_eq!(
-            sc.gap,
-            GapModel::Affine {
-                open: 12,
-                extend: 2
-            }
-        );
-    }
-
-    #[test]
-    fn unknown_command_errors() {
-        assert!(run(&s(&["frobnicate"])).is_err());
-        assert!(run(&s(&["help"])).is_ok());
-    }
-
-    #[test]
-    fn simulate_smoke_small() {
-        // A tiny simulated run exercises the whole path.
-        run(&s(&[
-            "simulate",
-            "--gpus",
-            "1",
-            "--sse",
-            "1",
-            "--db",
-            "dog",
-            "--queries",
-            "4",
-        ]))
-        .unwrap();
-    }
-
-    #[test]
-    fn distributed_master_slave_via_cli_paths() {
-        // Exercise cmd_master + cmd_slave end-to-end on localhost with an
-        // ephemeral port.
-        let dir = std::env::temp_dir().join(format!("swhybrid_cli_net_{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let db = dir.join("db.fasta");
-        run(&s(&["generate", "rat", "0.0003", db.to_str().unwrap()])).unwrap();
-        let q = dir.join("q.fasta");
-        let first = FastaReader::open(&db)
-            .unwrap()
-            .next_record()
-            .unwrap()
-            .unwrap();
-        std::fs::write(&q, swhybrid::seq::fasta::to_string(std::iter::once(&first))).unwrap();
-
-        // Pick a free port by binding briefly.
-        let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = probe.local_addr().unwrap().to_string();
-        drop(probe);
-
-        let q2 = q.clone();
-        let db2 = db.clone();
-        let addr2 = addr.clone();
-        let slave = std::thread::spawn(move || {
-            // Retry until the master is listening.
-            for _ in 0..200 {
-                let result = run(&s(&[
-                    "slave",
-                    q2.to_str().unwrap(),
-                    db2.to_str().unwrap(),
-                    "--connect",
-                    &addr2,
-                    "--name",
-                    "cli-slave",
-                ]));
-                if result.is_ok() {
-                    return;
-                }
-                std::thread::sleep(std::time::Duration::from_millis(20));
-            }
-            panic!("slave never connected");
-        });
-        let events = dir.join("events.json");
-        run(&s(&[
-            "master",
-            q.to_str().unwrap(),
-            db.to_str().unwrap(),
-            "--listen",
-            &addr,
-            "--slaves",
-            "1",
-            "--register-timeout",
-            "30",
-            "--events",
-            events.to_str().unwrap(),
-        ]))
-        .unwrap();
-        slave.join().unwrap();
-        // The export is JSONL: every line is one well-formed event object.
-        let text = std::fs::read_to_string(&events).unwrap();
-        let entries: Vec<swhybrid::json::Json> = text
-            .lines()
-            .filter(|l| !l.trim().is_empty())
-            .map(|l| swhybrid::json::Json::parse(l).expect("event line is valid JSON"))
-            .collect();
-        assert!(!entries.is_empty(), "event export is empty");
-        assert!(
-            entries.iter().all(|e| e
-                .get("event")
-                .and_then(swhybrid::json::Json::as_str)
-                .is_some()),
-            "every event line carries its kind"
-        );
-        std::fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    fn serve_query_daemon_round_trip() {
-        // Exercise cmd_serve + cmd_query end-to-end: serve a synthetic
-        // database, query it twice (second hit must come from the cache),
-        // print stats, then shut the daemon down and join it.
-        let dir = std::env::temp_dir().join(format!("swhybrid_cli_serve_{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let db = dir.join("db.fasta");
-        run(&s(&["generate", "dog", "0.0005", db.to_str().unwrap()])).unwrap();
-        let first = FastaReader::open(&db)
-            .unwrap()
-            .next_record()
-            .unwrap()
-            .unwrap();
-        let q = dir.join("q.fasta");
-        std::fs::write(&q, swhybrid::seq::fasta::to_string(std::iter::once(&first))).unwrap();
-
-        let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = probe.local_addr().unwrap().to_string();
-        drop(probe);
-
-        let db2 = db.clone();
-        let addr2 = addr.clone();
-        let daemon = std::thread::spawn(move || {
-            run(&s(&[
-                "serve",
-                db2.to_str().unwrap(),
-                "--listen",
-                &addr2,
-                "--workers",
-                "2",
-            ]))
-            .unwrap();
-        });
-        // Retry until the daemon is listening.
-        let mut connected = false;
-        for _ in 0..300 {
-            if run(&s(&[
-                "query",
-                q.to_str().unwrap(),
-                "--connect",
-                &addr,
-                "--top",
-                "3",
-            ]))
-            .is_ok()
-            {
-                connected = true;
-                break;
-            }
-            std::thread::sleep(std::time::Duration::from_millis(20));
-        }
-        assert!(connected, "query CLI never reached the daemon");
-        // Repeat (cache hit) + stats + shutdown in one connection.
-        run(&s(&[
-            "query",
-            q.to_str().unwrap(),
-            "--connect",
-            &addr,
-            "--top",
-            "3",
-            "--stats",
-            "--shutdown",
-        ]))
-        .unwrap();
-        daemon.join().unwrap();
-        std::fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    fn serve_hybrid_fleet_with_remote_slave_round_trip() {
-        // `serve --listen-slaves` + `slave --serve`: a daemon scheduling a
-        // mixed fleet (local worker threads + one remote TCP slave) must
-        // answer queries and shut down cleanly, with the remote exiting too.
-        let dir = std::env::temp_dir().join(format!("swhybrid_cli_hybrid_{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let db = dir.join("db.fasta");
-        run(&s(&["generate", "dog", "0.0005", db.to_str().unwrap()])).unwrap();
-        let first = FastaReader::open(&db)
-            .unwrap()
-            .next_record()
-            .unwrap()
-            .unwrap();
-        let q = dir.join("q.fasta");
-        std::fs::write(&q, swhybrid::seq::fasta::to_string(std::iter::once(&first))).unwrap();
-
-        let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = probe.local_addr().unwrap().to_string();
-        let probe2 = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
-        let slave_addr = probe2.local_addr().unwrap().to_string();
-        drop((probe, probe2));
-
-        let db2 = db.clone();
-        let addr2 = addr.clone();
-        let slave_addr2 = slave_addr.clone();
-        let daemon = std::thread::spawn(move || {
-            run(&s(&[
-                "serve",
-                db2.to_str().unwrap(),
-                "--listen",
-                &addr2,
-                "--listen-slaves",
-                &slave_addr2,
-                "--workers",
-                "2",
-                "--shards",
-                "4",
-                "--cache",
-                "0",
-            ]))
-            .unwrap();
-        });
-        let db3 = db.clone();
-        let slave = std::thread::spawn(move || {
-            // Wait until the daemon's slave port accepts, then join. The
-            // session ends either cleanly (`done` at drain) or with a
-            // connection loss if daemon teardown wins the race — both are
-            // valid exits for this smoke test.
-            let mut up = false;
-            for _ in 0..300 {
-                if std::net::TcpStream::connect(&slave_addr).is_ok() {
-                    up = true;
-                    break;
-                }
-                std::thread::sleep(std::time::Duration::from_millis(20));
-            }
-            assert!(up, "daemon slave port never opened");
-            let _ = run(&s(&[
-                "slave",
-                "--serve",
-                db3.to_str().unwrap(),
-                "--connect",
-                &slave_addr,
-                "--name",
-                "cli-remote",
-                "--reconnect-retries",
-                "0",
-            ]));
-        });
-        let mut connected = false;
-        for _ in 0..300 {
-            if run(&s(&[
-                "query",
-                q.to_str().unwrap(),
-                "--connect",
-                &addr,
-                "--top",
-                "3",
-            ]))
-            .is_ok()
-            {
-                connected = true;
-                break;
-            }
-            std::thread::sleep(std::time::Duration::from_millis(20));
-        }
-        assert!(connected, "query CLI never reached the hybrid daemon");
-        run(&s(&[
-            "query",
-            q.to_str().unwrap(),
-            "--connect",
-            &addr,
-            "--top",
-            "3",
-            "--stats",
-            "--shutdown",
-        ]))
-        .unwrap();
-        daemon.join().unwrap();
-        slave.join().unwrap();
-        std::fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    fn db_build_inspect_and_store_search_round_trip() {
-        // `db build` + `db inspect --verify` + `search --db-store`: the
-        // store-backed scan must rank exactly what the FASTA scan ranks.
-        let dir = std::env::temp_dir().join(format!("swhybrid_cli_store_{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let db = dir.join("db.fasta");
-        let db_s = db.to_str().unwrap().to_string();
-        run(&s(&["generate", "dog", "0.0005", &db_s])).unwrap();
-        let store = dir.join("db.swdb");
-        let store_s = store.to_str().unwrap().to_string();
-        run(&s(&["db", "build", &db_s, &store_s, "--name", "dog-test"])).unwrap();
-        run(&s(&["db", "inspect", &store_s, "--verify"])).unwrap();
-        run(&s(&["db", "inspect", &store_s])).unwrap();
-
-        let first = FastaReader::open(&db)
-            .unwrap()
-            .next_record()
-            .unwrap()
-            .unwrap();
-        let q = dir.join("q.fasta");
-        std::fs::write(&q, swhybrid::seq::fasta::to_string(std::iter::once(&first))).unwrap();
-        run(&s(&[
-            "search",
-            q.to_str().unwrap(),
-            "--db-store",
-            &store_s,
-            "--verify-store",
-            "--top",
-            "3",
-            "--align",
-        ]))
-        .unwrap();
-
-        // Byte-identity of the two paths, checked on the hit tables
-        // themselves (the CLI prints; the API diff is the real assert).
-        let subjects = load_encoded(&db_s).unwrap();
-        let query = EncodedSequence::from_sequence(&first, Alphabet::Protein).unwrap();
-        let scoring = Scoring {
-            matrix: SubstMatrix::blosum62(),
-            gap: GapModel::Affine {
-                open: 10,
-                extend: 2,
-            },
-        };
-        let config = || SearchConfig {
-            top_n: 5,
-            ..Default::default()
-        };
-        let via_fasta = DbSource::Encoded(subjects).search(&query.codes, &scoring, config());
-        let snapshot = Store::open_verified(&store)
-            .unwrap()
-            .into_snapshot()
-            .unwrap();
-        assert!(snapshot.arena().is_shared(), "store arena is not mapped");
-        let via_store = DbSource::Snapshot(snapshot).search(&query.codes, &scoring, config());
-        assert_eq!(via_fasta.hits, via_store.hits);
-
-        // Mismatched usage is rejected, not silently accepted.
-        assert!(run(&s(&[
-            "search",
-            q.to_str().unwrap(),
-            &db_s,
-            "--db-store",
-            &store_s
-        ]))
-        .is_err());
-        assert!(run(&s(&["db", "frobnicate"])).is_err());
-        std::fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    fn serve_from_store_and_reload_via_cli() {
-        // `serve --db-store` + `reload --store`: a daemon booted from one
-        // store generation hot-swaps onto another through the CLI verbs.
-        let dir = std::env::temp_dir().join(format!("swhybrid_cli_reload_{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let db_a = dir.join("a.fasta");
-        let db_b = dir.join("b.fasta");
-        run(&s(&["generate", "dog", "0.0005", db_a.to_str().unwrap()])).unwrap();
-        run(&s(&["generate", "rat", "0.0003", db_b.to_str().unwrap()])).unwrap();
-        let store_a = dir.join("a.swdb");
-        let store_b = dir.join("b.swdb");
-        run(&s(&[
-            "db",
-            "build",
-            db_a.to_str().unwrap(),
-            store_a.to_str().unwrap(),
-        ]))
-        .unwrap();
-        run(&s(&[
-            "db",
-            "build",
-            db_b.to_str().unwrap(),
-            store_b.to_str().unwrap(),
-        ]))
-        .unwrap();
-        let first = FastaReader::open(&db_a)
-            .unwrap()
-            .next_record()
-            .unwrap()
-            .unwrap();
-        let q = dir.join("q.fasta");
-        std::fs::write(&q, swhybrid::seq::fasta::to_string(std::iter::once(&first))).unwrap();
-
-        let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = probe.local_addr().unwrap().to_string();
-        drop(probe);
-        let addr2 = addr.clone();
-        let store_a2 = store_a.clone();
-        let daemon = std::thread::spawn(move || {
-            run(&s(&[
-                "serve",
-                "--db-store",
-                store_a2.to_str().unwrap(),
-                "--listen",
-                &addr2,
-                "--workers",
-                "2",
-            ]))
-            .unwrap();
-        });
-        let mut connected = false;
-        for _ in 0..300 {
-            if run(&s(&[
-                "query",
-                q.to_str().unwrap(),
-                "--connect",
-                &addr,
-                "--top",
-                "3",
-            ]))
-            .is_ok()
-            {
-                connected = true;
-                break;
-            }
-            std::thread::sleep(std::time::Duration::from_millis(20));
-        }
-        assert!(connected, "query CLI never reached the store-backed daemon");
-
-        // Hot-swap to generation B (with full verification), then prove the
-        // daemon answers from the new database and shuts down cleanly.
-        run(&s(&[
-            "reload",
-            "--connect",
-            &addr,
-            "--store",
-            store_b.to_str().unwrap(),
-            "--verify",
-        ]))
-        .unwrap();
-        // Reloading a nonsense path is refused without killing the daemon.
-        assert!(run(&s(&[
-            "reload",
-            "--connect",
-            &addr,
-            "--store",
-            dir.join("missing.swdb").to_str().unwrap(),
-        ]))
-        .is_err());
-        assert!(run(&s(&["reload", "--connect", &addr])).is_err());
-        run(&s(&[
-            "query",
-            q.to_str().unwrap(),
-            "--connect",
-            &addr,
-            "--top",
-            "3",
-            "--stats",
-            "--shutdown",
-        ]))
-        .unwrap();
-        daemon.join().unwrap();
-        std::fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    fn bench_store_smoke() {
-        let dir = std::env::temp_dir().join(format!("swhybrid_cli_bstore_{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let json = dir.join("BENCH_store.json");
-        run(&s(&[
-            "bench-store",
-            "--subjects",
-            "600",
-            "--qlen",
-            "24",
-            "--reps",
-            "1",
-            "--json",
-            json.to_str().unwrap(),
-        ]))
-        .unwrap();
-        let report = swhybrid::json::Json::parse(&std::fs::read_to_string(&json).unwrap()).unwrap();
-        assert_eq!(
-            report
-                .get("identical_hits")
-                .and_then(swhybrid::json::Json::as_bool),
-            Some(true)
-        );
-        assert!(report.get("load_speedup").is_some());
-        std::fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    fn generate_index_search_round_trip() {
-        let dir = std::env::temp_dir().join(format!("swhybrid_cli_{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let db = dir.join("db.fasta");
-        let db_s = db.to_str().unwrap().to_string();
-        run(&s(&["generate", "dog", "0.0005", &db_s])).unwrap();
-        run(&s(&["index", &db_s])).unwrap();
-        // Use the database's own first record as the query: it must be hit.
-        let first = FastaReader::open(&db)
-            .unwrap()
-            .next_record()
-            .unwrap()
-            .unwrap();
-        let q = dir.join("q.fasta");
-        std::fs::write(&q, swhybrid::seq::fasta::to_string(std::iter::once(&first))).unwrap();
-        run(&s(&[
-            "search",
-            q.to_str().unwrap(),
-            &db_s,
-            "--top",
-            "3",
-            "--align",
-        ]))
-        .unwrap();
-        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,209 @@
+//! Database plumbing: FASTA loading, the `index` / `db build` /
+//! `db inspect` / `generate` verbs, and [`DbSource`] — the one abstraction
+//! over "where the subject residues come from" that the one-shot verbs
+//! share.
+
+use crate::seq::fasta::FastaReader;
+use crate::seq::index::SeqIndex;
+use crate::seq::sequence::EncodedSequence;
+use crate::seq::synth::paper_database;
+use crate::seq::{Alphabet, DbSnapshot};
+use crate::simd::materialize_hits;
+use crate::simd::search::{search_arena, DatabaseSearch, SearchConfig, SearchResult};
+use crate::simd::PreparedQuery;
+use crate::store::{build_store, Store};
+
+use super::args::{store_verify, Opts};
+
+/// Read a FASTA file and encode every record as protein.
+pub(super) fn load_encoded(path: &str) -> Result<Vec<EncodedSequence>, String> {
+    FastaReader::open(path)
+        .map_err(|e| format!("{path}: {e}"))?
+        .read_all()
+        .map_err(|e| format!("{path}: {e}"))?
+        .iter()
+        .map(|r| {
+            EncodedSequence::from_sequence(r, Alphabet::Protein)
+                .map_err(|e| format!("{path} ({}): {e}", r.id))
+        })
+        .collect()
+}
+
+/// The database side of a one-shot search: encoded records from FASTA, or
+/// a `.swdb` snapshot whose arena is scanned in place (memory-mapped, no
+/// re-encode). Hit tables are identical either way — the scan is keyed by
+/// database index, independent of the arena's provenance.
+pub(super) enum DbSource {
+    Encoded(Vec<EncodedSequence>),
+    Snapshot(DbSnapshot),
+}
+
+impl DbSource {
+    pub(super) fn len(&self) -> usize {
+        match self {
+            DbSource::Encoded(v) => v.len(),
+            DbSource::Snapshot(s) => s.len(),
+        }
+    }
+
+    pub(super) fn total_residues(&self) -> u64 {
+        match self {
+            DbSource::Encoded(v) => v.iter().map(|s| s.len() as u64).sum(),
+            DbSource::Snapshot(s) => s.total_residues(),
+        }
+    }
+
+    pub(super) fn subject_codes(&self, i: usize) -> &[u8] {
+        match self {
+            DbSource::Encoded(v) => &v[i].codes,
+            DbSource::Snapshot(s) => s.residues(i),
+        }
+    }
+
+    pub(super) fn decode_subject(&self, i: usize) -> Vec<u8> {
+        match self {
+            DbSource::Encoded(v) => v[i].decode(),
+            DbSource::Snapshot(s) => s.alphabet().decode_all(s.residues(i)),
+        }
+    }
+
+    pub(super) fn search(
+        &self,
+        query: &[u8],
+        scoring: &crate::align::scoring::Scoring,
+        config: SearchConfig,
+    ) -> SearchResult {
+        match self {
+            DbSource::Encoded(v) => DatabaseSearch::new(query, scoring, config).run(v),
+            DbSource::Snapshot(snap) => {
+                let prepared =
+                    std::sync::Arc::new(PreparedQuery::new(query, scoring, config.preference));
+                let out = search_arena(&prepared, snap.arena(), 0..snap.len(), &config);
+                SearchResult {
+                    hits: materialize_hits(&out.scored, |i| snap.id(i).to_string()),
+                    cells: out.cells,
+                    cells_nominal: out.cells_nominal,
+                    stats: out.stats,
+                }
+            }
+        }
+    }
+}
+
+pub(super) fn cmd_index(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &[], &[])?;
+    let [path] = opts.positional.as_slice() else {
+        return Err("index takes exactly one FASTA path".into());
+    };
+    let index = SeqIndex::build_for_file(path).map_err(|e| e.to_string())?;
+    let out = index.save_alongside(path).map_err(|e| e.to_string())?;
+    println!(
+        "indexed {}: {} sequences, longest {} residues → {}",
+        path,
+        index.count(),
+        index.max_len,
+        out.display()
+    );
+    Ok(())
+}
+
+pub(super) fn cmd_db(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("build") => cmd_db_build(&args[1..]),
+        Some("inspect") => cmd_db_inspect(&args[1..]),
+        _ => Err("db takes a subcommand: build | inspect".into()),
+    }
+}
+
+fn cmd_db_build(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &["name"], &[])?;
+    let [fasta, out] = opts.positional.as_slice() else {
+        return Err("db build takes <db.fasta> <out.swdb>".into());
+    };
+    let subjects = load_encoded(fasta)?;
+    let name = match opts.get("name") {
+        Some(n) => n.to_string(),
+        None => std::path::Path::new(out)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default(),
+    };
+    let summary = build_store(out, &name, &subjects).map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "built {}: {} sequences, {} residues, digest {:016x}, {} bytes",
+        summary.path.display(),
+        summary.sequences,
+        summary.residues,
+        summary.db_digest,
+        summary.file_bytes
+    );
+    Ok(())
+}
+
+fn cmd_db_inspect(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &[], &["verify"])?;
+    let [path] = opts.positional.as_slice() else {
+        return Err("db inspect takes <store.swdb>".into());
+    };
+    let file_bytes = std::fs::metadata(path)
+        .map_err(|e| format!("{path}: {e}"))?
+        .len();
+    let store = Store::open_with(path, store_verify(opts.has("verify")))
+        .map_err(|e| format!("{path}: {e}"))?;
+    let h = store.header();
+    println!("store:      {path} ({file_bytes} bytes)");
+    println!("name:       {}", store.name());
+    println!("alphabet:   {:?}", store.alphabet());
+    println!("sequences:  {}", h.num_seqs);
+    println!(
+        "residues:   {} (arena {} bytes at offset {})",
+        h.total_residues, h.arena_len, h.arena_off
+    );
+    println!("lengths:    {}..{}", h.min_len, h.max_len);
+    println!(
+        "digest:     {:016x}{}",
+        store.db_digest(),
+        if opts.has("verify") {
+            " (re-hashed, arena checksum verified)"
+        } else {
+            " (stored; metadata checksum verified)"
+        }
+    );
+    println!(
+        "chunks:     {} x {} residue-count stride",
+        store.chunk_residues().len(),
+        h.chunk_stride
+    );
+    println!(
+        "scan perm:  {}",
+        if store.scan_permutation().is_some() {
+            "length-sorted (present)"
+        } else {
+            "absent"
+        }
+    );
+    println!("mapped:     {}", store.is_mapped());
+    Ok(())
+}
+
+pub(super) fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &["seed"], &[])?;
+    let [name, scale, out] = opts.positional.as_slice() else {
+        return Err("generate takes <db-name> <scale> <out.fasta>".into());
+    };
+    let profile = paper_database(name).ok_or_else(|| format!("unknown database {name:?}"))?;
+    let scale: f64 = scale.parse().map_err(|_| format!("bad scale {scale:?}"))?;
+    if !(0.0..=1.0).contains(&scale) || scale == 0.0 {
+        return Err("scale must be in (0, 1]".into());
+    }
+    let seed = opts.get_parsed("seed", 2013u64)?;
+    let db = profile.generate_scaled(seed, scale);
+    let stats = db.stats();
+    let text = crate::seq::fasta::to_string(&db.sequences);
+    std::fs::write(out, text).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {}: {} sequences, {} residues (stand-in for {})",
+        out, stats.num_sequences, stats.total_residues, profile.name
+    );
+    Ok(())
+}

@@ -1,0 +1,337 @@
+//! The distributed pair — `master` (task distribution over TCP) and
+//! `slave` (batch or serve mode) — plus the virtual-time `simulate` verb
+//! that reproduces the paper's platform experiments without hardware.
+
+use crate::exec::platform::PlatformBuilder;
+use crate::exec::policy::Policy;
+use crate::seq::synth::{paper_database, QueryOrder, QuerySetSpec};
+
+use super::args::{kernel_from_opts, policy_from_opts, scoring_from_opts, Opts};
+use super::db::load_encoded;
+
+pub(super) fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(
+        args,
+        &[
+            "gpus", "sse", "fpgas", "db", "policy", "order", "queries", "omega",
+        ],
+        &["no-adjustment"],
+    )?;
+    if !opts.positional.is_empty() {
+        return Err(format!(
+            "simulate takes flags only (got {:?})",
+            opts.positional[0]
+        ));
+    }
+    let gpus: usize = opts.get_parsed("gpus", 4)?;
+    let sse: usize = opts.get_parsed("sse", 4)?;
+    let fpgas: usize = opts.get_parsed("fpgas", 0)?;
+    if gpus + sse + fpgas == 0 {
+        return Err("platform needs at least one PE".into());
+    }
+    let db = paper_database(opts.get("db").unwrap_or("swissprot"))
+        .ok_or_else(|| format!("unknown database {:?}", opts.get("db").unwrap_or("")))?
+        .full_scale_stats();
+    let omega: usize = opts.get_parsed("omega", 5)?;
+    let policy = match opts.get("policy").unwrap_or("pss") {
+        "ss" => Policy::SelfScheduling,
+        "pss" => Policy::Pss {
+            omega: omega.max(1),
+        },
+        "fixed" => Policy::Fixed,
+        "wfixed" => Policy::WFixed,
+        other => return Err(format!("unknown policy {other:?}")),
+    };
+    let order = match opts.get("order").unwrap_or("asc") {
+        "asc" => QueryOrder::Ascending,
+        "desc" => QueryOrder::Descending,
+        "shuffle" => QueryOrder::Shuffled,
+        other => return Err(format!("unknown order {other:?}")),
+    };
+    let mut spec = QuerySetSpec::paper();
+    spec.count = opts.get_parsed("queries", 40usize)?;
+    if spec.count == 0 {
+        return Err("--queries must be at least 1".into());
+    }
+    spec.order = order;
+
+    let workload = PlatformBuilder::workload(&db, &spec, 2013);
+    let builder = PlatformBuilder::new()
+        .gpus(gpus)
+        .sse_cores(sse)
+        .fpgas(fpgas)
+        .policy(policy)
+        .adjustment(!opts.has("no-adjustment"));
+    let label = builder.describe();
+    let out = builder.run(workload);
+
+    println!("platform:  {label}");
+    println!("database:  {} ({} residues)", db.name, db.total_residues);
+    println!(
+        "workload:  {} queries, {:?} order, policy {:?}, adjustment {}",
+        spec.count,
+        order,
+        policy,
+        !opts.has("no-adjustment")
+    );
+    println!(
+        "result:    {:.1} s  |  {:.2} GCUPS  |  duplicated work {:.1}%",
+        out.seconds(),
+        out.gcups(),
+        100.0 * out.report.duplicated_cells / out.report.total_cells.max(1) as f64
+    );
+    println!("\nper-PE:");
+    for pe in &out.report.per_pe {
+        println!(
+            "  {:<6} {:>9.1} s busy  {:>3} completed  {:>3} cancelled",
+            pe.name, pe.busy_seconds, pe.tasks_completed, pe.tasks_cancelled
+        );
+    }
+    Ok(())
+}
+
+pub(super) fn cmd_master(args: &[String]) -> Result<(), String> {
+    use crate::exec::master::MasterConfig;
+    use crate::exec::net::{MasterServer, NetConfig};
+
+    let opts = Opts::parse(
+        args,
+        &[
+            "listen",
+            "slaves",
+            "policy",
+            "top",
+            "register-timeout",
+            "slave-deadline",
+            "events",
+        ],
+        &["no-adjustment"],
+    )?;
+    let [qpath, dbpath] = opts.positional.as_slice() else {
+        return Err("master takes <query.fasta> <db.fasta>".into());
+    };
+    let listen = opts.get("listen").unwrap_or("0.0.0.0:7878");
+    let slaves: usize = opts.get_parsed("slaves", 1)?;
+    if slaves == 0 {
+        return Err("--slaves must be at least 1".into());
+    }
+    let queries = load_encoded(qpath)?;
+    let subjects = load_encoded(dbpath)?;
+    if queries.is_empty() {
+        return Err(format!("{qpath}: no query sequences"));
+    }
+    let db_residues: u64 = subjects.iter().map(|s| s.len() as u64).sum();
+    let specs = queries
+        .iter()
+        .enumerate()
+        .map(|(id, q)| crate::device::task::TaskSpec {
+            id,
+            query_len: q.len(),
+            queries: 1,
+            db_residues,
+            db_sequences: subjects.len(),
+        })
+        .collect();
+
+    let mut net = NetConfig::default();
+    if let Some(secs) = opts.get("register-timeout") {
+        let secs: f64 = secs
+            .parse()
+            .map_err(|_| format!("--register-timeout: cannot parse {secs:?}"))?;
+        net.register_timeout = if secs > 0.0 {
+            Some(std::time::Duration::from_secs_f64(secs))
+        } else {
+            None
+        };
+    }
+    if let Some(secs) = opts.get("slave-deadline") {
+        let secs: f64 = secs
+            .parse()
+            .map_err(|_| format!("--slave-deadline: cannot parse {secs:?}"))?;
+        if secs <= 0.0 {
+            return Err("--slave-deadline must be positive".into());
+        }
+        net.slave_deadline = std::time::Duration::from_secs_f64(secs);
+    }
+    let mut server = MasterServer::bind_with(
+        listen,
+        MasterConfig {
+            policy: policy_from_opts(&opts)?,
+            adjustment: !opts.has("no-adjustment"),
+            dispatch: Default::default(),
+        },
+        slaves,
+        net,
+    )
+    .map_err(|e| format!("bind {listen}: {e}"))?;
+    // Stream events as JSONL while the run progresses (a crashed or killed
+    // master still leaves every event up to that point on disk), instead
+    // of buffering the whole log until exit.
+    let mut events_streamed = None;
+    if let Some(path) = opts.get("events") {
+        use std::io::Write;
+        let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+        let mut out = std::io::LineWriter::new(file);
+        let written = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let counter = std::sync::Arc::clone(&written);
+        server = server.with_event_sink(move |event| {
+            // A full disk must not take the run down with it.
+            let _ = writeln!(out, "{}", event.to_json());
+            counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        events_streamed = Some((written, path.to_string()));
+    }
+    println!(
+        "master listening on {} for {} slave(s), {} tasks",
+        server.local_addr().map_err(|e| e.to_string())?,
+        slaves,
+        queries.len()
+    );
+    let outcome = server.serve(specs).map_err(|e| e.to_string())?;
+    if let Some((written, path)) = events_streamed {
+        println!(
+            "streamed {} events to {path}",
+            written.load(std::sync::atomic::Ordering::Relaxed)
+        );
+    }
+    println!(
+        "\ncompleted {} tasks in {:.2} s  →  {:.2} GCUPS",
+        outcome.completed_by.len(),
+        outcome.elapsed_seconds,
+        outcome.gcups
+    );
+    // Kernel accounting mirrors `swhybrid search`: the same counters, here
+    // aggregated over the wire from every slave's reports.
+    let k = &outcome.kernels;
+    if k.total() > 0 {
+        println!(
+            "kernel (all slaves): {} striped / {} inter-sequence chunks, \
+             subjects i8/i16/scalar striped {}+{}+{} interseq {}+{}+{}",
+            k.chunks_striped,
+            k.chunks_interseq,
+            k.resolved_i8,
+            k.resolved_i16,
+            k.resolved_scalar,
+            k.interseq_i8,
+            k.interseq_i16,
+            k.interseq_scalar,
+        );
+        for (name, k) in &outcome.kernels_by_pe {
+            println!(
+                "  {name}: {} cells, {} striped / {} inter-sequence chunks, \
+                 subjects i8/i16/scalar striped {}+{}+{} interseq {}+{}+{}",
+                k.cells_computed,
+                k.chunks_striped,
+                k.chunks_interseq,
+                k.resolved_i8,
+                k.resolved_i16,
+                k.resolved_scalar,
+                k.interseq_i8,
+                k.interseq_i16,
+                k.interseq_scalar,
+            );
+        }
+    }
+    println!("\nmerged hits (top {}):", opts.get_parsed("top", 10usize)?);
+    for (rank, qh) in outcome
+        .hits
+        .iter()
+        .take(opts.get_parsed("top", 10usize)?)
+        .enumerate()
+    {
+        println!(
+            "{:>4}  score {:>5}  q{}  {}",
+            rank + 1,
+            qh.hit.score,
+            qh.query_index,
+            qh.hit.id
+        );
+    }
+    Ok(())
+}
+
+pub(super) fn cmd_slave(args: &[String]) -> Result<(), String> {
+    use crate::device::exec::StripedBackend;
+    use crate::exec::net::{run_serve_slave, run_slave_with, NetConfig};
+
+    let opts = Opts::parse(
+        args,
+        &[
+            "connect",
+            "name",
+            "gcups",
+            "top",
+            "heartbeat",
+            "reconnect-retries",
+            "kernel",
+            "matrix",
+            "gap-open",
+            "gap-extend",
+        ],
+        &["serve"],
+    )?;
+    let connect = opts
+        .get("connect")
+        .ok_or_else(|| "--connect HOST:PORT is required".to_string())?;
+    let name = opts.get("name").unwrap_or("slave").to_string();
+    let gcups: f64 = opts.get_parsed("gcups", 1.0)?;
+    let scoring = scoring_from_opts(&opts)?;
+    let mut net = NetConfig::default();
+    if let Some(secs) = opts.get("heartbeat") {
+        let secs: f64 = secs
+            .parse()
+            .map_err(|_| format!("--heartbeat: cannot parse {secs:?}"))?;
+        if secs <= 0.0 {
+            return Err("--heartbeat must be positive".into());
+        }
+        net.heartbeat_interval = std::time::Duration::from_secs_f64(secs);
+    }
+    net.reconnect_max_retries = opts.get_parsed("reconnect-retries", net.reconnect_max_retries)?;
+
+    if opts.has("serve") {
+        // Serve-mode: only the database is loaded locally; queries and
+        // shard bounds arrive over the wire from the daemon.
+        let [dbpath] = opts.positional.as_slice() else {
+            return Err("slave --serve takes <db.fasta>".into());
+        };
+        let subjects = load_encoded(dbpath)?;
+        println!("{name}: connecting to daemon at {connect} (serve mode)");
+        let executed = run_serve_slave(
+            connect,
+            &name,
+            gcups,
+            &subjects,
+            &scoring,
+            kernel_from_opts(&opts)?,
+            &net,
+        )
+        .map_err(|e| e.to_string())?;
+        println!("{name}: done, executed {executed} shard(s)");
+        return Ok(());
+    }
+
+    let [qpath, dbpath] = opts.positional.as_slice() else {
+        return Err("slave takes <query.fasta> <db.fasta>".into());
+    };
+    let queries = load_encoded(qpath)?;
+    let subjects = load_encoded(dbpath)?;
+    println!("{name}: connecting to {connect}");
+    let backend = StripedBackend {
+        kernel: kernel_from_opts(&opts)?,
+        ..StripedBackend::default()
+    };
+    let executed = run_slave_with(
+        connect,
+        &name,
+        gcups,
+        &backend,
+        &queries,
+        &subjects,
+        &scoring,
+        opts.get_parsed("top", 10usize)?,
+        &net,
+    )
+    .map_err(|e| e.to_string())?;
+    println!("{name}: done, executed {executed} task(s)");
+    Ok(())
+}

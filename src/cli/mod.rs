@@ -1,0 +1,205 @@
+//! The `swhybrid` command-line front end: one module per verb family.
+//!
+//! The binary (`src/bin/swhybrid.rs`) is a thin shell around [`run`]; every
+//! verb lives here in the library so the whole CLI surface is testable
+//! in-process (no subprocess spawning, no argv plumbing):
+//!
+//! * [`args`] — the shared flag parser plus the scoring / kernel / policy
+//!   option decoders every verb reuses,
+//! * [`db`] — database plumbing: `index`, `db build|inspect`, `generate`,
+//!   and [`db::DbSource`] (FASTA records or a memory-mapped `.swdb` store),
+//! * [`search`] — the one-shot `search` verb,
+//! * [`bench`] — the `bench-kernels` / `bench-serve` / `bench-store`
+//!   measurement verbs and their JSON baseline regression checks,
+//! * [`master_slave`] — the distributed `master` / `slave` pair and the
+//!   virtual-time `simulate` verb,
+//! * [`serve`] — the persistent daemon (`serve`) and its clients
+//!   (`query`, `reload`).
+
+mod args;
+mod bench;
+mod db;
+mod master_slave;
+mod search;
+mod serve;
+#[cfg(test)]
+mod tests;
+
+const USAGE: &str = "\
+swhybrid — biological sequence comparison on hybrid platforms
+
+USAGE:
+  swhybrid index <file.fasta>
+      Build the indexed-format sidecar (<file>.swhidx): sequence count,
+      longest-sequence size, per-sequence byte offsets.
+
+  swhybrid db build <db.fasta> <out.swdb> [--name NAME]
+      Compile a FASTA database into a persistent `.swdb` store: the
+      encoded residue arena (64-byte aligned, memory-mappable), ids,
+      spans, the length-sorted scan permutation, per-chunk residue
+      counts, and the FNV database digest — everything the runtime
+      otherwise reconstructs on every boot. Written atomically
+      (temp file + fsync + rename).
+
+  swhybrid db inspect <store.swdb> [--verify]
+      Print a store's header: name, alphabet, sequence/residue counts,
+      length extrema, digest, section sizes. --verify additionally
+      checks the arena checksum and re-hashes the full database digest.
+
+  swhybrid generate <db-name> <scale> <out.fasta>
+      Write a synthetic stand-in for one of the paper's databases.
+      <db-name>: dog | rat | human | mouse | swissprot
+      <scale>:   fraction of the full sequence count, e.g. 0.01
+
+  swhybrid search <query.fasta> <db.fasta> [--top N] [--threads N]
+                  [--matrix blosum62|blosum50|pam250]
+                  [--gap-open N] [--gap-extend N] [--align]
+                  [--kernel striped|interseq|auto]
+                  [--db-store FILE.swdb] [--verify-store]
+      Compare every query against the database with the adapted-Farrar
+      striped engine; print ranked hits (and alignments with --align).
+      --kernel selects the scan kernel per chunk: the striped engine, the
+      SWIPE-style inter-sequence engine, or adaptive dispatch (default).
+      --db-store replaces <db.fasta> with a `.swdb` store: the arena is
+      memory-mapped and scanned in place (no parse, no re-encode), with
+      hit tables byte-identical to the FASTA path. --verify-store
+      re-checks the arena checksum and digest before scanning.
+
+  swhybrid bench-kernels [--subjects N] [--qlen N] [--reps N]
+                         [--threads LIST] [--json FILE]
+                         [--baseline FILE] [--tolerance PCT]
+      Time the striped, inter-sequence, and adaptive kernels over a
+      length-skewed synthetic database and report GCUPS (nominal cells,
+      so the kernels are directly comparable). --threads takes a comma
+      list of worker counts (default 1,2,4) and reports per-count GCUPS
+      plus scaling efficiency; rankings must stay identical across every
+      kernel x thread combination. --json also writes the table as a
+      JSON report. --baseline compares each kernel's single-thread GCUPS
+      against a previously written report and fails if any regressed
+      more than --tolerance percent (default 5).
+
+  swhybrid simulate [--gpus N] [--sse N] [--fpgas N] [--db NAME]
+                    [--policy ss|pss|fixed|wfixed] [--no-adjustment]
+                    [--order asc|desc|shuffle] [--queries N]
+      Run the paper's 40-query workload (or --queries N) on a simulated
+      hybrid platform under virtual time and report time/GCUPS.
+
+  swhybrid master <query.fasta> <db.fasta> --listen HOST:PORT --slaves N
+                  [--policy ...] [--no-adjustment] [--top N]
+                  [--register-timeout SECS] [--slave-deadline SECS]
+                  [--events FILE.json]
+      Start the distributed master: waits for N slaves to register (at most
+      --register-timeout seconds; 0 waits forever), then distributes one
+      task per query and prints the merged hits. A slave silent for
+      --slave-deadline seconds is declared dead and its tasks requeued.
+      --events streams the structured run-event log as JSON lines (one
+      event per line, written as the run progresses).
+
+  swhybrid serve <db.fasta> --listen HOST:PORT [--workers N] [--shards N]
+                 [--db-store FILE.swdb] [--verify-store]
+                 [--listen-slaves HOST:PORT] [--max-active N] [--fusion N]
+                 [--queue-depth N] [--client-inflight N] [--cache N]
+                 [--retain N] [--policy ss|pss] [--no-adjustment]
+                 [--matrix ...] [--gap-open N] [--gap-extend N]
+                 [--kernel striped|interseq|auto] [--chunk N]
+      Start the persistent query daemon: the database stays resident and
+      the master/slave scheduler stays warm between queries. Speaks
+      newline-delimited JSON (verbs: search, status, cancel, stats,
+      shutdown) with bounded admission, per-client in-flight limits, an
+      LRU result cache, and live metrics. Runs until a client sends
+      shutdown, then drains in-flight queries and exits.
+      Queries that queue behind a running group are fused — up to
+      --fusion of them share each database pass (1 disables fusion);
+      results stay byte-identical to per-query scans. --retain bounds how
+      many finished jobs keep answering status before eviction. --chunk
+      overrides the scan chunk size (subjects per claimed unit; rejected
+      below the kernel floor).
+      --listen-slaves additionally accepts remote slave processes
+      (`swhybrid slave --serve`) on a second port: they join the same
+      scheduling pool as the local workers, take database shards, and may
+      connect or disconnect at any time while the daemon keeps serving.
+      --db-store boots the daemon from a `.swdb` store instead of FASTA:
+      the arena is memory-mapped and the stored digest seeds the slave
+      handshake without an O(db) startup re-hash (--verify-store opts
+      back into the full checksum + digest check). A running daemon
+      hot-swaps databases via the `reload` verb (see swhybrid reload).
+
+  swhybrid bench-serve [--concurrency N] [--queries N] [--qlen N]
+                       [--subjects N] [--fusion N] [--workers N]
+                       [--json FILE] [--baseline FILE] [--tolerance PCT]
+      Measure serving throughput (queries/sec) of the in-process daemon
+      at --concurrency closed-loop clients, fused vs unfused, and report
+      the speedup. Hit tables are diffed between the two runs — fusion
+      must never change an answer. --json writes the report (default
+      BENCH_serve.json). --baseline compares fused and unfused
+      queries/sec against a previous report and fails if either
+      regressed more than --tolerance percent (default 5).
+
+  swhybrid query [query.fasta] --connect HOST:PORT [--top N]
+                 [--deadline-ms N] [--stats] [--shutdown]
+      Send each query in the FASTA to a running daemon and print the
+      ranked hits (marking cache-served results). --stats prints the
+      daemon's metrics snapshot; --shutdown asks it to drain and exit.
+
+  swhybrid reload --connect HOST:PORT (--store FILE.swdb [--verify]
+                  | --fasta FILE.fasta)
+      Atomically hot-swap a running daemon onto a new database without
+      restarting it: in-flight queries finish on the old snapshot, new
+      queries see only the new one, the result cache is invalidated, and
+      remote slaves are disconnected for re-admission under the new
+      digest. --verify makes the daemon fully checksum the store first.
+
+  swhybrid bench-store [--subjects N] [--qlen N] [--reps N] [--json FILE]
+      Measure cold-start-to-first-result latency and peak memory of the
+      two database load paths — FASTA parse + re-encode vs `.swdb`
+      memory-map — over the same synthetic database, diff the hit
+      tables (must be identical), and write the report (default
+      BENCH_store.json).
+
+  swhybrid slave <query.fasta> <db.fasta> --connect HOST:PORT
+                 [--name NAME] [--gcups X] [--threads N]
+                 [--heartbeat SECS] [--reconnect-retries N]
+                 [--kernel striped|interseq|auto]
+      Join a running master as a slave PE. Both sides must have the same
+      sequence files (the paper's shared-files model). The slave heartbeats
+      every --heartbeat seconds and reconnects with exponential backoff up
+      to --reconnect-retries times if the connection drops.
+
+  swhybrid slave --serve <db.fasta> --connect HOST:PORT
+                 [--name NAME] [--gcups X] [--matrix ...] [--gap-open N]
+                 [--gap-extend N] [--kernel striped|interseq|auto]
+                 [--heartbeat SECS] [--reconnect-retries N]
+      Join a daemon's slave port (`swhybrid serve --listen-slaves`) as a
+      serve-mode slave: no query file — the daemon ships each query and
+      shard over the wire. The slave proves at registration (by database
+      digest) that it loaded exactly the database the daemon serves, and
+      scans shards until the daemon shuts down.
+
+  swhybrid help
+      Show this message.
+";
+
+/// Dispatch one invocation: `args` is `argv` without the program name.
+pub fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some("index") => db::cmd_index(&args[1..]),
+        Some("db") => db::cmd_db(&args[1..]),
+        Some("generate") => db::cmd_generate(&args[1..]),
+        Some("search") => search::cmd_search(&args[1..]),
+        Some("bench-kernels") => bench::cmd_bench_kernels(&args[1..]),
+        Some("bench-serve") => bench::cmd_bench_serve(&args[1..]),
+        Some("bench-store") => bench::cmd_bench_store(&args[1..]),
+        Some("bench-store-probe") => bench::cmd_bench_store_probe(&args[1..]),
+        Some("reload") => serve::cmd_reload(&args[1..]),
+        Some("simulate") => master_slave::cmd_simulate(&args[1..]),
+        Some("master") => master_slave::cmd_master(&args[1..]),
+        Some("slave") => master_slave::cmd_slave(&args[1..]),
+        Some("serve") => serve::cmd_serve(&args[1..]),
+        Some("query") => serve::cmd_query(&args[1..]),
+        Some(other) => Err(format!("unknown command {other:?}")),
+    }
+}

@@ -1,0 +1,145 @@
+//! The one-shot `search` verb: load queries, pick a [`DbSource`], scan,
+//! rank, and (optionally) print Gotoh alignments for the reported hits.
+
+use crate::simd::search::SearchConfig;
+use crate::store::Store;
+
+use super::args::{kernel_from_opts, scoring_from_opts, store_verify, Opts};
+use super::db::{load_encoded, DbSource};
+
+pub(super) fn cmd_search(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(
+        args,
+        &[
+            "top",
+            "threads",
+            "matrix",
+            "gap-open",
+            "gap-extend",
+            "kernel",
+            "db-store",
+        ],
+        &["align", "verify-store"],
+    )?;
+    let scoring = scoring_from_opts(&opts)?;
+    let kernel = kernel_from_opts(&opts)?;
+    let top_n: usize = opts.get_parsed("top", 10)?;
+    let threads: usize = opts.get_parsed("threads", 1)?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+
+    let (qpath, db) = match (opts.get("db-store"), opts.positional.as_slice()) {
+        (Some(store_path), [qpath]) => {
+            let snapshot = Store::open_with(store_path, store_verify(opts.has("verify-store")))
+                .and_then(Store::into_snapshot)
+                .map_err(|e| format!("{store_path}: {e}"))?;
+            if !snapshot.is_empty() && snapshot.alphabet() != scoring.matrix.alphabet {
+                return Err(format!(
+                    "{store_path}: store alphabet {:?} does not match scoring alphabet {:?}",
+                    snapshot.alphabet(),
+                    scoring.matrix.alphabet
+                ));
+            }
+            (qpath, DbSource::Snapshot(snapshot))
+        }
+        (None, [qpath, dbpath]) => (qpath, DbSource::Encoded(load_encoded(dbpath)?)),
+        (Some(_), _) => return Err("search --db-store takes <query.fasta> only".into()),
+        (None, _) => return Err("search takes <query.fasta> <db.fasta>".into()),
+    };
+    let queries = load_encoded(qpath)?;
+    if queries.is_empty() {
+        return Err(format!("{qpath}: no query sequences"));
+    }
+    println!(
+        "{} quer{} × {} subjects",
+        queries.len(),
+        if queries.len() == 1 { "y" } else { "ies" },
+        db.len()
+    );
+
+    let start = std::time::Instant::now();
+    let mut total_cells = 0u64;
+    let mut kernel_stats = crate::simd::engine::KernelStats::default();
+    for query in &queries {
+        let result = db.search(
+            &query.codes,
+            &scoring,
+            SearchConfig {
+                threads,
+                top_n,
+                kernel,
+                ..Default::default()
+            },
+        );
+        total_cells += result.cells;
+        kernel_stats.merge(&result.stats);
+        let stats_params = crate::align::evalue::KarlinAltschul::for_scoring(&scoring);
+        let db_residues: u64 = db.total_residues();
+        println!("\n# query {} ({} aa)", query.id, query.len());
+        println!(
+            "{:>4}  {:>6}  {:>8}  {:>9}  {:>6}  subject",
+            "rank", "score", "bits", "E-value", "len"
+        );
+        for (rank, hit) in result.hits.iter().enumerate() {
+            let (bits, evalue) = match &stats_params {
+                Some(p) => (
+                    format!("{:.1}", p.bit_score(hit.score)),
+                    format!(
+                        "{:.1e}",
+                        p.evalue(hit.score, query.len(), db_residues, db.len())
+                    ),
+                ),
+                None => ("-".into(), "-".into()),
+            };
+            println!(
+                "{:>4}  {:>6}  {:>8}  {:>9}  {:>6}  {}",
+                rank + 1,
+                hit.score,
+                bits,
+                evalue,
+                hit.subject_len,
+                hit.id
+            );
+        }
+        if opts.has("align") {
+            for hit in &result.hits {
+                let alignment = crate::align::gotoh::gotoh_align(
+                    &query.codes,
+                    db.subject_codes(hit.db_index),
+                    &scoring,
+                );
+                debug_assert_eq!(alignment.score, hit.score, "hit {}", hit.id);
+                println!(
+                    "\n>{} score {} cigar {} identity {:.0}%",
+                    hit.id,
+                    hit.score,
+                    alignment.cigar(),
+                    alignment.identity() * 100.0
+                );
+                let q_ascii = query.decode();
+                let s_ascii = db.decode_subject(hit.db_index);
+                println!("{}", alignment.pretty(&q_ascii, &s_ascii));
+            }
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    println!(
+        "\n{total_cells} cells in {secs:.3} s = {:.2} GCUPS",
+        total_cells as f64 / secs / 1e9
+    );
+    println!(
+        "kernel {}: {} striped / {} inter-sequence chunks, \
+         subjects i8/i16/scalar striped {}+{}+{} interseq {}+{}+{}",
+        kernel.name(),
+        kernel_stats.chunks_striped,
+        kernel_stats.chunks_interseq,
+        kernel_stats.resolved_i8,
+        kernel_stats.resolved_i16,
+        kernel_stats.resolved_scalar,
+        kernel_stats.interseq_i8,
+        kernel_stats.interseq_i16,
+        kernel_stats.interseq_scalar,
+    );
+    Ok(())
+}

@@ -1,0 +1,632 @@
+use super::args::{scoring_from_opts, Opts};
+use super::bench::check_baseline_metric;
+use super::db::{load_encoded, DbSource};
+use super::run;
+
+use crate::align::scoring::{GapModel, Scoring, SubstMatrix};
+use crate::seq::fasta::FastaReader;
+use crate::seq::sequence::EncodedSequence;
+use crate::seq::Alphabet;
+use crate::simd::search::SearchConfig;
+use crate::store::Store;
+
+fn s(v: &[&str]) -> Vec<String> {
+    v.iter().map(|x| x.to_string()).collect()
+}
+
+#[test]
+fn opts_parser_positional_and_flags() {
+    let o = Opts::parse(
+        &s(&["a.fasta", "--top", "5", "--align", "b.fasta"]),
+        &["top"],
+        &["align"],
+    )
+    .unwrap();
+    assert_eq!(o.positional, s(&["a.fasta", "b.fasta"]));
+    assert_eq!(o.get("top"), Some("5"));
+    assert!(o.has("align"));
+    assert_eq!(o.get_parsed("top", 1usize).unwrap(), 5);
+    assert_eq!(o.get_parsed("missing", 7usize).unwrap(), 7);
+}
+
+#[test]
+fn opts_parser_rejects_unknown_and_missing_value() {
+    assert!(Opts::parse(&s(&["--bogus"]), &["top"], &[]).is_err());
+    assert!(Opts::parse(&s(&["--top"]), &["top"], &[]).is_err());
+}
+
+#[test]
+fn scoring_from_opts_defaults_and_overrides() {
+    let o = Opts::parse(&s(&[]), &["matrix", "gap-open", "gap-extend"], &[]).unwrap();
+    let sc = scoring_from_opts(&o).unwrap();
+    assert_eq!(sc.matrix.name, "BLOSUM62");
+    let o = Opts::parse(
+        &s(&["--matrix", "pam250", "--gap-open", "12"]),
+        &["matrix", "gap-open", "gap-extend"],
+        &[],
+    )
+    .unwrap();
+    let sc = scoring_from_opts(&o).unwrap();
+    assert_eq!(sc.matrix.name, "PAM250");
+    assert_eq!(
+        sc.gap,
+        GapModel::Affine {
+            open: 12,
+            extend: 2
+        }
+    );
+}
+
+#[test]
+fn unknown_command_errors() {
+    assert!(run(&s(&["frobnicate"])).is_err());
+    assert!(run(&s(&["help"])).is_ok());
+}
+
+#[test]
+fn baseline_metric_pins_the_regression_floor() {
+    // Exactly the committed-baseline contract: current throughput may
+    // exceed the baseline freely but must not fall more than the
+    // tolerance below it.
+    assert!(check_baseline_metric("qps", 100.0, 100.0, 5.0).is_ok());
+    assert!(check_baseline_metric("qps", 95.0, 100.0, 5.0).is_ok());
+    assert!(check_baseline_metric("qps", 250.0, 100.0, 5.0).is_ok());
+    let err = check_baseline_metric("qps", 94.9, 100.0, 5.0).unwrap_err();
+    assert!(err.contains("qps"), "error names the metric: {err}");
+    assert!(err.contains("regressed"), "error says what happened: {err}");
+    // Absent or zero baseline fields never fail — not a regression.
+    assert!(check_baseline_metric("qps", 0.0, 0.0, 5.0).is_ok());
+}
+
+#[test]
+fn bench_kernels_baseline_round_trip() {
+    // The mechanism end to end: one tiny run writes the report, a second
+    // identical run compares against it. A generous tolerance keeps this
+    // a smoke test of the plumbing, not a timing assertion — the 5%
+    // contract itself is pinned by baseline_metric_pins_the_regression_floor.
+    let dir = std::env::temp_dir().join(format!("swhybrid_cli_baseline_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let json = dir.join("BENCH_kernels.json");
+    let small = [
+        "bench-kernels",
+        "--subjects",
+        "200",
+        "--qlen",
+        "16",
+        "--reps",
+        "1",
+        "--threads",
+        "1",
+    ];
+    let mut first: Vec<&str> = small.to_vec();
+    first.extend(["--json", json.to_str().unwrap()]);
+    run(&s(&first)).unwrap();
+    let mut second: Vec<&str> = small.to_vec();
+    second.extend(["--baseline", json.to_str().unwrap(), "--tolerance", "99"]);
+    run(&s(&second)).unwrap();
+    // A baseline demanding impossible throughput fails the run.
+    let impossible = concat!(
+        r#"{"kernels":[{"kernel":"striped","gcups":999999999.0},"#,
+        r#"{"kernel":"interseq","gcups":999999999.0},"#,
+        r#"{"kernel":"auto","gcups":999999999.0}]}"#,
+    );
+    std::fs::write(&json, impossible).unwrap();
+    let mut third: Vec<&str> = small.to_vec();
+    third.extend(["--baseline", json.to_str().unwrap(), "--tolerance", "5"]);
+    assert!(run(&s(&third)).is_err());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn simulate_smoke_small() {
+    // A tiny simulated run exercises the whole path.
+    run(&s(&[
+        "simulate",
+        "--gpus",
+        "1",
+        "--sse",
+        "1",
+        "--db",
+        "dog",
+        "--queries",
+        "4",
+    ]))
+    .unwrap();
+}
+
+#[test]
+fn serve_rejects_undersized_chunk_cleanly() {
+    // The chunk floor surfaces as a CLI error (not a service panic),
+    // before the daemon even loads a database.
+    let err = run(&s(&[
+        "serve",
+        "--db-store",
+        "nonexistent.swdb",
+        "--chunk",
+        "16",
+    ]))
+    .unwrap_err();
+    assert!(err.contains("--chunk"), "error names the flag: {err}");
+}
+
+#[test]
+fn distributed_master_slave_via_cli_paths() {
+    // Exercise cmd_master + cmd_slave end-to-end on localhost with an
+    // ephemeral port.
+    let dir = std::env::temp_dir().join(format!("swhybrid_cli_net_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let db = dir.join("db.fasta");
+    run(&s(&["generate", "rat", "0.0003", db.to_str().unwrap()])).unwrap();
+    let q = dir.join("q.fasta");
+    let first = FastaReader::open(&db)
+        .unwrap()
+        .next_record()
+        .unwrap()
+        .unwrap();
+    std::fs::write(&q, crate::seq::fasta::to_string(std::iter::once(&first))).unwrap();
+
+    // Pick a free port by binding briefly.
+    let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = probe.local_addr().unwrap().to_string();
+    drop(probe);
+
+    let q2 = q.clone();
+    let db2 = db.clone();
+    let addr2 = addr.clone();
+    let slave = std::thread::spawn(move || {
+        // Retry until the master is listening.
+        for _ in 0..200 {
+            let result = run(&s(&[
+                "slave",
+                q2.to_str().unwrap(),
+                db2.to_str().unwrap(),
+                "--connect",
+                &addr2,
+                "--name",
+                "cli-slave",
+            ]));
+            if result.is_ok() {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        panic!("slave never connected");
+    });
+    let events = dir.join("events.json");
+    run(&s(&[
+        "master",
+        q.to_str().unwrap(),
+        db.to_str().unwrap(),
+        "--listen",
+        &addr,
+        "--slaves",
+        "1",
+        "--register-timeout",
+        "30",
+        "--events",
+        events.to_str().unwrap(),
+    ]))
+    .unwrap();
+    slave.join().unwrap();
+    // The export is JSONL: every line is one well-formed event object.
+    let text = std::fs::read_to_string(&events).unwrap();
+    let entries: Vec<crate::json::Json> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| crate::json::Json::parse(l).expect("event line is valid JSON"))
+        .collect();
+    assert!(!entries.is_empty(), "event export is empty");
+    assert!(
+        entries
+            .iter()
+            .all(|e| e.get("event").and_then(crate::json::Json::as_str).is_some()),
+        "every event line carries its kind"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_query_daemon_round_trip() {
+    // Exercise cmd_serve + cmd_query end-to-end: serve a synthetic
+    // database, query it twice (second hit must come from the cache),
+    // print stats, then shut the daemon down and join it.
+    let dir = std::env::temp_dir().join(format!("swhybrid_cli_serve_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let db = dir.join("db.fasta");
+    run(&s(&["generate", "dog", "0.0005", db.to_str().unwrap()])).unwrap();
+    let first = FastaReader::open(&db)
+        .unwrap()
+        .next_record()
+        .unwrap()
+        .unwrap();
+    let q = dir.join("q.fasta");
+    std::fs::write(&q, crate::seq::fasta::to_string(std::iter::once(&first))).unwrap();
+
+    let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = probe.local_addr().unwrap().to_string();
+    drop(probe);
+
+    let db2 = db.clone();
+    let addr2 = addr.clone();
+    let daemon = std::thread::spawn(move || {
+        run(&s(&[
+            "serve",
+            db2.to_str().unwrap(),
+            "--listen",
+            &addr2,
+            "--workers",
+            "2",
+        ]))
+        .unwrap();
+    });
+    // Retry until the daemon is listening.
+    let mut connected = false;
+    for _ in 0..300 {
+        if run(&s(&[
+            "query",
+            q.to_str().unwrap(),
+            "--connect",
+            &addr,
+            "--top",
+            "3",
+        ]))
+        .is_ok()
+        {
+            connected = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    assert!(connected, "query CLI never reached the daemon");
+    // Repeat (cache hit) + stats + shutdown in one connection.
+    run(&s(&[
+        "query",
+        q.to_str().unwrap(),
+        "--connect",
+        &addr,
+        "--top",
+        "3",
+        "--stats",
+        "--shutdown",
+    ]))
+    .unwrap();
+    daemon.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_hybrid_fleet_with_remote_slave_round_trip() {
+    // `serve --listen-slaves` + `slave --serve`: a daemon scheduling a
+    // mixed fleet (local worker threads + one remote TCP slave) must
+    // answer queries and shut down cleanly, with the remote exiting too.
+    let dir = std::env::temp_dir().join(format!("swhybrid_cli_hybrid_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let db = dir.join("db.fasta");
+    run(&s(&["generate", "dog", "0.0005", db.to_str().unwrap()])).unwrap();
+    let first = FastaReader::open(&db)
+        .unwrap()
+        .next_record()
+        .unwrap()
+        .unwrap();
+    let q = dir.join("q.fasta");
+    std::fs::write(&q, crate::seq::fasta::to_string(std::iter::once(&first))).unwrap();
+
+    let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = probe.local_addr().unwrap().to_string();
+    let probe2 = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let slave_addr = probe2.local_addr().unwrap().to_string();
+    drop((probe, probe2));
+
+    let db2 = db.clone();
+    let addr2 = addr.clone();
+    let slave_addr2 = slave_addr.clone();
+    let daemon = std::thread::spawn(move || {
+        run(&s(&[
+            "serve",
+            db2.to_str().unwrap(),
+            "--listen",
+            &addr2,
+            "--listen-slaves",
+            &slave_addr2,
+            "--workers",
+            "2",
+            "--shards",
+            "4",
+            "--cache",
+            "0",
+        ]))
+        .unwrap();
+    });
+    let db3 = db.clone();
+    let slave = std::thread::spawn(move || {
+        // Wait until the daemon's slave port accepts, then join. The
+        // session ends either cleanly (`done` at drain) or with a
+        // connection loss if daemon teardown wins the race — both are
+        // valid exits for this smoke test.
+        let mut up = false;
+        for _ in 0..300 {
+            if std::net::TcpStream::connect(&slave_addr).is_ok() {
+                up = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        assert!(up, "daemon slave port never opened");
+        let _ = run(&s(&[
+            "slave",
+            "--serve",
+            db3.to_str().unwrap(),
+            "--connect",
+            &slave_addr,
+            "--name",
+            "cli-remote",
+            "--reconnect-retries",
+            "0",
+        ]));
+    });
+    let mut connected = false;
+    for _ in 0..300 {
+        if run(&s(&[
+            "query",
+            q.to_str().unwrap(),
+            "--connect",
+            &addr,
+            "--top",
+            "3",
+        ]))
+        .is_ok()
+        {
+            connected = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    assert!(connected, "query CLI never reached the hybrid daemon");
+    run(&s(&[
+        "query",
+        q.to_str().unwrap(),
+        "--connect",
+        &addr,
+        "--top",
+        "3",
+        "--stats",
+        "--shutdown",
+    ]))
+    .unwrap();
+    daemon.join().unwrap();
+    slave.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn db_build_inspect_and_store_search_round_trip() {
+    // `db build` + `db inspect --verify` + `search --db-store`: the
+    // store-backed scan must rank exactly what the FASTA scan ranks.
+    let dir = std::env::temp_dir().join(format!("swhybrid_cli_store_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let db = dir.join("db.fasta");
+    let db_s = db.to_str().unwrap().to_string();
+    run(&s(&["generate", "dog", "0.0005", &db_s])).unwrap();
+    let store = dir.join("db.swdb");
+    let store_s = store.to_str().unwrap().to_string();
+    run(&s(&["db", "build", &db_s, &store_s, "--name", "dog-test"])).unwrap();
+    run(&s(&["db", "inspect", &store_s, "--verify"])).unwrap();
+    run(&s(&["db", "inspect", &store_s])).unwrap();
+
+    let first = FastaReader::open(&db)
+        .unwrap()
+        .next_record()
+        .unwrap()
+        .unwrap();
+    let q = dir.join("q.fasta");
+    std::fs::write(&q, crate::seq::fasta::to_string(std::iter::once(&first))).unwrap();
+    run(&s(&[
+        "search",
+        q.to_str().unwrap(),
+        "--db-store",
+        &store_s,
+        "--verify-store",
+        "--top",
+        "3",
+        "--align",
+    ]))
+    .unwrap();
+
+    // Byte-identity of the two paths, checked on the hit tables
+    // themselves (the CLI prints; the API diff is the real assert).
+    let subjects = load_encoded(&db_s).unwrap();
+    let query = EncodedSequence::from_sequence(&first, Alphabet::Protein).unwrap();
+    let scoring = Scoring {
+        matrix: SubstMatrix::blosum62(),
+        gap: GapModel::Affine {
+            open: 10,
+            extend: 2,
+        },
+    };
+    let config = || SearchConfig {
+        top_n: 5,
+        ..Default::default()
+    };
+    let via_fasta = DbSource::Encoded(subjects).search(&query.codes, &scoring, config());
+    let snapshot = Store::open_verified(&store)
+        .unwrap()
+        .into_snapshot()
+        .unwrap();
+    assert!(snapshot.arena().is_shared(), "store arena is not mapped");
+    let via_store = DbSource::Snapshot(snapshot).search(&query.codes, &scoring, config());
+    assert_eq!(via_fasta.hits, via_store.hits);
+
+    // Mismatched usage is rejected, not silently accepted.
+    assert!(run(&s(&[
+        "search",
+        q.to_str().unwrap(),
+        &db_s,
+        "--db-store",
+        &store_s
+    ]))
+    .is_err());
+    assert!(run(&s(&["db", "frobnicate"])).is_err());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_from_store_and_reload_via_cli() {
+    // `serve --db-store` + `reload --store`: a daemon booted from one
+    // store generation hot-swaps onto another through the CLI verbs.
+    let dir = std::env::temp_dir().join(format!("swhybrid_cli_reload_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let db_a = dir.join("a.fasta");
+    let db_b = dir.join("b.fasta");
+    run(&s(&["generate", "dog", "0.0005", db_a.to_str().unwrap()])).unwrap();
+    run(&s(&["generate", "rat", "0.0003", db_b.to_str().unwrap()])).unwrap();
+    let store_a = dir.join("a.swdb");
+    let store_b = dir.join("b.swdb");
+    run(&s(&[
+        "db",
+        "build",
+        db_a.to_str().unwrap(),
+        store_a.to_str().unwrap(),
+    ]))
+    .unwrap();
+    run(&s(&[
+        "db",
+        "build",
+        db_b.to_str().unwrap(),
+        store_b.to_str().unwrap(),
+    ]))
+    .unwrap();
+    let first = FastaReader::open(&db_a)
+        .unwrap()
+        .next_record()
+        .unwrap()
+        .unwrap();
+    let q = dir.join("q.fasta");
+    std::fs::write(&q, crate::seq::fasta::to_string(std::iter::once(&first))).unwrap();
+
+    let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = probe.local_addr().unwrap().to_string();
+    drop(probe);
+    let addr2 = addr.clone();
+    let store_a2 = store_a.clone();
+    let daemon = std::thread::spawn(move || {
+        run(&s(&[
+            "serve",
+            "--db-store",
+            store_a2.to_str().unwrap(),
+            "--listen",
+            &addr2,
+            "--workers",
+            "2",
+        ]))
+        .unwrap();
+    });
+    let mut connected = false;
+    for _ in 0..300 {
+        if run(&s(&[
+            "query",
+            q.to_str().unwrap(),
+            "--connect",
+            &addr,
+            "--top",
+            "3",
+        ]))
+        .is_ok()
+        {
+            connected = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    assert!(connected, "query CLI never reached the store-backed daemon");
+
+    // Hot-swap to generation B (with full verification), then prove the
+    // daemon answers from the new database and shuts down cleanly.
+    run(&s(&[
+        "reload",
+        "--connect",
+        &addr,
+        "--store",
+        store_b.to_str().unwrap(),
+        "--verify",
+    ]))
+    .unwrap();
+    // Reloading a nonsense path is refused without killing the daemon.
+    assert!(run(&s(&[
+        "reload",
+        "--connect",
+        &addr,
+        "--store",
+        dir.join("missing.swdb").to_str().unwrap(),
+    ]))
+    .is_err());
+    assert!(run(&s(&["reload", "--connect", &addr])).is_err());
+    run(&s(&[
+        "query",
+        q.to_str().unwrap(),
+        "--connect",
+        &addr,
+        "--top",
+        "3",
+        "--stats",
+        "--shutdown",
+    ]))
+    .unwrap();
+    daemon.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bench_store_smoke() {
+    let dir = std::env::temp_dir().join(format!("swhybrid_cli_bstore_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let json = dir.join("BENCH_store.json");
+    run(&s(&[
+        "bench-store",
+        "--subjects",
+        "600",
+        "--qlen",
+        "24",
+        "--reps",
+        "1",
+        "--json",
+        json.to_str().unwrap(),
+    ]))
+    .unwrap();
+    let report = crate::json::Json::parse(&std::fs::read_to_string(&json).unwrap()).unwrap();
+    assert_eq!(
+        report
+            .get("identical_hits")
+            .and_then(crate::json::Json::as_bool),
+        Some(true)
+    );
+    assert!(report.get("load_speedup").is_some());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn generate_index_search_round_trip() {
+    let dir = std::env::temp_dir().join(format!("swhybrid_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let db = dir.join("db.fasta");
+    let db_s = db.to_str().unwrap().to_string();
+    run(&s(&["generate", "dog", "0.0005", &db_s])).unwrap();
+    run(&s(&["index", &db_s])).unwrap();
+    // Use the database's own first record as the query: it must be hit.
+    let first = FastaReader::open(&db)
+        .unwrap()
+        .next_record()
+        .unwrap()
+        .unwrap();
+    let q = dir.join("q.fasta");
+    std::fs::write(&q, crate::seq::fasta::to_string(std::iter::once(&first))).unwrap();
+    run(&s(&[
+        "search",
+        q.to_str().unwrap(),
+        &db_s,
+        "--top",
+        "3",
+        "--align",
+    ]))
+    .unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}

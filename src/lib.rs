@@ -22,9 +22,13 @@
 //!   checksummed, memory-mapped files the daemon boots from and
 //!   hot-reloads onto,
 //! * [`json`] — the dependency-free JSON reader/writer used for event and
-//!   trace export.
+//!   trace export,
+//! * [`cli`] — the `swhybrid` command-line verbs (the binary is a thin
+//!   shell around [`cli::run`]).
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
+
+pub mod cli;
 
 pub use swhybrid_align as align;
 pub use swhybrid_core as exec;
