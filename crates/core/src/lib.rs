@@ -16,11 +16,16 @@
 //!   mean behind PSS),
 //! * [`policy`] — allocation policies: SS, PSS(Ω), and the related-work
 //!   baselines Fixed (even split) and WFixed (static proportional split),
-//! * [`master`] — the master's state machine (registration, allocation,
-//!   replication, completion, cancellation),
-//! * [`sim`] — a deterministic discrete-event simulator driving the master
-//!   with modelled PEs under virtual time (how the paper-scale platform of
-//!   4 GPUs + 8 SSE cores is reproduced on this machine),
+//! * [`sched`] — THE scheduling engine: registration, allocation,
+//!   replication, completion, cancellation, parameterized by a
+//!   [`sched::Clock`] (wall clock or virtual time) so every driver shares
+//!   one implementation of the paper's §III decisions,
+//! * [`master`] — the master process: a thin driver-facing façade over
+//!   [`sched::Scheduler`] under its historical name,
+//! * [`sim`] — a deterministic discrete-event simulator driving the same
+//!   engine with modelled PEs on a [`sched::VirtualClock`] (how the
+//!   paper-scale platform of 4 GPUs + 8 SSE cores is reproduced on this
+//!   machine),
 //! * [`pool`] — the one pool-drive loop every real runtime shares: a
 //!   [`pool::PePool`] (master + membership behind the wakeup hub) driven
 //!   through transport-agnostic [`pool::PeEndpoint`]s,
@@ -44,6 +49,7 @@ pub mod platform;
 pub mod policy;
 pub mod pool;
 pub mod runtime;
+pub mod sched;
 pub mod shared;
 pub mod sim;
 pub mod stats;

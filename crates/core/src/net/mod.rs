@@ -94,7 +94,7 @@ use crate::trace::RuntimeEvent;
 use swhybrid_device::exec::QueryHit;
 use swhybrid_simd::engine::KernelStats;
 
-pub use server::MasterServer;
+pub use server::{LocalFleet, MasterServer};
 pub use session::serve_connection;
 pub use slave::{run_serve_slave, run_slave, run_slave_with};
 pub use wire::{
@@ -557,6 +557,143 @@ mod tests {
             .score;
             assert_eq!(qh.hit.score, expect);
         }
+    }
+
+    #[test]
+    fn hybrid_fleet_and_remote_slave_share_one_pool() {
+        use crate::runtime::RealPe;
+        use swhybrid_device::FleetSpec;
+        let (queries, subjects, specs) = tiny_workload();
+        let sc = scoring();
+        let server = MasterServer::bind(
+            "127.0.0.1:0",
+            MasterConfig {
+                policy: Policy::pss_default(),
+                adjustment: true,
+                dispatch: Default::default(),
+            },
+            1,
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let fleet = LocalFleet {
+            pes: FleetSpec::parse("gpu:1+sse:1")
+                .unwrap()
+                .build()
+                .into_iter()
+                .map(RealPe::from)
+                .collect(),
+            queries: &queries,
+            subjects: &subjects,
+            scoring: &sc,
+            top_n: 3,
+        };
+
+        let outcome = std::thread::scope(|scope| {
+            let q = &queries;
+            let s = &subjects;
+            scope.spawn(move || {
+                run_slave(
+                    addr,
+                    "remote-a",
+                    1.0,
+                    &StripedBackend::default(),
+                    q,
+                    s,
+                    &scoring(),
+                    3,
+                )
+                .expect("slave runs clean")
+            });
+            server.serve_hybrid(specs, fleet).expect("server completes")
+        });
+
+        // All three PE kinds — modeled GPU, local SIMD, remote slave —
+        // registered into the same pool and every winner is one of them.
+        assert_eq!(outcome.completed_by.len(), 6);
+        let names = ["gpu0", "sse0", "remote-a"];
+        assert!(outcome
+            .completed_by
+            .iter()
+            .all(|n| names.contains(&n.as_str())));
+        let registered: Vec<String> = outcome
+            .events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::PeRegistered { name, .. } => Some(name.clone()),
+                _ => None,
+            })
+            .collect();
+        for n in names {
+            assert!(registered.iter().any(|r| r == n), "{n} never registered");
+        }
+        // The modeled PE's completions quote the calibrated model.
+        use swhybrid_device::{DeviceModel, GpuDevice};
+        let device = GpuDevice::gtx580("gpu0");
+        let gpu_pe = outcome
+            .events
+            .iter()
+            .find_map(|e| match &e.kind {
+                EventKind::PeRegistered { pe, name, .. } if name == "gpu0" => Some(*pe),
+                _ => None,
+            })
+            .unwrap();
+        let (_, _, wl_specs) = tiny_workload();
+        for e in &outcome.events {
+            if let EventKind::TaskFinished {
+                pe,
+                task,
+                measured_gcups,
+                ..
+            } = e.kind
+            {
+                if pe == gpu_pe {
+                    assert_eq!(measured_gcups, device.task_gcups(&wl_specs[task]));
+                }
+            }
+        }
+        // Hits match a direct computation — modeled speed never touches
+        // the scores.
+        for qh in &outcome.hits {
+            let expect = swhybrid_align::score_only::sw_score_affine(
+                &queries[qh.query_index].codes,
+                &subjects[qh.hit.db_index].codes,
+                &scoring(),
+            )
+            .score;
+            assert_eq!(qh.hit.score, expect);
+        }
+    }
+
+    #[test]
+    fn hybrid_serve_with_zero_slaves_is_a_local_run() {
+        use crate::runtime::RealPe;
+        use swhybrid_device::FleetSpec;
+        let (queries, subjects, specs) = tiny_workload();
+        let sc = scoring();
+        let server = MasterServer::bind("127.0.0.1:0", MasterConfig::default(), 0).unwrap();
+        let fleet = LocalFleet {
+            pes: FleetSpec::parse("sse:2")
+                .unwrap()
+                .build()
+                .into_iter()
+                .map(RealPe::from)
+                .collect(),
+            queries: &queries,
+            subjects: &subjects,
+            scoring: &sc,
+            top_n: 3,
+        };
+        let outcome = server.serve_hybrid(specs, fleet).expect("local-only run");
+        assert_eq!(outcome.completed_by.len(), 6);
+        assert!(outcome
+            .completed_by
+            .iter()
+            .all(|n| n == "sse0" || n == "sse1"));
+        assert!(outcome
+            .events
+            .iter()
+            .any(|e| e.kind == EventKind::RunCompleted));
     }
 
     /// Regression: a connection whose first message is not `register` used

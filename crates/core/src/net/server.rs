@@ -8,11 +8,14 @@ use std::time::{Duration, Instant};
 use super::session::serve_connection;
 use super::{DistributedOutcome, NetConfig};
 use crate::master::{Master, MasterConfig};
-use crate::pool::{BatchOwner, PePool};
+use crate::pool::{drive, BatchOwner, LocalEndpoint, PePool, TaskResult};
+use crate::runtime::RealPe;
 use crate::stats::observed_gcups;
 use crate::trace::RuntimeEvent;
+use swhybrid_align::scoring::Scoring;
 use swhybrid_device::exec::merge_hits;
 use swhybrid_device::task::TaskSpec;
+use swhybrid_seq::sequence::EncodedSequence;
 use swhybrid_simd::engine::KernelStats;
 
 /// Accept-loop re-check interval (a *connection* poll while idle, not a
@@ -21,6 +24,24 @@ const ACCEPT_QUANTUM: Duration = Duration::from_millis(10);
 
 /// A live event tap, as accepted by [`MasterServer::with_event_sink`].
 type EventCallback = Box<dyn FnMut(&RuntimeEvent) + Send>;
+
+/// The master's own PEs: a hybrid fleet computing in-process, sharing the
+/// pool (and thus the scheduler) with whatever slaves connect over TCP.
+/// This is the paper's Fig. 1 in one process — the master is not only a
+/// dispatcher but may *itself* host real SIMD cores and modeled
+/// accelerators.
+pub struct LocalFleet<'a> {
+    /// The fleet members (e.g. from `FleetSpec::build()` via `RealPe::from`).
+    pub pes: Vec<RealPe>,
+    /// The encoded query set (task id = query index, as everywhere).
+    pub queries: &'a [EncodedSequence],
+    /// The materialised database.
+    pub subjects: &'a [EncodedSequence],
+    /// Alignment scoring.
+    pub scoring: &'a Scoring,
+    /// Hits retained per task.
+    pub top_n: usize,
+}
 
 /// The master process: owns the task pool, serves slave connections.
 pub struct MasterServer {
@@ -51,7 +72,9 @@ impl MasterServer {
         expected_slaves: usize,
         net: NetConfig,
     ) -> io::Result<MasterServer> {
-        assert!(expected_slaves >= 1, "need at least one slave");
+        // Zero slaves is now legal — the run can be carried entirely by a
+        // local fleet (see [`MasterServer::serve_hybrid`]); the PE-count
+        // requirement is checked at serve time, when the fleet is known.
         net.validate()?;
         Ok(MasterServer {
             listener: TcpListener::bind(addr)?,
@@ -88,6 +111,35 @@ impl MasterServer {
     /// fails its handshake never consumes a slave's place and late or
     /// reconnecting slaves can always get in.
     pub fn serve(self, specs: Vec<TaskSpec>) -> io::Result<DistributedOutcome> {
+        assert!(self.expected_slaves >= 1, "need at least one slave");
+        self.serve_inner(specs, None)
+    }
+
+    /// Serve with a hybrid in-process fleet *and* (optionally) remote
+    /// slaves, all on the same pool: the fleet's PEs are admitted before
+    /// the accept loop starts, count toward the registration barrier, and
+    /// compute through their [`crate::runtime::RealPe`] backends (real
+    /// SIMD, or modeled accelerators attributing their device model's
+    /// GCUPS) while slave sessions come and go over TCP. With
+    /// `expected_slaves == 0` this is a purely local hybrid run that still
+    /// flows through the full distributed machinery.
+    pub fn serve_hybrid(
+        self,
+        specs: Vec<TaskSpec>,
+        fleet: LocalFleet<'_>,
+    ) -> io::Result<DistributedOutcome> {
+        assert!(
+            self.expected_slaves + fleet.pes.len() >= 1,
+            "need at least one PE (slave or fleet member)"
+        );
+        self.serve_inner(specs, Some(fleet))
+    }
+
+    fn serve_inner(
+        self,
+        specs: Vec<TaskSpec>,
+        fleet: Option<LocalFleet<'_>>,
+    ) -> io::Result<DistributedOutcome> {
         let MasterServer {
             listener,
             config,
@@ -97,16 +149,56 @@ impl MasterServer {
         } = self;
         let n_tasks = specs.len();
         let total_cells: u64 = specs.iter().map(|s| s.cells()).sum();
-        let mut master = Master::new(specs, config);
+        let mut master = Master::new(specs.clone(), config);
         if let Some(sink) = sink {
             master.set_event_sink(sink);
         }
-        let pool = PePool::new(master, BatchOwner::new(n_tasks), expected_slaves);
+        let fleet_size = fleet.as_ref().map_or(0, |f| f.pes.len());
+        let pool = PePool::new(
+            master,
+            BatchOwner::new(n_tasks),
+            expected_slaves + fleet_size,
+        );
         listener.set_nonblocking(true)?;
         let start = Instant::now();
         let mut lost_since: Option<Instant> = None;
 
         std::thread::scope(|scope| {
+            // Admit and launch the local fleet first: its registrations
+            // open the barrier's local share, and its threads are ordinary
+            // pool-drive endpoints — the same loop the slave sessions run.
+            if let Some(fleet) = &fleet {
+                let ids: Vec<_> = fleet
+                    .pes
+                    .iter()
+                    .map(|pe| pool.admit(&pe.name, pe.static_gcups, false))
+                    .collect();
+                for (pe_id, pe) in ids.into_iter().zip(&fleet.pes) {
+                    let pool = &pool;
+                    let specs = &specs;
+                    let (queries, subjects) = (fleet.queries, fleet.subjects);
+                    let (scoring, top_n) = (fleet.scoring, fleet.top_n);
+                    scope.spawn(move || {
+                        let mut endpoint = LocalEndpoint::new(|task| {
+                            let t_start = Instant::now();
+                            let search =
+                                pe.backend.compare(&queries[task], subjects, scoring, top_n);
+                            let gcups =
+                                pe.backend.modeled_gcups(&specs[task]).unwrap_or_else(|| {
+                                    observed_gcups(search.cells, t_start.elapsed().as_secs_f64())
+                                });
+                            TaskResult {
+                                gcups: Some(gcups),
+                                hits: search.hits,
+                                cells: search.cells,
+                                kernels: Some(search.stats),
+                                fused: None,
+                            }
+                        });
+                        drive(pool, pe_id, &mut endpoint);
+                    });
+                }
+            }
             loop {
                 {
                     let mut g = pool.lock();

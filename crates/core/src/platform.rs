@@ -123,6 +123,22 @@ impl PlatformBuilder {
         self
     }
 
+    /// Add every PE of a parsed fleet spec, in written order — the same
+    /// `sse:8+gpu:2` spec the real runtimes (`master --fleet`, `serve
+    /// --fleet`) accept, so a simulated platform and a real hybrid run can
+    /// be configured from one string.
+    pub fn fleet(mut self, spec: &swhybrid_device::FleetSpec) -> Self {
+        use swhybrid_device::task::DeviceKind;
+        for &(kind, count) in spec.entries() {
+            self = match kind {
+                DeviceKind::SseCore => self.sse_cores(count),
+                DeviceKind::Gpu => self.gpus(count),
+                DeviceKind::Fpga => self.fpgas(count),
+            };
+        }
+        self
+    }
+
     /// Select the allocation policy.
     pub fn policy(mut self, policy: Policy) -> Self {
         self.config.master.policy = policy;

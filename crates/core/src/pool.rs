@@ -29,9 +29,10 @@
 use std::collections::{HashMap, VecDeque};
 use std::io;
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crate::master::{Assignment, Master};
+use crate::sched::{Clock, WallClock};
 use crate::shared::{HubGuard, WaitHub};
 use crate::task::{PeId, TaskId, TaskState};
 use crate::trace::EventKind;
@@ -280,10 +281,13 @@ impl<S> PoolCore<S> {
 }
 
 /// A master plus its membership state behind a [`WaitHub`], with one
-/// wall-clock epoch — the shared substrate both transports drive.
+/// wall-clock epoch — the shared substrate both transports drive. The
+/// real-time counterpart of the simulator's
+/// [`VirtualClock`](crate::sched::VirtualClock): both produce the `now`
+/// stamps the shared scheduling engine consumes.
 pub struct PePool<S> {
     hub: WaitHub<PoolCore<S>>,
-    epoch: Instant,
+    clock: WallClock,
 }
 
 /// How long a parked PE sleeps between predicate re-checks even without a
@@ -307,14 +311,14 @@ impl<S: PoolOwner> PePool<S> {
                 alive: 0,
                 abort: None,
             }),
-            epoch: Instant::now(),
+            clock: WallClock::new(),
         }
     }
 
     /// Seconds since the pool was created — the `now` of every master
     /// call and event timestamp.
     pub fn now(&self) -> f64 {
-        self.epoch.elapsed().as_secs_f64()
+        self.clock.now()
     }
 
     /// Lock the core (master + owner + membership).

@@ -42,6 +42,19 @@ pub struct RealPe {
     pub backend: Box<dyn ComputeBackend>,
 }
 
+impl From<swhybrid_device::fleet::FleetPe> for RealPe {
+    /// A fleet member is directly runnable: the backend carries the compute
+    /// path and (for modeled kinds) the speed attribution, so real SIMD PEs
+    /// and modeled accelerators drop into the same pool.
+    fn from(pe: swhybrid_device::fleet::FleetPe) -> RealPe {
+        RealPe {
+            name: pe.name,
+            static_gcups: pe.static_gcups,
+            backend: pe.backend,
+        }
+    }
+}
+
 /// Runtime configuration.
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
@@ -107,7 +120,7 @@ pub fn run_real(
     let n_tasks = specs.len();
     let top_n = config.top_n;
 
-    let master = Master::new(specs, config.master);
+    let master = Master::new(specs.clone(), config.master);
     let pool = PePool::new(master, BatchOwner::new(n_tasks), pes.len());
     // Admit every PE before any thread runs, so the event stream opens
     // with the complete registration block (the paper's barrier) and PE
@@ -121,15 +134,19 @@ pub fn run_real(
     std::thread::scope(|scope| {
         for (pe_id, pe) in ids.iter().copied().zip(&pes) {
             let pool = &pool;
+            let specs = &specs;
             scope.spawn(move || {
                 let mut endpoint = LocalEndpoint::new(|task| {
                     let t_start = Instant::now();
                     let search = pe.backend.compare(&queries[task], subjects, scoring, top_n);
+                    // Modeled accelerators attribute their device model's
+                    // throughput (so the scheduler sees e.g. GTX-580 speed);
+                    // real PEs report measured wall-clock speed.
+                    let gcups = pe.backend.modeled_gcups(&specs[task]).unwrap_or_else(|| {
+                        observed_gcups(search.cells, t_start.elapsed().as_secs_f64())
+                    });
                     TaskResult {
-                        gcups: Some(observed_gcups(
-                            search.cells,
-                            t_start.elapsed().as_secs_f64(),
-                        )),
+                        gcups: Some(gcups),
                         hits: search.hits,
                         cells: search.cells,
                         kernels: Some(search.stats),
@@ -290,6 +307,80 @@ mod tests {
             },
         );
         assert!(out.completed_by.iter().all(|n| !n.is_empty()));
+    }
+
+    #[test]
+    fn hybrid_fleet_matches_solo_and_attributes_modeled_speed() {
+        use swhybrid_device::FleetSpec;
+        let (queries, subjects) = tiny_workload();
+        let pes: Vec<RealPe> = FleetSpec::parse("gpu:1+sse:2")
+            .unwrap()
+            .build()
+            .into_iter()
+            .map(RealPe::from)
+            .collect();
+        let out = run_real(
+            pes,
+            &queries,
+            &subjects,
+            &scoring(),
+            RuntimeConfig::default(),
+        );
+        // Bit-identical hit table vs a single real PE.
+        let solo = run_real(
+            vec![pe("solo", 1.0)],
+            &queries,
+            &subjects,
+            &scoring(),
+            RuntimeConfig::default(),
+        );
+        assert_eq!(
+            out.hits, solo.hits,
+            "hybrid fleet must score bit-identically"
+        );
+        // The modeled GPU attributes its calibrated model speed, which is
+        // far beyond what one host thread really measures on this workload.
+        let gpu_pe = out
+            .events
+            .iter()
+            .find_map(|e| match &e.kind {
+                EventKind::PeRegistered { pe, name, .. } if name == "gpu0" => Some(*pe),
+                _ => None,
+            })
+            .expect("gpu0 registered");
+        let modeled: Vec<(usize, f64)> = out
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::TaskFinished {
+                    pe,
+                    task,
+                    measured_gcups,
+                    ..
+                } if pe == gpu_pe => Some((task, measured_gcups)),
+                _ => None,
+            })
+            .collect();
+        assert!(!modeled.is_empty(), "the modeled PE finished no task");
+        // The attributed speed is the calibrated model's throughput for
+        // exactly that task spec — not a host wall-clock measurement.
+        let device = swhybrid_device::GpuDevice::gtx580("gpu0");
+        use swhybrid_device::DeviceModel;
+        let db_residues: u64 = subjects.iter().map(|s| s.len() as u64).sum();
+        for (task, gcups) in modeled {
+            let spec = swhybrid_device::TaskSpec {
+                id: task,
+                query_len: queries[task].len(),
+                queries: 1,
+                db_residues,
+                db_sequences: subjects.len(),
+            };
+            assert_eq!(
+                gcups,
+                device.task_gcups(&spec),
+                "task {task}: attributed speed must be the model's"
+            );
+        }
     }
 
     #[test]

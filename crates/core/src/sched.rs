@@ -1,0 +1,680 @@
+//! The scheduling engine (§III): one implementation of SS/PSS Φ batch
+//! sizing, the Ω-window weighted speed statistics, the
+//! ready→executing→finished task state machine, and the workload
+//! adjustment mechanism (replication, first-completion-wins, beneficial
+//! takeover).
+//!
+//! The engine is deliberately **transport- and clock-agnostic**: every
+//! entry point takes an explicit `now` stamp in seconds, produced by
+//! whichever [`Clock`] the driver holds. The real runtimes
+//! ([`crate::pool`], [`crate::runtime`], the TCP master, the query
+//! service) read a [`WallClock`]; the discrete-event simulator
+//! ([`crate::sim`]) advances a [`VirtualClock`] along its event heap.
+//! Both drive the *same* [`Scheduler`] — there is exactly one place in the
+//! tree where a Φ batch is sized or a replica is cancelled, so simulated
+//! and real runs cannot silently diverge.
+//!
+//! [`crate::master::Master`] is the thin driver-facing façade over this
+//! engine; it adds nothing but the historical name and re-exports.
+
+use crate::policy::Policy;
+use crate::stats::PeSpeedStats;
+use crate::task::{PeId, TaskId, TaskPool, TaskState};
+use crate::trace::{EventKind, RuntimeEvent};
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::time::Instant;
+use swhybrid_device::task::TaskSpec;
+
+/// A monotonic source of `now` stamps (seconds since the clock's epoch).
+///
+/// The engine never reads time on its own — drivers sample their clock and
+/// pass the stamp in. The trait exists so driver code that *loops* over
+/// engine calls (the pool, the simulator) can be written once against
+/// either time base.
+pub trait Clock {
+    /// Seconds since this clock's epoch.
+    fn now(&self) -> f64;
+}
+
+/// Real time: seconds elapsed since construction.
+#[derive(Debug)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// A wall clock whose epoch is "now".
+    pub fn new() -> WallClock {
+        WallClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+}
+
+/// Virtual time: holds whatever instant the discrete-event driver has
+/// advanced it to. Never moves backwards.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    now: Cell<f64>,
+}
+
+impl VirtualClock {
+    /// A virtual clock at t = 0.
+    pub fn new() -> VirtualClock {
+        VirtualClock::default()
+    }
+
+    /// Advance to `t` (no-op if `t` is in the past — event heaps may pop
+    /// several events stamped with the same instant).
+    pub fn advance_to(&self, t: f64) {
+        if t > self.now.get() {
+            self.now.set(t);
+        }
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> f64 {
+        self.now.get()
+    }
+}
+
+/// How ready tasks are picked for a requesting PE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Dispatch {
+    /// Query-file order (the paper's behaviour): first ready task first,
+    /// regardless of who asks.
+    #[default]
+    FileOrder,
+    /// Extension: PEs at or above the mean estimated speed take the largest
+    /// ready tasks, slower PEs the smallest — a slow PE can then never
+    /// become the lone straggler on a huge task (see the
+    /// `ablation_dispatch` experiment).
+    SizeAware,
+}
+
+/// Engine configuration: the user-selected policy and whether the workload
+/// adjustment mechanism is active. (Named for the master process that
+/// historically owned it; re-exported as `master::MasterConfig`.)
+#[derive(Debug, Clone, Copy)]
+pub struct MasterConfig {
+    /// Task allocation policy.
+    pub policy: Policy,
+    /// Whether idle PEs replicate executing tasks once the ready queue is
+    /// empty (§IV-A-3).
+    pub adjustment: bool,
+    /// Ready-queue dispatch order.
+    pub dispatch: Dispatch,
+}
+
+impl Default for MasterConfig {
+    fn default() -> Self {
+        MasterConfig {
+            policy: Policy::pss_default(),
+            adjustment: true,
+            dispatch: Dispatch::FileOrder,
+        }
+    }
+}
+
+/// What the engine answers to a work request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Assignment {
+    /// Fresh ready tasks, in allocation order.
+    Tasks(Vec<TaskId>),
+    /// Take over a task that was assigned to another PE's batch but has not
+    /// started there yet: the task moves wholesale (no work is lost). The
+    /// `from` PE must drop it from its local queue.
+    Steal {
+        /// The reassigned task.
+        task: TaskId,
+        /// The PE it is taken from.
+        from: PeId,
+    },
+    /// A replica of a task another PE is already *running*; whichever copy
+    /// finishes first wins and the others are cancelled.
+    Replicate(TaskId),
+    /// Nothing for this PE right now (it may be re-polled if tasks are
+    /// released back to ready, e.g. when a PE leaves).
+    Wait,
+    /// Every task is finished.
+    Done,
+}
+
+/// A live tap on the engine's event stream: called once per event, in
+/// emission order, while the driver's lock is held — keep callbacks short
+/// (push to a channel, write a line). Events are still appended to the
+/// in-memory stream; the sink is a copy, not a diversion.
+pub struct EventSink(pub(crate) Box<dyn FnMut(&RuntimeEvent) + Send>);
+
+impl std::fmt::Debug for EventSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("EventSink(..)")
+    }
+}
+
+#[derive(Debug)]
+struct PeInfo {
+    name: String,
+    stats: PeSpeedStats,
+    alive: bool,
+    /// Joined after the registration barrier ([`Scheduler::pe_joins`]).
+    /// Until its first real measurement lands, such a PE sits in the Ω
+    /// window with only its static prior — a bad prior there skews
+    /// `min_alive` and through it every *other* PE's Φ, so
+    /// [`Scheduler::batch_for`] clamps the whole fleet to the SS grain
+    /// while any alive late joiner is still unobserved.
+    late_join: bool,
+    /// Start times of tasks currently running on this PE (tasks assigned
+    /// but not yet started are not in this map).
+    running: HashMap<TaskId, f64>,
+}
+
+/// The scheduling engine. One instance owns the task pool, the per-PE
+/// speed windows, and every policy/adjustment decision of a run.
+#[derive(Debug)]
+pub struct Scheduler {
+    pool: TaskPool,
+    config: MasterConfig,
+    pes: Vec<PeInfo>,
+    /// Remaining up-front quotas for static policies, computed on the
+    /// first request (all PEs must register before that point).
+    quotas: Option<Vec<usize>>,
+    /// Structured event stream (every scheduling decision and membership
+    /// change, in emission order).
+    events: Vec<RuntimeEvent>,
+    /// Latest time any driver call reported; events from calls without a
+    /// `now` parameter are stamped with this.
+    clock: f64,
+    run_completed_emitted: bool,
+    /// When set, a drained pool answers [`Assignment::Wait`] instead of
+    /// [`Assignment::Done`]: the engine outlives its current workload and
+    /// expects more batches via [`Scheduler::submit_tasks`].
+    keep_alive: bool,
+    /// Optional live event tap (see [`EventSink`]).
+    sink: Option<EventSink>,
+}
+
+impl Scheduler {
+    /// Create an engine for a workload.
+    pub fn new(specs: Vec<TaskSpec>, config: MasterConfig) -> Scheduler {
+        Scheduler {
+            pool: TaskPool::new(specs),
+            config,
+            pes: Vec::new(),
+            quotas: None,
+            events: Vec::new(),
+            clock: 0.0,
+            run_completed_emitted: false,
+            keep_alive: false,
+            sink: None,
+        }
+    }
+
+    /// Install a live event tap: `sink` is called for every event from now
+    /// on, in emission order (events already in the stream are not
+    /// replayed). Used by the CLI to stream JSONL incrementally and by the
+    /// query service to derive per-PE metrics without polling.
+    pub fn set_event_sink(&mut self, sink: impl FnMut(&RuntimeEvent) + Send + 'static) {
+        self.sink = Some(EventSink(Box::new(sink)));
+    }
+
+    /// Keep the engine alive across workloads: with `keep_alive` set, a
+    /// drained pool yields [`Assignment::Wait`] (PEs idle at the barrier)
+    /// instead of [`Assignment::Done`], until more tasks arrive through
+    /// [`Scheduler::submit_tasks`] or keep-alive is cleared for shutdown.
+    pub fn set_keep_alive(&mut self, keep_alive: bool) {
+        self.keep_alive = keep_alive;
+    }
+
+    /// Whether the engine outlives a drained pool (see
+    /// [`Scheduler::set_keep_alive`]).
+    pub fn keep_alive(&self) -> bool {
+        self.keep_alive
+    }
+
+    /// Append a new batch of tasks to the pool mid-run (multi-batch
+    /// lifecycle). Returns the assigned task ids, in submission order.
+    /// Only dynamic policies can absorb new work — static quotas are
+    /// computed once against the initial workload.
+    pub fn submit_tasks(&mut self, specs: Vec<TaskSpec>) -> Vec<TaskId> {
+        assert!(
+            !self.config.policy.is_static(),
+            "multi-batch submission requires a dynamic policy"
+        );
+        // The next drain is a fresh completion.
+        self.run_completed_emitted = false;
+        let ids: Vec<TaskId> = specs.into_iter().map(|spec| self.pool.push(spec)).collect();
+        self.emit(EventKind::BatchSubmitted { tasks: ids.clone() });
+        ids
+    }
+
+    /// Record an event at time `time`. Drivers use this for conditions only
+    /// they can see (e.g. the TCP master's liveness verdicts); the state
+    /// machine emits its own scheduling events internally.
+    pub fn record_event(&mut self, time: f64, kind: EventKind) {
+        self.clock = self.clock.max(time);
+        self.push_event(RuntimeEvent { time, kind });
+    }
+
+    fn emit(&mut self, kind: EventKind) {
+        self.push_event(RuntimeEvent {
+            time: self.clock,
+            kind,
+        });
+    }
+
+    fn push_event(&mut self, event: RuntimeEvent) {
+        if let Some(EventSink(sink)) = &mut self.sink {
+            sink(&event);
+        }
+        self.events.push(event);
+    }
+
+    /// The event stream so far.
+    pub fn events(&self) -> &[RuntimeEvent] {
+        &self.events
+    }
+
+    /// Take ownership of the event stream (leaves it empty).
+    pub fn take_events(&mut self) -> Vec<RuntimeEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Register a slave PE; `static_gcups` is its theoretical speed (used
+    /// by WFixed and as the PSS prior until observations arrive).
+    pub fn register(&mut self, name: impl Into<String>, static_gcups: f64) -> PeId {
+        assert!(
+            self.quotas.is_none(),
+            "all PEs must register before the first request under a static policy"
+        );
+        let id = self.pes.len();
+        let name = name.into();
+        self.emit(EventKind::PeRegistered {
+            pe: id,
+            name: name.clone(),
+        });
+        self.pes.push(PeInfo {
+            name,
+            stats: PeSpeedStats::new(static_gcups, self.config.policy.omega()),
+            alive: true,
+            late_join: false,
+            running: HashMap::new(),
+        });
+        id
+    }
+
+    /// Name of a PE.
+    pub fn pe_name(&self, pe: PeId) -> &str {
+        &self.pes[pe].name
+    }
+
+    /// Number of registered PEs.
+    pub fn pe_count(&self) -> usize {
+        self.pes.len()
+    }
+
+    /// The task pool (read-only).
+    pub fn pool(&self) -> &TaskPool {
+        &self.pool
+    }
+
+    /// Whether every task has finished.
+    pub fn all_finished(&self) -> bool {
+        self.pool.all_finished()
+    }
+
+    /// Current speed estimates (GCUPS) for every PE.
+    pub fn speed_estimates(&self) -> Vec<f64> {
+        self.pes
+            .iter()
+            .map(|p| p.stats.weighted_mean_gcups())
+            .collect()
+    }
+
+    /// A PE asks for work at time `now`.
+    pub fn request(&mut self, pe: PeId, now: f64) -> Assignment {
+        assert!(self.pes[pe].alive, "dead PE {pe} cannot request work");
+        self.clock = self.clock.max(now);
+        if self.pool.all_finished() {
+            return if self.keep_alive {
+                Assignment::Wait
+            } else {
+                Assignment::Done
+            };
+        }
+        let batch = self.batch_for(pe);
+        if batch > 0 && self.pool.ready_count() > 0 {
+            let tasks = match self.config.dispatch {
+                Dispatch::FileOrder => self.pool.take_ready(batch, pe),
+                Dispatch::SizeAware => {
+                    let speeds = self.speed_estimates();
+                    let alive: Vec<f64> = speeds
+                        .iter()
+                        .zip(self.pes.iter())
+                        .filter(|(_, p)| p.alive)
+                        .map(|(&s, _)| s)
+                        .collect();
+                    let mean = alive.iter().sum::<f64>() / alive.len().max(1) as f64;
+                    self.pool.take_ready_by_size(batch, pe, speeds[pe] >= mean)
+                }
+            };
+            if let Some(quotas) = &mut self.quotas {
+                quotas[pe] -= tasks.len().min(quotas[pe]);
+            }
+            self.emit(EventKind::TasksAssigned {
+                pe,
+                tasks: tasks.clone(),
+            });
+            return Assignment::Tasks(tasks);
+        }
+        if self.config.adjustment {
+            // Prefer taking over a task that has not started anywhere —
+            // no work is lost — but ONLY when this PE would finish it
+            // before its current holder is even expected to get to it:
+            // moving a big task onto a slow idle PE would *create* the very
+            // straggler the mechanism exists to prevent. When no beneficial
+            // takeover exists, fall back to replication (§IV-A-3), which by
+            // construction can never delay the original execution.
+            if let Some((task, from)) = self.steal_candidate(pe, now) {
+                self.pool.reassign(task, from, pe);
+                self.emit(EventKind::TaskStolen { pe, task, from });
+                return Assignment::Steal { task, from };
+            }
+            if let Some(task) = self.replication_candidate(pe, now) {
+                self.pool.replicate(task, pe);
+                self.emit(EventKind::TaskReplicated { pe, task });
+                return Assignment::Replicate(task);
+            }
+        }
+        Assignment::Wait
+    }
+
+    /// Estimated cells a PE still has to compute across everything it
+    /// currently holds (running task remainder + unstarted batch entries).
+    fn backlog_cells(&self, pe: PeId, now: f64) -> f64 {
+        self.pool
+            .executing_ids()
+            .filter(|&t| self.pool.get(t).executors.contains(&pe))
+            .map(|t| match self.pes[pe].running.get(&t) {
+                Some(&start) => {
+                    let speed = self.pes[pe].stats.weighted_mean_gcups() * 1e9;
+                    (self.pool.get(t).spec.cells() as f64 - speed * (now - start)).max(0.0)
+                }
+                None => self.pool.get(t).spec.cells() as f64,
+            })
+            .sum()
+    }
+
+    /// The most beneficial takeover: an executing task no holder has begun
+    /// that `pe` would finish well before its holder's ETA.
+    fn steal_candidate(&self, pe: PeId, now: f64) -> Option<(TaskId, PeId)> {
+        let speeds = self.speed_estimates();
+        let req_speed = (speeds[pe] * 1e9).max(1.0);
+        self.pool
+            .executing_ids()
+            .filter_map(|t| {
+                let task = self.pool.get(t);
+                if task.executors.contains(&pe) {
+                    return None;
+                }
+                // Only unstarted tasks move; started ones are replicated.
+                let unstarted = task
+                    .executors
+                    .iter()
+                    .all(|&holder| !self.pes[holder].running.contains_key(&t));
+                if !unstarted {
+                    return None;
+                }
+                let holder = *task.executors.first()?;
+                let holder_speed = (speeds[holder] * 1e9).max(1.0);
+                // The holder must finish its whole backlog (which includes
+                // this task) before this task completes there.
+                let holder_eta = self.backlog_cells(holder, now) / holder_speed;
+                let req_eta = task.spec.cells() as f64 / req_speed;
+                let benefit = holder_eta - req_eta;
+                (benefit > 0.0).then_some((t, holder, benefit))
+            })
+            .max_by(|a, b| a.2.partial_cmp(&b.2).expect("benefit is finite"))
+            .map(|(t, holder, _)| (t, holder))
+    }
+
+    fn batch_for(&mut self, pe: PeId) -> usize {
+        if self.config.policy.is_static() {
+            if self.quotas.is_none() {
+                let static_speeds: Vec<f64> =
+                    self.pes.iter().map(|p| p.stats.static_gcups).collect();
+                self.quotas = Some(
+                    self.config
+                        .policy
+                        .static_quotas(self.pool.len(), &static_speeds),
+                );
+            }
+            return self.quotas.as_ref().expect("just computed")[pe];
+        }
+        // "In the first allocation, the master assigns one work unit for
+        // each slave" (§I): until a PE has reported real progress, PSS
+        // behaves like SS for it. The static prior only seeds the speed
+        // estimate other PEs' Φ is computed against.
+        if !self.pes[pe].stats.has_observations() {
+            return 1;
+        }
+        // A reconnecting or late-joining PE re-enters the Ω window with
+        // only its static prior. Until its first real measurement lands,
+        // that prior is the `min_alive` candidate every other PE's Φ is
+        // divided by — a mis-stated prior would briefly hand the whole
+        // fleet mis-calibrated batches. Clamp everyone to the SS grain for
+        // that interval; the cold-start case (initial registrations) keeps
+        // the paper's behaviour, where priors are what Φ is *for*.
+        if self
+            .pes
+            .iter()
+            .any(|p| p.alive && p.late_join && !p.stats.has_observations())
+        {
+            return 1;
+        }
+        let speeds = self.speed_estimates();
+        let alive: Vec<bool> = self.pes.iter().map(|p| p.alive).collect();
+        self.config.policy.batch_size(pe, &speeds, &alive)
+    }
+
+    /// The executing task with the largest estimated remaining work that
+    /// `pe` is not already involved in.
+    fn replication_candidate(&self, pe: PeId, now: f64) -> Option<TaskId> {
+        self.pool
+            .executing_ids()
+            .filter(|&t| !self.pool.get(t).executors.contains(&pe))
+            .map(|t| (t, self.estimated_remaining_cells(t, now)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("remaining is finite"))
+            .filter(|&(_, remaining)| remaining > 0.0)
+            .map(|(t, _)| t)
+    }
+
+    /// Estimated cells still to compute for an executing task: the minimum
+    /// over its executors of `cells − speed × elapsed` (a task assigned but
+    /// not started counts as entirely remaining).
+    pub fn estimated_remaining_cells(&self, task: TaskId, now: f64) -> f64 {
+        let t = self.pool.get(task);
+        if t.state != TaskState::Executing {
+            return 0.0;
+        }
+        let cells = t.spec.cells() as f64;
+        t.executors
+            .iter()
+            .map(|&pe| match self.pes[pe].running.get(&task) {
+                Some(&start) => {
+                    let speed = self.pes[pe].stats.weighted_mean_gcups() * 1e9;
+                    (cells - speed * (now - start)).max(0.0)
+                }
+                None => cells, // assigned, not yet started
+            })
+            .fold(cells, f64::min)
+    }
+
+    /// A PE reports that it has *started* executing a task.
+    pub fn task_started(&mut self, pe: PeId, task: TaskId, now: f64) {
+        self.clock = self.clock.max(now);
+        self.pes[pe].running.insert(task, now);
+        self.emit(EventKind::TaskStarted { pe, task });
+    }
+
+    /// A PE reports a periodic progress notification (observed GCUPS since
+    /// the previous notification).
+    pub fn notify_progress(&mut self, pe: PeId, now: f64, gcups: f64) {
+        self.clock = self.clock.max(now);
+        self.pes[pe].stats.observe(now, gcups);
+    }
+
+    /// A PE reports task completion. `measured_gcups` is the implicit speed
+    /// information of the request/response cycle. Returns the PEs whose
+    /// replicas of this task must be cancelled (empty if the task was
+    /// already finished by someone else — the caller should then discard
+    /// this PE's result).
+    pub fn task_finished(
+        &mut self,
+        pe: PeId,
+        task: TaskId,
+        now: f64,
+        measured_gcups: Option<f64>,
+    ) -> Vec<PeId> {
+        self.clock = self.clock.max(now);
+        self.pes[pe].running.remove(&task);
+        if let Some(g) = measured_gcups {
+            self.pes[pe].stats.observe(now, g);
+        }
+        let winner = self.pool.get(task).state != TaskState::Finished;
+        let cancels = self.pool.finish(task, pe);
+        self.emit(EventKind::TaskFinished {
+            pe,
+            task,
+            winner,
+            measured_gcups: measured_gcups.unwrap_or(f64::NAN),
+        });
+        let task_cells = self.pool.get(task).spec.cells();
+        for &other in &cancels {
+            // Estimate the duplicated work the cancelled replica had done:
+            // its speed estimate × its time on the task, capped at the task
+            // size. Computed before the running entry is dropped.
+            let wasted_cells = match self.pes[other].running.get(&task) {
+                Some(&start) => {
+                    let speed = self.pes[other].stats.weighted_mean_gcups() * 1e9;
+                    (speed * (now - start)).max(0.0).min(task_cells as f64) as u64
+                }
+                None => 0, // assigned but never started: nothing computed
+            };
+            self.pes[other].running.remove(&task);
+            self.emit(EventKind::ReplicaCancelled {
+                pe: other,
+                task,
+                wasted_cells,
+            });
+        }
+        if self.pool.all_finished() && !self.run_completed_emitted {
+            self.run_completed_emitted = true;
+            self.emit(EventKind::RunCompleted);
+        }
+        cancels
+    }
+
+    /// A PE leaves the platform (membership extension): its held tasks —
+    /// running or queued — are handed back so they return to ready unless a
+    /// replica survives elsewhere.
+    pub fn pe_leaves(&mut self, pe: PeId, held: &[TaskId]) {
+        self.pes[pe].alive = false;
+        self.pes[pe].running.clear();
+        self.emit(EventKind::PeLeft { pe });
+        for &t in held {
+            let was_executing = self.pool.get(t).state == TaskState::Executing
+                && self.pool.get(t).executors.contains(&pe);
+            self.pool.release(t, pe);
+            // Requeued only when no surviving replica kept it executing.
+            if was_executing && self.pool.get(t).state == TaskState::Ready {
+                self.emit(EventKind::TaskRequeued { task: t, from: pe });
+            }
+        }
+    }
+
+    /// A late PE joins (membership extension). `now` stamps the
+    /// [`EventKind::PeJoined`] event (joins can happen while the engine is
+    /// otherwise idle, so the clock may not have advanced on its own).
+    pub fn pe_joins(&mut self, name: impl Into<String>, static_gcups: f64, now: f64) -> PeId {
+        self.clock = self.clock.max(now);
+        let id = self.pes.len();
+        let name = name.into();
+        self.emit(EventKind::PeJoined {
+            pe: id,
+            name: name.clone(),
+        });
+        self.pes.push(PeInfo {
+            name,
+            stats: PeSpeedStats::new(static_gcups, self.config.policy.omega()),
+            alive: true,
+            late_join: true,
+            running: HashMap::new(),
+        });
+        if let Some(quotas) = &mut self.quotas {
+            quotas.push(0); // static policies give latecomers nothing
+        }
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotone_and_starts_near_zero() {
+        let c = WallClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(a >= 0.0 && b >= a);
+        assert!(a < 60.0, "epoch should be construction time");
+    }
+
+    #[test]
+    fn virtual_clock_advances_and_never_rewinds() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now(), 0.0);
+        c.advance_to(3.5);
+        assert_eq!(c.now(), 3.5);
+        c.advance_to(1.0); // stale event stamps must not rewind time
+        assert_eq!(c.now(), 3.5);
+        c.advance_to(3.5);
+        assert_eq!(c.now(), 3.5);
+    }
+
+    #[test]
+    fn scheduler_runs_a_minimal_workload_directly() {
+        // The engine works without the Master façade: drivers may hold a
+        // Scheduler directly.
+        let spec = TaskSpec {
+            id: 0,
+            query_len: 100,
+            queries: 1,
+            db_residues: 1_000_000,
+            db_sequences: 100,
+        };
+        let mut s = Scheduler::new(vec![spec], MasterConfig::default());
+        let pe = s.register("pe0", 1.0);
+        let clock = VirtualClock::new();
+        assert_eq!(s.request(pe, clock.now()), Assignment::Tasks(vec![0]));
+        s.task_started(pe, 0, clock.now());
+        clock.advance_to(1.0);
+        assert!(s.task_finished(pe, 0, clock.now(), Some(1.0)).is_empty());
+        assert_eq!(s.request(pe, clock.now()), Assignment::Done);
+    }
+}

@@ -5,9 +5,13 @@
 //! [`DeviceModel`] whose task durations come from the calibrated models of
 //! `swhybrid-device`, optionally perturbed by a [`LoadSchedule`]
 //! (non-dedicated §V-C runs). The *scheduling logic itself is not
-//! simulated* — the simulator drives the very same [`Master`] state machine
-//! the real threaded runtime uses, so allocation decisions, replication,
-//! and cancellations are the genuine article.
+//! simulated* — this module contains no SS/PSS/Φ sizing and no adjustment
+//! decisions of its own. The simulator is a discrete-event **driver** of
+//! the one scheduling engine in [`crate::sched`] (through the [`Master`]
+//! façade, exactly like the real runtimes): it advances a
+//! [`VirtualClock`] along its event heap and relays
+//! request/start/notify/finish calls, so allocation decisions,
+//! replication, and cancellations are the genuine article.
 //!
 //! Determinism: events are ordered by `(time, insertion sequence)`, PEs are
 //! always iterated in id order, and no wall-clock or RNG enters the loop —
@@ -18,6 +22,7 @@ use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
 
 use crate::master::{Assignment, Master, MasterConfig};
+use crate::sched::{Clock, VirtualClock};
 use crate::task::{PeId, TaskId};
 use crate::trace::{NotifySample, SegmentEnd, Trace, TraceSegment};
 use swhybrid_device::load::LoadSchedule;
@@ -211,6 +216,9 @@ struct Engine {
     pes: Vec<SimPe>,
     state: Vec<PeState>,
     master: Master,
+    /// The run's time base: advanced to each popped event's stamp; every
+    /// `now` handed to the engine is read back off this clock.
+    clock: VirtualClock,
     heap: BinaryHeap<Reverse<Event>>,
     seq: u64,
     trace: Trace,
@@ -230,7 +238,7 @@ impl Engine {
         for pe in &pes {
             // Every PE (early or late) is registered up front so ids line
             // up; static quotas therefore see the full roster.
-            let id = master.register(pe.name.clone(), pe.device.task_gcups(&probe_task()));
+            let id = master.register(pe.name.clone(), pe.device.task_gcups(&TaskSpec::probe()));
             debug_assert_eq!(id, state.len());
             let mut s = PeState {
                 alive: pe.join_at <= 0.0,
@@ -243,6 +251,7 @@ impl Engine {
             pes,
             state,
             master,
+            clock: VirtualClock::new(),
             heap: BinaryHeap::new(),
             seq: 0,
             trace: Trace::default(),
@@ -288,11 +297,13 @@ impl Engine {
             if self.done {
                 break;
             }
+            self.clock.advance_to(ev.time);
+            let now = self.clock.now();
             match ev.kind {
-                EventKind::Finish { pe, epoch } => self.on_finish(pe, epoch, ev.time),
-                EventKind::Notify { pe } => self.on_notify(pe, ev.time),
-                EventKind::Join { pe } => self.on_join(pe, ev.time),
-                EventKind::Leave { pe } => self.on_leave(pe, ev.time),
+                EventKind::Finish { pe, epoch } => self.on_finish(pe, epoch, now),
+                EventKind::Notify { pe } => self.on_notify(pe, now),
+                EventKind::Join { pe } => self.on_join(pe, now),
+                EventKind::Leave { pe } => self.on_leave(pe, now),
             }
         }
 
@@ -537,18 +548,6 @@ impl Engine {
         self.master.pe_leaves(pe, &held);
         // Released tasks may be ready again: wake the waiters.
         self.poll_waiting(now);
-    }
-}
-
-/// Representative task used to derive a device's *static* GCUPS prior for
-/// registration (mid-size query, SwissProt-like database).
-fn probe_task() -> TaskSpec {
-    TaskSpec {
-        id: usize::MAX,
-        query_len: 2550,
-        queries: 1,
-        db_residues: 190_814_275,
-        db_sequences: 537_505,
     }
 }
 

@@ -7,11 +7,25 @@
 //! the execution environment can (a) return genuine hit lists from platform
 //! runs on materialised databases and (b) be driven end-to-end by real
 //! threads in the examples and integration tests.
+//!
+//! Two backend kinds share the [`ComputeBackend`] trait:
+//!
+//! * [`StripedBackend`] — a real SIMD PE: scores *and* speed are genuine
+//!   (the driver attributes wall-clock GCUPS).
+//! * [`ModeledBackend`] — a modeled accelerator PE: scores are computed by
+//!   the same kernels (bit-identical hit tables), but the GCUPS fed to the
+//!   scheduler's Ω window come from the PE's calibrated [`DeviceModel`] —
+//!   so a hybrid fleet's PSS Φ weights behave as they would with the real
+//!   hardware, while every result stays verifiable against a plain scan.
+
+use std::sync::Arc;
 
 use swhybrid_align::scoring::Scoring;
 use swhybrid_seq::sequence::EncodedSequence;
 use swhybrid_simd::engine::EnginePreference;
 use swhybrid_simd::search::{DatabaseSearch, Hit, KernelChoice, SearchConfig, SearchResult};
+
+use crate::task::{DeviceModel, TaskSpec};
 
 /// A backend that can actually compute a query × database comparison.
 pub trait ComputeBackend: Send + Sync {
@@ -23,6 +37,20 @@ pub trait ComputeBackend: Send + Sync {
         scoring: &Scoring,
         top_n: usize,
     ) -> SearchResult;
+
+    /// The GCUPS this backend wants attributed for completing `spec`, or
+    /// `None` to let the driver report measured wall-clock speed. Modeled
+    /// accelerators override this so the scheduler's speed windows see the
+    /// device model's throughput instead of the host CPU's.
+    fn modeled_gcups(&self, _spec: &TaskSpec) -> Option<f64> {
+        None
+    }
+
+    /// The static GCUPS prior this backend should register with (used by
+    /// WFixed and as the PSS seed), or `None` for driver-chosen defaults.
+    fn prior_gcups(&self) -> Option<f64> {
+        None
+    }
 }
 
 /// The adapted-Farrar striped backend (what every PE kind executes in this
@@ -59,6 +87,71 @@ impl ComputeBackend for StripedBackend {
     }
 }
 
+/// A modeled accelerator PE: real scores, modeled speed.
+///
+/// `compare` delegates to an inner [`StripedBackend`] (hit tables are
+/// byte-identical to any other PE's), while [`ComputeBackend::modeled_gcups`]
+/// and [`ComputeBackend::prior_gcups`] quote the wrapped [`DeviceModel`] —
+/// e.g. [`crate::gpu::GpuDevice`] or [`crate::cpu::CpuSseDevice`] with
+/// their calibrated CUDASW++/Farrar curves. This is how a GPU "joins" a
+/// hybrid fleet on a machine without one: the scheduler sees GTX-580
+/// throughput in its Ω window and sizes Φ batches accordingly.
+pub struct ModeledBackend {
+    device: Arc<dyn DeviceModel>,
+    compute: StripedBackend,
+}
+
+impl ModeledBackend {
+    /// Model `device`'s speed; compute scores with a default striped
+    /// backend.
+    pub fn new(device: Arc<dyn DeviceModel>) -> ModeledBackend {
+        ModeledBackend {
+            device,
+            compute: StripedBackend::default(),
+        }
+    }
+
+    /// Model `device`'s speed; compute scores with a specific backend
+    /// configuration.
+    pub fn with_compute(device: Arc<dyn DeviceModel>, compute: StripedBackend) -> ModeledBackend {
+        ModeledBackend { device, compute }
+    }
+
+    /// The wrapped device model.
+    pub fn device(&self) -> &Arc<dyn DeviceModel> {
+        &self.device
+    }
+}
+
+impl std::fmt::Debug for ModeledBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModeledBackend")
+            .field("device", &self.device.name())
+            .field("compute", &self.compute)
+            .finish()
+    }
+}
+
+impl ComputeBackend for ModeledBackend {
+    fn compare(
+        &self,
+        query: &EncodedSequence,
+        subjects: &[EncodedSequence],
+        scoring: &Scoring,
+        top_n: usize,
+    ) -> SearchResult {
+        self.compute.compare(query, subjects, scoring, top_n)
+    }
+
+    fn modeled_gcups(&self, spec: &TaskSpec) -> Option<f64> {
+        Some(self.device.task_gcups(spec))
+    }
+
+    fn prior_gcups(&self) -> Option<f64> {
+        Some(self.device.task_gcups(&TaskSpec::probe()))
+    }
+}
+
 /// Merge per-task hit lists into a global ranking (the master's "merge
 /// results" step of Fig. 4), tagging each hit with its query index.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -69,12 +162,30 @@ pub struct QueryHit {
     pub hit: Hit,
 }
 
+// The workspace's one partial-hit-list merge, re-exported where backend
+// drivers look for it.
+pub use swhybrid_simd::search::merge_top_n;
+
 /// Merge and rank hits across queries (best score first).
+///
+/// Per-query ranking is delegated to [`merge_top_n`] — the workspace's one
+/// canonical merge (score descending, database order ascending) — and the
+/// cross-query interleave is a *stable* sort on (score descending, query
+/// index ascending). Stability preserves the per-query db-ascending order
+/// inside ties, so the overall order is (score desc, query asc, db asc):
+/// byte-identical to merging everything with a single three-key
+/// comparator, but with exactly one implementation of the ranking rule.
 pub fn merge_hits(per_task: impl IntoIterator<Item = (usize, Vec<Hit>)>) -> Vec<QueryHit> {
-    let mut all: Vec<QueryHit> = per_task
+    let mut by_query: std::collections::BTreeMap<usize, Vec<Vec<Hit>>> =
+        std::collections::BTreeMap::new();
+    for (query_index, hits) in per_task {
+        by_query.entry(query_index).or_default().push(hits);
+    }
+    let mut all: Vec<QueryHit> = by_query
         .into_iter()
-        .flat_map(|(query_index, hits)| {
-            hits.into_iter()
+        .flat_map(|(query_index, lists)| {
+            merge_top_n(lists, usize::MAX)
+                .into_iter()
                 .map(move |hit| QueryHit { query_index, hit })
         })
         .collect();
@@ -83,7 +194,6 @@ pub fn merge_hits(per_task: impl IntoIterator<Item = (usize, Vec<Hit>)>) -> Vec<
             .score
             .cmp(&a.hit.score)
             .then(a.query_index.cmp(&b.query_index))
-            .then(a.hit.db_index.cmp(&b.hit.db_index))
     });
     all
 }
@@ -122,6 +232,28 @@ mod tests {
     }
 
     #[test]
+    fn modeled_backend_scores_match_striped_but_speed_is_the_models() {
+        let query = enc("q", b"MKVLAWCDEFGHIKLMNPQRST");
+        let subjects = vec![
+            enc("a", b"PPPPPPPPPP"),
+            enc("b", b"MKVLAWCDEFGHIKLMNPQRST"),
+            enc("c", b"GGGGGGGG"),
+        ];
+        let gpu = ModeledBackend::new(Arc::new(crate::gpu::GpuDevice::gtx580("gpu0")));
+        let real = StripedBackend::default();
+        let a = gpu.compare(&query, &subjects, &scoring(), 3);
+        let b = real.compare(&query, &subjects, &scoring(), 3);
+        assert_eq!(a.hits, b.hits, "modeled PE must score bit-identically");
+        // Speed attribution comes from the calibrated model, not the host.
+        let spec = TaskSpec::probe();
+        let modeled = gpu.modeled_gcups(&spec).unwrap();
+        assert!(modeled > 1.0, "a GTX 580 model is multi-GCUPS: {modeled}");
+        assert_eq!(real.modeled_gcups(&spec), None);
+        assert!(gpu.prior_gcups().unwrap() > 1.0);
+        assert_eq!(real.prior_gcups(), None);
+    }
+
+    #[test]
     fn merge_hits_globally_ranked() {
         let h = |id: &str, score: i32| Hit {
             db_index: 0,
@@ -151,5 +283,40 @@ mod tests {
         assert_eq!(merged[0].hit.db_index, 0);
         assert_eq!(merged[1].hit.db_index, 1);
         assert_eq!(merged[2].query_index, 1);
+    }
+
+    #[test]
+    fn merge_hits_equals_single_three_key_sort() {
+        // The delegated form (merge_top_n per query + stable cross-query
+        // sort) must reproduce the historical one-shot comparator exactly.
+        let mk = |db_index: usize, score: i32| Hit {
+            db_index,
+            id: format!("s{db_index}"),
+            score,
+            subject_len: 5,
+        };
+        let input = vec![
+            (2, vec![mk(5, 10), mk(1, 40), mk(9, 10)]),
+            (0, vec![mk(3, 10), mk(7, 40)]),
+            (1, vec![mk(0, 40), mk(2, 10), mk(4, 25)]),
+            (0, vec![mk(8, 25), mk(6, 10)]), // second task for query 0
+        ];
+        let mut expected: Vec<QueryHit> = input
+            .iter()
+            .flat_map(|(q, hits)| {
+                hits.iter().map(|h| QueryHit {
+                    query_index: *q,
+                    hit: h.clone(),
+                })
+            })
+            .collect();
+        expected.sort_by(|a, b| {
+            b.hit
+                .score
+                .cmp(&a.hit.score)
+                .then(a.query_index.cmp(&b.query_index))
+                .then(a.hit.db_index.cmp(&b.hit.db_index))
+        });
+        assert_eq!(merge_hits(input), expected);
     }
 }

@@ -33,6 +33,22 @@ impl TaskSpec {
     pub fn cells(&self) -> u64 {
         self.query_len as u64 * self.db_residues
     }
+
+    /// Representative task used to derive a device's *static* GCUPS prior
+    /// for registration (mid-size query, SwissProt-like database). Both
+    /// the simulator and the real fleet builders quote a model's
+    /// [`DeviceModel::task_gcups`] on this probe as its registration
+    /// prior, so simulated and real hybrid fleets start from the same
+    /// speed estimates.
+    pub fn probe() -> TaskSpec {
+        TaskSpec {
+            id: usize::MAX,
+            query_len: 2550,
+            queries: 1,
+            db_residues: 190_814_275,
+            db_sequences: 537_505,
+        }
+    }
 }
 
 /// The kind of processing element.

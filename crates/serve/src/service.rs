@@ -84,6 +84,8 @@ use swhybrid_core::policy::Policy;
 use swhybrid_core::pool::{drive, LocalEndpoint, PePool};
 use swhybrid_core::task::{PeId, TaskId};
 use swhybrid_core::trace::RuntimeEvent;
+use swhybrid_device::task::DeviceModel;
+use swhybrid_device::FleetSpec;
 use swhybrid_seq::sequence::EncodedSequence;
 use swhybrid_seq::DbSnapshot;
 use swhybrid_simd::engine::{EnginePreference, KernelStats, PreparedQuery};
@@ -156,6 +158,13 @@ pub struct ServiceConfig {
     /// Software next-subject prefetch inside shard scans. Advisory only —
     /// never changes results.
     pub prefetch: bool,
+    /// Hybrid worker fleet (`sse:8+gpu:2`). When set it *replaces* the
+    /// homogeneous `workers` pool: each entry becomes one PE thread —
+    /// real SIMD PEs measure wall-clock speed, modeled accelerators
+    /// register their calibrated prior and attribute their device model's
+    /// GCUPS to the scheduler (results stay byte-identical either way —
+    /// every kind drives the same shard executor).
+    pub fleet: Option<FleetSpec>,
 }
 
 impl Default for ServiceConfig {
@@ -178,6 +187,7 @@ impl Default for ServiceConfig {
             retention_secs: 300.0,
             prepared_capacity: 128,
             prefetch: true,
+            fleet: None,
         }
     }
 }
@@ -382,6 +392,12 @@ impl Inner {
 
 /// The persistent query service. Dropping it shuts the workers down
 /// without draining; call [`QueryService::shutdown`] for the graceful
+/// One local worker in the roster: its PE name, its static GCUPS prior,
+/// and — for modeled fleet kinds — the device model that attributes its
+/// speed (None for real SIMD workers, which report wall-clock
+/// measurements).
+type WorkerSpec = (String, f64, Option<Arc<dyn DeviceModel>>);
+
 /// drain-then-exit path.
 pub struct QueryService {
     inner: Arc<Inner>,
@@ -412,6 +428,11 @@ impl QueryService {
             scoring.matrix.alphabet
         );
         let mut cfg = config;
+        // A hybrid fleet fixes the worker count: one PE thread per member.
+        let fleet_pes = cfg.fleet.as_ref().map(|f| f.build());
+        if let Some(pes) = &fleet_pes {
+            cfg.workers = pes.len();
+        }
         cfg.workers = cfg.workers.max(1);
         if cfg.shards == 0 {
             cfg.shards = cfg.workers;
@@ -473,14 +494,27 @@ impl QueryService {
             scoring,
             cfg,
         });
+        // The worker roster: a hybrid fleet when configured (names,
+        // priors, and — for modeled kinds — the device model that
+        // attributes speed), else the historical homogeneous SIMD pool.
+        let members: Vec<WorkerSpec> = match fleet_pes {
+            Some(pes) => pes
+                .into_iter()
+                .map(|p| (p.name, p.static_gcups, p.model))
+                .collect(),
+            None => (0..inner.cfg.workers)
+                .map(|w| (format!("serve{w}"), 1.0, None))
+                .collect(),
+        };
         // Admit the local workers up front (the registration block), then
         // spawn their drive threads.
-        let ids: Vec<PeId> = (0..inner.cfg.workers)
-            .map(|w| inner.pool.admit(&format!("serve{w}"), 1.0, false))
-            .collect();
-        let mut workers: Vec<_> = ids
+        let admitted: Vec<(PeId, Option<Arc<dyn DeviceModel>>)> = members
             .into_iter()
-            .map(|pe| {
+            .map(|(name, prior, model)| (inner.pool.admit(&name, prior, false), model))
+            .collect();
+        let mut workers: Vec<_> = admitted
+            .into_iter()
+            .map(|(pe, model)| {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
                     .name(format!("swhybrid-serve-pe{pe}"))
@@ -491,7 +525,7 @@ impl QueryService {
                         // warm, high-water-sized buffers.
                         let mut executor = ShardExecutor::new();
                         let mut endpoint = LocalEndpoint::new(|task| {
-                            execution::execute_task(&inner, task, &mut executor)
+                            execution::execute_task(&inner, task, &mut executor, model.as_deref())
                         });
                         drive(&inner.pool, pe, &mut endpoint);
                     })

@@ -14,6 +14,7 @@ use swhybrid_core::pool::{
 };
 use swhybrid_core::stats::observed_gcups;
 use swhybrid_core::task::{PeId, TaskId};
+use swhybrid_device::task::DeviceModel;
 use swhybrid_simd::engine::{KernelStats, PreparedQuery};
 use swhybrid_simd::search::{merge_top_n, Hit};
 use swhybrid_simd::{materialize_hits, ShardExecutor, ShardPlan};
@@ -134,18 +135,26 @@ impl PoolOwner for ServeOwner {
 /// under the lock, then drive the shared [`ShardExecutor`] over the shard
 /// off it. The pool (via [`swhybrid_core::pool::LocalEndpoint`] and
 /// [`ServeOwner::on_finished`]) handles started/finished bookkeeping.
+///
+/// `model` is the worker's device model when it is a modeled accelerator
+/// PE of a hybrid fleet: the completion then attributes the model's GCUPS
+/// for the task's spec (so the scheduler's Ω window sees e.g. GTX-580
+/// speed) instead of the host thread's wall-clock measurement. The scan —
+/// and so the reply — is identical either way.
 pub(super) fn execute_task(
     inner: &Inner,
     task: TaskId,
     executor: &mut ShardExecutor,
+    model: Option<&dyn DeviceModel>,
 ) -> TaskResult {
-    let (entries, range, db) = {
+    let (entries, range, db, spec) = {
         let g = inner.pool.lock();
         let o = &g.owner;
         let Some(ft) = o.task_map.get(&task) else {
             // Unknown task (should not happen): report a skip, not a scan.
             return TaskResult::default();
         };
+        let spec = model.map(|_| g.master.pool().get(task).spec.clone());
         // Batch members stay positional: a cancelled (or vanished) member
         // keeps its slot as `None` so results pair with `FusedTask::jobs`.
         let mut entries: Vec<Option<(Arc<PreparedQuery>, usize)>> =
@@ -172,7 +181,12 @@ pub(super) fn execute_task(
                 ..TaskResult::default()
             };
         };
-        (entries, range.expect("live member sets the range"), db)
+        (
+            entries,
+            range.expect("live member sets the range"),
+            db,
+            spec,
+        )
     };
     let (s, e) = range;
     let t0 = Instant::now();
@@ -207,8 +221,12 @@ pub(super) fn execute_task(
             kernels: Some(out.stats),
         });
     }
+    let gcups = match (model, &spec) {
+        (Some(m), Some(s)) => m.task_gcups(s),
+        _ => observed_gcups(total_cells, t0.elapsed().as_secs_f64()),
+    };
     TaskResult {
-        gcups: Some(observed_gcups(total_cells, t0.elapsed().as_secs_f64())),
+        gcups: Some(gcups),
         hits: Vec::new(),
         cells: total_cells,
         kernels: Some(merged_stats),

@@ -157,6 +157,52 @@ fn local_pe_kernels_surface_in_per_pe_stats() {
     svc.shutdown();
 }
 
+/// A hybrid `--fleet` daemon: a modeled GPU and a real SIMD core share the
+/// pool. Replies stay byte-identical to a cold scan (modeled speed never
+/// touches scores) and `stats` names both backend kinds.
+#[test]
+fn hybrid_fleet_service_matches_cold_scan_and_names_both_kinds() {
+    let db = random_db(41, 70, 90);
+    let query = random_query(43, 50);
+    let svc = QueryService::new(
+        db.clone(),
+        scoring(),
+        ServiceConfig {
+            fleet: Some(FleetSpec::parse("gpu:1+sse:1").unwrap()),
+            ..Default::default()
+        },
+    );
+    let reply = svc.search_blocking(query.clone(), 10, 1).unwrap();
+    let cold = DatabaseSearch::new(
+        &query,
+        &scoring(),
+        swhybrid_simd::search::SearchConfig {
+            top_n: 10,
+            ..Default::default()
+        },
+    )
+    .run(&db);
+    assert_eq!(
+        reply.hits, cold.hits,
+        "hybrid fleet must score bit-identically"
+    );
+    let stats = svc.stats();
+    let pes = stats.get("pes").unwrap().as_array().unwrap();
+    let names: Vec<&str> = pes
+        .iter()
+        .map(|p| p.get("name").unwrap().as_str().unwrap())
+        .collect();
+    assert!(
+        names.contains(&"gpu0"),
+        "stats must name the modeled PE: {names:?}"
+    );
+    assert!(
+        names.contains(&"sse0"),
+        "stats must name the real PE: {names:?}"
+    );
+    svc.shutdown();
+}
+
 #[test]
 fn repeat_query_hits_cache_with_zero_cells() {
     let db = random_db(31, 40, 80);

@@ -102,6 +102,18 @@ pub(super) fn policy_from_opts(opts: &Opts) -> Result<Policy, String> {
     })
 }
 
+/// Decode `--fleet sse:8+gpu:2` identically for every verb that takes a
+/// hybrid fleet (`master`, `serve`, `simulate`). Malformed specs are
+/// errors, never defaults.
+pub(super) fn fleet_from_opts(opts: &Opts) -> Result<Option<crate::device::FleetSpec>, String> {
+    match opts.get("fleet") {
+        None => Ok(None),
+        Some(spec) => crate::device::FleetSpec::parse(spec)
+            .map(Some)
+            .map_err(|e| format!("--fleet: {e}")),
+    }
+}
+
 pub(super) fn store_verify(full: bool) -> Verify {
     if full {
         Verify::Full

@@ -6,14 +6,16 @@ use crate::exec::platform::PlatformBuilder;
 use crate::exec::policy::Policy;
 use crate::seq::synth::{paper_database, QueryOrder, QuerySetSpec};
 
-use super::args::{kernel_from_opts, policy_from_opts, scoring_from_opts, Opts};
+use super::args::{
+    fleet_from_opts, kernel_from_opts, policy_from_opts, scoring_from_opts, store_verify, Opts,
+};
 use super::db::load_encoded;
 
 pub(super) fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(
         args,
         &[
-            "gpus", "sse", "fpgas", "db", "policy", "order", "queries", "omega",
+            "gpus", "sse", "fpgas", "fleet", "db", "policy", "order", "queries", "omega",
         ],
         &["no-adjustment"],
     )?;
@@ -23,12 +25,32 @@ pub(super) fn cmd_simulate(args: &[String]) -> Result<(), String> {
             opts.positional[0]
         ));
     }
-    let gpus: usize = opts.get_parsed("gpus", 4)?;
-    let sse: usize = opts.get_parsed("sse", 4)?;
-    let fpgas: usize = opts.get_parsed("fpgas", 0)?;
-    if gpus + sse + fpgas == 0 {
-        return Err("platform needs at least one PE".into());
-    }
+    // `--fleet sse:8+gpu:2` is the same spec string the real runtimes
+    // accept; it replaces the per-kind count flags.
+    let fleet = fleet_from_opts(&opts)?;
+    let base = match &fleet {
+        Some(spec) => {
+            if ["gpus", "sse", "fpgas"]
+                .iter()
+                .any(|f| opts.get(f).is_some())
+            {
+                return Err("--fleet replaces --gpus/--sse/--fpgas".into());
+            }
+            PlatformBuilder::new().fleet(spec)
+        }
+        None => {
+            let gpus: usize = opts.get_parsed("gpus", 4)?;
+            let sse: usize = opts.get_parsed("sse", 4)?;
+            let fpgas: usize = opts.get_parsed("fpgas", 0)?;
+            if gpus + sse + fpgas == 0 {
+                return Err("platform needs at least one PE".into());
+            }
+            PlatformBuilder::new()
+                .gpus(gpus)
+                .sse_cores(sse)
+                .fpgas(fpgas)
+        }
+    };
     let db = paper_database(opts.get("db").unwrap_or("swissprot"))
         .ok_or_else(|| format!("unknown database {:?}", opts.get("db").unwrap_or("")))?
         .full_scale_stats();
@@ -56,12 +78,7 @@ pub(super) fn cmd_simulate(args: &[String]) -> Result<(), String> {
     spec.order = order;
 
     let workload = PlatformBuilder::workload(&db, &spec, 2013);
-    let builder = PlatformBuilder::new()
-        .gpus(gpus)
-        .sse_cores(sse)
-        .fpgas(fpgas)
-        .policy(policy)
-        .adjustment(!opts.has("no-adjustment"));
+    let builder = base.policy(policy).adjustment(!opts.has("no-adjustment"));
     let label = builder.describe();
     let out = builder.run(workload);
 
@@ -92,31 +109,51 @@ pub(super) fn cmd_simulate(args: &[String]) -> Result<(), String> {
 
 pub(super) fn cmd_master(args: &[String]) -> Result<(), String> {
     use crate::exec::master::MasterConfig;
-    use crate::exec::net::{MasterServer, NetConfig};
+    use crate::exec::net::{LocalFleet, MasterServer, NetConfig};
+    use crate::exec::runtime::RealPe;
+    use crate::store::Store;
 
     let opts = Opts::parse(
         args,
         &[
             "listen",
             "slaves",
+            "fleet",
             "policy",
             "top",
             "register-timeout",
             "slave-deadline",
             "events",
+            "db-store",
+            "matrix",
+            "gap-open",
+            "gap-extend",
         ],
-        &["no-adjustment"],
+        &["no-adjustment", "verify-store"],
     )?;
-    let [qpath, dbpath] = opts.positional.as_slice() else {
-        return Err("master takes <query.fasta> <db.fasta>".into());
+    let fleet = fleet_from_opts(&opts)?;
+    // The master holds the database either way (it merges hits and may
+    // host a local fleet): from FASTA, or materialised out of a `.swdb`
+    // store so batch runs and the daemon share one on-disk format.
+    let (qpath, subjects) = match (opts.get("db-store"), opts.positional.as_slice()) {
+        (Some(store_path), [qpath]) => {
+            let snapshot = Store::open_with(store_path, store_verify(opts.has("verify-store")))
+                .and_then(Store::into_snapshot)
+                .map_err(|e| format!("{store_path}: {e}"))?;
+            (qpath.clone(), snapshot.to_encoded())
+        }
+        (None, [qpath, dbpath]) => (qpath.clone(), load_encoded(dbpath)?),
+        (Some(_), _) => return Err("master --db-store takes <query.fasta> only".into()),
+        (None, _) => {
+            return Err("master takes <query.fasta> <db.fasta> (or --db-store FILE.swdb)".into())
+        }
     };
     let listen = opts.get("listen").unwrap_or("0.0.0.0:7878");
     let slaves: usize = opts.get_parsed("slaves", 1)?;
-    if slaves == 0 {
-        return Err("--slaves must be at least 1".into());
+    if slaves == 0 && fleet.is_none() {
+        return Err("--slaves must be at least 1 (or pass --fleet for a local hybrid run)".into());
     }
-    let queries = load_encoded(qpath)?;
-    let subjects = load_encoded(dbpath)?;
+    let queries = load_encoded(&qpath)?;
     if queries.is_empty() {
         return Err(format!("{qpath}: no query sequences"));
     }
@@ -187,7 +224,28 @@ pub(super) fn cmd_master(args: &[String]) -> Result<(), String> {
         slaves,
         queries.len()
     );
-    let outcome = server.serve(specs).map_err(|e| e.to_string())?;
+    let outcome = match &fleet {
+        Some(spec) => {
+            // The hybrid path: the master hosts its own fleet — real SIMD
+            // PEs plus modeled accelerators — on the same pool the TCP
+            // slaves feed from.
+            println!("local fleet: {}", spec.describe());
+            let scoring = scoring_from_opts(&opts)?;
+            let pes: Vec<RealPe> = spec.build().into_iter().map(RealPe::from).collect();
+            server.serve_hybrid(
+                specs,
+                LocalFleet {
+                    pes,
+                    queries: &queries,
+                    subjects: &subjects,
+                    scoring: &scoring,
+                    top_n: opts.get_parsed("top", 10usize)?,
+                },
+            )
+        }
+        None => server.serve(specs),
+    }
+    .map_err(|e| e.to_string())?;
     if let Some((written, path)) = events_streamed {
         println!(
             "streamed {} events to {path}",

@@ -78,25 +78,35 @@ USAGE:
       against a previously written report and fails if any regressed
       more than --tolerance percent (default 5).
 
-  swhybrid simulate [--gpus N] [--sse N] [--fpgas N] [--db NAME]
-                    [--policy ss|pss|fixed|wfixed] [--no-adjustment]
-                    [--order asc|desc|shuffle] [--queries N]
+  swhybrid simulate [--gpus N] [--sse N] [--fpgas N] [--fleet SPEC]
+                    [--db NAME] [--policy ss|pss|fixed|wfixed]
+                    [--no-adjustment] [--order asc|desc|shuffle] [--queries N]
       Run the paper's 40-query workload (or --queries N) on a simulated
-      hybrid platform under virtual time and report time/GCUPS.
+      hybrid platform under virtual time and report time/GCUPS. --fleet
+      takes the same sse:8+gpu:2 spec as master/serve and replaces the
+      per-kind count flags.
 
   swhybrid master <query.fasta> <db.fasta> --listen HOST:PORT --slaves N
+                  [--fleet SPEC] [--db-store FILE.swdb] [--verify-store]
                   [--policy ...] [--no-adjustment] [--top N]
                   [--register-timeout SECS] [--slave-deadline SECS]
-                  [--events FILE.json]
+                  [--events FILE.json] [--matrix ...] [--gap-open N]
+                  [--gap-extend N]
       Start the distributed master: waits for N slaves to register (at most
       --register-timeout seconds; 0 waits forever), then distributes one
       task per query and prints the merged hits. A slave silent for
       --slave-deadline seconds is declared dead and its tasks requeued.
       --events streams the structured run-event log as JSON lines (one
       event per line, written as the run progresses).
+      --fleet sse:2+gpu:1 additionally hosts a local hybrid fleet in the
+      master process — real SIMD PEs plus modeled accelerators (real
+      scores, calibrated model speed) — on the same scheduling pool as
+      the TCP slaves; with --fleet, --slaves 0 runs entirely locally.
+      --db-store loads the database from a `.swdb` store instead of FASTA
+      (then only <query.fasta> is positional).
 
-  swhybrid serve <db.fasta> --listen HOST:PORT [--workers N] [--shards N]
-                 [--db-store FILE.swdb] [--verify-store]
+  swhybrid serve <db.fasta> --listen HOST:PORT [--workers N] [--fleet SPEC]
+                 [--shards N] [--db-store FILE.swdb] [--verify-store]
                  [--listen-slaves HOST:PORT] [--max-active N] [--fusion N]
                  [--queue-depth N] [--client-inflight N] [--cache N]
                  [--retain N] [--policy ss|pss] [--no-adjustment]
@@ -118,6 +128,9 @@ USAGE:
       (`swhybrid slave --serve`) on a second port: they join the same
       scheduling pool as the local workers, take database shards, and may
       connect or disconnect at any time while the daemon keeps serving.
+      --fleet sse:2+gpu:1 replaces --workers with a hybrid worker fleet:
+      one PE thread per member, modeled accelerators registering their
+      calibrated speed (results stay byte-identical to SIMD workers).
       --db-store boots the daemon from a `.swdb` store instead of FASTA:
       the arena is memory-mapped and the stored digest seeds the slave
       handshake without an O(db) startup re-hash (--verify-store opts

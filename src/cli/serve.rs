@@ -34,6 +34,7 @@ pub(super) fn cmd_serve(args: &[String]) -> Result<(), String> {
             "fusion",
             "retain",
             "db-store",
+            "fleet",
         ],
         &["no-adjustment", "verify-store"],
     )?;
@@ -86,9 +87,14 @@ pub(super) fn cmd_serve(args: &[String]) -> Result<(), String> {
             ))
         }
     };
+    let fleet = super::args::fleet_from_opts(&opts)?;
+    if fleet.is_some() && opts.get("workers").is_some() {
+        return Err("--fleet replaces --workers (one PE thread per fleet member)".into());
+    }
     let default = ServiceConfig::default();
     let config = ServiceConfig {
         workers: opts.get_parsed("workers", default.workers)?,
+        fleet,
         shards: opts.get_parsed("shards", default.shards)?,
         max_active: opts.get_parsed("max-active", default.max_active)?,
         queue_depth: opts.get_parsed("queue-depth", default.queue_depth)?,
@@ -111,11 +117,14 @@ pub(super) fn cmd_serve(args: &[String]) -> Result<(), String> {
     let residues = snapshot.total_residues();
     let digest = snapshot.digest();
     let mapped = snapshot.arena().is_shared();
-    let workers = config.workers.max(1);
+    let workers = match &config.fleet {
+        Some(f) => format!("fleet {}", f.describe()),
+        None => format!("{} worker(s)", config.workers.max(1)),
+    };
     let daemon = ServeDaemon::bind_snapshot(listen, snapshot, scoring, config)
         .map_err(|e| format!("bind {listen}: {e}"))?;
     println!(
-        "serving {dbpath} ({residues} residues{}) on {} with {workers} worker(s), \
+        "serving {dbpath} ({residues} residues{}) on {} with {workers}, \
          digest {digest:016x}",
         if mapped { ", memory-mapped" } else { "" },
         daemon.local_addr().map_err(|e| e.to_string())?

@@ -1,0 +1,178 @@
+//! Hybrid-fleet integration: real SIMD PEs and modeled accelerators (real
+//! scores through the repo kernels, speed attributed from the calibrated
+//! device models) run on the *same* scheduling pool, and their merged hit
+//! table is byte-identical to the single-process one-shot search of the
+//! same workload. This is the acceptance surface of the `--fleet` runtime:
+//! heterogeneity may change who computes what and how fast the run is
+//! reported to be — never what a query scores.
+
+use swhybrid::align::scoring::{GapModel, Scoring, SubstMatrix};
+use swhybrid::device::task::DeviceModel;
+use swhybrid::device::{FleetSpec, FpgaDevice, GpuDevice, TaskSpec};
+use swhybrid::exec::runtime::{run_real, RealPe, RuntimeConfig};
+use swhybrid::exec::trace::EventKind;
+use swhybrid::seq::sequence::EncodedSequence;
+use swhybrid::seq::synth::{paper_database, QueryOrder, QuerySetSpec};
+use swhybrid::seq::Alphabet;
+use swhybrid::simd::search::{DatabaseSearch, SearchConfig};
+
+const TOP_N: usize = 5;
+
+fn scoring() -> Scoring {
+    Scoring {
+        matrix: SubstMatrix::blosum62(),
+        gap: GapModel::Affine {
+            open: 10,
+            extend: 2,
+        },
+    }
+}
+
+struct Fixture {
+    queries: Vec<EncodedSequence>,
+    subjects: Vec<EncodedSequence>,
+}
+
+impl Fixture {
+    fn build() -> Fixture {
+        let db = paper_database("dog").unwrap().generate_scaled(77, 0.0015);
+        let subjects = db.encode_all().unwrap();
+        let queries = QuerySetSpec {
+            count: 6,
+            min_len: 40,
+            max_len: 200,
+            order: QueryOrder::Shuffled,
+        }
+        .generate(78)
+        .iter()
+        .map(|q| EncodedSequence::from_sequence(q, Alphabet::Protein).unwrap())
+        .collect();
+        Fixture { queries, subjects }
+    }
+
+    /// The spec the runtime derives for query `task` — what a modeled
+    /// backend's speed attribution is a function of.
+    fn task_spec(&self, task: usize) -> TaskSpec {
+        TaskSpec {
+            id: task,
+            query_len: self.queries[task].len(),
+            queries: 1,
+            db_residues: self.subjects.iter().map(|s| s.len() as u64).sum(),
+            db_sequences: self.subjects.len(),
+        }
+    }
+
+    fn run_fleet(&self, spec: &str) -> swhybrid::exec::runtime::RuntimeOutcome {
+        let pes: Vec<RealPe> = FleetSpec::parse(spec)
+            .unwrap()
+            .build()
+            .into_iter()
+            .map(RealPe::from)
+            .collect();
+        run_real(
+            pes,
+            &self.queries,
+            &self.subjects,
+            &scoring(),
+            RuntimeConfig {
+                top_n: TOP_N,
+                ..RuntimeConfig::default()
+            },
+        )
+    }
+
+    /// The one-shot oracle: per-query kernel scans merged through the same
+    /// canonical ranking rule the runtime uses.
+    fn one_shot(&self) -> Vec<swhybrid::device::exec::QueryHit> {
+        let scoring = scoring();
+        swhybrid::device::exec::merge_hits(self.queries.iter().enumerate().map(|(i, q)| {
+            let cfg = SearchConfig {
+                top_n: TOP_N,
+                ..SearchConfig::default()
+            };
+            (
+                i,
+                DatabaseSearch::new(&q.codes, &scoring, cfg)
+                    .run(&self.subjects)
+                    .hits,
+            )
+        }))
+    }
+
+    /// Per-task `TaskFinished` speeds of every PE named `name` in the run.
+    fn finished_speeds(
+        out: &swhybrid::exec::runtime::RuntimeOutcome,
+        name: &str,
+    ) -> Vec<(usize, f64)> {
+        let pe_id = out
+            .events
+            .iter()
+            .find_map(|e| match &e.kind {
+                EventKind::PeRegistered { pe, name: n } if n == name => Some(*pe),
+                _ => None,
+            })
+            .unwrap_or_else(|| panic!("{name} never registered"));
+        out.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::TaskFinished {
+                    pe,
+                    task,
+                    measured_gcups,
+                    ..
+                } if pe == pe_id => Some((task, measured_gcups)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[test]
+fn gpu_and_sse_fleet_matches_one_shot_search() {
+    let fx = Fixture::build();
+    let out = fx.run_fleet("gpu:1+sse:2");
+    assert_eq!(
+        out.hits,
+        fx.one_shot(),
+        "hybrid hit table must be byte-identical to the one-shot search"
+    );
+    // Every task was completed by a fleet member, under its fleet name.
+    assert_eq!(out.completed_by.len(), fx.queries.len());
+    assert!(out
+        .completed_by
+        .iter()
+        .all(|n| ["gpu0", "sse0", "sse1"].contains(&n.as_str())));
+}
+
+#[test]
+fn modeled_pes_attribute_model_speed_real_pes_measure() {
+    let fx = Fixture::build();
+    let out = fx.run_fleet("gpu:1+sse:1+fpga:1");
+    assert_eq!(out.hits, fx.one_shot());
+
+    // Modeled kinds quote their calibrated device model for exactly the
+    // finished task's spec — reproducible across runs.
+    let gpu = GpuDevice::gtx580("gpu0");
+    for (task, gcups) in Fixture::finished_speeds(&out, "gpu0") {
+        assert_eq!(gcups, gpu.task_gcups(&fx.task_spec(task)));
+    }
+    let fpga = FpgaDevice::systolic("fpga0");
+    for (task, gcups) in Fixture::finished_speeds(&out, "fpga0") {
+        assert_eq!(gcups, fpga.task_gcups(&fx.task_spec(task)));
+    }
+    // The real SIMD PE reports a wall-clock measurement: positive, finite,
+    // and (on a tiny test workload) nowhere near the accelerators' curves.
+    for (_, gcups) in Fixture::finished_speeds(&out, "sse0") {
+        assert!(gcups.is_finite() && gcups > 0.0);
+    }
+}
+
+#[test]
+fn all_modeled_fleet_still_scores_exactly() {
+    // Even with no real-measurement PE in the fleet at all, every score
+    // comes from the repo kernels: the model only shapes scheduling.
+    let fx = Fixture::build();
+    let out = fx.run_fleet("gpu:2");
+    assert_eq!(out.hits, fx.one_shot());
+    assert!(out.completed_by.iter().all(|n| n == "gpu0" || n == "gpu1"));
+}
